@@ -1,0 +1,453 @@
+(* The experiment harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md §5 for the index), then runs Bechamel
+   microbenchmarks of the protocol primitives (§III-F overheads).
+
+   Absolute numbers come from our event-driven model, not the authors'
+   Simics/GEMS/GPGPU-Sim testbed; the comparisons are normalized to HMG as
+   in the paper, and the shapes — who wins, roughly by how much — are the
+   reproduction target (EXPERIMENTS.md records paper-vs-measured). *)
+
+module Msg = Spandex_proto.Msg
+module Config = Spandex_system.Config
+module Params = Spandex_system.Params
+module Run = Spandex_system.Run
+module Report = Spandex_system.Report
+module Registry = Spandex_workloads.Registry
+module Microbench = Spandex_workloads.Microbench
+module Apps = Spandex_workloads.Apps
+
+let params = Params.bench
+let geometry = Registry.geometry_of_params params
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ----- Table I: coherence strategy classification -------------------------- *)
+
+let table1 () =
+  section "Table I: Coherence strategy classification";
+  Printf.printf "%-14s %-18s %-18s %s\n" "Strategy" "Stale invalidation"
+    "Write propagation" "Granularity";
+  Printf.printf "%-14s %-18s %-18s %s\n" "MESI" "writer-invalidate" "ownership"
+    "line";
+  Printf.printf "%-14s %-18s %-18s %s\n" "GPU coherence" "self-invalidate"
+    "write-through" "loads: line, stores: word";
+  Printf.printf "%-14s %-18s %-18s %s\n" "DeNovo" "self-invalidate"
+    "ownership" "loads: flexible, stores: word"
+
+(* ----- Table II: observed request generation per device protocol ----------- *)
+
+(* Not a static table: run one tiny single-device scenario per protocol and
+   report the request kinds its L1 actually put on the network. *)
+let table2 () =
+  section "Table II: Requests generated per device protocol (observed)";
+  let program =
+    [|
+      Spandex_device.Ops.Load (Spandex_proto.Addr.make ~line:1 ~word:0);
+      Spandex_device.Ops.Store (Spandex_proto.Addr.make ~line:2 ~word:3, 42);
+      Spandex_device.Ops.Rmw
+        (Spandex_proto.Addr.make ~line:3 ~word:1, Spandex_proto.Amo.Add 1);
+      Spandex_device.Ops.Release;
+    |]
+  in
+  let observe ~name ~config ~gpu_side =
+    let wl =
+      {
+        Spandex_system.Workload.name = "table2";
+        cpu_programs = (if gpu_side then [||] else [| program |]);
+        gpu_programs = (if gpu_side then [| [| program |] |] else [||]);
+        barrier_parties = [||];
+        region_of = (fun _ -> 0);
+      }
+    in
+    let r = Run.simulate ~params ~config wl in
+    let reqs =
+      Spandex_util.Stats.to_assoc r.Run.stats
+      |> List.filter_map (fun (k, v) ->
+             if v > 0 && String.length k > 7 && String.sub k 0 4 = "net." then
+               let s = String.sub k 4 (String.length k - 4) in
+               if String.length s >= 3 && String.sub s 0 3 = "Req" then Some s
+               else None
+             else None)
+      |> List.sort_uniq String.compare
+    in
+    Printf.printf "%-14s load/store/RMW/eviction emit: %s\n" name
+      (String.concat ", " reqs)
+  in
+  observe ~name:"GPU coherence" ~config:Config.smg ~gpu_side:true;
+  observe ~name:"DeNovo" ~config:Config.sdd ~gpu_side:true;
+  observe ~name:"MESI" ~config:Config.smg ~gpu_side:false
+
+(* ----- Tables III & IV: implemented transition logic ----------------------- *)
+
+let table3 () =
+  section "Table III: Spandex LLC transitions (as implemented in Spandex.Llc)";
+  List.iter
+    (fun (req, next, fwd) ->
+      Printf.printf "%-13s next=%-3s fwd_to_owner=%s\n" req next fwd)
+    [
+      ("ReqV", "-", "ReqV");
+      ("ReqS (1)", "S", "ReqS (blocking write-back)");
+      ("ReqS (3)", "O", "ReqO+data");
+      ("ReqWT", "V", "ReqO (revoke, no data)");
+      ("ReqO", "O", "ReqO");
+      ("ReqWT+data", "V", "RvkO (blocking write-back)");
+      ("ReqO+data", "O", "ReqO+data");
+      ("ReqWB(owner)", "V", "-");
+      ("ReqWB(other)", "-", "- (acknowledged, dropped)");
+    ];
+  Printf.printf "(asserted by unit tests in test/test_llc.ml)\n"
+
+let table4 () =
+  section "Table IV: device transitions on external requests (as implemented)";
+  List.iter
+    (fun (req, exp, next, rsp) ->
+      Printf.printf "%-10s expected=%-2s next=%-2s response=%s\n" req exp next
+        rsp)
+    [
+      ("ReqV", "O", "O", "RspV to requestor (Nack if no longer owner)");
+      ("ReqO", "O", "I", "RspO to requestor");
+      ("ReqO+data", "O", "I", "RspO+data to requestor");
+      ("RvkO", "O", "I", "RspRvkO to LLC");
+      ("Inv", "S", "I", "Ack to LLC (silently acked in other states)");
+      ("ReqS", "O", "S", "RspS to requestor + RspRvkO to LLC");
+    ];
+  Printf.printf "(asserted by unit tests in test/test_devices.ml)\n"
+
+(* ----- Tables V-VII --------------------------------------------------------- *)
+
+let table5 () =
+  section "Table V: simulated cache configurations";
+  List.iter (fun c -> Printf.printf "%s\n" (Config.describe c)) Config.all
+
+let table6 () =
+  section "Table VI: system parameters (scaled; DESIGN.md par.5)";
+  Format.printf "%a@." Params.pp params
+
+let table7 () =
+  section "Table VII: collaborative application characterization";
+  Printf.printf "%-6s %-6s %-12s %-13s %s\n" "App" "Part." "Sync" "Sharing"
+    "Locality";
+  List.iter
+    (fun (n, p, s, sh, l) ->
+      Printf.printf "%-6s %-6s %-12s %-13s %s\n" n p s sh l)
+    [
+      ("BC", "data", "fine-grain", "flat", "atomics: high");
+      ("PR", "data", "coarse-grain", "flat", "data: moderate");
+      ("HSTI", "data", "fine-grain", "flat", "data: low, atomics: high");
+      ("TRNS", "data", "fine-grain", "flat", "low");
+      ("RSCT", "task", "fine-grain", "hierarchical", "data: high, atomics: low");
+      ("TQH", "task", "fine-grain", "hierarchical", "data: low, atomics: high");
+    ]
+
+(* ----- Figures 2 and 3 ------------------------------------------------------- *)
+
+let run_row name build =
+  let wl = build ?scale:(Some 1.0) geometry in
+  let cells =
+    List.map
+      (fun config ->
+        let result = Run.simulate ~params ~config wl in
+        Run.assert_clean result;
+        { Report.config = config.Config.name; result })
+      Config.all
+  in
+  { Report.workload = name; cells }
+
+let print_row (row : Report.row) =
+  let times = Report.normalized row ~metric:Report.cycles in
+  let traffics = Report.normalized row ~metric:Report.flits in
+  Printf.printf "%-12s time    " row.Report.workload;
+  List.iter (fun (c, v) -> Printf.printf "%s=%.2f " c v) times;
+  Printf.printf "\n%-12s traffic " "";
+  List.iter (fun (c, v) -> Printf.printf "%s=%.2f " c v) traffics;
+  Printf.printf "\n";
+  List.iter
+    (fun (cell : Report.cell) ->
+      Printf.printf "  %s flits by category: " cell.Report.config;
+      List.iter
+        (fun (cat, share) ->
+          if share > 0.005 then
+            Printf.printf "%s=%.0f%% " (Msg.category_name cat)
+              (100.0 *. share))
+        (Report.traffic_share cell.Report.result);
+      Printf.printf "(total %d)\n" cell.Report.result.Run.total_flits)
+    row.Report.cells
+
+let figure benches title =
+  section title;
+  List.map
+    (fun (name, build) ->
+      let row = run_row name build in
+      print_row row;
+      row)
+    benches
+
+let summary ~label ~paper rows =
+  section (Printf.sprintf "%s (paper: %s)" label paper);
+  let h = Report.headline rows in
+  Printf.printf
+    "execution time reduction: avg %.0f%% (max %.0f%%)\n\
+     network traffic reduction: avg %.0f%% (max %.0f%%)\n"
+    (100.0 *. h.Report.time_avg)
+    (100.0 *. h.Report.time_max)
+    (100.0 *. h.Report.traffic_avg)
+    (100.0 *. h.Report.traffic_max);
+  List.iter
+    (fun (row : Report.row) ->
+      let is c name = String.length name > 0 && name.[0] = c in
+      let hb = Report.best row ~among:(is 'H') ~metric:Report.cycles in
+      let sb = Report.best row ~among:(is 'S') ~metric:Report.cycles in
+      Printf.printf "  %-12s Hbest=%s (%d cyc, %d flits)  Sbest=%s (%d cyc, %d flits)\n"
+        row.Report.workload hb.Report.config hb.Report.result.Run.cycles
+        hb.Report.result.Run.total_flits sb.Report.config
+        sb.Report.result.Run.cycles sb.Report.result.Run.total_flits)
+    rows
+
+(* ----- III-F: storage-overhead accounting ------------------------------------- *)
+
+(* The paper argues Spandex's word-granularity ownership costs one state
+   bit per word (owner IDs live in the data field of owned words) versus a
+   line-granularity MESI directory's sharer vector, and that a state-only
+   Spandex LLC cannot match a state-only directory.  Compute both for the
+   simulated geometry. *)
+let overheads () =
+  section "III-F: coherence-state storage per LLC line (this geometry)";
+  let devices = params.Params.cpu_cores + params.Params.gpu_cus in
+  let words = Spandex_proto.Addr.words_per_line in
+  let spandex_bits =
+    (* 2 line-state bits + 1 owned bit per word; owner IDs reuse the data
+       field of owned words. *)
+    2 + words
+  in
+  let mesi_dir_bits =
+    (* 2-3 state bits + a full sharer bit-vector. *)
+    3 + devices
+  in
+  let owner_id_bits = int_of_float (ceil (log (float_of_int devices) /. log 2.0)) in
+  let state_only_spandex = 2 + (words * (1 + owner_id_bits)) in
+  Printf.printf
+    "  devices=%d, words/line=%d\n\
+    \  Spandex LLC (inclusive, IDs in data field): %d bits/line\n\
+    \  MESI directory (line granularity):          %d bits/line\n\
+    \  state-only Spandex (IDs in state):          %d bits/line  (cannot match\n\
+    \    a state-only directory, as III-F notes)\n"
+    devices words spandex_bits mesi_dir_bits state_only_spandex;
+  Printf.printf
+    "  request vocabulary: %d request kinds -> %d message-id bits (MESI-style\n\
+    \  protocols need >= 3; at most one extra bit, as III-F claims)\n"
+    7
+    (int_of_float (ceil (log 16.0 /. log 2.0)))
+
+(* ----- Ablations of the design choices DESIGN.md calls out -------------------- *)
+
+let run_with ~params ~config wl =
+  let r = Run.simulate ~params ~config wl in
+  Run.assert_clean r;
+  r
+
+let ablation_regions () =
+  section "Ablation: DeNovo regions (paper II-C selective self-invalidation)";
+  Printf.printf
+    "region-selective acquires preserve read-only data in self-invalidating\n\
+     caches; writer-invalidated (MESI) configurations are unaffected.\n";
+  List.iter
+    (fun config ->
+      let with_r =
+        run_with ~params ~config
+          (Microbench.region_reuse ~scale:1.0 ~use_regions:true geometry)
+      in
+      let without =
+        run_with ~params ~config
+          (Microbench.region_reuse ~scale:1.0 ~use_regions:false geometry)
+      in
+      Printf.printf
+        "  %-4s full-flush: %7d cyc %8d flits | regions: %7d cyc %8d flits \
+         (%.0f%% time, %.0f%% traffic)\n"
+        config.Config.name without.Run.cycles without.Run.total_flits
+        with_r.Run.cycles with_r.Run.total_flits
+        (100.0 *. (1.0 -. float_of_int with_r.Run.cycles /. float_of_int without.Run.cycles))
+        (100.0
+        *. (1.0 -. float_of_int with_r.Run.total_flits /. float_of_int without.Run.total_flits)))
+    [ Config.smg; Config.sdg; Config.sdd ]
+
+let ablation_reqs_policy () =
+  section "Ablation: ReqS handling options (1)/(2)/(3) (paper III-B, Table III)";
+  Printf.printf
+    "ReuseS on SMD, where MESI CPU reads hit the flat Spandex LLC:\n";
+  let wl = Microbench.reuses ~scale:1.0 geometry in
+  List.iter
+    (fun (name, policy) ->
+      let p = { params with Params.reqs_policy = policy } in
+      let r = run_with ~params:p ~config:Config.smd wl in
+      Printf.printf "  %-28s %7d cyc %8d flits\n" name r.Run.cycles
+        r.Run.total_flits)
+    [
+      ("auto (paper's evaluation)", Spandex.Llc.Reqs_auto);
+      ("always option 1 (Shared)", Spandex.Llc.Reqs_shared);
+      ("always option 2 (Valid)", Spandex.Llc.Reqs_valid);
+      ("always option 3 (Owned)", Spandex.Llc.Reqs_owned);
+    ]
+
+let ablation_llc_banks () =
+  section "Ablation: LLC bank-level parallelism (Table VI NUCA banks)";
+  Printf.printf "indirection on SMG: all 40 cores hammer the flat LLC.\n";
+  let wl = Microbench.indirection ~scale:1.0 geometry in
+  List.iter
+    (fun banks ->
+      let p = { params with Params.llc_banks = banks } in
+      let r = run_with ~params:p ~config:Config.smg wl in
+      Printf.printf "  %2d bank(s): %8d cyc %9d flits\n" banks r.Run.cycles
+        r.Run.total_flits)
+    [ 1; 2; 4; 8 ]
+
+let ablation_coalescing () =
+  section "Ablation: store-buffer coalescing window (paper II-B coalescing)";
+  Printf.printf "reuseo on SMG: streaming write-throughs from the GPU.\n";
+  let wl = Microbench.reuseo ~scale:1.0 geometry in
+  List.iter
+    (fun window ->
+      let p = { params with Params.coalesce_window = window } in
+      let r = run_with ~params:p ~config:Config.smg wl in
+      Printf.printf "  window %2d: %8d cyc %9d flits\n" window r.Run.cycles
+        r.Run.total_flits)
+    [ 1; 6; 16 ]
+
+let extension_adaptive () =
+  section "Extension: adaptive write policy (paper V's dynamically-adapting caches)";
+  Printf.printf
+    "SDA = SDD with a per-line reuse predictor choosing ReqO vs ReqWT per\n\
+     store; the goal is to track the better static policy per workload.\n";
+  List.iter
+    (fun wname ->
+      let wl = (Registry.find wname).Registry.build ~scale:1.0 geometry in
+      Printf.printf "  %-12s" wname;
+      List.iter
+        (fun config ->
+          let r = run_with ~params ~config wl in
+          Printf.printf " %s: %7d cyc %8d flits |" config.Config.name
+            r.Run.cycles r.Run.total_flits)
+        [ Config.sdg; Config.sdd; Config.sda ];
+      Printf.printf "\n")
+    [ "reuseo"; "bc"; "indirection" ]
+
+let ablation_hierarchy_distance () =
+  section "Ablation: hierarchy distance (cross-cluster hop latency)";
+  Printf.printf
+    "indirection, HMG vs SMG: the hierarchical penalty grows with the\n\
+     CPU<->GPU distance its indirection must round-trip.\n";
+  let wl = Microbench.indirection ~scale:0.5 geometry in
+  List.iter
+    (fun cross ->
+      let p = { params with Params.cross_net_latency = cross } in
+      let h = run_with ~params:p ~config:Config.hmg wl in
+      let s = run_with ~params:p ~config:Config.smg wl in
+      Printf.printf
+        "  cross=%2d: HMG %7d cyc | SMG %7d cyc | Spandex %.0f%% faster\n"
+        cross h.Run.cycles s.Run.cycles
+        (100.0 *. (1.0 -. float_of_int s.Run.cycles /. float_of_int h.Run.cycles)))
+    [ 8; 16; 32; 64 ]
+
+let ablations () =
+  ablation_regions ();
+  ablation_hierarchy_distance ();
+  ablation_reqs_policy ();
+  ablation_llc_banks ();
+  ablation_coalescing ();
+  extension_adaptive ()
+
+(* ----- Bechamel microbenchmarks of protocol primitives ----------------------- *)
+
+let bechamel_suite () =
+  section "Bechamel: protocol-primitive costs (Spandex overheads, cf. III-F)";
+  let open Bechamel in
+  let tests =
+    [
+      Test.make ~name:"mask_fold_owner_words"
+        (Staged.stage (fun () ->
+             Spandex_util.Mask.fold 0b1010_1100_0011_0101 ~init:0
+               ~f:(fun acc w -> acc + w)));
+      Test.make ~name:"tu_absorb_two_partial_rsps"
+        (Staged.stage (fun () ->
+             let t = Spandex.Tu.create ~demand:Spandex_proto.Addr.full_mask in
+             let mk mask =
+               Msg.make ~txn:1 ~kind:(Msg.Rsp Msg.RspV) ~line:0 ~mask
+                 ~payload:
+                   (Msg.Data (Array.make (Spandex_util.Mask.count mask) 7))
+                 ~src:0 ~dst:1 ()
+             in
+             ignore (Spandex.Tu.absorb t (mk 0x00FF));
+             ignore (Spandex.Tu.absorb t (mk 0xFF00))));
+      Test.make ~name:"cache_frame_fill_and_probe"
+        (Staged.stage (fun () ->
+             let f = Spandex_mem.Cache_frame.create ~sets:16 ~ways:4 in
+             for i = 0 to 63 do
+               ignore
+                 (Spandex_mem.Cache_frame.insert f ~line:i i
+                    ~can_evict:(fun ~line:_ _ -> true))
+             done;
+             ignore (Spandex_mem.Cache_frame.find f ~line:42)));
+      Test.make ~name:"one_phase_system_run"
+        (Staged.stage (fun () ->
+             let wl =
+               Spandex_workloads.Stress.generate
+                 {
+                   Spandex_workloads.Stress.default_spec with
+                   phases = 1;
+                   words = 64;
+                 }
+                 { Microbench.cpus = 2; cus = 1; warps = 2 }
+             in
+             let p =
+               {
+                 Params.small with
+                 Params.cpu_cores = 2;
+                 gpu_cus = 1;
+                 warps_per_cu = 2;
+               }
+             in
+             ignore (Run.simulate ~params:p ~config:Config.sdd wl)));
+    ]
+  in
+  let clock = Toolkit.Instance.monotonic_clock in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all
+          (Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) ~kde:None ())
+          [ clock ] test
+      in
+      Hashtbl.iter
+        (fun name raw ->
+          match Analyze.OLS.estimates (Analyze.one ols clock raw) with
+          | Some [ est ] -> Printf.printf "  %-30s %14.1f ns/run\n" name est
+          | Some _ | None -> Printf.printf "  %-30s (no estimate)\n" name)
+        results)
+    tests
+
+let () =
+  Printf.printf "Spandex reproduction harness (Alsop, Sinclair, Adve - ISCA 2018)\n";
+  table1 ();
+  table2 ();
+  table3 ();
+  table4 ();
+  table5 ();
+  table6 ();
+  table7 ();
+  let micro_rows =
+    figure Microbench.all "Figure 2: synthetic microbenchmarks (normalized to HMG)"
+  in
+  let app_rows =
+    figure Apps.all "Figure 3: collaborative applications (normalized to HMG)"
+  in
+  summary micro_rows ~label:"Microbenchmark headline"
+    ~paper:"Sbest vs Hbest avg 18% time / 40% traffic";
+  summary app_rows ~label:"Application headline"
+    ~paper:"Sbest vs Hbest avg 16% time / 27% traffic";
+  overheads ();
+  ablations ();
+  bechamel_suite ();
+  Printf.printf "\ndone.\n"

@@ -1,0 +1,238 @@
+(* Command-line driver: run any workload on any cache configuration and
+   inspect results.
+
+     spandex_cli list
+     spandex_cli run -w bc -c SMD
+     spandex_cli run -w indirection --all-configs --scale 0.5
+     spandex_cli sweep            # every workload x every configuration
+     spandex_cli run -w stress -c SDD --stats --seed 7 *)
+
+open Cmdliner
+module Config = Spandex_system.Config
+module Params = Spandex_system.Params
+module Run = Spandex_system.Run
+module Report = Spandex_system.Report
+module Registry = Spandex_workloads.Registry
+
+let params_of ~cpus ~cus ~warps =
+  let base = Params.bench in
+  {
+    base with
+    Params.cpu_cores = Option.value ~default:base.Params.cpu_cores cpus;
+    gpu_cus = Option.value ~default:base.Params.gpu_cus cus;
+    warps_per_cu = Option.value ~default:base.Params.warps_per_cu warps;
+  }
+
+let run_one ~params ~config ~scale ~stats entry =
+  let geom = Registry.geometry_of_params params in
+  let wl = entry.Registry.build ~scale geom in
+  let t0 = Unix.gettimeofday () in
+  let r = Run.simulate ~params ~config wl in
+  Run.assert_clean r;
+  Printf.printf
+    "%-12s %-4s cycles=%-9d flits=%-9d msgs=%-8d checks=%-7d wall=%.2fs\n"
+    entry.Registry.name config.Config.name r.Run.cycles r.Run.total_flits
+    r.Run.messages r.Run.checks
+    (Unix.gettimeofday () -. t0);
+  Printf.printf "  traffic: %s\n"
+    (String.concat " "
+       (List.map
+          (fun (cat, n) ->
+            Printf.sprintf "%s=%d" (Spandex_proto.Msg.category_name cat) n)
+          r.Run.traffic));
+  if stats then
+    List.iter
+      (fun (k, v) -> Printf.printf "  %-40s %d\n" k v)
+      (Spandex_util.Stats.to_assoc r.Run.stats)
+
+(* --- arguments ------------------------------------------------------------- *)
+
+let workload_arg =
+  let doc =
+    Printf.sprintf "Workload to run; one of: %s."
+      (String.concat ", " Registry.names)
+  in
+  Arg.(required & opt (some string) None & info [ "w"; "workload" ] ~doc)
+
+let config_arg =
+  let doc = "Cache configuration (HMG, HMD, SMG, SMD, SDG or SDD)." in
+  Arg.(value & opt (some string) None & info [ "c"; "config" ] ~doc)
+
+let all_configs_arg =
+  Arg.(value & flag & info [ "all-configs" ] ~doc:"Run every configuration.")
+
+let scale_arg =
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Workload size factor.")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Dump per-component counters.")
+
+let cpus_arg =
+  Arg.(value & opt (some int) None & info [ "cpus" ] ~doc:"CPU core count.")
+
+let cus_arg =
+  Arg.(value & opt (some int) None & info [ "cus" ] ~doc:"GPU CU count.")
+
+let warps_arg =
+  Arg.(value & opt (some int) None & info [ "warps" ] ~doc:"Warps per CU.")
+
+(* --- commands -------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "Workloads:\n";
+    List.iter
+      (fun e ->
+        Printf.printf "  %-12s (%s)\n" e.Registry.name
+          (match e.Registry.kind with
+          | `Micro -> "synthetic microbenchmark, paper IV-B1"
+          | `App -> "collaborative application, paper IV-B2"
+          | `Stress -> "randomized DRF litmus generator"))
+      Registry.entries;
+    Printf.printf "Configurations:\n";
+    List.iter (fun c -> Printf.printf "  %s\n" (Config.describe c)) Config.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List workloads and configurations")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let run workload config all_configs scale stats cpus cus warps =
+    let entry =
+      try Registry.find workload
+      with Not_found ->
+        Printf.eprintf "unknown workload %s (try: %s)\n" workload
+          (String.concat ", " Registry.names);
+        exit 1
+    in
+    let params = params_of ~cpus ~cus ~warps in
+    let configs =
+      if all_configs then Config.all
+      else
+        match config with
+        | Some name -> (
+          try [ Config.by_name name ]
+          with Not_found ->
+            Printf.eprintf "unknown configuration %s\n" name;
+            exit 1)
+        | None -> [ Config.smd ]
+    in
+    List.iter (fun config -> run_one ~params ~config ~scale ~stats entry) configs
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one workload")
+    Term.(
+      const run $ workload_arg $ config_arg $ all_configs_arg $ scale_arg
+      $ stats_arg $ cpus_arg $ cus_arg $ warps_arg)
+
+let sweep_cmd =
+  let run scale =
+    let params = Params.bench in
+    let geom = Registry.geometry_of_params params in
+    let rows =
+      List.filter_map
+        (fun e ->
+          if e.Registry.kind = `Stress then None
+          else begin
+            let wl = e.Registry.build ~scale geom in
+            let cells =
+              List.map
+                (fun config ->
+                  let result = Run.simulate ~params ~config wl in
+                  Run.assert_clean result;
+                  { Report.config = config.Config.name; result })
+                Config.all
+            in
+            let row = { Report.workload = e.Registry.name; cells } in
+            Printf.printf "%-12s " e.Registry.name;
+            List.iter
+              (fun (c, v) -> Printf.printf "%s=%.2f " c v)
+              (Report.normalized row ~metric:Report.cycles);
+            Printf.printf "\n";
+            Some row
+          end)
+        Registry.entries
+    in
+    let h = Report.headline rows in
+    Printf.printf
+      "Sbest vs Hbest: time avg %.0f%% (max %.0f%%), traffic avg %.0f%% (max %.0f%%)\n"
+      (100.0 *. h.Report.time_avg)
+      (100.0 *. h.Report.time_max)
+      (100.0 *. h.Report.traffic_avg)
+      (100.0 *. h.Report.traffic_max)
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Run every workload on every configuration")
+    Term.(const run $ scale_arg)
+
+let soak_cmd =
+  let run seeds jobs_geometry =
+    let params, tiny, geom =
+      match jobs_geometry with
+      | _ ->
+        ( { Params.bench with Params.cpu_cores = 2; gpu_cus = 2; warps_per_cu = 2 },
+          {
+            Params.small with
+            Params.cpu_cores = 2;
+            gpu_cus = 2;
+            warps_per_cu = 2;
+            mem_latency = 15;
+          },
+          { Spandex_workloads.Microbench.cpus = 2; cus = 2; warps = 2 } )
+    in
+    let fails = ref 0 and runs = ref 0 in
+    for seed = 1 to seeds do
+      List.iter
+        (fun (p, spec) ->
+          let wl = Spandex_workloads.Stress.generate spec geom in
+          List.iter
+            (fun config ->
+              incr runs;
+              match Run.simulate ~params:p ~config wl with
+              | r -> (
+                try Run.assert_clean r
+                with Failure m ->
+                  incr fails;
+                  Printf.printf "FAIL %s seed=%d: %s\n%!" config.Config.name
+                    seed m)
+              | exception e ->
+                incr fails;
+                Printf.printf "CRASH %s seed=%d: %s\n%!" config.Config.name
+                  seed (Printexc.to_string e))
+            (Config.all @ [ Config.sda ]))
+        [
+          ( params,
+            {
+              Spandex_workloads.Stress.default_spec with
+              Spandex_workloads.Stress.seed;
+              phases = 6;
+              hot_fraction = 0.6;
+            } );
+          ( tiny,
+            {
+              Spandex_workloads.Stress.default_spec with
+              Spandex_workloads.Stress.seed;
+              phases = 4;
+              words = 1536;
+            } );
+        ]
+    done;
+    Printf.printf "soak: %d runs, %d failures\n" !runs !fails;
+    if !fails > 0 then exit 1
+  in
+  let seeds_arg =
+    Arg.(value & opt int 25 & info [ "seeds" ] ~doc:"Random seeds to soak.")
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Randomized SC-for-DRF litmus soak: every seed builds a fresh \
+          data-race-free program whose checked loads verify the protocols \
+          on all configurations (contended and capacity-pressure variants)")
+    Term.(const run $ seeds_arg $ const ())
+
+let () =
+  let info =
+    Cmd.info "spandex_cli" ~version:"1.0"
+      ~doc:"Spandex heterogeneous-coherence simulator (ISCA 2018 reproduction)"
+  in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; sweep_cmd; soak_cmd ]))

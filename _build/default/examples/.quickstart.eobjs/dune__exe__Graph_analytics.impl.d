@@ -1,0 +1,1 @@
+examples/graph_analytics.ml: List Printf Spandex_system Spandex_workloads String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Printf Spandex_device Spandex_proto Spandex_system

@@ -1,0 +1,1 @@
+lib/core/backing.ml: Spandex_mem Spandex_proto Spandex_sim

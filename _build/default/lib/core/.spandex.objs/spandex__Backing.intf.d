@@ -1,0 +1,1 @@
+lib/core/backing.mli: Spandex_mem Spandex_sim

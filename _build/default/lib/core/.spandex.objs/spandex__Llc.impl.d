@@ -1,0 +1,1 @@
+lib/core/llc.ml: Array Backing Format List Option Printf Spandex_mem Spandex_net Spandex_proto Spandex_sim Spandex_util String Sys

@@ -1,0 +1,1 @@
+lib/core/llc.mli: Backing Spandex_net Spandex_proto Spandex_sim Spandex_util

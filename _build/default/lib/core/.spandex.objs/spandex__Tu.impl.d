@@ -1,0 +1,1 @@
+lib/core/tu.ml: Array Spandex_proto Spandex_util

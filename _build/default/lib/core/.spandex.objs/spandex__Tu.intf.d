@@ -1,0 +1,1 @@
+lib/core/tu.mli: Spandex_proto Spandex_util

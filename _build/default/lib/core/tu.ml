@@ -1,0 +1,50 @@
+module Mask = Spandex_util.Mask
+module Msg = Spandex_proto.Msg
+module Addr = Spandex_proto.Addr
+module Linedata = Spandex_proto.Linedata
+
+type result = {
+  data_mask : Mask.t;
+  values : int array;
+  acked : Mask.t;
+  nacked : Mask.t;
+}
+
+type t = { demand : Mask.t; mutable acc : result; mutable done_ : bool }
+
+let create ~demand =
+  {
+    demand;
+    acc =
+      {
+        data_mask = Mask.empty;
+        values = Array.make Addr.words_per_line 0;
+        acked = Mask.empty;
+        nacked = Mask.empty;
+      };
+    done_ = false;
+  }
+
+let covered acc = Mask.union acc.data_mask (Mask.union acc.acked acc.nacked)
+
+let absorb t (msg : Msg.t) =
+  assert (not t.done_);
+  let acc = t.acc in
+  (match msg.Msg.kind with
+  | Msg.Rsp Msg.Nack ->
+    t.acc <- { acc with nacked = Mask.union acc.nacked msg.Msg.mask }
+  | Msg.Rsp _ -> (
+    match msg.Msg.payload with
+    | Msg.Data values ->
+      Linedata.unpack_into ~mask:msg.Msg.mask ~values ~full:acc.values;
+      t.acc <- { acc with data_mask = Mask.union acc.data_mask msg.Msg.mask }
+    | Msg.No_data ->
+      t.acc <- { acc with acked = Mask.union acc.acked msg.Msg.mask })
+  | Msg.Req _ | Msg.Probe _ -> invalid_arg "Tu.absorb: not a response");
+  if Mask.subset t.demand (covered t.acc) then begin
+    t.done_ <- true;
+    Some t.acc
+  end
+  else None
+
+let peek t = t.acc

@@ -1,0 +1,1 @@
+lib/denovo/denovo_l1.ml: Array Format Hashtbl List Option Printf Spandex Spandex_device Spandex_mem Spandex_net Spandex_proto Spandex_sim Spandex_util

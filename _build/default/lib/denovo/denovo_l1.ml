@@ -1,0 +1,882 @@
+module Mask = Spandex_util.Mask
+module Stats = Spandex_util.Stats
+module Engine = Spandex_sim.Engine
+module Msg = Spandex_proto.Msg
+module Addr = Spandex_proto.Addr
+module Amo = Spandex_proto.Amo
+module State = Spandex_proto.State
+module Linedata = Spandex_proto.Linedata
+module Network = Spandex_net.Network
+module Cache_frame = Spandex_mem.Cache_frame
+module Mshr = Spandex_mem.Mshr
+module Store_buffer = Spandex_mem.Store_buffer
+module Port = Spandex_device.Port
+module Tu = Spandex.Tu
+
+type write_policy = Write_own | Write_adaptive
+
+type config = {
+  id : Msg.device_id;
+  llc_id : Msg.device_id;
+  llc_banks : int;
+  sets : int;
+  ways : int;
+  mshrs : int;
+  sb_capacity : int;
+  hit_latency : int;
+  coalesce_window : int;
+  max_reqv_retries : int;
+  atomics_at_llc : bool;
+  region_of : int -> int;
+      (* software-provided region classification by line (paper II-C:
+         DeNovo regions); [fun _ -> 0] when the program has no regions. *)
+  write_policy : write_policy;
+}
+
+type line = {
+  data : int array;
+  mutable valid : Mask.t;  (* V words: self-invalidated at acquires. *)
+  mutable owned : Mask.t;  (* O words: survive acquires. *)
+}
+
+type read_miss = {
+  r_line : int;
+  r_collector : Tu.t;
+  mutable r_waiters : (int * (int -> unit)) list;
+  r_epoch : int;
+  mutable r_retries : int;
+  r_own_mask : Mask.t;
+      (* words requested with ReqO+data after Nack conversion (III-C): the
+         grant carries ownership, which must be installed as Owned — the
+         LLC registers this cache as their owner. *)
+}
+
+(* A drained store-buffer entry waiting for its ReqO grant.  The values are
+   the truth for these words from the moment the LLC serializes the grant,
+   so external requests are answered from here ("up-to-date data is
+   available: the pending request is a ReqO", §III-C case 1). *)
+type own_req = {
+  o_line : int;
+  o_mask : Mask.t;
+  o_values : int array;
+  o_collector : Tu.t;
+  mutable o_stolen : Mask.t;  (* downgraded away before local commit. *)
+  o_through : bool;
+      (* issued as a write-through (adaptive policy): completion leaves the
+         words Valid, not Owned, and externals are never forwarded here. *)
+}
+
+(* A pending ReqO+data for a local RMW: externals that need the word's data
+   must wait for it to arrive (§III-C case 1). *)
+type rmw_req = {
+  w_line : int;
+  w_word : int;
+  w_amo : Amo.t;
+  w_collector : Tu.t;
+  mutable w_stolen : bool;  (* a data-less fwd ReqO took the word. *)
+  mutable w_queued : Msg.t list;  (* delayed externals, FIFO. *)
+  w_k : int -> unit;
+}
+
+type atomic_req = { at_k : int -> unit }
+
+(* A replaced-Owned write-back: data retained until RspWB (§III-A). *)
+type wb_req = { b_line : int; b_mask : Mask.t; b_values : int array }
+
+type outstanding =
+  | Read of read_miss
+  | Own of own_req
+  | Rmw of rmw_req
+  | Atomic of atomic_req
+
+type t = {
+  engine : Engine.t;
+  net : Network.t;
+  cfg : config;
+  frame : line Cache_frame.t;
+  sb : Store_buffer.t;
+  outstanding : outstanding Mshr.t;
+  sb_ages : (int, int) Hashtbl.t;
+  (* Write-backs in flight, keyed by transaction id; outside the MSHR file
+     because the record must exist from the instant the words leave the
+     frame (cf. Mesi_l1.wb_records). *)
+  wb_records : (int, wb_req) Hashtbl.t;
+  (* Adaptive write policy: per-line saturating reuse counters and the
+     cycle of the last write-through, whose quick re-write is the evidence
+     that ownership would have paid off. *)
+  reuse : (int, int) Hashtbl.t;
+  last_wt : (int, int) Hashtbl.t;
+  stats : Stats.t;
+  mutable epoch : int;
+  mutable flushing : bool;
+  mutable drain_armed : bool;
+  mutable release_waiters : (unit -> unit) list;
+  mutable stalled_stores : (unit -> unit) list;
+}
+
+let send t msg =
+  Engine.schedule t.engine ~delay:t.cfg.hit_latency (fun () ->
+      Network.send t.net msg)
+
+let request t ~txn ~kind ~line ~mask ?demand ?payload ?amo () =
+  send t
+    (Msg.make ~txn ~kind:(Msg.Req kind) ~line ~mask ?demand ?payload
+       ~src:t.cfg.id ~dst:(t.cfg.llc_id + (line mod t.cfg.llc_banks)) ?amo ())
+
+let reply t (msg : Msg.t) ~kind ~dst ~mask ?payload () =
+  if not (Mask.is_empty mask) then
+    send t
+      (Msg.make ~txn:msg.Msg.txn ~kind:(Msg.Rsp kind) ~line:msg.Msg.line ~mask
+         ?payload ~src:t.cfg.id ~dst ())
+
+(* ----- frame management ----------------------------------------------------- *)
+
+let send_wb t ~line ~mask ~values =
+  let txn = Spandex_proto.Txn.fresh () in
+  Hashtbl.replace t.wb_records txn { b_line = line; b_mask = mask; b_values = values };
+  Stats.incr t.stats "wb_issued";
+  request t ~txn ~kind:Msg.ReqWB ~line ~mask
+    ~payload:(Msg.Data (Linedata.pack ~mask ~full:values))
+    ()
+
+let get_or_alloc t line_id =
+  match Cache_frame.find t.frame ~line:line_id with
+  | Some l -> l
+  | None -> (
+    let fresh =
+      {
+        data = Array.make Addr.words_per_line 0;
+        valid = Mask.empty;
+        owned = Mask.empty;
+      }
+    in
+    match
+      Cache_frame.insert t.frame ~line:line_id fresh ~can_evict:(fun ~line:_ _ ->
+          true)
+    with
+    | Cache_frame.Inserted -> fresh
+    | Cache_frame.Evicted (vline, vmeta) ->
+      Stats.incr t.stats "evictions";
+      if not (Mask.is_empty vmeta.owned) then
+        send_wb t ~line:vline ~mask:vmeta.owned
+          ~values:(Array.copy vmeta.data);
+      fresh
+    | Cache_frame.No_room -> assert false)
+
+(* ----- write-through of the store buffer as ownership requests -------------- *)
+
+let entry_ready t line =
+  if t.flushing || Store_buffer.count t.sb * 2 >= t.cfg.sb_capacity then true
+  else
+    let age =
+      Engine.now t.engine
+      - Option.value ~default:0 (Hashtbl.find_opt t.sb_ages line)
+    in
+    age >= t.cfg.coalesce_window
+
+let writes_pending t =
+  let n = ref 0 in
+  Mshr.iter t.outstanding ~f:(fun ~txn:_ -> function
+    | Own _ | Atomic _ -> incr n
+    | Read _ | Rmw _ -> ());
+  !n
+
+let check_release t =
+  if t.flushing && Store_buffer.is_empty t.sb && writes_pending t = 0 then begin
+    t.flushing <- false;
+    let ws = t.release_waiters in
+    t.release_waiters <- [];
+    List.iter (fun k -> k ()) ws
+  end
+
+let rec arm_drain t ~delay =
+  if not t.drain_armed then begin
+    t.drain_armed <- true;
+    Engine.schedule t.engine ~delay (fun () ->
+        t.drain_armed <- false;
+        drain t)
+  end
+
+(* The adaptive policy (extension): own lines with observed write reuse,
+   write the rest through.  Reuse evidence: a store-buffer entry forms for
+   a line that was written through recently, or a store hits an Owned
+   word. *)
+and reuse_count t line = Option.value ~default:0 (Hashtbl.find_opt t.reuse line)
+
+and bump_reuse t line =
+  Hashtbl.replace t.reuse line (min 3 (reuse_count t line + 1))
+
+and decay_reuse t line =
+  Hashtbl.replace t.reuse line (max 0 (reuse_count t line - 1))
+
+and choose_through t line =
+  match t.cfg.write_policy with
+  | Write_own -> false
+  | Write_adaptive ->
+    (match Hashtbl.find_opt t.last_wt line with
+    | Some cycle when Engine.now t.engine - cycle < 8 * t.cfg.coalesce_window ->
+      bump_reuse t line
+    | _ -> ());
+    reuse_count t line < 2
+
+and drain t =
+  match Store_buffer.peek_oldest t.sb with
+  | None -> check_release t
+  | Some e ->
+    if not (entry_ready t e.Store_buffer.line) then
+      arm_drain t ~delay:(max 1 t.cfg.coalesce_window)
+    else if Mshr.is_full t.outstanding then ()
+    else begin
+      let e = Option.get (Store_buffer.take_oldest t.sb) in
+      Hashtbl.remove t.sb_ages e.Store_buffer.line;
+      let through = choose_through t e.Store_buffer.line in
+      let record =
+        {
+          o_line = e.Store_buffer.line;
+          o_mask = e.Store_buffer.mask;
+          o_values = Array.copy e.Store_buffer.values;
+          o_collector = Tu.create ~demand:e.Store_buffer.mask;
+          o_stolen = Mask.empty;
+          o_through = through;
+        }
+      in
+      (match Mshr.alloc t.outstanding (Own record) with
+      | Some txn ->
+        if through then begin
+          Stats.incr t.stats "wt_chosen";
+          Hashtbl.replace t.last_wt e.Store_buffer.line (Engine.now t.engine);
+          request t ~txn ~kind:Msg.ReqWT ~line:e.Store_buffer.line
+            ~mask:e.Store_buffer.mask
+            ~payload:
+              (Msg.Data
+                 (Linedata.pack ~mask:e.Store_buffer.mask
+                    ~full:e.Store_buffer.values))
+            ()
+        end
+        else begin
+          Stats.incr t.stats "reqo_issued";
+          Stats.add t.stats "reqo_words" (Mask.count e.Store_buffer.mask);
+          (* Ownership without data: every requested word is overwritten. *)
+          request t ~txn ~kind:Msg.ReqO ~line:e.Store_buffer.line
+            ~mask:e.Store_buffer.mask ()
+        end
+      | None -> assert false);
+      let stalled = t.stalled_stores in
+      t.stalled_stores <- [];
+      List.iter (fun retry -> retry ()) stalled;
+      drain t
+    end
+
+let commit_own t (o : own_req) =
+  let commit = Mask.diff o.o_mask o.o_stolen in
+  if not (Mask.is_empty commit) then begin
+    let l = get_or_alloc t o.o_line in
+    Mask.iter commit ~f:(fun w -> l.data.(w) <- o.o_values.(w));
+    if o.o_through then
+      (* Write-through completion: the LLC holds the data; our copy is a
+         Valid replica. *)
+      l.valid <- Mask.union l.valid commit
+    else begin
+      l.owned <- Mask.union l.owned commit;
+      l.valid <- Mask.diff l.valid commit
+    end
+  end
+
+(* ----- pending-write lookup (for local loads and external requests) --------- *)
+
+let find_own_covering ?(include_through = true) t ~line ~word =
+  match
+    Mshr.find_first t.outstanding ~f:(function
+      | Own o ->
+        o.o_line = line
+        && (include_through || not o.o_through)
+        && Mask.mem (Mask.diff o.o_mask o.o_stolen) word
+      | _ -> false)
+  with
+  | Some (_, Own o) -> Some o
+  | _ -> None
+
+let find_rmw_covering t ~line ~word =
+  match
+    Mshr.find_first t.outstanding ~f:(function
+      | Rmw r -> r.w_line = line && r.w_word = word && not r.w_stolen
+      | _ -> false)
+  with
+  | Some (_, Rmw r) -> Some r
+  | _ -> None
+
+let find_wb_covering t ~line ~word =
+  Hashtbl.fold
+    (fun _ (b : wb_req) acc ->
+      if b.b_line = line && Mask.mem b.b_mask word then Some b else acc)
+    t.wb_records None
+
+(* ----- loads ---------------------------------------------------------------- *)
+
+let install_fill t (m : read_miss) (r : Tu.result) =
+  (* Ownership granted by a converted read is installed unconditionally:
+     the LLC now lists this cache as the owner (and Owned data survives
+     acquires, so the epoch guard does not apply to it). *)
+  let granted = Mask.inter r.Tu.data_mask m.r_own_mask in
+  if not (Mask.is_empty granted) then begin
+    let l = get_or_alloc t m.r_line in
+    Mask.iter granted ~f:(fun w -> l.data.(w) <- r.Tu.values.(w));
+    l.owned <- Mask.union l.owned granted;
+    l.valid <- Mask.diff l.valid granted
+  end;
+  if m.r_epoch = t.epoch then begin
+    let l = get_or_alloc t m.r_line in
+    (* Only words still Invalid locally take the fill; Owned (and locally
+       written Valid) words keep the local copy. *)
+    let fresh =
+      Mask.diff (Mask.diff r.Tu.data_mask granted) (Mask.union l.valid l.owned)
+    in
+    Mask.iter fresh ~f:(fun w -> l.data.(w) <- r.Tu.values.(w));
+    l.valid <- Mask.union l.valid fresh
+  end
+  else Stats.incr t.stats "stale_fill_dropped"
+
+let rec load t (addr : Addr.t) ~k =
+  let done_ v = Engine.schedule t.engine ~delay:t.cfg.hit_latency (fun () -> k v) in
+  let { Addr.line; word } = addr in
+  match Store_buffer.forward t.sb ~addr with
+  | Some v ->
+    Stats.incr t.stats "load_sb_fwd";
+    done_ v
+  | None -> (
+    match (find_own_covering t ~line ~word, find_wb_covering t ~line ~word) with
+    | Some o, _ ->
+      Stats.incr t.stats "load_sb_fwd";
+      done_ o.o_values.(word)
+    | None, Some b ->
+      (* The word is mid-write-back: the LLC still lists us as owner, so a
+         ReqV would be forwarded right back; serve the retained data. *)
+      Stats.incr t.stats "load_wb_fwd";
+      done_ b.b_values.(word)
+    | None, None when find_rmw_covering t ~line ~word <> None ->
+      (* Another context's RMW to this word is mid-grant; once it commits
+         the load hits the owned word locally. *)
+      Stats.incr t.stats "load_rmw_defer";
+      Engine.schedule t.engine ~delay:3 (fun () -> load t addr ~k)
+    | None, None -> (
+      match Cache_frame.find t.frame ~line with
+      | Some l when Mask.mem (Mask.union l.valid l.owned) word ->
+        Stats.incr t.stats "load_hit";
+        Cache_frame.touch t.frame ~line;
+        done_ l.data.(word)
+      | _ -> (
+        Stats.incr t.stats "load_miss";
+        match
+          Mshr.find_first t.outstanding ~f:(function
+            | Read m -> m.r_line = line && m.r_epoch = t.epoch
+            | _ -> false)
+        with
+        | Some (_, Read m) ->
+          Stats.incr t.stats "load_miss_coalesced";
+          m.r_waiters <- (word, k) :: m.r_waiters
+        | Some _ -> assert false
+        | None -> (
+          let have =
+            match Cache_frame.find t.frame ~line with
+            | Some l -> Mask.union l.valid l.owned
+            | None -> Mask.empty
+          in
+          let mask = Mask.diff Addr.full_mask have in
+          let demand = Mask.singleton word in
+          let m =
+            {
+              r_line = line;
+              r_collector = Tu.create ~demand;
+              r_waiters = [ (word, k) ];
+              r_epoch = t.epoch;
+              r_retries = 0;
+              r_own_mask = Mask.empty;
+            }
+          in
+          match Mshr.alloc t.outstanding (Read m) with
+          | Some txn ->
+            (* Word-granularity demand, opportunistic line fill
+               (Table II: ReqV "flexible"). *)
+            request t ~txn ~kind:Msg.ReqV ~line ~mask ~demand ()
+          | None ->
+            Stats.incr t.stats "mshr_stall";
+            Engine.schedule t.engine ~delay:4 (fun () -> load t addr ~k)))))
+
+and complete_read t ~txn (m : read_miss) (r : Tu.result) =
+  Mshr.free t.outstanding ~txn;
+  install_fill t m r;
+  let covered, uncovered =
+    List.partition (fun (w, _) -> Mask.mem r.Tu.data_mask w) m.r_waiters
+  in
+  List.iter (fun (w, k) -> k r.Tu.values.(w)) (List.rev covered);
+  (* Waiters whose word was not in this fill re-enter the load path. *)
+  List.iter
+    (fun (w, k) -> load t { Addr.line = m.r_line; word = w } ~k)
+    (List.rev uncovered);
+  drain t
+
+and handle_read_nacks t ~txn (m : read_miss) (r : Tu.result) =
+  Mshr.free t.outstanding ~txn;
+  if m.r_retries < t.cfg.max_reqv_retries then begin
+    Stats.incr t.stats "reqv_retry";
+    let m' =
+      {
+        m with
+        r_collector = Tu.create ~demand:r.Tu.nacked;
+        r_retries = m.r_retries + 1;
+      }
+    in
+    seed_collector m' r;
+    match Mshr.alloc t.outstanding (Read m') with
+    | Some txn' ->
+      request t ~txn:txn' ~kind:Msg.ReqV ~line:m.r_line ~mask:r.Tu.nacked
+        ~demand:r.Tu.nacked ()
+    | None -> assert false
+  end
+  else begin
+    (* Convert to ReqO+data to enforce ordering (§III-C case 3). *)
+    Stats.incr t.stats "reqv_converted";
+    let m' =
+      {
+        m with
+        r_collector = Tu.create ~demand:r.Tu.nacked;
+        r_own_mask = r.Tu.nacked;
+      }
+    in
+    seed_collector m' r;
+    match Mshr.alloc t.outstanding (Read m') with
+    | Some txn' ->
+      request t ~txn:txn' ~kind:Msg.ReqOdata ~line:m.r_line ~mask:r.Tu.nacked
+        ()
+    | None -> assert false
+  end
+
+and seed_collector (m : read_miss) (r : Tu.result) =
+  if not (Mask.is_empty r.Tu.data_mask) then
+    ignore
+      (Tu.absorb m.r_collector
+         (Msg.make ~txn:0 ~kind:(Msg.Rsp Msg.RspV) ~line:m.r_line
+            ~mask:r.Tu.data_mask
+            ~payload:
+              (Msg.Data (Linedata.pack ~mask:r.Tu.data_mask ~full:r.Tu.values))
+            ~src:0 ~dst:0 ()))
+
+(* ----- stores --------------------------------------------------------------- *)
+
+let rec store t (addr : Addr.t) ~value ~k =
+  let { Addr.line; word } = addr in
+  match Cache_frame.find t.frame ~line with
+  | Some l when Mask.mem l.owned word ->
+    Stats.incr t.stats "store_hit_owned";
+    if t.cfg.write_policy = Write_adaptive then bump_reuse t line;
+    l.data.(word) <- value;
+    Engine.schedule t.engine ~delay:t.cfg.hit_latency k
+  | _ -> (
+    match Store_buffer.push t.sb ~addr ~value with
+    | `Coalesced | `New ->
+      Stats.incr t.stats "stores";
+      Hashtbl.replace t.sb_ages line (Engine.now t.engine);
+      arm_drain t ~delay:1;
+      Engine.schedule t.engine ~delay:t.cfg.hit_latency k
+    | `Full ->
+      Stats.incr t.stats "sb_full_stall";
+      t.stalled_stores <- (fun () -> store t addr ~value ~k) :: t.stalled_stores;
+      arm_drain t ~delay:1)
+
+(* ----- RMWs ----------------------------------------------------------------- *)
+
+let rec finish_rmw t ~txn (r : rmw_req) ~value =
+  let next, old = Amo.apply r.w_amo value in
+  Mshr.free t.outstanding ~txn;
+  if (not r.w_stolen) && r.w_queued = [] then begin
+    let l = get_or_alloc t r.w_line in
+    l.data.(r.w_word) <- next;
+    l.owned <- Mask.add l.owned r.w_word;
+    l.valid <- Mask.remove l.valid r.w_word
+  end
+  else begin
+    Stats.incr t.stats "rmw_intercepted";
+    (* The word was (or is being) taken: serve the delayed externals with
+       the post-RMW value, keeping nothing locally. *)
+    let l = get_or_alloc t r.w_line in
+    l.data.(r.w_word) <- next;
+    if not r.w_stolen then l.owned <- Mask.add l.owned r.w_word;
+    let queued = r.w_queued in
+    r.w_queued <- [];
+    List.iter (fun m -> external_req t m) queued
+  end;
+  r.w_k old;
+  drain t
+
+and rmw t (addr : Addr.t) amo ~k =
+  let { Addr.line; word } = addr in
+  if t.cfg.atomics_at_llc then begin
+    Stats.incr t.stats "rmw_at_llc";
+    (match Cache_frame.find t.frame ~line with
+    | Some l -> l.valid <- Mask.remove l.valid word
+    | None -> ());
+    match Mshr.alloc t.outstanding (Atomic { at_k = k }) with
+    | Some txn ->
+      request t ~txn ~kind:Msg.ReqWTdata ~line ~mask:(Mask.singleton word)
+        ~amo ()
+    | None ->
+      Stats.incr t.stats "mshr_stall";
+      Engine.schedule t.engine ~delay:4 (fun () -> rmw t addr amo ~k)
+  end
+  else
+    match Cache_frame.find t.frame ~line with
+    | Some l when Mask.mem l.owned word ->
+      Stats.incr t.stats "rmw_hit_owned";
+      let next, old = Amo.apply amo l.data.(word) in
+      l.data.(word) <- next;
+      Engine.schedule t.engine ~delay:t.cfg.hit_latency (fun () -> k old)
+    | _ when
+        find_rmw_covering t ~line ~word <> None
+        || find_own_covering t ~line ~word <> None
+        || find_wb_covering t ~line ~word <> None ->
+      (* Another context's write to this word is mid-grant, or the word is
+         mid-write-back (the LLC would answer a ReqO+data with a data-less
+         self-grant); wait and re-enter. *)
+      Stats.incr t.stats "rmw_serialized";
+      Engine.schedule t.engine ~delay:3 (fun () -> rmw t addr amo ~k)
+    | _ -> (
+      Stats.incr t.stats "rmw_miss";
+      let r =
+        {
+          w_line = line;
+          w_word = word;
+          w_amo = amo;
+          w_collector = Tu.create ~demand:(Mask.singleton word);
+          w_stolen = false;
+          w_queued = [];
+          w_k = k;
+        }
+      in
+      match Mshr.alloc t.outstanding (Rmw r) with
+      | Some txn ->
+        request t ~txn ~kind:Msg.ReqOdata ~line ~mask:(Mask.singleton word) ()
+      | None ->
+        Stats.incr t.stats "mshr_stall";
+        Engine.schedule t.engine ~delay:4 (fun () -> rmw t addr amo ~k))
+
+(* ----- external requests (the device-side of Table IV) ---------------------- *)
+
+and external_req t (msg : Msg.t) =
+  let { Msg.line; mask; _ } = msg in
+  let respond_words ~kind ~dst ~words ~values =
+    if not (Mask.is_empty words) then
+      reply t msg ~kind ~dst ~mask:words
+        ~payload:(Msg.Data (Linedata.pack ~mask:words ~full:values))
+        ()
+  in
+  (* Partition the requested words by where their truth currently lives. *)
+  let frame_line = Cache_frame.find t.frame ~line in
+  let remaining = ref mask in
+  let take p =
+    let words = Mask.fold !remaining ~init:Mask.empty ~f:(fun acc w ->
+        if p w then Mask.add acc w else acc)
+    in
+    remaining := Mask.diff !remaining words;
+    words
+  in
+  (* The write-back record is consulted first: forwards arriving while it
+     is alive were serialized before the write-back at the LLC and target
+     the old ownership epoch (cf. Mesi_l1.external_req). *)
+  let in_wb = take (fun w -> find_wb_covering t ~line ~word:w <> None) in
+  let owned_here =
+    take (fun w ->
+        match frame_line with
+        | Some l -> Mask.mem l.owned w
+        | None -> false)
+  in
+  let in_own =
+    take (fun w ->
+        find_own_covering ~include_through:false t ~line ~word:w <> None)
+  in
+  let in_rmw = take (fun w -> find_rmw_covering t ~line ~word:w <> None) in
+  let absent = !remaining in
+  let kind_needs_data =
+    match msg.Msg.kind with
+    | Msg.Req (Msg.ReqV | Msg.ReqOdata | Msg.ReqS) | Msg.Probe Msg.RvkO -> true
+    | Msg.Req Msg.ReqO -> false
+    | _ -> false
+  in
+  (* Words mid-RMW: data-needing requests wait for the fill; data-less
+     downgrades steal immediately. *)
+  if not (Mask.is_empty in_rmw) then begin
+    if kind_needs_data then begin
+      Stats.incr t.stats "ext_delayed";
+      Mask.iter in_rmw ~f:(fun w ->
+          match find_rmw_covering t ~line ~word:w with
+          | Some r -> r.w_queued <- r.w_queued @ [ { msg with Msg.mask = Mask.singleton w } ]
+          | None -> assert false)
+    end
+    else
+      Mask.iter in_rmw ~f:(fun w ->
+          match find_rmw_covering t ~line ~word:w with
+          | Some r ->
+            r.w_stolen <- true;
+            reply t msg ~kind:Msg.RspO ~dst:msg.Msg.requestor
+              ~mask:(Mask.singleton w) ()
+          | None -> assert false)
+  end;
+  let serve ~words ~values ~downgrade =
+    if not (Mask.is_empty words) then begin
+      match msg.Msg.kind with
+      | Msg.Req Msg.ReqV ->
+        (* No state change (Table IV: expected O, next O). *)
+        respond_words ~kind:Msg.RspV ~dst:msg.Msg.requestor ~words ~values
+      | Msg.Req Msg.ReqO ->
+        downgrade words;
+        reply t msg ~kind:Msg.RspO ~dst:msg.Msg.requestor ~mask:words ()
+      | Msg.Req Msg.ReqOdata ->
+        downgrade words;
+        respond_words ~kind:Msg.RspOdata ~dst:msg.Msg.requestor ~words ~values
+      | Msg.Req Msg.ReqS ->
+        (* DeNovo has no Shared state: surrender the data to both the
+           requestor and the LLC and fall to Invalid. *)
+        downgrade words;
+        respond_words ~kind:Msg.RspS ~dst:msg.Msg.requestor ~words ~values;
+        respond_words ~kind:Msg.RspRvkO ~dst:msg.Msg.src ~words ~values
+      | Msg.Probe Msg.RvkO ->
+        downgrade words;
+        respond_words ~kind:Msg.RspRvkO ~dst:msg.Msg.src ~words ~values
+      | _ -> assert false
+    end
+  in
+  (* Owned in the frame: the normal case. *)
+  (match frame_line with
+  | Some l ->
+    serve ~words:owned_here ~values:l.data ~downgrade:(fun words ->
+        if t.cfg.write_policy = Write_adaptive then decay_reuse t line;
+        l.owned <- Mask.diff l.owned words)
+  | None -> assert (Mask.is_empty owned_here));
+  (* Granted-but-uncommitted stores: answer from the pending values. *)
+  Mask.iter in_own ~f:(fun w ->
+      match find_own_covering ~include_through:false t ~line ~word:w with
+      | Some o ->
+        serve ~words:(Mask.singleton w) ~values:o.o_values
+          ~downgrade:(fun words -> o.o_stolen <- Mask.union o.o_stolen words)
+      | None -> assert false);
+  (* Pending write-back: respond with the retained data; the LLC treats the
+     in-flight ReqWB as the data carrier (§III-C case 2). *)
+  (match
+     ( Mask.is_empty in_wb,
+       Hashtbl.fold
+         (fun _ (b : wb_req) acc ->
+           if b.b_line = line && not (Mask.is_empty (Mask.inter b.b_mask in_wb))
+           then Some b
+           else acc)
+         t.wb_records None )
+   with
+  | true, _ -> ()
+  | false, Some b -> (
+    match msg.Msg.kind with
+    | Msg.Req Msg.ReqV ->
+      respond_words ~kind:Msg.RspV ~dst:msg.Msg.requestor ~words:in_wb
+        ~values:b.b_values
+    | Msg.Req Msg.ReqO ->
+      reply t msg ~kind:Msg.RspO ~dst:msg.Msg.requestor ~mask:in_wb ()
+    | Msg.Req Msg.ReqOdata ->
+      respond_words ~kind:Msg.RspOdata ~dst:msg.Msg.requestor ~words:in_wb
+        ~values:b.b_values
+    | Msg.Req Msg.ReqS ->
+      respond_words ~kind:Msg.RspS ~dst:msg.Msg.requestor ~words:in_wb
+        ~values:b.b_values;
+      (* Data already travels in the pending ReqWB (footnote 5). *)
+      reply t msg ~kind:Msg.RspRvkO ~dst:msg.Msg.src ~mask:in_wb ()
+    | Msg.Probe Msg.RvkO ->
+      reply t msg ~kind:Msg.RspRvkO ~dst:msg.Msg.src ~mask:in_wb ()
+    | _ -> assert false)
+  | false, _ -> assert false);
+  (* Words we hold in no form. *)
+  if not (Mask.is_empty absent) then begin
+    match msg.Msg.kind with
+    | Msg.Req Msg.ReqV ->
+      (* Ownership moved on before the forwarded ReqV arrived: Nack the
+         demanded words so the requestor's TU can retry (§III-C case 3);
+         opportunistic words are silently dropped. *)
+      let demanded = Mask.inter absent msg.Msg.demand in
+      if not (Mask.is_empty demanded) then begin
+        Stats.incr t.stats "nack_sent";
+        reply t msg ~kind:Msg.Nack ~dst:msg.Msg.requestor ~mask:demanded ()
+      end
+    | Msg.Req Msg.ReqO ->
+      reply t msg ~kind:Msg.RspO ~dst:msg.Msg.requestor ~mask:absent ()
+    | _ ->
+      failwith
+        (Format.asprintf "Denovo_l1 %d: data-needing external for absent words %a"
+           t.cfg.id Msg.pp msg)
+  end
+
+(* ----- synchronization ------------------------------------------------------ *)
+
+(* Flash self-invalidation of Valid words, optionally restricted to one
+   software region (paper II-C: "selectively invalidating only potentially
+   stale data based on information from software").  Owned words always
+   survive. *)
+let acquire_matching t ~matches ~k =
+  Stats.incr t.stats "acquire_flash";
+  let empties =
+    Cache_frame.fold t.frame ~init:[] ~f:(fun acc ~line l ->
+        if matches line then begin
+          l.valid <- Mask.empty;
+          if Mask.is_empty l.owned then line :: acc else acc
+        end
+        else acc)
+  in
+  List.iter (fun line -> Cache_frame.remove t.frame ~line) empties;
+  t.epoch <- t.epoch + 1;
+  Engine.schedule t.engine ~delay:1 k
+
+let acquire t ~k = acquire_matching t ~matches:(fun _ -> true) ~k
+
+let acquire_region t ~region ~k =
+  Stats.incr t.stats "acquire_region";
+  acquire_matching t ~matches:(fun line -> t.cfg.region_of line = region) ~k
+
+let release t ~k =
+  Stats.incr t.stats "release";
+  t.flushing <- true;
+  t.release_waiters <- k :: t.release_waiters;
+  arm_drain t ~delay:0;
+  Engine.schedule t.engine ~delay:1 (fun () -> check_release t)
+
+(* ----- responses ------------------------------------------------------------ *)
+
+let handle t (msg : Msg.t) =
+  match msg.Msg.kind with
+  | Msg.Req _ -> external_req t msg
+  | Msg.Probe Msg.RvkO -> external_req t msg
+  | Msg.Probe Msg.Inv ->
+    (* No Shared state: silently acknowledge (§III-C case 3). *)
+    send t
+      (Msg.make ~txn:msg.Msg.txn ~kind:(Msg.Rsp Msg.Ack) ~line:msg.Msg.line
+         ~mask:msg.Msg.mask ~src:t.cfg.id ~dst:msg.Msg.src ())
+  | Msg.Rsp _ when Hashtbl.mem t.wb_records msg.Msg.txn ->
+    (match msg.Msg.kind with
+    | Msg.Rsp Msg.RspWB -> ()
+    | _ -> failwith "Denovo_l1: unexpected write-back response");
+    Hashtbl.remove t.wb_records msg.Msg.txn;
+    drain t
+  | Msg.Rsp _ -> (
+    match Mshr.find t.outstanding ~txn:msg.Msg.txn with
+    | None -> Stats.incr t.stats "orphan_rsp"
+    | Some (Read m) -> (
+      match Tu.absorb m.r_collector msg with
+      | None -> ()
+      | Some r ->
+        if Mask.is_empty r.Tu.nacked then complete_read t ~txn:msg.Msg.txn m r
+        else handle_read_nacks t ~txn:msg.Msg.txn m r)
+    | Some (Own o) -> (
+      match Tu.absorb o.o_collector msg with
+      | None -> ()
+      | Some _ ->
+        Mshr.free t.outstanding ~txn:msg.Msg.txn;
+        commit_own t o;
+        check_release t;
+        drain t)
+    | Some (Rmw r) -> (
+      match Tu.absorb r.w_collector msg with
+      | None -> ()
+      | Some res ->
+        assert (Mask.is_empty res.Tu.nacked);
+        if Mask.mem res.Tu.data_mask r.w_word then
+          finish_rmw t ~txn:msg.Msg.txn r ~value:res.Tu.values.(r.w_word)
+        else begin
+          (* Granted without data: the LLC believed we already owned the
+             word. If we do, apply locally; if a racing local transaction
+             holds the truth, retry from the top. *)
+          match Cache_frame.find t.frame ~line:r.w_line with
+          | Some l when Mask.mem (Mask.union l.valid l.owned) r.w_word ->
+            finish_rmw t ~txn:msg.Msg.txn r ~value:l.data.(r.w_word)
+          | _ ->
+            Stats.incr t.stats "rmw_regranted";
+            if r.w_queued <> [] then
+              failwith "Denovo_l1: data-less RMW grant with queued externals";
+            Mshr.free t.outstanding ~txn:msg.Msg.txn;
+            Engine.schedule t.engine ~delay:2 (fun () ->
+                rmw t { Addr.line = r.w_line; word = r.w_word } r.w_amo
+                  ~k:r.w_k)
+        end)
+    | Some (Atomic a) -> (
+      match (msg.Msg.kind, msg.Msg.payload) with
+      | Msg.Rsp Msg.RspWTdata, Msg.Data values ->
+        Mshr.free t.outstanding ~txn:msg.Msg.txn;
+        a.at_k values.(0);
+        check_release t;
+        drain t
+      | _ -> failwith "Denovo_l1: unexpected atomic response")
+  )
+
+(* ----- construction --------------------------------------------------------- *)
+
+let quiescent t =
+  Store_buffer.is_empty t.sb && Mshr.count t.outstanding = 0
+  && Hashtbl.length t.wb_records = 0
+  && t.stalled_stores = []
+
+let describe_pending t =
+  Printf.sprintf "denovo_l1 %d: sb=%d outstanding=%d stalled=%d" t.cfg.id
+    (Store_buffer.count t.sb)
+    (Mshr.count t.outstanding)
+    (List.length t.stalled_stores)
+
+let create engine net cfg =
+  let t =
+    {
+      engine;
+      net;
+      cfg;
+      frame = Cache_frame.create ~sets:cfg.sets ~ways:cfg.ways;
+      sb = Store_buffer.create ~capacity:cfg.sb_capacity;
+      outstanding = Mshr.create ~capacity:cfg.mshrs;
+      sb_ages = Hashtbl.create 64;
+      wb_records = Hashtbl.create 16;
+      reuse = Hashtbl.create 64;
+      last_wt = Hashtbl.create 64;
+      stats = Stats.create ();
+      epoch = 0;
+      flushing = false;
+      drain_armed = false;
+      release_waiters = [];
+      stalled_stores = [];
+    }
+  in
+  Network.register net ~id:cfg.id (fun msg -> handle t msg);
+  t
+
+let port t =
+  {
+    Port.load = (fun addr ~k -> load t addr ~k);
+    store = (fun addr ~value ~k -> store t addr ~value ~k);
+    rmw = (fun addr amo ~k -> rmw t addr amo ~k);
+    acquire = (fun ~k -> acquire t ~k);
+    acquire_region = (fun ~region ~k -> acquire_region t ~region ~k);
+    release = (fun ~k -> release t ~k);
+    quiescent = (fun () -> quiescent t);
+    describe_pending = (fun () -> describe_pending t);
+  }
+
+let stats t = t.stats
+
+let word_state t (addr : Addr.t) =
+  match Cache_frame.find t.frame ~line:addr.Addr.line with
+  | None -> State.I
+  | Some l ->
+    if Mask.mem l.owned addr.Addr.word then State.O
+    else if Mask.mem l.valid addr.Addr.word then State.V
+    else State.I
+
+let peek_word t (addr : Addr.t) =
+  match Cache_frame.find t.frame ~line:addr.Addr.line with
+  | Some l when Mask.mem (Mask.union l.valid l.owned) addr.Addr.word ->
+    Some l.data.(addr.Addr.word)
+  | _ -> None
+
+let count_words t f =
+  Cache_frame.fold t.frame ~init:0 ~f:(fun acc ~line:_ l ->
+      acc + Mask.count (f l))
+
+let owned_words t = count_words t (fun l -> l.owned)
+let valid_words t = count_words t (fun l -> l.valid)

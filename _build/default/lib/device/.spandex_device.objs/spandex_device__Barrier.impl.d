@@ -1,0 +1,1 @@
+lib/device/barrier.ml: List Spandex_sim

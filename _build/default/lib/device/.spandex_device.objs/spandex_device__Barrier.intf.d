@@ -1,0 +1,1 @@
+lib/device/barrier.mli: Spandex_sim

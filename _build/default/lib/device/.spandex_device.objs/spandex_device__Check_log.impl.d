@@ -1,0 +1,1 @@
+lib/device/check_log.ml: Format List Spandex_proto

@@ -1,0 +1,1 @@
+lib/device/check_log.mli: Format Spandex_proto

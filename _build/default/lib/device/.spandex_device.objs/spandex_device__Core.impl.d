@@ -1,0 +1,1 @@
+lib/device/core.ml: Array Barrier Check_log Format Fun List Ops Port Printf Spandex_sim Spandex_util String

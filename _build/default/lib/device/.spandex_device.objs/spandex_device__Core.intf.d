@@ -1,0 +1,1 @@
+lib/device/core.mli: Barrier Check_log Ops Port Spandex_sim Spandex_util

@@ -1,0 +1,1 @@
+lib/device/ops.ml: Array Format Spandex_proto

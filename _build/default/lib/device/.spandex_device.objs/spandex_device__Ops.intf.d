@@ -1,0 +1,1 @@
+lib/device/ops.mli: Format Spandex_proto

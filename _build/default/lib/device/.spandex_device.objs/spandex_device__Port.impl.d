@@ -1,0 +1,1 @@
+lib/device/port.ml: Spandex_proto

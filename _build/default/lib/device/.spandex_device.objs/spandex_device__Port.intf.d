@@ -1,0 +1,1 @@
+lib/device/port.mli: Spandex_proto

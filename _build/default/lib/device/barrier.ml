@@ -1,0 +1,24 @@
+type t = {
+  engine : Spandex_sim.Engine.t;
+  parties : int;
+  mutable waiters : (unit -> unit) list;
+  mutable generation : int;
+}
+
+let create engine ~parties =
+  assert (parties > 0);
+  { engine; parties; waiters = []; generation = 0 }
+
+let arrive t ~k =
+  t.waiters <- k :: t.waiters;
+  if List.length t.waiters = t.parties then begin
+    let to_release = List.rev t.waiters in
+    t.waiters <- [];
+    t.generation <- t.generation + 1;
+    List.iter
+      (fun k -> Spandex_sim.Engine.schedule t.engine ~delay:1 k)
+      to_release
+  end
+
+let waiting t = List.length t.waiters
+let generation t = t.generation

@@ -1,0 +1,17 @@
+(** Cyclic barrier.
+
+    Used by workloads for kernel boundaries and phase separation.  The
+    protocol-level cost of a barrier (store-buffer flush, self-invalidation)
+    is charged by the core model, which performs Release before arriving and
+    Acquire after waking; the barrier object itself only coordinates. *)
+
+type t
+
+val create : Spandex_sim.Engine.t -> parties:int -> t
+
+val arrive : t -> k:(unit -> unit) -> unit
+(** Block until all [parties] have arrived in the current generation, then
+    release everyone (continuations run on the next cycle) and reset. *)
+
+val waiting : t -> int
+val generation : t -> int

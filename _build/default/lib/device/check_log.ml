@@ -1,0 +1,20 @@
+type failure = {
+  core : int;
+  addr : Spandex_proto.Addr.t;
+  expected : int;
+  actual : int;
+  cycle : int;
+}
+
+type t = { mutable checks : int; mutable failures : failure list }
+
+let create () = { checks = 0; failures = [] }
+let record t f = t.failures <- f :: t.failures
+let checks t = t.checks
+let incr_checks t = t.checks <- t.checks + 1
+let failures t = List.rev t.failures
+let is_clean t = t.failures = []
+
+let pp_failure fmt { core; addr; expected; actual; cycle } =
+  Format.fprintf fmt "core %d @%d: %a expected %d, got %d" core cycle
+    Spandex_proto.Addr.pp addr expected actual

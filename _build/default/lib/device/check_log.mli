@@ -1,0 +1,22 @@
+(** Accumulates failures of the workloads' [Check] ops.
+
+    A simulation run that produces wrong data is a protocol bug; every
+    experiment asserts the log is clean at the end. *)
+
+type failure = {
+  core : int;
+  addr : Spandex_proto.Addr.t;
+  expected : int;
+  actual : int;
+  cycle : int;
+}
+
+type t
+
+val create : unit -> t
+val record : t -> failure -> unit
+val checks : t -> int
+val incr_checks : t -> unit
+val failures : t -> failure list
+val is_clean : t -> bool
+val pp_failure : Format.formatter -> failure -> unit

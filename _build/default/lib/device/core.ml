@@ -1,0 +1,163 @@
+module Engine = Spandex_sim.Engine
+module Stats = Spandex_util.Stats
+
+type ctx_state = Ready | Waiting | Finished
+
+type context = { ops : Ops.t array; mutable pc : int; mutable state : ctx_state }
+
+type t = {
+  engine : Engine.t;
+  port : Port.t;
+  barriers : Barrier.t array;
+  check_log : Check_log.t;
+  core_id : int;
+  clock : int;
+  contexts : context array;
+  stats : Stats.t;
+  mutable rr : int;
+  mutable issue_armed : bool;
+  mutable next_slot : int;
+  mutable done_count : int;
+}
+
+let create engine ~port ~barriers ~check_log ~core_id ~clock ~programs =
+  assert (clock >= 1);
+  let contexts =
+    Array.map
+      (fun ops ->
+        { ops; pc = 0; state = (if Array.length ops = 0 then Finished else Ready) })
+      programs
+  in
+  let done_count =
+    Array.fold_left
+      (fun acc c -> if c.state = Finished then acc + 1 else acc)
+      0 contexts
+  in
+  {
+    engine;
+    port;
+    barriers;
+    check_log;
+    core_id;
+    clock;
+    contexts;
+    stats = Stats.create ();
+    rr = 0;
+    issue_armed = false;
+    next_slot = 0;
+    done_count;
+  }
+
+let next_ready t =
+  let n = Array.length t.contexts in
+  let rec scan i =
+    if i = n then None
+    else
+      let idx = (t.rr + i) mod n in
+      if t.contexts.(idx).state = Ready then Some idx else scan (i + 1)
+  in
+  scan 0
+
+let rec arm t =
+  if not t.issue_armed then begin
+    t.issue_armed <- true;
+    let now = Engine.now t.engine in
+    let time = if t.next_slot > now then t.next_slot else now in
+    Engine.at t.engine ~time (fun () ->
+        t.issue_armed <- false;
+        issue t)
+  end
+
+and issue t =
+  match next_ready t with
+  | None -> ()
+  | Some idx ->
+    let ctx = t.contexts.(idx) in
+    t.rr <- (idx + 1) mod Array.length t.contexts;
+    t.next_slot <- Engine.now t.engine + t.clock;
+    let op = ctx.ops.(ctx.pc) in
+    ctx.pc <- ctx.pc + 1;
+    Stats.incr t.stats "ops";
+    let wake () =
+      if ctx.pc >= Array.length ctx.ops then begin
+        ctx.state <- Finished;
+        t.done_count <- t.done_count + 1
+      end
+      else ctx.state <- Ready;
+      arm t
+    in
+    ctx.state <- Waiting;
+    (match op with
+    | Ops.Load a ->
+      Stats.incr t.stats "loads";
+      t.port.Port.load a ~k:(fun _v -> wake ())
+    | Ops.Check (a, expected) ->
+      Stats.incr t.stats "loads";
+      t.port.Port.load a ~k:(fun actual ->
+          Check_log.incr_checks t.check_log;
+          if actual <> expected then
+            Check_log.record t.check_log
+              {
+                Check_log.core = t.core_id;
+                addr = a;
+                expected;
+                actual;
+                cycle = Engine.now t.engine;
+              };
+          wake ())
+    | Ops.Store (a, value) ->
+      Stats.incr t.stats "stores";
+      t.port.Port.store a ~value ~k:wake
+    | Ops.Rmw (a, amo) ->
+      Stats.incr t.stats "rmws";
+      t.port.Port.rmw a amo ~k:(fun _old -> wake ())
+    | Ops.Acquire ->
+      Stats.incr t.stats "acquires";
+      t.port.Port.acquire ~k:wake
+    | Ops.Acquire_region region ->
+      Stats.incr t.stats "acquires";
+      t.port.Port.acquire_region ~region ~k:wake
+    | Ops.Release ->
+      Stats.incr t.stats "releases";
+      t.port.Port.release ~k:wake
+    | Ops.Barrier b ->
+      Stats.incr t.stats "barriers";
+      let barrier = t.barriers.(b) in
+      t.port.Port.release ~k:(fun () ->
+          Barrier.arrive barrier ~k:(fun () -> t.port.Port.acquire ~k:wake))
+    | Ops.Barrier_region (b, region) ->
+      Stats.incr t.stats "barriers";
+      let barrier = t.barriers.(b) in
+      t.port.Port.release ~k:(fun () ->
+          Barrier.arrive barrier ~k:(fun () ->
+              t.port.Port.acquire_region ~region ~k:wake))
+    | Ops.Compute n ->
+      Stats.incr t.stats "compute";
+      Engine.schedule t.engine ~delay:(n * t.clock) wake);
+    (* Keep issuing while other contexts are ready. *)
+    arm t
+
+let start t = arm t
+
+let finished t =
+  t.done_count = Array.length t.contexts && t.port.Port.quiescent ()
+
+let describe_pending t =
+  let ctxs =
+    Array.to_list t.contexts
+    |> List.mapi (fun i c ->
+           match c.state with
+           | Finished -> None
+           | Ready -> Some (Printf.sprintf "ctx%d ready@%d" i c.pc)
+           | Waiting ->
+             Some
+               (Format.asprintf "ctx%d waiting@%d on %a" i (c.pc - 1) Ops.pp
+                  c.ops.(c.pc - 1)))
+    |> List.filter_map Fun.id
+  in
+  Printf.sprintf "core %d: %s; port: %s" t.core_id
+    (if ctxs = [] then "all ctx done" else String.concat ", " ctxs)
+    (t.port.Port.describe_pending ())
+
+let stats t = t.stats
+let core_id t = t.core_id

@@ -1,0 +1,1 @@
+lib/gpucoh/gpu_l1.ml: Array Hashtbl List Option Printf Spandex Spandex_device Spandex_mem Spandex_net Spandex_proto Spandex_sim Spandex_util

@@ -1,0 +1,1 @@
+lib/gpucoh/gpu_l1.mli: Spandex_device Spandex_net Spandex_proto Spandex_sim Spandex_util

@@ -1,0 +1,413 @@
+module Mask = Spandex_util.Mask
+module Stats = Spandex_util.Stats
+module Engine = Spandex_sim.Engine
+module Msg = Spandex_proto.Msg
+module Addr = Spandex_proto.Addr
+module Amo = Spandex_proto.Amo
+module Linedata = Spandex_proto.Linedata
+module Network = Spandex_net.Network
+module Cache_frame = Spandex_mem.Cache_frame
+module Mshr = Spandex_mem.Mshr
+module Store_buffer = Spandex_mem.Store_buffer
+module Port = Spandex_device.Port
+module Tu = Spandex.Tu
+
+type config = {
+  id : Msg.device_id;
+  llc_id : Msg.device_id;
+  llc_banks : int;
+  sets : int;
+  ways : int;
+  mshrs : int;
+  sb_capacity : int;
+  hit_latency : int;
+  coalesce_window : int;
+  max_reqv_retries : int;
+}
+
+(* Line fills; valid lines carry a full data copy. *)
+type line = { data : int array }
+
+type miss = {
+  m_line : int;
+  collector : Tu.t;
+  mutable waiters : (int * (int -> unit)) list;  (* word, continuation *)
+  epoch : int;  (* self-invalidation epoch at issue; stale fills not cached *)
+  mutable retries : int;
+}
+
+type wt = { wt_line : int }
+type atomic = { a_word : int; a_k : int -> unit }
+
+type outstanding = Miss of miss | Wt of wt | Atomic of atomic
+
+type t = {
+  engine : Engine.t;
+  net : Network.t;
+  cfg : config;
+  frame : line Cache_frame.t;
+  sb : Store_buffer.t;
+  outstanding : outstanding Mshr.t;
+  sb_ages : (int, int) Hashtbl.t;  (* line -> last store cycle *)
+  stats : Stats.t;
+  mutable epoch : int;
+  mutable flushing : bool;
+  mutable drain_armed : bool;
+  mutable release_waiters : (unit -> unit) list;
+  mutable stalled_stores : (unit -> unit) list;
+}
+
+let count_outstanding t p =
+  let n = ref 0 in
+  Mshr.iter t.outstanding ~f:(fun ~txn:_ o -> if p o then incr n);
+  !n
+
+let wts_outstanding t = count_outstanding t (function Wt _ -> true | _ -> false)
+
+let send t msg =
+  Engine.schedule t.engine ~delay:t.cfg.hit_latency (fun () ->
+      Network.send t.net msg)
+
+let request t ~txn ~kind ~line ~mask ?demand ?payload ?amo () =
+  send t
+    (Msg.make ~txn ~kind:(Msg.Req kind) ~line ~mask ?demand ?payload
+       ~src:t.cfg.id ~dst:(t.cfg.llc_id + (line mod t.cfg.llc_banks)) ?amo ())
+
+(* ----- write-through drain -------------------------------------------------- *)
+
+(* An entry issues once it has aged past the coalesce window, immediately
+   when a release is flushing or the buffer is half full. *)
+let entry_ready t line =
+  if t.flushing || Store_buffer.count t.sb * 2 >= t.cfg.sb_capacity then true
+  else
+    let age =
+      Engine.now t.engine
+      - Option.value ~default:0 (Hashtbl.find_opt t.sb_ages line)
+    in
+    age >= t.cfg.coalesce_window
+
+let check_release t =
+  if t.flushing && Store_buffer.is_empty t.sb && wts_outstanding t = 0 then begin
+    t.flushing <- false;
+    let ws = t.release_waiters in
+    t.release_waiters <- [];
+    List.iter (fun k -> k ()) ws
+  end
+
+let rec arm_drain t ~delay =
+  if not t.drain_armed then begin
+    t.drain_armed <- true;
+    Engine.schedule t.engine ~delay (fun () ->
+        t.drain_armed <- false;
+        drain t)
+  end
+
+and drain t =
+  match Store_buffer.peek_oldest t.sb with
+  | None -> check_release t
+  | Some e ->
+    if not (entry_ready t e.Store_buffer.line) then
+      arm_drain t ~delay:(max 1 t.cfg.coalesce_window)
+    else if Mshr.is_full t.outstanding then () (* retried on a response *)
+    else begin
+      match Mshr.alloc t.outstanding (Wt { wt_line = e.Store_buffer.line }) with
+      | None -> ()
+      | Some txn ->
+        let e = Option.get (Store_buffer.take_oldest t.sb) in
+        Hashtbl.remove t.sb_ages e.Store_buffer.line;
+        let mask = e.Store_buffer.mask in
+        let payload =
+          Msg.Data (Linedata.pack ~mask ~full:e.Store_buffer.values)
+        in
+        Stats.incr t.stats "wt_issued";
+        Stats.add t.stats "wt_words" (Mask.count mask);
+        request t ~txn ~kind:Msg.ReqWT ~line:e.Store_buffer.line ~mask ~payload
+          ();
+        (* A freed entry may unblock a stalled store. *)
+        let stalled = t.stalled_stores in
+        t.stalled_stores <- [];
+        List.iter (fun retry -> retry ()) stalled;
+        drain t
+    end
+
+(* ----- loads ---------------------------------------------------------------- *)
+
+let install_line t ~line values =
+  (match Cache_frame.find t.frame ~line with
+  | Some l -> Array.blit values 0 l.data 0 Addr.words_per_line
+  | None -> (
+    match
+      Cache_frame.insert t.frame ~line
+        { data = Array.copy values }
+        ~can_evict:(fun ~line:_ _ -> true)
+    with
+    | Cache_frame.Inserted -> ()
+    | Cache_frame.Evicted _ -> Stats.incr t.stats "evictions"
+    | Cache_frame.No_room -> assert false));
+  (* Stores buffered for this line must stay visible to local loads. *)
+  match (Store_buffer.find t.sb ~line, Cache_frame.find t.frame ~line) with
+  | Some e, Some l ->
+    Mask.iter e.Store_buffer.mask ~f:(fun w ->
+        l.data.(w) <- e.Store_buffer.values.(w))
+  | _ -> ()
+
+let complete_miss t ~txn (m : miss) (r : Tu.result) =
+  Mshr.free t.outstanding ~txn;
+  if m.epoch = t.epoch then install_line t ~line:m.m_line r.Tu.values
+  else Stats.incr t.stats "stale_fill_dropped";
+  List.iter (fun (w, k) -> k r.Tu.values.(w)) (List.rev m.waiters);
+  drain t
+
+(* A Nacked ReqV raced past an ownership change: retry, then convert to a
+   ReqWT+data (performed at the LLC) to enforce ordering (§III-C case 3). *)
+let handle_nacks t ~txn (m : miss) (r : Tu.result) =
+  if m.retries < t.cfg.max_reqv_retries then begin
+    m.retries <- m.retries + 1;
+    Stats.incr t.stats "reqv_retry";
+    let fresh = Tu.create ~demand:r.Tu.nacked in
+    (* Carry over what already arrived. *)
+    ignore
+      (Tu.absorb fresh
+         (Msg.make ~txn ~kind:(Msg.Rsp Msg.RspV)
+            ~mask:(Mask.union r.Tu.data_mask r.Tu.acked)
+            ~payload:
+              (Msg.Data
+                 (Linedata.pack
+                    ~mask:(Mask.union r.Tu.data_mask r.Tu.acked)
+                    ~full:r.Tu.values))
+            ~line:m.m_line ~src:t.cfg.id ~dst:t.cfg.id ()));
+    let m' =
+      { m with collector = fresh; retries = m.retries }
+    in
+    Mshr.free t.outstanding ~txn;
+    (match Mshr.alloc t.outstanding (Miss m') with
+    | Some txn' ->
+      request t ~txn:txn' ~kind:Msg.ReqV ~line:m.m_line ~mask:r.Tu.nacked
+        ~demand:r.Tu.nacked ()
+    | None -> assert false (* we just freed a slot *))
+  end
+  else begin
+    Stats.incr t.stats "reqv_converted";
+    (* One ReqWT+data (atomic read) per still-missing word. *)
+    let base = Tu.create ~demand:r.Tu.nacked in
+    ignore
+      (Tu.absorb base
+         (Msg.make ~txn ~kind:(Msg.Rsp Msg.RspV)
+            ~mask:(Mask.union r.Tu.data_mask r.Tu.acked)
+            ~payload:
+              (Msg.Data
+                 (Linedata.pack
+                    ~mask:(Mask.union r.Tu.data_mask r.Tu.acked)
+                    ~full:r.Tu.values))
+            ~line:m.m_line ~src:t.cfg.id ~dst:t.cfg.id ()));
+    let m' = { m with collector = base } in
+    Mshr.free t.outstanding ~txn;
+    match Mshr.alloc t.outstanding (Miss m') with
+    | Some txn' ->
+      Mask.iter r.Tu.nacked ~f:(fun w ->
+          request t ~txn:txn' ~kind:Msg.ReqWTdata ~line:m.m_line
+            ~mask:(Mask.singleton w) ~amo:Amo.Read ())
+    | None -> assert false
+  end
+
+let rec load t (addr : Addr.t) ~k =
+  let done_ v = Engine.schedule t.engine ~delay:t.cfg.hit_latency (fun () -> k v) in
+  match Store_buffer.forward t.sb ~addr with
+  | Some v ->
+    Stats.incr t.stats "load_sb_fwd";
+    done_ v
+  | None -> (
+    match Cache_frame.find t.frame ~line:addr.Addr.line with
+    | Some l ->
+      Stats.incr t.stats "load_hit";
+      Cache_frame.touch t.frame ~line:addr.Addr.line;
+      done_ l.data.(addr.Addr.word)
+    | None -> (
+      Stats.incr t.stats "load_miss";
+      (* Coalesce with an outstanding miss of the current epoch. *)
+      match
+        Mshr.find_first t.outstanding ~f:(function
+          | Miss m -> m.m_line = addr.Addr.line && m.epoch = t.epoch
+          | _ -> false)
+      with
+      | Some (_, Miss m) ->
+        Stats.incr t.stats "load_miss_coalesced";
+        m.waiters <- (addr.Addr.word, k) :: m.waiters
+      | Some _ -> assert false
+      | None -> (
+        let m =
+          {
+            m_line = addr.Addr.line;
+            collector = Tu.create ~demand:Addr.full_mask;
+            waiters = [ (addr.Addr.word, k) ];
+            epoch = t.epoch;
+            retries = 0;
+          }
+        in
+        match Mshr.alloc t.outstanding (Miss m) with
+        | Some txn ->
+          (* Line-granularity read (Table II). *)
+          request t ~txn ~kind:Msg.ReqV ~line:addr.Addr.line
+            ~mask:Addr.full_mask ()
+        | None ->
+          (* MSHRs exhausted: retry shortly. *)
+          Stats.incr t.stats "mshr_stall";
+          Engine.schedule t.engine ~delay:4 (fun () -> load t addr ~k))))
+
+(* ----- stores and atomics --------------------------------------------------- *)
+
+let rec store t (addr : Addr.t) ~value ~k =
+  match Store_buffer.push t.sb ~addr ~value with
+  | `Coalesced | `New ->
+    Hashtbl.replace t.sb_ages addr.Addr.line (Engine.now t.engine);
+    (* Keep a valid cached copy coherent with the local write. *)
+    (match Cache_frame.find t.frame ~line:addr.Addr.line with
+    | Some l -> l.data.(addr.Addr.word) <- value
+    | None -> ());
+    Stats.incr t.stats "stores";
+    arm_drain t ~delay:1;
+    Engine.schedule t.engine ~delay:t.cfg.hit_latency k
+  | `Full ->
+    Stats.incr t.stats "sb_full_stall";
+    t.stalled_stores <- (fun () -> store t addr ~value ~k) :: t.stalled_stores;
+    arm_drain t ~delay:1
+
+let rmw t (addr : Addr.t) amo ~k =
+  (* Atomics bypass the L1 and execute at the backing cache (§II-B). *)
+  Stats.incr t.stats "rmw";
+  match Mshr.alloc t.outstanding (Atomic { a_word = addr.Addr.word; a_k = k })
+  with
+  | Some txn ->
+    (* The returned data makes any cached copy of the line stale. *)
+    Cache_frame.remove t.frame ~line:addr.Addr.line;
+    request t ~txn ~kind:Msg.ReqWTdata ~line:addr.Addr.line
+      ~mask:(Mask.singleton addr.Addr.word) ~amo ()
+  | None ->
+    Stats.incr t.stats "mshr_stall";
+    Engine.schedule t.engine ~delay:4 (fun () ->
+        let rec retry () =
+          match
+            Mshr.alloc t.outstanding (Atomic { a_word = addr.Addr.word; a_k = k })
+          with
+          | Some txn ->
+            Cache_frame.remove t.frame ~line:addr.Addr.line;
+            request t ~txn ~kind:Msg.ReqWTdata ~line:addr.Addr.line
+              ~mask:(Mask.singleton addr.Addr.word) ~amo ()
+          | None -> Engine.schedule t.engine ~delay:4 retry
+        in
+        retry ())
+
+(* ----- synchronization ------------------------------------------------------ *)
+
+let acquire t ~k =
+  (* Flash self-invalidation of all Valid data: single cycle (§IV-A). *)
+  Stats.incr t.stats "acquire_flash";
+  Stats.add t.stats "flash_invalidated" (Cache_frame.count t.frame)
+  |> ignore;
+  let lines =
+    Cache_frame.fold t.frame ~init:[] ~f:(fun acc ~line _ -> line :: acc)
+  in
+  List.iter (fun line -> Cache_frame.remove t.frame ~line) lines;
+  t.epoch <- t.epoch + 1;
+  Engine.schedule t.engine ~delay:1 k
+
+let release t ~k =
+  Stats.incr t.stats "release";
+  t.flushing <- true;
+  t.release_waiters <- k :: t.release_waiters;
+  arm_drain t ~delay:0;
+  (* Already drained? *)
+  Engine.schedule t.engine ~delay:1 (fun () -> check_release t)
+
+(* ----- responses ------------------------------------------------------------ *)
+
+let handle t (msg : Msg.t) =
+  match msg.Msg.kind with
+  | Msg.Rsp _ -> (
+    match Mshr.find t.outstanding ~txn:msg.Msg.txn with
+    | None -> Stats.incr t.stats "orphan_rsp"
+    | Some (Wt _) ->
+      (match msg.Msg.kind with
+      | Msg.Rsp Msg.RspWT | Msg.Rsp Msg.RspO -> ()
+      | _ -> failwith "Gpu_l1: unexpected write-through response");
+      Mshr.free t.outstanding ~txn:msg.Msg.txn;
+      check_release t;
+      drain t
+    | Some (Atomic a) -> (
+      match (msg.Msg.kind, msg.Msg.payload) with
+      | Msg.Rsp Msg.RspWTdata, Msg.Data values ->
+        Mshr.free t.outstanding ~txn:msg.Msg.txn;
+        a.a_k values.(0);
+        drain t
+      | _ -> failwith "Gpu_l1: unexpected atomic response")
+    | Some (Miss m) -> (
+      match Tu.absorb m.collector msg with
+      | None -> ()
+      | Some r ->
+        if Mask.is_empty r.Tu.nacked then complete_miss t ~txn:msg.Msg.txn m r
+        else handle_nacks t ~txn:msg.Msg.txn m r))
+  | Msg.Probe Msg.Inv ->
+    (* No Shared state: a (defensive) Inv is acknowledged without action
+       (§III-C case 3). *)
+    send t
+      (Msg.make ~txn:msg.Msg.txn ~kind:(Msg.Rsp Msg.Ack) ~line:msg.Msg.line
+         ~mask:msg.Msg.mask ~src:t.cfg.id ~dst:msg.Msg.src ())
+  | Msg.Probe Msg.RvkO | Msg.Req _ ->
+    failwith "Gpu_l1: received an ownership request but holds no ownership"
+
+(* ----- construction --------------------------------------------------------- *)
+
+let quiescent t =
+  Store_buffer.is_empty t.sb && Mshr.count t.outstanding = 0
+  && t.stalled_stores = []
+
+let describe_pending t =
+  Printf.sprintf "gpu_l1 %d: sb=%d outstanding=%d stalled=%d" t.cfg.id
+    (Store_buffer.count t.sb)
+    (Mshr.count t.outstanding)
+    (List.length t.stalled_stores)
+
+let create engine net cfg =
+  let t =
+    {
+      engine;
+      net;
+      cfg;
+      frame = Cache_frame.create ~sets:cfg.sets ~ways:cfg.ways;
+      sb = Store_buffer.create ~capacity:cfg.sb_capacity;
+      outstanding = Mshr.create ~capacity:cfg.mshrs;
+      sb_ages = Hashtbl.create 64;
+      stats = Stats.create ();
+      epoch = 0;
+      flushing = false;
+      drain_armed = false;
+      release_waiters = [];
+      stalled_stores = [];
+    }
+  in
+  Network.register net ~id:cfg.id (fun msg -> handle t msg);
+  t
+
+let port t =
+  {
+    Port.load = (fun addr ~k -> load t addr ~k);
+    store = (fun addr ~value ~k -> store t addr ~value ~k);
+    rmw = (fun addr amo ~k -> rmw t addr amo ~k);
+    acquire = (fun ~k -> acquire t ~k);
+    (* No region support: a conservative full flash (paper II-C attributes
+       regions to DeNovo). *)
+    acquire_region = (fun ~region:_ ~k -> acquire t ~k);
+    release = (fun ~k -> release t ~k);
+    quiescent = (fun () -> quiescent t);
+    describe_pending = (fun () -> describe_pending t);
+  }
+
+let stats t = t.stats
+let holds_line t ~line = Cache_frame.find t.frame ~line <> None
+
+let peek_word t (addr : Addr.t) =
+  Option.map
+    (fun l -> l.data.(addr.Addr.word))
+    (Cache_frame.find t.frame ~line:addr.Addr.line)
+
+let valid_lines t = Cache_frame.count t.frame

@@ -1,0 +1,1 @@
+lib/mem/cache_frame.ml: Hashtbl List Option Spandex_proto

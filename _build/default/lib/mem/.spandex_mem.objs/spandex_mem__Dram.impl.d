@@ -1,0 +1,1 @@
+lib/mem/dram.ml: Array Hashtbl Spandex_proto Spandex_sim

@@ -1,0 +1,1 @@
+lib/mem/dram.mli: Spandex_proto Spandex_sim Spandex_util

@@ -1,0 +1,1 @@
+lib/mem/mshr.ml: Hashtbl Spandex_proto

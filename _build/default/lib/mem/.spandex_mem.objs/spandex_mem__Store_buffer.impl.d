@@ -1,0 +1,1 @@
+lib/mem/store_buffer.ml: Array Hashtbl List Spandex_proto Spandex_util

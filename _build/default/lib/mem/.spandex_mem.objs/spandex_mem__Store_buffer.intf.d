@@ -1,0 +1,1 @@
+lib/mem/store_buffer.mli: Spandex_proto Spandex_util

@@ -1,0 +1,103 @@
+type 'a entry = { line : int; mutable meta : 'a; mutable last_use : int }
+
+type 'a t = {
+  sets : int;
+  ways : int;
+  table : (int, 'a entry) Hashtbl.t;
+  set_members : (int, 'a entry list) Hashtbl.t;
+  mutable tick : int;
+}
+
+let create ~sets ~ways =
+  assert (sets > 0 && ways > 0);
+  {
+    sets;
+    ways;
+    table = Hashtbl.create (sets * ways);
+    set_members = Hashtbl.create sets;
+    tick = 0;
+  }
+
+let size_lines ~bytes ~ways =
+  let lines = bytes / Spandex_proto.Addr.line_bytes in
+  assert (lines mod ways = 0);
+  (lines / ways, ways)
+
+let set_of t line = line mod t.sets
+let members t set = Option.value ~default:[] (Hashtbl.find_opt t.set_members set)
+
+let find t ~line =
+  match Hashtbl.find_opt t.table line with
+  | Some e -> Some e.meta
+  | None -> None
+
+let touch t ~line =
+  match Hashtbl.find_opt t.table line with
+  | Some e ->
+    t.tick <- t.tick + 1;
+    e.last_use <- t.tick
+  | None -> ()
+
+let remove t ~line =
+  match Hashtbl.find_opt t.table line with
+  | None -> ()
+  | Some e ->
+    Hashtbl.remove t.table line;
+    let set = set_of t line in
+    Hashtbl.replace t.set_members set
+      (List.filter (fun (e' : 'a entry) -> e' != e) (members t set))
+
+type 'a insert_result = Inserted | Evicted of int * 'a | No_room
+
+let insert t ~line meta ~can_evict =
+  assert (not (Hashtbl.mem t.table line));
+  let set = set_of t line in
+  let current = members t set in
+  let do_insert () =
+    t.tick <- t.tick + 1;
+    let e = { line; meta; last_use = t.tick } in
+    Hashtbl.add t.table line e;
+    Hashtbl.replace t.set_members set (e :: members t set)
+  in
+  if List.length current < t.ways then begin
+    do_insert ();
+    Inserted
+  end
+  else begin
+    (* LRU victim among evictable lines. *)
+    let victim =
+      List.fold_left
+        (fun best (e : 'a entry) ->
+          if not (can_evict ~line:e.line e.meta) then best
+          else
+            match best with
+            | Some (b : 'a entry) when b.last_use <= e.last_use -> best
+            | _ -> Some e)
+        None current
+    in
+    match victim with
+    | None -> No_room
+    | Some v ->
+      remove t ~line:v.line;
+      do_insert ();
+      Evicted (v.line, v.meta)
+  end
+
+let lru_matching t ~set_line ~f =
+  let set = set_of t set_line in
+  let best =
+    List.fold_left
+      (fun best (e : 'a entry) ->
+        if not (f ~line:e.line e.meta) then best
+        else
+          match best with
+          | Some (b : 'a entry) when b.last_use <= e.last_use -> best
+          | _ -> Some e)
+      None (members t set)
+  in
+  Option.map (fun (e : 'a entry) -> (e.line, e.meta)) best
+
+let iter t ~f = Hashtbl.iter (fun line e -> f ~line e.meta) t.table
+let fold t ~init ~f = Hashtbl.fold (fun line e acc -> f acc ~line e.meta) t.table init
+let count t = Hashtbl.length t.table
+let capacity t = t.sets * t.ways

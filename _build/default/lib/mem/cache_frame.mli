@@ -1,0 +1,41 @@
+(** Set-associative tag array with LRU replacement, generic over the
+    per-line metadata a protocol attaches.
+
+    Allocation is always at line granularity (paper §III-B); protocols that
+    track word-granularity state keep it inside their metadata. *)
+
+type 'a t
+
+val create : sets:int -> ways:int -> 'a t
+
+val size_lines : bytes:int -> ways:int -> int * int
+(** [size_lines ~bytes ~ways] is [(sets, ways)] for a cache of [bytes]
+    capacity with 64-byte lines. *)
+
+val find : 'a t -> line:int -> 'a option
+(** Lookup without touching LRU state. *)
+
+val touch : 'a t -> line:int -> unit
+(** Mark [line] most recently used. *)
+
+val remove : 'a t -> line:int -> unit
+
+type 'a insert_result =
+  | Inserted
+  | Evicted of int * 'a  (** victim line and its metadata; already removed. *)
+  | No_room  (** every way of the set is pinned; caller must retry later. *)
+
+val insert :
+  'a t -> line:int -> 'a -> can_evict:(line:int -> 'a -> bool) -> 'a insert_result
+(** Insert [line] (which must not be present).  If the set is full, the
+    least recently used line satisfying [can_evict] is evicted. *)
+
+val lru_matching :
+  'a t -> set_line:int -> f:(line:int -> 'a -> bool) -> (int * 'a) option
+(** Least-recently-used line in the set [set_line] maps to that satisfies
+    [f]; used to pick purge victims deterministically. *)
+
+val iter : 'a t -> f:(line:int -> 'a -> unit) -> unit
+val fold : 'a t -> init:'b -> f:('b -> line:int -> 'a -> 'b) -> 'b
+val count : 'a t -> int
+val capacity : 'a t -> int

@@ -1,0 +1,47 @@
+module Engine = Spandex_sim.Engine
+module Linedata = Spandex_proto.Linedata
+
+type t = {
+  engine : Engine.t;
+  latency : int;
+  service_interval : int;
+  lines : (int, int array) Hashtbl.t;
+  mutable next_free : int;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let create engine ~latency ~service_interval =
+  {
+    engine;
+    latency;
+    service_interval;
+    lines = Hashtbl.create 4096;
+    next_free = 0;
+    reads = 0;
+    writes = 0;
+  }
+
+let backing t line =
+  match Hashtbl.find_opt t.lines line with
+  | Some a -> a
+  | None ->
+    let a = Linedata.fresh_line ~line in
+    Hashtbl.add t.lines line a;
+    a
+
+let read_line t ~line ~k =
+  t.reads <- t.reads + 1;
+  let now = Engine.now t.engine in
+  let start = if t.next_free > now then t.next_free else now in
+  t.next_free <- start + t.service_interval;
+  Engine.at t.engine ~time:(start + t.latency) (fun () ->
+      k (Array.copy (backing t line)))
+
+let write_words t ~line ~mask ~values =
+  t.writes <- t.writes + 1;
+  Linedata.unpack_into ~mask ~values ~full:(backing t line)
+
+let peek_word t { Spandex_proto.Addr.line; word } = (backing t line).(word)
+let reads t = t.reads
+let writes t = t.writes

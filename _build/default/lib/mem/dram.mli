@@ -1,0 +1,26 @@
+(** Backing memory.
+
+    Holds the authoritative copy of every line not owned on chip.  Reads
+    cost [latency] cycles plus queuing at a fixed service rate; writes
+    update state immediately (write latency is off the critical path for
+    every protocol studied).  Never-written words read as
+    {!Spandex_proto.Linedata.init_word}. *)
+
+type t
+
+val create : Spandex_sim.Engine.t -> latency:int -> service_interval:int -> t
+(** [service_interval] cycles between successive accesses models DRAM
+    bandwidth; 0 means unlimited. *)
+
+val read_line : t -> line:int -> k:(int array -> unit) -> unit
+(** Fetch a full line; [k] receives a fresh copy after the access delay. *)
+
+val write_words :
+  t -> line:int -> mask:Spandex_util.Mask.t -> values:int array -> unit
+(** Commit masked words ([values] in packed order). *)
+
+val peek_word : t -> Spandex_proto.Addr.t -> int
+(** Current contents, for oracles/tests; no timing effect. *)
+
+val reads : t -> int
+val writes : t -> int

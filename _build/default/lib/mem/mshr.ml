@@ -1,0 +1,32 @@
+type 'a t = { capacity : int; entries : (int, 'a) Hashtbl.t }
+
+let create ~capacity =
+  assert (capacity > 0);
+  { capacity; entries = Hashtbl.create capacity }
+
+let is_full t = Hashtbl.length t.entries >= t.capacity
+let count t = Hashtbl.length t.entries
+let capacity t = t.capacity
+
+let alloc t v =
+  if is_full t then None
+  else begin
+    let txn = Spandex_proto.Txn.fresh () in
+    Hashtbl.add t.entries txn v;
+    Some txn
+  end
+
+let find t ~txn = Hashtbl.find_opt t.entries txn
+let free t ~txn = Hashtbl.remove t.entries txn
+
+let find_first t ~f =
+  Hashtbl.fold
+    (fun txn v best ->
+      if not (f v) then best
+      else
+        match best with
+        | Some (btxn, _) when btxn <= txn -> best
+        | _ -> Some (txn, v))
+    t.entries None
+
+let iter t ~f = Hashtbl.iter (fun txn v -> f ~txn v) t.entries

@@ -1,0 +1,24 @@
+(** Miss status holding registers.
+
+    A capacity-limited table of outstanding transactions, generic over the
+    per-miss bookkeeping each protocol needs.  Entries are keyed by the
+    transaction id of the request they track. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+
+val alloc : 'a t -> 'a -> int option
+(** Allocate an entry under a fresh transaction id, or [None] if full. *)
+
+val find : 'a t -> txn:int -> 'a option
+val free : 'a t -> txn:int -> unit
+val is_full : 'a t -> bool
+val count : 'a t -> int
+val capacity : 'a t -> int
+
+val find_first : 'a t -> f:('a -> bool) -> (int * 'a) option
+(** Entry with the smallest transaction id satisfying [f] — i.e. the oldest
+    matching miss. *)
+
+val iter : 'a t -> f:(txn:int -> 'a -> unit) -> unit

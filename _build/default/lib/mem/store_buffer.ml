@@ -1,0 +1,64 @@
+module Mask = Spandex_util.Mask
+module Addr = Spandex_proto.Addr
+
+type entry = { line : int; mutable mask : Mask.t; values : int array }
+
+type t = {
+  capacity : int;
+  table : (int, entry) Hashtbl.t;
+  mutable order : int list;  (** line allocation order, oldest first. *)
+}
+
+let create ~capacity =
+  assert (capacity > 0);
+  { capacity; table = Hashtbl.create capacity; order = [] }
+
+let push t ~addr:{ Addr.line; word } ~value =
+  match Hashtbl.find_opt t.table line with
+  | Some e ->
+    e.mask <- Mask.add e.mask word;
+    e.values.(word) <- value;
+    `Coalesced
+  | None ->
+    if Hashtbl.length t.table >= t.capacity then `Full
+    else begin
+      let e =
+        { line; mask = Mask.singleton word; values = Array.make Addr.words_per_line 0 }
+      in
+      e.values.(word) <- value;
+      Hashtbl.add t.table line e;
+      t.order <- t.order @ [ line ];
+      `New
+    end
+
+let is_empty t = Hashtbl.length t.table = 0
+let count t = Hashtbl.length t.table
+
+let remove t ~line =
+  if Hashtbl.mem t.table line then begin
+    Hashtbl.remove t.table line;
+    t.order <- List.filter (fun l -> l <> line) t.order
+  end
+
+let take_oldest t =
+  match t.order with
+  | [] -> None
+  | line :: rest ->
+    let e = Hashtbl.find t.table line in
+    Hashtbl.remove t.table line;
+    t.order <- rest;
+    Some e
+
+let peek_oldest t =
+  match t.order with
+  | [] -> None
+  | line :: _ -> Some (Hashtbl.find t.table line)
+
+let find t ~line = Hashtbl.find_opt t.table line
+
+let forward t ~addr:{ Addr.line; word } =
+  match Hashtbl.find_opt t.table line with
+  | Some e when Mask.mem e.mask word -> Some e.values.(word)
+  | Some _ | None -> None
+
+let iter t ~f = List.iter (fun line -> f (Hashtbl.find t.table line)) t.order

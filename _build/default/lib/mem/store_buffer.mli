@@ -1,0 +1,40 @@
+(** Coalescing store buffer.
+
+    Pending stores are held per line with a word mask and values; stores to
+    a line already buffered coalesce into one entry (paper §II-B/§II-C:
+    both GPU coherence and DeNovo coalesce stores to the same line in the
+    write buffer).  The owning L1 decides when and how entries are issued
+    (write-through vs. ownership). *)
+
+type entry = {
+  line : int;
+  mutable mask : Spandex_util.Mask.t;
+  values : int array;  (** full line array; only masked words are live. *)
+}
+
+type t
+
+val create : capacity:int -> t
+(** [capacity] is the maximum number of line entries. *)
+
+val push : t -> addr:Spandex_proto.Addr.t -> value:int -> [ `Coalesced | `New | `Full ]
+(** Add a store.  [`Full] means no entry exists for the line and the buffer
+    is at capacity; the core must stall and retry after a drain. *)
+
+val is_empty : t -> bool
+val count : t -> int
+
+val take_oldest : t -> entry option
+(** Remove and return the oldest entry (FIFO order of line allocation). *)
+
+val peek_oldest : t -> entry option
+(** The oldest entry without removing it. *)
+
+val find : t -> line:int -> entry option
+(** Entry for [line] if buffered; used for store-to-load forwarding. *)
+
+val forward : t -> addr:Spandex_proto.Addr.t -> int option
+(** Value a load of [addr] must observe from the buffer, if any. *)
+
+val remove : t -> line:int -> unit
+val iter : t -> f:(entry -> unit) -> unit

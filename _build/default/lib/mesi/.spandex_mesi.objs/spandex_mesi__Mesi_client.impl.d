@@ -1,0 +1,1 @@
+lib/mesi/mesi_client.ml: Array Format Hashtbl Option Printf Spandex Spandex_mem Spandex_net Spandex_proto Spandex_sim Spandex_util

@@ -1,0 +1,1 @@
+lib/mesi/mesi_client.mli: Spandex Spandex_net Spandex_proto Spandex_sim Spandex_util

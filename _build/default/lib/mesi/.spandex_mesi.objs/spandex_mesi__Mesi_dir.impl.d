@@ -1,0 +1,1 @@
+lib/mesi/mesi_dir.ml: Array Format List Option Printf Spandex_mem Spandex_net Spandex_proto Spandex_sim Spandex_util String

@@ -1,0 +1,1 @@
+lib/mesi/mesi_l1.mli: Spandex_device Spandex_net Spandex_proto Spandex_sim Spandex_util

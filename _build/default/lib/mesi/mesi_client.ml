@@ -1,0 +1,257 @@
+module Mask = Spandex_util.Mask
+module Stats = Spandex_util.Stats
+module Engine = Spandex_sim.Engine
+module Msg = Spandex_proto.Msg
+module Addr = Spandex_proto.Addr
+module Network = Spandex_net.Network
+module Mshr = Spandex_mem.Mshr
+module Backing = Spandex.Backing
+
+type config = {
+  id : Msg.device_id;
+  dir_id : Msg.device_id;
+  dir_banks : int;
+  hit_latency : int;
+}
+
+type pstate = P_I | P_S | P_M
+
+type acq = {
+  a_line : int;
+  a_k : int array option -> excl:bool -> unit;
+}
+
+type wb = { w_line : int; w_values : int array; w_k : unit -> unit }
+type outstanding = Acq of acq | Wb of wb
+
+type t = {
+  engine : Engine.t;
+  net : Network.t;
+  cfg : config;
+  states : (int, pstate) Hashtbl.t;
+  outstanding : outstanding Mshr.t;
+  stats : Stats.t;
+  mutable parked : int;  (* requests waiting for an MSHR slot. *)
+  mutable recall_handler : Backing.recall_handler;
+}
+
+let state t line = Option.value ~default:P_I (Hashtbl.find_opt t.states line)
+
+let set_state t line = function
+  | P_I -> Hashtbl.remove t.states line
+  | s -> Hashtbl.replace t.states line s
+
+let send t msg =
+  Engine.schedule t.engine ~delay:t.cfg.hit_latency (fun () ->
+      Network.send t.net msg)
+
+let request t ~txn ~kind ~line ?payload () =
+  send t
+    (Msg.make ~txn ~kind:(Msg.Req kind) ~line ~mask:Addr.full_mask ?payload
+       ~src:t.cfg.id ~dst:(t.cfg.dir_id + (line mod t.cfg.dir_banks)) ())
+
+let reply t (msg : Msg.t) ~kind ~dst ?payload () =
+  send t
+    (Msg.make ~txn:msg.Msg.txn ~kind:(Msg.Rsp kind) ~line:msg.Msg.line
+       ~mask:msg.Msg.mask ?payload ~src:t.cfg.id ~dst ())
+
+let pending_acq_for t line =
+  Mshr.find_first t.outstanding ~f:(function
+    | Acq a -> a.a_line = line
+    | _ -> false)
+
+let wb_for t line =
+  match
+    Mshr.find_first t.outstanding ~f:(function
+      | Wb b -> b.w_line = line
+      | _ -> false)
+  with
+  | Some (_, Wb b) -> Some b
+  | _ -> None
+
+(* ----- Backing interface ----------------------------------------------------- *)
+
+let acquire t ~line ~excl ~k =
+  match state t line with
+  | P_M -> k None ~excl:true
+  | P_S when not excl -> k None ~excl:false
+  | P_S | P_I ->
+    let kind = if excl then Msg.ReqOdata else Msg.ReqS in
+    Stats.incr t.stats (if excl then "getm" else "gets");
+    let rec fire () =
+      match Mshr.alloc t.outstanding (Acq { a_line = line; a_k = k }) with
+      | Some txn ->
+        t.parked <- t.parked - 1;
+        request t ~txn ~kind ~line ()
+      | None ->
+        (* All request slots busy: wait for responses to free one. *)
+        Stats.incr t.stats "mshr_stall";
+        Engine.schedule t.engine ~delay:4 fire
+    in
+    t.parked <- t.parked + 1;
+    fire ()
+
+let writeback t ~line ~data ~dirty ~k =
+  match state t line with
+  | P_M -> (
+    (* PutM returns ownership (and data, even when clean: the directory
+       believes we might have dirtied it). *)
+    ignore dirty;
+    set_state t line P_I;
+    Stats.incr t.stats "putm";
+    let record = Wb { w_line = line; w_values = Array.copy data; w_k = k } in
+    let rec fire () =
+      match Mshr.alloc t.outstanding record with
+      | Some txn ->
+        t.parked <- t.parked - 1;
+        request t ~txn ~kind:Msg.ReqWB ~line
+          ~payload:(Msg.Data (Array.copy data)) ()
+      | None ->
+        Stats.incr t.stats "mshr_stall";
+        Engine.schedule t.engine ~delay:4 fire
+    in
+    t.parked <- t.parked + 1;
+    fire ())
+  | P_S ->
+    (* Shared lines drop silently; a later Inv finds nothing and is Acked. *)
+    set_state t line P_I;
+    Stats.incr t.stats "silent_drop";
+    Engine.schedule t.engine ~delay:0 k
+  | P_I -> Engine.schedule t.engine ~delay:0 k
+
+(* ----- directory-initiated messages ------------------------------------------- *)
+
+let handle t (msg : Msg.t) =
+  match msg.Msg.kind with
+  | Msg.Probe Msg.Inv ->
+    (* The L2 (and everything under it) must drop the line. *)
+    if pending_acq_for t msg.Msg.line <> None then begin
+      (* §III-C: an Inv racing a pending upgrade is acknowledged at once;
+         the upgrade's response will carry fresh data. *)
+      Stats.incr t.stats "inv_mid_upgrade";
+      set_state t msg.Msg.line P_I;
+      reply t msg ~kind:Msg.Ack ~dst:msg.Msg.src ()
+    end
+    else begin
+      set_state t msg.Msg.line P_I;
+      t.recall_handler ~line:msg.Msg.line ~kind:Backing.Recall_excl
+        ~k:(fun _ -> reply t msg ~kind:Msg.Ack ~dst:msg.Msg.src ())
+    end
+  | Msg.Req Msg.ReqS when msg.Msg.fwd -> (
+    let from_record (b : wb) =
+      reply t msg ~kind:Msg.RspS ~dst:msg.Msg.requestor
+        ~payload:(Msg.Data (Array.copy b.w_values))
+        ();
+      reply t msg ~kind:Msg.RspRvkO ~dst:msg.Msg.src ()
+    in
+    match wb_for t msg.Msg.line with
+    | Some b -> from_record b
+    | None ->
+      (* The parent state changes only once the recall resolves: a purge
+         already in flight must still see P_M when it writes back. *)
+      t.recall_handler ~line:msg.Msg.line ~kind:Backing.Recall_shared
+        ~k:(fun result ->
+          match (result, wb_for t msg.Msg.line) with
+          | Some (data, _dirty), _ ->
+            set_state t msg.Msg.line P_S;
+            reply t msg ~kind:Msg.RspS ~dst:msg.Msg.requestor
+              ~payload:(Msg.Data (Array.copy data))
+              ();
+            reply t msg ~kind:Msg.RspRvkO ~dst:msg.Msg.src
+              ~payload:(Msg.Data data) ()
+          | None, Some b ->
+            (* The recall was queued behind a purge that evicted the line;
+               the write-back record created by that eviction has the data. *)
+            from_record b
+          | None, None ->
+            failwith "Mesi_client: forwarded ReqS for line not held"))
+  | Msg.Req Msg.ReqOdata when msg.Msg.fwd -> (
+    let from_record (b : wb) =
+      reply t msg ~kind:Msg.RspOdata ~dst:msg.Msg.requestor
+        ~payload:(Msg.Data (Array.copy b.w_values))
+        ();
+      reply t msg ~kind:Msg.RspRvkO ~dst:msg.Msg.src ()
+    in
+    match wb_for t msg.Msg.line with
+    | Some b -> from_record b
+    | None ->
+      t.recall_handler ~line:msg.Msg.line ~kind:Backing.Recall_excl
+        ~k:(fun result ->
+          match (result, wb_for t msg.Msg.line) with
+          | Some (data, _dirty), _ ->
+            set_state t msg.Msg.line P_I;
+            reply t msg ~kind:Msg.RspOdata ~dst:msg.Msg.requestor
+              ~payload:(Msg.Data data) ();
+            reply t msg ~kind:Msg.RspRvkO ~dst:msg.Msg.src ()
+          | None, Some b -> from_record b
+          | None, None ->
+            failwith "Mesi_client: forwarded ReqO+data for line not held"))
+  | Msg.Probe Msg.RvkO -> (
+    match wb_for t msg.Msg.line with
+    | Some _ -> reply t msg ~kind:Msg.RspRvkO ~dst:msg.Msg.src ()
+    | None ->
+      t.recall_handler ~line:msg.Msg.line ~kind:Backing.Recall_excl
+        ~k:(fun result ->
+          set_state t msg.Msg.line P_I;
+          match result with
+          | Some (data, _dirty) ->
+            reply t msg ~kind:Msg.RspRvkO ~dst:msg.Msg.src
+              ~payload:(Msg.Data data) ()
+          | None ->
+            (* If a purge-eviction raced us, its PutM carries the data. *)
+            reply t msg ~kind:Msg.RspRvkO ~dst:msg.Msg.src ()))
+  | Msg.Rsp _ -> (
+    match Mshr.find t.outstanding ~txn:msg.Msg.txn with
+    | None -> Stats.incr t.stats "orphan_rsp"
+    | Some (Acq a) -> (
+      Mshr.free t.outstanding ~txn:msg.Msg.txn;
+      match (msg.Msg.kind, msg.Msg.payload) with
+      | Msg.Rsp Msg.RspS, Msg.Data values ->
+        set_state t a.a_line P_S;
+        a.a_k (Some values) ~excl:false
+      | Msg.Rsp Msg.RspOdata, Msg.Data values ->
+        set_state t a.a_line P_M;
+        a.a_k (Some values) ~excl:true
+      | _ -> failwith "Mesi_client: unexpected acquire response")
+    | Some (Wb b) ->
+      (match msg.Msg.kind with
+      | Msg.Rsp Msg.RspWB -> ()
+      | _ -> failwith "Mesi_client: unexpected write-back response");
+      Mshr.free t.outstanding ~txn:msg.Msg.txn;
+      b.w_k ())
+  | Msg.Req _ ->
+    failwith (Format.asprintf "Mesi_client: unexpected message %a" Msg.pp msg)
+
+let create engine net cfg =
+  let t =
+    {
+      engine;
+      net;
+      cfg;
+      states = Hashtbl.create 1024;
+      outstanding = Mshr.create ~capacity:256;
+      stats = Stats.create ();
+      parked = 0;
+      recall_handler = (fun ~line:_ ~kind:_ ~k -> k None);
+    }
+  in
+  Network.register net ~id:cfg.id (fun msg -> handle t msg);
+  t
+
+let quiescent t = Mshr.count t.outstanding = 0 && t.parked = 0
+
+let describe_pending t =
+  Printf.sprintf "mesi_client %d: outstanding=%d" t.cfg.id
+    (Mshr.count t.outstanding)
+
+let backing t =
+  {
+    Backing.name = "mesi_client";
+    acquire = (fun ~line ~excl ~k -> acquire t ~line ~excl ~k);
+    writeback = (fun ~line ~data ~dirty ~k -> writeback t ~line ~data ~dirty ~k);
+    set_recall_handler = (fun h -> t.recall_handler <- h);
+    quiescent = (fun () -> quiescent t);
+    describe_pending = (fun () -> describe_pending t);
+  }
+
+let stats t = t.stats

@@ -1,0 +1,367 @@
+module Mask = Spandex_util.Mask
+module Stats = Spandex_util.Stats
+module Engine = Spandex_sim.Engine
+module Msg = Spandex_proto.Msg
+module Addr = Spandex_proto.Addr
+module Linedata = Spandex_proto.Linedata
+module Txn = Spandex_proto.Txn
+module Network = Spandex_net.Network
+module Cache_frame = Spandex_mem.Cache_frame
+module Dram = Spandex_mem.Dram
+
+type config = {
+  dir_id : Msg.device_id;  (* first bank endpoint. *)
+  banks : int;
+  sets : int;
+  ways : int;
+  access_latency : int;
+}
+
+let bank_of cfg line = cfg.dir_id + (line mod cfg.banks)
+
+type dir_state = D_V | D_S of Msg.device_id list | D_M of Msg.device_id
+
+type pending =
+  | Fetching
+  | Collecting_acks of { mutable acks_left : int; resume : unit -> unit }
+  | Awaiting of {
+      from : Msg.device_id;
+      expect_data : bool;
+      mutable satisfied : bool;
+      resume : unit -> unit;
+    }
+
+type meta = {
+  mutable dstate : dir_state;
+  data : int array;
+  mutable dirty : bool;
+  mutable pending : pending option;
+  mutable blocked : Msg.t list;
+}
+
+type t = {
+  engine : Engine.t;
+  net : Network.t;
+  dram : Dram.t;
+  cfg : config;
+  frame : meta Cache_frame.t;
+  stats : Stats.t;
+}
+
+let send t msg =
+  Engine.schedule t.engine ~delay:t.cfg.access_latency (fun () ->
+      Network.send t.net msg)
+
+let respond t (req : Msg.t) ~kind ?payload () =
+  send t
+    (Msg.make ~txn:req.Msg.txn ~kind:(Msg.Rsp kind) ~line:req.Msg.line
+       ~mask:req.Msg.mask ?payload ~src:(bank_of t.cfg req.Msg.line)
+       ~dst:req.Msg.requestor ())
+
+let respond_data t req meta ~kind =
+  respond t req ~kind ~payload:(Msg.Data (Array.copy meta.data)) ()
+
+let forward t (req : Msg.t) ~kind ~dst =
+  send t
+    (Msg.make ~txn:req.Msg.txn ~kind:(Msg.Req kind) ~line:req.Msg.line
+       ~mask:Addr.full_mask ~src:(bank_of t.cfg req.Msg.line) ~dst
+       ~requestor:req.Msg.requestor ~fwd:true ())
+
+let probe t ~kind ~dst ~line =
+  send t
+    (Msg.make ~txn:(Txn.fresh ()) ~kind:(Msg.Probe kind) ~line
+       ~mask:Addr.full_mask ~src:(bank_of t.cfg line) ~dst ())
+
+let payload_values (msg : Msg.t) =
+  match msg.Msg.payload with
+  | Msg.Data v -> v
+  | Msg.No_data -> invalid_arg "Mesi_dir: request missing data payload"
+
+let rec handle t (msg : Msg.t) =
+  match msg.Msg.kind with
+  | Msg.Req k -> handle_req t msg k
+  | Msg.Rsp k -> handle_rsp t msg k
+  | Msg.Probe _ -> failwith "Mesi_dir: received a probe"
+
+and handle_req t (msg : Msg.t) kind =
+  Stats.incr t.stats ("req." ^ Msg.req_kind_name kind);
+  match Cache_frame.find t.frame ~line:msg.Msg.line with
+  | None ->
+    if kind = Msg.ReqWB then begin
+      Stats.incr t.stats "wb_stale";
+      respond t msg ~kind:Msg.RspWB ()
+    end
+    else begin
+      Stats.incr t.stats "miss";
+      allocate_and_fetch t msg
+    end
+  | Some meta -> (
+    Cache_frame.touch t.frame ~line:msg.Msg.line;
+    match meta.pending with
+    | Some (Awaiting a) when kind = Msg.ReqWB && a.from = msg.Msg.src && not a.satisfied
+      ->
+      (* The owner's eviction crossed our forward/recall; the PutM carries
+         the data. *)
+      apply_wb t meta msg;
+      respond t msg ~kind:Msg.RspWB ();
+      a.satisfied <- true;
+      meta.pending <- None;
+      a.resume ()
+    | Some _ ->
+      Stats.incr t.stats "blocked";
+      meta.blocked <- meta.blocked @ [ msg ]
+    | None -> dispatch t meta msg kind)
+
+and dispatch t meta (msg : Msg.t) kind =
+  Stats.incr t.stats "hit";
+  match (kind, meta.dstate) with
+  (* --- GetS ------------------------------------------------------------ *)
+  | Msg.ReqS, D_V ->
+    (* Unshared: grant Exclusive (standard MESI E optimization). *)
+    Stats.incr t.stats "e_grant";
+    meta.dstate <- D_M msg.Msg.requestor;
+    respond_data t msg meta ~kind:Msg.RspOdata
+  | Msg.ReqS, D_S sharers ->
+    meta.dstate <- D_S (msg.Msg.requestor :: List.filter (fun d -> d <> msg.Msg.requestor) sharers);
+    respond_data t msg meta ~kind:Msg.RspS
+  | Msg.ReqS, D_M owner ->
+    (* Blocking: downgrade the owner, who sends data to the requestor and a
+       write-back copy here. *)
+    Stats.incr t.stats "fwd_gets";
+    meta.pending <-
+      Some
+        (Awaiting
+           {
+             from = owner;
+             expect_data = true;
+             satisfied = false;
+             resume =
+               (fun () ->
+                 meta.dstate <- D_S [ owner; msg.Msg.requestor ];
+                 after_pending t msg.Msg.line);
+           });
+    forward t msg ~kind:Msg.ReqS ~dst:owner
+  (* --- GetM ------------------------------------------------------------ *)
+  | Msg.ReqOdata, D_V ->
+    meta.dstate <- D_M msg.Msg.requestor;
+    respond_data t msg meta ~kind:Msg.RspOdata
+  | Msg.ReqOdata, D_S sharers ->
+    let targets = List.filter (fun d -> d <> msg.Msg.requestor) sharers in
+    let grant () =
+      meta.dstate <- D_M msg.Msg.requestor;
+      respond_data t msg meta ~kind:Msg.RspOdata
+    in
+    if targets = [] then grant ()
+    else begin
+      Stats.incr t.stats "inv_bursts";
+      meta.pending <-
+        Some
+          (Collecting_acks
+             {
+               acks_left = List.length targets;
+               resume =
+                 (fun () ->
+                   grant ();
+                   after_pending t msg.Msg.line);
+             });
+      List.iter
+        (fun d ->
+          Stats.incr t.stats "inv_sent";
+          probe t ~kind:Msg.Inv ~dst:d ~line:msg.Msg.line)
+        targets
+    end
+  | Msg.ReqOdata, D_M owner when owner = msg.Msg.requestor ->
+    (* Shouldn't arise (the owner writes locally), but answer with data. *)
+    respond_data t msg meta ~kind:Msg.RspOdata
+  | Msg.ReqOdata, D_M owner ->
+    (* Blocking transfer: the old owner supplies data to the requestor and
+       confirms to the directory. *)
+    Stats.incr t.stats "fwd_getm";
+    meta.pending <-
+      Some
+        (Awaiting
+           {
+             from = owner;
+             expect_data = false;
+             satisfied = false;
+             resume =
+               (fun () ->
+                 meta.dstate <- D_M msg.Msg.requestor;
+                 after_pending t msg.Msg.line);
+           });
+    forward t msg ~kind:Msg.ReqOdata ~dst:owner
+  (* --- PutM ------------------------------------------------------------ *)
+  | Msg.ReqWB, _ ->
+    apply_wb t meta msg;
+    respond t msg ~kind:Msg.RspWB ()
+  | (Msg.ReqV | Msg.ReqWT | Msg.ReqO | Msg.ReqWTdata), _ ->
+    failwith
+      (Format.asprintf "Mesi_dir: unsupported request %a (MESI is RfO-only)"
+         Msg.pp msg)
+
+and apply_wb t meta (msg : Msg.t) =
+  match meta.dstate with
+  | D_M owner when owner = msg.Msg.src ->
+    Stats.incr t.stats "wb_live";
+    let values = payload_values msg in
+    Linedata.unpack_into ~mask:msg.Msg.mask ~values ~full:meta.data;
+    meta.dirty <- true;
+    meta.dstate <- D_V
+  | D_M _ | D_V | D_S _ -> Stats.incr t.stats "wb_stale"
+
+and handle_rsp t (msg : Msg.t) kind =
+  match Cache_frame.find t.frame ~line:msg.Msg.line with
+  | None -> Stats.incr t.stats "rsp_orphan"
+  | Some meta -> (
+    match (kind, meta.pending) with
+    | Msg.Ack, Some (Collecting_acks c) ->
+      c.acks_left <- c.acks_left - 1;
+      if c.acks_left = 0 then begin
+        meta.pending <- None;
+        c.resume ()
+      end
+    | Msg.RspRvkO, Some (Awaiting a) when a.from = msg.Msg.src ->
+      if a.satisfied then Stats.incr t.stats "rvko_dup"
+      else begin
+        (if a.expect_data then
+           match msg.Msg.payload with
+           | Msg.Data values ->
+             Linedata.unpack_into ~mask:msg.Msg.mask ~values ~full:meta.data;
+             meta.dirty <- true
+           | Msg.No_data ->
+             (* Data already arrived in a crossing PutM. *)
+             ());
+        a.satisfied <- true;
+        meta.pending <- None;
+        a.resume ()
+      end
+    | (Msg.Ack | Msg.RspRvkO), _ -> Stats.incr t.stats "rsp_orphan"
+    | _ -> failwith "Mesi_dir: unexpected response kind")
+
+and after_pending t line =
+  match Cache_frame.find t.frame ~line with
+  | None -> ()
+  | Some meta ->
+    if meta.pending = None then begin
+      match meta.blocked with
+      | [] -> ()
+      | msgs ->
+        meta.blocked <- [];
+        List.iter (fun m -> handle t m) msgs
+    end
+
+and can_evict ~line:_ meta =
+  meta.pending = None && meta.blocked = []
+  && match meta.dstate with D_V -> true | D_S _ | D_M _ -> false
+
+and allocate_and_fetch t (msg : Msg.t) =
+  let line = msg.Msg.line in
+  let meta =
+    {
+      dstate = D_V;
+      data = Array.make Addr.words_per_line 0;
+      dirty = false;
+      pending = None;
+      blocked = [];
+    }
+  in
+  let start_fetch () =
+    meta.pending <- Some Fetching;
+    meta.blocked <- [ msg ];
+    Dram.read_line t.dram ~line ~k:(fun values ->
+        Array.blit values 0 meta.data 0 Addr.words_per_line;
+        meta.pending <- None;
+        after_pending t line)
+  in
+  match Cache_frame.insert t.frame ~line meta ~can_evict with
+  | Cache_frame.Inserted -> start_fetch ()
+  | Cache_frame.Evicted (vline, vmeta) ->
+    Stats.incr t.stats "evict";
+    if vmeta.dirty then
+      Dram.write_words t.dram ~line:vline ~mask:Addr.full_mask
+        ~values:vmeta.data;
+    start_fetch ()
+  | Cache_frame.No_room -> begin
+    match find_recall_victim t line with
+    | Some (vline, vmeta) ->
+      Stats.incr t.stats "evict_recall";
+      recall t vline vmeta ~k:(fun () -> handle t msg)
+    | None ->
+      Stats.incr t.stats "alloc_stall";
+      Engine.schedule t.engine ~delay:8 (fun () -> handle t msg)
+  end
+
+and find_recall_victim t line =
+  Cache_frame.lru_matching t.frame ~set_line:line ~f:(fun ~line:_ m ->
+      m.pending = None)
+
+(* Forcibly reclaim a line for eviction: invalidate sharers or revoke the
+   owner, write back, drop, then replay its queued requests. *)
+and recall t line meta ~k =
+  let finish () =
+    let queued = meta.blocked in
+    meta.blocked <- [];
+    if meta.dirty then
+      Dram.write_words t.dram ~line ~mask:Addr.full_mask ~values:meta.data;
+    Cache_frame.remove t.frame ~line;
+    k ();
+    List.iter (fun m -> handle t m) queued
+  in
+  match meta.dstate with
+  | D_V -> finish ()
+  | D_S sharers ->
+    meta.dstate <- D_V;
+    meta.pending <-
+      Some (Collecting_acks { acks_left = List.length sharers; resume = finish });
+    List.iter
+      (fun d ->
+        Stats.incr t.stats "inv_sent";
+        probe t ~kind:Msg.Inv ~dst:d ~line)
+      sharers
+  | D_M owner ->
+    (* dstate stays D_M so a crossing PutM from the owner is merged. *)
+    meta.pending <-
+      Some
+        (Awaiting { from = owner; expect_data = true; satisfied = false; resume = finish });
+    Stats.incr t.stats "rvko_sent";
+    probe t ~kind:Msg.RvkO ~dst:owner ~line
+
+let create engine net dram cfg =
+  let t =
+    {
+      engine;
+      net;
+      dram;
+      cfg;
+      frame = Cache_frame.create ~sets:cfg.sets ~ways:cfg.ways;
+      stats = Stats.create ();
+    }
+  in
+  for b = 0 to cfg.banks - 1 do
+    Network.register net ~id:(cfg.dir_id + b) (fun msg -> handle t msg)
+  done;
+  t
+
+let quiescent t =
+  Cache_frame.fold t.frame ~init:true ~f:(fun acc ~line:_ m ->
+      acc && m.pending = None && m.blocked = [])
+
+let describe_pending t =
+  let busy =
+    Cache_frame.fold t.frame ~init:[] ~f:(fun acc ~line m ->
+        match m.pending with
+        | None -> acc
+        | Some _ ->
+          Printf.sprintf "line %d busy (+%d blocked)" line
+            (List.length m.blocked)
+          :: acc)
+  in
+  if busy = [] then "dir: idle" else "dir: " ^ String.concat "; " busy
+
+let stats t = t.stats
+
+let line_state t ~line =
+  Option.map (fun m -> m.dstate) (Cache_frame.find t.frame ~line)
+
+let peek_word t { Addr.line; word } =
+  Option.map (fun m -> m.data.(word)) (Cache_frame.find t.frame ~line)

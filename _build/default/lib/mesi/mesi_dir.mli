@@ -1,0 +1,38 @@
+(** Directory MESI LLC — the last level of the hierarchical baseline
+    (paper §II-A, §II-D, §IV-A "H-MESI").
+
+    Classic read-for-ownership, line-granularity directory: GetS (ReqS)
+    misses allocate and grant Exclusive when unshared; GetM (ReqO+data)
+    invalidates sharers or forwards to the owner, and the line sits in a
+    {e blocking} transient state until the transfer is confirmed — the
+    overhead Spandex's non-blocking word-granularity transfers avoid.
+    Clients are MESI L1 caches ({!Mesi_l1}) and the hierarchical GPU L2's
+    backside port ({!Mesi_client}). *)
+
+type config = {
+  dir_id : Spandex_proto.Msg.device_id;  (** first bank endpoint. *)
+  banks : int;
+  sets : int;
+  ways : int;
+  access_latency : int;
+}
+
+type t
+
+val create :
+  Spandex_sim.Engine.t ->
+  Spandex_net.Network.t ->
+  Spandex_mem.Dram.t ->
+  config ->
+  t
+
+val quiescent : t -> bool
+val describe_pending : t -> string
+val stats : t -> Spandex_util.Stats.t
+
+(** {2 Test introspection} *)
+
+type dir_state = D_V | D_S of Spandex_proto.Msg.device_id list | D_M of Spandex_proto.Msg.device_id
+
+val line_state : t -> line:int -> dir_state option
+val peek_word : t -> Spandex_proto.Addr.t -> int option

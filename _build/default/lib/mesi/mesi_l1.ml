@@ -1,0 +1,695 @@
+module Mask = Spandex_util.Mask
+module Stats = Spandex_util.Stats
+module Engine = Spandex_sim.Engine
+module Msg = Spandex_proto.Msg
+module Addr = Spandex_proto.Addr
+module Amo = Spandex_proto.Amo
+module State = Spandex_proto.State
+module Linedata = Spandex_proto.Linedata
+module Network = Spandex_net.Network
+module Cache_frame = Spandex_mem.Cache_frame
+module Mshr = Spandex_mem.Mshr
+module Store_buffer = Spandex_mem.Store_buffer
+module Port = Spandex_device.Port
+module Tu = Spandex.Tu
+
+type config = {
+  id : Msg.device_id;
+  llc_id : Msg.device_id;
+  llc_banks : int;
+  sets : int;
+  ways : int;
+  mshrs : int;
+  sb_capacity : int;
+  hit_latency : int;
+  coalesce_window : int;
+  notify_home_on_fwd_getm : bool;
+}
+
+type line = { data : int array; mutable mstate : State.mesi }
+
+type read_miss = {
+  r_line : int;
+  r_collector : Tu.t;
+  mutable r_waiters : (int * (int -> unit)) list;
+  mutable r_excl : bool;  (* some words granted with ownership (E). *)
+  mutable r_valid_only : bool;
+      (* served like a ReqV (LLC option (2)): the data must be dropped
+         after the read completes, precluding reuse (paper III-B). *)
+  mutable r_inv : bool;
+      (* an Inv arrived mid-read (III-C case 1): the Shared grant it races
+         with is already stale — deliver the values but cache nothing.  An
+         exclusive grant is newer than any Inv and still installs. *)
+  mutable r_downgraded : Spandex_util.Mask.t;
+      (* a ReqS can be granted with ownership (option 3), so reads race
+         with downgrades exactly like writes (§III-C case 1). *)
+  mutable r_queued : Msg.t list;
+}
+
+(* A pending ReqO+data write or RMW miss. *)
+type write_miss = {
+  m_line : int;
+  m_collector : Tu.t;
+  m_store : (Mask.t * int array) option;  (* drained store-buffer entry. *)
+  m_rmw : (int * Amo.t * (int -> unit)) option;
+  mutable m_downgraded : Mask.t;  (* words stolen by data-less fwd ReqO. *)
+  mutable m_queued : Msg.t list;  (* delayed data-needing externals. *)
+  mutable m_loads : (int * (int -> unit)) list;
+      (* loads that missed while this write was in flight: issuing a ReqS
+         beside a pending ReqO+data for the same line would race it at the
+         LLC and one of the two would be granted without data; the loads
+         are served from the grant instead. *)
+}
+
+type wb_req = { b_line : int; b_values : int array }
+
+type outstanding = Read of read_miss | Write of write_miss
+
+type t = {
+  engine : Engine.t;
+  net : Network.t;
+  cfg : config;
+  frame : line Cache_frame.t;
+  sb : Store_buffer.t;
+  outstanding : outstanding Mshr.t;
+  sb_ages : (int, int) Hashtbl.t;
+  (* Write-backs in flight, keyed by transaction id.  Kept outside the MSHR
+     file: the record is protocol state (the data must be servable while
+     the LLC still lists this cache as owner) and must exist from the
+     instant the line is downgraded, regardless of miss-resource pressure. *)
+  wb_records : (int, wb_req) Hashtbl.t;
+  forced_lines : (int, unit) Hashtbl.t;  (* drain immediately (RMW order). *)
+  stats : Stats.t;
+  mutable flushing : bool;
+  mutable drain_armed : bool;
+  mutable release_waiters : (unit -> unit) list;
+  mutable stalled_stores : (unit -> unit) list;
+}
+
+let send t msg =
+  Engine.schedule t.engine ~delay:t.cfg.hit_latency (fun () ->
+      Network.send t.net msg)
+
+let request t ~txn ~kind ~line ~mask ?payload () =
+  send t
+    (Msg.make ~txn ~kind:(Msg.Req kind) ~line ~mask ?payload ~src:t.cfg.id
+       ~dst:(t.cfg.llc_id + (line mod t.cfg.llc_banks)) ())
+
+let reply t (msg : Msg.t) ~kind ~dst ~mask ?payload () =
+  if not (Mask.is_empty mask) then
+    send t
+      (Msg.make ~txn:msg.Msg.txn ~kind:(Msg.Rsp kind) ~line:msg.Msg.line ~mask
+         ?payload ~src:t.cfg.id ~dst ())
+
+let reply_data t msg ~kind ~dst ~mask ~values =
+  if not (Mask.is_empty mask) then
+    reply t msg ~kind ~dst ~mask
+      ~payload:(Msg.Data (Linedata.pack ~mask ~full:values))
+      ()
+
+(* ----- frame management ----------------------------------------------------- *)
+
+let send_wb t ~line ~values =
+  let txn = Spandex_proto.Txn.fresh () in
+  Hashtbl.replace t.wb_records txn { b_line = line; b_values = values };
+  Stats.incr t.stats "wb_issued";
+  request t ~txn ~kind:Msg.ReqWB ~line ~mask:Addr.full_mask
+    ~payload:(Msg.Data (Array.copy values))
+    ()
+
+let install t ~line_id ~values ~mstate =
+  match Cache_frame.find t.frame ~line:line_id with
+  | Some l ->
+    Array.blit values 0 l.data 0 Addr.words_per_line;
+    l.mstate <- mstate;
+    l
+  | None -> (
+    let fresh = { data = Array.copy values; mstate } in
+    match
+      Cache_frame.insert t.frame ~line:line_id fresh ~can_evict:(fun ~line:_ _ ->
+          true)
+    with
+    | Cache_frame.Inserted -> fresh
+    | Cache_frame.Evicted (vline, vmeta) ->
+      Stats.incr t.stats "evictions";
+      (match vmeta.mstate with
+      | State.M_M | State.M_E -> send_wb t ~line:vline ~values:vmeta.data
+      | State.M_S | State.M_I -> ());
+      fresh
+    | Cache_frame.No_room -> assert false)
+
+(* ----- store-buffer drain ---------------------------------------------------- *)
+
+let entry_ready t line =
+  if
+    t.flushing || Hashtbl.mem t.forced_lines line
+    || Store_buffer.count t.sb * 2 >= t.cfg.sb_capacity
+  then true
+  else
+    let age =
+      Engine.now t.engine
+      - Option.value ~default:0 (Hashtbl.find_opt t.sb_ages line)
+    in
+    age >= t.cfg.coalesce_window
+
+let write_pending_for t line =
+  match
+    Mshr.find_first t.outstanding ~f:(function
+      | Write w -> w.m_line = line
+      | Read _ -> false)
+  with
+  | Some (_, Write w) -> Some w
+  | _ -> None
+
+(* A pending ReqS may be granted Exclusive (option 3), making this cache
+   the registered owner; issuing a ReqO+data for the same line while it is
+   in flight would be answered with a data-less self-grant.  Writes and
+   RMWs therefore wait for reads to the same line. *)
+let read_pending t line =
+  Mshr.find_first t.outstanding ~f:(function
+    | Read m -> m.r_line = line
+    | Write _ -> false)
+  <> None
+
+let writes_pending t =
+  let n = ref 0 in
+  Mshr.iter t.outstanding ~f:(fun ~txn:_ -> function
+    | Write _ -> incr n
+    | Read _ -> ());
+  !n
+
+let check_release t =
+  if t.flushing && Store_buffer.is_empty t.sb && writes_pending t = 0 then begin
+    t.flushing <- false;
+    let ws = t.release_waiters in
+    t.release_waiters <- [];
+    List.iter (fun k -> k ()) ws
+  end
+
+let rec arm_drain t ~delay =
+  if not t.drain_armed then begin
+    t.drain_armed <- true;
+    Engine.schedule t.engine ~delay (fun () ->
+        t.drain_armed <- false;
+        drain t)
+  end
+
+and drain t =
+  match Store_buffer.peek_oldest t.sb with
+  | None -> check_release t
+  | Some e ->
+    let line_id = e.Store_buffer.line in
+    if not (entry_ready t line_id) then
+      arm_drain t ~delay:(max 1 t.cfg.coalesce_window)
+    else if write_pending_for t line_id <> None || read_pending t line_id then
+      (* Same-line request already in flight; strict FIFO, re-checked when
+         a response arrives. *)
+      ()
+    else begin
+      match Cache_frame.find t.frame ~line:line_id with
+      | Some l when l.mstate = State.M_M || l.mstate = State.M_E ->
+        let e = Option.get (Store_buffer.take_oldest t.sb) in
+        Hashtbl.remove t.sb_ages line_id;
+        Hashtbl.remove t.forced_lines line_id;
+        l.mstate <- State.M_M;
+        Mask.iter e.Store_buffer.mask ~f:(fun w ->
+            l.data.(w) <- e.Store_buffer.values.(w));
+        Stats.incr t.stats "store_commit_owned";
+        (* A freed entry may unblock a stalled store on either drain path. *)
+        let stalled = t.stalled_stores in
+        t.stalled_stores <- [];
+        List.iter (fun retry -> retry ()) stalled;
+        drain t
+      | _ ->
+        if Mshr.is_full t.outstanding then ()
+        else begin
+          let e = Option.get (Store_buffer.take_oldest t.sb) in
+          Hashtbl.remove t.sb_ages line_id;
+          Hashtbl.remove t.forced_lines line_id;
+          let w =
+            {
+              m_line = line_id;
+              m_collector = Tu.create ~demand:Addr.full_mask;
+              m_store = Some (e.Store_buffer.mask, Array.copy e.Store_buffer.values);
+              m_rmw = None;
+              m_downgraded = Mask.empty;
+              m_queued = [];
+              m_loads = [];
+            }
+          in
+          (match Mshr.alloc t.outstanding (Write w) with
+          | Some txn ->
+            Stats.incr t.stats "write_miss";
+            (* Read-for-ownership: fetch the whole line with ownership. *)
+            request t ~txn ~kind:Msg.ReqOdata ~line:line_id ~mask:Addr.full_mask
+              ()
+          | None -> assert false);
+          let stalled = t.stalled_stores in
+          t.stalled_stores <- [];
+          List.iter (fun retry -> retry ()) stalled;
+          drain t
+        end
+    end
+
+(* ----- loads ---------------------------------------------------------------- *)
+
+let rec load t (addr : Addr.t) ~k =
+  let done_ v = Engine.schedule t.engine ~delay:t.cfg.hit_latency (fun () -> k v) in
+  let { Addr.line; word } = addr in
+  match Store_buffer.forward t.sb ~addr with
+  | Some v ->
+    Stats.incr t.stats "load_sb_fwd";
+    done_ v
+  | None -> (
+    (* A drained but un-granted store also forwards; any other load beside
+       a pending write to the same line waits for the write's grant. *)
+    match write_pending_for t line with
+    | Some { m_store = Some (mask, values); _ } when Mask.mem mask word ->
+      Stats.incr t.stats "load_sb_fwd";
+      done_ values.(word)
+    | Some w ->
+      Stats.incr t.stats "load_waits_write";
+      w.m_loads <- (word, k) :: w.m_loads
+    | None -> (
+      match Cache_frame.find t.frame ~line with
+      | Some l when l.mstate <> State.M_I ->
+        Stats.incr t.stats "load_hit";
+        Cache_frame.touch t.frame ~line;
+        done_ l.data.(word)
+      | _ -> (
+        Stats.incr t.stats "load_miss";
+        match
+          Mshr.find_first t.outstanding ~f:(function
+            | Read m -> m.r_line = line
+            | _ -> false)
+        with
+        | Some (_, Read m) ->
+          Stats.incr t.stats "load_miss_coalesced";
+          m.r_waiters <- (word, k) :: m.r_waiters
+        | Some _ -> assert false
+        | None -> (
+          let m =
+            {
+              r_line = line;
+              r_collector = Tu.create ~demand:Addr.full_mask;
+              r_waiters = [ (word, k) ];
+              r_excl = false;
+              r_valid_only = false;
+              r_inv = false;
+              r_downgraded = Mask.empty;
+              r_queued = [];
+            }
+          in
+          match Mshr.alloc t.outstanding (Read m) with
+          | Some txn ->
+            request t ~txn ~kind:Msg.ReqS ~line ~mask:Addr.full_mask ()
+          | None ->
+            Stats.incr t.stats "mshr_stall";
+            Engine.schedule t.engine ~delay:4 (fun () -> load t addr ~k)))))
+
+(* ----- stores and RMWs ------------------------------------------------------- *)
+
+let rec store t (addr : Addr.t) ~value ~k =
+  match Store_buffer.push t.sb ~addr ~value with
+  | `Coalesced | `New ->
+    Stats.incr t.stats "stores";
+    Hashtbl.replace t.sb_ages addr.Addr.line (Engine.now t.engine);
+    arm_drain t ~delay:1;
+    Engine.schedule t.engine ~delay:t.cfg.hit_latency k
+  | `Full ->
+    Stats.incr t.stats "sb_full_stall";
+    t.stalled_stores <- (fun () -> store t addr ~value ~k) :: t.stalled_stores;
+    arm_drain t ~delay:1
+
+let rec rmw t (addr : Addr.t) amo ~k =
+  let { Addr.line; word } = addr in
+  (* Program order: buffered stores to this line must commit first. *)
+  if
+    Store_buffer.find t.sb ~line <> None
+    || write_pending_for t line <> None
+    || read_pending t line
+  then begin
+    Hashtbl.replace t.forced_lines line ();
+    arm_drain t ~delay:0;
+    Engine.schedule t.engine ~delay:2 (fun () -> rmw t addr amo ~k)
+  end
+  else
+    match Cache_frame.find t.frame ~line with
+    | Some l when l.mstate = State.M_M || l.mstate = State.M_E ->
+      Stats.incr t.stats "rmw_hit";
+      l.mstate <- State.M_M;
+      let next, old = Amo.apply amo l.data.(word) in
+      l.data.(word) <- next;
+      Engine.schedule t.engine ~delay:t.cfg.hit_latency (fun () -> k old)
+    | _ -> (
+      Stats.incr t.stats "rmw_miss";
+      let w =
+        {
+          m_line = line;
+          m_collector = Tu.create ~demand:Addr.full_mask;
+          m_store = None;
+          m_rmw = Some (word, amo, k);
+          m_downgraded = Mask.empty;
+          m_queued = [];
+          m_loads = [];
+        }
+      in
+      match Mshr.alloc t.outstanding (Write w) with
+      | Some txn -> request t ~txn ~kind:Msg.ReqOdata ~line ~mask:Addr.full_mask ()
+      | None ->
+        Stats.incr t.stats "mshr_stall";
+        Engine.schedule t.engine ~delay:4 (fun () -> rmw t addr amo ~k))
+
+(* ----- external requests (TU behaviours, §III-D) ------------------------------ *)
+
+let wb_record_for t line =
+  Hashtbl.fold
+    (fun _ (b : wb_req) acc ->
+      if b.b_line = line then Some b else acc)
+    t.wb_records None
+
+let read_pending_for t line =
+  match
+    Mshr.find_first t.outstanding ~f:(function
+      | Read m -> m.r_line = line
+      | Write _ -> false)
+  with
+  | Some (_, Read m) -> Some m
+  | _ -> None
+
+(* Downgrade the owned line for an external request covering [msg.mask];
+   words of the line outside the request are written back (Fig. 1d). *)
+let rec external_req t (msg : Msg.t) =
+  let line_id = msg.Msg.line in
+  let owned_line =
+    match Cache_frame.find t.frame ~line:line_id with
+    | Some l when l.mstate = State.M_M || l.mstate = State.M_E -> Some l
+    | _ -> None
+  in
+  (* Order matters: while a write-back record is alive, any forwarded
+     request for its words was serialized before the write-back at the LLC
+     (point-to-point FIFO), i.e. it targets the OLD ownership epoch and
+     must be served from the retained data — never queued behind a newer
+     pending write for the same line (that would deadlock the chain). *)
+  match (owned_line, wb_record_for t line_id, write_pending_for t line_id) with
+  | Some l, _, _ -> serve_owned t msg l
+  | None, Some b, _ -> serve_from_wb t msg b
+  | None, None, Some w -> serve_mid_write t msg w
+  | None, None, None -> (
+    match read_pending_for t line_id with
+    | Some m -> serve_mid_read t msg m
+    | None -> (
+      match msg.Msg.kind with
+      | Msg.Req Msg.ReqV ->
+        if not (Mask.is_empty msg.Msg.demand) then begin
+          Stats.incr t.stats "nack_sent";
+          reply t msg ~kind:Msg.Nack ~dst:msg.Msg.requestor ~mask:msg.Msg.demand
+            ()
+        end
+      | Msg.Req Msg.ReqO ->
+        reply t msg ~kind:Msg.RspO ~dst:msg.Msg.requestor ~mask:msg.Msg.mask ()
+      | _ ->
+        failwith
+          (Format.asprintf "Mesi_l1 %d: external for line not held: %a"
+             t.cfg.id Msg.pp msg)))
+
+and serve_owned t (msg : Msg.t) l =
+  let line_id = msg.Msg.line in
+  let mask = msg.Msg.mask in
+  let rest = Mask.diff Addr.full_mask mask in
+  match msg.Msg.kind with
+  | Msg.Req Msg.ReqV ->
+    (* Owned data served in place; no state change (Table IV). *)
+    reply_data t msg ~kind:Msg.RspV ~dst:msg.Msg.requestor ~mask ~values:l.data
+  | Msg.Req Msg.ReqS ->
+    (* O -> S: data to the requestor, write-back copy to the LLC. *)
+    reply_data t msg ~kind:Msg.RspS ~dst:msg.Msg.requestor ~mask ~values:l.data;
+    reply_data t msg ~kind:Msg.RspRvkO ~dst:msg.Msg.src ~mask:Addr.full_mask
+      ~values:l.data;
+    l.mstate <- State.M_S
+  | Msg.Req Msg.ReqO ->
+    reply t msg ~kind:Msg.RspO ~dst:msg.Msg.requestor ~mask ();
+    if not (Mask.is_empty rest) then begin
+      Stats.incr t.stats "partial_downgrade_wb";
+      send_wb_words t ~line:line_id ~mask:rest ~values:l.data
+    end;
+    Cache_frame.remove t.frame ~line:line_id
+  | Msg.Req Msg.ReqOdata ->
+    reply_data t msg ~kind:Msg.RspOdata ~dst:msg.Msg.requestor ~mask
+      ~values:l.data;
+    if t.cfg.notify_home_on_fwd_getm then
+      (* Directory protocols block the line until the old owner confirms
+         the transfer. *)
+      reply t msg ~kind:Msg.RspRvkO ~dst:msg.Msg.src ~mask ();
+    if not (Mask.is_empty rest) then begin
+      Stats.incr t.stats "partial_downgrade_wb";
+      send_wb_words t ~line:line_id ~mask:rest ~values:l.data
+    end;
+    Cache_frame.remove t.frame ~line:line_id
+  | Msg.Probe Msg.RvkO ->
+    reply_data t msg ~kind:Msg.RspRvkO ~dst:msg.Msg.src ~mask ~values:l.data;
+    let outside = Mask.diff Addr.full_mask mask in
+    if not (Mask.is_empty outside) then
+      (* The LLC revokes everything it thinks we own; words outside the
+         revocation are ours to write back. *)
+      send_wb_words t ~line:line_id ~mask:outside ~values:l.data;
+    Cache_frame.remove t.frame ~line:line_id
+  | _ -> assert false
+
+and send_wb_words t ~line ~mask ~values =
+  let txn = Spandex_proto.Txn.fresh () in
+  Hashtbl.replace t.wb_records txn { b_line = line; b_values = Array.copy values };
+  Stats.incr t.stats "wb_issued";
+  request t ~txn ~kind:Msg.ReqWB ~line ~mask
+    ~payload:(Msg.Data (Linedata.pack ~mask ~full:values))
+    ()
+
+(* §III-C case 1: a pending ReqO+data is a transition *to* the expected
+   state.  Data-needing externals wait for the fill; data-less downgrades
+   (ReqO) are answered immediately and remembered. *)
+and serve_mid_write t (msg : Msg.t) (w : write_miss) =
+  match msg.Msg.kind with
+  | Msg.Req Msg.ReqO ->
+    Stats.incr t.stats "ext_stolen_mid_write";
+    w.m_downgraded <- Mask.union w.m_downgraded msg.Msg.mask;
+    reply t msg ~kind:Msg.RspO ~dst:msg.Msg.requestor ~mask:msg.Msg.mask ()
+  | Msg.Req (Msg.ReqV | Msg.ReqS | Msg.ReqOdata) | Msg.Probe Msg.RvkO ->
+    Stats.incr t.stats "ext_delayed";
+    w.m_queued <- w.m_queued @ [ msg ]
+  | _ -> assert false
+
+(* A pending ReqS may be mid-grant of Exclusive state (ReqS option 3), so
+   it is also a "pending transition to the expected state". *)
+and serve_mid_read t (msg : Msg.t) (m : read_miss) =
+  match msg.Msg.kind with
+  | Msg.Req Msg.ReqO ->
+    Stats.incr t.stats "ext_stolen_mid_read";
+    m.r_downgraded <- Mask.union m.r_downgraded msg.Msg.mask;
+    reply t msg ~kind:Msg.RspO ~dst:msg.Msg.requestor ~mask:msg.Msg.mask ()
+  | Msg.Req (Msg.ReqV | Msg.ReqS | Msg.ReqOdata) | Msg.Probe Msg.RvkO ->
+    Stats.incr t.stats "ext_delayed";
+    m.r_queued <- m.r_queued @ [ msg ]
+  | _ -> assert false
+
+(* §III-D case 3: pending write-back — respond from the retained data; the
+   in-flight ReqWB carries the data to the LLC (footnote 5). *)
+and serve_from_wb t (msg : Msg.t) (b : wb_req) =
+  match msg.Msg.kind with
+  | Msg.Req Msg.ReqV ->
+    reply_data t msg ~kind:Msg.RspV ~dst:msg.Msg.requestor ~mask:msg.Msg.mask
+      ~values:b.b_values
+  | Msg.Req Msg.ReqS ->
+    reply_data t msg ~kind:Msg.RspS ~dst:msg.Msg.requestor ~mask:msg.Msg.mask
+      ~values:b.b_values;
+    reply t msg ~kind:Msg.RspRvkO ~dst:msg.Msg.src ~mask:msg.Msg.mask ()
+  | Msg.Req Msg.ReqO ->
+    reply t msg ~kind:Msg.RspO ~dst:msg.Msg.requestor ~mask:msg.Msg.mask ()
+  | Msg.Req Msg.ReqOdata ->
+    reply_data t msg ~kind:Msg.RspOdata ~dst:msg.Msg.requestor
+      ~mask:msg.Msg.mask ~values:b.b_values;
+    if t.cfg.notify_home_on_fwd_getm then
+      reply t msg ~kind:Msg.RspRvkO ~dst:msg.Msg.src ~mask:msg.Msg.mask ()
+  | Msg.Probe Msg.RvkO ->
+    reply t msg ~kind:Msg.RspRvkO ~dst:msg.Msg.src ~mask:msg.Msg.mask ()
+  | _ -> assert false
+
+(* ----- miss completion -------------------------------------------------------- *)
+
+let complete_read t ~txn (m : read_miss) (r : Tu.result) =
+  Mshr.free t.outstanding ~txn;
+  if (m.r_valid_only || m.r_inv) && not m.r_excl then begin
+    (* Option (2): the read is satisfied but nothing may be cached. *)
+    Stats.incr t.stats "read_uncached_opt2";
+    List.iter (fun (w, k) -> k r.Tu.values.(w)) (List.rev m.r_waiters);
+    drain t
+  end
+  else begin
+  let mstate = if m.r_excl then State.M_E else State.M_S in
+  let l = install t ~line_id:m.r_line ~values:r.Tu.values ~mstate in
+  List.iter (fun (w, k) -> k r.Tu.values.(w)) (List.rev m.r_waiters);
+  if not (Mask.is_empty m.r_downgraded) then begin
+    let keep = Mask.diff Addr.full_mask m.r_downgraded in
+    if not (Mask.is_empty keep) then
+      send_wb_words t ~line:m.r_line ~mask:keep ~values:l.data;
+    Cache_frame.remove t.frame ~line:m.r_line
+  end;
+  let queued = m.r_queued in
+  m.r_queued <- [];
+  List.iter (fun q -> external_req t q) queued;
+  drain t
+  end
+
+let complete_write t ~txn (w : write_miss) (r : Tu.result) =
+  Mshr.free t.outstanding ~txn;
+  let l = install t ~line_id:w.m_line ~values:r.Tu.values ~mstate:State.M_M in
+  (match w.m_store with
+  | Some (mask, values) ->
+    Mask.iter mask ~f:(fun word -> l.data.(word) <- values.(word))
+  | None -> ());
+  let rmw_finish =
+    match w.m_rmw with
+    | Some (word, amo, k) ->
+      let next, old = Amo.apply amo l.data.(word) in
+      l.data.(word) <- next;
+      fun () -> k old
+    | None -> fun () -> ()
+  in
+  (* TU rule (§III-D case 2): if any downgrade arrived mid-miss, fall to I
+     and write back the words that were not downgraded. *)
+  if not (Mask.is_empty w.m_downgraded) then begin
+    let keep = Mask.diff Addr.full_mask w.m_downgraded in
+    if not (Mask.is_empty keep) then
+      send_wb_words t ~line:w.m_line ~mask:keep ~values:l.data;
+    Cache_frame.remove t.frame ~line:w.m_line
+  end;
+  rmw_finish ();
+  (* Loads that waited on this write read the granted line. *)
+  List.iter (fun (word, k) -> k l.data.(word)) (List.rev w.m_loads);
+  w.m_loads <- [];
+  (* Delayed externals now see a stable owner (or its write-back record). *)
+  let queued = w.m_queued in
+  w.m_queued <- [];
+  List.iter (fun m -> external_req t m) queued;
+  check_release t;
+  drain t
+
+(* ----- synchronization --------------------------------------------------------- *)
+
+let acquire t ~k =
+  (* Writer-initiated invalidation: nothing to self-invalidate (§II-A). *)
+  Stats.incr t.stats "acquire";
+  Engine.schedule t.engine ~delay:1 k
+
+let release t ~k =
+  Stats.incr t.stats "release";
+  t.flushing <- true;
+  t.release_waiters <- k :: t.release_waiters;
+  arm_drain t ~delay:0;
+  Engine.schedule t.engine ~delay:1 (fun () -> check_release t)
+
+(* ----- message handler ----------------------------------------------------------- *)
+
+let handle t (msg : Msg.t) =
+  match msg.Msg.kind with
+  | Msg.Probe Msg.Inv ->
+    (match Cache_frame.find t.frame ~line:msg.Msg.line with
+    | Some l when l.mstate = State.M_S ->
+      Stats.incr t.stats "invalidated";
+      Cache_frame.remove t.frame ~line:msg.Msg.line
+    | _ -> Stats.incr t.stats "inv_stale");
+    (* The Inv may overtake a remote owner's direct RspS to our pending
+       read: the Shared copy being assembled is already stale. *)
+    (match read_pending_for t msg.Msg.line with
+    | Some m -> m.r_inv <- true
+    | None -> ());
+    send t
+      (Msg.make ~txn:msg.Msg.txn ~kind:(Msg.Rsp Msg.Ack) ~line:msg.Msg.line
+         ~mask:msg.Msg.mask ~src:t.cfg.id ~dst:msg.Msg.src ())
+  | Msg.Probe Msg.RvkO | Msg.Req _ -> external_req t msg
+  | Msg.Rsp _ when Hashtbl.mem t.wb_records msg.Msg.txn ->
+    (match msg.Msg.kind with
+    | Msg.Rsp Msg.RspWB -> ()
+    | _ -> failwith "Mesi_l1: unexpected write-back response");
+    Hashtbl.remove t.wb_records msg.Msg.txn;
+    drain t
+  | Msg.Rsp _ -> (
+    match Mshr.find t.outstanding ~txn:msg.Msg.txn with
+    | None -> Stats.incr t.stats "orphan_rsp"
+    | Some (Read m) -> (
+      (match msg.Msg.kind with
+      | Msg.Rsp (Msg.RspOdata | Msg.RspO) -> m.r_excl <- true
+      | Msg.Rsp Msg.RspV -> m.r_valid_only <- true
+      | _ -> ());
+      match Tu.absorb m.r_collector msg with
+      | None -> ()
+      | Some r ->
+        assert (Mask.is_empty r.Tu.nacked);
+        complete_read t ~txn:msg.Msg.txn m r)
+    | Some (Write w) -> (
+      match Tu.absorb w.m_collector msg with
+      | None -> ()
+      | Some r ->
+        assert (Mask.is_empty r.Tu.nacked);
+        complete_write t ~txn:msg.Msg.txn w r))
+
+(* ----- construction ---------------------------------------------------------------- *)
+
+let quiescent t =
+  Store_buffer.is_empty t.sb && Mshr.count t.outstanding = 0
+  && Hashtbl.length t.wb_records = 0
+  && t.stalled_stores = []
+
+let describe_pending t =
+  Printf.sprintf "mesi_l1 %d: sb=%d outstanding=%d stalled=%d" t.cfg.id
+    (Store_buffer.count t.sb)
+    (Mshr.count t.outstanding)
+    (List.length t.stalled_stores)
+
+let create engine net cfg =
+  let t =
+    {
+      engine;
+      net;
+      cfg;
+      frame = Cache_frame.create ~sets:cfg.sets ~ways:cfg.ways;
+      sb = Store_buffer.create ~capacity:cfg.sb_capacity;
+      outstanding = Mshr.create ~capacity:cfg.mshrs;
+      sb_ages = Hashtbl.create 64;
+      wb_records = Hashtbl.create 16;
+      forced_lines = Hashtbl.create 8;
+      stats = Stats.create ();
+      flushing = false;
+      drain_armed = false;
+      release_waiters = [];
+      stalled_stores = [];
+    }
+  in
+  Network.register net ~id:cfg.id (fun msg -> handle t msg);
+  t
+
+let port t =
+  {
+    Port.load = (fun addr ~k -> load t addr ~k);
+    store = (fun addr ~value ~k -> store t addr ~value ~k);
+    rmw = (fun addr amo ~k -> rmw t addr amo ~k);
+    acquire = (fun ~k -> acquire t ~k);
+    (* Writer-initiated invalidation: nothing to self-invalidate. *)
+    acquire_region = (fun ~region:_ ~k -> acquire t ~k);
+    release = (fun ~k -> release t ~k);
+    quiescent = (fun () -> quiescent t);
+    describe_pending = (fun () -> describe_pending t);
+  }
+
+let stats t = t.stats
+
+let line_state t ~line =
+  match Cache_frame.find t.frame ~line with
+  | Some l -> l.mstate
+  | None -> State.M_I
+
+let peek_word t (addr : Addr.t) =
+  match Cache_frame.find t.frame ~line:addr.Addr.line with
+  | Some l when l.mstate <> State.M_I -> Some l.data.(addr.Addr.word)
+  | _ -> None
+
+let cached_lines t = Cache_frame.count t.frame

@@ -1,0 +1,1 @@
+lib/net/network.ml: Array Format Hashtbl Lazy Option Printf Spandex_proto Spandex_sim Spandex_util String Sys

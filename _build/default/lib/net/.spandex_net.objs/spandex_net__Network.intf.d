@@ -1,0 +1,1 @@
+lib/net/network.mli: Spandex_proto Spandex_sim Spandex_util

@@ -1,0 +1,113 @@
+module Msg = Spandex_proto.Msg
+module Engine = Spandex_sim.Engine
+module Stats = Spandex_util.Stats
+
+type topology = {
+  latency : src:int -> dst:int -> int;
+  hops : src:int -> dst:int -> int;
+}
+
+let flat_topology ~latency =
+  { latency = (fun ~src:_ ~dst:_ -> latency); hops = (fun ~src:_ ~dst:_ -> 1) }
+
+let grouped_topology ~group_of ~local_latency ~cross_latency =
+  {
+    latency =
+      (fun ~src ~dst ->
+        if group_of src = group_of dst then local_latency else cross_latency);
+    hops = (fun ~src ~dst -> if group_of src = group_of dst then 1 else 2);
+  }
+
+type endpoint = {
+  mutable handler : Msg.t -> unit;
+  mutable ingress_free : int;  (** next cycle the ingress port is free. *)
+}
+
+type t = {
+  engine : Engine.t;
+  topo : topology;
+  endpoints : (int, endpoint) Hashtbl.t;
+  traffic : int array;  (** flit-hops per category. *)
+  stats : Stats.t;
+  mutable in_flight : int;
+  mutable messages : int;
+}
+
+let category_index = function
+  | Msg.Cat_ReqV -> 0
+  | Msg.Cat_ReqS -> 1
+  | Msg.Cat_ReqWT -> 2
+  | Msg.Cat_ReqO -> 3
+  | Msg.Cat_WB -> 4
+  | Msg.Cat_Probe -> 5
+
+let create engine topo =
+  {
+    engine;
+    topo;
+    endpoints = Hashtbl.create 64;
+    traffic = Array.make 6 0;
+    stats = Stats.create ();
+    in_flight = 0;
+    messages = 0;
+  }
+
+let register t ~id handler =
+  match Hashtbl.find_opt t.endpoints id with
+  | Some ep -> ep.handler <- handler
+  | None -> Hashtbl.add t.endpoints id { handler; ingress_free = 0 }
+
+let endpoint t id =
+  match Hashtbl.find_opt t.endpoints id with
+  | Some ep -> ep
+  | None -> failwith (Printf.sprintf "Network: unregistered endpoint %d" id)
+
+let kind_key (msg : Msg.t) = Format.asprintf "%a" Msg.pp_kind msg.kind
+
+let trace_enabled =
+  lazy (Option.is_some (Sys.getenv_opt "SPANDEX_TRACE"))
+
+(* SPANDEX_TRACE_WORD="<line>.<word>" additionally prints the carried value
+   of one word whenever a traced message covers it. *)
+let trace_word =
+  lazy
+    (Option.bind (Sys.getenv_opt "SPANDEX_TRACE_WORD") (fun s ->
+         match String.split_on_char '.' s with
+         | [ l; w ] -> Some (int_of_string l, int_of_string w)
+         | _ -> None))
+
+let send t (msg : Msg.t) =
+  if Lazy.force trace_enabled then begin
+    let extra =
+      match (Lazy.force trace_word, msg.payload) with
+      | Some (l, w), Spandex_proto.Msg.Data values
+        when msg.line = l && Spandex_util.Mask.mem msg.mask w ->
+        Printf.sprintf " {%d.%d=%d}" l w
+          (Spandex_proto.Linedata.value_at ~mask:msg.mask ~values ~word:w)
+      | _ -> ""
+    in
+    Format.eprintf "@%d %a%s@." (Engine.now t.engine) Msg.pp msg extra
+  end;
+  let flits = Msg.flits msg in
+  let hops = t.topo.hops ~src:msg.src ~dst:msg.dst in
+  let cat = category_index (Msg.category msg.kind) in
+  t.traffic.(cat) <- t.traffic.(cat) + (flits * hops);
+  t.messages <- t.messages + 1;
+  Stats.incr t.stats (kind_key msg);
+  t.in_flight <- t.in_flight + 1;
+  let latency = t.topo.latency ~src:msg.src ~dst:msg.dst in
+  Engine.schedule t.engine ~delay:latency (fun () ->
+      let ep = endpoint t msg.dst in
+      let now = Engine.now t.engine in
+      (* One message per cycle drains the ingress port. *)
+      let deliver_at = if ep.ingress_free > now then ep.ingress_free else now in
+      ep.ingress_free <- deliver_at + 1;
+      Engine.at t.engine ~time:deliver_at (fun () ->
+          t.in_flight <- t.in_flight - 1;
+          ep.handler msg))
+
+let in_flight t = t.in_flight
+let traffic_flits t cat = t.traffic.(category_index cat)
+let total_flits t = Array.fold_left ( + ) 0 t.traffic
+let messages_sent t = t.messages
+let stats t = t.stats

@@ -1,0 +1,44 @@
+(** Interconnect model.
+
+    Messages are delivered after a topology-determined latency; each
+    endpoint drains its ingress at one message per cycle, which is the only
+    source of contention modelled (DESIGN.md §6).  Traffic is accounted in
+    flit-hops per request category, matching the Figure 2/3 breakdown. *)
+
+type topology = {
+  latency : src:int -> dst:int -> int;  (** delivery latency in cycles. *)
+  hops : src:int -> dst:int -> int;  (** link crossings, for flit-hops. *)
+}
+
+val flat_topology : latency:int -> topology
+(** Crossbar: every pair is [latency] cycles / 1 hop apart. *)
+
+val grouped_topology :
+  group_of:(int -> int) ->
+  local_latency:int ->
+  cross_latency:int ->
+  topology
+(** Two-level: endpoints in the same group are [local_latency]/1-hop apart;
+    different groups cost [cross_latency]/2 hops.  Used for the
+    hierarchical baseline's intra-GPU vs. cross-device distances. *)
+
+type t
+
+val create : Spandex_sim.Engine.t -> topology -> t
+
+val register : t -> id:Spandex_proto.Msg.device_id -> (Spandex_proto.Msg.t -> unit) -> unit
+(** Attach the handler invoked when a message for [id] is delivered.
+    Re-registering an id replaces its handler. *)
+
+val send : t -> Spandex_proto.Msg.t -> unit
+(** Enqueue [msg] for delivery to [msg.dst].  Raises if the destination was
+    never registered (checked at delivery time). *)
+
+val in_flight : t -> int
+(** Messages sent but not yet delivered; used for quiescence checks. *)
+
+val traffic_flits : t -> Spandex_proto.Msg.category -> int
+val total_flits : t -> int
+val messages_sent : t -> int
+val stats : t -> Spandex_util.Stats.t
+(** Per-kind message counters, keyed by message-kind name. *)

@@ -1,0 +1,1 @@
+lib/proto/addr.ml: Format Int Spandex_util

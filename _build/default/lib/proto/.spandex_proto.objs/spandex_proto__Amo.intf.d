@@ -1,0 +1,1 @@
+lib/proto/amo.mli: Format

@@ -1,0 +1,1 @@
+lib/proto/linedata.ml: Addr Array Spandex_util

@@ -1,0 +1,1 @@
+lib/proto/linedata.mli: Spandex_util

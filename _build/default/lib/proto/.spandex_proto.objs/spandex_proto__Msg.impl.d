@@ -1,0 +1,1 @@
+lib/proto/msg.ml: Addr Amo Array Format List Printf Spandex_util String

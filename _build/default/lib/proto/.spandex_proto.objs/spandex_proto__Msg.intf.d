@@ -1,0 +1,1 @@
+lib/proto/msg.mli: Amo Format Spandex_util

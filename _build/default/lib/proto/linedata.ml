@@ -1,0 +1,48 @@
+module Mask = Spandex_util.Mask
+
+let pack ~mask ~full =
+  let out = Array.make (Mask.count mask) 0 in
+  let i = ref 0 in
+  Mask.iter mask ~f:(fun w ->
+      out.(!i) <- full.(w);
+      incr i);
+  out
+
+let unpack_into ~mask ~values ~full =
+  let i = ref 0 in
+  Mask.iter mask ~f:(fun w ->
+      full.(w) <- values.(!i);
+      incr i)
+
+let iter ~mask ~values ~f =
+  let i = ref 0 in
+  Mask.iter mask ~f:(fun w ->
+      f ~word:w ~value:values.(!i);
+      incr i)
+
+let extract ~mask ~values ~sub =
+  assert (Mask.subset sub mask);
+  let out = Array.make (Mask.count sub) 0 in
+  let j = ref 0 in
+  iter ~mask ~values ~f:(fun ~word ~value ->
+      if Mask.mem sub word then begin
+        out.(!j) <- value;
+        incr j
+      end);
+  out
+
+let value_at ~mask ~values ~word =
+  assert (Mask.mem mask word);
+  let result = ref 0 in
+  iter ~mask ~values ~f:(fun ~word:w ~value ->
+      if w = word then result := value);
+  !result
+
+(* An arbitrary but fixed hash of the address; distinct per word with very
+   high probability, cheap, and stable across runs. *)
+let init_word ~line ~word =
+  let h = (line * 0x9E3779B1) + (word * 0x85EBCA77) in
+  h land 0x3FFFFFFF lor 0x40000000
+
+let fresh_line ~line =
+  Array.init Addr.words_per_line (fun word -> init_word ~line ~word)

@@ -1,0 +1,137 @@
+module Mask = Spandex_util.Mask
+
+type device_id = int
+
+type req_kind = ReqV | ReqS | ReqWT | ReqO | ReqWTdata | ReqOdata | ReqWB
+
+type rsp_kind =
+  | RspV
+  | RspS
+  | RspWT
+  | RspO
+  | RspWTdata
+  | RspOdata
+  | RspWB
+  | RspRvkO
+  | Ack
+  | Nack
+
+type probe_kind = RvkO | Inv
+type kind = Req of req_kind | Rsp of rsp_kind | Probe of probe_kind
+type payload = No_data | Data of int array
+
+type t = {
+  txn : int;
+  kind : kind;
+  line : int;
+  mask : Mask.t;
+  demand : Mask.t;
+  payload : payload;
+  src : device_id;
+  dst : device_id;
+  requestor : device_id;
+  fwd : bool;
+  amo : Amo.t option;
+}
+
+let make ~txn ~kind ~line ~mask ?demand ?(payload = No_data) ~src ~dst
+    ?requestor ?(fwd = false) ?amo () =
+  (match payload with
+  | No_data -> ()
+  | Data values ->
+    if Array.length values <> Mask.count mask then
+      invalid_arg
+        (Printf.sprintf "Msg.make: %d values for a %d-word mask"
+           (Array.length values) (Mask.count mask)));
+  let demand = match demand with Some d -> d | None -> mask in
+  if not (Mask.subset demand mask) then
+    invalid_arg "Msg.make: demand not a subset of mask";
+  let requestor = match requestor with Some r -> r | None -> src in
+  { txn; kind; line; mask; demand; payload; src; dst; requestor; fwd; amo }
+
+let rsp_of_req = function
+  | ReqV -> RspV
+  | ReqS -> RspS
+  | ReqWT -> RspWT
+  | ReqO -> RspO
+  | ReqWTdata -> RspWTdata
+  | ReqOdata -> RspOdata
+  | ReqWB -> RspWB
+
+let carries_data t = match t.payload with No_data -> false | Data _ -> true
+
+type category = Cat_ReqV | Cat_ReqS | Cat_ReqWT | Cat_ReqO | Cat_WB | Cat_Probe
+
+let category = function
+  | Req ReqV | Rsp RspV | Rsp Nack -> Cat_ReqV
+  | Req ReqS | Rsp RspS -> Cat_ReqS
+  | Req ReqWT | Req ReqWTdata | Rsp RspWT | Rsp RspWTdata -> Cat_ReqWT
+  | Req ReqO | Req ReqOdata | Rsp RspO | Rsp RspOdata -> Cat_ReqO
+  | Req ReqWB | Rsp RspWB -> Cat_WB
+  | Probe RvkO | Probe Inv | Rsp RspRvkO | Rsp Ack -> Cat_Probe
+
+let category_name = function
+  | Cat_ReqV -> "ReqV"
+  | Cat_ReqS -> "ReqS"
+  | Cat_ReqWT -> "ReqWT"
+  | Cat_ReqO -> "ReqO"
+  | Cat_WB -> "WB"
+  | Cat_Probe -> "Probe"
+
+let all_categories =
+  [ Cat_ReqV; Cat_ReqS; Cat_ReqWT; Cat_ReqO; Cat_WB; Cat_Probe ]
+
+let flit_bytes = 16
+
+let flits t =
+  match t.payload with
+  | No_data -> 1
+  | Data values ->
+    let bytes = Array.length values * Addr.word_bytes in
+    1 + ((bytes + flit_bytes - 1) / flit_bytes)
+
+let req_kind_name = function
+  | ReqV -> "ReqV"
+  | ReqS -> "ReqS"
+  | ReqWT -> "ReqWT"
+  | ReqO -> "ReqO"
+  | ReqWTdata -> "ReqWT+data"
+  | ReqOdata -> "ReqO+data"
+  | ReqWB -> "ReqWB"
+
+let rsp_kind_name = function
+  | RspV -> "RspV"
+  | RspS -> "RspS"
+  | RspWT -> "RspWT"
+  | RspO -> "RspO"
+  | RspWTdata -> "RspWT+data"
+  | RspOdata -> "RspO+data"
+  | RspWB -> "RspWB"
+  | RspRvkO -> "RspRvkO"
+  | Ack -> "Ack"
+  | Nack -> "Nack"
+
+let probe_kind_name = function RvkO -> "RvkO" | Inv -> "Inv"
+
+let pp_kind fmt = function
+  | Req k -> Format.pp_print_string fmt (req_kind_name k)
+  | Rsp k -> Format.pp_print_string fmt (rsp_kind_name k)
+  | Probe k -> Format.pp_print_string fmt (probe_kind_name k)
+
+let pp fmt t =
+  let data =
+    match t.payload with
+    | No_data -> if t.fwd then " fwd" else ""
+    | Data values ->
+      let vs =
+        if Array.length values <= 4 then
+          String.concat ","
+            (List.map string_of_int (Array.to_list values))
+        else Printf.sprintf "%d words" (Array.length values)
+      in
+      Printf.sprintf "%s +data[%s]" (if t.fwd then " fwd" else "") vs
+  in
+  Format.fprintf fmt "[txn=%d %a line=%d mask=%a %d->%d req=%d%s]" t.txn
+    pp_kind t.kind t.line
+    (Mask.pp ~words:Addr.words_per_line)
+    t.mask t.src t.dst t.requestor data

@@ -1,0 +1,105 @@
+(** The Spandex message vocabulary (paper §III-A, §III-B).
+
+    Seven device-issued request types, their responses, and the two
+    LLC-initiated probes.  Forwarded requests reuse the request
+    constructors: the LLC forwards a request to a remote owner by sending
+    the same message with [fwd = true] and the original requestor preserved,
+    so the owner can respond directly to the requestor (Fig. 1c/1d). *)
+
+type device_id = int
+(** Dense endpoint identifier assigned by the system builder.  The LLC and
+    the memory controller also have device ids. *)
+
+type req_kind =
+  | ReqV  (** self-invalidated read: data only, no state at the LLC. *)
+  | ReqS  (** writer-invalidated read: data + Shared state. *)
+  | ReqWT  (** write-through of full words: no data response needed. *)
+  | ReqO  (** ownership without data (all requested words overwritten). *)
+  | ReqWTdata  (** update performed at the LLC; needs up-to-date data. *)
+  | ReqOdata  (** ownership plus up-to-date data. *)
+  | ReqWB  (** write-back of owned data. *)
+
+type rsp_kind =
+  | RspV
+  | RspS
+  | RspWT
+  | RspO
+  | RspWTdata
+  | RspOdata
+  | RspWB
+  | RspRvkO  (** write-back triggered by a RvkO or forwarded ReqS. *)
+  | Ack  (** response to Inv. *)
+  | Nack  (** failed forwarded ReqV (owner no longer owns). *)
+
+type probe_kind =
+  | RvkO  (** revoke ownership, force write-back to the LLC. *)
+  | Inv  (** invalidate Shared data. *)
+
+type kind = Req of req_kind | Rsp of rsp_kind | Probe of probe_kind
+
+type payload =
+  | No_data
+  | Data of int array
+      (** word values for the set bits of [mask], in increasing word
+          order; [Array.length] equals [Mask.count mask]. *)
+
+type t = {
+  txn : int;  (** transaction id; responses echo the request's. *)
+  kind : kind;
+  line : int;
+  mask : Spandex_util.Mask.t;  (** target words within [line]. *)
+  demand : Spandex_util.Mask.t;
+      (** subset of [mask] the requestor actually needs.  DeNovo ReqV
+          requests demand a word but ask for the rest of the line
+          opportunistically (Table II: "the responding device may include
+          any available up-to-date data in the line"); only demanded words
+          are forwarded to remote owners or Nack-retried. *)
+  payload : payload;
+  src : device_id;  (** immediate sender. *)
+  dst : device_id;
+  requestor : device_id;  (** original requestor (survives forwarding). *)
+  fwd : bool;  (** true when this request was forwarded by the LLC. *)
+  amo : Amo.t option;  (** only on ReqWTdata / ReqOdata RMWs. *)
+}
+
+val make :
+  txn:int ->
+  kind:kind ->
+  line:int ->
+  mask:Spandex_util.Mask.t ->
+  ?demand:Spandex_util.Mask.t ->
+  ?payload:payload ->
+  src:device_id ->
+  dst:device_id ->
+  ?requestor:device_id ->
+  ?fwd:bool ->
+  ?amo:Amo.t ->
+  unit ->
+  t
+(** [requestor] defaults to [src]; [demand] to [mask]; [payload] to
+    [No_data]; [fwd] to false.  Checks that a [Data] payload length matches
+    the mask population and that [demand] is a subset of [mask]. *)
+
+val rsp_of_req : req_kind -> rsp_kind
+(** The response kind paired with each request kind (paper: "Every Spandex
+    request (Req) type has an associated response (Rsp) type"). *)
+
+val carries_data : t -> bool
+
+type category = Cat_ReqV | Cat_ReqS | Cat_ReqWT | Cat_ReqO | Cat_WB | Cat_Probe
+(** Traffic categories used by Figures 2 and 3.  Responses count toward
+    their request's category; Inv/RvkO and their Ack/RspRvkO count as
+    Probe traffic. *)
+
+val category : kind -> category
+val category_name : category -> string
+val all_categories : category list
+
+val flits : t -> int
+(** Network cost: 1 control flit plus 1 flit per 16 data bytes. *)
+
+val pp_kind : Format.formatter -> kind -> unit
+val pp : Format.formatter -> t -> unit
+val req_kind_name : req_kind -> string
+val rsp_kind_name : rsp_kind -> string
+val probe_kind_name : probe_kind -> string

@@ -1,0 +1,12 @@
+(** Globally unique transaction identifiers.
+
+    Responses echo the transaction id of the request they answer; forwarded
+    requests preserve the original id so the remote owner's direct response
+    reaches the right MSHR entry.  A single process-wide counter keeps ids
+    unique across every device without coordination. *)
+
+val fresh : unit -> int
+
+val reset : unit -> unit
+(** Reset the counter (between independent simulations, for
+    reproducibility of logged ids; correctness never depends on it). *)

@@ -1,0 +1,62 @@
+type t = {
+  queue : (unit -> unit) Spandex_util.Pqueue.t;
+  mutable time : int;
+  mutable steps : int;
+  mutable step_limit : int;
+}
+
+exception Deadlock of string
+
+let create () =
+  {
+    queue = Spandex_util.Pqueue.create ();
+    time = 0;
+    steps = 0;
+    step_limit = 500_000_000;
+  }
+
+let now t = t.time
+
+let at t ~time f =
+  if time < t.time then
+    invalid_arg
+      (Printf.sprintf "Engine.at: time %d is in the past (now %d)" time t.time);
+  Spandex_util.Pqueue.push t.queue ~time f
+
+let schedule t ~delay f =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  at t ~time:(t.time + delay) f
+
+let run_all t =
+  let rec loop () =
+    match Spandex_util.Pqueue.pop t.queue with
+    | None -> t.time
+    | Some (time, f) ->
+      t.time <- time;
+      t.steps <- t.steps + 1;
+      f ();
+      loop ()
+  in
+  loop ()
+
+let set_step_limit t n = t.step_limit <- n
+let events_processed t = t.steps
+
+let run t ~until_done ~pending_desc =
+  let rec loop () =
+    if until_done () then t.time
+    else
+      match Spandex_util.Pqueue.pop t.queue with
+      | None -> raise (Deadlock (pending_desc ()))
+      | Some (time, f) ->
+        t.time <- time;
+        t.steps <- t.steps + 1;
+        if t.steps > t.step_limit then
+          raise
+            (Deadlock
+               (Printf.sprintf "step limit %d exceeded at cycle %d: %s"
+                  t.step_limit t.time (pending_desc ())));
+        f ();
+        loop ()
+  in
+  loop ()

@@ -1,0 +1,37 @@
+(** Discrete-event simulation engine.
+
+    A single global event queue ordered by (cycle, insertion order).  All
+    simulated components schedule closures; the engine advances time to the
+    next event.  Determinism: for a fixed seed and workload the event order
+    is identical across runs. *)
+
+type t
+
+exception Deadlock of string
+(** Raised by [run] when the queue drains while some registered completion
+    condition is still unmet — a lost message or a protocol deadlock. *)
+
+val create : unit -> t
+
+val now : t -> int
+(** Current simulation cycle. *)
+
+val schedule : t -> delay:int -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at cycle [now t + delay]. [delay >= 0]. *)
+
+val at : t -> time:int -> (unit -> unit) -> unit
+(** Schedule at an absolute cycle, which must not be in the past. *)
+
+val run : t -> until_done:(unit -> bool) -> pending_desc:(unit -> string) -> int
+(** Drain events until [until_done ()] is true; returns the finish cycle.
+    Raises {!Deadlock} (with [pending_desc ()] in the message) if the queue
+    empties first.  A step limit guards against livelock. *)
+
+val run_all : t -> int
+(** Drain every queued event and return the final cycle.  For unit tests
+    that drive components directly and then inspect the settled state. *)
+
+val set_step_limit : t -> int -> unit
+(** Override the default step limit (events processed) of [run]. *)
+
+val events_processed : t -> int

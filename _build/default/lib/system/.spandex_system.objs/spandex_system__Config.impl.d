@@ -1,0 +1,1 @@
+lib/system/config.ml: List Printf String

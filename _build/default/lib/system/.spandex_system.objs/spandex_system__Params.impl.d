@@ -1,0 +1,1 @@
+lib/system/params.ml: Format Spandex

@@ -1,0 +1,1 @@
+lib/system/params.mli: Format Spandex

@@ -1,0 +1,1 @@
+lib/system/report.ml: List Run String

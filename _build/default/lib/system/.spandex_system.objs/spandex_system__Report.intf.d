@@ -1,0 +1,1 @@
+lib/system/report.mli: Run Spandex_proto

@@ -1,0 +1,1 @@
+lib/system/run.mli: Config Params Spandex_device Spandex_proto Spandex_util Workload

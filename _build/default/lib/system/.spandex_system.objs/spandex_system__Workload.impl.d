@@ -1,0 +1,1 @@
+lib/system/workload.ml: Array Printf Spandex_device

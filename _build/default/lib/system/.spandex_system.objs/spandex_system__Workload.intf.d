@@ -1,0 +1,1 @@
+lib/system/workload.mli: Spandex_device

@@ -1,0 +1,54 @@
+type llc_kind = H_mesi | Spandex_flat
+type cpu_proto = Cpu_mesi | Cpu_denovo
+type gpu_proto = Gpu_coh | Gpu_denovo | Gpu_adaptive
+
+type t = {
+  name : string;
+  llc : llc_kind;
+  cpu : cpu_proto;
+  gpu : gpu_proto;
+  cpu_atomics_at_llc : bool;
+}
+
+let hmg =
+  { name = "HMG"; llc = H_mesi; cpu = Cpu_mesi; gpu = Gpu_coh; cpu_atomics_at_llc = false }
+
+let hmd =
+  { name = "HMD"; llc = H_mesi; cpu = Cpu_mesi; gpu = Gpu_denovo; cpu_atomics_at_llc = false }
+
+let smg =
+  { name = "SMG"; llc = Spandex_flat; cpu = Cpu_mesi; gpu = Gpu_coh; cpu_atomics_at_llc = false }
+
+let smd =
+  { name = "SMD"; llc = Spandex_flat; cpu = Cpu_mesi; gpu = Gpu_denovo; cpu_atomics_at_llc = false }
+
+let sdg =
+  { name = "SDG"; llc = Spandex_flat; cpu = Cpu_denovo; gpu = Gpu_coh; cpu_atomics_at_llc = true }
+
+let sdd =
+  { name = "SDD"; llc = Spandex_flat; cpu = Cpu_denovo; gpu = Gpu_denovo; cpu_atomics_at_llc = false }
+
+let sda =
+  {
+    name = "SDA";
+    llc = Spandex_flat;
+    cpu = Cpu_denovo;
+    gpu = Gpu_adaptive;
+    cpu_atomics_at_llc = false;
+  }
+
+let all = [ hmg; hmd; smg; smd; sdg; sdd ]
+
+let by_name name =
+  let up = String.uppercase_ascii name in
+  List.find (fun c -> c.name = up) (all @ [ sda ])
+
+let describe c =
+  Printf.sprintf "%s: LLC=%s CPU=%s GPU=%s%s" c.name
+    (match c.llc with H_mesi -> "hier-MESI" | Spandex_flat -> "Spandex")
+    (match c.cpu with Cpu_mesi -> "MESI" | Cpu_denovo -> "DeNovo")
+    (match c.gpu with
+    | Gpu_coh -> "GPUcoh"
+    | Gpu_denovo -> "DeNovo"
+    | Gpu_adaptive -> "DeNovo+adaptive-writes")
+    (if c.cpu_atomics_at_llc then " (CPU atomics at LLC)" else "")

@@ -1,0 +1,44 @@
+(** The six simulated cache configurations (paper Table V). *)
+
+type llc_kind =
+  | H_mesi  (** hierarchical: MESI directory LLC + intermediate GPU L2. *)
+  | Spandex_flat  (** flat Spandex LLC directly interfacing all L1s. *)
+
+type cpu_proto = Cpu_mesi | Cpu_denovo
+type gpu_proto =
+  | Gpu_coh
+  | Gpu_denovo
+  | Gpu_adaptive
+      (** extension: DeNovo with a per-line reuse predictor choosing
+          between ownership and write-through per store (paper V's
+          dynamically-adapting future caches). *)
+
+type t = {
+  name : string;
+  llc : llc_kind;
+  cpu : cpu_proto;
+  gpu : gpu_proto;
+  cpu_atomics_at_llc : bool;
+      (** SDG performs CPU atomics at the L2 via ReqWT+data rather than
+          obtaining ownership, matching the GPU strategy to avoid blocking
+          from inter-device synchronization (§IV-A). *)
+}
+
+val hmg : t
+val hmd : t
+val smg : t
+val smd : t
+val sdg : t
+val sdd : t
+
+val sda : t
+(** Extension configuration: flat Spandex, DeNovo CPUs, adaptive-write
+    DeNovo GPUs.  Not part of [all] (the paper's Table V). *)
+
+val all : t list
+(** In the paper's order: HMG, HMD, SMG, SMD, SDG, SDD. *)
+
+val by_name : string -> t
+(** Case-insensitive lookup; raises [Not_found]. *)
+
+val describe : t -> string

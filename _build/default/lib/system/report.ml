@@ -1,0 +1,65 @@
+type cell = { config : string; result : Run.result }
+type row = { workload : string; cells : cell list }
+
+let cycles (r : Run.result) = r.Run.cycles
+let flits (r : Run.result) = r.Run.total_flits
+
+let find_cell row name =
+  List.find (fun c -> c.config = name) row.cells
+
+let normalized row ~metric =
+  let base = float_of_int (metric (find_cell row "HMG").result) in
+  List.map
+    (fun c -> (c.config, float_of_int (metric c.result) /. base))
+    row.cells
+
+let best row ~among ~metric =
+  match List.filter (fun c -> among c.config) row.cells with
+  | [] -> invalid_arg "Report.best: no matching configuration"
+  | c :: rest ->
+    List.fold_left
+      (fun acc c -> if metric c.result < metric acc.result then c else acc)
+      c rest
+
+type headline = {
+  time_avg : float;
+  time_max : float;
+  traffic_avg : float;
+  traffic_max : float;
+}
+
+let headline rows =
+  let reductions =
+    List.map
+      (fun row ->
+        let is_h name = String.length name > 0 && name.[0] = 'H' in
+        let is_s name = String.length name > 0 && name.[0] = 'S' in
+        let hbest = best row ~among:is_h ~metric:cycles in
+        let sbest = best row ~among:is_s ~metric:cycles in
+        let time_red =
+          1.0
+          -. (float_of_int (cycles sbest.result)
+             /. float_of_int (cycles hbest.result))
+        in
+        let traffic_red =
+          1.0
+          -. (float_of_int (flits sbest.result)
+             /. float_of_int (flits hbest.result))
+        in
+        (time_red, traffic_red))
+      rows
+  in
+  let n = float_of_int (List.length reductions) in
+  let times = List.map fst reductions and traffics = List.map snd reductions in
+  {
+    time_avg = List.fold_left ( +. ) 0.0 times /. n;
+    time_max = List.fold_left max neg_infinity times;
+    traffic_avg = List.fold_left ( +. ) 0.0 traffics /. n;
+    traffic_max = List.fold_left max neg_infinity traffics;
+  }
+
+let traffic_share (r : Run.result) =
+  let total = float_of_int (max 1 r.Run.total_flits) in
+  List.map
+    (fun (cat, n) -> (cat, float_of_int n /. total))
+    r.Run.traffic

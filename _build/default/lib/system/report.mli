@@ -1,0 +1,32 @@
+(** Normalization and summary math for the Figure 2/3 reproductions.
+
+    The paper reports execution time and network traffic normalized to HMG
+    per workload, plus Hbest/Sbest — the best hierarchical and best Spandex
+    configuration per workload — and the headline averages of Sbest's
+    reduction relative to Hbest (§I: 16% execution time, 27% traffic). *)
+
+type cell = { config : string; result : Run.result }
+type row = { workload : string; cells : cell list }
+
+val normalized : row -> metric:(Run.result -> int) -> (string * float) list
+(** Each config's metric divided by HMG's. *)
+
+val best : row -> among:(string -> bool) -> metric:(Run.result -> int) -> cell
+(** The minimal-metric cell among configs selected by [among]. *)
+
+type headline = {
+  time_avg : float;  (** mean of (1 - Sbest/Hbest) over workloads, in time. *)
+  time_max : float;
+  traffic_avg : float;
+  traffic_max : float;
+}
+
+val headline : row list -> headline
+(** Sbest/Hbest chosen by execution time per workload, as in §V; the
+    traffic reduction uses the same chosen configurations. *)
+
+val cycles : Run.result -> int
+val flits : Run.result -> int
+
+val traffic_share : Run.result -> (Spandex_proto.Msg.category * float) list
+(** Per-category fraction of total flits. *)

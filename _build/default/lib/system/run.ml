@@ -1,0 +1,342 @@
+module Engine = Spandex_sim.Engine
+module Network = Spandex_net.Network
+module Msg = Spandex_proto.Msg
+module Txn = Spandex_proto.Txn
+module Dram = Spandex_mem.Dram
+module Stats = Spandex_util.Stats
+module Core = Spandex_device.Core
+module Port = Spandex_device.Port
+module Barrier = Spandex_device.Barrier
+module Check_log = Spandex_device.Check_log
+module Llc = Spandex.Llc
+module Backing = Spandex.Backing
+module Mesi_l1 = Spandex_mesi.Mesi_l1
+module Mesi_dir = Spandex_mesi.Mesi_dir
+module Mesi_client = Spandex_mesi.Mesi_client
+module Gpu_l1 = Spandex_gpucoh.Gpu_l1
+module Denovo_l1 = Spandex_denovo.Denovo_l1
+
+type result = {
+  cycles : int;
+  total_flits : int;
+  traffic : (Msg.category * int) list;
+  messages : int;
+  checks : int;
+  failures : Check_log.failure list;
+  stats : Stats.t;
+}
+
+type component = {
+  c_name : string;
+  c_quiescent : unit -> bool;
+  c_pending : unit -> string;
+  c_stats : Stats.t;
+}
+
+let cache_geometry ~bytes ~ways =
+  Spandex_mem.Cache_frame.size_lines ~bytes ~ways
+
+let build_denovo engine net (p : Params.t) ~id ~llc_id ~atomics_at_llc ~region_of
+    ~write_policy =
+  let sets, ways = cache_geometry ~bytes:p.Params.l1_bytes ~ways:p.Params.l1_ways in
+  let l1 =
+    Denovo_l1.create engine net
+      {
+        Denovo_l1.id;
+        llc_id;
+        llc_banks = p.Params.llc_banks;
+        sets;
+        ways;
+        mshrs = p.Params.mshrs;
+        sb_capacity = p.Params.sb_capacity;
+        hit_latency = p.Params.hit_latency;
+        coalesce_window = p.Params.coalesce_window;
+        max_reqv_retries = p.Params.max_reqv_retries;
+        atomics_at_llc;
+        region_of;
+        write_policy;
+      }
+  in
+  ( Denovo_l1.port l1,
+    {
+      c_name = Printf.sprintf "denovo_l1.%d" id;
+      c_quiescent = (fun () -> (Denovo_l1.port l1).Port.quiescent ());
+      c_pending = (fun () -> (Denovo_l1.port l1).Port.describe_pending ());
+      c_stats = Denovo_l1.stats l1;
+    } )
+
+let build_mesi engine net (p : Params.t) ~id ~llc_id ~notify =
+  let sets, ways = cache_geometry ~bytes:p.Params.l1_bytes ~ways:p.Params.l1_ways in
+  let l1 =
+    Mesi_l1.create engine net
+      {
+        Mesi_l1.id;
+        llc_id;
+        llc_banks = p.Params.llc_banks;
+        sets;
+        ways;
+        mshrs = p.Params.mshrs;
+        sb_capacity = p.Params.sb_capacity;
+        hit_latency = p.Params.hit_latency;
+        coalesce_window = p.Params.coalesce_window;
+        notify_home_on_fwd_getm = notify;
+      }
+  in
+  ( Mesi_l1.port l1,
+    {
+      c_name = Printf.sprintf "mesi_l1.%d" id;
+      c_quiescent = (fun () -> (Mesi_l1.port l1).Port.quiescent ());
+      c_pending = (fun () -> (Mesi_l1.port l1).Port.describe_pending ());
+      c_stats = Mesi_l1.stats l1;
+    } )
+
+let build_gpucoh engine net (p : Params.t) ~id ~llc_id =
+  let sets, ways = cache_geometry ~bytes:p.Params.l1_bytes ~ways:p.Params.l1_ways in
+  let l1 =
+    Gpu_l1.create engine net
+      {
+        Gpu_l1.id;
+        llc_id;
+        llc_banks = p.Params.llc_banks;
+        sets;
+        ways;
+        mshrs = p.Params.mshrs;
+        sb_capacity = p.Params.sb_capacity;
+        hit_latency = p.Params.hit_latency;
+        coalesce_window = p.Params.coalesce_window;
+        max_reqv_retries = p.Params.max_reqv_retries;
+      }
+  in
+  ( Gpu_l1.port l1,
+    {
+      c_name = Printf.sprintf "gpu_l1.%d" id;
+      c_quiescent = (fun () -> (Gpu_l1.port l1).Port.quiescent ());
+      c_pending = (fun () -> (Gpu_l1.port l1).Port.describe_pending ());
+      c_stats = Gpu_l1.stats l1;
+    } )
+
+let simulate ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
+  Workload.validate w;
+  Txn.reset ();
+  let p = params in
+  let engine = Engine.create () in
+  (* Device ids: CPUs, then GPU CUs, then LLC/dir, L2 front, L2 back. *)
+  let cpu_id i = i in
+  let gpu_id j = p.Params.cpu_cores + j in
+  let banks = p.Params.llc_banks in
+  let home_id = p.Params.cpu_cores + p.Params.gpu_cus in
+  let l2_front_id = home_id + banks in
+  let l2_back_id = l2_front_id + banks in
+  let topo =
+    match config.Config.llc with
+    | Config.Spandex_flat ->
+      Network.flat_topology ~latency:p.Params.flat_net_latency
+    | Config.H_mesi ->
+      let group_of id =
+        if id = l2_back_id then 2
+        else if id >= p.Params.cpu_cores && id < home_id then 1
+        else if id >= l2_front_id && id < l2_back_id then 1
+        else 0
+      in
+      Network.grouped_topology ~group_of
+        ~local_latency:p.Params.local_net_latency
+        ~cross_latency:p.Params.cross_net_latency
+  in
+  let net = Network.create engine topo in
+  let dram = Dram.create engine ~latency:p.Params.mem_latency
+      ~service_interval:p.Params.mem_interval
+  in
+  let components = ref [] in
+  let add c = components := c :: !components in
+  let kind_of id =
+    if id < p.Params.cpu_cores then
+      match config.Config.cpu with
+      | Config.Cpu_mesi -> Llc.Kind_mesi
+      | Config.Cpu_denovo -> Llc.Kind_denovo
+    else
+      match config.Config.gpu with
+      | Config.Gpu_coh -> Llc.Kind_gpu
+      | Config.Gpu_denovo | Config.Gpu_adaptive -> Llc.Kind_denovo
+  in
+  (* --- home level(s) ------------------------------------------------------ *)
+  let cpu_home, gpu_home =
+    match config.Config.llc with
+    | Config.Spandex_flat ->
+      let sets, ways = cache_geometry ~bytes:p.Params.llc_bytes ~ways:p.Params.llc_ways in
+      let llc =
+        Llc.create engine net
+          (Backing.dram engine dram)
+          {
+            Llc.llc_id = home_id;
+            banks;
+            sets;
+            ways;
+            (* The flat LLC replaces the intermediate level and sits at its
+               distance (Table VI). *)
+            access_latency = p.Params.l2_access;
+            kind_of;
+            reqs_policy = p.Params.reqs_policy;
+          }
+      in
+      add
+        {
+          c_name = "spandex_llc";
+          c_quiescent = (fun () -> Llc.quiescent llc);
+          c_pending = (fun () -> Llc.describe_pending llc);
+          c_stats = Llc.stats llc;
+        };
+      (home_id, home_id)
+    | Config.H_mesi ->
+      let dsets, dways = cache_geometry ~bytes:p.Params.llc_bytes ~ways:p.Params.llc_ways in
+      let dir =
+        Mesi_dir.create engine net dram
+          { Mesi_dir.dir_id = home_id; banks; sets = dsets; ways = dways;
+            access_latency = p.Params.llc_access }
+      in
+      add
+        {
+          c_name = "mesi_dir";
+          c_quiescent = (fun () -> Mesi_dir.quiescent dir);
+          c_pending = (fun () -> Mesi_dir.describe_pending dir);
+          c_stats = Mesi_dir.stats dir;
+        };
+      let client =
+        Mesi_client.create engine net
+          { Mesi_client.id = l2_back_id; dir_id = home_id; dir_banks = banks;
+            hit_latency = p.Params.hit_latency }
+      in
+      let l2sets, l2ways =
+        cache_geometry ~bytes:p.Params.gpu_l2_bytes ~ways:p.Params.gpu_l2_ways
+      in
+      let l2 =
+        Llc.create engine net
+          (Mesi_client.backing client)
+          {
+            Llc.llc_id = l2_front_id;
+            banks;
+            sets = l2sets;
+            ways = l2ways;
+            access_latency = p.Params.l2_access;
+            kind_of;
+            reqs_policy = p.Params.reqs_policy;
+          }
+      in
+      add
+        {
+          c_name = "gpu_l2";
+          c_quiescent = (fun () -> Llc.quiescent l2);
+          c_pending = (fun () -> Llc.describe_pending l2);
+          c_stats = Llc.stats l2;
+        };
+      add
+        {
+          c_name = "mesi_client";
+          c_quiescent = (fun () -> (Mesi_client.backing client).Backing.quiescent ());
+          c_pending = (fun () -> (Mesi_client.backing client).Backing.describe_pending ());
+          c_stats = Mesi_client.stats client;
+        };
+      (home_id, l2_front_id)
+  in
+  (* --- L1s ------------------------------------------------------------------ *)
+  let cpu_port i =
+    match config.Config.cpu with
+    | Config.Cpu_mesi ->
+      build_mesi engine net p ~id:(cpu_id i) ~llc_id:cpu_home
+        ~notify:(config.Config.llc = Config.H_mesi)
+    | Config.Cpu_denovo ->
+      build_denovo engine net p ~id:(cpu_id i) ~llc_id:cpu_home
+        ~atomics_at_llc:config.Config.cpu_atomics_at_llc
+        ~region_of:w.Workload.region_of ~write_policy:Denovo_l1.Write_own
+  in
+  let gpu_port j =
+    match config.Config.gpu with
+    | Config.Gpu_coh -> build_gpucoh engine net p ~id:(gpu_id j) ~llc_id:gpu_home
+    | Config.Gpu_denovo | Config.Gpu_adaptive ->
+      build_denovo engine net p ~id:(gpu_id j) ~llc_id:gpu_home
+        ~atomics_at_llc:false ~region_of:w.Workload.region_of
+        ~write_policy:
+          (match config.Config.gpu with
+          | Config.Gpu_adaptive -> Denovo_l1.Write_adaptive
+          | Config.Gpu_coh | Config.Gpu_denovo -> Denovo_l1.Write_own)
+  in
+  (* --- cores ----------------------------------------------------------------- *)
+  let check_log = Check_log.create () in
+  let barriers =
+    Array.map (fun parties -> Barrier.create engine ~parties) w.Workload.barrier_parties
+  in
+  let cores = ref [] in
+  Array.iteri
+    (fun i program ->
+      if i >= p.Params.cpu_cores then
+        invalid_arg "workload uses more CPU cores than configured";
+      let port, comp = cpu_port i in
+      add comp;
+      let core =
+        Core.create engine ~port ~barriers ~check_log ~core_id:(cpu_id i)
+          ~clock:p.Params.cpu_clock ~programs:[| program |]
+      in
+      cores := core :: !cores)
+    w.Workload.cpu_programs;
+  Array.iteri
+    (fun j warps ->
+      if j >= p.Params.gpu_cus then
+        invalid_arg "workload uses more GPU CUs than configured";
+      let port, comp = gpu_port j in
+      add comp;
+      let core =
+        Core.create engine ~port ~barriers ~check_log ~core_id:(gpu_id j)
+          ~clock:p.Params.gpu_clock ~programs:warps
+      in
+      cores := core :: !cores)
+    w.Workload.gpu_programs;
+  let cores = List.rev !cores in
+  List.iter Core.start cores;
+  (* --- run ----------------------------------------------------------------- *)
+  let finished () =
+    List.for_all Core.finished cores
+    && List.for_all (fun c -> c.c_quiescent ()) !components
+    && Network.in_flight net = 0
+  in
+  let pending_desc () =
+    let core_desc =
+      List.filter_map
+        (fun c -> if Core.finished c then None else Some (Core.describe_pending c))
+        cores
+    in
+    let comp_desc =
+      List.filter_map
+        (fun c -> if c.c_quiescent () then None else Some (c.c_pending ()))
+        !components
+    in
+    String.concat " | "
+      (core_desc @ comp_desc
+      @ [ Printf.sprintf "net in-flight=%d" (Network.in_flight net) ])
+  in
+  let cycles = Engine.run engine ~until_done:finished ~pending_desc in
+  let stats = Stats.create () in
+  List.iter (fun c -> Stats.merge_into ~dst:stats ~prefix:c.c_name c.c_stats) !components;
+  List.iter
+    (fun c ->
+      Stats.merge_into ~dst:stats
+        ~prefix:(Printf.sprintf "core.%d" (Core.core_id c))
+        (Core.stats c))
+    cores;
+  Stats.merge_into ~dst:stats ~prefix:"net" (Network.stats net);
+  {
+    cycles;
+    total_flits = Network.total_flits net;
+    traffic =
+      List.map (fun c -> (c, Network.traffic_flits net c)) Msg.all_categories;
+    messages = Network.messages_sent net;
+    checks = Check_log.checks check_log;
+    failures = Check_log.failures check_log;
+    stats;
+  }
+
+let assert_clean r =
+  match r.failures with
+  | [] -> ()
+  | f :: _ ->
+    failwith
+      (Format.asprintf "data mismatch (%d total): %a" (List.length r.failures)
+         Check_log.pp_failure f)

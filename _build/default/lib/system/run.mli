@@ -1,0 +1,23 @@
+(** Build a full system for a configuration and run a workload to
+    completion. *)
+
+type result = {
+  cycles : int;  (** execution time: cycle at which the system quiesced. *)
+  total_flits : int;  (** network traffic in flit-hops. *)
+  traffic : (Spandex_proto.Msg.category * int) list;  (** Fig. 2/3 breakdown. *)
+  messages : int;
+  checks : int;  (** workload [Check] ops executed. *)
+  failures : Spandex_device.Check_log.failure list;
+      (** data-value mismatches — any entry is a coherence bug. *)
+  stats : Spandex_util.Stats.t;  (** merged per-component counters. *)
+}
+
+val simulate :
+  ?params:Params.t -> config:Config.t -> Workload.t -> result
+(** Raises {!Spandex_sim.Engine.Deadlock} if the system wedges, and
+    [Failure] on protocol invariant violations.  Runs are deterministic and
+    sequential: the global transaction counter is reset per call, so
+    simulations must not be interleaved within one process. *)
+
+val assert_clean : result -> unit
+(** Raises [Failure] describing the first data mismatch, if any. *)

@@ -1,0 +1,33 @@
+module Ops = Spandex_device.Ops
+
+type t = {
+  name : string;
+  cpu_programs : Ops.t array array;
+  gpu_programs : Ops.t array array array;
+  barrier_parties : int array;
+  region_of : int -> int;
+}
+
+let total_ops t =
+  let cpu = Array.fold_left (fun acc p -> acc + Array.length p) 0 t.cpu_programs in
+  let gpu =
+    Array.fold_left
+      (fun acc cu ->
+        Array.fold_left (fun acc p -> acc + Array.length p) acc cu)
+      0 t.gpu_programs
+  in
+  cpu + gpu
+
+let validate t =
+  let check_program p =
+    Array.iter
+      (function
+        | Ops.Barrier b | Ops.Barrier_region (b, _) ->
+          if b < 0 || b >= Array.length t.barrier_parties then
+            invalid_arg
+              (Printf.sprintf "workload %s: barrier id %d out of range" t.name b)
+        | _ -> ())
+      p
+  in
+  Array.iter check_program t.cpu_programs;
+  Array.iter (fun cu -> Array.iter check_program cu) t.gpu_programs

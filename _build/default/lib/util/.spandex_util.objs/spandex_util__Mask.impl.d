@@ -1,0 +1,1 @@
+lib/util/mask.ml: Format Int List Sys

@@ -1,0 +1,76 @@
+type 'a entry = { time : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let dummy = Obj.magic 0
+
+let create () = { heap = Array.make 16 dummy; size = 0; next_seq = 0 }
+let is_empty t = t.size = 0
+let length t = t.size
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let heap = Array.make (2 * Array.length t.heap) dummy in
+  Array.blit t.heap 0 heap 0 t.size;
+  t.heap <- heap
+
+let push t ~time value =
+  if t.size = Array.length t.heap then grow t;
+  let entry = { time; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  (* Sift up. *)
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  t.heap.(!i) <- entry;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if less entry t.heap.(parent) then begin
+      t.heap.(!i) <- t.heap.(parent);
+      t.heap.(parent) <- entry;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let min = t.heap.(0) in
+    t.size <- t.size - 1;
+    let last = t.heap.(t.size) in
+    t.heap.(t.size) <- dummy;
+    if t.size > 0 then begin
+      t.heap.(0) <- last;
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.size && less t.heap.(l) t.heap.(!smallest) then smallest := l;
+        if r < t.size && less t.heap.(r) t.heap.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = t.heap.(!i) in
+          t.heap.(!i) <- t.heap.(!smallest);
+          t.heap.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (min.time, min.value)
+  end
+
+let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
+
+let clear t =
+  for i = 0 to t.size - 1 do
+    t.heap.(i) <- dummy
+  done;
+  t.size <- 0

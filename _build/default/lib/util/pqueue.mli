@@ -1,0 +1,22 @@
+(** Binary-heap priority queue keyed by [(time, sequence)].
+
+    The event engine needs stable FIFO ordering among events scheduled for
+    the same cycle, so each push records a monotonically increasing sequence
+    number and ties are broken by it. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> time:int -> 'a -> unit
+(** Insert with key [time]; FIFO among equal times. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum-time element, or [None] when empty. *)
+
+val peek_time : 'a t -> int option
+(** Time of the minimum element without removing it. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,30 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () = Hashtbl.create 32
+
+let cell t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t name r;
+    r
+
+let add t name n = cell t name := !(cell t name) + n
+let incr t name = add t name 1
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+let set_max t name n =
+  let r = cell t name in
+  if n > !r then r := n
+
+let names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
+
+let merge_into ~dst ~prefix src =
+  Hashtbl.iter (fun k r -> add dst (prefix ^ "." ^ k) !r) src
+
+let to_assoc t = List.map (fun k -> (k, get t k)) (names t)
+
+let pp fmt t =
+  List.iter (fun (k, v) -> Format.fprintf fmt "%s = %d@." k v) (to_assoc t)

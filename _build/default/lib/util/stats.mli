@@ -1,0 +1,27 @@
+(** Named counters and scalar statistics.
+
+    Every simulated component owns a [Stats.t] scoped with a prefix; the
+    system run collects them into report rows. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+(** Add 1 to a named counter, creating it at 0 if absent. *)
+
+val add : t -> string -> int -> unit
+val get : t -> string -> int
+(** 0 when the counter was never touched. *)
+
+val set_max : t -> string -> int -> unit
+(** Keep the running maximum under the given name. *)
+
+val names : t -> string list
+(** Sorted list of counters that have been touched. *)
+
+val merge_into : dst:t -> prefix:string -> t -> unit
+(** Fold [src] counters into [dst] with [prefix ^ "."] prepended. *)
+
+val to_assoc : t -> (string * int) list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/apps.ml: Array Fun Gen Graph List Microbench Spandex_device Spandex_proto Spandex_util

@@ -1,0 +1,1 @@
+lib/workloads/gen.ml: Array Hashtbl List Spandex_device Spandex_proto Spandex_system

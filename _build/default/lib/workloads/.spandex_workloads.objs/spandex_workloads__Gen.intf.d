@@ -1,0 +1,1 @@
+lib/workloads/gen.mli: Spandex_device Spandex_proto Spandex_system

@@ -1,0 +1,1 @@
+lib/workloads/microbench.ml: Array Fun Gen List Spandex_device Spandex_proto Spandex_util

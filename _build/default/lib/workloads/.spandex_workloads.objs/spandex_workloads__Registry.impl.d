@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Apps List Microbench Option Spandex_system Stress String

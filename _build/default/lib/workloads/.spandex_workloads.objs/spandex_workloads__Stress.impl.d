@@ -1,0 +1,1 @@
+lib/workloads/stress.ml: Apps Array Gen Hashtbl List Microbench Printf Spandex_util

@@ -1,0 +1,1 @@
+lib/workloads/stress.mli: Microbench Spandex_system

@@ -1,0 +1,45 @@
+(** The six collaborative CPU-GPU applications (paper §IV-B2, Table VII),
+    reproduced as communication-pattern generators.
+
+    Each generator emits the memory-access and synchronization pattern the
+    paper's evaluation attributes the benchmark's behaviour to; real kernel
+    arithmetic is elided (it does not touch the memory system) and dynamic
+    work distribution is replaced by an equivalent static schedule with the
+    same atomic queue traffic (DESIGN.md §1).  DRF reads are [Check] ops. *)
+
+type geometry = Microbench.geometry = { cpus : int; cus : int; warps : int }
+
+val bc : ?scale:float -> geometry -> Spandex_system.Workload.t
+(** Betweenness centrality: push-based; vertices partitioned CPU/GPU; every
+    edge is an atomic update to the destination's centrality; the skewed
+    graph gives atomics high temporal locality (data, fine-grain, flat). *)
+
+val pr : ?scale:float -> geometry -> Spandex_system.Workload.t
+(** PageRank: pull-based; plain reads of neighbours' ranks, one store per
+    vertex per iteration; bound by memory throughput (data, coarse-grain,
+    flat, moderate locality). *)
+
+val hsti : ?scale:float -> geometry -> Spandex_system.Workload.t
+(** Input-partitioned histogram: atomic pops from one shared queue counter,
+    streaming reads of the popped block, atomic updates of a compact bin
+    array (high atomic spatial locality; low data locality). *)
+
+val trns : ?scale:float -> geometry -> Spandex_system.Workload.t
+(** In-place transposition: per-block flag atomics (spread one per line —
+    low spatial locality) guarding strided swap reads/writes. *)
+
+val rsct : ?scale:float -> geometry -> Spandex_system.Workload.t
+(** Random sample consensus: task-partitioned; the CPU produces small
+    parameter sets; every GPU core densely reads the same input window per
+    task (hierarchical sharing, fine-grain sync). *)
+
+val tqh : ?scale:float -> geometry -> Spandex_system.Workload.t
+(** Task-queue histogram: the CPU pushes task records and bumps queue
+    tails; each GPU core pops and streams a private input partition
+    (minimal hierarchical sharing) plus shared atomic histogram updates. *)
+
+val all : (string * (?scale:float -> geometry -> Spandex_system.Workload.t)) list
+
+val executors : geometry -> Gen.t -> Gen.builder array
+(** All execution contexts (CPU threads, then warps in CU order) of a
+    workload under construction; shared by generators. *)

@@ -1,0 +1,38 @@
+(** The three synthetic microbenchmarks (paper §IV-B1).
+
+    Each generator takes the thread geometry it should emit for and a
+    [scale] factor (1.0 reproduces the bench-harness sizes; tests use
+    smaller).  All data-race-free reads are emitted as [Check] ops, so each
+    run verifies protocol correctness end to end. *)
+
+type geometry = { cpus : int; cus : int; warps : int }
+
+val indirection : ?scale:float -> geometry -> Spandex_system.Workload.t
+(** CPU and GPU take turns transposing a matrix in a loop; strided accesses,
+    no L1 reuse.  Highlights the cost of hierarchical indirection. *)
+
+val reuseo : ?scale:float -> geometry -> Spandex_system.Workload.t
+(** Each device densely reads and writes its own cache-fitting tile
+    (re-used across iterations) and sparsely reads the other device's tile.
+    Highlights the benefit of obtaining ownership for updates. *)
+
+val reuses : ?scale:float -> geometry -> Spandex_system.Workload.t
+(** Everybody densely reads a shared matrix every iteration; a rotating
+    writer sparsely updates a few words between iterations.  Highlights
+    writer-initiated invalidation (Shared state reuse). *)
+
+val region_reuse :
+  ?scale:float -> ?use_regions:bool -> geometry -> Spandex_system.Workload.t
+(** Extension workload for DeNovo regions (paper §II-C): every thread
+    densely re-reads a large read-only region each iteration while a small
+    shared region carries cross-iteration communication.  With
+    [use_regions] (default), synchronization self-invalidates only the
+    shared region, preserving the read-only data in self-invalidating
+    caches; with [use_regions:false] every barrier flashes everything —
+    the cost the paper's region optimization removes. *)
+
+val all : (string * (?scale:float -> geometry -> Spandex_system.Workload.t)) list
+
+val chunk : parts:int -> n:int -> int -> int * int
+(** [chunk ~parts ~n i] is the half-open range of the i-th near-equal
+    contiguous partition of [0, n); shared by the generators. *)

@@ -1,0 +1,43 @@
+type entry = {
+  name : string;
+  kind : [ `Micro | `App | `Stress ];
+  build : ?scale:float -> Microbench.geometry -> Spandex_system.Workload.t;
+}
+
+let stress_build ?scale g =
+  let scale = Option.value ~default:1.0 scale in
+  let spec =
+    {
+      Stress.default_spec with
+      Stress.words = max 64 (int_of_float (512.0 *. scale));
+      writes_per_phase = max 4 (int_of_float (24.0 *. scale));
+      reads_per_phase = max 4 (int_of_float (24.0 *. scale));
+    }
+  in
+  Stress.generate spec g
+
+let entries =
+  List.map
+    (fun (name, build) -> { name; kind = `Micro; build })
+    Microbench.all
+  @ List.map (fun (name, build) -> { name; kind = `App; build }) Apps.all
+  @ [
+      {
+        name = "regions";
+        kind = `Micro;
+        build = (fun ?scale g -> Microbench.region_reuse ?scale g);
+      };
+      { name = "stress"; kind = `Stress; build = stress_build };
+    ]
+
+let find name =
+  List.find (fun e -> String.lowercase_ascii name = e.name) entries
+
+let names = List.map (fun e -> e.name) entries
+
+let geometry_of_params (p : Spandex_system.Params.t) =
+  {
+    Microbench.cpus = p.Spandex_system.Params.cpu_cores;
+    cus = p.Spandex_system.Params.gpu_cus;
+    warps = p.Spandex_system.Params.warps_per_cu;
+  }

@@ -1,0 +1,15 @@
+(** Name-indexed access to every workload, for the CLI and the bench
+    harness.  Geometry defaults to the full Table VI machine. *)
+
+type entry = {
+  name : string;
+  kind : [ `Micro | `App | `Stress ];
+  build : ?scale:float -> Microbench.geometry -> Spandex_system.Workload.t;
+}
+
+val entries : entry list
+val find : string -> entry
+(** Raises [Not_found]. *)
+
+val names : string list
+val geometry_of_params : Spandex_system.Params.t -> Microbench.geometry

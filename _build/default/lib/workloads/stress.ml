@@ -1,0 +1,87 @@
+module Rng = Spandex_util.Rng
+
+type spec = {
+  seed : int;
+  phases : int;
+  words : int;
+  writes_per_phase : int;
+  reads_per_phase : int;
+  atomics_per_phase : int;
+  atomic_words : int;
+  hot_fraction : float;
+}
+
+let default_spec =
+  {
+    seed = 1;
+    phases = 6;
+    words = 512;
+    writes_per_phase = 24;
+    reads_per_phase = 24;
+    atomics_per_phase = 8;
+    atomic_words = 8;
+    hot_fraction = 0.3;
+  }
+
+let generate spec (g : Microbench.geometry) =
+  let rng = Rng.create ~seed:spec.seed in
+  let alloc = Gen.allocator () in
+  let data = Gen.region alloc ~words:spec.words in
+  let atomics = Gen.region alloc ~words:spec.atomic_words in
+  let mem = Gen.mem () in
+  let t = Gen.create ~cpus:g.cpus ~cus:g.cus ~warps:g.warps in
+  let execs = Apps.executors g t in
+  let nexec = Array.length execs in
+  let hot = max 1 (spec.words / 16) in
+  let pick_word () =
+    if Rng.float rng 1.0 < spec.hot_fraction then Rng.int rng hot
+    else Rng.int rng spec.words
+  in
+  (* Track atomic totals separately: their mid-phase values are
+     timing-dependent, so they are only checked at phase boundaries. *)
+  for phase = 1 to spec.phases do
+    (* Pass 1: assign this phase's writers (word -> writer) so reads can be
+       kept race-free against EVERY thread's writes, not just earlier ones. *)
+    let writer = Hashtbl.create 64 in
+    let write_sets =
+      Array.init nexec (fun p ->
+          let mine = ref [] in
+          for _ = 1 to spec.writes_per_phase do
+            let w = pick_word () in
+            if not (Hashtbl.mem writer w) then begin
+              Hashtbl.add writer w p;
+              mine := w :: !mine
+            end
+          done;
+          List.rev !mine)
+    in
+    (* Pass 2: emit the ops. *)
+    Array.iteri
+      (fun p builder ->
+        List.iter
+          (fun w ->
+            Gen.emit_store builder mem (Gen.addr data w)
+              ((phase * 1_000_000) + (p * 1000) + w))
+          write_sets.(p);
+        (* Reads target words unwritten in this phase: their value was
+           fixed by an earlier phase, so the Check is race-free. *)
+        for _ = 1 to spec.reads_per_phase do
+          let w = pick_word () in
+          if not (Hashtbl.mem writer w) then
+            Gen.emit_check builder mem (Gen.addr data w)
+        done;
+        (* Atomics: racy by design; totals audited next phase. *)
+        for _ = 1 to spec.atomics_per_phase do
+          let a = Rng.int rng spec.atomic_words in
+          Gen.emit_rmw_add builder mem (Gen.addr atomics a) (1 + (p mod 3))
+        done)
+      execs;
+    Gen.global_barrier t;
+    (* One rotating thread audits the atomic totals. *)
+    let auditor = execs.(phase mod nexec) in
+    for a = 0 to spec.atomic_words - 1 do
+      Gen.emit_check auditor mem (Gen.addr atomics a)
+    done;
+    Gen.global_barrier t
+  done;
+  Gen.finish t ~name:(Printf.sprintf "stress-%d" spec.seed)

@@ -1,0 +1,26 @@
+(** Randomized data-race-free workloads for property testing.
+
+    Programs are built as a sequence of phases separated by global
+    barriers.  Within a phase every word has at most one writer; reads
+    target words whose value was fixed by an earlier phase and are emitted
+    as [Check] ops; designated atomic words may be updated by several
+    threads (with the accumulated total checked one phase later).  Any
+    [Check] failure on any configuration is a protocol bug, so this is an
+    executable SC-for-DRF litmus generator. *)
+
+type spec = {
+  seed : int;
+  phases : int;
+  words : int;  (** size of the shared data pool. *)
+  writes_per_phase : int;  (** per thread. *)
+  reads_per_phase : int;
+  atomics_per_phase : int;
+  atomic_words : int;  (** size of the atomic-counter pool. *)
+  hot_fraction : float;  (** fraction of accesses aimed at a small hot set
+                              to force ownership migration and contention. *)
+}
+
+val default_spec : spec
+
+val generate :
+  spec -> Microbench.geometry -> Spandex_system.Workload.t

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest List Spandex_device Spandex_proto Spandex_system

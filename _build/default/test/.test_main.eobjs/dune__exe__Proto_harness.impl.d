@@ -1,0 +1,1 @@
+test/proto_harness.ml: Alcotest Array Format List Spandex Spandex_mem Spandex_net Spandex_proto Spandex_sim Spandex_util String

@@ -1,0 +1,1 @@
+test/test_backing.ml: Alcotest Array Helpers List Proto_harness Spandex Spandex_mesi Spandex_net Spandex_proto Spandex_sim Spandex_util

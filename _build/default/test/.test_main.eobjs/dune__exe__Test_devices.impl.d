@@ -1,0 +1,1 @@
+test/test_devices.ml: Alcotest Array Fun Helpers List Option Proto_harness Spandex_denovo Spandex_device Spandex_gpucoh Spandex_mesi Spandex_net Spandex_proto Spandex_sim Spandex_util

@@ -1,0 +1,1 @@
+test/test_llc.ml: Addr Alcotest Array Dram Helpers List Llc Mask Msg Proto_harness Spandex_proto

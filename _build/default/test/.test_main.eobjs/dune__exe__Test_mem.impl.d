@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Array Helpers List Option Spandex_mem Spandex_proto Spandex_sim Spandex_util

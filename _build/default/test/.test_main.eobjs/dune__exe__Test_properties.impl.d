@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Helpers List Spandex_proto Spandex_system Spandex_util Spandex_workloads String

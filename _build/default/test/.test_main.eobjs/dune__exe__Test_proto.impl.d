@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Array Helpers List QCheck2 QCheck_alcotest Spandex_proto Spandex_util

@@ -1,0 +1,1 @@
+test/test_random.ml: Alcotest Helpers List QCheck2 QCheck_alcotest Spandex_system Spandex_workloads

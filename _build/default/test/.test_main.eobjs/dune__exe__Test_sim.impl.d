@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Helpers List Spandex_device Spandex_net Spandex_proto Spandex_sim Spandex_util

@@ -1,0 +1,1 @@
+test/test_smoke.ml: Array Helpers List Spandex_device Spandex_proto

@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Array Helpers List Spandex_device Spandex_proto Spandex_system Spandex_util Spandex_workloads

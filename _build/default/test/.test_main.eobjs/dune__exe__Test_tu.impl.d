@@ -1,0 +1,1 @@
+test/test_tu.ml: Alcotest Array Helpers QCheck2 QCheck_alcotest Spandex Spandex_proto Spandex_util

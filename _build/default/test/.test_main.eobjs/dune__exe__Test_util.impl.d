@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Format Fun Helpers List Option QCheck2 QCheck_alcotest Spandex_util

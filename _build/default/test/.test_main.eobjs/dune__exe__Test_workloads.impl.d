@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Hashtbl Helpers List Printf Spandex_device Spandex_proto Spandex_system Spandex_workloads

@@ -1,0 +1,39 @@
+(* Shared test utilities. *)
+
+module Addr = Spandex_proto.Addr
+module Amo = Spandex_proto.Amo
+module Ops = Spandex_device.Ops
+module Config = Spandex_system.Config
+module Params = Spandex_system.Params
+module Run = Spandex_system.Run
+module Workload = Spandex_system.Workload
+
+let w i = Addr.line_of_word_index i
+
+(* A workload touching word indices offset by [base] so tests don't collide
+   in interesting ways unless they mean to. *)
+let workload ?(name = "test") ?(barriers = [||]) ~cpu ~gpu () =
+  { Workload.name; cpu_programs = cpu; gpu_programs = gpu; barrier_parties = barriers; region_of = (fun _ -> 0) }
+
+let simulate ?params config wl =
+  let r = Run.simulate ?params ~config wl in
+  Run.assert_clean r;
+  r
+
+let run_all_configs ?params wl =
+  List.map (fun c -> (c, simulate ?params c wl)) Config.all
+
+let check_all_configs ?params wl =
+  List.iter (fun c -> ignore (simulate ?params c wl)) Config.all
+
+let test name f = Alcotest.test_case name `Quick f
+
+(* Small but not tiny: exercises the protocols without long runtimes. *)
+let quick_params =
+  {
+    Params.default with
+    Params.cpu_cores = 2;
+    gpu_cus = 2;
+    warps_per_cu = 2;
+    mem_latency = 40;
+  }

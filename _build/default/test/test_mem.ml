@@ -1,0 +1,205 @@
+(* Unit tests for spandex_mem: cache frames, MSHRs, store buffer, DRAM. *)
+
+module Cache_frame = Spandex_mem.Cache_frame
+module Mshr = Spandex_mem.Mshr
+module Store_buffer = Spandex_mem.Store_buffer
+module Dram = Spandex_mem.Dram
+module Addr = Spandex_proto.Addr
+module Mask = Spandex_util.Mask
+module Engine = Spandex_sim.Engine
+
+let test = Helpers.test
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ----- Cache_frame ------------------------------------------------------------ *)
+
+let frame_insert_find () =
+  let f = Cache_frame.create ~sets:4 ~ways:2 in
+  check_int "capacity" 8 (Cache_frame.capacity f);
+  (match Cache_frame.insert f ~line:0 "a" ~can_evict:(fun ~line:_ _ -> true) with
+  | Cache_frame.Inserted -> ()
+  | _ -> Alcotest.fail "expected Inserted");
+  Alcotest.(check (option string)) "find" (Some "a") (Cache_frame.find f ~line:0);
+  Alcotest.(check (option string)) "miss" None (Cache_frame.find f ~line:4);
+  check_int "count" 1 (Cache_frame.count f)
+
+let frame_lru_eviction () =
+  let f = Cache_frame.create ~sets:1 ~ways:2 in
+  let ins line v = ignore (Cache_frame.insert f ~line v ~can_evict:(fun ~line:_ _ -> true)) in
+  ins 0 "a";
+  ins 1 "b";
+  Cache_frame.touch f ~line:0;
+  (* line 1 is now LRU. *)
+  (match Cache_frame.insert f ~line:2 "c" ~can_evict:(fun ~line:_ _ -> true) with
+  | Cache_frame.Evicted (1, "b") -> ()
+  | Cache_frame.Evicted (l, _) -> Alcotest.failf "evicted line %d, expected 1" l
+  | _ -> Alcotest.fail "expected eviction");
+  check_bool "victim gone" true (Cache_frame.find f ~line:1 = None);
+  check_bool "touched survives" true (Cache_frame.find f ~line:0 <> None)
+
+let frame_pinning () =
+  let f = Cache_frame.create ~sets:1 ~ways:2 in
+  let ins line v p =
+    Cache_frame.insert f ~line v ~can_evict:(fun ~line:l _ -> not (List.mem l p))
+  in
+  ignore (ins 0 "a" []);
+  ignore (ins 1 "b" []);
+  (* Both pinned: no room. *)
+  (match ins 2 "c" [ 0; 1 ] with
+  | Cache_frame.No_room -> ()
+  | _ -> Alcotest.fail "expected No_room");
+  (* Only line 0 evictable. *)
+  (match ins 2 "c" [ 1 ] with
+  | Cache_frame.Evicted (0, "a") -> ()
+  | _ -> Alcotest.fail "expected eviction of line 0")
+
+let frame_sets_disjoint () =
+  (* Lines mapping to different sets never evict each other. *)
+  let f = Cache_frame.create ~sets:4 ~ways:1 in
+  let ins line = ignore (Cache_frame.insert f ~line line ~can_evict:(fun ~line:_ _ -> true)) in
+  ins 0;
+  ins 1;
+  ins 2;
+  ins 3;
+  check_int "all resident" 4 (Cache_frame.count f);
+  (match Cache_frame.insert f ~line:4 4 ~can_evict:(fun ~line:_ _ -> true) with
+  | Cache_frame.Evicted (0, _) -> () (* 4 mod 4 = set 0 *)
+  | _ -> Alcotest.fail "expected conflict eviction of line 0");
+  check_bool "other sets untouched" true
+    (Cache_frame.find f ~line:1 <> None
+    && Cache_frame.find f ~line:2 <> None
+    && Cache_frame.find f ~line:3 <> None)
+
+let frame_remove_iter () =
+  let f = Cache_frame.create ~sets:2 ~ways:2 in
+  let ins line = ignore (Cache_frame.insert f ~line line ~can_evict:(fun ~line:_ _ -> true)) in
+  ins 0;
+  ins 1;
+  ins 2;
+  Cache_frame.remove f ~line:1;
+  check_int "count after remove" 2 (Cache_frame.count f);
+  let sum = Cache_frame.fold f ~init:0 ~f:(fun acc ~line:_ v -> acc + v) in
+  check_int "fold" 2 sum;
+  Cache_frame.remove f ~line:1 (* idempotent *);
+  check_int "still 2" 2 (Cache_frame.count f)
+
+let frame_size_lines () =
+  let sets, ways = Cache_frame.size_lines ~bytes:(32 * 1024) ~ways:8 in
+  check_int "sets" 64 sets;
+  check_int "ways" 8 ways
+
+(* ----- Mshr --------------------------------------------------------------------- *)
+
+let mshr_alloc_free () =
+  let m = Mshr.create ~capacity:2 in
+  let t1 = Option.get (Mshr.alloc m "a") in
+  let t2 = Option.get (Mshr.alloc m "b") in
+  check_bool "full" true (Mshr.is_full m);
+  check_bool "alloc fails when full" true (Mshr.alloc m "c" = None);
+  Alcotest.(check (option string)) "find" (Some "a") (Mshr.find m ~txn:t1);
+  Mshr.free m ~txn:t1;
+  check_bool "not full" false (Mshr.is_full m);
+  Alcotest.(check (option string)) "freed" None (Mshr.find m ~txn:t1);
+  Mshr.free m ~txn:t2;
+  check_int "empty" 0 (Mshr.count m)
+
+let mshr_find_first_oldest () =
+  let m = Mshr.create ~capacity:8 in
+  let _t1 = Option.get (Mshr.alloc m 10) in
+  let t2 = Option.get (Mshr.alloc m 20) in
+  let _t3 = Option.get (Mshr.alloc m 21) in
+  (match Mshr.find_first m ~f:(fun v -> v >= 20) with
+  | Some (txn, 20) -> check_int "oldest matching" t2 txn
+  | _ -> Alcotest.fail "expected to find 20")
+
+(* ----- Store_buffer --------------------------------------------------------------- *)
+
+let sb_coalesce () =
+  let sb = Store_buffer.create ~capacity:4 in
+  let a w = Addr.make ~line:3 ~word:w in
+  check_bool "new" true (Store_buffer.push sb ~addr:(a 0) ~value:1 = `New);
+  check_bool "coalesced" true (Store_buffer.push sb ~addr:(a 5) ~value:2 = `Coalesced);
+  check_bool "overwrite coalesces" true (Store_buffer.push sb ~addr:(a 0) ~value:9 = `Coalesced);
+  check_int "one entry" 1 (Store_buffer.count sb);
+  Alcotest.(check (option int)) "forward latest" (Some 9)
+    (Store_buffer.forward sb ~addr:(a 0));
+  Alcotest.(check (option int)) "no forward for unwritten" None
+    (Store_buffer.forward sb ~addr:(a 1))
+
+let sb_capacity_and_fifo () =
+  let sb = Store_buffer.create ~capacity:2 in
+  let a line = Addr.make ~line ~word:0 in
+  ignore (Store_buffer.push sb ~addr:(a 0) ~value:1);
+  ignore (Store_buffer.push sb ~addr:(a 1) ~value:2);
+  check_bool "full" true (Store_buffer.push sb ~addr:(a 2) ~value:3 = `Full);
+  check_bool "coalescing still allowed when full" true
+    (Store_buffer.push sb ~addr:(Addr.make ~line:0 ~word:3) ~value:4 = `Coalesced);
+  let e = Option.get (Store_buffer.take_oldest sb) in
+  check_int "fifo order" 0 e.Store_buffer.line;
+  check_int "coalesced mask" 2 (Mask.count e.Store_buffer.mask);
+  let e2 = Option.get (Store_buffer.take_oldest sb) in
+  check_int "second" 1 e2.Store_buffer.line;
+  check_bool "drained" true (Store_buffer.is_empty sb)
+
+let sb_peek_and_remove () =
+  let sb = Store_buffer.create ~capacity:4 in
+  ignore (Store_buffer.push sb ~addr:(Addr.make ~line:7 ~word:1) ~value:5);
+  (match Store_buffer.peek_oldest sb with
+  | Some e -> check_int "peek line" 7 e.Store_buffer.line
+  | None -> Alcotest.fail "expected entry");
+  check_int "peek does not remove" 1 (Store_buffer.count sb);
+  Store_buffer.remove sb ~line:7;
+  check_bool "removed" true (Store_buffer.is_empty sb)
+
+(* ----- Dram ------------------------------------------------------------------------- *)
+
+let dram_read_write () =
+  let engine = Engine.create () in
+  let dram = Dram.create engine ~latency:10 ~service_interval:0 in
+  let got = ref None in
+  Dram.read_line dram ~line:5 ~k:(fun values -> got := Some values.(3));
+  ignore (Engine.run_all engine);
+  check_int "initial contents" (Spandex_proto.Linedata.init_word ~line:5 ~word:3)
+    (Option.get !got);
+  Dram.write_words dram ~line:5 ~mask:(Mask.singleton 3) ~values:[| 42 |];
+  check_int "peek after write" 42 (Dram.peek_word dram (Addr.make ~line:5 ~word:3));
+  check_int "reads counted" 1 (Dram.reads dram);
+  check_int "writes counted" 1 (Dram.writes dram)
+
+let dram_latency_and_bandwidth () =
+  let engine = Engine.create () in
+  let dram = Dram.create engine ~latency:10 ~service_interval:4 in
+  let t1 = ref 0 and t2 = ref 0 in
+  Dram.read_line dram ~line:0 ~k:(fun _ -> t1 := Engine.now engine);
+  Dram.read_line dram ~line:1 ~k:(fun _ -> t2 := Engine.now engine);
+  ignore (Engine.run_all engine);
+  check_int "first after latency" 10 !t1;
+  check_int "second queued behind service interval" 14 !t2
+
+let dram_copy_isolated () =
+  (* The callback receives a copy; mutating it must not corrupt memory. *)
+  let engine = Engine.create () in
+  let dram = Dram.create engine ~latency:1 ~service_interval:0 in
+  Dram.read_line dram ~line:2 ~k:(fun values -> values.(0) <- 12345);
+  ignore (Engine.run_all engine);
+  check_bool "backing unchanged" true
+    (Dram.peek_word dram (Addr.make ~line:2 ~word:0) <> 12345)
+
+let tests =
+  [
+    test "frame_insert_find" frame_insert_find;
+    test "frame_lru_eviction" frame_lru_eviction;
+    test "frame_pinning" frame_pinning;
+    test "frame_sets_disjoint" frame_sets_disjoint;
+    test "frame_remove_iter" frame_remove_iter;
+    test "frame_size_lines" frame_size_lines;
+    test "mshr_alloc_free" mshr_alloc_free;
+    test "mshr_find_first_oldest" mshr_find_first_oldest;
+    test "sb_coalesce" sb_coalesce;
+    test "sb_capacity_and_fifo" sb_capacity_and_fifo;
+    test "sb_peek_and_remove" sb_peek_and_remove;
+    test "dram_read_write" dram_read_write;
+    test "dram_latency_and_bandwidth" dram_latency_and_bandwidth;
+    test "dram_copy_isolated" dram_copy_isolated;
+  ]

@@ -1,0 +1,106 @@
+(* Randomized SC-for-DRF litmus testing: every seed generates a fresh
+   data-race-free workload whose Checks encode the only values DRF
+   execution may observe; any mismatch on any configuration is a protocol
+   bug.  This is the executable counterpart of the paper's III-E
+   consistency argument. *)
+
+module Config = Spandex_system.Config
+module Params = Spandex_system.Params
+module Run = Spandex_system.Run
+module Stress = Spandex_workloads.Stress
+module Microbench = Spandex_workloads.Microbench
+
+let test = Helpers.test
+let geom = { Microbench.cpus = 2; cus = 2; warps = 2 }
+
+let params =
+  { Params.bench with Params.cpu_cores = 2; gpu_cus = 2; warps_per_cu = 2 }
+
+(* Tiny caches: every eviction / purge / recall path stays hot. *)
+let tiny_params =
+  {
+    Params.small with
+    Params.cpu_cores = 2;
+    gpu_cus = 2;
+    warps_per_cu = 2;
+    mem_latency = 15;
+  }
+
+let run_spec ~params spec =
+  let wl = Stress.generate spec geom in
+  List.iter
+    (fun config ->
+      let r = Run.simulate ~params ~config wl in
+      match Run.assert_clean r with
+      | () -> ()
+      | exception Failure msg ->
+        Alcotest.failf "seed %d on %s: %s" spec.Stress.seed
+          config.Config.name msg)
+    Config.all
+
+let drf_seeds () =
+  for seed = 1 to 12 do
+    run_spec ~params { Stress.default_spec with Stress.seed }
+  done
+
+let drf_hot_contention () =
+  (* Almost everything lands in a small hot set: maximal ownership
+     migration and atomic contention. *)
+  for seed = 20 to 26 do
+    run_spec ~params
+      {
+        Stress.default_spec with
+        Stress.seed;
+        hot_fraction = 0.9;
+        atomic_words = 2;
+        atomics_per_phase = 16;
+      }
+  done
+
+let drf_under_capacity_pressure () =
+  (* Tiny caches: evictions, purges and hierarchy recalls on every path. *)
+  for seed = 30 to 35 do
+    run_spec ~params:tiny_params
+      { Stress.default_spec with Stress.seed; words = 2048; phases = 4 }
+  done
+
+let drf_many_phases () =
+  run_spec ~params
+    { Stress.default_spec with Stress.seed = 40; phases = 16; words = 128 }
+
+(* Long mode (QCHECK_LONG=1): a heavier soak across many random seeds. *)
+let drf_soak =
+  QCheck2.Test.make ~name:"drf_soak_long" ~count:2 ~long_factor:25
+    QCheck2.Gen.(int_range 50_000 1_000_000)
+    (fun seed ->
+      run_spec ~params
+        {
+          Stress.default_spec with
+          Stress.seed;
+          phases = 8;
+          words = 1024;
+          hot_fraction = 0.5;
+        };
+      run_spec ~params:tiny_params
+        { Stress.default_spec with Stress.seed = seed + 1; words = 2048 };
+      true)
+
+let drf_qcheck =
+  QCheck2.Test.make ~name:"drf_random_seeds" ~count:6
+    QCheck2.Gen.(int_range 100 10_000)
+    (fun seed ->
+      run_spec ~params
+        { Stress.default_spec with Stress.seed; phases = 4 };
+      true)
+
+let tests =
+  [
+    test "drf_seeds" drf_seeds;
+    test "drf_hot_contention" drf_hot_contention;
+    test "drf_under_capacity_pressure" drf_under_capacity_pressure;
+    test "drf_many_phases" drf_many_phases;
+  ]
+  @ [
+      QCheck_alcotest.to_alcotest ~long:false drf_qcheck;
+      QCheck_alcotest.to_alcotest ~long:false drf_soak;
+    ]

@@ -1,0 +1,270 @@
+(* Tests for the event engine, network model, barriers and the core model. *)
+
+module Engine = Spandex_sim.Engine
+module Network = Spandex_net.Network
+module Msg = Spandex_proto.Msg
+module Mask = Spandex_util.Mask
+module Barrier = Spandex_device.Barrier
+
+let test = Helpers.test
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ----- Engine ------------------------------------------------------------------ *)
+
+let engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:5 (fun () -> log := "b" :: !log);
+  Engine.schedule e ~delay:1 (fun () -> log := "a" :: !log);
+  Engine.schedule e ~delay:5 (fun () -> log := "c" :: !log);
+  let t = Engine.run_all e in
+  check_int "final time" 5 t;
+  Alcotest.(check (list string)) "order with fifo ties" [ "a"; "b"; "c" ]
+    (List.rev !log)
+
+let engine_nested_scheduling () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  Engine.schedule e ~delay:2 (fun () ->
+      incr hits;
+      Engine.schedule e ~delay:3 (fun () ->
+          incr hits;
+          check_int "nested time" 5 (Engine.now e)));
+  ignore (Engine.run_all e);
+  check_int "both ran" 2 !hits
+
+let engine_deadlock_detection () =
+  let e = Engine.create () in
+  Engine.schedule e ~delay:1 ignore;
+  match
+    Engine.run e ~until_done:(fun () -> false) ~pending_desc:(fun () -> "stuck!")
+  with
+  | _ -> Alcotest.fail "expected Deadlock"
+  | exception Engine.Deadlock msg ->
+    check_bool "message propagated" true (msg = "stuck!")
+
+let engine_step_limit () =
+  let e = Engine.create () in
+  Engine.set_step_limit e 10;
+  let rec spin () = Engine.schedule e ~delay:1 spin in
+  spin ();
+  match Engine.run e ~until_done:(fun () -> false) ~pending_desc:(fun () -> "x") with
+  | _ -> Alcotest.fail "expected Deadlock from step limit"
+  | exception Engine.Deadlock _ -> ()
+
+let engine_no_past_scheduling () =
+  let e = Engine.create () in
+  Engine.schedule e ~delay:5 (fun () ->
+      match Engine.at e ~time:2 ignore with
+      | () -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ());
+  ignore (Engine.run_all e)
+
+(* ----- Network ------------------------------------------------------------------- *)
+
+let msg ?(payload = Msg.No_data) ~src ~dst () =
+  Msg.make ~txn:1 ~kind:(Msg.Req Msg.ReqV) ~line:0 ~mask:(Mask.singleton 0)
+    ~payload ~src ~dst ()
+
+let network_delivery_latency () =
+  let e = Engine.create () in
+  let net = Network.create e (Network.flat_topology ~latency:7) in
+  let arrival = ref (-1) in
+  Network.register net ~id:1 (fun _ -> arrival := Engine.now e);
+  Network.send net (msg ~src:0 ~dst:1 ());
+  check_int "in flight" 1 (Network.in_flight net);
+  ignore (Engine.run_all e);
+  check_int "latency respected" 7 !arrival;
+  check_int "drained" 0 (Network.in_flight net)
+
+let network_ingress_serialization () =
+  (* Two same-cycle arrivals at one endpoint drain one per cycle. *)
+  let e = Engine.create () in
+  let net = Network.create e (Network.flat_topology ~latency:3) in
+  let arrivals = ref [] in
+  Network.register net ~id:1 (fun _ -> arrivals := Engine.now e :: !arrivals);
+  Network.send net (msg ~src:0 ~dst:1 ());
+  Network.send net (msg ~src:2 ~dst:1 ());
+  ignore (Engine.run_all e);
+  Alcotest.(check (list int)) "serialized" [ 3; 4 ] (List.rev !arrivals)
+
+let network_point_to_point_fifo () =
+  let e = Engine.create () in
+  let net = Network.create e (Network.flat_topology ~latency:4) in
+  let order = ref [] in
+  Network.register net ~id:1 (fun m -> order := m.Msg.txn :: !order);
+  for i = 1 to 5 do
+    Network.send net
+      (Msg.make ~txn:i ~kind:(Msg.Req Msg.ReqV) ~line:0 ~mask:(Mask.singleton 0)
+         ~src:0 ~dst:1 ())
+  done;
+  ignore (Engine.run_all e);
+  Alcotest.(check (list int)) "fifo per pair" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let network_traffic_accounting () =
+  let e = Engine.create () in
+  let net = Network.create e (Network.flat_topology ~latency:1) in
+  Network.register net ~id:1 ignore;
+  Network.send net (msg ~src:0 ~dst:1 ());
+  Network.send net (msg ~payload:(Msg.Data [| 5 |]) ~src:0 ~dst:1 ());
+  ignore (Engine.run_all e);
+  check_int "msgs" 2 (Network.messages_sent net);
+  check_int "reqv flits: 1 control + (1 control + 1 data)" 3
+    (Network.traffic_flits net Msg.Cat_ReqV);
+  check_int "total" 3 (Network.total_flits net)
+
+let network_grouped_topology () =
+  let topo =
+    Network.grouped_topology
+      ~group_of:(fun id -> id / 10)
+      ~local_latency:2 ~cross_latency:9
+  in
+  check_int "local" 2 (topo.Network.latency ~src:1 ~dst:2);
+  check_int "cross" 9 (topo.Network.latency ~src:1 ~dst:12);
+  check_int "local hops" 1 (topo.Network.hops ~src:1 ~dst:2);
+  check_int "cross hops" 2 (topo.Network.hops ~src:1 ~dst:12)
+
+(* ----- Barrier --------------------------------------------------------------------- *)
+
+let barrier_releases_all () =
+  let e = Engine.create () in
+  let b = Barrier.create e ~parties:3 in
+  let released = ref 0 in
+  Barrier.arrive b ~k:(fun () -> incr released);
+  Barrier.arrive b ~k:(fun () -> incr released);
+  ignore (Engine.run_all e);
+  check_int "waits for all" 0 !released;
+  check_int "waiting" 2 (Barrier.waiting b);
+  Barrier.arrive b ~k:(fun () -> incr released);
+  ignore (Engine.run_all e);
+  check_int "all released" 3 !released;
+  check_int "generation bumped" 1 (Barrier.generation b)
+
+let barrier_cyclic_reuse () =
+  let e = Engine.create () in
+  let b = Barrier.create e ~parties:2 in
+  let phase = ref 0 in
+  let rec participant rounds =
+    if rounds > 0 then
+      Barrier.arrive b ~k:(fun () ->
+          incr phase;
+          participant (rounds - 1))
+  in
+  participant 3;
+  participant 3;
+  ignore (Engine.run_all e);
+  check_int "three rounds of two" 6 !phase;
+  check_int "three generations" 3 (Barrier.generation b)
+
+(* ----- Core model ------------------------------------------------------------------- *)
+
+(* A stub port that answers everything after a fixed delay and records the
+   op sequence; lets us test warp interleaving in isolation. *)
+let stub_port engine ~mem_delay log =
+  let pending = ref 0 in
+  {
+    Spandex_device.Port.load =
+      (fun a ~k ->
+        incr pending;
+        log := `Load a :: !log;
+        Engine.schedule engine ~delay:mem_delay (fun () ->
+            decr pending;
+            k 0));
+    store =
+      (fun a ~value:_ ~k ->
+        log := `Store a :: !log;
+        Engine.schedule engine ~delay:1 k);
+    rmw =
+      (fun a _ ~k ->
+        incr pending;
+        log := `Rmw a :: !log;
+        Engine.schedule engine ~delay:mem_delay (fun () ->
+            decr pending;
+            k 0));
+    acquire = (fun ~k -> Engine.schedule engine ~delay:1 k);
+    acquire_region = (fun ~region:_ ~k -> Engine.schedule engine ~delay:1 k);
+    release = (fun ~k -> Engine.schedule engine ~delay:1 k);
+    quiescent = (fun () -> !pending = 0);
+    describe_pending = (fun () -> "stub");
+  }
+
+let core_warp_interleaving () =
+  (* Two warps issuing long loads: the second warp's load issues while the
+     first is outstanding — latency hiding. *)
+  let e = Engine.create () in
+  let log = ref [] in
+  let port = stub_port e ~mem_delay:50 log in
+  let check_log = Spandex_device.Check_log.create () in
+  let addr i = Spandex_proto.Addr.make ~line:i ~word:0 in
+  let prog i = [| Spandex_device.Ops.Load (addr i); Spandex_device.Ops.Load (addr (10 + i)) |] in
+  let core =
+    Spandex_device.Core.create e ~port ~barriers:[||] ~check_log ~core_id:0
+      ~clock:1 ~programs:[| prog 0; prog 1 |]
+  in
+  Spandex_device.Core.start core;
+  let finish =
+    Engine.run e
+      ~until_done:(fun () -> Spandex_device.Core.finished core)
+      ~pending_desc:(fun () -> Spandex_device.Core.describe_pending core)
+  in
+  (* 4 loads of 50 cycles: serial execution would be ~200; interleaving two
+     warps halves it. *)
+  check_bool "latency hidden" true (finish < 150);
+  check_int "all ops issued" 4 (List.length !log)
+
+let core_single_context_blocks () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let port = stub_port e ~mem_delay:50 log in
+  let check_log = Spandex_device.Check_log.create () in
+  let addr i = Spandex_proto.Addr.make ~line:i ~word:0 in
+  let core =
+    Spandex_device.Core.create e ~port ~barriers:[||] ~check_log ~core_id:0
+      ~clock:1
+      ~programs:[| [| Spandex_device.Ops.Load (addr 0); Spandex_device.Ops.Load (addr 1) |] |]
+  in
+  Spandex_device.Core.start core;
+  let finish =
+    Engine.run e
+      ~until_done:(fun () -> Spandex_device.Core.finished core)
+      ~pending_desc:(fun () -> "core")
+  in
+  check_bool "blocking loads serialize" true (finish >= 100)
+
+let core_gpu_clock_scaling () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let port = stub_port e ~mem_delay:1 log in
+  let check_log = Spandex_device.Check_log.create () in
+  let compute = Array.make 10 (Spandex_device.Ops.Compute 1) in
+  let core =
+    Spandex_device.Core.create e ~port ~barriers:[||] ~check_log ~core_id:0
+      ~clock:3 ~programs:[| compute |]
+  in
+  Spandex_device.Core.start core;
+  let finish =
+    Engine.run e
+      ~until_done:(fun () -> Spandex_device.Core.finished core)
+      ~pending_desc:(fun () -> "core")
+  in
+  check_bool "slow clock scales issue" true (finish >= 30)
+
+let tests =
+  [
+    test "engine_ordering" engine_ordering;
+    test "engine_nested_scheduling" engine_nested_scheduling;
+    test "engine_deadlock_detection" engine_deadlock_detection;
+    test "engine_step_limit" engine_step_limit;
+    test "engine_no_past_scheduling" engine_no_past_scheduling;
+    test "network_delivery_latency" network_delivery_latency;
+    test "network_ingress_serialization" network_ingress_serialization;
+    test "network_point_to_point_fifo" network_point_to_point_fifo;
+    test "network_traffic_accounting" network_traffic_accounting;
+    test "network_grouped_topology" network_grouped_topology;
+    test "barrier_releases_all" barrier_releases_all;
+    test "barrier_cyclic_reuse" barrier_cyclic_reuse;
+    test "core_warp_interleaving" core_warp_interleaving;
+    test "core_single_context_blocks" core_single_context_blocks;
+    test "core_gpu_clock_scaling" core_gpu_clock_scaling;
+  ]

@@ -1,0 +1,168 @@
+(* End-to-end smoke tests: small workloads over every cache configuration,
+   verified through the workloads' Check ops. *)
+
+open Helpers
+module Ops = Spandex_device.Ops
+module Amo = Spandex_proto.Amo
+
+let store i v = Ops.Store (w i, v)
+let check i v = Ops.Check (w i, v)
+
+let single_cpu_rw () =
+  let program =
+    Array.concat
+      [
+        Array.init 32 (fun i -> store (i * 3) (1000 + i));
+        [| Ops.Release |];
+        Array.init 32 (fun i -> check (i * 3) (1000 + i));
+      ]
+  in
+  check_all_configs ~params:quick_params
+    (workload ~name:"single_cpu_rw" ~cpu:[| program |] ~gpu:[||] ())
+
+let single_gpu_rw () =
+  let warp =
+    Array.concat
+      [
+        Array.init 32 (fun i -> store (i * 5) (2000 + i));
+        [| Ops.Release |];
+        Array.init 32 (fun i -> check (i * 5) (2000 + i));
+      ]
+  in
+  check_all_configs ~params:quick_params
+    (workload ~name:"single_gpu_rw" ~cpu:[||] ~gpu:[| [| warp |] |] ())
+
+let cpu_to_cpu () =
+  let producer =
+    Array.concat
+      [ Array.init 24 (fun i -> store i (3000 + i)); [| Ops.Barrier 0 |] ]
+  in
+  let consumer =
+    Array.concat
+      [ [| Ops.Barrier 0 |]; Array.init 24 (fun i -> check i (3000 + i)) ]
+  in
+  check_all_configs ~params:quick_params
+    (workload ~name:"cpu_to_cpu" ~barriers:[| 2 |]
+       ~cpu:[| producer; consumer |] ~gpu:[||] ())
+
+let cpu_to_gpu () =
+  let producer =
+    Array.concat
+      [ Array.init 24 (fun i -> store (100 + i) (4000 + i)); [| Ops.Barrier 0 |] ]
+  in
+  let consumer =
+    Array.concat
+      [ [| Ops.Barrier 0 |]; Array.init 24 (fun i -> check (100 + i) (4000 + i)) ]
+  in
+  check_all_configs ~params:quick_params
+    (workload ~name:"cpu_to_gpu" ~barriers:[| 2 |] ~cpu:[| producer |]
+       ~gpu:[| [| consumer |] |] ())
+
+let gpu_to_cpu () =
+  let producer =
+    Array.concat
+      [ Array.init 24 (fun i -> store (200 + i) (5000 + i)); [| Ops.Barrier 0 |] ]
+  in
+  let consumer =
+    Array.concat
+      [ [| Ops.Barrier 0 |]; Array.init 24 (fun i -> check (200 + i) (5000 + i)) ]
+  in
+  check_all_configs ~params:quick_params
+    (workload ~name:"gpu_to_cpu" ~barriers:[| 2 |] ~cpu:[| consumer |]
+       ~gpu:[| [| producer |] |] ())
+
+let gpu_to_gpu () =
+  let producer =
+    Array.concat
+      [ Array.init 24 (fun i -> store (300 + i) (6000 + i)); [| Ops.Barrier 0 |] ]
+  in
+  let consumer =
+    Array.concat
+      [ [| Ops.Barrier 0 |]; Array.init 24 (fun i -> check (300 + i) (6000 + i)) ]
+  in
+  check_all_configs ~params:quick_params
+    (workload ~name:"gpu_to_gpu" ~barriers:[| 2 |] ~cpu:[||]
+       ~gpu:[| [| producer |]; [| consumer |] |] ())
+
+(* Every context hammers one counter with fetch-and-add; after a barrier one
+   CPU core checks the total.  Exercises ReqWT+data at the LLC, DeNovo
+   ownership atomics, and MESI RMWs depending on configuration. *)
+let atomics_sum () =
+  let n = 20 in
+  let adders = 2 + (2 * 2) in
+  (* 2 CPUs + 2 CUs x 2 warps *)
+  let counter = 4000 in
+  let add_prog extra =
+    Array.concat
+      [
+        Array.init n (fun _ -> Ops.Rmw (w counter, Amo.Add 1));
+        [| Ops.Barrier 0 |];
+        extra;
+      ]
+  in
+  let expected = Spandex_proto.Linedata.init_word ~line:(w counter).Spandex_proto.Addr.line
+      ~word:(w counter).Spandex_proto.Addr.word + (n * adders)
+  in
+  let checker = add_prog [| Ops.Acquire; check counter expected |] in
+  let cpu = [| checker; add_prog [||] |] in
+  let gpu =
+    [| [| add_prog [||]; add_prog [||] |]; [| add_prog [||]; add_prog [||] |] |]
+  in
+  check_all_configs ~params:quick_params
+    (workload ~name:"atomics_sum" ~barriers:[| adders |] ~cpu ~gpu ())
+
+(* CPU and GPU write disjoint words of the same lines: word-granularity
+   configurations avoid false sharing; all must stay correct. *)
+let false_sharing () =
+  let evens = Array.init 32 (fun i -> 2 * i) in
+  let odds = Array.init 32 (fun i -> (2 * i) + 1) in
+  let prog mine theirs myval theirval =
+    Array.concat
+      [
+        Array.map (fun i -> store i (myval + i)) mine;
+        [| Ops.Barrier 0 |];
+        Array.map (fun i -> check i (myval + i)) mine;
+        Array.map (fun i -> check i (theirval + i)) theirs;
+      ]
+  in
+  check_all_configs ~params:quick_params
+    (workload ~name:"false_sharing" ~barriers:[| 2 |]
+       ~cpu:[| prog evens odds 7000 8000 |]
+       ~gpu:[| [| prog odds evens 8000 7000 |] |] ())
+
+(* Ping-pong ownership between two CPU cores through multiple barriers. *)
+let ping_pong () =
+  let rounds = 4 in
+  let prog me =
+    let ops = ref [] in
+    for r = 0 to rounds - 1 do
+      let writer = r mod 2 in
+      if me = writer then
+        for i = 0 to 7 do
+          ops := store (500 + i) ((1000 * r) + i) :: !ops
+        done
+      else ();
+      ops := Ops.Barrier 0 :: !ops;
+      for i = 0 to 7 do
+        ops := check (500 + i) ((1000 * r) + i) :: !ops
+      done;
+      ops := Ops.Barrier 0 :: !ops
+    done;
+    Array.of_list (List.rev !ops)
+  in
+  check_all_configs ~params:quick_params
+    (workload ~name:"ping_pong" ~barriers:[| 2 |] ~cpu:[| prog 0; prog 1 |]
+       ~gpu:[||] ())
+
+let tests =
+  [
+    test "single_cpu_rw" single_cpu_rw;
+    test "single_gpu_rw" single_gpu_rw;
+    test "cpu_to_cpu" cpu_to_cpu;
+    test "cpu_to_gpu" cpu_to_gpu;
+    test "gpu_to_cpu" gpu_to_cpu;
+    test "gpu_to_gpu" gpu_to_gpu;
+    test "atomics_sum" atomics_sum;
+    test "false_sharing" false_sharing;
+    test "ping_pong" ping_pong;
+  ]

@@ -1,0 +1,187 @@
+(* Unit and property tests for spandex_util. *)
+
+module Mask = Spandex_util.Mask
+module Pqueue = Spandex_util.Pqueue
+module Rng = Spandex_util.Rng
+module Stats = Spandex_util.Stats
+
+let test = Helpers.test
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ----- Mask ------------------------------------------------------------- *)
+
+let mask_basics () =
+  check_int "empty count" 0 (Mask.count Mask.empty);
+  check_int "full 16" 16 (Mask.count (Mask.full ~words:16));
+  check_bool "mem singleton" true (Mask.mem (Mask.singleton 5) 5);
+  check_bool "not mem" false (Mask.mem (Mask.singleton 5) 6);
+  check_int "add" 2 (Mask.count (Mask.add (Mask.singleton 0) 15));
+  check_int "remove" 0 (Mask.count (Mask.remove (Mask.singleton 3) 3));
+  check_bool "subset" true (Mask.subset (Mask.singleton 2) (Mask.full ~words:16));
+  check_bool "not subset" false (Mask.subset (Mask.full ~words:16) (Mask.singleton 2))
+
+let mask_iter_order () =
+  let m = Mask.of_list [ 14; 2; 7; 0 ] in
+  Alcotest.(check (list int)) "sorted order" [ 0; 2; 7; 14 ] (Mask.to_list m)
+
+let mask_pp () =
+  let s = Format.asprintf "%a" (Mask.pp ~words:8) (Mask.of_list [ 0; 7 ]) in
+  Alcotest.(check string) "pp" "10000001" s
+
+let mask_gen = QCheck2.Gen.int_bound 0xFFFF
+
+let mask_props =
+  [
+    QCheck2.Test.make ~name:"union_comm" QCheck2.Gen.(pair mask_gen mask_gen)
+      (fun (a, b) -> Mask.equal (Mask.union a b) (Mask.union b a));
+    QCheck2.Test.make ~name:"inter_subset" QCheck2.Gen.(pair mask_gen mask_gen)
+      (fun (a, b) -> Mask.subset (Mask.inter a b) a);
+    QCheck2.Test.make ~name:"diff_disjoint" QCheck2.Gen.(pair mask_gen mask_gen)
+      (fun (a, b) -> Mask.is_empty (Mask.inter (Mask.diff a b) b));
+    QCheck2.Test.make ~name:"count_union_inter"
+      QCheck2.Gen.(pair mask_gen mask_gen) (fun (a, b) ->
+        Mask.count (Mask.union a b) + Mask.count (Mask.inter a b)
+        = Mask.count a + Mask.count b);
+    QCheck2.Test.make ~name:"of_to_list_roundtrip" mask_gen (fun m ->
+        Mask.equal m (Mask.of_list (Mask.to_list m)));
+    QCheck2.Test.make ~name:"fold_counts" mask_gen (fun m ->
+        Mask.fold m ~init:0 ~f:(fun acc _ -> acc + 1) = Mask.count m);
+  ]
+
+(* ----- Pqueue ------------------------------------------------------------ *)
+
+let pqueue_ordering () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~time:5 "c";
+  Pqueue.push q ~time:1 "a";
+  Pqueue.push q ~time:3 "b";
+  Alcotest.(check (option int)) "peek" (Some 1) (Pqueue.peek_time q);
+  let pop () = Option.map snd (Pqueue.pop q) in
+  Alcotest.(check (option string)) "first" (Some "a") (pop ());
+  Alcotest.(check (option string)) "second" (Some "b") (pop ());
+  Alcotest.(check (option string)) "third" (Some "c") (pop ());
+  Alcotest.(check (option string)) "empty" None (pop ())
+
+let pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  List.iter (fun v -> Pqueue.push q ~time:7 v) [ 1; 2; 3; 4 ];
+  let order = List.init 4 (fun _ -> snd (Option.get (Pqueue.pop q))) in
+  Alcotest.(check (list int)) "fifo among equal times" [ 1; 2; 3; 4 ] order
+
+let pqueue_prop =
+  QCheck2.Test.make ~name:"pqueue_sorts"
+    QCheck2.Gen.(list_size (int_bound 200) (int_bound 1000))
+    (fun times ->
+      let q = Pqueue.create () in
+      List.iter (fun t -> Pqueue.push q ~time:t t) times;
+      let rec drain acc =
+        match Pqueue.pop q with
+        | None -> List.rev acc
+        | Some (_, v) -> drain (v :: acc)
+      in
+      drain [] = List.sort compare times)
+
+let pqueue_interleaved () =
+  (* Interleave pushes and pops; popped times must be non-decreasing given
+     pushes never go into the past. *)
+  let rng = Rng.create ~seed:3 in
+  let q = Pqueue.create () in
+  let now = ref 0 in
+  for _ = 1 to 1000 do
+    if Rng.bool rng || Pqueue.is_empty q then
+      Pqueue.push q ~time:(!now + Rng.int rng 50) ()
+    else begin
+      let t, () = Option.get (Pqueue.pop q) in
+      Alcotest.(check bool) "monotone" true (t >= !now);
+      now := t
+    end
+  done
+
+(* ----- Rng ---------------------------------------------------------------- *)
+
+let rng_determinism () =
+  let a = Rng.create ~seed:99 and b = Rng.create ~seed:99 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let rng_bounds () =
+  let r = Rng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    check_bool "in range" true (v >= 0 && v < 17);
+    let w = Rng.int_in r ~lo:(-3) ~hi:4 in
+    check_bool "int_in range" true (w >= -3 && w <= 4);
+    let f = Rng.float r 2.5 in
+    check_bool "float range" true (f >= 0.0 && f < 2.5)
+  done
+
+let rng_split_independent () =
+  let a = Rng.create ~seed:7 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  check_bool "streams differ" true (xs <> ys)
+
+let rng_shuffle_permutes () =
+  let r = Rng.create ~seed:11 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let rng_geometric () =
+  let r = Rng.create ~seed:13 in
+  let n = 5000 in
+  let total = ref 0 in
+  for _ = 1 to n do
+    total := !total + Rng.geometric r ~p:0.5
+  done;
+  (* Mean of Geometric(0.5) failures-before-success is 1. *)
+  let mean = float_of_int !total /. float_of_int n in
+  check_bool "mean near 1" true (mean > 0.8 && mean < 1.2)
+
+(* ----- Stats ---------------------------------------------------------------- *)
+
+let stats_counters () =
+  let s = Stats.create () in
+  Stats.incr s "a";
+  Stats.incr s "a";
+  Stats.add s "b" 40;
+  check_int "a" 2 (Stats.get s "a");
+  check_int "b" 40 (Stats.get s "b");
+  check_int "missing" 0 (Stats.get s "zzz");
+  Stats.set_max s "m" 5;
+  Stats.set_max s "m" 3;
+  check_int "max keeps" 5 (Stats.get s "m")
+
+let stats_merge () =
+  let a = Stats.create () and b = Stats.create () in
+  Stats.add a "x" 1;
+  Stats.add b "x" 2;
+  let dst = Stats.create () in
+  Stats.merge_into ~dst ~prefix:"one" a;
+  Stats.merge_into ~dst ~prefix:"two" b;
+  check_int "one.x" 1 (Stats.get dst "one.x");
+  check_int "two.x" 2 (Stats.get dst "two.x");
+  Alcotest.(check (list string)) "names sorted" [ "one.x"; "two.x" ] (Stats.names dst)
+
+let tests =
+  [
+    test "mask_basics" mask_basics;
+    test "mask_iter_order" mask_iter_order;
+    test "mask_pp" mask_pp;
+    test "pqueue_ordering" pqueue_ordering;
+    test "pqueue_fifo_ties" pqueue_fifo_ties;
+    test "pqueue_interleaved" pqueue_interleaved;
+    test "rng_determinism" rng_determinism;
+    test "rng_bounds" rng_bounds;
+    test "rng_split_independent" rng_split_independent;
+    test "rng_shuffle_permutes" rng_shuffle_permutes;
+    test "rng_geometric" rng_geometric;
+    test "stats_counters" stats_counters;
+    test "stats_merge" stats_merge;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) (mask_props @ [ pqueue_prop ])
