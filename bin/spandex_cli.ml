@@ -14,20 +14,39 @@ module Run = Spandex_system.Run
 module Report = Spandex_system.Report
 module Registry = Spandex_workloads.Registry
 
-let params_of ~cpus ~cus ~warps =
+let params_of ~cpus ~cus ~warps ~fault ~watchdog =
   let base = Params.bench in
   {
     base with
     Params.cpu_cores = Option.value ~default:base.Params.cpu_cores cpus;
     gpu_cus = Option.value ~default:base.Params.gpu_cus cus;
     warps_per_cu = Option.value ~default:base.Params.warps_per_cu warps;
+    fault;
+    watchdog_cycles =
+      Option.value ~default:base.Params.watchdog_cycles watchdog;
   }
+
+let fault_spec_of ~drop ~dup ~delay ~reorder ~seed =
+  if drop = 0.0 && dup = 0.0 && delay = 0.0 && reorder = 0.0 then None
+  else
+    Some
+      (Spandex_net.Fault.uniform ~drop ~dup ~delay ~reorder ~seed ())
 
 let run_one ~params ~config ~scale ~stats entry =
   let geom = Registry.geometry_of_params params in
   let wl = entry.Registry.build ~scale geom in
   let t0 = Unix.gettimeofday () in
-  let r = Run.simulate ~params ~config wl in
+  let r =
+    try Run.simulate ~params ~config wl with
+    | Spandex_sim.Engine.Livelock l ->
+      Format.eprintf "%s %s: %a@." entry.Registry.name config.Config.name
+        Spandex_sim.Engine.pp_livelock l;
+      exit 2
+    | Spandex_util.Retry.Exhausted what ->
+      Printf.eprintf "%s %s: retries exhausted: %s\n" entry.Registry.name
+        config.Config.name what;
+      exit 2
+  in
   Run.assert_clean r;
   Printf.printf
     "%-12s %-4s cycles=%-9d flits=%-9d msgs=%-8d checks=%-7d wall=%.2fs\n"
@@ -40,6 +59,8 @@ let run_one ~params ~config ~scale ~stats entry =
           (fun (cat, n) ->
             Printf.sprintf "%s=%d" (Spandex_proto.Msg.category_name cat) n)
           r.Run.traffic));
+  if params.Params.fault <> None then
+    Format.printf "  %a@." Report.pp_fault_summary (Report.fault_summary r);
   if stats then
     List.iter
       (fun (k, v) -> Printf.printf "  %-40s %d\n" k v)
@@ -76,6 +97,43 @@ let cus_arg =
 let warps_arg =
   Arg.(value & opt (some int) None & info [ "warps" ] ~doc:"Warps per CU.")
 
+let fault_drop_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "fault-drop" ]
+        ~doc:"Probability of dropping an eligible message (0 disables).")
+
+let fault_dup_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "fault-dup" ]
+        ~doc:"Probability of duplicating an eligible message.")
+
+let fault_delay_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "fault-delay" ] ~doc:"Probability of adding extra latency.")
+
+let fault_reorder_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "fault-reorder" ]
+        ~doc:"Probability of jittering delivery order within a window.")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "fault-seed" ]
+        ~doc:"Deterministic seed for the fault-injection plan.")
+
+let watchdog_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "watchdog-cycles" ]
+        ~doc:
+          "Raise a structured livelock error when no core retires an op for \
+           this many cycles (0 disables; default 200000).")
+
 (* --- commands -------------------------------------------------------------- *)
 
 let list_cmd =
@@ -96,7 +154,8 @@ let list_cmd =
     Term.(const run $ const ())
 
 let run_cmd =
-  let run workload config all_configs scale stats cpus cus warps =
+  let run workload config all_configs scale stats cpus cus warps drop dup delay
+      reorder fault_seed watchdog =
     let entry =
       try Registry.find workload
       with Not_found ->
@@ -104,7 +163,8 @@ let run_cmd =
           (String.concat ", " Registry.names);
         exit 1
     in
-    let params = params_of ~cpus ~cus ~warps in
+    let fault = fault_spec_of ~drop ~dup ~delay ~reorder ~seed:fault_seed in
+    let params = params_of ~cpus ~cus ~warps ~fault ~watchdog in
     let configs =
       if all_configs then Config.all
       else
@@ -122,7 +182,9 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one workload")
     Term.(
       const run $ workload_arg $ config_arg $ all_configs_arg $ scale_arg
-      $ stats_arg $ cpus_arg $ cus_arg $ warps_arg)
+      $ stats_arg $ cpus_arg $ cus_arg $ warps_arg $ fault_drop_arg
+      $ fault_dup_arg $ fault_delay_arg $ fault_reorder_arg $ fault_seed_arg
+      $ watchdog_arg)
 
 let sweep_cmd =
   let run scale =

@@ -70,6 +70,13 @@ type t = {
   cfg : config;
   frame : meta Cache_frame.t;
   stats : Stats.t;
+  (* At-most-once reply cache, armed only under fault injection.  For
+     request kinds whose processing is not idempotent (ownership+data
+     grants, LLC-performed atomics), the responses sent for a txn are
+     recorded; a duplicate or retried arrival of the same txn replays them
+     instead of reprocessing — so a retried ReqWTdata cannot apply its AMO
+     twice and a retried ReqOdata gets the original data grant back. *)
+  replay : (int, Msg.t list ref) Hashtbl.t option;
 }
 
 let fresh_meta () =
@@ -95,10 +102,19 @@ let send t msg =
       Network.send t.net msg)
 
 let respond t (req : Msg.t) ~kind ~mask ?payload () =
-  if not (Mask.is_empty mask) then
-    send t
-      (Msg.make ~txn:req.Msg.txn ~kind:(Msg.Rsp kind) ~line:req.Msg.line ~mask
-         ?payload ~src:(bank_of t.cfg req.Msg.line) ~dst:req.Msg.requestor ())
+  if not (Mask.is_empty mask) then begin
+    let msg =
+      Msg.make ~txn:req.Msg.txn ~kind:(Msg.Rsp kind) ~line:req.Msg.line ~mask
+        ?payload ~src:(bank_of t.cfg req.Msg.line) ~dst:req.Msg.requestor ()
+    in
+    (match t.replay with
+    | Some table -> (
+      match Hashtbl.find_opt table req.Msg.txn with
+      | Some sent -> sent := msg :: !sent
+      | None -> ())
+    | None -> ());
+    send t msg
+  end
 
 let respond_data t (req : Msg.t) meta ~kind ~mask =
   if not (Mask.is_empty mask) then
@@ -729,6 +745,27 @@ and handle_recall t ~line ~kind ~k =
 
 (* ----- construction and introspection -------------------------------------- *)
 
+(* Requests whose processing must be exactly-once (see [replay] above). *)
+let replay_guarded = function
+  | Msg.ReqOdata | Msg.ReqWTdata | Msg.ReqS -> true
+  | Msg.ReqV | Msg.ReqWT | Msg.ReqO | Msg.ReqWB -> false
+
+(* Network-facing entry: the at-most-once filter sits here so internal
+   re-dispatches (unblocking, allocation retries) bypass it. *)
+let arrival t (msg : Msg.t) =
+  match (t.replay, msg.Msg.kind) with
+  | Some table, Msg.Req k when replay_guarded k -> (
+    match Hashtbl.find_opt table msg.Msg.txn with
+    | Some sent ->
+      (* Duplicate or retried request: replay what we already answered
+         (possibly nothing yet, if the original is still blocked). *)
+      Stats.incr t.stats "replayed";
+      List.iter (fun m -> send t m) (List.rev !sent)
+    | None ->
+      Hashtbl.add table msg.Msg.txn (ref []);
+      handle t msg)
+  | _ -> handle t msg
+
 let create engine net backing cfg =
   let t =
     {
@@ -738,10 +775,13 @@ let create engine net backing cfg =
       cfg;
       frame = Cache_frame.create ~sets:cfg.sets ~ways:cfg.ways;
       stats = Stats.create ();
+      replay =
+        (if Network.faults_enabled net then Some (Hashtbl.create 256)
+         else None);
     }
   in
   for b = 0 to cfg.banks - 1 do
-    Network.register net ~id:(cfg.llc_id + b) (fun msg -> handle t msg)
+    Network.register net ~id:(cfg.llc_id + b) (fun msg -> arrival t msg)
   done;
   backing.Backing.set_recall_handler (fun ~line ~kind ~k ->
       handle_recall t ~line ~kind ~k);

@@ -1,5 +1,6 @@
 module Mask = Spandex_util.Mask
 module Stats = Spandex_util.Stats
+module Retry = Spandex_util.Retry
 module Engine = Spandex_sim.Engine
 module Msg = Spandex_proto.Msg
 module Addr = Spandex_proto.Addr
@@ -107,6 +108,9 @@ type t = {
   reuse : (int, int) Hashtbl.t;
   last_wt : (int, int) Hashtbl.t;
   stats : Stats.t;
+  (* End-to-end request retries; armed only when the network injects
+     faults, so fault-free runs are bit-identical to the reliable model. *)
+  retry : Retry.t option;
   mutable epoch : int;
   mutable flushing : bool;
   mutable drain_armed : bool;
@@ -119,9 +123,22 @@ let send t msg =
       Network.send t.net msg)
 
 let request t ~txn ~kind ~line ~mask ?demand ?payload ?amo () =
-  send t
-    (Msg.make ~txn ~kind:(Msg.Req kind) ~line ~mask ?demand ?payload
-       ~src:t.cfg.id ~dst:(t.cfg.llc_id + (line mod t.cfg.llc_banks)) ?amo ())
+  let msg =
+    Msg.make ~txn ~kind:(Msg.Req kind) ~line ~mask ?demand ?payload
+      ~src:t.cfg.id ~dst:(t.cfg.llc_id + (line mod t.cfg.llc_banks)) ?amo ()
+  in
+  Option.iter
+    (fun r ->
+      Retry.arm r ~txn
+        ~describe:(Format.asprintf "%a line %d" Msg.pp_kind (Msg.Req kind) line)
+        ~resend:(fun () -> Network.send t.net msg))
+    t.retry;
+  send t msg
+
+(* Retire [txn]: free the MSHR entry and cancel any retry timer. *)
+let free_txn t ~txn =
+  Mshr.free t.outstanding ~txn;
+  Option.iter (fun r -> Retry.complete r ~txn) t.retry
 
 let reply t (msg : Msg.t) ~kind ~dst ~mask ?payload () =
   if not (Mask.is_empty mask) then
@@ -403,7 +420,7 @@ let rec load t (addr : Addr.t) ~k =
             Engine.schedule t.engine ~delay:4 (fun () -> load t addr ~k)))))
 
 and complete_read t ~txn (m : read_miss) (r : Tu.result) =
-  Mshr.free t.outstanding ~txn;
+  free_txn t ~txn;
   install_fill t m r;
   let covered, uncovered =
     List.partition (fun (w, _) -> Mask.mem r.Tu.data_mask w) m.r_waiters
@@ -416,7 +433,7 @@ and complete_read t ~txn (m : read_miss) (r : Tu.result) =
   drain t
 
 and handle_read_nacks t ~txn (m : read_miss) (r : Tu.result) =
-  Mshr.free t.outstanding ~txn;
+  free_txn t ~txn;
   if m.r_retries < t.cfg.max_reqv_retries then begin
     Stats.incr t.stats "reqv_retry";
     let m' =
@@ -487,7 +504,7 @@ let rec store t (addr : Addr.t) ~value ~k =
 
 let rec finish_rmw t ~txn (r : rmw_req) ~value =
   let next, old = Amo.apply r.w_amo value in
-  Mshr.free t.outstanding ~txn;
+  free_txn t ~txn;
   if (not r.w_stolen) && r.w_queued = [] then begin
     let l = get_or_alloc t r.w_line in
     l.data.(r.w_word) <- next;
@@ -758,6 +775,7 @@ let handle t (msg : Msg.t) =
     | Msg.Rsp Msg.RspWB -> ()
     | _ -> failwith "Denovo_l1: unexpected write-back response");
     Hashtbl.remove t.wb_records msg.Msg.txn;
+    Option.iter (fun r -> Retry.complete r ~txn:msg.Msg.txn) t.retry;
     drain t
   | Msg.Rsp _ -> (
     match Mshr.find t.outstanding ~txn:msg.Msg.txn with
@@ -772,7 +790,7 @@ let handle t (msg : Msg.t) =
       match Tu.absorb o.o_collector msg with
       | None -> ()
       | Some _ ->
-        Mshr.free t.outstanding ~txn:msg.Msg.txn;
+        free_txn t ~txn:msg.Msg.txn;
         commit_own t o;
         check_release t;
         drain t)
@@ -794,7 +812,7 @@ let handle t (msg : Msg.t) =
             Stats.incr t.stats "rmw_regranted";
             if r.w_queued <> [] then
               failwith "Denovo_l1: data-less RMW grant with queued externals";
-            Mshr.free t.outstanding ~txn:msg.Msg.txn;
+            free_txn t ~txn:msg.Msg.txn;
             Engine.schedule t.engine ~delay:2 (fun () ->
                 rmw t { Addr.line = r.w_line; word = r.w_word } r.w_amo
                   ~k:r.w_k)
@@ -802,7 +820,7 @@ let handle t (msg : Msg.t) =
     | Some (Atomic a) -> (
       match (msg.Msg.kind, msg.Msg.payload) with
       | Msg.Rsp Msg.RspWTdata, Msg.Data values ->
-        Mshr.free t.outstanding ~txn:msg.Msg.txn;
+        free_txn t ~txn:msg.Msg.txn;
         a.at_k values.(0);
         check_release t;
         drain t
@@ -817,12 +835,42 @@ let quiescent t =
   && t.stalled_stores = []
 
 let describe_pending t =
-  Printf.sprintf "denovo_l1 %d: sb=%d outstanding=%d stalled=%d" t.cfg.id
+  let pend = ref [] in
+  Mshr.iter t.outstanding ~f:(fun ~txn o ->
+      let d =
+        match o with
+        | Read m -> Printf.sprintf "Read line %d" m.r_line
+        | Own o -> Printf.sprintf "Own line %d" o.o_line
+        | Rmw r -> Printf.sprintf "Rmw line %d.%d" r.w_line r.w_word
+        | Atomic _ -> "Atomic"
+      in
+      pend := (txn, d) :: !pend);
+  Hashtbl.iter
+    (fun txn (b : wb_req) ->
+      pend := (txn, Printf.sprintf "Wb line %d" b.b_line) :: !pend)
+    t.wb_records;
+  let shown =
+    List.filteri (fun i _ -> i < 4) (List.sort compare !pend)
+    |> List.map (fun (txn, d) -> Printf.sprintf "txn %d %s" txn d)
+  in
+  Printf.sprintf "denovo_l1 %d: sb=%d outstanding=%d stalled=%d%s" t.cfg.id
     (Store_buffer.count t.sb)
     (Mshr.count t.outstanding)
     (List.length t.stalled_stores)
+    (if shown = [] then "" else " [" ^ String.concat "; " shown ^ "]")
 
 let create engine net cfg =
+  let stats = Stats.create () in
+  let retry =
+    Option.map
+      (fun f ->
+        Retry.create
+          (Spandex_net.Fault.retry_config f)
+          ~seed:(0x5EED + cfg.id)
+          ~schedule:(fun ~delay k -> Engine.schedule engine ~delay k)
+          ~stats)
+      (Network.fault net)
+  in
   let t =
     {
       engine;
@@ -835,7 +883,8 @@ let create engine net cfg =
       wb_records = Hashtbl.create 16;
       reuse = Hashtbl.create 64;
       last_wt = Hashtbl.create 64;
-      stats = Stats.create ();
+      stats;
+      retry;
       epoch = 0;
       flushing = false;
       drain_armed = false;

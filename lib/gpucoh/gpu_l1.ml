@@ -1,5 +1,6 @@
 module Mask = Spandex_util.Mask
 module Stats = Spandex_util.Stats
+module Retry = Spandex_util.Retry
 module Engine = Spandex_sim.Engine
 module Msg = Spandex_proto.Msg
 module Addr = Spandex_proto.Addr
@@ -50,6 +51,9 @@ type t = {
   outstanding : outstanding Mshr.t;
   sb_ages : (int, int) Hashtbl.t;  (* line -> last store cycle *)
   stats : Stats.t;
+  (* End-to-end request retries; armed only when the network injects
+     faults, so fault-free runs are bit-identical to the reliable model. *)
+  retry : Retry.t option;
   mutable epoch : int;
   mutable flushing : bool;
   mutable drain_armed : bool;
@@ -69,9 +73,22 @@ let send t msg =
       Network.send t.net msg)
 
 let request t ~txn ~kind ~line ~mask ?demand ?payload ?amo () =
-  send t
-    (Msg.make ~txn ~kind:(Msg.Req kind) ~line ~mask ?demand ?payload
-       ~src:t.cfg.id ~dst:(t.cfg.llc_id + (line mod t.cfg.llc_banks)) ?amo ())
+  let msg =
+    Msg.make ~txn ~kind:(Msg.Req kind) ~line ~mask ?demand ?payload
+      ~src:t.cfg.id ~dst:(t.cfg.llc_id + (line mod t.cfg.llc_banks)) ?amo ()
+  in
+  Option.iter
+    (fun r ->
+      Retry.arm r ~txn
+        ~describe:(Format.asprintf "%a line %d" Msg.pp_kind (Msg.Req kind) line)
+        ~resend:(fun () -> Network.send t.net msg))
+    t.retry;
+  send t msg
+
+(* Retire [txn]: free the MSHR entry and cancel any retry timer. *)
+let free_txn t ~txn =
+  Mshr.free t.outstanding ~txn;
+  Option.iter (fun r -> Retry.complete r ~txn) t.retry
 
 (* ----- write-through drain -------------------------------------------------- *)
 
@@ -152,7 +169,7 @@ let install_line t ~line values =
   | _ -> ()
 
 let complete_miss t ~txn (m : miss) (r : Tu.result) =
-  Mshr.free t.outstanding ~txn;
+  free_txn t ~txn;
   if m.epoch = t.epoch then install_line t ~line:m.m_line r.Tu.values
   else Stats.incr t.stats "stale_fill_dropped";
   List.iter (fun (w, k) -> k r.Tu.values.(w)) (List.rev m.waiters);
@@ -179,7 +196,7 @@ let handle_nacks t ~txn (m : miss) (r : Tu.result) =
     let m' =
       { m with collector = fresh; retries = m.retries }
     in
-    Mshr.free t.outstanding ~txn;
+    free_txn t ~txn;
     (match Mshr.alloc t.outstanding (Miss m') with
     | Some txn' ->
       request t ~txn:txn' ~kind:Msg.ReqV ~line:m.m_line ~mask:r.Tu.nacked
@@ -201,7 +218,7 @@ let handle_nacks t ~txn (m : miss) (r : Tu.result) =
                     ~full:r.Tu.values))
             ~line:m.m_line ~src:t.cfg.id ~dst:t.cfg.id ()));
     let m' = { m with collector = base } in
-    Mshr.free t.outstanding ~txn;
+    free_txn t ~txn;
     match Mshr.alloc t.outstanding (Miss m') with
     | Some txn' ->
       Mask.iter r.Tu.nacked ~f:(fun w ->
@@ -330,13 +347,13 @@ let handle t (msg : Msg.t) =
       (match msg.Msg.kind with
       | Msg.Rsp Msg.RspWT | Msg.Rsp Msg.RspO -> ()
       | _ -> failwith "Gpu_l1: unexpected write-through response");
-      Mshr.free t.outstanding ~txn:msg.Msg.txn;
+      free_txn t ~txn:msg.Msg.txn;
       check_release t;
       drain t
     | Some (Atomic a) -> (
       match (msg.Msg.kind, msg.Msg.payload) with
       | Msg.Rsp Msg.RspWTdata, Msg.Data values ->
-        Mshr.free t.outstanding ~txn:msg.Msg.txn;
+        free_txn t ~txn:msg.Msg.txn;
         a.a_k values.(0);
         drain t
       | _ -> failwith "Gpu_l1: unexpected atomic response")
@@ -362,12 +379,37 @@ let quiescent t =
   && t.stalled_stores = []
 
 let describe_pending t =
-  Printf.sprintf "gpu_l1 %d: sb=%d outstanding=%d stalled=%d" t.cfg.id
+  let pend = ref [] in
+  Mshr.iter t.outstanding ~f:(fun ~txn o ->
+      let d =
+        match o with
+        | Miss m -> Printf.sprintf "Miss line %d" m.m_line
+        | Wt w -> Printf.sprintf "Wt line %d" w.wt_line
+        | Atomic a -> Printf.sprintf "Atomic word %d" a.a_word
+      in
+      pend := (txn, d) :: !pend);
+  let shown =
+    List.filteri (fun i _ -> i < 4) (List.sort compare !pend)
+    |> List.map (fun (txn, d) -> Printf.sprintf "txn %d %s" txn d)
+  in
+  Printf.sprintf "gpu_l1 %d: sb=%d outstanding=%d stalled=%d%s" t.cfg.id
     (Store_buffer.count t.sb)
     (Mshr.count t.outstanding)
     (List.length t.stalled_stores)
+    (if shown = [] then "" else " [" ^ String.concat "; " shown ^ "]")
 
 let create engine net cfg =
+  let stats = Stats.create () in
+  let retry =
+    Option.map
+      (fun f ->
+        Retry.create
+          (Spandex_net.Fault.retry_config f)
+          ~seed:(0x5EED + cfg.id)
+          ~schedule:(fun ~delay k -> Engine.schedule engine ~delay k)
+          ~stats)
+      (Network.fault net)
+  in
   let t =
     {
       engine;
@@ -377,7 +419,8 @@ let create engine net cfg =
       sb = Store_buffer.create ~capacity:cfg.sb_capacity;
       outstanding = Mshr.create ~capacity:cfg.mshrs;
       sb_ages = Hashtbl.create 64;
-      stats = Stats.create ();
+      stats;
+      retry;
       epoch = 0;
       flushing = false;
       drain_armed = false;

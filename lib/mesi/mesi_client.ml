@@ -1,5 +1,6 @@
 module Mask = Spandex_util.Mask
 module Stats = Spandex_util.Stats
+module Retry = Spandex_util.Retry
 module Engine = Spandex_sim.Engine
 module Msg = Spandex_proto.Msg
 module Addr = Spandex_proto.Addr
@@ -31,6 +32,9 @@ type t = {
   states : (int, pstate) Hashtbl.t;
   outstanding : outstanding Mshr.t;
   stats : Stats.t;
+  (* End-to-end request retries; armed only when the network injects
+     faults, so fault-free runs are bit-identical to the reliable model. *)
+  retry : Retry.t option;
   mutable parked : int;  (* requests waiting for an MSHR slot. *)
   mutable recall_handler : Backing.recall_handler;
 }
@@ -46,9 +50,22 @@ let send t msg =
       Network.send t.net msg)
 
 let request t ~txn ~kind ~line ?payload () =
-  send t
-    (Msg.make ~txn ~kind:(Msg.Req kind) ~line ~mask:Addr.full_mask ?payload
-       ~src:t.cfg.id ~dst:(t.cfg.dir_id + (line mod t.cfg.dir_banks)) ())
+  let msg =
+    Msg.make ~txn ~kind:(Msg.Req kind) ~line ~mask:Addr.full_mask ?payload
+      ~src:t.cfg.id ~dst:(t.cfg.dir_id + (line mod t.cfg.dir_banks)) ()
+  in
+  Option.iter
+    (fun r ->
+      Retry.arm r ~txn
+        ~describe:(Format.asprintf "%a line %d" Msg.pp_kind (Msg.Req kind) line)
+        ~resend:(fun () -> Network.send t.net msg))
+    t.retry;
+  send t msg
+
+(* Retire [txn]: free the MSHR entry and cancel any retry timer. *)
+let free_txn t ~txn =
+  Mshr.free t.outstanding ~txn;
+  Option.iter (fun r -> Retry.complete r ~txn) t.retry
 
 let reply t (msg : Msg.t) ~kind ~dst ?payload () =
   send t
@@ -204,7 +221,7 @@ let handle t (msg : Msg.t) =
     match Mshr.find t.outstanding ~txn:msg.Msg.txn with
     | None -> Stats.incr t.stats "orphan_rsp"
     | Some (Acq a) -> (
-      Mshr.free t.outstanding ~txn:msg.Msg.txn;
+      free_txn t ~txn:msg.Msg.txn;
       match (msg.Msg.kind, msg.Msg.payload) with
       | Msg.Rsp Msg.RspS, Msg.Data values ->
         set_state t a.a_line P_S;
@@ -217,12 +234,23 @@ let handle t (msg : Msg.t) =
       (match msg.Msg.kind with
       | Msg.Rsp Msg.RspWB -> ()
       | _ -> failwith "Mesi_client: unexpected write-back response");
-      Mshr.free t.outstanding ~txn:msg.Msg.txn;
+      free_txn t ~txn:msg.Msg.txn;
       b.w_k ())
   | Msg.Req _ ->
     failwith (Format.asprintf "Mesi_client: unexpected message %a" Msg.pp msg)
 
 let create engine net cfg =
+  let stats = Stats.create () in
+  let retry =
+    Option.map
+      (fun f ->
+        Retry.create
+          (Spandex_net.Fault.retry_config f)
+          ~seed:(0x5EED + cfg.id)
+          ~schedule:(fun ~delay k -> Engine.schedule engine ~delay k)
+          ~stats)
+      (Network.fault net)
+  in
   let t =
     {
       engine;
@@ -230,7 +258,8 @@ let create engine net cfg =
       cfg;
       states = Hashtbl.create 1024;
       outstanding = Mshr.create ~capacity:256;
-      stats = Stats.create ();
+      stats;
+      retry;
       parked = 0;
       recall_handler = (fun ~line:_ ~kind:_ ~k -> k None);
     }
@@ -241,8 +270,21 @@ let create engine net cfg =
 let quiescent t = Mshr.count t.outstanding = 0 && t.parked = 0
 
 let describe_pending t =
-  Printf.sprintf "mesi_client %d: outstanding=%d" t.cfg.id
+  let pend = ref [] in
+  Mshr.iter t.outstanding ~f:(fun ~txn o ->
+      let d =
+        match o with
+        | Acq a -> Printf.sprintf "Acq line %d" a.a_line
+        | Wb b -> Printf.sprintf "Wb line %d" b.w_line
+      in
+      pend := (txn, d) :: !pend);
+  let shown =
+    List.filteri (fun i _ -> i < 4) (List.sort compare !pend)
+    |> List.map (fun (txn, d) -> Printf.sprintf "txn %d %s" txn d)
+  in
+  Printf.sprintf "mesi_client %d: outstanding=%d%s" t.cfg.id
     (Mshr.count t.outstanding)
+    (if shown = [] then "" else " [" ^ String.concat "; " shown ^ "]")
 
 let backing t =
   {

@@ -46,6 +46,10 @@ type t = {
   cfg : config;
   frame : meta Cache_frame.t;
   stats : Stats.t;
+  (* At-most-once reply cache, armed only under fault injection: recorded
+     responses per txn for non-idempotent request kinds, replayed when a
+     duplicate or retried request arrives (cf. Llc.replay). *)
+  replay : (int, Msg.t list ref) Hashtbl.t option;
 }
 
 let send t msg =
@@ -53,10 +57,18 @@ let send t msg =
       Network.send t.net msg)
 
 let respond t (req : Msg.t) ~kind ?payload () =
-  send t
-    (Msg.make ~txn:req.Msg.txn ~kind:(Msg.Rsp kind) ~line:req.Msg.line
-       ~mask:req.Msg.mask ?payload ~src:(bank_of t.cfg req.Msg.line)
-       ~dst:req.Msg.requestor ())
+  let msg =
+    Msg.make ~txn:req.Msg.txn ~kind:(Msg.Rsp kind) ~line:req.Msg.line
+      ~mask:req.Msg.mask ?payload ~src:(bank_of t.cfg req.Msg.line)
+      ~dst:req.Msg.requestor ()
+  in
+  (match t.replay with
+  | Some table -> (
+    match Hashtbl.find_opt table req.Msg.txn with
+    | Some sent -> sent := msg :: !sent
+    | None -> ())
+  | None -> ());
+  send t msg
 
 let respond_data t req meta ~kind =
   respond t req ~kind ~payload:(Msg.Data (Array.copy meta.data)) ()
@@ -326,6 +338,33 @@ and recall t line meta ~k =
     Stats.incr t.stats "rvko_sent";
     probe t ~kind:Msg.RvkO ~dst:owner ~line
 
+(* Request kinds whose reprocessing is NOT idempotent at the directory:
+   a duplicate ReqS or ReqOdata for a txn already served would re-run
+   state transitions (sharer insertion, owner transfer) against a world
+   the original already changed.  ReqWB reprocessing is idempotent (the
+   owner check rejects stale PutMs). *)
+let replay_guarded = function
+  | Msg.ReqS | Msg.ReqOdata -> true
+  | Msg.ReqV | Msg.ReqWT | Msg.ReqO | Msg.ReqWTdata | Msg.ReqWB -> false
+
+(* Network-facing entry point.  Under fault injection, guarded requests
+   are deduplicated by txn id: the first arrival is marked and handled,
+   later arrivals replay whatever responses the original produced. *)
+let arrival t (msg : Msg.t) =
+  match t.replay with
+  | None -> handle t msg
+  | Some table -> (
+    match msg.Msg.kind with
+    | Msg.Req kind when (not msg.Msg.fwd) && replay_guarded kind -> (
+      match Hashtbl.find_opt table msg.Msg.txn with
+      | Some sent ->
+        Stats.incr t.stats "replayed";
+        List.iter (fun m -> send t m) (List.rev !sent)
+      | None ->
+        Hashtbl.add table msg.Msg.txn (ref []);
+        handle t msg)
+    | _ -> handle t msg)
+
 let create engine net dram cfg =
   let t =
     {
@@ -335,10 +374,12 @@ let create engine net dram cfg =
       cfg;
       frame = Cache_frame.create ~sets:cfg.sets ~ways:cfg.ways;
       stats = Stats.create ();
+      replay =
+        (if Network.faults_enabled net then Some (Hashtbl.create 256) else None);
     }
   in
   for b = 0 to cfg.banks - 1 do
-    Network.register net ~id:(cfg.dir_id + b) (fun msg -> handle t msg)
+    Network.register net ~id:(cfg.dir_id + b) (fun msg -> arrival t msg)
   done;
   t
 

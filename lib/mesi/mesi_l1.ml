@@ -1,5 +1,6 @@
 module Mask = Spandex_util.Mask
 module Stats = Spandex_util.Stats
+module Retry = Spandex_util.Retry
 module Engine = Spandex_sim.Engine
 module Msg = Spandex_proto.Msg
 module Addr = Spandex_proto.Addr
@@ -80,6 +81,9 @@ type t = {
   wb_records : (int, wb_req) Hashtbl.t;
   forced_lines : (int, unit) Hashtbl.t;  (* drain immediately (RMW order). *)
   stats : Stats.t;
+  (* End-to-end request retries; armed only when the network injects
+     faults, so fault-free runs are bit-identical to the reliable model. *)
+  retry : Retry.t option;
   mutable flushing : bool;
   mutable drain_armed : bool;
   mutable release_waiters : (unit -> unit) list;
@@ -91,9 +95,22 @@ let send t msg =
       Network.send t.net msg)
 
 let request t ~txn ~kind ~line ~mask ?payload () =
-  send t
-    (Msg.make ~txn ~kind:(Msg.Req kind) ~line ~mask ?payload ~src:t.cfg.id
-       ~dst:(t.cfg.llc_id + (line mod t.cfg.llc_banks)) ())
+  let msg =
+    Msg.make ~txn ~kind:(Msg.Req kind) ~line ~mask ?payload ~src:t.cfg.id
+      ~dst:(t.cfg.llc_id + (line mod t.cfg.llc_banks)) ()
+  in
+  Option.iter
+    (fun r ->
+      Retry.arm r ~txn
+        ~describe:(Format.asprintf "%a line %d" Msg.pp_kind (Msg.Req kind) line)
+        ~resend:(fun () -> Network.send t.net msg))
+    t.retry;
+  send t msg
+
+(* Retire [txn]: free the MSHR entry and cancel any retry timer. *)
+let free_txn t ~txn =
+  Mshr.free t.outstanding ~txn;
+  Option.iter (fun r -> Retry.complete r ~txn) t.retry
 
 let reply t (msg : Msg.t) ~kind ~dst ~mask ?payload () =
   if not (Mask.is_empty mask) then
@@ -516,7 +533,7 @@ and serve_from_wb t (msg : Msg.t) (b : wb_req) =
 (* ----- miss completion -------------------------------------------------------- *)
 
 let complete_read t ~txn (m : read_miss) (r : Tu.result) =
-  Mshr.free t.outstanding ~txn;
+  free_txn t ~txn;
   if (m.r_valid_only || m.r_inv) && not m.r_excl then begin
     (* Option (2): the read is satisfied but nothing may be cached. *)
     Stats.incr t.stats "read_uncached_opt2";
@@ -540,7 +557,7 @@ let complete_read t ~txn (m : read_miss) (r : Tu.result) =
   end
 
 let complete_write t ~txn (w : write_miss) (r : Tu.result) =
-  Mshr.free t.outstanding ~txn;
+  free_txn t ~txn;
   let l = install t ~line_id:w.m_line ~values:r.Tu.values ~mstate:State.M_M in
   (match w.m_store with
   | Some (mask, values) ->
@@ -611,6 +628,7 @@ let handle t (msg : Msg.t) =
     | Msg.Rsp Msg.RspWB -> ()
     | _ -> failwith "Mesi_l1: unexpected write-back response");
     Hashtbl.remove t.wb_records msg.Msg.txn;
+    Option.iter (fun r -> Retry.complete r ~txn:msg.Msg.txn) t.retry;
     drain t
   | Msg.Rsp _ -> (
     match Mshr.find t.outstanding ~txn:msg.Msg.txn with
@@ -640,12 +658,40 @@ let quiescent t =
   && t.stalled_stores = []
 
 let describe_pending t =
-  Printf.sprintf "mesi_l1 %d: sb=%d outstanding=%d stalled=%d" t.cfg.id
+  let pend = ref [] in
+  Mshr.iter t.outstanding ~f:(fun ~txn o ->
+      let d =
+        match o with
+        | Read m -> Printf.sprintf "Read line %d" m.r_line
+        | Write w -> Printf.sprintf "Write line %d" w.m_line
+      in
+      pend := (txn, d) :: !pend);
+  Hashtbl.iter
+    (fun txn (b : wb_req) ->
+      pend := (txn, Printf.sprintf "Wb line %d" b.b_line) :: !pend)
+    t.wb_records;
+  let shown =
+    List.filteri (fun i _ -> i < 4) (List.sort compare !pend)
+    |> List.map (fun (txn, d) -> Printf.sprintf "txn %d %s" txn d)
+  in
+  Printf.sprintf "mesi_l1 %d: sb=%d outstanding=%d stalled=%d%s" t.cfg.id
     (Store_buffer.count t.sb)
     (Mshr.count t.outstanding)
     (List.length t.stalled_stores)
+    (if shown = [] then "" else " [" ^ String.concat "; " shown ^ "]")
 
 let create engine net cfg =
+  let stats = Stats.create () in
+  let retry =
+    Option.map
+      (fun f ->
+        Retry.create
+          (Spandex_net.Fault.retry_config f)
+          ~seed:(0x5EED + cfg.id)
+          ~schedule:(fun ~delay k -> Engine.schedule engine ~delay k)
+          ~stats)
+      (Network.fault net)
+  in
   let t =
     {
       engine;
@@ -657,7 +703,8 @@ let create engine net cfg =
       sb_ages = Hashtbl.create 64;
       wb_records = Hashtbl.create 16;
       forced_lines = Hashtbl.create 8;
-      stats = Stats.create ();
+      stats;
+      retry;
       flushing = false;
       drain_armed = false;
       release_waiters = [];

@@ -1,0 +1,149 @@
+(* Seeded fault-injection plan for the interconnect.
+
+   A plan describes, per message category, the probability of dropping,
+   duplicating, extra-delaying, or reordering each message.  Decisions are
+   drawn from a dedicated [Rng] stream so a given (plan, seed, workload)
+   triple is fully deterministic.
+
+   Fault eligibility follows the recovery story, not the other way round:
+
+   - Plain requests (fwd = false) and the responses that complete them at
+     the requester (RspV, RspWT, RspWB, Nack, and data-less RspO grants)
+     are end-to-end recoverable — the requester holds an MSHR or
+     write-back record for the txn and re-issues the original message on
+     timeout — so these may be dropped or duplicated.
+   - Forwarded requests, probes (Inv / RvkO), probe responses (Ack /
+     RspRvkO), and data-carrying transfers (RspS, RspOdata, RspWTdata)
+     ride a lossless virtual channel, mirroring real fabrics (CXL
+     link-layer retry): dropping them would strand ownership or lose the
+     only copy of dirty data, which no end-to-end timer can recover.
+     They can still be delayed or reordered.
+
+   Extra delay and reordering preserve per-(src, dst) FIFO order: the
+   protocols rely on point-to-point ordering (e.g. a forwarded request
+   serialized before a write-back ack at the LLC must reach the owner
+   first), so arrival times are clamped to be monotone per pair, and the
+   engine's event queue is FIFO-stable for equal timestamps.  Reordering
+   across different sources at one ingress — where the interesting races
+   live — is unrestricted. *)
+
+module Msg = Spandex_proto.Msg
+module Rng = Spandex_util.Rng
+module Stats = Spandex_util.Stats
+module Retry = Spandex_util.Retry
+
+type probs = { drop : float; dup : float; delay : float; reorder : float }
+
+let no_faults = { drop = 0.0; dup = 0.0; delay = 0.0; reorder = 0.0 }
+
+type spec = {
+  seed : int;
+  per_category : probs array;  (** indexed by [category_index], length 6. *)
+  delay_min : int;  (** extra-delay fault: min added cycles. *)
+  delay_max : int;  (** extra-delay fault: max added cycles. *)
+  reorder_window : int;  (** reorder fault: max added skew in cycles. *)
+  retry : Retry.config;  (** recovery tuning for the requesters. *)
+}
+
+let category_index = function
+  | Msg.Cat_ReqV -> 0
+  | Msg.Cat_ReqS -> 1
+  | Msg.Cat_ReqWT -> 2
+  | Msg.Cat_ReqO -> 3
+  | Msg.Cat_WB -> 4
+  | Msg.Cat_Probe -> 5
+
+let uniform ?(drop = 0.0) ?(dup = 0.0) ?(delay = 0.0) ?(reorder = 0.0)
+    ?(delay_min = 32) ?(delay_max = 256) ?(reorder_window = 24)
+    ?(retry = Retry.default) ~seed () =
+  {
+    seed;
+    per_category = Array.make 6 { drop; dup; delay; reorder };
+    delay_min;
+    delay_max;
+    reorder_window;
+    retry;
+  }
+
+(* True when losing [msg] is recoverable by the requester's retry timer. *)
+let faultable (msg : Msg.t) =
+  (not msg.fwd)
+  &&
+  match msg.kind with
+  | Msg.Req _ -> true
+  | Msg.Rsp (Msg.RspV | Msg.RspWT | Msg.RspWB | Msg.Nack | Msg.RspO) -> true
+  | Msg.Rsp _ | Msg.Probe _ -> false
+
+type t = {
+  spec : spec;
+  rng : Rng.t;
+  stats : Stats.t;
+  pair_last : (int * int, int) Hashtbl.t;
+      (** last scheduled arrival per (src, dst), for FIFO clamping. *)
+}
+
+let create spec ~stats =
+  {
+    spec;
+    rng = Rng.create ~seed:spec.seed;
+    stats;
+    pair_last = Hashtbl.create 64;
+  }
+
+let retry_config t = t.spec.retry
+
+type verdict =
+  | Drop
+  | Deliver of int list
+      (** total delay from now per copy (>= 1 copy), FIFO-clamped. *)
+
+let count t what =
+  Stats.incr t.stats "fault.injected";
+  Stats.incr t.stats ("fault." ^ what)
+
+let route t ~now ~latency (msg : Msg.t) =
+  let p = t.spec.per_category.(category_index (Msg.category msg.kind)) in
+  let roll pr = pr > 0.0 && Rng.float t.rng 1.0 < pr in
+  let clamp arrival =
+    let key = (msg.src, msg.dst) in
+    let arrival =
+      match Hashtbl.find_opt t.pair_last key with
+      | Some last when last > arrival -> last
+      | _ -> arrival
+    in
+    Hashtbl.replace t.pair_last key arrival;
+    arrival
+  in
+  let ok = faultable msg in
+  if roll p.drop then
+    if ok then begin
+      count t "drop";
+      Drop
+    end
+    else begin
+      (* Wanted to drop a lossless-channel message; record the exemption so
+         eligibility is observable, and deliver normally. *)
+      Stats.incr t.stats "fault.exempt";
+      Deliver [ clamp (now + latency) - now ]
+    end
+  else begin
+    let extra = ref 0 in
+    if roll p.delay then begin
+      count t "delay";
+      extra :=
+        !extra + t.spec.delay_min
+        + Rng.int t.rng (max 1 (t.spec.delay_max - t.spec.delay_min + 1))
+    end;
+    if roll p.reorder then begin
+      count t "reorder";
+      extra := !extra + Rng.int t.rng (t.spec.reorder_window + 1)
+    end;
+    let first = clamp (now + latency + !extra) - now in
+    if ok && roll p.dup then begin
+      count t "dup";
+      let skew = 1 + Rng.int t.rng (max 1 t.spec.reorder_window) in
+      let second = clamp (now + first + skew) - now in
+      Deliver [ first; second ]
+    end
+    else Deliver [ first ]
+  end

@@ -29,6 +29,7 @@ type t = {
   endpoints : (int, endpoint) Hashtbl.t;
   traffic : int array;  (** flit-hops per category. *)
   stats : Stats.t;
+  fault : Fault.t option;  (** active fault-injection plan, if any. *)
   mutable in_flight : int;
   mutable messages : int;
 }
@@ -41,16 +42,21 @@ let category_index = function
   | Msg.Cat_WB -> 4
   | Msg.Cat_Probe -> 5
 
-let create engine topo =
+let create ?fault engine topo =
+  let stats = Stats.create () in
   {
     engine;
     topo;
     endpoints = Hashtbl.create 64;
     traffic = Array.make 6 0;
-    stats = Stats.create ();
+    stats;
+    fault = Option.map (fun spec -> Fault.create spec ~stats) fault;
     in_flight = 0;
     messages = 0;
   }
+
+let fault t = t.fault
+let faults_enabled t = Option.is_some t.fault
 
 let register t ~id handler =
   match Hashtbl.find_opt t.endpoints id with
@@ -94,17 +100,33 @@ let send t (msg : Msg.t) =
   t.traffic.(cat) <- t.traffic.(cat) + (flits * hops);
   t.messages <- t.messages + 1;
   Stats.incr t.stats (kind_key msg);
-  t.in_flight <- t.in_flight + 1;
   let latency = t.topo.latency ~src:msg.src ~dst:msg.dst in
-  Engine.schedule t.engine ~delay:latency (fun () ->
-      let ep = endpoint t msg.dst in
-      let now = Engine.now t.engine in
-      (* One message per cycle drains the ingress port. *)
-      let deliver_at = if ep.ingress_free > now then ep.ingress_free else now in
-      ep.ingress_free <- deliver_at + 1;
-      Engine.at t.engine ~time:deliver_at (fun () ->
-          t.in_flight <- t.in_flight - 1;
-          ep.handler msg))
+  let deliver ~delay =
+    t.in_flight <- t.in_flight + 1;
+    Engine.schedule t.engine ~delay (fun () ->
+        let ep = endpoint t msg.dst in
+        let now = Engine.now t.engine in
+        (* One message per cycle drains the ingress port. *)
+        let deliver_at =
+          if ep.ingress_free > now then ep.ingress_free else now
+        in
+        ep.ingress_free <- deliver_at + 1;
+        Engine.at t.engine ~time:deliver_at (fun () ->
+            t.in_flight <- t.in_flight - 1;
+            ep.handler msg))
+  in
+  match t.fault with
+  | None -> deliver ~delay:latency
+  | Some f -> (
+    match Fault.route f ~now:(Engine.now t.engine) ~latency msg with
+    | Fault.Drop -> ()
+    | Fault.Deliver delays ->
+      List.iteri
+        (fun i delay ->
+          (* Duplicate copies occupy the fabric too. *)
+          if i > 0 then t.traffic.(cat) <- t.traffic.(cat) + (flits * hops);
+          deliver ~delay)
+        delays)
 
 let in_flight t = t.in_flight
 let traffic_flits t cat = t.traffic.(category_index cat)

@@ -24,7 +24,17 @@ val grouped_topology :
 
 type t
 
-val create : Spandex_sim.Engine.t -> topology -> t
+val create : ?fault:Fault.spec -> Spandex_sim.Engine.t -> topology -> t
+(** [?fault] arms a fault-injection plan (see {!Fault}); when absent the
+    network is reliable and delivery behavior is bit-identical to before
+    fault injection existed. *)
+
+val fault : t -> Fault.t option
+(** The live fault-injection state, when a plan was armed at [create]. *)
+
+val faults_enabled : t -> bool
+(** True when a fault plan is active; requesters use this to decide whether
+    to arm end-to-end retry timers. *)
 
 val register : t -> id:Spandex_proto.Msg.device_id -> (Spandex_proto.Msg.t -> unit) -> unit
 (** Attach the handler invoked when a message for [id] is delivered.

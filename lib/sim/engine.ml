@@ -7,6 +7,18 @@ type t = {
 
 exception Deadlock of string
 
+type livelock = {
+  cycle : int;  (** cycle at which the watchdog gave up. *)
+  stalled_for : int;  (** cycles since the last observed progress. *)
+  detail : string;  (** pending work of the stuck components. *)
+}
+
+exception Livelock of livelock
+
+let pp_livelock fmt l =
+  Format.fprintf fmt "livelock at cycle %d (no progress for %d cycles): %s"
+    l.cycle l.stalled_for l.detail
+
 let create () =
   {
     queue = Spandex_util.Pqueue.create ();
@@ -34,6 +46,11 @@ let run_all t =
     | Some (time, f) ->
       t.time <- time;
       t.steps <- t.steps + 1;
+      if t.steps > t.step_limit then
+        raise
+          (Deadlock
+             (Printf.sprintf "step limit %d exceeded at cycle %d" t.step_limit
+                t.time));
       f ();
       loop ()
   in
@@ -41,6 +58,35 @@ let run_all t =
 
 let set_step_limit t n = t.step_limit <- n
 let events_processed t = t.steps
+
+(* Periodic heartbeat that raises [Livelock] when [progress] has not moved
+   for [interval] cycles while [active] still holds.  [progress] is any
+   monotone counter of forward progress (e.g. retired ops); [describe] is
+   only evaluated to build the diagnostic. *)
+let install_watchdog t ~interval ~progress ~active ~describe =
+  if interval <= 0 then invalid_arg "Engine.install_watchdog: interval";
+  let beat = max 1 (interval / 4) in
+  let last = ref (progress ()) in
+  let last_change = ref t.time in
+  let rec check () =
+    if active () then begin
+      let cur = progress () in
+      if cur <> !last then begin
+        last := cur;
+        last_change := t.time
+      end
+      else if t.time - !last_change >= interval then
+        raise
+          (Livelock
+             {
+               cycle = t.time;
+               stalled_for = t.time - !last_change;
+               detail = describe ();
+             });
+      schedule t ~delay:beat check
+    end
+  in
+  schedule t ~delay:beat check
 
 let run t ~until_done ~pending_desc =
   let rec loop () =

@@ -11,6 +11,20 @@ exception Deadlock of string
 (** Raised by [run] when the queue drains while some registered completion
     condition is still unmet — a lost message or a protocol deadlock. *)
 
+type livelock = {
+  cycle : int;  (** cycle at which the watchdog gave up. *)
+  stalled_for : int;  (** cycles since the last observed progress. *)
+  detail : string;  (** pending work of the stuck components. *)
+}
+
+exception Livelock of livelock
+(** Raised by the watchdog installed with {!install_watchdog} when the
+    event queue keeps churning but no forward progress is observed — e.g. a
+    retry storm that never completes.  Complements {!Deadlock}, which only
+    fires on an empty queue. *)
+
+val pp_livelock : Format.formatter -> livelock -> unit
+
 val create : unit -> t
 
 val now : t -> int
@@ -29,7 +43,21 @@ val run : t -> until_done:(unit -> bool) -> pending_desc:(unit -> string) -> int
 
 val run_all : t -> int
 (** Drain every queued event and return the final cycle.  For unit tests
-    that drive components directly and then inspect the settled state. *)
+    that drive components directly and then inspect the settled state.
+    Honors the step limit like [run], raising {!Deadlock} when exceeded. *)
+
+val install_watchdog :
+  t ->
+  interval:int ->
+  progress:(unit -> int) ->
+  active:(unit -> bool) ->
+  describe:(unit -> string) ->
+  unit
+(** Install a periodic heartbeat (every [interval / 4] cycles) that raises
+    {!Livelock} when [progress ()] — any monotone counter of forward
+    progress, e.g. retired ops — has not changed for [interval] cycles
+    while [active ()] still holds.  The heartbeat stops rescheduling once
+    [active ()] is false; it never affects simulated timing otherwise. *)
 
 val set_step_limit : t -> int -> unit
 (** Override the default step limit (events processed) of [run]. *)

@@ -24,6 +24,12 @@ type t = {
   coalesce_window : int;
   max_reqv_retries : int;
   reqs_policy : Spandex.Llc.reqs_policy;
+  (* Fault-injection plan for the interconnect; [None] runs the reliable
+     network and is bit-identical to the pre-fault model. *)
+  fault : Spandex_net.Fault.spec option;
+  (* Raise [Engine.Livelock] when no core retires an op for this many
+     cycles; 0 disables the watchdog. *)
+  watchdog_cycles : int;
 }
 
 (* Table VI: 8 CPU cores @2GHz, 16 CUs @700MHz, 32KB 8-way L1s, 4MB GPU L2,
@@ -57,6 +63,8 @@ let default =
     coalesce_window = 6;
     max_reqv_retries = 1;
     reqs_policy = Spandex.Llc.Reqs_auto;
+    fault = None;
+    watchdog_cycles = 200_000;
   }
 
 let small =

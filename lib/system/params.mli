@@ -35,6 +35,12 @@ type t = {
   reqs_policy : Spandex.Llc.reqs_policy;
       (** how the Spandex LLC serves writer-invalidated reads (paper III-B
           options (1)/(2)/(3)); [Reqs_auto] is the paper's evaluation. *)
+  fault : Spandex_net.Fault.spec option;
+      (** fault-injection plan for the interconnect; [None] (the default)
+          runs the reliable network, bit-identical to the pre-fault model. *)
+  watchdog_cycles : int;
+      (** raise [Engine.Livelock] when no core retires an op for this many
+          cycles; 0 disables the watchdog. *)
 }
 
 val default : t

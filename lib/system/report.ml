@@ -63,3 +63,45 @@ let traffic_share (r : Run.result) =
   List.map
     (fun (cat, n) -> (cat, float_of_int n /. total))
     r.Run.traffic
+
+(* ----- fault-injection summary ---------------------------------------------- *)
+
+type fault_summary = {
+  injected : int;
+  dropped : int;
+  duplicated : int;
+  delayed : int;
+  reordered : int;
+  resends : int;
+  recovered : int;
+  replayed : int;
+}
+
+let suffix_sum stats ~suffix =
+  List.fold_left
+    (fun acc (name, v) ->
+      let ln = String.length name and ls = String.length suffix in
+      if ln >= ls && String.sub name (ln - ls) ls = suffix then acc + v else acc)
+    0
+    (Spandex_util.Stats.to_assoc stats)
+
+let fault_summary (r : Run.result) =
+  let s = r.Run.stats in
+  let net key = Spandex_util.Stats.get s ("net." ^ key) in
+  {
+    injected = net "fault.injected";
+    dropped = net "fault.drop";
+    duplicated = net "fault.dup";
+    delayed = net "fault.delay";
+    reordered = net "fault.reorder";
+    resends = suffix_sum s ~suffix:".retry.resend";
+    recovered = suffix_sum s ~suffix:".retry.recovered";
+    replayed = suffix_sum s ~suffix:".replayed";
+  }
+
+let pp_fault_summary fmt s =
+  Format.fprintf fmt
+    "faults injected %d (drop %d, dup %d, delay %d, reorder %d) | resends %d \
+     | txns recovered %d | home replays %d"
+    s.injected s.dropped s.duplicated s.delayed s.reordered s.resends
+    s.recovered s.replayed

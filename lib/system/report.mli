@@ -30,3 +30,21 @@ val flits : Run.result -> int
 
 val traffic_share : Run.result -> (Spandex_proto.Msg.category * float) list
 (** Per-category fraction of total flits. *)
+
+type fault_summary = {
+  injected : int;  (** total faults the network injected. *)
+  dropped : int;
+  duplicated : int;
+  delayed : int;
+  reordered : int;
+  resends : int;  (** timeout-driven re-issues across all requestors. *)
+  recovered : int;  (** transactions that completed after >=1 resend. *)
+  replayed : int;  (** duplicate requests answered from home reply caches. *)
+}
+
+val fault_summary : Run.result -> fault_summary
+(** Collect the fault-injection and recovery counters out of a run's merged
+    stats ("net.fault.*", "*.retry.*", "*.replayed"); all zero when the run
+    used the reliable network. *)
+
+val pp_fault_summary : Format.formatter -> fault_summary -> unit

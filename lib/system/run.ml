@@ -142,7 +142,7 @@ let simulate ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
         ~local_latency:p.Params.local_net_latency
         ~cross_latency:p.Params.cross_net_latency
   in
-  let net = Network.create engine topo in
+  let net = Network.create ?fault:p.Params.fault engine topo in
   let dram = Dram.create engine ~latency:p.Params.mem_latency
       ~service_interval:p.Params.mem_interval
   in
@@ -312,6 +312,12 @@ let simulate ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
       (core_desc @ comp_desc
       @ [ Printf.sprintf "net in-flight=%d" (Network.in_flight net) ])
   in
+  if p.Params.watchdog_cycles > 0 then
+    Engine.install_watchdog engine ~interval:p.Params.watchdog_cycles
+      ~progress:(fun () ->
+        List.fold_left (fun acc c -> acc + Stats.get (Core.stats c) "ops") 0 cores)
+      ~active:(fun () -> not (finished ()))
+      ~describe:pending_desc;
   let cycles = Engine.run engine ~until_done:finished ~pending_desc in
   let stats = Stats.create () in
   List.iter (fun c -> Stats.merge_into ~dst:stats ~prefix:c.c_name c.c_stats) !components;

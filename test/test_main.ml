@@ -16,5 +16,6 @@ let () =
       ("properties", Test_properties.tests);
       ("backing", Test_backing.tests);
       ("extensions", Test_extensions.tests);
+      ("faults", Test_faults.tests);
       ("random", Test_random.tests);
     ]
