@@ -11,6 +11,7 @@ module Msg = Spandex_proto.Msg
 module Config = Spandex_system.Config
 module Params = Spandex_system.Params
 module Run = Spandex_system.Run
+module Sweep = Spandex_system.Sweep
 module Report = Spandex_system.Report
 module Registry = Spandex_workloads.Registry
 module Microbench = Spandex_workloads.Microbench
@@ -18,6 +19,21 @@ module Apps = Spandex_workloads.Apps
 
 let params = Params.bench
 let geometry = Registry.geometry_of_params params
+
+(* Worker domains for the sweeps below; every simulation is independent and
+   [Sweep.map] returns results in submission order, so the printed tables
+   are identical for any value (test/test_sweep.ml asserts this). *)
+let jobs = ref (Sweep.default_jobs ())
+
+let () =
+  Arg.parse
+    [
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "N  worker domains for simulation sweeps (default: cores - 1)" );
+    ]
+    (fun a -> raise (Arg.Bad ("unknown argument: " ^ a)))
+    "spandex_bench [--jobs N]"
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -142,17 +158,35 @@ let table7 () =
 
 (* ----- Figures 2 and 3 ------------------------------------------------------- *)
 
-let run_row name build =
-  let wl = build ?scale:(Some 1.0) geometry in
+(* One job per (workload x config) cell, fanned out across domains; the
+   flat result list is regrouped into rows in submission order. *)
+let run_rows benches =
   let cells =
-    List.map
-      (fun config ->
-        let result = Run.simulate ~params ~config wl in
-        Run.assert_clean result;
-        { Report.config = config.Config.name; result })
-      Config.all
+    List.concat_map
+      (fun (name, build) ->
+        let wl = build ?scale:(Some 1.0) geometry in
+        List.map
+          (fun config ->
+            { Sweep.label = name; params; config; workload = wl })
+          Config.all)
+      benches
   in
-  { Report.workload = name; cells }
+  let results = Array.of_list (Sweep.simulate_all ~jobs:!jobs cells) in
+  Array.iter Run.assert_clean results;
+  let ncfg = List.length Config.all in
+  List.mapi
+    (fun i (name, _) ->
+      let cells =
+        List.mapi
+          (fun j config ->
+            {
+              Report.config = config.Config.name;
+              result = results.((i * ncfg) + j);
+            })
+          Config.all
+      in
+      { Report.workload = name; cells })
+    benches
 
 let print_row (row : Report.row) =
   let times = Report.normalized row ~metric:Report.cycles in
@@ -176,12 +210,9 @@ let print_row (row : Report.row) =
 
 let figure benches title =
   section title;
-  List.map
-    (fun (name, build) ->
-      let row = run_row name build in
-      print_row row;
-      row)
-    benches
+  let rows = run_rows benches in
+  List.iter print_row rows;
+  rows
 
 let summary ~label ~paper rows =
   section (Printf.sprintf "%s (paper: %s)" label paper);
@@ -246,90 +277,134 @@ let run_with ~params ~config wl =
   Run.assert_clean r;
   r
 
+(* Run an ablation's simulations across domains, keeping the print loop
+   sequential: [points] describes each simulation, [show] consumes the
+   results in submission order. *)
+let sweep_with points ~sim ~show =
+  let results = Array.of_list (Sweep.map ~jobs:!jobs sim points) in
+  show results
+
 let ablation_regions () =
   section "Ablation: DeNovo regions (paper II-C selective self-invalidation)";
   Printf.printf
     "region-selective acquires preserve read-only data in self-invalidating\n\
      caches; writer-invalidated (MESI) configurations are unaffected.\n";
-  List.iter
-    (fun config ->
-      let with_r =
-        run_with ~params ~config
-          (Microbench.region_reuse ~scale:1.0 ~use_regions:true geometry)
-      in
-      let without =
-        run_with ~params ~config
-          (Microbench.region_reuse ~scale:1.0 ~use_regions:false geometry)
-      in
-      Printf.printf
-        "  %-4s full-flush: %7d cyc %8d flits | regions: %7d cyc %8d flits \
-         (%.0f%% time, %.0f%% traffic)\n"
-        config.Config.name without.Run.cycles without.Run.total_flits
-        with_r.Run.cycles with_r.Run.total_flits
-        (100.0 *. (1.0 -. float_of_int with_r.Run.cycles /. float_of_int without.Run.cycles))
-        (100.0
-        *. (1.0 -. float_of_int with_r.Run.total_flits /. float_of_int without.Run.total_flits)))
-    [ Config.smg; Config.sdg; Config.sdd ]
+  let configs = [ Config.smg; Config.sdg; Config.sdd ] in
+  let points =
+    List.concat_map
+      (fun config -> [ (config, true); (config, false) ])
+      configs
+  in
+  sweep_with points
+    ~sim:(fun (config, use_regions) ->
+      run_with ~params ~config
+        (Microbench.region_reuse ~scale:1.0 ~use_regions geometry))
+    ~show:(fun results ->
+      List.iteri
+        (fun i config ->
+          let with_r = results.(2 * i) in
+          let without = results.((2 * i) + 1) in
+          Printf.printf
+            "  %-4s full-flush: %7d cyc %8d flits | regions: %7d cyc %8d flits \
+             (%.0f%% time, %.0f%% traffic)\n"
+            config.Config.name without.Run.cycles without.Run.total_flits
+            with_r.Run.cycles with_r.Run.total_flits
+            (100.0
+            *. (1.0 -. float_of_int with_r.Run.cycles /. float_of_int without.Run.cycles))
+            (100.0
+            *. (1.0
+               -. float_of_int with_r.Run.total_flits
+                  /. float_of_int without.Run.total_flits)))
+        configs)
 
 let ablation_reqs_policy () =
   section "Ablation: ReqS handling options (1)/(2)/(3) (paper III-B, Table III)";
   Printf.printf
     "ReuseS on SMD, where MESI CPU reads hit the flat Spandex LLC:\n";
   let wl = Microbench.reuses ~scale:1.0 geometry in
-  List.iter
-    (fun (name, policy) ->
-      let p = { params with Params.reqs_policy = policy } in
-      let r = run_with ~params:p ~config:Config.smd wl in
-      Printf.printf "  %-28s %7d cyc %8d flits\n" name r.Run.cycles
-        r.Run.total_flits)
+  let points =
     [
       ("auto (paper's evaluation)", Spandex.Llc.Reqs_auto);
       ("always option 1 (Shared)", Spandex.Llc.Reqs_shared);
       ("always option 2 (Valid)", Spandex.Llc.Reqs_valid);
       ("always option 3 (Owned)", Spandex.Llc.Reqs_owned);
     ]
+  in
+  sweep_with points
+    ~sim:(fun (_, policy) ->
+      let p = { params with Params.reqs_policy = policy } in
+      run_with ~params:p ~config:Config.smd wl)
+    ~show:(fun results ->
+      List.iteri
+        (fun i (name, _) ->
+          let r = results.(i) in
+          Printf.printf "  %-28s %7d cyc %8d flits\n" name r.Run.cycles
+            r.Run.total_flits)
+        points)
 
 let ablation_llc_banks () =
   section "Ablation: LLC bank-level parallelism (Table VI NUCA banks)";
   Printf.printf "indirection on SMG: all 40 cores hammer the flat LLC.\n";
   let wl = Microbench.indirection ~scale:1.0 geometry in
-  List.iter
-    (fun banks ->
+  let points = [ 1; 2; 4; 8 ] in
+  sweep_with points
+    ~sim:(fun banks ->
       let p = { params with Params.llc_banks = banks } in
-      let r = run_with ~params:p ~config:Config.smg wl in
-      Printf.printf "  %2d bank(s): %8d cyc %9d flits\n" banks r.Run.cycles
-        r.Run.total_flits)
-    [ 1; 2; 4; 8 ]
+      run_with ~params:p ~config:Config.smg wl)
+    ~show:(fun results ->
+      List.iteri
+        (fun i banks ->
+          let r = results.(i) in
+          Printf.printf "  %2d bank(s): %8d cyc %9d flits\n" banks r.Run.cycles
+            r.Run.total_flits)
+        points)
 
 let ablation_coalescing () =
   section "Ablation: store-buffer coalescing window (paper II-B coalescing)";
   Printf.printf "reuseo on SMG: streaming write-throughs from the GPU.\n";
   let wl = Microbench.reuseo ~scale:1.0 geometry in
-  List.iter
-    (fun window ->
+  let points = [ 1; 6; 16 ] in
+  sweep_with points
+    ~sim:(fun window ->
       let p = { params with Params.coalesce_window = window } in
-      let r = run_with ~params:p ~config:Config.smg wl in
-      Printf.printf "  window %2d: %8d cyc %9d flits\n" window r.Run.cycles
-        r.Run.total_flits)
-    [ 1; 6; 16 ]
+      run_with ~params:p ~config:Config.smg wl)
+    ~show:(fun results ->
+      List.iteri
+        (fun i window ->
+          let r = results.(i) in
+          Printf.printf "  window %2d: %8d cyc %9d flits\n" window r.Run.cycles
+            r.Run.total_flits)
+        points)
 
 let extension_adaptive () =
   section "Extension: adaptive write policy (paper V's dynamically-adapting caches)";
   Printf.printf
     "SDA = SDD with a per-line reuse predictor choosing ReqO vs ReqWT per\n\
      store; the goal is to track the better static policy per workload.\n";
-  List.iter
-    (fun wname ->
-      let wl = (Registry.find wname).Registry.build ~scale:1.0 geometry in
-      Printf.printf "  %-12s" wname;
-      List.iter
-        (fun config ->
-          let r = run_with ~params ~config wl in
-          Printf.printf " %s: %7d cyc %8d flits |" config.Config.name
-            r.Run.cycles r.Run.total_flits)
-        [ Config.sdg; Config.sdd; Config.sda ];
-      Printf.printf "\n")
-    [ "reuseo"; "bc"; "indirection" ]
+  let wnames = [ "reuseo"; "bc"; "indirection" ] in
+  let configs = [ Config.sdg; Config.sdd; Config.sda ] in
+  let points =
+    List.concat_map
+      (fun wname ->
+        let wl = (Registry.find wname).Registry.build ~scale:1.0 geometry in
+        List.map (fun config -> (wname, config, wl)) configs)
+      wnames
+  in
+  sweep_with points
+    ~sim:(fun (_, config, wl) -> run_with ~params ~config wl)
+    ~show:(fun results ->
+      let ncfg = List.length configs in
+      List.iteri
+        (fun i wname ->
+          Printf.printf "  %-12s" wname;
+          List.iteri
+            (fun j config ->
+              let r = results.((i * ncfg) + j) in
+              Printf.printf " %s: %7d cyc %8d flits |" config.Config.name
+                r.Run.cycles r.Run.total_flits)
+            configs;
+          Printf.printf "\n")
+        wnames)
 
 let ablation_hierarchy_distance () =
   section "Ablation: hierarchy distance (cross-cluster hop latency)";
@@ -337,16 +412,27 @@ let ablation_hierarchy_distance () =
     "indirection, HMG vs SMG: the hierarchical penalty grows with the\n\
      CPU<->GPU distance its indirection must round-trip.\n";
   let wl = Microbench.indirection ~scale:0.5 geometry in
-  List.iter
-    (fun cross ->
+  let crosses = [ 8; 16; 32; 64 ] in
+  let points =
+    List.concat_map
+      (fun cross -> [ (cross, Config.hmg); (cross, Config.smg) ])
+      crosses
+  in
+  sweep_with points
+    ~sim:(fun (cross, config) ->
       let p = { params with Params.cross_net_latency = cross } in
-      let h = run_with ~params:p ~config:Config.hmg wl in
-      let s = run_with ~params:p ~config:Config.smg wl in
-      Printf.printf
-        "  cross=%2d: HMG %7d cyc | SMG %7d cyc | Spandex %.0f%% faster\n"
-        cross h.Run.cycles s.Run.cycles
-        (100.0 *. (1.0 -. float_of_int s.Run.cycles /. float_of_int h.Run.cycles)))
-    [ 8; 16; 32; 64 ]
+      run_with ~params:p ~config wl)
+    ~show:(fun results ->
+      List.iteri
+        (fun i cross ->
+          let h = results.(2 * i) in
+          let s = results.((2 * i) + 1) in
+          Printf.printf
+            "  cross=%2d: HMG %7d cyc | SMG %7d cyc | Spandex %.0f%% faster\n"
+            cross h.Run.cycles s.Run.cycles
+            (100.0
+            *. (1.0 -. float_of_int s.Run.cycles /. float_of_int h.Run.cycles)))
+        crosses)
 
 let ablations () =
   ablation_regions ();

@@ -4,13 +4,15 @@
      spandex_cli list
      spandex_cli run -w bc -c SMD
      spandex_cli run -w indirection --all-configs --scale 0.5
-     spandex_cli sweep            # every workload x every configuration
+     spandex_cli sweep --jobs 4   # every workload x every configuration
+     spandex_cli bench -o BENCH_sweep.json
      spandex_cli run -w stress -c SDD --stats --seed 7 *)
 
 open Cmdliner
 module Config = Spandex_system.Config
 module Params = Spandex_system.Params
 module Run = Spandex_system.Run
+module Sweep = Spandex_system.Sweep
 module Report = Spandex_system.Report
 module Registry = Spandex_workloads.Registry
 
@@ -134,6 +136,16 @@ let watchdog_arg =
           "Raise a structured livelock error when no core retires an op for \
            this many cycles (0 disables; default 200000).")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Worker domains for independent simulations (0 = cores - 1, \
+           1 = sequential). Results are bit-identical for any value.")
+
+let resolve_jobs jobs = if jobs <= 0 then Sweep.default_jobs () else jobs
+
 (* --- commands -------------------------------------------------------------- *)
 
 let list_cmd =
@@ -186,34 +198,55 @@ let run_cmd =
       $ fault_dup_arg $ fault_delay_arg $ fault_reorder_arg $ fault_seed_arg
       $ watchdog_arg)
 
+(* The (workload x config) job matrix: every non-stress registry entry on
+   every cache configuration, in registry order. *)
+let sweep_jobs ~params ~scale entries =
+  let geom = Registry.geometry_of_params params in
+  List.concat_map
+    (fun e ->
+      let wl = e.Registry.build ~scale geom in
+      List.map
+        (fun config ->
+          { Sweep.label = e.Registry.name; params; config; workload = wl })
+        Config.all)
+    entries
+
+let rows_of_results entries results =
+  let ncfg = List.length Config.all in
+  List.mapi
+    (fun i e ->
+      let cells =
+        List.mapi
+          (fun j config ->
+            {
+              Report.config = config.Config.name;
+              result = results.((i * ncfg) + j);
+            })
+          Config.all
+      in
+      { Report.workload = e.Registry.name; cells })
+    entries
+
+let sweep_entries () =
+  List.filter (fun e -> e.Registry.kind <> `Stress) Registry.entries
+
 let sweep_cmd =
-  let run scale =
+  let run scale jobs =
+    let jobs = resolve_jobs jobs in
     let params = Params.bench in
-    let geom = Registry.geometry_of_params params in
-    let rows =
-      List.filter_map
-        (fun e ->
-          if e.Registry.kind = `Stress then None
-          else begin
-            let wl = e.Registry.build ~scale geom in
-            let cells =
-              List.map
-                (fun config ->
-                  let result = Run.simulate ~params ~config wl in
-                  Run.assert_clean result;
-                  { Report.config = config.Config.name; result })
-                Config.all
-            in
-            let row = { Report.workload = e.Registry.name; cells } in
-            Printf.printf "%-12s " e.Registry.name;
-            List.iter
-              (fun (c, v) -> Printf.printf "%s=%.2f " c v)
-              (Report.normalized row ~metric:Report.cycles);
-            Printf.printf "\n";
-            Some row
-          end)
-        Registry.entries
-    in
+    let entries = sweep_entries () in
+    let cells = sweep_jobs ~params ~scale entries in
+    let results = Array.of_list (Sweep.simulate_all ~jobs cells) in
+    Array.iter Run.assert_clean results;
+    let rows = rows_of_results entries results in
+    List.iter
+      (fun (row : Report.row) ->
+        Printf.printf "%-12s " row.Report.workload;
+        List.iter
+          (fun (c, v) -> Printf.printf "%s=%.2f " c v)
+          (Report.normalized row ~metric:Report.cycles);
+        Printf.printf "\n")
+      rows;
     let h = Report.headline rows in
     Printf.printf
       "Sbest vs Hbest: time avg %.0f%% (max %.0f%%), traffic avg %.0f%% (max %.0f%%)\n"
@@ -224,7 +257,156 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Run every workload on every configuration")
-    Term.(const run $ scale_arg)
+    Term.(const run $ scale_arg $ jobs_arg)
+
+(* --- bench: machine-readable perf harness ----------------------------------- *)
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let bench_cmd =
+  let run scale jobs workloads out =
+    let jobs = resolve_jobs jobs in
+    let params = Params.bench in
+    let entries =
+      match workloads with
+      | None -> sweep_entries ()
+      | Some names ->
+        String.split_on_char ',' names
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+        |> List.map (fun n ->
+               try Registry.find n
+               with Not_found ->
+                 Printf.eprintf "unknown workload %s (try: %s)\n" n
+                   (String.concat ", " Registry.names);
+                 exit 1)
+    in
+    let cells = sweep_jobs ~params ~scale entries in
+    let n = List.length cells in
+    Printf.printf "bench: %d simulations (%d workloads x %d configs), jobs=%d\n%!"
+      n (List.length entries) (List.length Config.all) jobs;
+    (* Sequential reference pass: times each simulation individually and is
+       the --jobs 1 baseline for the speedup. *)
+    let seq_t0 = Unix.gettimeofday () in
+    let seq =
+      List.map
+        (fun (j : Sweep.job) ->
+          let t0 = Unix.gettimeofday () in
+          let r =
+            Run.simulate ~params:j.Sweep.params ~config:j.Sweep.config
+              j.Sweep.workload
+          in
+          let wall = Unix.gettimeofday () -. t0 in
+          Run.assert_clean r;
+          (j, r, wall))
+        cells
+    in
+    let seq_wall = Unix.gettimeofday () -. seq_t0 in
+    (* Parallel pass over the same jobs, timed as one sweep. *)
+    let par_t0 = Unix.gettimeofday () in
+    let par = Sweep.simulate_all ~jobs cells in
+    let par_wall = Unix.gettimeofday () -. par_t0 in
+    let divergences =
+      List.concat
+        (List.map2
+           (fun (j, r, _) p ->
+             match Report.diff_result r p with
+             | None -> []
+             | Some d ->
+               [
+                 Printf.sprintf "%s %s: %s" j.Sweep.label
+                   j.Sweep.config.Config.name d;
+               ])
+           seq par)
+    in
+    let total_events =
+      List.fold_left (fun acc (_, r, _) -> acc + r.Run.events) 0 seq
+    in
+    let speedup = seq_wall /. max 1e-9 par_wall in
+    let buf = Buffer.create 4096 in
+    Printf.bprintf buf "{\n";
+    Printf.bprintf buf "  \"schema\": \"spandex-bench-sweep/1\",\n";
+    Printf.bprintf buf "  \"scale\": %g,\n" scale;
+    Printf.bprintf buf "  \"jobs\": %d,\n" jobs;
+    Printf.bprintf buf "  \"recommended_domains\": %d,\n"
+      (Domain.recommended_domain_count ());
+    Printf.bprintf buf "  \"simulations_total\": %d,\n" n;
+    Printf.bprintf buf "  \"sequential_wall_s\": %.6f,\n" seq_wall;
+    Printf.bprintf buf "  \"parallel_wall_s\": %.6f,\n" par_wall;
+    Printf.bprintf buf "  \"speedup\": %.3f,\n" speedup;
+    Printf.bprintf buf "  \"total_events\": %d,\n" total_events;
+    Printf.bprintf buf "  \"events_per_sec_sequential\": %.0f,\n"
+      (float_of_int total_events /. max 1e-9 seq_wall);
+    Printf.bprintf buf "  \"events_per_sec_parallel\": %.0f,\n"
+      (float_of_int total_events /. max 1e-9 par_wall);
+    Printf.bprintf buf "  \"identical\": %b,\n" (divergences = []);
+    Printf.bprintf buf "  \"simulations\": [\n";
+    List.iteri
+      (fun i ((j : Sweep.job), (r : Run.result), wall) ->
+        Printf.bprintf buf
+          "    { \"workload\": %s, \"config\": %s, \"cycles\": %d, \
+           \"events\": %d, \"flits\": %d, \"messages\": %d, \
+           \"wall_s\": %.6f, \"events_per_sec\": %.0f }%s\n"
+          (json_string j.Sweep.label)
+          (json_string j.Sweep.config.Config.name)
+          r.Run.cycles r.Run.events r.Run.total_flits r.Run.messages wall
+          (float_of_int r.Run.events /. max 1e-9 wall)
+          (if i = n - 1 then "" else ","))
+      seq;
+    Printf.bprintf buf "  ]\n}\n";
+    let oc = open_out out in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf
+      "  sequential: %.2fs | parallel (%d jobs): %.2fs | speedup: %.2fx\n"
+      seq_wall jobs par_wall speedup;
+    Printf.printf "  events/sec (sequential): %.0f\n"
+      (float_of_int total_events /. max 1e-9 seq_wall);
+    Printf.printf "  wrote %s\n" out;
+    if divergences <> [] then begin
+      Printf.eprintf
+        "FAIL: parallel sweep diverged from sequential on %d simulation(s):\n"
+        (List.length divergences);
+      List.iter (fun d -> Printf.eprintf "  %s\n" d) divergences;
+      exit 1
+    end
+  in
+  let workloads_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workloads" ]
+          ~doc:
+            "Comma-separated workload subset to bench (default: every \
+             non-stress workload).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "BENCH_sweep.json"
+      & info [ "o"; "out" ] ~doc:"Output path for the JSON perf report.")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Time the full sweep sequentially and in parallel, assert the \
+          results are bit-identical, and write a machine-readable \
+          BENCH_sweep.json (wall-clock, events/sec, speedup)")
+    Term.(const run $ scale_arg $ jobs_arg $ workloads_arg $ out_arg)
 
 let soak_cmd =
   let run seeds jobs_geometry =
@@ -297,4 +479,6 @@ let () =
     Cmd.info "spandex_cli" ~version:"1.0"
       ~doc:"Spandex heterogeneous-coherence simulator (ISCA 2018 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; sweep_cmd; soak_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; run_cmd; sweep_cmd; bench_cmd; soak_cmd ]))

@@ -108,6 +108,16 @@ type t = {
   reuse : (int, int) Hashtbl.t;
   last_wt : (int, int) Hashtbl.t;
   stats : Stats.t;
+  (* Interned counters for the per-op fast paths. *)
+  k_load_hit : Stats.key;
+  k_load_miss : Stats.key;
+  k_load_sb_fwd : Stats.key;
+  k_stores : Stats.key;
+  k_store_hit_owned : Stats.key;
+  k_wt_chosen : Stats.key;
+  k_reqo_issued : Stats.key;
+  k_reqo_words : Stats.key;
+  k_wb_issued : Stats.key;
   (* End-to-end request retries; armed only when the network injects
      faults, so fault-free runs are bit-identical to the reliable model. *)
   retry : Retry.t option;
@@ -151,7 +161,7 @@ let reply t (msg : Msg.t) ~kind ~dst ~mask ?payload () =
 let send_wb t ~line ~mask ~values =
   let txn = Spandex_proto.Txn.fresh () in
   Hashtbl.replace t.wb_records txn { b_line = line; b_mask = mask; b_values = values };
-  Stats.incr t.stats "wb_issued";
+  Stats.bump t.stats t.k_wb_issued;
   request t ~txn ~kind:Msg.ReqWB ~line ~mask
     ~payload:(Msg.Data (Linedata.pack ~mask ~full:values))
     ()
@@ -260,7 +270,7 @@ and drain t =
       (match Mshr.alloc t.outstanding (Own record) with
       | Some txn ->
         if through then begin
-          Stats.incr t.stats "wt_chosen";
+          Stats.bump t.stats t.k_wt_chosen;
           Hashtbl.replace t.last_wt e.Store_buffer.line (Engine.now t.engine);
           request t ~txn ~kind:Msg.ReqWT ~line:e.Store_buffer.line
             ~mask:e.Store_buffer.mask
@@ -271,8 +281,8 @@ and drain t =
             ()
         end
         else begin
-          Stats.incr t.stats "reqo_issued";
-          Stats.add t.stats "reqo_words" (Mask.count e.Store_buffer.mask);
+          Stats.bump t.stats t.k_reqo_issued;
+          Stats.bump_by t.stats t.k_reqo_words (Mask.count e.Store_buffer.mask);
           (* Ownership without data: every requested word is overwritten. *)
           request t ~txn ~kind:Msg.ReqO ~line:e.Store_buffer.line
             ~mask:e.Store_buffer.mask ()
@@ -358,12 +368,12 @@ let rec load t (addr : Addr.t) ~k =
   let { Addr.line; word } = addr in
   match Store_buffer.forward t.sb ~addr with
   | Some v ->
-    Stats.incr t.stats "load_sb_fwd";
+    Stats.bump t.stats t.k_load_sb_fwd;
     done_ v
   | None -> (
     match (find_own_covering t ~line ~word, find_wb_covering t ~line ~word) with
     | Some o, _ ->
-      Stats.incr t.stats "load_sb_fwd";
+      Stats.bump t.stats t.k_load_sb_fwd;
       done_ o.o_values.(word)
     | None, Some b ->
       (* The word is mid-write-back: the LLC still lists us as owner, so a
@@ -378,11 +388,11 @@ let rec load t (addr : Addr.t) ~k =
     | None, None -> (
       match Cache_frame.find t.frame ~line with
       | Some l when Mask.mem (Mask.union l.valid l.owned) word ->
-        Stats.incr t.stats "load_hit";
+        Stats.bump t.stats t.k_load_hit;
         Cache_frame.touch t.frame ~line;
         done_ l.data.(word)
       | _ -> (
-        Stats.incr t.stats "load_miss";
+        Stats.bump t.stats t.k_load_miss;
         match
           Mshr.find_first t.outstanding ~f:(function
             | Read m -> m.r_line = line && m.r_epoch = t.epoch
@@ -484,14 +494,14 @@ let rec store t (addr : Addr.t) ~value ~k =
   let { Addr.line; word } = addr in
   match Cache_frame.find t.frame ~line with
   | Some l when Mask.mem l.owned word ->
-    Stats.incr t.stats "store_hit_owned";
+    Stats.bump t.stats t.k_store_hit_owned;
     if t.cfg.write_policy = Write_adaptive then bump_reuse t line;
     l.data.(word) <- value;
     Engine.schedule t.engine ~delay:t.cfg.hit_latency k
   | _ -> (
     match Store_buffer.push t.sb ~addr ~value with
     | `Coalesced | `New ->
-      Stats.incr t.stats "stores";
+      Stats.bump t.stats t.k_stores;
       Hashtbl.replace t.sb_ages line (Engine.now t.engine);
       arm_drain t ~delay:1;
       Engine.schedule t.engine ~delay:t.cfg.hit_latency k
@@ -884,6 +894,15 @@ let create engine net cfg =
       reuse = Hashtbl.create 64;
       last_wt = Hashtbl.create 64;
       stats;
+      k_load_hit = Stats.key stats "load_hit";
+      k_load_miss = Stats.key stats "load_miss";
+      k_load_sb_fwd = Stats.key stats "load_sb_fwd";
+      k_stores = Stats.key stats "stores";
+      k_store_hit_owned = Stats.key stats "store_hit_owned";
+      k_wt_chosen = Stats.key stats "wt_chosen";
+      k_reqo_issued = Stats.key stats "reqo_issued";
+      k_reqo_words = Stats.key stats "reqo_words";
+      k_wb_issued = Stats.key stats "wb_issued";
       retry;
       epoch = 0;
       flushing = false;

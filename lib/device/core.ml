@@ -14,6 +14,15 @@ type t = {
   clock : int;
   contexts : context array;
   stats : Stats.t;
+  (* Interned per-op counters: issue runs once per simulated op. *)
+  k_ops : Stats.key;
+  k_loads : Stats.key;
+  k_stores : Stats.key;
+  k_rmws : Stats.key;
+  k_acquires : Stats.key;
+  k_releases : Stats.key;
+  k_barriers : Stats.key;
+  k_compute : Stats.key;
   mutable rr : int;
   mutable issue_armed : bool;
   mutable next_slot : int;
@@ -33,6 +42,7 @@ let create engine ~port ~barriers ~check_log ~core_id ~clock ~programs =
       (fun acc c -> if c.state = Finished then acc + 1 else acc)
       0 contexts
   in
+  let stats = Stats.create () in
   {
     engine;
     port;
@@ -41,7 +51,15 @@ let create engine ~port ~barriers ~check_log ~core_id ~clock ~programs =
     core_id;
     clock;
     contexts;
-    stats = Stats.create ();
+    stats;
+    k_ops = Stats.key stats "ops";
+    k_loads = Stats.key stats "loads";
+    k_stores = Stats.key stats "stores";
+    k_rmws = Stats.key stats "rmws";
+    k_acquires = Stats.key stats "acquires";
+    k_releases = Stats.key stats "releases";
+    k_barriers = Stats.key stats "barriers";
+    k_compute = Stats.key stats "compute";
     rr = 0;
     issue_armed = false;
     next_slot = 0;
@@ -77,7 +95,7 @@ and issue t =
     t.next_slot <- Engine.now t.engine + t.clock;
     let op = ctx.ops.(ctx.pc) in
     ctx.pc <- ctx.pc + 1;
-    Stats.incr t.stats "ops";
+    Stats.bump t.stats t.k_ops;
     let wake () =
       if ctx.pc >= Array.length ctx.ops then begin
         ctx.state <- Finished;
@@ -89,10 +107,10 @@ and issue t =
     ctx.state <- Waiting;
     (match op with
     | Ops.Load a ->
-      Stats.incr t.stats "loads";
+      Stats.bump t.stats t.k_loads;
       t.port.Port.load a ~k:(fun _v -> wake ())
     | Ops.Check (a, expected) ->
-      Stats.incr t.stats "loads";
+      Stats.bump t.stats t.k_loads;
       t.port.Port.load a ~k:(fun actual ->
           Check_log.incr_checks t.check_log;
           if actual <> expected then
@@ -106,33 +124,33 @@ and issue t =
               };
           wake ())
     | Ops.Store (a, value) ->
-      Stats.incr t.stats "stores";
+      Stats.bump t.stats t.k_stores;
       t.port.Port.store a ~value ~k:wake
     | Ops.Rmw (a, amo) ->
-      Stats.incr t.stats "rmws";
+      Stats.bump t.stats t.k_rmws;
       t.port.Port.rmw a amo ~k:(fun _old -> wake ())
     | Ops.Acquire ->
-      Stats.incr t.stats "acquires";
+      Stats.bump t.stats t.k_acquires;
       t.port.Port.acquire ~k:wake
     | Ops.Acquire_region region ->
-      Stats.incr t.stats "acquires";
+      Stats.bump t.stats t.k_acquires;
       t.port.Port.acquire_region ~region ~k:wake
     | Ops.Release ->
-      Stats.incr t.stats "releases";
+      Stats.bump t.stats t.k_releases;
       t.port.Port.release ~k:wake
     | Ops.Barrier b ->
-      Stats.incr t.stats "barriers";
+      Stats.bump t.stats t.k_barriers;
       let barrier = t.barriers.(b) in
       t.port.Port.release ~k:(fun () ->
           Barrier.arrive barrier ~k:(fun () -> t.port.Port.acquire ~k:wake))
     | Ops.Barrier_region (b, region) ->
-      Stats.incr t.stats "barriers";
+      Stats.bump t.stats t.k_barriers;
       let barrier = t.barriers.(b) in
       t.port.Port.release ~k:(fun () ->
           Barrier.arrive barrier ~k:(fun () ->
               t.port.Port.acquire_region ~region ~k:wake))
     | Ops.Compute n ->
-      Stats.incr t.stats "compute";
+      Stats.bump t.stats t.k_compute;
       Engine.schedule t.engine ~delay:(n * t.clock) wake);
     (* Keep issuing while other contexts are ready. *)
     arm t

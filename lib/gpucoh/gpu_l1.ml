@@ -51,6 +51,14 @@ type t = {
   outstanding : outstanding Mshr.t;
   sb_ages : (int, int) Hashtbl.t;  (* line -> last store cycle *)
   stats : Stats.t;
+  (* Interned counters for the per-op fast paths. *)
+  k_load_hit : Stats.key;
+  k_load_miss : Stats.key;
+  k_load_sb_fwd : Stats.key;
+  k_stores : Stats.key;
+  k_rmw : Stats.key;
+  k_wt_issued : Stats.key;
+  k_wt_words : Stats.key;
   (* End-to-end request retries; armed only when the network injects
      faults, so fault-free runs are bit-identical to the reliable model. *)
   retry : Retry.t option;
@@ -136,8 +144,8 @@ and drain t =
         let payload =
           Msg.Data (Linedata.pack ~mask ~full:e.Store_buffer.values)
         in
-        Stats.incr t.stats "wt_issued";
-        Stats.add t.stats "wt_words" (Mask.count mask);
+        Stats.bump t.stats t.k_wt_issued;
+        Stats.bump_by t.stats t.k_wt_words (Mask.count mask);
         request t ~txn ~kind:Msg.ReqWT ~line:e.Store_buffer.line ~mask ~payload
           ();
         (* A freed entry may unblock a stalled store. *)
@@ -231,16 +239,16 @@ let rec load t (addr : Addr.t) ~k =
   let done_ v = Engine.schedule t.engine ~delay:t.cfg.hit_latency (fun () -> k v) in
   match Store_buffer.forward t.sb ~addr with
   | Some v ->
-    Stats.incr t.stats "load_sb_fwd";
+    Stats.bump t.stats t.k_load_sb_fwd;
     done_ v
   | None -> (
     match Cache_frame.find t.frame ~line:addr.Addr.line with
     | Some l ->
-      Stats.incr t.stats "load_hit";
+      Stats.bump t.stats t.k_load_hit;
       Cache_frame.touch t.frame ~line:addr.Addr.line;
       done_ l.data.(addr.Addr.word)
     | None -> (
-      Stats.incr t.stats "load_miss";
+      Stats.bump t.stats t.k_load_miss;
       (* Coalesce with an outstanding miss of the current epoch. *)
       match
         Mshr.find_first t.outstanding ~f:(function
@@ -281,7 +289,7 @@ let rec store t (addr : Addr.t) ~value ~k =
     (match Cache_frame.find t.frame ~line:addr.Addr.line with
     | Some l -> l.data.(addr.Addr.word) <- value
     | None -> ());
-    Stats.incr t.stats "stores";
+    Stats.bump t.stats t.k_stores;
     arm_drain t ~delay:1;
     Engine.schedule t.engine ~delay:t.cfg.hit_latency k
   | `Full ->
@@ -291,7 +299,7 @@ let rec store t (addr : Addr.t) ~value ~k =
 
 let rmw t (addr : Addr.t) amo ~k =
   (* Atomics bypass the L1 and execute at the backing cache (§II-B). *)
-  Stats.incr t.stats "rmw";
+  Stats.bump t.stats t.k_rmw;
   match Mshr.alloc t.outstanding (Atomic { a_word = addr.Addr.word; a_k = k })
   with
   | Some txn ->
@@ -420,6 +428,13 @@ let create engine net cfg =
       outstanding = Mshr.create ~capacity:cfg.mshrs;
       sb_ages = Hashtbl.create 64;
       stats;
+      k_load_hit = Stats.key stats "load_hit";
+      k_load_miss = Stats.key stats "load_miss";
+      k_load_sb_fwd = Stats.key stats "load_sb_fwd";
+      k_stores = Stats.key stats "stores";
+      k_rmw = Stats.key stats "rmw";
+      k_wt_issued = Stats.key stats "wt_issued";
+      k_wt_words = Stats.key stats "wt_words";
       retry;
       epoch = 0;
       flushing = false;

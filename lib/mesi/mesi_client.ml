@@ -32,6 +32,10 @@ type t = {
   states : (int, pstate) Hashtbl.t;
   outstanding : outstanding Mshr.t;
   stats : Stats.t;
+  (* Interned counters for the per-request fast paths. *)
+  k_gets : Stats.key;
+  k_getm : Stats.key;
+  k_putm : Stats.key;
   (* End-to-end request retries; armed only when the network injects
      faults, so fault-free runs are bit-identical to the reliable model. *)
   retry : Retry.t option;
@@ -94,7 +98,7 @@ let acquire t ~line ~excl ~k =
   | P_S when not excl -> k None ~excl:false
   | P_S | P_I ->
     let kind = if excl then Msg.ReqOdata else Msg.ReqS in
-    Stats.incr t.stats (if excl then "getm" else "gets");
+    Stats.bump t.stats (if excl then t.k_getm else t.k_gets);
     let rec fire () =
       match Mshr.alloc t.outstanding (Acq { a_line = line; a_k = k }) with
       | Some txn ->
@@ -115,7 +119,7 @@ let writeback t ~line ~data ~dirty ~k =
        believes we might have dirtied it). *)
     ignore dirty;
     set_state t line P_I;
-    Stats.incr t.stats "putm";
+    Stats.bump t.stats t.k_putm;
     let record = Wb { w_line = line; w_values = Array.copy data; w_k = k } in
     let rec fire () =
       match Mshr.alloc t.outstanding record with
@@ -259,6 +263,9 @@ let create engine net cfg =
       states = Hashtbl.create 1024;
       outstanding = Mshr.create ~capacity:256;
       stats;
+      k_gets = Stats.key stats "gets";
+      k_getm = Stats.key stats "getm";
+      k_putm = Stats.key stats "putm";
       retry;
       parked = 0;
       recall_handler = (fun ~line:_ ~kind:_ ~k -> k None);

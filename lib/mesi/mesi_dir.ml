@@ -46,6 +46,7 @@ type t = {
   cfg : config;
   frame : meta Cache_frame.t;
   stats : Stats.t;
+  req_keys : Stats.key array;  (* "req.<kind>" by [Msg.req_kind_index]. *)
   (* At-most-once reply cache, armed only under fault injection: recorded
      responses per txn for non-idempotent request kinds, replayed when a
      duplicate or retried request arrives (cf. Llc.replay). *)
@@ -96,7 +97,7 @@ let rec handle t (msg : Msg.t) =
   | Msg.Probe _ -> failwith "Mesi_dir: received a probe"
 
 and handle_req t (msg : Msg.t) kind =
-  Stats.incr t.stats ("req." ^ Msg.req_kind_name kind);
+  Stats.bump t.stats t.req_keys.(Msg.req_kind_index kind);
   match Cache_frame.find t.frame ~line:msg.Msg.line with
   | None ->
     if kind = Msg.ReqWB then begin
@@ -366,6 +367,7 @@ let arrival t (msg : Msg.t) =
     | _ -> handle t msg)
 
 let create engine net dram cfg =
+  let stats = Stats.create () in
   let t =
     {
       engine;
@@ -373,7 +375,15 @@ let create engine net dram cfg =
       dram;
       cfg;
       frame = Cache_frame.create ~sets:cfg.sets ~ways:cfg.ways;
-      stats = Stats.create ();
+      stats;
+      req_keys =
+        (let keys = Array.make 7 (Stats.key stats "req.ReqV") in
+         List.iter
+           (fun k ->
+             keys.(Msg.req_kind_index k) <-
+               Stats.key stats ("req." ^ Msg.req_kind_name k))
+           Msg.all_req_kinds;
+         keys);
       replay =
         (if Network.faults_enabled net then Some (Hashtbl.create 256) else None);
     }

@@ -81,6 +81,15 @@ type t = {
   wb_records : (int, wb_req) Hashtbl.t;
   forced_lines : (int, unit) Hashtbl.t;  (* drain immediately (RMW order). *)
   stats : Stats.t;
+  (* Interned counters for the per-op fast paths. *)
+  k_load_hit : Stats.key;
+  k_load_miss : Stats.key;
+  k_load_sb_fwd : Stats.key;
+  k_stores : Stats.key;
+  k_store_commit_owned : Stats.key;
+  k_rmw_hit : Stats.key;
+  k_rmw_miss : Stats.key;
+  k_wb_issued : Stats.key;
   (* End-to-end request retries; armed only when the network injects
      faults, so fault-free runs are bit-identical to the reliable model. *)
   retry : Retry.t option;
@@ -129,7 +138,7 @@ let reply_data t msg ~kind ~dst ~mask ~values =
 let send_wb t ~line ~values =
   let txn = Spandex_proto.Txn.fresh () in
   Hashtbl.replace t.wb_records txn { b_line = line; b_values = values };
-  Stats.incr t.stats "wb_issued";
+  Stats.bump t.stats t.k_wb_issued;
   request t ~txn ~kind:Msg.ReqWB ~line ~mask:Addr.full_mask
     ~payload:(Msg.Data (Array.copy values))
     ()
@@ -231,7 +240,7 @@ and drain t =
         l.mstate <- State.M_M;
         Mask.iter e.Store_buffer.mask ~f:(fun w ->
             l.data.(w) <- e.Store_buffer.values.(w));
-        Stats.incr t.stats "store_commit_owned";
+        Stats.bump t.stats t.k_store_commit_owned;
         (* A freed entry may unblock a stalled store on either drain path. *)
         let stalled = t.stalled_stores in
         t.stalled_stores <- [];
@@ -275,14 +284,14 @@ let rec load t (addr : Addr.t) ~k =
   let { Addr.line; word } = addr in
   match Store_buffer.forward t.sb ~addr with
   | Some v ->
-    Stats.incr t.stats "load_sb_fwd";
+    Stats.bump t.stats t.k_load_sb_fwd;
     done_ v
   | None -> (
     (* A drained but un-granted store also forwards; any other load beside
        a pending write to the same line waits for the write's grant. *)
     match write_pending_for t line with
     | Some { m_store = Some (mask, values); _ } when Mask.mem mask word ->
-      Stats.incr t.stats "load_sb_fwd";
+      Stats.bump t.stats t.k_load_sb_fwd;
       done_ values.(word)
     | Some w ->
       Stats.incr t.stats "load_waits_write";
@@ -290,11 +299,11 @@ let rec load t (addr : Addr.t) ~k =
     | None -> (
       match Cache_frame.find t.frame ~line with
       | Some l when l.mstate <> State.M_I ->
-        Stats.incr t.stats "load_hit";
+        Stats.bump t.stats t.k_load_hit;
         Cache_frame.touch t.frame ~line;
         done_ l.data.(word)
       | _ -> (
-        Stats.incr t.stats "load_miss";
+        Stats.bump t.stats t.k_load_miss;
         match
           Mshr.find_first t.outstanding ~f:(function
             | Read m -> m.r_line = line
@@ -329,7 +338,7 @@ let rec load t (addr : Addr.t) ~k =
 let rec store t (addr : Addr.t) ~value ~k =
   match Store_buffer.push t.sb ~addr ~value with
   | `Coalesced | `New ->
-    Stats.incr t.stats "stores";
+    Stats.bump t.stats t.k_stores;
     Hashtbl.replace t.sb_ages addr.Addr.line (Engine.now t.engine);
     arm_drain t ~delay:1;
     Engine.schedule t.engine ~delay:t.cfg.hit_latency k
@@ -353,13 +362,13 @@ let rec rmw t (addr : Addr.t) amo ~k =
   else
     match Cache_frame.find t.frame ~line with
     | Some l when l.mstate = State.M_M || l.mstate = State.M_E ->
-      Stats.incr t.stats "rmw_hit";
+      Stats.bump t.stats t.k_rmw_hit;
       l.mstate <- State.M_M;
       let next, old = Amo.apply amo l.data.(word) in
       l.data.(word) <- next;
       Engine.schedule t.engine ~delay:t.cfg.hit_latency (fun () -> k old)
     | _ -> (
-      Stats.incr t.stats "rmw_miss";
+      Stats.bump t.stats t.k_rmw_miss;
       let w =
         {
           m_line = line;
@@ -476,7 +485,7 @@ and serve_owned t (msg : Msg.t) l =
 and send_wb_words t ~line ~mask ~values =
   let txn = Spandex_proto.Txn.fresh () in
   Hashtbl.replace t.wb_records txn { b_line = line; b_values = Array.copy values };
-  Stats.incr t.stats "wb_issued";
+  Stats.bump t.stats t.k_wb_issued;
   request t ~txn ~kind:Msg.ReqWB ~line ~mask
     ~payload:(Msg.Data (Linedata.pack ~mask ~full:values))
     ()
@@ -704,6 +713,14 @@ let create engine net cfg =
       wb_records = Hashtbl.create 16;
       forced_lines = Hashtbl.create 8;
       stats;
+      k_load_hit = Stats.key stats "load_hit";
+      k_load_miss = Stats.key stats "load_miss";
+      k_load_sb_fwd = Stats.key stats "load_sb_fwd";
+      k_stores = Stats.key stats "stores";
+      k_store_commit_owned = Stats.key stats "store_commit_owned";
+      k_rmw_hit = Stats.key stats "rmw_hit";
+      k_rmw_miss = Stats.key stats "rmw_miss";
+      k_wb_issued = Stats.key stats "wb_issued";
       retry;
       flushing = false;
       drain_armed = false;

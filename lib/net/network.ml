@@ -29,6 +29,7 @@ type t = {
   endpoints : (int, endpoint) Hashtbl.t;
   traffic : int array;  (** flit-hops per category. *)
   stats : Stats.t;
+  kind_keys : Stats.key array;  (** per-kind counters, by [Msg.kind_index]. *)
   fault : Fault.t option;  (** active fault-injection plan, if any. *)
   mutable in_flight : int;
   mutable messages : int;
@@ -44,12 +45,20 @@ let category_index = function
 
 let create ?fault engine topo =
   let stats = Stats.create () in
+  let kind_keys =
+    let keys = Array.make Msg.num_kinds (Stats.key stats "ReqV") in
+    List.iter
+      (fun k -> keys.(Msg.kind_index k) <- Stats.key stats (Msg.kind_name k))
+      Msg.all_kinds;
+    keys
+  in
   {
     engine;
     topo;
     endpoints = Hashtbl.create 64;
     traffic = Array.make 6 0;
     stats;
+    kind_keys;
     fault = Option.map (fun spec -> Fault.create spec ~stats) fault;
     in_flight = 0;
     messages = 0;
@@ -68,24 +77,23 @@ let endpoint t id =
   | Some ep -> ep
   | None -> failwith (Printf.sprintf "Network: unregistered endpoint %d" id)
 
-let kind_key (msg : Msg.t) = Format.asprintf "%a" Msg.pp_kind msg.kind
-
-let trace_enabled =
-  lazy (Option.is_some (Sys.getenv_opt "SPANDEX_TRACE"))
+(* Read eagerly at module init (always the main domain): forcing a [lazy]
+   concurrently from several domains is unsafe, and parallel sweeps send
+   from worker domains. *)
+let trace_enabled = Option.is_some (Sys.getenv_opt "SPANDEX_TRACE")
 
 (* SPANDEX_TRACE_WORD="<line>.<word>" additionally prints the carried value
    of one word whenever a traced message covers it. *)
 let trace_word =
-  lazy
-    (Option.bind (Sys.getenv_opt "SPANDEX_TRACE_WORD") (fun s ->
-         match String.split_on_char '.' s with
-         | [ l; w ] -> Some (int_of_string l, int_of_string w)
-         | _ -> None))
+  Option.bind (Sys.getenv_opt "SPANDEX_TRACE_WORD") (fun s ->
+      match String.split_on_char '.' s with
+      | [ l; w ] -> Some (int_of_string l, int_of_string w)
+      | _ -> None)
 
 let send t (msg : Msg.t) =
-  if Lazy.force trace_enabled then begin
+  if trace_enabled then begin
     let extra =
-      match (Lazy.force trace_word, msg.payload) with
+      match (trace_word, msg.payload) with
       | Some (l, w), Spandex_proto.Msg.Data values
         when msg.line = l && Spandex_util.Mask.mem msg.mask w ->
         Printf.sprintf " {%d.%d=%d}" l w
@@ -99,7 +107,7 @@ let send t (msg : Msg.t) =
   let cat = category_index (Msg.category msg.kind) in
   t.traffic.(cat) <- t.traffic.(cat) + (flits * hops);
   t.messages <- t.messages + 1;
-  Stats.incr t.stats (kind_key msg);
+  Stats.bump t.stats t.kind_keys.(Msg.kind_index msg.kind);
   let latency = t.topo.latency ~src:msg.src ~dst:msg.dst in
   let deliver ~delay =
     t.in_flight <- t.in_flight + 1;

@@ -113,10 +113,50 @@ let rsp_kind_name = function
 
 let probe_kind_name = function RvkO -> "RvkO" | Inv -> "Inv"
 
-let pp_kind fmt = function
-  | Req k -> Format.pp_print_string fmt (req_kind_name k)
-  | Rsp k -> Format.pp_print_string fmt (rsp_kind_name k)
-  | Probe k -> Format.pp_print_string fmt (probe_kind_name k)
+let kind_name = function
+  | Req k -> req_kind_name k
+  | Rsp k -> rsp_kind_name k
+  | Probe k -> probe_kind_name k
+
+let pp_kind fmt k = Format.pp_print_string fmt (kind_name k)
+
+(* Dense indexings so per-kind tables (traffic counters, interned stat
+   keys) can be arrays instead of string-keyed maps. *)
+
+let req_kind_index = function
+  | ReqV -> 0
+  | ReqS -> 1
+  | ReqWT -> 2
+  | ReqO -> 3
+  | ReqWTdata -> 4
+  | ReqOdata -> 5
+  | ReqWB -> 6
+
+let all_req_kinds = [ ReqV; ReqS; ReqWT; ReqO; ReqWTdata; ReqOdata; ReqWB ]
+
+let num_kinds = 19
+
+let kind_index = function
+  | Req k -> req_kind_index k
+  | Rsp RspV -> 7
+  | Rsp RspS -> 8
+  | Rsp RspWT -> 9
+  | Rsp RspO -> 10
+  | Rsp RspWTdata -> 11
+  | Rsp RspOdata -> 12
+  | Rsp RspWB -> 13
+  | Rsp RspRvkO -> 14
+  | Rsp Ack -> 15
+  | Rsp Nack -> 16
+  | Probe RvkO -> 17
+  | Probe Inv -> 18
+
+let all_kinds =
+  List.map (fun k -> Req k) all_req_kinds
+  @ List.map
+      (fun k -> Rsp k)
+      [ RspV; RspS; RspWT; RspO; RspWTdata; RspOdata; RspWB; RspRvkO; Ack; Nack ]
+  @ [ Probe RvkO; Probe Inv ]
 
 let pp fmt t =
   let data =

@@ -100,6 +100,20 @@ val flits : t -> int
 
 val pp_kind : Format.formatter -> kind -> unit
 val pp : Format.formatter -> t -> unit
+val kind_name : kind -> string
+(** Constant string for a kind; allocation-free, unlike formatting. *)
+
 val req_kind_name : req_kind -> string
 val rsp_kind_name : rsp_kind -> string
 val probe_kind_name : probe_kind -> string
+
+val req_kind_index : req_kind -> int
+(** Dense index in [0, 7); matches the order of {!all_req_kinds}. *)
+
+val all_req_kinds : req_kind list
+
+val kind_index : kind -> int
+(** Dense index in [0, num_kinds); matches the order of {!all_kinds}. *)
+
+val num_kinds : int
+val all_kinds : kind list

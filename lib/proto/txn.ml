@@ -1,7 +1,13 @@
-let counter = ref 0
+(* Domain-local, not a plain global: the sweep runner executes independent
+   simulations on worker domains, and a shared counter would both race and
+   break the bit-identical-to-sequential guarantee.  Each simulation calls
+   [reset] first, so ids depend only on the simulation's own event order,
+   never on which domain runs it. *)
+let counter_key = Domain.DLS.new_key (fun () -> ref 0)
 
 let fresh () =
+  let counter = Domain.DLS.get counter_key in
   incr counter;
   !counter
 
-let reset () = counter := 0
+let reset () = Domain.DLS.get counter_key := 0

@@ -1,12 +1,14 @@
-(** Globally unique transaction identifiers.
+(** Transaction identifiers, unique within a simulation.
 
     Responses echo the transaction id of the request they answer; forwarded
     requests preserve the original id so the remote owner's direct response
-    reaches the right MSHR entry.  A single process-wide counter keeps ids
-    unique across every device without coordination. *)
+    reaches the right MSHR entry.  The counter is domain-local state: every
+    simulation resets it on entry and runs on a single domain, so ids are
+    deterministic per simulation and independent simulations can run on
+    separate domains in parallel (see [Spandex_system.Sweep]). *)
 
 val fresh : unit -> int
 
 val reset : unit -> unit
-(** Reset the counter (between independent simulations, for
-    reproducibility of logged ids; correctness never depends on it). *)
+(** Reset the calling domain's counter (between independent simulations,
+    for reproducibility of logged ids; correctness never depends on it). *)

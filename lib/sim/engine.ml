@@ -21,7 +21,7 @@ let pp_livelock fmt l =
 
 let create () =
   {
-    queue = Spandex_util.Pqueue.create ();
+    queue = Spandex_util.Pqueue.create ~capacity:1024 ();
     time = 0;
     steps = 0;
     step_limit = 500_000_000;
@@ -41,10 +41,10 @@ let schedule t ~delay f =
 
 let run_all t =
   let rec loop () =
-    match Spandex_util.Pqueue.pop t.queue with
-    | None -> t.time
-    | Some (time, f) ->
-      t.time <- time;
+    if Spandex_util.Pqueue.is_empty t.queue then t.time
+    else begin
+      t.time <- Spandex_util.Pqueue.min_time t.queue;
+      let f = Spandex_util.Pqueue.pop_min t.queue in
       t.steps <- t.steps + 1;
       if t.steps > t.step_limit then
         raise
@@ -53,6 +53,7 @@ let run_all t =
                 t.time));
       f ();
       loop ()
+    end
   in
   loop ()
 
@@ -91,18 +92,19 @@ let install_watchdog t ~interval ~progress ~active ~describe =
 let run t ~until_done ~pending_desc =
   let rec loop () =
     if until_done () then t.time
-    else
-      match Spandex_util.Pqueue.pop t.queue with
-      | None -> raise (Deadlock (pending_desc ()))
-      | Some (time, f) ->
-        t.time <- time;
-        t.steps <- t.steps + 1;
-        if t.steps > t.step_limit then
-          raise
-            (Deadlock
-               (Printf.sprintf "step limit %d exceeded at cycle %d: %s"
-                  t.step_limit t.time (pending_desc ())));
-        f ();
-        loop ()
+    else if Spandex_util.Pqueue.is_empty t.queue then
+      raise (Deadlock (pending_desc ()))
+    else begin
+      t.time <- Spandex_util.Pqueue.min_time t.queue;
+      let f = Spandex_util.Pqueue.pop_min t.queue in
+      t.steps <- t.steps + 1;
+      if t.steps > t.step_limit then
+        raise
+          (Deadlock
+             (Printf.sprintf "step limit %d exceeded at cycle %d: %s"
+                t.step_limit t.time (pending_desc ())));
+      f ();
+      loop ()
+    end
   in
   loop ()

@@ -58,6 +58,55 @@ let headline rows =
     traffic_max = List.fold_left max neg_infinity traffics;
   }
 
+(* Bit-identical equality over everything a run reports, used to assert the
+   parallel sweep matches a sequential one.  Stats are compared as sorted
+   (name, value) assoc lists, so interning order does not matter. *)
+let same_result (a : Run.result) (b : Run.result) =
+  a.Run.cycles = b.Run.cycles
+  && a.Run.total_flits = b.Run.total_flits
+  && a.Run.traffic = b.Run.traffic
+  && a.Run.messages = b.Run.messages
+  && a.Run.events = b.Run.events
+  && a.Run.checks = b.Run.checks
+  && a.Run.failures = b.Run.failures
+  && Spandex_util.Stats.to_assoc a.Run.stats
+     = Spandex_util.Stats.to_assoc b.Run.stats
+
+let diff_result (a : Run.result) (b : Run.result) =
+  if a.Run.cycles <> b.Run.cycles then
+    Some (Printf.sprintf "cycles %d <> %d" a.Run.cycles b.Run.cycles)
+  else if a.Run.total_flits <> b.Run.total_flits then
+    Some
+      (Printf.sprintf "total_flits %d <> %d" a.Run.total_flits b.Run.total_flits)
+  else if a.Run.traffic <> b.Run.traffic then Some "traffic breakdown differs"
+  else if a.Run.messages <> b.Run.messages then
+    Some (Printf.sprintf "messages %d <> %d" a.Run.messages b.Run.messages)
+  else if a.Run.events <> b.Run.events then
+    Some (Printf.sprintf "events %d <> %d" a.Run.events b.Run.events)
+  else if a.Run.checks <> b.Run.checks then
+    Some (Printf.sprintf "checks %d <> %d" a.Run.checks b.Run.checks)
+  else if a.Run.failures <> b.Run.failures then Some "check failures differ"
+  else
+    let sa = Spandex_util.Stats.to_assoc a.Run.stats in
+    let sb = Spandex_util.Stats.to_assoc b.Run.stats in
+    if sa = sb then None
+    else
+      let tbl = Hashtbl.create 64 in
+      List.iter (fun (k, v) -> Hashtbl.replace tbl k v) sb;
+      let bad =
+        List.find_opt
+          (fun (k, v) -> Hashtbl.find_opt tbl k <> Some v)
+          sa
+      in
+      Some
+        (match bad with
+        | Some (k, v) ->
+          Printf.sprintf "stat %s: %d <> %s" k v
+            (match Hashtbl.find_opt tbl k with
+            | Some w -> string_of_int w
+            | None -> "absent")
+        | None -> "stats counter sets differ")
+
 let traffic_share (r : Run.result) =
   let total = float_of_int (max 1 r.Run.total_flits) in
   List.map
@@ -87,7 +136,7 @@ let suffix_sum stats ~suffix =
 
 let fault_summary (r : Run.result) =
   let s = r.Run.stats in
-  let net key = Spandex_util.Stats.get s ("net." ^ key) in
+  let net key = Spandex_util.Stats.get_prefixed s ~prefix:"net" key in
   {
     injected = net "fault.injected";
     dropped = net "fault.drop";

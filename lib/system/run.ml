@@ -21,6 +21,7 @@ type result = {
   total_flits : int;
   traffic : (Msg.category * int) list;
   messages : int;
+  events : int;
   checks : int;
   failures : Check_log.failure list;
   stats : Stats.t;
@@ -334,6 +335,7 @@ let simulate ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
     traffic =
       List.map (fun c -> (c, Network.traffic_flits net c)) Msg.all_categories;
     messages = Network.messages_sent net;
+    events = Engine.events_processed engine;
     checks = Check_log.checks check_log;
     failures = Check_log.failures check_log;
     stats;

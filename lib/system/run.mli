@@ -6,6 +6,7 @@ type result = {
   total_flits : int;  (** network traffic in flit-hops. *)
   traffic : (Spandex_proto.Msg.category * int) list;  (** Fig. 2/3 breakdown. *)
   messages : int;
+  events : int;  (** engine events processed; basis for events/sec. *)
   checks : int;  (** workload [Check] ops executed. *)
   failures : Spandex_device.Check_log.failure list;
       (** data-value mismatches — any entry is a coherence bug. *)
@@ -15,9 +16,11 @@ type result = {
 val simulate :
   ?params:Params.t -> config:Config.t -> Workload.t -> result
 (** Raises {!Spandex_sim.Engine.Deadlock} if the system wedges, and
-    [Failure] on protocol invariant violations.  Runs are deterministic and
-    sequential: the global transaction counter is reset per call, so
-    simulations must not be interleaved within one process. *)
+    [Failure] on protocol invariant violations.  Runs are deterministic.
+    Each call owns all of its state and resets the domain-local transaction
+    counter, so simulations must not be interleaved within one domain, but
+    independent calls may run on separate domains in parallel — see
+    {!Sweep}. *)
 
 val assert_clean : result -> unit
 (** Raises [Failure] describing the first data mismatch, if any. *)

@@ -1,0 +1,63 @@
+(* Parallel sweep runner.
+
+   Every [Run.simulate] call owns its engine, network, and stats, and the
+   only process-wide simulator state (the transaction counter) is
+   domain-local, so independent (config x workload x seed) simulations can
+   run on separate domains.  Workers pull jobs from a shared atomic index
+   and write results into per-job slots, so results come back in submission
+   order and the output is bit-identical to a sequential run regardless of
+   scheduling. *)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+type 'b outcome = Value of 'b | Raised of exn * Printexc.raw_backtrace
+
+let map ?jobs f items =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let input = Array.of_list items in
+  let n = Array.length input in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then List.map f items
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let r =
+            try Value (f input.(i))
+            with e -> Raised (e, Printexc.get_raw_backtrace ())
+          in
+          results.(i) <- Some r;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    (* The calling domain is one of the workers. *)
+    let spawned = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    (* Re-raise the first failure in submission order, as a sequential
+       List.map would have surfaced it (later jobs may have run anyway). *)
+    Array.to_list results
+    |> List.map (function
+         | Some (Value v) -> v
+         | Some (Raised (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false)
+  end
+
+(* ----- simulation jobs ------------------------------------------------------ *)
+
+type job = {
+  label : string;
+  params : Params.t;
+  config : Config.t;
+  workload : Workload.t;
+}
+
+let simulate_all ?jobs js =
+  map ?jobs
+    (fun j -> Run.simulate ~params:j.params ~config:j.config j.workload)
+    js

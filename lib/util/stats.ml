@@ -1,30 +1,109 @@
-type t = (string, int ref) Hashtbl.t
+(* Counters live in a flat [int array] indexed by interned keys; the
+   string-keyed API resolves the key through a side hashtable and is kept
+   for cold paths, tests, and reports.  Hot paths resolve [key] once at
+   component creation and bump the array directly. *)
 
-let create () = Hashtbl.create 32
+type t = {
+  index : (string, int) Hashtbl.t;  (** name -> slot. *)
+  mutable names : string array;  (** slot -> name, insertion order. *)
+  mutable counts : int array;
+  mutable touched : bool array;
+      (** whether the slot was ever written (interning alone must not make
+          a counter appear in [names]/[to_assoc], matching the lazy
+          creation semantics of the original hashtable implementation). *)
+  mutable n : int;  (** slots in use. *)
+}
 
-let cell t name =
-  match Hashtbl.find_opt t name with
-  | Some r -> r
+type key = int
+
+let create () =
+  {
+    index = Hashtbl.create 32;
+    names = Array.make 32 "";
+    counts = Array.make 32 0;
+    touched = Array.make 32 false;
+    n = 0;
+  }
+
+let grow t =
+  let cap = 2 * Array.length t.counts in
+  let names = Array.make cap "" in
+  let counts = Array.make cap 0 in
+  let touched = Array.make cap false in
+  Array.blit t.names 0 names 0 t.n;
+  Array.blit t.counts 0 counts 0 t.n;
+  Array.blit t.touched 0 touched 0 t.n;
+  t.names <- names;
+  t.counts <- counts;
+  t.touched <- touched
+
+let key t name =
+  match Hashtbl.find_opt t.index name with
+  | Some k -> k
   | None ->
-    let r = ref 0 in
-    Hashtbl.add t name r;
-    r
+    if t.n = Array.length t.counts then grow t;
+    let k = t.n in
+    t.n <- k + 1;
+    t.names.(k) <- name;
+    Hashtbl.add t.index name k;
+    k
 
-let add t name n = cell t name := !(cell t name) + n
+let bump_by t k n =
+  t.counts.(k) <- t.counts.(k) + n;
+  t.touched.(k) <- true
+
+let bump t k = bump_by t k 1
+
+let max_key t k n =
+  if n > t.counts.(k) then t.counts.(k) <- n;
+  t.touched.(k) <- true
+
+let get_key t k = t.counts.(k)
+
+(* ----- string-keyed wrappers ------------------------------------------------ *)
+
+let add t name n = bump_by t (key t name) n
 let incr t name = add t name 1
-let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
 
-let set_max t name n =
-  let r = cell t name in
-  if n > !r then r := n
+let get t name =
+  match Hashtbl.find_opt t.index name with
+  | Some k -> t.counts.(k)
+  | None -> 0
+
+let set_max t name n = max_key t (key t name) n
 
 let names t =
-  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
-
-let merge_into ~dst ~prefix src =
-  Hashtbl.iter (fun k r -> add dst (prefix ^ "." ^ k) !r) src
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if t.touched.(i) then acc := t.names.(i) :: !acc
+  done;
+  List.sort String.compare !acc
 
 let to_assoc t = List.map (fun k -> (k, get t k)) (names t)
+
+(* Joins [prefix ^ "." ^ name] in a caller-provided buffer: one string
+   allocation per joined key instead of two intermediate concatenations. *)
+let joined buf ~plen name =
+  Buffer.truncate buf plen;
+  Buffer.add_string buf name;
+  Buffer.contents buf
+
+let prefix_buf prefix =
+  let buf = Buffer.create (String.length prefix + 24) in
+  Buffer.add_string buf prefix;
+  Buffer.add_char buf '.';
+  (buf, Buffer.length buf)
+
+let merge_into ~dst ~prefix src =
+  let buf, plen = prefix_buf prefix in
+  for i = 0 to src.n - 1 do
+    if src.touched.(i) then
+      add dst (joined buf ~plen src.names.(i)) src.counts.(i)
+  done
+
+let get_prefixed t ~prefix name =
+  let buf, plen = prefix_buf prefix in
+  get t (joined buf ~plen name)
 
 let pp fmt t =
   List.iter (fun (k, v) -> Format.fprintf fmt "%s = %d@." k v) (to_assoc t)

@@ -17,5 +17,6 @@ let () =
       ("backing", Test_backing.tests);
       ("extensions", Test_extensions.tests);
       ("faults", Test_faults.tests);
+      ("sweep", Test_sweep.tests);
       ("random", Test_random.tests);
     ]

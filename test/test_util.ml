@@ -82,6 +82,74 @@ let pqueue_prop =
       in
       drain [] = List.sort compare times)
 
+let pqueue_alloc_free_api () =
+  (* min_time/pop_min mirror peek_time/pop without the option/tuple boxing;
+     they must agree and raise on empty. *)
+  let q = Pqueue.create ~capacity:1 () in
+  Alcotest.check_raises "min_time empty"
+    (Invalid_argument "Pqueue.min_time: empty") (fun () ->
+      ignore (Pqueue.min_time q));
+  Alcotest.check_raises "pop_min empty"
+    (Invalid_argument "Pqueue.pop_min: empty") (fun () ->
+      ignore (Pqueue.pop_min q));
+  List.iter (fun (t, v) -> Pqueue.push q ~time:t v) [ (9, "z"); (2, "a"); (5, "m") ];
+  check_int "min_time" 2 (Pqueue.min_time q);
+  Alcotest.(check string) "pop_min" "a" (Pqueue.pop_min q);
+  check_int "min_time after pop" 5 (Pqueue.min_time q);
+  Alcotest.(check string) "pop_min 2" "m" (Pqueue.pop_min q);
+  Alcotest.(check string) "pop_min 3" "z" (Pqueue.pop_min q);
+  check_bool "empty again" true (Pqueue.is_empty q)
+
+(* Drain through the alloc-free API, returning (time, value) pairs. *)
+let drain_min q =
+  let rec go acc =
+    if Pqueue.is_empty q then List.rev acc
+    else
+      let t = Pqueue.min_time q in
+      let v = Pqueue.pop_min q in
+      go ((t, v) :: acc)
+  in
+  go []
+
+let pqueue_props =
+  let open QCheck2 in
+  [
+    Test.make ~name:"pqueue_pop_min_sorts"
+      Gen.(list_size (int_bound 300) (int_bound 1000))
+      (fun times ->
+        let q = Pqueue.create ~capacity:1 () in
+        List.iter (fun t -> Pqueue.push q ~time:t t) times;
+        List.map fst (drain_min q) = List.sort compare times);
+    Test.make ~name:"pqueue_fifo_tie_break"
+      (* Few distinct times -> many ties; drained order must be the stable
+         sort of the submissions, i.e. FIFO among equal times. *)
+      Gen.(list_size (int_bound 300) (int_bound 4))
+      (fun times ->
+        let q = Pqueue.create () in
+        List.iteri (fun i t -> Pqueue.push q ~time:t i) times;
+        let expected =
+          List.stable_sort
+            (fun (a, _) (b, _) -> compare a b)
+            (List.mapi (fun i t -> (t, i)) times)
+        in
+        drain_min q = expected);
+    Test.make ~name:"pqueue_grow_clear_reuse"
+      Gen.(
+        pair
+          (list_size (int_bound 200) (int_bound 1000))
+          (list_size (int_bound 200) (int_bound 1000)))
+      (fun (first, second) ->
+        (* Grow from minimal capacity, clear, then reuse: the second batch
+           must sort correctly and ties stay FIFO by the new seqs. *)
+        let q = Pqueue.create ~capacity:1 () in
+        List.iter (fun t -> Pqueue.push q ~time:t t) first;
+        Pqueue.clear q;
+        Pqueue.is_empty q
+        &&
+        (List.iter (fun t -> Pqueue.push q ~time:t t) second;
+         List.map fst (drain_min q) = List.sort compare second));
+  ]
+
 let pqueue_interleaved () =
   (* Interleave pushes and pops; popped times must be non-decreasing given
      pushes never go into the past. *)
@@ -168,6 +236,46 @@ let stats_merge () =
   check_int "two.x" 2 (Stats.get dst "two.x");
   Alcotest.(check (list string)) "names sorted" [ "one.x"; "two.x" ] (Stats.names dst)
 
+let stats_interned_visibility () =
+  let s = Stats.create () in
+  let k = Stats.key s "quiet" in
+  Alcotest.(check (list string)) "interned but untouched" [] (Stats.names s);
+  Stats.bump s k;
+  Alcotest.(check (list string)) "touched" [ "quiet" ] (Stats.names s);
+  check_int "value" 1 (Stats.get s "quiet");
+  check_bool "same slot on re-intern" true (Stats.key s "quiet" = k);
+  Stats.incr s "quiet";
+  check_int "string api shares the slot" 2 (Stats.get s "quiet")
+
+let stats_get_prefixed () =
+  let a = Stats.create () in
+  Stats.add a "x.y" 3;
+  let dst = Stats.create () in
+  Stats.merge_into ~dst ~prefix:"n" a;
+  check_int "get_prefixed" 3 (Stats.get_prefixed dst ~prefix:"n" "x.y");
+  check_int "absent" 0 (Stats.get_prefixed dst ~prefix:"m" "x.y")
+
+let stats_interned_agrees =
+  (* The interned-key fast path and the string API must be observationally
+     identical: same counters, same values, same visibility. *)
+  QCheck2.Test.make ~name:"stats_interned_agrees"
+    QCheck2.Gen.(list_size (int_bound 200) (pair (int_bound 4) (int_bound 20)))
+    (fun ops ->
+      let names = [| "alpha"; "beta"; "gamma"; "delta"; "eps" |] in
+      let via_string = Stats.create () in
+      let via_key = Stats.create () in
+      let keys = Array.map (fun n -> Stats.key via_key n) names in
+      List.iter
+        (fun (i, v) ->
+          Stats.add via_string names.(i) v;
+          Stats.bump_by via_key keys.(i) v)
+        ops;
+      Stats.to_assoc via_string = Stats.to_assoc via_key
+      && Stats.names via_string = Stats.names via_key
+      && Array.for_all
+           (fun n -> Stats.get via_string n = Stats.get via_key n)
+           names)
+
 let tests =
   [
     test "mask_basics" mask_basics;
@@ -175,6 +283,7 @@ let tests =
     test "mask_pp" mask_pp;
     test "pqueue_ordering" pqueue_ordering;
     test "pqueue_fifo_ties" pqueue_fifo_ties;
+    test "pqueue_alloc_free_api" pqueue_alloc_free_api;
     test "pqueue_interleaved" pqueue_interleaved;
     test "rng_determinism" rng_determinism;
     test "rng_bounds" rng_bounds;
@@ -183,5 +292,9 @@ let tests =
     test "rng_geometric" rng_geometric;
     test "stats_counters" stats_counters;
     test "stats_merge" stats_merge;
+    test "stats_interned_visibility" stats_interned_visibility;
+    test "stats_get_prefixed" stats_get_prefixed;
   ]
-  @ List.map (QCheck_alcotest.to_alcotest ~long:false) (mask_props @ [ pqueue_prop ])
+  @ List.map
+      (QCheck_alcotest.to_alcotest ~long:false)
+      (mask_props @ [ pqueue_prop ] @ pqueue_props @ [ stats_interned_agrees ])
