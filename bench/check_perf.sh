@@ -1,0 +1,58 @@
+#!/bin/sh
+# Compare a fresh bench report against the committed CI baseline.
+#
+#   bench/check_perf.sh <report.json> [baseline.json]
+#
+# Fails when:
+#   - the report's sequential events/sec regresses more than 25% below the
+#     baseline (guards the scheduler hot path against accidental slowdowns;
+#     the slack absorbs runner-to-runner noise), or
+#   - the total event count differs from the baseline at all (the sweep is
+#     deterministic, so any drift means the simulation itself changed and
+#     the baseline must be regenerated deliberately), or
+#   - the report's sequential/parallel results were not bit-identical.
+#
+# Refresh the baseline with:
+#   dune exec bin/spandex_cli.exe -- bench --jobs 2 --scale 0.25 \
+#     --workloads rsct,tqh,bc -o bench/ci_baseline.json
+set -eu
+
+report=${1:?usage: check_perf.sh <report.json> [baseline.json]}
+baseline=${2:-$(dirname "$0")/ci_baseline.json}
+
+python3 - "$report" "$baseline" <<'EOF'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+baseline = json.load(open(sys.argv[2]))
+
+failures = []
+
+if not report.get("identical", False):
+    failures.append("sequential and parallel sweeps were not bit-identical")
+
+if report["total_events"] != baseline["total_events"]:
+    failures.append(
+        "total_events drifted: baseline %d, report %d — the simulation "
+        "changed; regenerate bench/ci_baseline.json if intended"
+        % (baseline["total_events"], report["total_events"])
+    )
+
+base = baseline["events_per_sec_sequential"]
+got = report["events_per_sec_sequential"]
+floor = 0.75 * base
+print(
+    "perf: %d events/sec sequential (baseline %d, floor %d)"
+    % (got, base, floor)
+)
+if got < floor:
+    failures.append(
+        "events/sec regressed >25%%: %d < %d (baseline %d)" % (got, floor, base)
+    )
+
+if failures:
+    for f in failures:
+        print("FAIL: " + f, file=sys.stderr)
+    sys.exit(1)
+print("perf check passed")
+EOF

@@ -28,6 +28,13 @@ let params_of ~cpus ~cus ~warps ~fault ~watchdog =
       Option.value ~default:base.Params.watchdog_cycles watchdog;
   }
 
+let backend_of = function
+  | "wheel" -> Spandex_sim.Engine.Wheel_backend
+  | "heap" -> Spandex_sim.Engine.Heap_backend
+  | s ->
+    Printf.eprintf "unknown engine %s (wheel or heap)\n" s;
+    exit 1
+
 let fault_spec_of ~drop ~dup ~delay ~reorder ~seed =
   if drop = 0.0 && dup = 0.0 && delay = 0.0 && reorder = 0.0 then None
   else
@@ -143,6 +150,15 @@ let jobs_arg =
         ~doc:
           "Worker domains for independent simulations (0 = cores - 1, \
            1 = sequential). Results are bit-identical for any value.")
+
+let engine_arg =
+  Arg.(
+    value & opt string "wheel"
+    & info [ "engine" ]
+        ~doc:
+          "Event-queue implementation: 'wheel' (timing wheel, default) or \
+           'heap' (the pre-wheel binary heap reference scheduler). \
+           Results are bit-identical either way; only speed differs.")
 
 let resolve_jobs jobs = if jobs <= 0 then Sweep.default_jobs () else jobs
 
@@ -279,9 +295,16 @@ let json_string s =
   Buffer.contents buf
 
 let bench_cmd =
-  let run scale jobs workloads out =
+  let run scale jobs workloads out engine =
     let jobs = resolve_jobs jobs in
-    let params = Params.bench in
+    (* Bench measures the hot path: per-message construction checks stay
+       off unless SPANDEX_CHECKS explicitly asks for them.  Flipped before
+       any worker domain spawns. *)
+    if Sys.getenv_opt "SPANDEX_CHECKS" = None then
+      Spandex_proto.Msg.set_checks false;
+    let params =
+      { Params.bench with Params.engine_backend = backend_of engine }
+    in
     let entries =
       match workloads with
       | None -> sweep_entries ()
@@ -337,12 +360,21 @@ let bench_cmd =
     let total_events =
       List.fold_left (fun acc (_, r, _) -> acc + r.Run.events) 0 seq
     in
+    let total_minor_words =
+      List.fold_left (fun acc (_, r, _) -> acc +. r.Run.minor_words) 0.0 seq
+    in
+    let total_major_collections =
+      List.fold_left (fun acc (_, r, _) -> acc + r.Run.major_collections) 0 seq
+    in
     let speedup = seq_wall /. max 1e-9 par_wall in
     let buf = Buffer.create 4096 in
     Printf.bprintf buf "{\n";
-    Printf.bprintf buf "  \"schema\": \"spandex-bench-sweep/1\",\n";
+    Printf.bprintf buf "  \"schema\": \"spandex-bench-sweep/2\",\n";
     Printf.bprintf buf "  \"scale\": %g,\n" scale;
     Printf.bprintf buf "  \"jobs\": %d,\n" jobs;
+    Printf.bprintf buf "  \"engine\": %s,\n" (json_string engine);
+    Printf.bprintf buf "  \"msg_checks\": %b,\n"
+      (Spandex_proto.Msg.checks_enabled ());
     Printf.bprintf buf "  \"recommended_domains\": %d,\n"
       (Domain.recommended_domain_count ());
     Printf.bprintf buf "  \"simulations_total\": %d,\n" n;
@@ -354,6 +386,13 @@ let bench_cmd =
       (float_of_int total_events /. max 1e-9 seq_wall);
     Printf.bprintf buf "  \"events_per_sec_parallel\": %.0f,\n"
       (float_of_int total_events /. max 1e-9 par_wall);
+    (* Allocation metrics (sequential pass): catches allocation
+       regressions that wall-clock noise can hide. *)
+    Printf.bprintf buf "  \"minor_words_total\": %.0f,\n" total_minor_words;
+    Printf.bprintf buf "  \"minor_words_per_event\": %.2f,\n"
+      (total_minor_words /. float_of_int (max 1 total_events));
+    Printf.bprintf buf "  \"major_collections_total\": %d,\n"
+      total_major_collections;
     Printf.bprintf buf "  \"identical\": %b,\n" (divergences = []);
     Printf.bprintf buf "  \"simulations\": [\n";
     List.iteri
@@ -361,11 +400,14 @@ let bench_cmd =
         Printf.bprintf buf
           "    { \"workload\": %s, \"config\": %s, \"cycles\": %d, \
            \"events\": %d, \"flits\": %d, \"messages\": %d, \
-           \"wall_s\": %.6f, \"events_per_sec\": %.0f }%s\n"
+           \"wall_s\": %.6f, \"events_per_sec\": %.0f, \
+           \"minor_words_per_event\": %.2f, \"major_collections\": %d }%s\n"
           (json_string j.Sweep.label)
           (json_string j.Sweep.config.Config.name)
           r.Run.cycles r.Run.events r.Run.total_flits r.Run.messages wall
           (float_of_int r.Run.events /. max 1e-9 wall)
+          (r.Run.minor_words /. float_of_int (max 1 r.Run.events))
+          r.Run.major_collections
           (if i = n - 1 then "" else ","))
       seq;
     Printf.bprintf buf "  ]\n}\n";
@@ -377,6 +419,9 @@ let bench_cmd =
       seq_wall jobs par_wall speedup;
     Printf.printf "  events/sec (sequential): %.0f\n"
       (float_of_int total_events /. max 1e-9 seq_wall);
+    Printf.printf "  alloc: %.1f minor words/event | %d major collections\n"
+      (total_minor_words /. float_of_int (max 1 total_events))
+      total_major_collections;
     Printf.printf "  wrote %s\n" out;
     if divergences <> [] then begin
       Printf.eprintf
@@ -405,8 +450,11 @@ let bench_cmd =
        ~doc:
          "Time the full sweep sequentially and in parallel, assert the \
           results are bit-identical, and write a machine-readable \
-          BENCH_sweep.json (wall-clock, events/sec, speedup)")
-    Term.(const run $ scale_arg $ jobs_arg $ workloads_arg $ out_arg)
+          BENCH_sweep.json (wall-clock, events/sec, allocation metrics, \
+          speedup).  Message-construction checks are disabled unless \
+          SPANDEX_CHECKS is set in the environment.")
+    Term.(
+      const run $ scale_arg $ jobs_arg $ workloads_arg $ out_arg $ engine_arg)
 
 let soak_cmd =
   let run seeds jobs_geometry =

@@ -98,9 +98,7 @@ let fresh_meta () =
 
 (* State transitions happen at arrival (the serialization point); outgoing
    messages are charged the LLC access latency. *)
-let send t msg =
-  Engine.schedule t.engine ~delay:t.cfg.access_latency (fun () ->
-      Network.send t.net msg)
+let send t msg = Engine.send_later t.engine ~delay:t.cfg.access_latency msg
 
 let respond t (req : Msg.t) ~kind ~mask ?payload () =
   if not (Mask.is_empty mask) then begin

@@ -128,9 +128,7 @@ type t = {
   mutable stalled_stores : (unit -> unit) list;
 }
 
-let send t msg =
-  Engine.schedule t.engine ~delay:t.cfg.hit_latency (fun () ->
-      Network.send t.net msg)
+let send t msg = Engine.send_later t.engine ~delay:t.cfg.hit_latency msg
 
 let request t ~txn ~kind ~line ~mask ?demand ?payload ?amo () =
   let msg =
@@ -364,7 +362,7 @@ let install_fill t (m : read_miss) (r : Tu.result) =
   else Stats.incr t.stats "stale_fill_dropped"
 
 let rec load t (addr : Addr.t) ~k =
-  let done_ v = Engine.schedule t.engine ~delay:t.cfg.hit_latency (fun () -> k v) in
+  let done_ v = Engine.apply_later t.engine ~delay:t.cfg.hit_latency k v in
   let { Addr.line; word } = addr in
   match Store_buffer.forward t.sb ~addr with
   | Some v ->
@@ -556,7 +554,7 @@ and rmw t (addr : Addr.t) amo ~k =
       Stats.incr t.stats "rmw_hit_owned";
       let next, old = Amo.apply amo l.data.(word) in
       l.data.(word) <- next;
-      Engine.schedule t.engine ~delay:t.cfg.hit_latency (fun () -> k old)
+      Engine.apply_later t.engine ~delay:t.cfg.hit_latency k old
     | _ when
         find_rmw_covering t ~line ~word <> None
         || find_own_covering t ~line ~word <> None

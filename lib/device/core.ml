@@ -3,7 +3,17 @@ module Stats = Spandex_util.Stats
 
 type ctx_state = Ready | Waiting | Finished
 
-type context = { ops : Ops.t array; mutable pc : int; mutable state : ctx_state }
+type context = {
+  ops : Ops.t array;
+  mutable pc : int;
+  mutable state : ctx_state;
+  (* Preallocated continuations (wired in [create]): issuing an op is the
+     per-op hot path, so completion callbacks must not allocate a fresh
+     closure each time.  [wake] reads [pc]/[state] at call time, so one
+     closure per context is enough. *)
+  mutable wake : unit -> unit;
+  mutable wake_int : int -> unit;  (* [wake] discarding a loaded value. *)
+}
 
 type t = {
   engine : Engine.t;
@@ -27,44 +37,8 @@ type t = {
   mutable issue_armed : bool;
   mutable next_slot : int;
   mutable done_count : int;
+  mutable issue_thunk : unit -> unit;  (* preallocated issue-slot event. *)
 }
-
-let create engine ~port ~barriers ~check_log ~core_id ~clock ~programs =
-  assert (clock >= 1);
-  let contexts =
-    Array.map
-      (fun ops ->
-        { ops; pc = 0; state = (if Array.length ops = 0 then Finished else Ready) })
-      programs
-  in
-  let done_count =
-    Array.fold_left
-      (fun acc c -> if c.state = Finished then acc + 1 else acc)
-      0 contexts
-  in
-  let stats = Stats.create () in
-  {
-    engine;
-    port;
-    barriers;
-    check_log;
-    core_id;
-    clock;
-    contexts;
-    stats;
-    k_ops = Stats.key stats "ops";
-    k_loads = Stats.key stats "loads";
-    k_stores = Stats.key stats "stores";
-    k_rmws = Stats.key stats "rmws";
-    k_acquires = Stats.key stats "acquires";
-    k_releases = Stats.key stats "releases";
-    k_barriers = Stats.key stats "barriers";
-    k_compute = Stats.key stats "compute";
-    rr = 0;
-    issue_armed = false;
-    next_slot = 0;
-    done_count;
-  }
 
 let next_ready t =
   let n = Array.length t.contexts in
@@ -81,9 +55,7 @@ let rec arm t =
     t.issue_armed <- true;
     let now = Engine.now t.engine in
     let time = if t.next_slot > now then t.next_slot else now in
-    Engine.at t.engine ~time (fun () ->
-        t.issue_armed <- false;
-        issue t)
+    Engine.at t.engine ~time t.issue_thunk
   end
 
 and issue t =
@@ -96,19 +68,12 @@ and issue t =
     let op = ctx.ops.(ctx.pc) in
     ctx.pc <- ctx.pc + 1;
     Stats.bump t.stats t.k_ops;
-    let wake () =
-      if ctx.pc >= Array.length ctx.ops then begin
-        ctx.state <- Finished;
-        t.done_count <- t.done_count + 1
-      end
-      else ctx.state <- Ready;
-      arm t
-    in
+    let wake = ctx.wake in
     ctx.state <- Waiting;
     (match op with
     | Ops.Load a ->
       Stats.bump t.stats t.k_loads;
-      t.port.Port.load a ~k:(fun _v -> wake ())
+      t.port.Port.load a ~k:ctx.wake_int
     | Ops.Check (a, expected) ->
       Stats.bump t.stats t.k_loads;
       t.port.Port.load a ~k:(fun actual ->
@@ -128,7 +93,7 @@ and issue t =
       t.port.Port.store a ~value ~k:wake
     | Ops.Rmw (a, amo) ->
       Stats.bump t.stats t.k_rmws;
-      t.port.Port.rmw a amo ~k:(fun _old -> wake ())
+      t.port.Port.rmw a amo ~k:ctx.wake_int
     | Ops.Acquire ->
       Stats.bump t.stats t.k_acquires;
       t.port.Port.acquire ~k:wake
@@ -154,6 +119,70 @@ and issue t =
       Engine.schedule t.engine ~delay:(n * t.clock) wake);
     (* Keep issuing while other contexts are ready. *)
     arm t
+
+let create engine ~port ~barriers ~check_log ~core_id ~clock ~programs =
+  assert (clock >= 1);
+  let contexts =
+    Array.map
+      (fun ops ->
+        {
+          ops;
+          pc = 0;
+          state = (if Array.length ops = 0 then Finished else Ready);
+          wake = ignore;
+          wake_int = ignore;
+        })
+      programs
+  in
+  let done_count =
+    Array.fold_left
+      (fun acc c -> if c.state = Finished then acc + 1 else acc)
+      0 contexts
+  in
+  let stats = Stats.create () in
+  let t =
+    {
+      engine;
+      port;
+      barriers;
+      check_log;
+      core_id;
+      clock;
+      contexts;
+      stats;
+      k_ops = Stats.key stats "ops";
+      k_loads = Stats.key stats "loads";
+      k_stores = Stats.key stats "stores";
+      k_rmws = Stats.key stats "rmws";
+      k_acquires = Stats.key stats "acquires";
+      k_releases = Stats.key stats "releases";
+      k_barriers = Stats.key stats "barriers";
+      k_compute = Stats.key stats "compute";
+      rr = 0;
+      issue_armed = false;
+      next_slot = 0;
+      done_count;
+      issue_thunk = ignore;
+    }
+  in
+  Array.iter
+    (fun ctx ->
+      let wake () =
+        if ctx.pc >= Array.length ctx.ops then begin
+          ctx.state <- Finished;
+          t.done_count <- t.done_count + 1
+        end
+        else ctx.state <- Ready;
+        arm t
+      in
+      ctx.wake <- wake;
+      ctx.wake_int <- (fun _v -> wake ()))
+    t.contexts;
+  t.issue_thunk <-
+    (fun () ->
+      t.issue_armed <- false;
+      issue t);
+  t
 
 let start t = arm t
 

@@ -76,9 +76,7 @@ let count_outstanding t p =
 
 let wts_outstanding t = count_outstanding t (function Wt _ -> true | _ -> false)
 
-let send t msg =
-  Engine.schedule t.engine ~delay:t.cfg.hit_latency (fun () ->
-      Network.send t.net msg)
+let send t msg = Engine.send_later t.engine ~delay:t.cfg.hit_latency msg
 
 let request t ~txn ~kind ~line ~mask ?demand ?payload ?amo () =
   let msg =
@@ -236,7 +234,7 @@ let handle_nacks t ~txn (m : miss) (r : Tu.result) =
   end
 
 let rec load t (addr : Addr.t) ~k =
-  let done_ v = Engine.schedule t.engine ~delay:t.cfg.hit_latency (fun () -> k v) in
+  let done_ v = Engine.apply_later t.engine ~delay:t.cfg.hit_latency k v in
   match Store_buffer.forward t.sb ~addr with
   | Some v ->
     Stats.bump t.stats t.k_load_sb_fwd;

@@ -49,9 +49,7 @@ let set_state t line = function
   | P_I -> Hashtbl.remove t.states line
   | s -> Hashtbl.replace t.states line s
 
-let send t msg =
-  Engine.schedule t.engine ~delay:t.cfg.hit_latency (fun () ->
-      Network.send t.net msg)
+let send t msg = Engine.send_later t.engine ~delay:t.cfg.hit_latency msg
 
 let request t ~txn ~kind ~line ?payload () =
   let msg =

@@ -53,9 +53,7 @@ type t = {
   replay : (int, Msg.t list ref) Hashtbl.t option;
 }
 
-let send t msg =
-  Engine.schedule t.engine ~delay:t.cfg.access_latency (fun () ->
-      Network.send t.net msg)
+let send t msg = Engine.send_later t.engine ~delay:t.cfg.access_latency msg
 
 let respond t (req : Msg.t) ~kind ?payload () =
   let msg =

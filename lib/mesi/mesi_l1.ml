@@ -99,9 +99,7 @@ type t = {
   mutable stalled_stores : (unit -> unit) list;
 }
 
-let send t msg =
-  Engine.schedule t.engine ~delay:t.cfg.hit_latency (fun () ->
-      Network.send t.net msg)
+let send t msg = Engine.send_later t.engine ~delay:t.cfg.hit_latency msg
 
 let request t ~txn ~kind ~line ~mask ?payload () =
   let msg =
@@ -280,7 +278,7 @@ and drain t =
 (* ----- loads ---------------------------------------------------------------- *)
 
 let rec load t (addr : Addr.t) ~k =
-  let done_ v = Engine.schedule t.engine ~delay:t.cfg.hit_latency (fun () -> k v) in
+  let done_ v = Engine.apply_later t.engine ~delay:t.cfg.hit_latency k v in
   let { Addr.line; word } = addr in
   match Store_buffer.forward t.sb ~addr with
   | Some v ->
@@ -366,7 +364,7 @@ let rec rmw t (addr : Addr.t) amo ~k =
       l.mstate <- State.M_M;
       let next, old = Amo.apply amo l.data.(word) in
       l.data.(word) <- next;
-      Engine.schedule t.engine ~delay:t.cfg.hit_latency (fun () -> k old)
+      Engine.apply_later t.engine ~delay:t.cfg.hit_latency k old
     | _ -> (
       Stats.bump t.stats t.k_rmw_miss;
       let w =

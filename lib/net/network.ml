@@ -18,20 +18,18 @@ let grouped_topology ~group_of ~local_latency ~cross_latency =
     hops = (fun ~src ~dst -> if group_of src = group_of dst then 1 else 2);
   }
 
-type endpoint = {
-  mutable handler : Msg.t -> unit;
-  mutable ingress_free : int;  (** next cycle the ingress port is free. *)
-}
-
 type t = {
   engine : Engine.t;
   topo : topology;
-  endpoints : (int, endpoint) Hashtbl.t;
+  (* Device ids are small dense ints assigned by [Run], so the endpoint
+     table is a plain array indexed by id (grown on register) instead of a
+     Hashtbl — no hashing on the delivery hot path. *)
+  mutable endpoints : Engine.endpoint option array;
   traffic : int array;  (** flit-hops per category. *)
   stats : Stats.t;
   kind_keys : Stats.key array;  (** per-kind counters, by [Msg.kind_index]. *)
   fault : Fault.t option;  (** active fault-injection plan, if any. *)
-  mutable in_flight : int;
+  in_flight : int ref;
   mutable messages : int;
 }
 
@@ -43,39 +41,31 @@ let category_index = function
   | Msg.Cat_WB -> 4
   | Msg.Cat_Probe -> 5
 
-let create ?fault engine topo =
-  let stats = Stats.create () in
-  let kind_keys =
-    let keys = Array.make Msg.num_kinds (Stats.key stats "ReqV") in
-    List.iter
-      (fun k -> keys.(Msg.kind_index k) <- Stats.key stats (Msg.kind_name k))
-      Msg.all_kinds;
-    keys
-  in
-  {
-    engine;
-    topo;
-    endpoints = Hashtbl.create 64;
-    traffic = Array.make 6 0;
-    stats;
-    kind_keys;
-    fault = Option.map (fun spec -> Fault.create spec ~stats) fault;
-    in_flight = 0;
-    messages = 0;
-  }
-
 let fault t = t.fault
 let faults_enabled t = Option.is_some t.fault
 
 let register t ~id handler =
-  match Hashtbl.find_opt t.endpoints id with
-  | Some ep -> ep.handler <- handler
-  | None -> Hashtbl.add t.endpoints id { handler; ingress_free = 0 }
+  if id < 0 then invalid_arg "Network.register: negative id";
+  if id >= Array.length t.endpoints then begin
+    let grown =
+      Array.make (max (id + 1) (2 * Array.length t.endpoints)) None
+    in
+    Array.blit t.endpoints 0 grown 0 (Array.length t.endpoints);
+    t.endpoints <- grown
+  end;
+  match t.endpoints.(id) with
+  | Some ep -> ep.Engine.handler <- handler
+  | None ->
+    t.endpoints.(id) <-
+      Some { Engine.handler; ingress_free = 0; in_flight = t.in_flight }
 
 let endpoint t id =
-  match Hashtbl.find_opt t.endpoints id with
-  | Some ep -> ep
-  | None -> failwith (Printf.sprintf "Network: unregistered endpoint %d" id)
+  if id < 0 || id >= Array.length t.endpoints then
+    failwith (Printf.sprintf "Network: unregistered endpoint %d" id)
+  else
+    match t.endpoints.(id) with
+    | Some ep -> ep
+    | None -> failwith (Printf.sprintf "Network: unregistered endpoint %d" id)
 
 (* Read eagerly at module init (always the main domain): forcing a [lazy]
    concurrently from several domains is unsafe, and parallel sweeps send
@@ -109,22 +99,14 @@ let send t (msg : Msg.t) =
   t.messages <- t.messages + 1;
   Stats.bump t.stats t.kind_keys.(Msg.kind_index msg.kind);
   let latency = t.topo.latency ~src:msg.src ~dst:msg.dst in
-  let deliver ~delay =
-    t.in_flight <- t.in_flight + 1;
-    Engine.schedule t.engine ~delay (fun () ->
-        let ep = endpoint t msg.dst in
-        let now = Engine.now t.engine in
-        (* One message per cycle drains the ingress port. *)
-        let deliver_at =
-          if ep.ingress_free > now then ep.ingress_free else now
-        in
-        ep.ingress_free <- deliver_at + 1;
-        Engine.at t.engine ~time:deliver_at (fun () ->
-            t.in_flight <- t.in_flight - 1;
-            ep.handler msg))
-  in
+  (* Closure-free hot path: enqueue a typed [Deliver] event; the engine
+     applies the one-message-per-cycle ingress drain and invokes
+     [ep.handler] (decrementing [in_flight]) from the [Handle] event. *)
+  let ep = endpoint t msg.dst in
   match t.fault with
-  | None -> deliver ~delay:latency
+  | None ->
+    incr t.in_flight;
+    Engine.deliver t.engine ~delay:latency msg ep
   | Some f -> (
     match Fault.route f ~now:(Engine.now t.engine) ~latency msg with
     | Fault.Drop -> ()
@@ -133,10 +115,39 @@ let send t (msg : Msg.t) =
         (fun i delay ->
           (* Duplicate copies occupy the fabric too. *)
           if i > 0 then t.traffic.(cat) <- t.traffic.(cat) + (flits * hops);
-          deliver ~delay)
+          incr t.in_flight;
+          Engine.deliver t.engine ~delay msg ep)
         delays)
 
-let in_flight t = t.in_flight
+let create ?fault engine topo =
+  let stats = Stats.create () in
+  let kind_keys =
+    let keys = Array.make Msg.num_kinds (Stats.key stats "ReqV") in
+    List.iter
+      (fun k -> keys.(Msg.kind_index k) <- Stats.key stats (Msg.kind_name k))
+      Msg.all_kinds;
+    keys
+  in
+  let t =
+    {
+      engine;
+      topo;
+      endpoints = Array.make 64 None;
+      traffic = Array.make 6 0;
+      stats;
+      kind_keys;
+      fault = Option.map (fun spec -> Fault.create spec ~stats) fault;
+      in_flight = ref 0;
+      messages = 0;
+    }
+  in
+  (* Components enqueue outbound messages as typed [Egress] events
+     ({!Engine.send_later}) instead of per-message closures; install the
+     dispatch target once. *)
+  Engine.set_egress engine (send t);
+  t
+
+let in_flight t = !(t.in_flight)
 let traffic_flits t cat = t.traffic.(category_index cat)
 let total_flits t = Array.fold_left ( + ) 0 t.traffic
 let messages_sent t = t.messages

@@ -38,11 +38,14 @@ val faults_enabled : t -> bool
 
 val register : t -> id:Spandex_proto.Msg.device_id -> (Spandex_proto.Msg.t -> unit) -> unit
 (** Attach the handler invoked when a message for [id] is delivered.
-    Re-registering an id replaces its handler. *)
+    Endpoints live in a dense array indexed by device id (ids are small
+    dense ints assigned by [Run]).  Re-registering an id replaces its
+    handler. *)
 
 val send : t -> Spandex_proto.Msg.t -> unit
-(** Enqueue [msg] for delivery to [msg.dst].  Raises if the destination was
-    never registered (checked at delivery time). *)
+(** Enqueue [msg] for delivery to [msg.dst] as a closure-free typed engine
+    event.  Raises if the destination was never registered (checked at
+    send time). *)
 
 val in_flight : t -> int
 (** Messages sent but not yet delivered; used for quiescence checks. *)

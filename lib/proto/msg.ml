@@ -34,18 +34,35 @@ type t = {
   amo : Amo.t option;
 }
 
+(* Per-message construction checks (payload length, demand ⊆ mask) run on
+   every send, so bench runs turn them off: default on (tests exercise
+   them under dune runtest), SPANDEX_CHECKS=0/false/off in the environment
+   or [set_checks false] (used by `spandex_cli bench`) disables them.
+   Read eagerly at module init and only mutated before domains spawn, so
+   parallel sweeps see a settled value. *)
+let checks =
+  ref
+    (match Sys.getenv_opt "SPANDEX_CHECKS" with
+    | Some ("0" | "false" | "off") -> false
+    | Some _ | None -> true)
+
+let set_checks on = checks := on
+let checks_enabled () = !checks
+
 let make ~txn ~kind ~line ~mask ?demand ?(payload = No_data) ~src ~dst
     ?requestor ?(fwd = false) ?amo () =
-  (match payload with
-  | No_data -> ()
-  | Data values ->
-    if Array.length values <> Mask.count mask then
-      invalid_arg
-        (Printf.sprintf "Msg.make: %d values for a %d-word mask"
-           (Array.length values) (Mask.count mask)));
   let demand = match demand with Some d -> d | None -> mask in
-  if not (Mask.subset demand mask) then
-    invalid_arg "Msg.make: demand not a subset of mask";
+  if !checks then begin
+    (match payload with
+    | No_data -> ()
+    | Data values ->
+      if Array.length values <> Mask.count mask then
+        invalid_arg
+          (Printf.sprintf "Msg.make: %d values for a %d-word mask"
+             (Array.length values) (Mask.count mask)));
+    if not (Mask.subset demand mask) then
+      invalid_arg "Msg.make: demand not a subset of mask"
+  end;
   let requestor = match requestor with Some r -> r | None -> src in
   { txn; kind; line; mask; demand; payload; src; dst; requestor; fwd; amo }
 

@@ -77,8 +77,20 @@ val make :
   unit ->
   t
 (** [requestor] defaults to [src]; [demand] to [mask]; [payload] to
-    [No_data]; [fwd] to false.  Checks that a [Data] payload length matches
-    the mask population and that [demand] is a subset of [mask]. *)
+    [No_data]; [fwd] to false.  When construction checks are enabled (see
+    {!set_checks}), raises [Invalid_argument] if a [Data] payload length
+    does not match the mask population or [demand] is not a subset of
+    [mask]. *)
+
+val set_checks : bool -> unit
+(** Enable or disable {!make}'s per-message validation.  Default: on, so
+    the checks run under [dune runtest]; [SPANDEX_CHECKS=0] (also [false]
+    / [off]) in the environment starts with them off, any other value
+    forces them on.  `spandex_cli bench` disables them unless
+    [SPANDEX_CHECKS] is set, keeping validation off the measured hot
+    path.  Only flip this before worker domains spawn. *)
+
+val checks_enabled : unit -> bool
 
 val rsp_of_req : req_kind -> rsp_kind
 (** The response kind paired with each request kind (paper: "Every Spandex

@@ -1,8 +1,42 @@
+module Wheel = Spandex_util.Wheel
+module Pqueue = Spandex_util.Pqueue
+module Msg = Spandex_proto.Msg
+
+type endpoint = {
+  mutable handler : Msg.t -> unit;
+  mutable ingress_free : int;  (** next cycle the ingress port is free. *)
+  in_flight : int ref;  (** owning network's in-flight counter. *)
+}
+
+(* The dominant event kinds are represented as data instead of nested
+   closures: [Deliver] models the message reaching the destination's
+   ingress after the wire latency, [Handle] the ingress granting it (one
+   message per cycle) and invoking the handler, [Egress] a component
+   handing a message to the network after its internal access latency
+   (dispatched through the callback {!set_egress} installs), and [Apply]
+   a completion continuation fired with its result value (load/RMW hits).
+   [Thunk] is the fallback for every other component callback. *)
+type event =
+  | Thunk of (unit -> unit)
+  | Deliver of Msg.t * endpoint
+  | Handle of Msg.t * endpoint
+  | Egress of Msg.t
+  | Apply of (int -> unit) * int
+
+type backend = Wheel_backend | Heap_backend
+
+(* The heap backend is the pre-wheel engine, kept as a reference
+   implementation: pushes go through a single (time, seq) binary heap, so
+   sweeps run on it reproduce the original scheduler bit-for-bit and the
+   test suite can assert the wheel engine matches it. *)
+type queue = Q_wheel of event Wheel.t | Q_heap of event Pqueue.t
+
 type t = {
-  queue : (unit -> unit) Spandex_util.Pqueue.t;
+  queue : queue;
   mutable time : int;
   mutable steps : int;
   mutable step_limit : int;
+  mutable egress : Msg.t -> unit;  (** installed once by [Network.create]. *)
 }
 
 exception Deadlock of string
@@ -19,43 +53,125 @@ let pp_livelock fmt l =
   Format.fprintf fmt "livelock at cycle %d (no progress for %d cycles): %s"
     l.cycle l.stalled_for l.detail
 
-let create () =
+let create ?(backend = Wheel_backend) () =
+  let queue =
+    match backend with
+    | Wheel_backend ->
+      Q_wheel (Wheel.create ~horizon:512 ~dummy:(Thunk ignore) ())
+    | Heap_backend -> Q_heap (Pqueue.create ~capacity:1024 ())
+  in
   {
-    queue = Spandex_util.Pqueue.create ~capacity:1024 ();
+    queue;
     time = 0;
     steps = 0;
     step_limit = 500_000_000;
+    egress = (fun _ -> failwith "Engine: no egress callback installed");
   }
 
 let now t = t.time
+let set_egress t f = t.egress <- f
 
-let at t ~time f =
+let q_push q ~time ev =
+  match q with
+  | Q_wheel w -> Wheel.push w ~time ev
+  | Q_heap h -> Pqueue.push h ~time ev
+
+let at_event t ~time ev =
   if time < t.time then
     invalid_arg
       (Printf.sprintf "Engine.at: time %d is in the past (now %d)" time t.time);
-  Spandex_util.Pqueue.push t.queue ~time f
+  q_push t.queue ~time ev
+
+let at t ~time f = at_event t ~time (Thunk f)
 
 let schedule t ~delay f =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
-  at t ~time:(t.time + delay) f
+  at_event t ~time:(t.time + delay) (Thunk f)
+
+let deliver t ~delay msg ep =
+  if delay < 0 then invalid_arg "Engine.deliver: negative delay";
+  q_push t.queue ~time:(t.time + delay) (Deliver (msg, ep))
+
+let send_later t ~delay msg =
+  if delay < 0 then invalid_arg "Engine.send_later: negative delay";
+  q_push t.queue ~time:(t.time + delay) (Egress msg)
+
+let apply_later t ~delay f v =
+  if delay < 0 then invalid_arg "Engine.apply_later: negative delay";
+  q_push t.queue ~time:(t.time + delay) (Apply (f, v))
+
+let step_limit_hit t =
+  raise
+    (Deadlock
+       (Printf.sprintf "step limit %d exceeded at cycle %d" t.step_limit t.time))
+
+(* The run loops below are specialized per backend so the hot path pays no
+   queue-variant dispatch per event: one match outside the loop instead of
+   one inside each of is-empty / min-time / pop / push.  The wheel loop
+   additionally reads the event time from the cursor after the pop,
+   avoiding a second cursor advance. *)
+
+let wheel_dispatch t w ev =
+  match ev with
+  | Thunk f -> f ()
+  | Deliver (msg, ep) ->
+    (* One message per cycle drains the ingress port; the grant is a
+       separate event so step counts and intra-cycle FIFO order match the
+       closure engine this replaced exactly. *)
+    let deliver_at =
+      if ep.ingress_free > t.time then ep.ingress_free else t.time
+    in
+    ep.ingress_free <- deliver_at + 1;
+    Wheel.push w ~time:deliver_at (Handle (msg, ep))
+  | Handle (msg, ep) ->
+    decr ep.in_flight;
+    ep.handler msg
+  | Egress msg -> t.egress msg
+  | Apply (f, v) -> f v
+
+let heap_dispatch t h ev =
+  match ev with
+  | Thunk f -> f ()
+  | Deliver (msg, ep) ->
+    let deliver_at =
+      if ep.ingress_free > t.time then ep.ingress_free else t.time
+    in
+    ep.ingress_free <- deliver_at + 1;
+    Pqueue.push h ~time:deliver_at (Handle (msg, ep))
+  | Handle (msg, ep) ->
+    decr ep.in_flight;
+    ep.handler msg
+  | Egress msg -> t.egress msg
+  | Apply (f, v) -> f v
 
 let run_all t =
-  let rec loop () =
-    if Spandex_util.Pqueue.is_empty t.queue then t.time
-    else begin
-      t.time <- Spandex_util.Pqueue.min_time t.queue;
-      let f = Spandex_util.Pqueue.pop_min t.queue in
-      t.steps <- t.steps + 1;
-      if t.steps > t.step_limit then
-        raise
-          (Deadlock
-             (Printf.sprintf "step limit %d exceeded at cycle %d" t.step_limit
-                t.time));
-      f ();
-      loop ()
-    end
-  in
-  loop ()
+  match t.queue with
+  | Q_wheel w ->
+    let rec loop () =
+      if Wheel.is_empty w then t.time
+      else begin
+        let ev = Wheel.pop_min w in
+        t.time <- Wheel.current_time w;
+        t.steps <- t.steps + 1;
+        if t.steps > t.step_limit then step_limit_hit t;
+        wheel_dispatch t w ev;
+        loop ()
+      end
+    in
+    loop ()
+  | Q_heap h ->
+    let rec loop () =
+      if Pqueue.is_empty h then t.time
+      else begin
+        t.time <- Pqueue.min_time h;
+        let ev = Pqueue.pop_min h in
+        t.steps <- t.steps + 1;
+        if t.steps > t.step_limit then step_limit_hit t;
+        heap_dispatch t h ev;
+        loop ()
+      end
+    in
+    loop ()
 
 let set_step_limit t n = t.step_limit <- n
 let events_processed t = t.steps
@@ -90,21 +206,40 @@ let install_watchdog t ~interval ~progress ~active ~describe =
   schedule t ~delay:beat check
 
 let run t ~until_done ~pending_desc =
-  let rec loop () =
-    if until_done () then t.time
-    else if Spandex_util.Pqueue.is_empty t.queue then
-      raise (Deadlock (pending_desc ()))
-    else begin
-      t.time <- Spandex_util.Pqueue.min_time t.queue;
-      let f = Spandex_util.Pqueue.pop_min t.queue in
-      t.steps <- t.steps + 1;
-      if t.steps > t.step_limit then
-        raise
-          (Deadlock
-             (Printf.sprintf "step limit %d exceeded at cycle %d: %s"
-                t.step_limit t.time (pending_desc ())));
-      f ();
-      loop ()
-    end
-  in
-  loop ()
+  match t.queue with
+  | Q_wheel w ->
+    let rec loop () =
+      if until_done () then t.time
+      else if Wheel.is_empty w then raise (Deadlock (pending_desc ()))
+      else begin
+        let ev = Wheel.pop_min w in
+        t.time <- Wheel.current_time w;
+        t.steps <- t.steps + 1;
+        if t.steps > t.step_limit then
+          raise
+            (Deadlock
+               (Printf.sprintf "step limit %d exceeded at cycle %d: %s"
+                  t.step_limit t.time (pending_desc ())));
+        wheel_dispatch t w ev;
+        loop ()
+      end
+    in
+    loop ()
+  | Q_heap h ->
+    let rec loop () =
+      if until_done () then t.time
+      else if Pqueue.is_empty h then raise (Deadlock (pending_desc ()))
+      else begin
+        t.time <- Pqueue.min_time h;
+        let ev = Pqueue.pop_min h in
+        t.steps <- t.steps + 1;
+        if t.steps > t.step_limit then
+          raise
+            (Deadlock
+               (Printf.sprintf "step limit %d exceeded at cycle %d: %s"
+                  t.step_limit t.time (pending_desc ())));
+        heap_dispatch t h ev;
+        loop ()
+      end
+    in
+    loop ()

@@ -1,9 +1,16 @@
 (** Discrete-event simulation engine.
 
     A single global event queue ordered by (cycle, insertion order).  All
-    simulated components schedule closures; the engine advances time to the
+    simulated components schedule events; the engine advances time to the
     next event.  Determinism: for a fixed seed and workload the event order
-    is identical across runs. *)
+    is identical across runs.
+
+    The queue is a hierarchical timing wheel ({!Spandex_util.Wheel}):
+    almost every event lands 1–100 cycles ahead, so push/pop are O(1) with
+    FIFO order per cycle preserved by construction; far-future events
+    (watchdog beats, retry backoff) spill to an overflow heap.  The
+    pre-wheel binary-heap scheduler is retained as {!Heap_backend} so
+    tests can assert the two produce bit-identical simulations. *)
 
 type t
 
@@ -25,7 +32,36 @@ exception Livelock of livelock
 
 val pp_livelock : Format.formatter -> livelock -> unit
 
-val create : unit -> t
+type endpoint = {
+  mutable handler : Spandex_proto.Msg.t -> unit;
+  mutable ingress_free : int;  (** next cycle the ingress port is free. *)
+  in_flight : int ref;  (** owning network's in-flight counter. *)
+}
+(** A network delivery target.  Owned by {!Spandex_net.Network}, which
+    keeps them in a dense array indexed by device id; the engine needs the
+    representation to process {!event-Deliver} events without closures. *)
+
+type event =
+  | Thunk of (unit -> unit)  (** generic component callback. *)
+  | Deliver of Spandex_proto.Msg.t * endpoint
+      (** message reaches [endpoint]'s ingress after the wire latency. *)
+  | Handle of Spandex_proto.Msg.t * endpoint
+      (** ingress grant: decrement in-flight and invoke the handler. *)
+  | Egress of Spandex_proto.Msg.t
+      (** component hands a message to the network after its internal
+          access latency; dispatched via the {!set_egress} callback. *)
+  | Apply of (int -> unit) * int
+      (** completion continuation applied to its result value — load and
+          RMW hits, where the callback already exists and only the value
+          varies. *)
+
+type backend =
+  | Wheel_backend  (** timing wheel + overflow heap (default). *)
+  | Heap_backend
+      (** the pre-wheel (time, seq) binary heap, kept as a reference
+          scheduler for bit-identity tests. *)
+
+val create : ?backend:backend -> unit -> t
 
 val now : t -> int
 (** Current simulation cycle. *)
@@ -35,6 +71,26 @@ val schedule : t -> delay:int -> (unit -> unit) -> unit
 
 val at : t -> time:int -> (unit -> unit) -> unit
 (** Schedule at an absolute cycle, which must not be in the past. *)
+
+val deliver : t -> delay:int -> Spandex_proto.Msg.t -> endpoint -> unit
+(** Enqueue a closure-free network-delivery event [delay] cycles ahead:
+    on dispatch the engine applies the one-message-per-cycle ingress
+    drain and re-queues the handler invocation, exactly as the closure
+    pair it replaced (two events per delivered message). *)
+
+val set_egress : t -> (Spandex_proto.Msg.t -> unit) -> unit
+(** Install the callback {!event-Egress} events dispatch to —
+    [Network.create] registers its [send] here so components can enqueue
+    outbound messages without allocating a closure per message. *)
+
+val send_later : t -> delay:int -> Spandex_proto.Msg.t -> unit
+(** Closure-free form of [schedule t ~delay (fun () -> Network.send net
+    msg)]: hands [msg] to the installed egress callback after [delay]
+    cycles.  Fails at dispatch if no callback was installed. *)
+
+val apply_later : t -> delay:int -> (int -> unit) -> int -> unit
+(** Closure-free form of [schedule t ~delay (fun () -> k v)] for integer
+    completion values. *)
 
 val run : t -> until_done:(unit -> bool) -> pending_desc:(unit -> string) -> int
 (** Drain events until [until_done ()] is true; returns the finish cycle.

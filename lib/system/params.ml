@@ -30,6 +30,9 @@ type t = {
   (* Raise [Engine.Livelock] when no core retires an op for this many
      cycles; 0 disables the watchdog. *)
   watchdog_cycles : int;
+  (* Event-queue implementation; [Heap_backend] is the pre-wheel reference
+     scheduler used by bit-identity tests. *)
+  engine_backend : Spandex_sim.Engine.backend;
 }
 
 (* Table VI: 8 CPU cores @2GHz, 16 CUs @700MHz, 32KB 8-way L1s, 4MB GPU L2,
@@ -65,6 +68,7 @@ let default =
     reqs_policy = Spandex.Llc.Reqs_auto;
     fault = None;
     watchdog_cycles = 200_000;
+    engine_backend = Spandex_sim.Engine.Wheel_backend;
   }
 
 let small =

@@ -41,6 +41,10 @@ type t = {
   watchdog_cycles : int;
       (** raise [Engine.Livelock] when no core retires an op for this many
           cycles; 0 disables the watchdog. *)
+  engine_backend : Spandex_sim.Engine.backend;
+      (** event-queue implementation; [Wheel_backend] (the default) is the
+          timing wheel, [Heap_backend] the pre-wheel binary heap kept for
+          bit-identity cross-checks. *)
 }
 
 val default : t

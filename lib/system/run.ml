@@ -25,6 +25,8 @@ type result = {
   checks : int;
   failures : Check_log.failure list;
   stats : Stats.t;
+  minor_words : float;
+  major_collections : int;
 }
 
 type component = {
@@ -120,7 +122,12 @@ let simulate ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
   Workload.validate w;
   Txn.reset ();
   let p = params in
-  let engine = Engine.create () in
+  (* Allocation accounting covers the whole simulation — build + run — so
+     bench harnesses can watch for allocation regressions alongside
+     wall-clock.  Not part of bit-identity (GC counters are per-domain and
+     scheduling-dependent). *)
+  let gc0 = Gc.quick_stat () in
+  let engine = Engine.create ~backend:p.Params.engine_backend () in
   (* Device ids: CPUs, then GPU CUs, then LLC/dir, L2 front, L2 back. *)
   let cpu_id i = i in
   let gpu_id j = p.Params.cpu_cores + j in
@@ -329,6 +336,7 @@ let simulate ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
         (Core.stats c))
     cores;
   Stats.merge_into ~dst:stats ~prefix:"net" (Network.stats net);
+  let gc1 = Gc.quick_stat () in
   {
     cycles;
     total_flits = Network.total_flits net;
@@ -339,6 +347,8 @@ let simulate ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
     checks = Check_log.checks check_log;
     failures = Check_log.failures check_log;
     stats;
+    minor_words = gc1.Gc.minor_words -. gc0.Gc.minor_words;
+    major_collections = gc1.Gc.major_collections - gc0.Gc.major_collections;
   }
 
 let assert_clean r =

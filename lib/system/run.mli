@@ -11,6 +11,13 @@ type result = {
   failures : Spandex_device.Check_log.failure list;
       (** data-value mismatches — any entry is a coherence bug. *)
   stats : Spandex_util.Stats.t;  (** merged per-component counters. *)
+  minor_words : float;
+      (** minor-heap words allocated over the whole simulation (build +
+          run), from [Gc.quick_stat]; divide by [events] for a per-event
+          allocation figure.  Excluded from bit-identity comparisons. *)
+  major_collections : int;
+      (** major GC cycles completed during the simulation; likewise
+          excluded from bit-identity. *)
 }
 
 val simulate :
