@@ -10,7 +10,10 @@
 #   - the total event count differs from the baseline at all (the sweep is
 #     deterministic, so any drift means the simulation itself changed and
 #     the baseline must be regenerated deliberately), or
-#   - the report's sequential/parallel results were not bit-identical.
+#   - the report's sequential/parallel results were not bit-identical, or
+#   - the report's traced verification run diverged from the untraced one
+#     (schema spandex-bench-sweep/3 runs one cell with the transaction
+#     trace enabled and asserts bit-identical results).
 #
 # Refresh the baseline with:
 #   dune exec bin/spandex_cli.exe -- bench --jobs 2 --scale 0.25 \
@@ -30,6 +33,11 @@ failures = []
 
 if not report.get("identical", False):
     failures.append("sequential and parallel sweeps were not bit-identical")
+
+# Schema v3 reports carry a traced verification run; older baselines may
+# not, so only the report is checked.
+if "trace_identical" in report and not report["trace_identical"]:
+    failures.append("traced run diverged from the untraced run")
 
 if report["total_events"] != baseline["total_events"]:
     failures.append(

@@ -6,7 +6,9 @@
      spandex_cli run -w indirection --all-configs --scale 0.5
      spandex_cli sweep --jobs 4   # every workload x every configuration
      spandex_cli bench -o BENCH_sweep.json
-     spandex_cli run -w stress -c SDD --stats --seed 7 *)
+     spandex_cli run -w stress -c SDD --stats --seed 7
+     spandex_cli trace bc -c SMD -o bc.trace.json   # open in Perfetto
+     spandex_cli explain bc --txn 42                # one txn's timeline *)
 
 open Cmdliner
 module Config = Spandex_system.Config
@@ -15,8 +17,10 @@ module Run = Spandex_system.Run
 module Sweep = Spandex_system.Sweep
 module Report = Spandex_system.Report
 module Registry = Spandex_workloads.Registry
+module Trace = Spandex_sim.Trace
+module Hist = Spandex_util.Hist
 
-let params_of ~cpus ~cus ~warps ~fault ~watchdog =
+let params_of ~cpus ~cus ~warps ~fault ~watchdog ~trace =
   let base = Params.bench in
   {
     base with
@@ -26,6 +30,7 @@ let params_of ~cpus ~cus ~warps ~fault ~watchdog =
     fault;
     watchdog_cycles =
       Option.value ~default:base.Params.watchdog_cycles watchdog;
+    trace;
   }
 
 let backend_of = function
@@ -70,6 +75,8 @@ let run_one ~params ~config ~scale ~stats entry =
           r.Run.traffic));
   if params.Params.fault <> None then
     Format.printf "  %a@." Report.pp_fault_summary (Report.fault_summary r);
+  if r.Run.latency <> [] then
+    Format.printf "  @[<v 2>latency (cycles):@,%a@]@." Report.pp_latency r;
   if stats then
     List.iter
       (fun (k, v) -> Printf.printf "  %-40s %d\n" k v)
@@ -135,6 +142,15 @@ let fault_seed_arg =
     & info [ "fault-seed" ]
         ~doc:"Deterministic seed for the fault-injection plan.")
 
+let trace_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Record a transaction-level trace during the run: per-class \
+           latency histograms are printed afterwards.  Results are \
+           bit-identical to an untraced run.")
+
 let watchdog_arg =
   Arg.(
     value & opt (some int) None
@@ -183,7 +199,7 @@ let list_cmd =
 
 let run_cmd =
   let run workload config all_configs scale stats cpus cus warps drop dup delay
-      reorder fault_seed watchdog =
+      reorder fault_seed watchdog trace =
     let entry =
       try Registry.find workload
       with Not_found ->
@@ -192,7 +208,8 @@ let run_cmd =
         exit 1
     in
     let fault = fault_spec_of ~drop ~dup ~delay ~reorder ~seed:fault_seed in
-    let params = params_of ~cpus ~cus ~warps ~fault ~watchdog in
+    let trace = if trace then Some Trace.default_spec else None in
+    let params = params_of ~cpus ~cus ~warps ~fault ~watchdog ~trace in
     let configs =
       if all_configs then Config.all
       else
@@ -212,7 +229,7 @@ let run_cmd =
       const run $ workload_arg $ config_arg $ all_configs_arg $ scale_arg
       $ stats_arg $ cpus_arg $ cus_arg $ warps_arg $ fault_drop_arg
       $ fault_dup_arg $ fault_delay_arg $ fault_reorder_arg $ fault_seed_arg
-      $ watchdog_arg)
+      $ watchdog_arg $ trace_flag_arg)
 
 (* The (workload x config) job matrix: every non-stress registry entry on
    every cache configuration, in registry order. *)
@@ -274,6 +291,197 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"Run every workload on every configuration")
     Term.(const run $ scale_arg $ jobs_arg)
+
+(* --- trace / explain: transaction-level observability ------------------------ *)
+
+let find_entry name =
+  try Registry.find name
+  with Not_found ->
+    Printf.eprintf "unknown workload %s (try: %s)\n" name
+      (String.concat ", " Registry.names);
+    exit 1
+
+let find_config = function
+  | None -> Config.smd
+  | Some name -> (
+    try Config.by_name name
+    with Not_found ->
+      Printf.eprintf "unknown configuration %s\n" name;
+      exit 1)
+
+let simulate_traced ~params ~config entry ~scale =
+  let geom = Registry.geometry_of_params params in
+  let wl = entry.Registry.build ~scale geom in
+  let r = Run.simulate ~params ~config wl in
+  Run.assert_clean r;
+  r
+
+let device_name_of (r : Run.result) id =
+  if id >= 0 && id < Array.length r.Run.device_names then
+    r.Run.device_names.(id)
+  else Printf.sprintf "dev%d" id
+
+let workload_pos_arg =
+  let doc =
+    Printf.sprintf "Workload to trace; one of: %s."
+      (String.concat ", " Registry.names)
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+
+let trace_cmd =
+  let run workload config scale format out capacity sample_every drop dup delay
+      reorder fault_seed =
+    let entry = find_entry workload in
+    let config = find_config config in
+    let spec = { Trace.capacity; sample_every } in
+    let fault = fault_spec_of ~drop ~dup ~delay ~reorder ~seed:fault_seed in
+    let params = { Params.bench with Params.trace = Some spec; fault } in
+    let r = simulate_traced ~params ~config entry ~scale in
+    let tr = r.Run.trace in
+    let out =
+      match out with
+      | Some o -> o
+      | None ->
+        Printf.sprintf "TRACE_%s_%s.%s" entry.Registry.name config.Config.name
+          (if format = "jsonl" then "jsonl" else "json")
+    in
+    let buf = Buffer.create (1 lsl 16) in
+    (match format with
+    | "chrome" -> Trace.export_chrome tr ~device_name:(device_name_of r) buf
+    | "jsonl" -> Trace.export_jsonl tr ~device_name:(device_name_of r) buf
+    | f ->
+      Printf.eprintf "unknown trace format %s (chrome or jsonl)\n" f;
+      exit 1);
+    let oc = open_out out in
+    Buffer.output_buffer oc buf;
+    close_out oc;
+    Printf.printf "%s %s: %d events recorded (%d dropped, %d open spans)\n"
+      entry.Registry.name config.Config.name (Trace.recorded tr)
+      (Trace.dropped tr) (Trace.open_spans tr);
+    Format.printf "@[<v 2>latency (cycles):@,%a@]@." Report.pp_latency r;
+    Printf.printf "wrote %s%s\n" out
+      (if format = "chrome" then " (load it at https://ui.perfetto.dev)"
+       else "")
+  in
+  let format_arg =
+    Arg.(
+      value & opt string "chrome"
+      & info [ "format" ]
+          ~doc:
+            "Export format: 'chrome' (Chrome trace-event JSON, loadable in \
+             Perfetto or chrome://tracing) or 'jsonl' (one JSON object per \
+             line for ad-hoc analysis).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ]
+          ~doc:"Output path (default TRACE_<workload>_<config>.<ext>).")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int Trace.default_spec.Trace.capacity
+      & info [ "capacity" ]
+          ~doc:
+            "Trace ring capacity in events (rounded up to a power of two); \
+             the oldest events are dropped once it fills.")
+  in
+  let sample_every_arg =
+    Arg.(
+      value & opt int Trace.default_spec.Trace.sample_every
+      & info [ "sample-every" ]
+          ~doc:"Cycles between occupancy counter samples.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one workload with transaction tracing enabled and export the \
+          trace (Chrome trace-event JSON for Perfetto, or JSONL).  The \
+          simulated results are bit-identical to an untraced run.")
+    Term.(
+      const run $ workload_pos_arg $ config_arg $ scale_arg $ format_arg
+      $ out_arg $ capacity_arg $ sample_every_arg $ fault_drop_arg
+      $ fault_dup_arg $ fault_delay_arg $ fault_reorder_arg $ fault_seed_arg)
+
+let explain_cmd =
+  let run workload config scale txn capacity drop dup delay reorder fault_seed
+      =
+    let entry = find_entry workload in
+    let config = find_config config in
+    (* Sparse counter samples: the ring budget goes to the protocol events
+       [explain] actually renders. *)
+    let spec = { Trace.capacity; sample_every = 1 lsl 20 } in
+    let fault = fault_spec_of ~drop ~dup ~delay ~reorder ~seed:fault_seed in
+    let params = { Params.bench with Params.trace = Some spec; fault } in
+    let r = simulate_traced ~params ~config entry ~scale in
+    let tr = r.Run.trace in
+    let dev = device_name_of r in
+    (* The transaction family: the requested txn plus every successor
+       linked by a txn.chain instant (timeout re-issues reuse the same txn
+       id; protocol-level retries and conversions allocate a new one and
+       record the link). *)
+    let family = Hashtbl.create 8 in
+    Hashtbl.replace family txn ();
+    let shown = ref 0 in
+    Printf.printf "txn %d in %s on %s:\n" txn entry.Registry.name
+      config.Config.name;
+    Trace.iter tr ~f:(fun ev ->
+        let mem t = Hashtbl.mem family t in
+        match ev with
+        | Trace.Span_begin { time; dev = d; txn = t; cls; line } when mem t ->
+          incr shown;
+          Printf.printf "%10d  %-14s txn=%-6d issue %s line=0x%x\n" time
+            (dev d) t (Trace.cls_name cls) line
+        | Trace.Span_end { time; dev = d; txn = t; cls; latency } when mem t ->
+          incr shown;
+          Printf.printf "%10d  %-14s txn=%-6d complete %s (latency %d)\n" time
+            (dev d) t (Trace.cls_name cls) latency
+        | Trace.Instant { time; dev = d; name; txn = t; arg } when mem t ->
+          incr shown;
+          if name = "txn.chain" then begin
+            Hashtbl.replace family arg ();
+            Printf.printf "%10d  %-14s txn=%-6d continues as txn %d\n" time
+              (dev d) t arg
+          end
+          else
+            Printf.printf "%10d  %-14s txn=%-6d %s (arg %d)\n" time (dev d) t
+              name arg
+        | Trace.Msg_send { time; src; dst; txn = t; kind; line } when mem t ->
+          incr shown;
+          Printf.printf "%10d  %-14s txn=%-6d %s -> %s line=0x%x\n" time
+            (dev src) t (Trace.kind_name kind) (dev dst) line
+        | _ -> ());
+    if !shown = 0 then
+      Printf.printf
+        "  no events (txn id out of range, or evicted from the ring — retry \
+         with a larger --capacity)\n"
+    else if Trace.dropped tr > 0 then
+      Printf.printf
+        "  note: ring dropped %d events; early history may be missing (use \
+         --capacity to keep more)\n"
+        (Trace.dropped tr)
+  in
+  let txn_arg =
+    Arg.(
+      required & opt (some int) None
+      & info [ "txn" ] ~doc:"Transaction id to reconstruct.")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int (1 lsl 21)
+      & info [ "capacity" ]
+          ~doc:"Trace ring capacity in events while reconstructing.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Re-run one workload with tracing and print a single transaction's \
+          timeline: issue, network messages, retries, fault injections, \
+          nacks, protocol-level follow-on transactions, and completion.")
+    Term.(
+      const run $ workload_pos_arg $ config_arg $ scale_arg $ txn_arg
+      $ capacity_arg $ fault_drop_arg $ fault_dup_arg $ fault_delay_arg
+      $ fault_reorder_arg $ fault_seed_arg)
 
 (* --- bench: machine-readable perf harness ----------------------------------- *)
 
@@ -367,9 +575,23 @@ let bench_cmd =
       List.fold_left (fun acc (_, r, _) -> acc + r.Run.major_collections) 0 seq
     in
     let speedup = seq_wall /. max 1e-9 par_wall in
+    (* One traced re-run of the first cell: asserts tracing does not change
+       simulated results and supplies the per-class latency section. *)
+    let traced =
+      match (cells, seq) with
+      | (j : Sweep.job) :: _, (_, base, _) :: _ ->
+        let tparams =
+          { j.Sweep.params with Params.trace = Some Trace.default_spec }
+        in
+        let tr =
+          Run.simulate ~params:tparams ~config:j.Sweep.config j.Sweep.workload
+        in
+        Some (j, tr, Report.same_result base tr)
+      | _ -> None
+    in
     let buf = Buffer.create 4096 in
     Printf.bprintf buf "{\n";
-    Printf.bprintf buf "  \"schema\": \"spandex-bench-sweep/2\",\n";
+    Printf.bprintf buf "  \"schema\": \"spandex-bench-sweep/3\",\n";
     Printf.bprintf buf "  \"scale\": %g,\n" scale;
     Printf.bprintf buf "  \"jobs\": %d,\n" jobs;
     Printf.bprintf buf "  \"engine\": %s,\n" (json_string engine);
@@ -394,6 +616,27 @@ let bench_cmd =
     Printf.bprintf buf "  \"major_collections_total\": %d,\n"
       total_major_collections;
     Printf.bprintf buf "  \"identical\": %b,\n" (divergences = []);
+    (match traced with
+    | None -> ()
+    | Some (j, tr, same) ->
+      Printf.bprintf buf "  \"trace_identical\": %b,\n" same;
+      Printf.bprintf buf "  \"latency_workload\": %s,\n"
+        (json_string j.Sweep.label);
+      Printf.bprintf buf "  \"latency_config\": %s,\n"
+        (json_string j.Sweep.config.Config.name);
+      Printf.bprintf buf "  \"latency\": {\n";
+      let rows = tr.Run.latency in
+      let nrows = List.length rows in
+      List.iteri
+        (fun i (name, (s : Hist.summary)) ->
+          Printf.bprintf buf
+            "    %s: { \"count\": %d, \"p50\": %d, \"p90\": %d, \"p99\": %d, \
+             \"max\": %d, \"mean\": %.2f }%s\n"
+            (json_string name) s.Hist.count s.Hist.p50 s.Hist.p90 s.Hist.p99
+            s.Hist.max s.Hist.mean
+            (if i = nrows - 1 then "" else ","))
+        rows;
+      Printf.bprintf buf "  },\n");
     Printf.bprintf buf "  \"simulations\": [\n";
     List.iteri
       (fun i ((j : Sweep.job), (r : Run.result), wall) ->
@@ -429,7 +672,23 @@ let bench_cmd =
         (List.length divergences);
       List.iter (fun d -> Printf.eprintf "  %s\n" d) divergences;
       exit 1
-    end
+    end;
+    match traced with
+    | Some (j, tr, false) ->
+      Printf.eprintf "FAIL: traced run of %s %s diverged from untraced: %s\n"
+        j.Sweep.label j.Sweep.config.Config.name
+        (match
+           List.find_opt
+             (fun (j', _, _) ->
+               j'.Sweep.label = j.Sweep.label
+               && j'.Sweep.config.Config.name = j.Sweep.config.Config.name)
+             seq
+         with
+        | Some (_, base, _) ->
+          Option.value ~default:"(no field diff)" (Report.diff_result base tr)
+        | None -> "(baseline missing)");
+      exit 1
+    | _ -> ()
   in
   let workloads_arg =
     Arg.(
@@ -529,4 +788,13 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; run_cmd; sweep_cmd; bench_cmd; soak_cmd ]))
+       (Cmd.group info
+          [
+            list_cmd;
+            run_cmd;
+            sweep_cmd;
+            trace_cmd;
+            explain_cmd;
+            bench_cmd;
+            soak_cmd;
+          ]))

@@ -4,8 +4,9 @@
 
    Recreates the four request flows of Figure 1 on a tiny flat Spandex
    system — a DeNovo "accelerator", a GPU-coherence cache, and a MESI cache
-   attached to one Spandex LLC — with network tracing enabled, so every
-   Req/Rsp/probe appears on stderr in order:
+   attached to one Spandex LLC — with the transaction trace sink armed, so
+   every Req/Rsp/probe is replayed in order afterwards, followed by the
+   per-request-class latency histograms:
 
      1a: word-granularity ReqO then ReqWT to disjoint words of one line
      1b: ReqWT+data (atomic at the LLC) for remotely owned data (RvkO)
@@ -14,6 +15,8 @@
          downgrade + write-back of the rest) *)
 
 module Engine = Spandex_sim.Engine
+module Trace = Spandex_sim.Trace
+module Hist = Spandex_util.Hist
 module Network = Spandex_net.Network
 module Addr = Spandex_proto.Addr
 module Amo = Spandex_proto.Amo
@@ -27,9 +30,18 @@ let gpu_id = 1
 let mesi_id = 2
 let llc_id = 3
 
+let device_name = function
+  | 0 -> "acc"
+  | 1 -> "gpu"
+  | 2 -> "mesi"
+  | 3 -> "llc"
+  | d -> Printf.sprintf "dev%d" d
+
 let () =
-  Unix.putenv "SPANDEX_TRACE" "1";
-  let engine = Engine.create () in
+  let trace =
+    Trace.create { Trace.capacity = 1 lsl 12; sample_every = 1 lsl 20 }
+  in
+  let engine = Engine.create ~trace () in
   let net = Network.create engine (Network.flat_topology ~latency:4) in
   let dram = Dram.create engine ~latency:20 ~service_interval:1 in
   let _llc =
@@ -143,10 +155,13 @@ let () =
       ("Fig 1d: GPU word ReqWT on a MESI-owned line (partial downgrade)", fig_1d);
     ]
   in
+  (* Banners are stamped with the cycle each scenario starts at, then
+     interleaved with the recorded message events during the replay. *)
+  let banners = ref [] in
   let rec run_steps = function
     | [] -> finished := true
     | (name, step) :: rest ->
-      Printf.eprintf "\n--- %s (cycle %d)\n%!" name (Engine.now engine);
+      banners := (Engine.now engine, name) :: !banners;
       step (fun () -> run_steps rest)
   in
   run_steps steps;
@@ -158,4 +173,29 @@ let () =
         && Network.in_flight net = 0)
       ~pending_desc:(fun () -> "protocol trace demo")
   in
+  let pending_banners = ref (List.rev !banners) in
+  let flush_banners upto =
+    let rec go () =
+      match !pending_banners with
+      | (cycle, name) :: rest when cycle <= upto ->
+        Printf.printf "\n--- %s (cycle %d)\n" name cycle;
+        pending_banners := rest;
+        go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  Trace.iter trace ~f:(fun ev ->
+      match ev with
+      | Trace.Msg_send { time; src; dst; txn; kind; line } ->
+        flush_banners time;
+        Printf.printf "%4d  %-4s -> %-4s %-10s line=%d txn=%d\n" time
+          (device_name src) (device_name dst) (Trace.kind_name kind) line txn
+      | _ -> ());
+  Printf.printf "\nper-class latency (cycles):\n";
+  List.iter
+    (fun (cls, (s : Hist.summary)) ->
+      Printf.printf "  %-10s count=%-3d p50=%-4d p99=%-4d max=%d\n" cls
+        s.Hist.count s.Hist.p50 s.Hist.p99 s.Hist.max)
+    (Trace.latency_summaries trace);
   Printf.printf "\nall four Figure-1 scenarios completed in %d cycles.\n" cycles

@@ -1,6 +1,7 @@
 module Mask = Spandex_util.Mask
 module Stats = Spandex_util.Stats
 module Engine = Spandex_sim.Engine
+module Trace = Spandex_sim.Trace
 module Msg = Spandex_proto.Msg
 module Addr = Spandex_proto.Addr
 module State = Spandex_proto.State
@@ -78,6 +79,11 @@ type t = {
      instead of reprocessing — so a retried ReqWTdata cannot apply its AMO
      twice and a retried ReqOdata gets the original data grant back. *)
   replay : (int, Msg.t list ref) Hashtbl.t option;
+  trace : Trace.t;
+  n_replay : int;  (** interned trace names (0 on a disabled sink). *)
+  n_recall : int;
+  n_pending : int;
+  n_blocked : int;
 }
 
 let fresh_meta () =
@@ -724,21 +730,26 @@ and start_recall t line meta (r : recall_req) =
 and handle_recall t ~line ~kind ~k =
   match Cache_frame.find t.frame ~line with
   | None ->
-    if Sys.getenv_opt "SPANDEX_TRACE" <> None then
-      Format.eprintf "@%d RECALL line=%d absent@." (Engine.now t.engine) line;
+    (* arg -1: the line is absent (answered from a write-back record). *)
+    if Trace.on t.trace then
+      Trace.instant t.trace ~time:(Engine.now t.engine)
+        ~dev:(bank_of t.cfg line) ~name:t.n_recall ~txn:(-1) ~arg:(-1);
     k None
   | Some meta ->
     let r = { rkind = kind; rk = k } in
-    if Sys.getenv_opt "SPANDEX_TRACE" <> None then
-      Format.eprintf "@%d RECALL line=%d pending=%s@." (Engine.now t.engine)
-        line
-        (match meta.pending with
-        | None -> "none"
-        | Some (Fetching _) -> "fetching"
-        | Some Upgrading -> "upgrading"
-        | Some (Collecting_acks _) -> "acks"
-        | Some (Awaiting_wb _) -> "wb"
-        | Some (Purging _) -> "purging");
+    (* arg encodes the pending state the recall found: 0 idle, then the
+       1-based constructor index of [pending]. *)
+    if Trace.on t.trace then
+      Trace.instant t.trace ~time:(Engine.now t.engine)
+        ~dev:(bank_of t.cfg line) ~name:t.n_recall ~txn:(-1)
+        ~arg:
+          (match meta.pending with
+          | None -> 0
+          | Some (Fetching _) -> 1
+          | Some Upgrading -> 2
+          | Some (Collecting_acks _) -> 3
+          | Some (Awaiting_wb _) -> 4
+          | Some (Purging _) -> 5);
     if meta.pending = None then start_recall t line meta r
     else meta.recalls <- meta.recalls @ [ r ]
 
@@ -759,6 +770,10 @@ let arrival t (msg : Msg.t) =
       (* Duplicate or retried request: replay what we already answered
          (possibly nothing yet, if the original is still blocked). *)
       Stats.incr t.stats "replayed";
+      if Trace.on t.trace then
+        Trace.instant t.trace ~time:(Engine.now t.engine)
+          ~dev:(bank_of t.cfg msg.Msg.line) ~name:t.n_replay ~txn:msg.Msg.txn
+          ~arg:(List.length !sent);
       List.iter (fun m -> send t m) (List.rev !sent)
     | None ->
       Hashtbl.add table msg.Msg.txn (ref []);
@@ -767,6 +782,7 @@ let arrival t (msg : Msg.t) =
 
 let create engine net backing cfg =
   let stats = Stats.create () in
+  let trace = Engine.trace engine in
   let t =
     {
       engine;
@@ -786,6 +802,11 @@ let create engine net backing cfg =
       replay =
         (if Network.faults_enabled net then Some (Hashtbl.create 256)
          else None);
+      trace;
+      n_replay = Trace.name trace "llc.replay";
+      n_recall = Trace.name trace "llc.recall";
+      n_pending = Trace.name trace "llc.pending";
+      n_blocked = Trace.name trace "llc.blocked";
     }
   in
   for b = 0 to cfg.banks - 1 do
@@ -794,6 +815,17 @@ let create engine net backing cfg =
   backing.Backing.set_recall_handler (fun ~line ~kind ~k ->
       handle_recall t ~line ~kind ~k);
   t
+
+let trace_sample t ~time =
+  let pending, blocked =
+    Cache_frame.fold t.frame ~init:(0, 0) ~f:(fun (p, b) ~line:_ m ->
+        ( (if m.pending = None then p else p + 1),
+          b + List.length m.blocked ))
+  in
+  Trace.counter t.trace ~time ~dev:t.cfg.llc_id ~name:t.n_pending
+    ~value:pending;
+  Trace.counter t.trace ~time ~dev:t.cfg.llc_id ~name:t.n_blocked
+    ~value:blocked
 
 let quiescent t =
   Cache_frame.fold t.frame ~init:true ~f:(fun acc ~line:_ m ->

@@ -65,6 +65,11 @@ val quiescent : t -> bool
 val describe_pending : t -> string
 val stats : t -> Spandex_util.Stats.t
 
+val trace_sample : t -> time:int -> unit
+(** Record the number of lines with a pending operation and the total
+    blocked-request queue depth into the engine's trace sink
+    (["llc.pending"] / ["llc.blocked"] counters); no-op when disabled. *)
+
 (** {2 Introspection for tests} *)
 
 val line_state : t -> line:int -> Spandex_proto.State.llc_line option

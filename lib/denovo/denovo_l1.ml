@@ -2,6 +2,7 @@ module Mask = Spandex_util.Mask
 module Stats = Spandex_util.Stats
 module Retry = Spandex_util.Retry
 module Engine = Spandex_sim.Engine
+module Trace = Spandex_sim.Trace
 module Msg = Spandex_proto.Msg
 module Addr = Spandex_proto.Addr
 module Amo = Spandex_proto.Amo
@@ -121,6 +122,12 @@ type t = {
   (* End-to-end request retries; armed only when the network injects
      faults, so fault-free runs are bit-identical to the reliable model. *)
   retry : Retry.t option;
+  trace : Trace.t;
+  n_retry : int;  (** interned trace names (0 on a disabled sink). *)
+  n_nack : int;
+  n_chain : int;
+  n_mshr : int;
+  n_sb : int;
   mutable epoch : int;
   mutable flushing : bool;
   mutable drain_armed : bool;
@@ -135,18 +142,38 @@ let request t ~txn ~kind ~line ~mask ?demand ?payload ?amo () =
     Msg.make ~txn ~kind:(Msg.Req kind) ~line ~mask ?demand ?payload
       ~src:t.cfg.id ~dst:(t.cfg.llc_id + (line mod t.cfg.llc_banks)) ?amo ()
   in
+  if Trace.on t.trace then
+    Trace.span_begin t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id ~txn
+      ~cls:(Msg.req_kind_index kind) ~line;
   Option.iter
     (fun r ->
+      let resend =
+        if Trace.on t.trace then (fun () ->
+            Trace.instant t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id
+              ~name:t.n_retry ~txn ~arg:(Msg.req_kind_index kind);
+            Network.send t.net msg)
+        else fun () -> Network.send t.net msg
+      in
       Retry.arm r ~txn
         ~describe:(Format.asprintf "%a line %d" Msg.pp_kind (Msg.Req kind) line)
-        ~resend:(fun () -> Network.send t.net msg))
+        ~resend)
     t.retry;
   send t msg
 
 (* Retire [txn]: free the MSHR entry and cancel any retry timer. *)
 let free_txn t ~txn =
   Mshr.free t.outstanding ~txn;
-  Option.iter (fun r -> Retry.complete r ~txn) t.retry
+  Option.iter (fun r -> Retry.complete r ~txn) t.retry;
+  if Trace.on t.trace then
+    Trace.span_end t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id ~txn
+
+(* A protocol-level follow-up transaction (ReqV retry / ReqO conversion /
+   re-issued RMW): link predecessor to successor so `explain` can follow
+   the chain. *)
+let trace_chain t ~txn ~txn' =
+  if Trace.on t.trace then
+    Trace.instant t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id
+      ~name:t.n_chain ~txn ~arg:txn'
 
 let reply t (msg : Msg.t) ~kind ~dst ~mask ?payload () =
   if not (Mask.is_empty mask) then
@@ -441,6 +468,9 @@ and complete_read t ~txn (m : read_miss) (r : Tu.result) =
   drain t
 
 and handle_read_nacks t ~txn (m : read_miss) (r : Tu.result) =
+  if Trace.on t.trace then
+    Trace.instant t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id
+      ~name:t.n_nack ~txn ~arg:(Mask.count r.Tu.nacked);
   free_txn t ~txn;
   if m.r_retries < t.cfg.max_reqv_retries then begin
     Stats.incr t.stats "reqv_retry";
@@ -455,7 +485,8 @@ and handle_read_nacks t ~txn (m : read_miss) (r : Tu.result) =
     match Mshr.alloc t.outstanding (Read m') with
     | Some txn' ->
       request t ~txn:txn' ~kind:Msg.ReqV ~line:m.r_line ~mask:r.Tu.nacked
-        ~demand:r.Tu.nacked ()
+        ~demand:r.Tu.nacked ();
+      trace_chain t ~txn ~txn'
     | None -> assert false
   end
   else begin
@@ -472,7 +503,8 @@ and handle_read_nacks t ~txn (m : read_miss) (r : Tu.result) =
     match Mshr.alloc t.outstanding (Read m') with
     | Some txn' ->
       request t ~txn:txn' ~kind:Msg.ReqOdata ~line:m.r_line ~mask:r.Tu.nacked
-        ()
+        ();
+      trace_chain t ~txn ~txn'
     | None -> assert false
   end
 
@@ -784,6 +816,9 @@ let handle t (msg : Msg.t) =
     | _ -> failwith "Denovo_l1: unexpected write-back response");
     Hashtbl.remove t.wb_records msg.Msg.txn;
     Option.iter (fun r -> Retry.complete r ~txn:msg.Msg.txn) t.retry;
+    if Trace.on t.trace then
+      Trace.span_end t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id
+        ~txn:msg.Msg.txn;
     drain t
   | Msg.Rsp _ -> (
     match Mshr.find t.outstanding ~txn:msg.Msg.txn with
@@ -867,8 +902,15 @@ let describe_pending t =
     (List.length t.stalled_stores)
     (if shown = [] then "" else " [" ^ String.concat "; " shown ^ "]")
 
+let trace_sample t ~time =
+  Trace.counter t.trace ~time ~dev:t.cfg.id ~name:t.n_mshr
+    ~value:(Mshr.count t.outstanding);
+  Trace.counter t.trace ~time ~dev:t.cfg.id ~name:t.n_sb
+    ~value:(Store_buffer.count t.sb)
+
 let create engine net cfg =
   let stats = Stats.create () in
+  let trace = Engine.trace engine in
   let retry =
     Option.map
       (fun f ->
@@ -902,6 +944,12 @@ let create engine net cfg =
       k_reqo_words = Stats.key stats "reqo_words";
       k_wb_issued = Stats.key stats "wb_issued";
       retry;
+      trace;
+      n_retry = Trace.name trace "retry.resend";
+      n_nack = Trace.name trace "tu.nack";
+      n_chain = Trace.name trace "txn.chain";
+      n_mshr = Trace.name trace (Printf.sprintf "l1.%d.mshr" cfg.id);
+      n_sb = Trace.name trace (Printf.sprintf "l1.%d.sb" cfg.id);
       epoch = 0;
       flushing = false;
       drain_armed = false;

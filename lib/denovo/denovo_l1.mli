@@ -49,6 +49,10 @@ val create : Spandex_sim.Engine.t -> Spandex_net.Network.t -> config -> t
 val port : t -> Spandex_device.Port.t
 val stats : t -> Spandex_util.Stats.t
 
+val trace_sample : t -> time:int -> unit
+(** Record MSHR and store-buffer occupancy into the engine's trace sink
+    (["l1.<id>.mshr"] / ["l1.<id>.sb"] counters); no-op when disabled. *)
+
 (** {2 Test introspection} *)
 
 val word_state : t -> Spandex_proto.Addr.t -> Spandex_proto.State.device

@@ -2,6 +2,7 @@ module Mask = Spandex_util.Mask
 module Stats = Spandex_util.Stats
 module Retry = Spandex_util.Retry
 module Engine = Spandex_sim.Engine
+module Trace = Spandex_sim.Trace
 module Msg = Spandex_proto.Msg
 module Addr = Spandex_proto.Addr
 module Amo = Spandex_proto.Amo
@@ -62,6 +63,12 @@ type t = {
   (* End-to-end request retries; armed only when the network injects
      faults, so fault-free runs are bit-identical to the reliable model. *)
   retry : Retry.t option;
+  trace : Trace.t;
+  n_retry : int;  (** interned trace names (0 on a disabled sink). *)
+  n_nack : int;
+  n_chain : int;
+  n_mshr : int;
+  n_sb : int;
   mutable epoch : int;
   mutable flushing : bool;
   mutable drain_armed : bool;
@@ -83,18 +90,36 @@ let request t ~txn ~kind ~line ~mask ?demand ?payload ?amo () =
     Msg.make ~txn ~kind:(Msg.Req kind) ~line ~mask ?demand ?payload
       ~src:t.cfg.id ~dst:(t.cfg.llc_id + (line mod t.cfg.llc_banks)) ?amo ()
   in
+  if Trace.on t.trace then
+    Trace.span_begin t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id ~txn
+      ~cls:(Msg.req_kind_index kind) ~line;
   Option.iter
     (fun r ->
+      let resend =
+        if Trace.on t.trace then (fun () ->
+            Trace.instant t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id
+              ~name:t.n_retry ~txn ~arg:(Msg.req_kind_index kind);
+            Network.send t.net msg)
+        else fun () -> Network.send t.net msg
+      in
       Retry.arm r ~txn
         ~describe:(Format.asprintf "%a line %d" Msg.pp_kind (Msg.Req kind) line)
-        ~resend:(fun () -> Network.send t.net msg))
+        ~resend)
     t.retry;
   send t msg
 
 (* Retire [txn]: free the MSHR entry and cancel any retry timer. *)
 let free_txn t ~txn =
   Mshr.free t.outstanding ~txn;
-  Option.iter (fun r -> Retry.complete r ~txn) t.retry
+  Option.iter (fun r -> Retry.complete r ~txn) t.retry;
+  if Trace.on t.trace then
+    Trace.span_end t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id ~txn
+
+(* Link a protocol-level follow-up transaction for `explain`. *)
+let trace_chain t ~txn ~txn' =
+  if Trace.on t.trace then
+    Trace.instant t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id
+      ~name:t.n_chain ~txn ~arg:txn'
 
 (* ----- write-through drain -------------------------------------------------- *)
 
@@ -184,6 +209,9 @@ let complete_miss t ~txn (m : miss) (r : Tu.result) =
 (* A Nacked ReqV raced past an ownership change: retry, then convert to a
    ReqWT+data (performed at the LLC) to enforce ordering (§III-C case 3). *)
 let handle_nacks t ~txn (m : miss) (r : Tu.result) =
+  if Trace.on t.trace then
+    Trace.instant t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id
+      ~name:t.n_nack ~txn ~arg:(Mask.count r.Tu.nacked);
   if m.retries < t.cfg.max_reqv_retries then begin
     m.retries <- m.retries + 1;
     Stats.incr t.stats "reqv_retry";
@@ -206,7 +234,8 @@ let handle_nacks t ~txn (m : miss) (r : Tu.result) =
     (match Mshr.alloc t.outstanding (Miss m') with
     | Some txn' ->
       request t ~txn:txn' ~kind:Msg.ReqV ~line:m.m_line ~mask:r.Tu.nacked
-        ~demand:r.Tu.nacked ()
+        ~demand:r.Tu.nacked ();
+      trace_chain t ~txn ~txn'
     | None -> assert false (* we just freed a slot *))
   end
   else begin
@@ -229,7 +258,8 @@ let handle_nacks t ~txn (m : miss) (r : Tu.result) =
     | Some txn' ->
       Mask.iter r.Tu.nacked ~f:(fun w ->
           request t ~txn:txn' ~kind:Msg.ReqWTdata ~line:m.m_line
-            ~mask:(Mask.singleton w) ~amo:Amo.Read ())
+            ~mask:(Mask.singleton w) ~amo:Amo.Read ());
+      trace_chain t ~txn ~txn'
     | None -> assert false
   end
 
@@ -404,8 +434,15 @@ let describe_pending t =
     (List.length t.stalled_stores)
     (if shown = [] then "" else " [" ^ String.concat "; " shown ^ "]")
 
+let trace_sample t ~time =
+  Trace.counter t.trace ~time ~dev:t.cfg.id ~name:t.n_mshr
+    ~value:(Mshr.count t.outstanding);
+  Trace.counter t.trace ~time ~dev:t.cfg.id ~name:t.n_sb
+    ~value:(Store_buffer.count t.sb)
+
 let create engine net cfg =
   let stats = Stats.create () in
+  let trace = Engine.trace engine in
   let retry =
     Option.map
       (fun f ->
@@ -434,6 +471,12 @@ let create engine net cfg =
       k_wt_issued = Stats.key stats "wt_issued";
       k_wt_words = Stats.key stats "wt_words";
       retry;
+      trace;
+      n_retry = Trace.name trace "retry.resend";
+      n_nack = Trace.name trace "tu.nack";
+      n_chain = Trace.name trace "txn.chain";
+      n_mshr = Trace.name trace (Printf.sprintf "l1.%d.mshr" cfg.id);
+      n_sb = Trace.name trace (Printf.sprintf "l1.%d.sb" cfg.id);
       epoch = 0;
       flushing = false;
       drain_armed = false;

@@ -32,6 +32,10 @@ val create : Spandex_sim.Engine.t -> Spandex_net.Network.t -> config -> t
 val port : t -> Spandex_device.Port.t
 val stats : t -> Spandex_util.Stats.t
 
+val trace_sample : t -> time:int -> unit
+(** Record occupancy counters into the engine's trace sink; no-op when
+    tracing is disabled. *)
+
 (** {2 Test introspection} *)
 
 val holds_line : t -> line:int -> bool

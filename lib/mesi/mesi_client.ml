@@ -2,6 +2,7 @@ module Mask = Spandex_util.Mask
 module Stats = Spandex_util.Stats
 module Retry = Spandex_util.Retry
 module Engine = Spandex_sim.Engine
+module Trace = Spandex_sim.Trace
 module Msg = Spandex_proto.Msg
 module Addr = Spandex_proto.Addr
 module Network = Spandex_net.Network
@@ -39,6 +40,10 @@ type t = {
   (* End-to-end request retries; armed only when the network injects
      faults, so fault-free runs are bit-identical to the reliable model. *)
   retry : Retry.t option;
+  trace : Trace.t;
+  n_retry : int;  (** interned trace names (0 on a disabled sink). *)
+  n_mshr : int;
+  n_parked : int;
   mutable parked : int;  (* requests waiting for an MSHR slot. *)
   mutable recall_handler : Backing.recall_handler;
 }
@@ -56,18 +61,30 @@ let request t ~txn ~kind ~line ?payload () =
     Msg.make ~txn ~kind:(Msg.Req kind) ~line ~mask:Addr.full_mask ?payload
       ~src:t.cfg.id ~dst:(t.cfg.dir_id + (line mod t.cfg.dir_banks)) ()
   in
+  if Trace.on t.trace then
+    Trace.span_begin t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id ~txn
+      ~cls:(Msg.req_kind_index kind) ~line;
   Option.iter
     (fun r ->
+      let resend =
+        if Trace.on t.trace then (fun () ->
+            Trace.instant t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id
+              ~name:t.n_retry ~txn ~arg:(Msg.req_kind_index kind);
+            Network.send t.net msg)
+        else fun () -> Network.send t.net msg
+      in
       Retry.arm r ~txn
         ~describe:(Format.asprintf "%a line %d" Msg.pp_kind (Msg.Req kind) line)
-        ~resend:(fun () -> Network.send t.net msg))
+        ~resend)
     t.retry;
   send t msg
 
 (* Retire [txn]: free the MSHR entry and cancel any retry timer. *)
 let free_txn t ~txn =
   Mshr.free t.outstanding ~txn;
-  Option.iter (fun r -> Retry.complete r ~txn) t.retry
+  Option.iter (fun r -> Retry.complete r ~txn) t.retry;
+  if Trace.on t.trace then
+    Trace.span_end t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id ~txn
 
 let reply t (msg : Msg.t) ~kind ~dst ?payload () =
   send t
@@ -241,8 +258,14 @@ let handle t (msg : Msg.t) =
   | Msg.Req _ ->
     failwith (Format.asprintf "Mesi_client: unexpected message %a" Msg.pp msg)
 
+let trace_sample t ~time =
+  Trace.counter t.trace ~time ~dev:t.cfg.id ~name:t.n_mshr
+    ~value:(Mshr.count t.outstanding);
+  Trace.counter t.trace ~time ~dev:t.cfg.id ~name:t.n_parked ~value:t.parked
+
 let create engine net cfg =
   let stats = Stats.create () in
+  let trace = Engine.trace engine in
   let retry =
     Option.map
       (fun f ->
@@ -265,6 +288,10 @@ let create engine net cfg =
       k_getm = Stats.key stats "getm";
       k_putm = Stats.key stats "putm";
       retry;
+      trace;
+      n_retry = Trace.name trace "retry.resend";
+      n_mshr = Trace.name trace (Printf.sprintf "l2.%d.mshr" cfg.id);
+      n_parked = Trace.name trace (Printf.sprintf "l2.%d.parked" cfg.id);
       parked = 0;
       recall_handler = (fun ~line:_ ~kind:_ ~k -> k None);
     }

@@ -21,3 +21,7 @@ type t
 val create : Spandex_sim.Engine.t -> Spandex_net.Network.t -> config -> t
 val backing : t -> Spandex.Backing.t
 val stats : t -> Spandex_util.Stats.t
+
+val trace_sample : t -> time:int -> unit
+(** Record occupancy counters into the engine's trace sink; no-op when
+    tracing is disabled. *)

@@ -1,6 +1,7 @@
 module Mask = Spandex_util.Mask
 module Stats = Spandex_util.Stats
 module Engine = Spandex_sim.Engine
+module Trace = Spandex_sim.Trace
 module Msg = Spandex_proto.Msg
 module Addr = Spandex_proto.Addr
 module Linedata = Spandex_proto.Linedata
@@ -51,6 +52,10 @@ type t = {
      responses per txn for non-idempotent request kinds, replayed when a
      duplicate or retried request arrives (cf. Llc.replay). *)
   replay : (int, Msg.t list ref) Hashtbl.t option;
+  trace : Trace.t;
+  n_replay : int;  (** interned trace names (0 on a disabled sink). *)
+  n_pending : int;
+  n_blocked : int;
 }
 
 let send t msg = Engine.send_later t.engine ~delay:t.cfg.access_latency msg
@@ -358,6 +363,10 @@ let arrival t (msg : Msg.t) =
       match Hashtbl.find_opt table msg.Msg.txn with
       | Some sent ->
         Stats.incr t.stats "replayed";
+        if Trace.on t.trace then
+          Trace.instant t.trace ~time:(Engine.now t.engine)
+            ~dev:(bank_of t.cfg msg.Msg.line) ~name:t.n_replay
+            ~txn:msg.Msg.txn ~arg:(List.length !sent);
         List.iter (fun m -> send t m) (List.rev !sent)
       | None ->
         Hashtbl.add table msg.Msg.txn (ref []);
@@ -366,6 +375,7 @@ let arrival t (msg : Msg.t) =
 
 let create engine net dram cfg =
   let stats = Stats.create () in
+  let trace = Engine.trace engine in
   let t =
     {
       engine;
@@ -384,12 +394,27 @@ let create engine net dram cfg =
          keys);
       replay =
         (if Network.faults_enabled net then Some (Hashtbl.create 256) else None);
+      trace;
+      n_replay = Trace.name trace "dir.replay";
+      n_pending = Trace.name trace "dir.pending";
+      n_blocked = Trace.name trace "dir.blocked";
     }
   in
   for b = 0 to cfg.banks - 1 do
     Network.register net ~id:(cfg.dir_id + b) (fun msg -> arrival t msg)
   done;
   t
+
+let trace_sample t ~time =
+  let pending, blocked =
+    Cache_frame.fold t.frame ~init:(0, 0) ~f:(fun (p, b) ~line:_ m ->
+        ( (if m.pending = None then p else p + 1),
+          b + List.length m.blocked ))
+  in
+  Trace.counter t.trace ~time ~dev:t.cfg.dir_id ~name:t.n_pending
+    ~value:pending;
+  Trace.counter t.trace ~time ~dev:t.cfg.dir_id ~name:t.n_blocked
+    ~value:blocked
 
 let quiescent t =
   Cache_frame.fold t.frame ~init:true ~f:(fun acc ~line:_ m ->

@@ -30,6 +30,11 @@ val quiescent : t -> bool
 val describe_pending : t -> string
 val stats : t -> Spandex_util.Stats.t
 
+val trace_sample : t -> time:int -> unit
+(** Record pending-line and blocked-queue occupancy into the engine's
+    trace sink (["dir.pending"] / ["dir.blocked"] counters); no-op when
+    tracing is disabled. *)
+
 (** {2 Test introspection} *)
 
 type dir_state = D_V | D_S of Spandex_proto.Msg.device_id list | D_M of Spandex_proto.Msg.device_id

@@ -2,6 +2,7 @@ module Mask = Spandex_util.Mask
 module Stats = Spandex_util.Stats
 module Retry = Spandex_util.Retry
 module Engine = Spandex_sim.Engine
+module Trace = Spandex_sim.Trace
 module Msg = Spandex_proto.Msg
 module Addr = Spandex_proto.Addr
 module Amo = Spandex_proto.Amo
@@ -93,6 +94,10 @@ type t = {
   (* End-to-end request retries; armed only when the network injects
      faults, so fault-free runs are bit-identical to the reliable model. *)
   retry : Retry.t option;
+  trace : Trace.t;
+  n_retry : int;  (** interned trace names (0 on a disabled sink). *)
+  n_mshr : int;
+  n_sb : int;
   mutable flushing : bool;
   mutable drain_armed : bool;
   mutable release_waiters : (unit -> unit) list;
@@ -106,18 +111,30 @@ let request t ~txn ~kind ~line ~mask ?payload () =
     Msg.make ~txn ~kind:(Msg.Req kind) ~line ~mask ?payload ~src:t.cfg.id
       ~dst:(t.cfg.llc_id + (line mod t.cfg.llc_banks)) ()
   in
+  if Trace.on t.trace then
+    Trace.span_begin t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id ~txn
+      ~cls:(Msg.req_kind_index kind) ~line;
   Option.iter
     (fun r ->
+      let resend =
+        if Trace.on t.trace then (fun () ->
+            Trace.instant t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id
+              ~name:t.n_retry ~txn ~arg:(Msg.req_kind_index kind);
+            Network.send t.net msg)
+        else fun () -> Network.send t.net msg
+      in
       Retry.arm r ~txn
         ~describe:(Format.asprintf "%a line %d" Msg.pp_kind (Msg.Req kind) line)
-        ~resend:(fun () -> Network.send t.net msg))
+        ~resend)
     t.retry;
   send t msg
 
 (* Retire [txn]: free the MSHR entry and cancel any retry timer. *)
 let free_txn t ~txn =
   Mshr.free t.outstanding ~txn;
-  Option.iter (fun r -> Retry.complete r ~txn) t.retry
+  Option.iter (fun r -> Retry.complete r ~txn) t.retry;
+  if Trace.on t.trace then
+    Trace.span_end t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id ~txn
 
 let reply t (msg : Msg.t) ~kind ~dst ~mask ?payload () =
   if not (Mask.is_empty mask) then
@@ -636,6 +653,9 @@ let handle t (msg : Msg.t) =
     | _ -> failwith "Mesi_l1: unexpected write-back response");
     Hashtbl.remove t.wb_records msg.Msg.txn;
     Option.iter (fun r -> Retry.complete r ~txn:msg.Msg.txn) t.retry;
+    if Trace.on t.trace then
+      Trace.span_end t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id
+        ~txn:msg.Msg.txn;
     drain t
   | Msg.Rsp _ -> (
     match Mshr.find t.outstanding ~txn:msg.Msg.txn with
@@ -687,8 +707,15 @@ let describe_pending t =
     (List.length t.stalled_stores)
     (if shown = [] then "" else " [" ^ String.concat "; " shown ^ "]")
 
+let trace_sample t ~time =
+  Trace.counter t.trace ~time ~dev:t.cfg.id ~name:t.n_mshr
+    ~value:(Mshr.count t.outstanding);
+  Trace.counter t.trace ~time ~dev:t.cfg.id ~name:t.n_sb
+    ~value:(Store_buffer.count t.sb)
+
 let create engine net cfg =
   let stats = Stats.create () in
+  let trace = Engine.trace engine in
   let retry =
     Option.map
       (fun f ->
@@ -720,6 +747,10 @@ let create engine net cfg =
       k_rmw_miss = Stats.key stats "rmw_miss";
       k_wb_issued = Stats.key stats "wb_issued";
       retry;
+      trace;
+      n_retry = Trace.name trace "retry.resend";
+      n_mshr = Trace.name trace (Printf.sprintf "l1.%d.mshr" cfg.id);
+      n_sb = Trace.name trace (Printf.sprintf "l1.%d.sb" cfg.id);
       flushing = false;
       drain_armed = false;
       release_waiters = [];

@@ -18,6 +18,8 @@ let grouped_topology ~group_of ~local_latency ~cross_latency =
     hops = (fun ~src ~dst -> if group_of src = group_of dst then 1 else 2);
   }
 
+module Trace = Spandex_sim.Trace
+
 type t = {
   engine : Engine.t;
   topo : topology;
@@ -31,6 +33,11 @@ type t = {
   fault : Fault.t option;  (** active fault-injection plan, if any. *)
   in_flight : int ref;
   mutable messages : int;
+  trace : Trace.t;  (** the engine's sink; [Trace.disabled] when off. *)
+  n_in_flight : int;  (** interned trace counter/instant names. *)
+  n_fault_drop : int;
+  n_fault_dup : int;
+  n_fault_delay : int;
 }
 
 let category_index = function
@@ -67,31 +74,10 @@ let endpoint t id =
     | Some ep -> ep
     | None -> failwith (Printf.sprintf "Network: unregistered endpoint %d" id)
 
-(* Read eagerly at module init (always the main domain): forcing a [lazy]
-   concurrently from several domains is unsafe, and parallel sweeps send
-   from worker domains. *)
-let trace_enabled = Option.is_some (Sys.getenv_opt "SPANDEX_TRACE")
-
-(* SPANDEX_TRACE_WORD="<line>.<word>" additionally prints the carried value
-   of one word whenever a traced message covers it. *)
-let trace_word =
-  Option.bind (Sys.getenv_opt "SPANDEX_TRACE_WORD") (fun s ->
-      match String.split_on_char '.' s with
-      | [ l; w ] -> Some (int_of_string l, int_of_string w)
-      | _ -> None)
-
 let send t (msg : Msg.t) =
-  if trace_enabled then begin
-    let extra =
-      match (trace_word, msg.payload) with
-      | Some (l, w), Spandex_proto.Msg.Data values
-        when msg.line = l && Spandex_util.Mask.mem msg.mask w ->
-        Printf.sprintf " {%d.%d=%d}" l w
-          (Spandex_proto.Linedata.value_at ~mask:msg.mask ~values ~word:w)
-      | _ -> ""
-    in
-    Format.eprintf "@%d %a%s@." (Engine.now t.engine) Msg.pp msg extra
-  end;
+  if Trace.on t.trace then
+    Trace.msg_send t.trace ~time:(Engine.now t.engine) ~src:msg.src
+      ~dst:msg.dst ~txn:msg.txn ~kind:(Msg.kind_index msg.kind) ~line:msg.line;
   let flits = Msg.flits msg in
   let hops = t.topo.hops ~src:msg.src ~dst:msg.dst in
   let cat = category_index (Msg.category msg.kind) in
@@ -108,13 +94,27 @@ let send t (msg : Msg.t) =
     incr t.in_flight;
     Engine.deliver t.engine ~delay:latency msg ep
   | Some f -> (
-    match Fault.route f ~now:(Engine.now t.engine) ~latency msg with
-    | Fault.Drop -> ()
+    let now = Engine.now t.engine in
+    match Fault.route f ~now ~latency msg with
+    | Fault.Drop ->
+      if Trace.on t.trace then
+        Trace.instant t.trace ~time:now ~dev:msg.src ~name:t.n_fault_drop
+          ~txn:msg.txn ~arg:(Msg.kind_index msg.kind)
     | Fault.Deliver delays ->
+      (match delays with
+      | [ delay ] when delay <> latency && Trace.on t.trace ->
+        Trace.instant t.trace ~time:now ~dev:msg.src ~name:t.n_fault_delay
+          ~txn:msg.txn ~arg:(delay - latency)
+      | _ -> ());
       List.iteri
         (fun i delay ->
           (* Duplicate copies occupy the fabric too. *)
-          if i > 0 then t.traffic.(cat) <- t.traffic.(cat) + (flits * hops);
+          if i > 0 then begin
+            t.traffic.(cat) <- t.traffic.(cat) + (flits * hops);
+            if Trace.on t.trace then
+              Trace.instant t.trace ~time:now ~dev:msg.src ~name:t.n_fault_dup
+                ~txn:msg.txn ~arg:delay
+          end;
           incr t.in_flight;
           Engine.deliver t.engine ~delay msg ep)
         delays)
@@ -128,6 +128,7 @@ let create ?fault engine topo =
       Msg.all_kinds;
     keys
   in
+  let trace = Engine.trace engine in
   let t =
     {
       engine;
@@ -139,6 +140,11 @@ let create ?fault engine topo =
       fault = Option.map (fun spec -> Fault.create spec ~stats) fault;
       in_flight = ref 0;
       messages = 0;
+      trace;
+      n_in_flight = Trace.name trace "net.in_flight";
+      n_fault_drop = Trace.name trace "fault.drop";
+      n_fault_dup = Trace.name trace "fault.dup";
+      n_fault_delay = Trace.name trace "fault.delay";
     }
   in
   (* Components enqueue outbound messages as typed [Egress] events
@@ -148,6 +154,10 @@ let create ?fault engine topo =
   t
 
 let in_flight t = !(t.in_flight)
+
+let trace_sample t ~time =
+  Trace.counter t.trace ~time ~dev:0 ~name:t.n_in_flight
+    ~value:!(t.in_flight)
 let traffic_flits t cat = t.traffic.(category_index cat)
 let total_flits t = Array.fold_left ( + ) 0 t.traffic
 let messages_sent t = t.messages

@@ -50,6 +50,10 @@ val send : t -> Spandex_proto.Msg.t -> unit
 val in_flight : t -> int
 (** Messages sent but not yet delivered; used for quiescence checks. *)
 
+val trace_sample : t -> time:int -> unit
+(** Record the in-flight message count into the engine's trace sink as a
+    ["net.in_flight"] counter sample; no-op when tracing is disabled. *)
+
 val traffic_flits : t -> Spandex_proto.Msg.category -> int
 val total_flits : t -> int
 val messages_sent : t -> int

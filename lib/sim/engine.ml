@@ -37,6 +37,15 @@ type t = {
   mutable steps : int;
   mutable step_limit : int;
   mutable egress : Msg.t -> unit;  (** installed once by [Network.create]. *)
+  trace : Trace.t;
+  (* Occupancy sampler: fired inline by the dispatch loops whenever time
+     reaches [next_sample], so sampling never enqueues events and the
+     [steps]/event counts are identical with tracing on or off.
+     [next_sample] stays [max_int] when no sampler is installed, making
+     the disabled cost a single compare per event. *)
+  mutable sampler : int -> unit;
+  mutable next_sample : int;
+  mutable sample_every : int;
 }
 
 exception Deadlock of string
@@ -53,7 +62,7 @@ let pp_livelock fmt l =
   Format.fprintf fmt "livelock at cycle %d (no progress for %d cycles): %s"
     l.cycle l.stalled_for l.detail
 
-let create ?(backend = Wheel_backend) () =
+let create ?(backend = Wheel_backend) ?(trace = Trace.disabled) () =
   let queue =
     match backend with
     | Wheel_backend ->
@@ -66,10 +75,25 @@ let create ?(backend = Wheel_backend) () =
     steps = 0;
     step_limit = 500_000_000;
     egress = (fun _ -> failwith "Engine: no egress callback installed");
+    trace;
+    sampler = (fun _ -> ());
+    next_sample = max_int;
+    sample_every = 0;
   }
 
 let now t = t.time
 let set_egress t f = t.egress <- f
+let trace t = t.trace
+
+let set_sampler t ~every f =
+  if every <= 0 then invalid_arg "Engine.set_sampler: every";
+  t.sampler <- f;
+  t.sample_every <- every;
+  t.next_sample <- t.time
+
+let sample_now t =
+  t.next_sample <- t.time + t.sample_every;
+  t.sampler t.time
 
 let q_push q ~time ev =
   match q with
@@ -112,6 +136,7 @@ let step_limit_hit t =
    avoiding a second cursor advance. *)
 
 let wheel_dispatch t w ev =
+  if t.time >= t.next_sample then sample_now t;
   match ev with
   | Thunk f -> f ()
   | Deliver (msg, ep) ->
@@ -130,6 +155,7 @@ let wheel_dispatch t w ev =
   | Apply (f, v) -> f v
 
 let heap_dispatch t h ev =
+  if t.time >= t.next_sample then sample_now t;
   match ev with
   | Thunk f -> f ()
   | Deliver (msg, ep) ->

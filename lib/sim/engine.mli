@@ -61,10 +61,25 @@ type backend =
       (** the pre-wheel (time, seq) binary heap, kept as a reference
           scheduler for bit-identity tests. *)
 
-val create : ?backend:backend -> unit -> t
+val create : ?backend:backend -> ?trace:Trace.t -> unit -> t
+(** [trace] (default {!Trace.disabled}) is the simulation's trace sink;
+    the engine only carries it so every component can reach the shared
+    sink through its engine handle without signature changes. *)
 
 val now : t -> int
 (** Current simulation cycle. *)
+
+val trace : t -> Trace.t
+(** The trace sink passed to {!create}. *)
+
+val set_sampler : t -> every:int -> (int -> unit) -> unit
+(** Install an occupancy sampler: [f time] is invoked from the event
+    dispatch loop the first time simulated time reaches each multiple-ish
+    of [every] cycles (exactly: at the first event dispatched once [time]
+    passes the previous sample time + [every]).  The sampler runs inline —
+    it never enqueues events — so installing one does not perturb event
+    counts or simulated timing.  The sampler must not schedule events or
+    mutate component state. *)
 
 val schedule : t -> delay:int -> (unit -> unit) -> unit
 (** [schedule t ~delay f] runs [f] at cycle [now t + delay]. [delay >= 0]. *)

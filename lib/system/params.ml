@@ -33,6 +33,9 @@ type t = {
   (* Event-queue implementation; [Heap_backend] is the pre-wheel reference
      scheduler used by bit-identity tests. *)
   engine_backend : Spandex_sim.Engine.backend;
+  (* Transaction-trace sink configuration; [None] (the default) runs with
+     the shared disabled sink and is bit-identical to an untraced build. *)
+  trace : Spandex_sim.Trace.spec option;
 }
 
 (* Table VI: 8 CPU cores @2GHz, 16 CUs @700MHz, 32KB 8-way L1s, 4MB GPU L2,
@@ -69,6 +72,7 @@ let default =
     fault = None;
     watchdog_cycles = 200_000;
     engine_backend = Spandex_sim.Engine.Wheel_backend;
+    trace = None;
   }
 
 let small =

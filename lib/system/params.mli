@@ -45,6 +45,10 @@ type t = {
       (** event-queue implementation; [Wheel_backend] (the default) is the
           timing wheel, [Heap_backend] the pre-wheel binary heap kept for
           bit-identity cross-checks. *)
+  trace : Spandex_sim.Trace.spec option;
+      (** transaction-trace sink configuration; [None] (the default) uses
+          the shared disabled sink — no events, no histograms, and results
+          bit-identical to an untraced build. *)
 }
 
 val default : t

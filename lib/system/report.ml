@@ -113,6 +113,23 @@ let traffic_share (r : Run.result) =
     (fun (cat, n) -> (cat, float_of_int n /. total))
     r.Run.traffic
 
+(* ----- per-class latency ---------------------------------------------------- *)
+
+let pp_latency fmt (r : Run.result) =
+  match r.Run.latency with
+  | [] -> Format.fprintf fmt "no latency data (run with tracing enabled)"
+  | rows ->
+    Format.fprintf fmt "@[<v>%-10s %9s %7s %7s %7s %7s %9s" "class" "count"
+      "p50" "p90" "p99" "max" "mean";
+    List.iter
+      (fun (name, (s : Spandex_util.Hist.summary)) ->
+        Format.fprintf fmt "@,%-10s %9d %7d %7d %7d %7d %9.1f" name
+          s.Spandex_util.Hist.count s.Spandex_util.Hist.p50
+          s.Spandex_util.Hist.p90 s.Spandex_util.Hist.p99
+          s.Spandex_util.Hist.max s.Spandex_util.Hist.mean)
+      rows;
+    Format.fprintf fmt "@]"
+
 (* ----- fault-injection summary ---------------------------------------------- *)
 
 type fault_summary = {

@@ -41,6 +41,11 @@ val diff_result : Run.result -> Run.result -> string option
 val traffic_share : Run.result -> (Spandex_proto.Msg.category * float) list
 (** Per-category fraction of total flits. *)
 
+val pp_latency : Format.formatter -> Run.result -> unit
+(** Render the per-request-class latency table (count / p50 / p90 / p99 /
+    max / mean in cycles) from [result.latency]; prints a hint when the
+    run was untraced. *)
+
 type fault_summary = {
   injected : int;  (** total faults the network injected. *)
   dropped : int;

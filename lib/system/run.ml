@@ -1,4 +1,6 @@
 module Engine = Spandex_sim.Engine
+module Trace = Spandex_sim.Trace
+module Hist = Spandex_util.Hist
 module Network = Spandex_net.Network
 module Msg = Spandex_proto.Msg
 module Txn = Spandex_proto.Txn
@@ -27,6 +29,9 @@ type result = {
   stats : Stats.t;
   minor_words : float;
   major_collections : int;
+  latency : (string * Hist.summary) list;
+  trace : Trace.t;
+  device_names : string array;
 }
 
 type component = {
@@ -34,6 +39,7 @@ type component = {
   c_quiescent : unit -> bool;
   c_pending : unit -> string;
   c_stats : Stats.t;
+  c_sample : time:int -> unit;
 }
 
 let cache_geometry ~bytes ~ways =
@@ -66,6 +72,7 @@ let build_denovo engine net (p : Params.t) ~id ~llc_id ~atomics_at_llc ~region_o
       c_quiescent = (fun () -> (Denovo_l1.port l1).Port.quiescent ());
       c_pending = (fun () -> (Denovo_l1.port l1).Port.describe_pending ());
       c_stats = Denovo_l1.stats l1;
+      c_sample = (fun ~time -> Denovo_l1.trace_sample l1 ~time);
     } )
 
 let build_mesi engine net (p : Params.t) ~id ~llc_id ~notify =
@@ -91,6 +98,7 @@ let build_mesi engine net (p : Params.t) ~id ~llc_id ~notify =
       c_quiescent = (fun () -> (Mesi_l1.port l1).Port.quiescent ());
       c_pending = (fun () -> (Mesi_l1.port l1).Port.describe_pending ());
       c_stats = Mesi_l1.stats l1;
+      c_sample = (fun ~time -> Mesi_l1.trace_sample l1 ~time);
     } )
 
 let build_gpucoh engine net (p : Params.t) ~id ~llc_id =
@@ -116,6 +124,7 @@ let build_gpucoh engine net (p : Params.t) ~id ~llc_id =
       c_quiescent = (fun () -> (Gpu_l1.port l1).Port.quiescent ());
       c_pending = (fun () -> (Gpu_l1.port l1).Port.describe_pending ());
       c_stats = Gpu_l1.stats l1;
+      c_sample = (fun ~time -> Gpu_l1.trace_sample l1 ~time);
     } )
 
 let simulate ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
@@ -127,7 +136,12 @@ let simulate ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
      wall-clock.  Not part of bit-identity (GC counters are per-domain and
      scheduling-dependent). *)
   let gc0 = Gc.quick_stat () in
-  let engine = Engine.create ~backend:p.Params.engine_backend () in
+  let trace =
+    match p.Params.trace with
+    | None -> Trace.disabled
+    | Some spec -> Trace.create spec
+  in
+  let engine = Engine.create ~backend:p.Params.engine_backend ~trace () in
   (* Device ids: CPUs, then GPU CUs, then LLC/dir, L2 front, L2 back. *)
   let cpu_id i = i in
   let gpu_id j = p.Params.cpu_cores + j in
@@ -135,6 +149,28 @@ let simulate ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
   let home_id = p.Params.cpu_cores + p.Params.gpu_cus in
   let l2_front_id = home_id + banks in
   let l2_back_id = l2_front_id + banks in
+  (* Human-readable endpoint names for trace export ("who is track 12?"). *)
+  let device_names =
+    Array.init (l2_back_id + 1) (fun id ->
+        if id < p.Params.cpu_cores then
+          match config.Config.cpu with
+          | Config.Cpu_mesi -> Printf.sprintf "mesi_l1.%d" id
+          | Config.Cpu_denovo -> Printf.sprintf "denovo_l1.%d" id
+        else if id < home_id then (
+          let j = id - p.Params.cpu_cores in
+          match config.Config.gpu with
+          | Config.Gpu_coh -> Printf.sprintf "gpu_l1.%d" j
+          | Config.Gpu_denovo | Config.Gpu_adaptive ->
+            Printf.sprintf "gpu_denovo_l1.%d" j)
+        else if id < l2_front_id then (
+          let b = id - home_id in
+          match config.Config.llc with
+          | Config.Spandex_flat -> Printf.sprintf "llc.b%d" b
+          | Config.H_mesi -> Printf.sprintf "dir.b%d" b)
+        else if id < l2_back_id then
+          Printf.sprintf "gpu_l2.b%d" (id - l2_front_id)
+        else "mesi_client")
+  in
   let topo =
     match config.Config.llc with
     | Config.Spandex_flat ->
@@ -192,6 +228,7 @@ let simulate ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
           c_quiescent = (fun () -> Llc.quiescent llc);
           c_pending = (fun () -> Llc.describe_pending llc);
           c_stats = Llc.stats llc;
+          c_sample = (fun ~time -> Llc.trace_sample llc ~time);
         };
       (home_id, home_id)
     | Config.H_mesi ->
@@ -207,6 +244,7 @@ let simulate ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
           c_quiescent = (fun () -> Mesi_dir.quiescent dir);
           c_pending = (fun () -> Mesi_dir.describe_pending dir);
           c_stats = Mesi_dir.stats dir;
+          c_sample = (fun ~time -> Mesi_dir.trace_sample dir ~time);
         };
       let client =
         Mesi_client.create engine net
@@ -235,6 +273,7 @@ let simulate ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
           c_quiescent = (fun () -> Llc.quiescent l2);
           c_pending = (fun () -> Llc.describe_pending l2);
           c_stats = Llc.stats l2;
+          c_sample = (fun ~time -> Llc.trace_sample l2 ~time);
         };
       add
         {
@@ -242,6 +281,7 @@ let simulate ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
           c_quiescent = (fun () -> (Mesi_client.backing client).Backing.quiescent ());
           c_pending = (fun () -> (Mesi_client.backing client).Backing.describe_pending ());
           c_stats = Mesi_client.stats client;
+          c_sample = (fun ~time -> Mesi_client.trace_sample client ~time);
         };
       (home_id, l2_front_id)
   in
@@ -299,6 +339,14 @@ let simulate ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
     w.Workload.gpu_programs;
   let cores = List.rev !cores in
   List.iter Core.start cores;
+  (* Periodic occupancy sampling runs inline in the engine's dispatch loop —
+     it never enqueues events, so event counts and scheduling are identical
+     with tracing on or off. *)
+  if Trace.on trace then (
+    let sampled = !components in
+    Engine.set_sampler engine ~every:(Trace.sample_every trace) (fun time ->
+        List.iter (fun c -> c.c_sample ~time) sampled;
+        Network.trace_sample net ~time));
   (* --- run ----------------------------------------------------------------- *)
   let finished () =
     List.for_all Core.finished cores
@@ -349,6 +397,9 @@ let simulate ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
     stats;
     minor_words = gc1.Gc.minor_words -. gc0.Gc.minor_words;
     major_collections = gc1.Gc.major_collections - gc0.Gc.major_collections;
+    latency = Trace.latency_summaries trace;
+    trace;
+    device_names;
   }
 
 let assert_clean r =

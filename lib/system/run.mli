@@ -18,6 +18,16 @@ type result = {
   major_collections : int;
       (** major GC cycles completed during the simulation; likewise
           excluded from bit-identity. *)
+  latency : (string * Spandex_util.Hist.summary) list;
+      (** per-request-class issue-to-reply latency summaries (class name,
+          {!Spandex_util.Hist.summary}), from the trace sink's histograms;
+          [[]] when tracing is disabled.  Excluded from bit-identity
+          comparisons (it is empty exactly when tracing is off). *)
+  trace : Spandex_sim.Trace.t;
+      (** the run's trace sink, for export or timeline reconstruction;
+          {!Spandex_sim.Trace.disabled} when [params.trace] was [None]. *)
+  device_names : string array;
+      (** endpoint display name by device id, for trace export tracks. *)
 }
 
 val simulate :

@@ -11,6 +11,10 @@ type t = {
       (** whether the slot was ever written (interning alone must not make
           a counter appear in [names]/[to_assoc], matching the lazy
           creation semantics of the original hashtable implementation). *)
+  mutable is_max : bool array;
+      (** whether the slot holds a running maximum ([set_max]/[max_key])
+          rather than a sum; [merge_into] must combine such slots with max,
+          not addition. *)
   mutable n : int;  (** slots in use. *)
 }
 
@@ -22,6 +26,7 @@ let create () =
     names = Array.make 32 "";
     counts = Array.make 32 0;
     touched = Array.make 32 false;
+    is_max = Array.make 32 false;
     n = 0;
   }
 
@@ -30,12 +35,15 @@ let grow t =
   let names = Array.make cap "" in
   let counts = Array.make cap 0 in
   let touched = Array.make cap false in
+  let is_max = Array.make cap false in
   Array.blit t.names 0 names 0 t.n;
   Array.blit t.counts 0 counts 0 t.n;
   Array.blit t.touched 0 touched 0 t.n;
+  Array.blit t.is_max 0 is_max 0 t.n;
   t.names <- names;
   t.counts <- counts;
-  t.touched <- touched
+  t.touched <- touched;
+  t.is_max <- is_max
 
 let key t name =
   match Hashtbl.find_opt t.index name with
@@ -56,7 +64,8 @@ let bump t k = bump_by t k 1
 
 let max_key t k n =
   if n > t.counts.(k) then t.counts.(k) <- n;
-  t.touched.(k) <- true
+  t.touched.(k) <- true;
+  t.is_max.(k) <- true
 
 let get_key t k = t.counts.(k)
 
@@ -98,7 +107,11 @@ let merge_into ~dst ~prefix src =
   let buf, plen = prefix_buf prefix in
   for i = 0 to src.n - 1 do
     if src.touched.(i) then
-      add dst (joined buf ~plen src.names.(i)) src.counts.(i)
+      if src.is_max.(i) then
+        (* A running maximum stays a maximum under merge — summing two
+           high-water marks would fabricate a depth never observed. *)
+        set_max dst (joined buf ~plen src.names.(i)) src.counts.(i)
+      else add dst (joined buf ~plen src.names.(i)) src.counts.(i)
   done
 
 let get_prefixed t ~prefix name =

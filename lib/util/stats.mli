@@ -42,14 +42,19 @@ val get : t -> string -> int
 (** 0 when the counter was never touched. *)
 
 val set_max : t -> string -> int -> unit
-(** Keep the running maximum under the given name. *)
+(** Keep the running maximum under the given name.  The counter is tagged
+    as a maximum, so {!merge_into} combines it with max rather than
+    addition. *)
 
 val names : t -> string list
 (** Sorted list of counters that have been touched. *)
 
 val merge_into : dst:t -> prefix:string -> t -> unit
-(** Fold [src] counters into [dst] with [prefix ^ "."] prepended.  Each
-    merged key is built with a single allocation via a shared buffer. *)
+(** Fold [src] counters into [dst] with [prefix ^ "."] prepended.
+    Additive counters add; {!set_max}/{!max_key} counters take the
+    maximum (summing high-water marks would fabricate an occupancy that
+    never occurred).  Each merged key is built with a single allocation
+    via a shared buffer. *)
 
 val get_prefixed : t -> prefix:string -> string -> int
 (** [get_prefixed t ~prefix name] = [get t (prefix ^ "." ^ name)] without

@@ -5,6 +5,7 @@ let () =
       ("proto", Test_proto.tests);
       ("mem", Test_mem.tests);
       ("sim", Test_sim.tests);
+      ("trace", Test_trace.tests);
       ("wheel", Test_wheel.tests);
       ("tu", Test_tu.tests);
       ("llc", Test_llc.tests);

@@ -236,6 +236,39 @@ let stats_merge () =
   check_int "two.x" 2 (Stats.get dst "two.x");
   Alcotest.(check (list string)) "names sorted" [ "one.x"; "two.x" ] (Stats.names dst)
 
+let stats_merge_max () =
+  (* Regression: [merge_into] used to fold every counter with [add], so a
+     [set_max] high-water mark merged on top of an existing value summed
+     the two maxima — reporting an occupancy that never occurred.  Max
+     counters must combine with max, and stay max-tagged in the
+     destination for further merges. *)
+  let a = Stats.create () and b = Stats.create () in
+  Stats.set_max a "mshr.hwm" 7;
+  Stats.add a "ops" 10;
+  Stats.set_max b "mshr.hwm" 4;
+  Stats.add b "ops" 5;
+  let dst = Stats.create () in
+  Stats.merge_into ~dst ~prefix:"l1" a;
+  Stats.merge_into ~dst ~prefix:"l1" b;
+  check_int "max of maxima, not sum" 7 (Stats.get dst "l1.mshr.hwm");
+  check_int "additive still sums" 15 (Stats.get dst "l1.ops");
+  (* The merged slot keeps the tag: a second-level merge is still max. *)
+  let top = Stats.create () in
+  Stats.merge_into ~dst:top ~prefix:"sys" dst;
+  Stats.merge_into ~dst:top ~prefix:"sys" dst;
+  check_int "re-merge stays max" 7 (Stats.get top "sys.l1.mshr.hwm");
+  check_int "re-merge sums additive" 30 (Stats.get top "sys.l1.ops");
+  (* Interned-key path tags the slot the same way. *)
+  let c = Stats.create () in
+  let k = Stats.key c "depth" in
+  Stats.max_key c k 9;
+  let d = Stats.create () in
+  Stats.set_max d "depth" 6;
+  let m = Stats.create () in
+  Stats.merge_into ~dst:m ~prefix:"q" c;
+  Stats.merge_into ~dst:m ~prefix:"q" d;
+  check_int "max_key tags too" 9 (Stats.get m "q.depth")
+
 let stats_interned_visibility () =
   let s = Stats.create () in
   let k = Stats.key s "quiet" in
@@ -292,6 +325,7 @@ let tests =
     test "rng_geometric" rng_geometric;
     test "stats_counters" stats_counters;
     test "stats_merge" stats_merge;
+    test "stats_merge_max" stats_merge_max;
     test "stats_interned_visibility" stats_interned_visibility;
     test "stats_get_prefixed" stats_get_prefixed;
   ]
