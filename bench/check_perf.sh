@@ -46,6 +46,19 @@ if report["total_events"] != baseline["total_events"]:
         % (baseline["total_events"], report["total_events"])
     )
 
+# total_events covers the paper's six baseline configurations; reports and
+# baselines that sweep the extended set (SDA, SAA) also carry the full
+# total, compared when both sides have it.
+if "total_events_extended" in report and "total_events_extended" in baseline:
+    if report["total_events_extended"] != baseline["total_events_extended"]:
+        failures.append(
+            "total_events_extended drifted: baseline %d, report %d"
+            % (
+                baseline["total_events_extended"],
+                report["total_events_extended"],
+            )
+        )
+
 base = baseline["events_per_sec_sequential"]
 got = report["events_per_sec_sequential"]
 floor = 0.75 * base

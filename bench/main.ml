@@ -380,9 +380,11 @@ let extension_adaptive () =
   section "Extension: adaptive write policy (paper V's dynamically-adapting caches)";
   Printf.printf
     "SDA = SDD with a per-line reuse predictor choosing ReqO vs ReqWT per\n\
-     store; the goal is to track the better static policy per workload.\n";
+     store; SAA adds read-side adaptation (repeatedly missed lines promote\n\
+     ReqV to ReqO+data).  The goal is to track the better static policy\n\
+     per workload.\n";
   let wnames = [ "reuseo"; "bc"; "indirection" ] in
-  let configs = [ Config.sdg; Config.sdd; Config.sda ] in
+  let configs = [ Config.sdg; Config.sdd; Config.sda; Config.saa ] in
   let points =
     List.concat_map
       (fun wname ->

@@ -54,7 +54,7 @@ let () =
         max_reqv_retries = 1;
         atomics_at_llc = false;
         region_of = (fun _ -> 0);
-        write_policy = Denovo_l1.Write_own;
+        policy = Spandex_l1.Spandex_policy.Static_own;
       }
   in
   let gpu =

@@ -1,8 +1,6 @@
 module Mask = Spandex_util.Mask
 module Stats = Spandex_util.Stats
-module Retry = Spandex_util.Retry
 module Engine = Spandex_sim.Engine
-module Trace = Spandex_sim.Trace
 module Msg = Spandex_proto.Msg
 module Addr = Spandex_proto.Addr
 module Amo = Spandex_proto.Amo
@@ -14,8 +12,9 @@ module Mshr = Spandex_mem.Mshr
 module Store_buffer = Spandex_mem.Store_buffer
 module Port = Spandex_device.Port
 module Tu = Spandex.Tu
-
-type write_policy = Write_own | Write_adaptive
+module Chassis = Spandex_l1.Chassis
+module Policy = Spandex_l1.Policy
+module Spandex_policy = Spandex_l1.Spandex_policy
 
 type config = {
   id : Msg.device_id;
@@ -32,7 +31,7 @@ type config = {
   region_of : int -> int;
       (* software-provided region classification by line (paper II-C:
          DeNovo regions); [fun _ -> 0] when the program has no regions. *)
-  write_policy : write_policy;
+  policy : Spandex_policy.spec;
 }
 
 type line = {
@@ -48,9 +47,9 @@ type read_miss = {
   r_epoch : int;
   mutable r_retries : int;
   r_own_mask : Mask.t;
-      (* words requested with ReqO+data after Nack conversion (III-C): the
-         grant carries ownership, which must be installed as Owned — the
-         LLC registers this cache as their owner. *)
+      (* words requested with ReqO+data — after Nack conversion (III-C) or
+         by policy promotion: the grant carries ownership, which must be
+         installed as Owned — the LLC registers this cache as their owner. *)
 }
 
 (* A drained store-buffer entry waiting for its ReqO grant.  The values are
@@ -92,101 +91,40 @@ type outstanding =
   | Atomic of atomic_req
 
 type t = {
-  engine : Engine.t;
-  net : Network.t;
+  ch : outstanding Chassis.t;
   cfg : config;
   frame : line Cache_frame.t;
-  sb : Store_buffer.t;
-  outstanding : outstanding Mshr.t;
-  sb_ages : (int, int) Hashtbl.t;
   (* Write-backs in flight, keyed by transaction id; outside the MSHR file
      because the record must exist from the instant the words leave the
      frame (cf. Mesi_l1.wb_records). *)
   wb_records : (int, wb_req) Hashtbl.t;
-  (* Adaptive write policy: per-line saturating reuse counters and the
-     cycle of the last write-through, whose quick re-write is the evidence
-     that ownership would have paid off. *)
-  reuse : (int, int) Hashtbl.t;
-  last_wt : (int, int) Hashtbl.t;
-  stats : Stats.t;
-  (* Interned counters for the per-op fast paths. *)
-  k_load_hit : Stats.key;
-  k_load_miss : Stats.key;
-  k_load_sb_fwd : Stats.key;
-  k_stores : Stats.key;
+  (* Per-request classification (the Spandex flexibility knob): static for
+     classic DeNovo, reuse-predicted for the adaptive configurations. *)
+  policy : Policy.t;
   k_store_hit_owned : Stats.key;
   k_wt_chosen : Stats.key;
   k_reqo_issued : Stats.key;
   k_reqo_words : Stats.key;
   k_wb_issued : Stats.key;
-  (* End-to-end request retries; armed only when the network injects
-     faults, so fault-free runs are bit-identical to the reliable model. *)
-  retry : Retry.t option;
-  trace : Trace.t;
-  n_retry : int;  (** interned trace names (0 on a disabled sink). *)
-  n_nack : int;
-  n_chain : int;
-  n_mshr : int;
-  n_sb : int;
   mutable epoch : int;
-  mutable flushing : bool;
-  mutable drain_armed : bool;
-  mutable release_waiters : (unit -> unit) list;
-  mutable stalled_stores : (unit -> unit) list;
 }
 
-let send t msg = Engine.send_later t.engine ~delay:t.cfg.hit_latency msg
+let send t msg = Chassis.send t.ch msg
 
 let request t ~txn ~kind ~line ~mask ?demand ?payload ?amo () =
-  let msg =
-    Msg.make ~txn ~kind:(Msg.Req kind) ~line ~mask ?demand ?payload
-      ~src:t.cfg.id ~dst:(t.cfg.llc_id + (line mod t.cfg.llc_banks)) ?amo ()
-  in
-  if Trace.on t.trace then
-    Trace.span_begin t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id ~txn
-      ~cls:(Msg.req_kind_index kind) ~line;
-  Option.iter
-    (fun r ->
-      let resend =
-        if Trace.on t.trace then (fun () ->
-            Trace.instant t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id
-              ~name:t.n_retry ~txn ~arg:(Msg.req_kind_index kind);
-            Network.send t.net msg)
-        else fun () -> Network.send t.net msg
-      in
-      Retry.arm r ~txn
-        ~describe:(Format.asprintf "%a line %d" Msg.pp_kind (Msg.Req kind) line)
-        ~resend)
-    t.retry;
-  send t msg
+  Chassis.request t.ch ~txn ~kind ~line ~mask ?demand ?payload ?amo ()
 
-(* Retire [txn]: free the MSHR entry and cancel any retry timer. *)
-let free_txn t ~txn =
-  Mshr.free t.outstanding ~txn;
-  Option.iter (fun r -> Retry.complete r ~txn) t.retry;
-  if Trace.on t.trace then
-    Trace.span_end t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id ~txn
-
-(* A protocol-level follow-up transaction (ReqV retry / ReqO conversion /
-   re-issued RMW): link predecessor to successor so `explain` can follow
-   the chain. *)
-let trace_chain t ~txn ~txn' =
-  if Trace.on t.trace then
-    Trace.instant t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id
-      ~name:t.n_chain ~txn ~arg:txn'
+let free_txn t ~txn = Chassis.free_txn t.ch ~txn
 
 let reply t (msg : Msg.t) ~kind ~dst ~mask ?payload () =
-  if not (Mask.is_empty mask) then
-    send t
-      (Msg.make ~txn:msg.Msg.txn ~kind:(Msg.Rsp kind) ~line:msg.Msg.line ~mask
-         ?payload ~src:t.cfg.id ~dst ())
+  Chassis.reply t.ch msg ~kind ~dst ~mask ?payload ()
 
 (* ----- frame management ----------------------------------------------------- *)
 
 let send_wb t ~line ~mask ~values =
   let txn = Spandex_proto.Txn.fresh () in
   Hashtbl.replace t.wb_records txn { b_line = line; b_mask = mask; b_values = values };
-  Stats.bump t.stats t.k_wb_issued;
+  Stats.bump t.ch.Chassis.stats t.k_wb_issued;
   request t ~txn ~kind:Msg.ReqWB ~line ~mask
     ~payload:(Msg.Data (Linedata.pack ~mask ~full:values))
     ()
@@ -208,7 +146,7 @@ let get_or_alloc t line_id =
     with
     | Cache_frame.Inserted -> fresh
     | Cache_frame.Evicted (vline, vmeta) ->
-      Stats.incr t.stats "evictions";
+      Stats.incr t.ch.Chassis.stats "evictions";
       if not (Mask.is_empty vmeta.owned) then
         send_wb t ~line:vline ~mask:vmeta.owned
           ~values:(Array.copy vmeta.data);
@@ -217,71 +155,27 @@ let get_or_alloc t line_id =
 
 (* ----- write-through of the store buffer as ownership requests -------------- *)
 
-let entry_ready t line =
-  if t.flushing || Store_buffer.count t.sb * 2 >= t.cfg.sb_capacity then true
-  else
-    let age =
-      Engine.now t.engine
-      - Option.value ~default:0 (Hashtbl.find_opt t.sb_ages line)
-    in
-    age >= t.cfg.coalesce_window
-
 let writes_pending t =
   let n = ref 0 in
-  Mshr.iter t.outstanding ~f:(fun ~txn:_ -> function
+  Mshr.iter t.ch.Chassis.outstanding ~f:(fun ~txn:_ -> function
     | Own _ | Atomic _ -> incr n
     | Read _ | Rmw _ -> ());
   !n
 
-let check_release t =
-  if t.flushing && Store_buffer.is_empty t.sb && writes_pending t = 0 then begin
-    t.flushing <- false;
-    let ws = t.release_waiters in
-    t.release_waiters <- [];
-    List.iter (fun k -> k ()) ws
-  end
-
-let rec arm_drain t ~delay =
-  if not t.drain_armed then begin
-    t.drain_armed <- true;
-    Engine.schedule t.engine ~delay (fun () ->
-        t.drain_armed <- false;
-        drain t)
-  end
-
-(* The adaptive policy (extension): own lines with observed write reuse,
-   write the rest through.  Reuse evidence: a store-buffer entry forms for
-   a line that was written through recently, or a store hits an Owned
-   word. *)
-and reuse_count t line = Option.value ~default:0 (Hashtbl.find_opt t.reuse line)
-
-and bump_reuse t line =
-  Hashtbl.replace t.reuse line (min 3 (reuse_count t line + 1))
-
-and decay_reuse t line =
-  Hashtbl.replace t.reuse line (max 0 (reuse_count t line - 1))
-
-and choose_through t line =
-  match t.cfg.write_policy with
-  | Write_own -> false
-  | Write_adaptive ->
-    (match Hashtbl.find_opt t.last_wt line with
-    | Some cycle when Engine.now t.engine - cycle < 8 * t.cfg.coalesce_window ->
-      bump_reuse t line
-    | _ -> ());
-    reuse_count t line < 2
-
-and drain t =
-  match Store_buffer.peek_oldest t.sb with
-  | None -> check_release t
+let rec drain t =
+  match Store_buffer.peek_oldest t.ch.Chassis.sb with
+  | None -> Chassis.check_release t.ch
   | Some e ->
-    if not (entry_ready t e.Store_buffer.line) then
-      arm_drain t ~delay:(max 1 t.cfg.coalesce_window)
-    else if Mshr.is_full t.outstanding then ()
+    if not (Chassis.entry_ready t.ch e.Store_buffer.line) then
+      Chassis.arm_drain t.ch ~delay:(max 1 t.cfg.coalesce_window)
+    else if Mshr.is_full t.ch.Chassis.outstanding then ()
     else begin
-      let e = Option.get (Store_buffer.take_oldest t.sb) in
-      Hashtbl.remove t.sb_ages e.Store_buffer.line;
-      let through = choose_through t e.Store_buffer.line in
+      let e = Option.get (Store_buffer.take_oldest t.ch.Chassis.sb) in
+      Hashtbl.remove t.ch.Chassis.sb_ages e.Store_buffer.line;
+      let through =
+        t.policy.Policy.classify_write ~line:e.Store_buffer.line
+        = Policy.Write_through
+      in
       let record =
         {
           o_line = e.Store_buffer.line;
@@ -292,11 +186,11 @@ and drain t =
           o_through = through;
         }
       in
-      (match Mshr.alloc t.outstanding (Own record) with
+      (match Mshr.alloc t.ch.Chassis.outstanding (Own record) with
       | Some txn ->
         if through then begin
-          Stats.bump t.stats t.k_wt_chosen;
-          Hashtbl.replace t.last_wt e.Store_buffer.line (Engine.now t.engine);
+          Stats.bump t.ch.Chassis.stats t.k_wt_chosen;
+          t.policy.Policy.on_write_through ~line:e.Store_buffer.line;
           request t ~txn ~kind:Msg.ReqWT ~line:e.Store_buffer.line
             ~mask:e.Store_buffer.mask
             ~payload:
@@ -306,16 +200,15 @@ and drain t =
             ()
         end
         else begin
-          Stats.bump t.stats t.k_reqo_issued;
-          Stats.bump_by t.stats t.k_reqo_words (Mask.count e.Store_buffer.mask);
+          Stats.bump t.ch.Chassis.stats t.k_reqo_issued;
+          Stats.bump_by t.ch.Chassis.stats t.k_reqo_words
+            (Mask.count e.Store_buffer.mask);
           (* Ownership without data: every requested word is overwritten. *)
           request t ~txn ~kind:Msg.ReqO ~line:e.Store_buffer.line
             ~mask:e.Store_buffer.mask ()
         end
       | None -> assert false);
-      let stalled = t.stalled_stores in
-      t.stalled_stores <- [];
-      List.iter (fun retry -> retry ()) stalled;
+      Chassis.wake_stalled t.ch;
       drain t
     end
 
@@ -338,7 +231,7 @@ let commit_own t (o : own_req) =
 
 let find_own_covering ?(include_through = true) t ~line ~word =
   match
-    Mshr.find_first t.outstanding ~f:(function
+    Mshr.find_first t.ch.Chassis.outstanding ~f:(function
       | Own o ->
         o.o_line = line
         && (include_through || not o.o_through)
@@ -350,7 +243,7 @@ let find_own_covering ?(include_through = true) t ~line ~word =
 
 let find_rmw_covering t ~line ~word =
   match
-    Mshr.find_first t.outstanding ~f:(function
+    Mshr.find_first t.ch.Chassis.outstanding ~f:(function
       | Rmw r -> r.w_line = line && r.w_word = word && not r.w_stolen
       | _ -> false)
   with
@@ -363,12 +256,33 @@ let find_wb_covering t ~line ~word =
       if b.b_line = line && Mask.mem b.b_mask word then Some b else acc)
     t.wb_records None
 
+(* Words a converted or promoted read (ReqO+data) is mid-granting: the LLC
+   already lists this cache as their owner, but the data is still on the
+   wire. *)
+let read_own_pending t ~line ~word =
+  Mshr.find_first t.ch.Chassis.outstanding ~f:(function
+    | Read m -> m.r_line = line && Mask.mem m.r_own_mask word
+    | _ -> false)
+  <> None
+
+(* Any write-side transaction alive for [line]: a promoted (ReqO+data) read
+   issued beside one could be answered with a data-less self-grant. *)
+let line_write_pending t ~line =
+  Mshr.find_first t.ch.Chassis.outstanding ~f:(function
+    | Own o -> o.o_line = line
+    | Rmw r -> r.w_line = line
+    | Read _ | Atomic _ -> false)
+  <> None
+  || Hashtbl.fold
+       (fun _ (b : wb_req) acc -> acc || b.b_line = line)
+       t.wb_records false
+
 (* ----- loads ---------------------------------------------------------------- *)
 
 let install_fill t (m : read_miss) (r : Tu.result) =
-  (* Ownership granted by a converted read is installed unconditionally:
-     the LLC now lists this cache as the owner (and Owned data survives
-     acquires, so the epoch guard does not apply to it). *)
+  (* Ownership granted by a converted or promoted read is installed
+     unconditionally: the LLC now lists this cache as the owner (and Owned
+     data survives acquires, so the epoch guard does not apply to it). *)
   let granted = Mask.inter r.Tu.data_mask m.r_own_mask in
   if not (Mask.is_empty granted) then begin
     let l = get_or_alloc t m.r_line in
@@ -386,45 +300,47 @@ let install_fill t (m : read_miss) (r : Tu.result) =
     Mask.iter fresh ~f:(fun w -> l.data.(w) <- r.Tu.values.(w));
     l.valid <- Mask.union l.valid fresh
   end
-  else Stats.incr t.stats "stale_fill_dropped"
+  else Stats.incr t.ch.Chassis.stats "stale_fill_dropped"
 
 let rec load t (addr : Addr.t) ~k =
-  let done_ v = Engine.apply_later t.engine ~delay:t.cfg.hit_latency k v in
+  let done_ v =
+    Engine.apply_later t.ch.Chassis.engine ~delay:t.cfg.hit_latency k v
+  in
   let { Addr.line; word } = addr in
-  match Store_buffer.forward t.sb ~addr with
+  match Store_buffer.forward t.ch.Chassis.sb ~addr with
   | Some v ->
-    Stats.bump t.stats t.k_load_sb_fwd;
+    Stats.bump t.ch.Chassis.stats t.ch.Chassis.k_load_sb_fwd;
     done_ v
   | None -> (
     match (find_own_covering t ~line ~word, find_wb_covering t ~line ~word) with
     | Some o, _ ->
-      Stats.bump t.stats t.k_load_sb_fwd;
+      Stats.bump t.ch.Chassis.stats t.ch.Chassis.k_load_sb_fwd;
       done_ o.o_values.(word)
     | None, Some b ->
       (* The word is mid-write-back: the LLC still lists us as owner, so a
          ReqV would be forwarded right back; serve the retained data. *)
-      Stats.incr t.stats "load_wb_fwd";
+      Stats.incr t.ch.Chassis.stats "load_wb_fwd";
       done_ b.b_values.(word)
     | None, None when find_rmw_covering t ~line ~word <> None ->
       (* Another context's RMW to this word is mid-grant; once it commits
          the load hits the owned word locally. *)
-      Stats.incr t.stats "load_rmw_defer";
-      Engine.schedule t.engine ~delay:3 (fun () -> load t addr ~k)
+      Stats.incr t.ch.Chassis.stats "load_rmw_defer";
+      Engine.schedule t.ch.Chassis.engine ~delay:3 (fun () -> load t addr ~k)
     | None, None -> (
       match Cache_frame.find t.frame ~line with
       | Some l when Mask.mem (Mask.union l.valid l.owned) word ->
-        Stats.bump t.stats t.k_load_hit;
+        Stats.bump t.ch.Chassis.stats t.ch.Chassis.k_load_hit;
         Cache_frame.touch t.frame ~line;
         done_ l.data.(word)
       | _ -> (
-        Stats.bump t.stats t.k_load_miss;
+        Stats.bump t.ch.Chassis.stats t.ch.Chassis.k_load_miss;
         match
-          Mshr.find_first t.outstanding ~f:(function
+          Mshr.find_first t.ch.Chassis.outstanding ~f:(function
             | Read m -> m.r_line = line && m.r_epoch = t.epoch
             | _ -> false)
         with
         | Some (_, Read m) ->
-          Stats.incr t.stats "load_miss_coalesced";
+          Stats.incr t.ch.Chassis.stats "load_miss_coalesced";
           m.r_waiters <- (word, k) :: m.r_waiters
         | Some _ -> assert false
         | None -> (
@@ -434,25 +350,56 @@ let rec load t (addr : Addr.t) ~k =
             | None -> Mask.empty
           in
           let mask = Mask.diff Addr.full_mask have in
-          let demand = Mask.singleton word in
-          let m =
-            {
-              r_line = line;
-              r_collector = Tu.create ~demand;
-              r_waiters = [ (word, k) ];
-              r_epoch = t.epoch;
-              r_retries = 0;
-              r_own_mask = Mask.empty;
-            }
+          (* Per-request read classification: repeated misses to a line may
+             promote the ReqV to a ReqO+data whose fill installs as Owned
+             and survives later acquires.  Promotion is suppressed while
+             any write-side transaction is alive for the line — the LLC
+             could answer with a data-less self-grant. *)
+          let promote =
+            match t.policy.Policy.classify_read ~line Policy.absent with
+            | Policy.Read_own -> not (line_write_pending t ~line)
+            | Policy.Read_valid | Policy.Read_shared -> false
           in
-          match Mshr.alloc t.outstanding (Read m) with
-          | Some txn ->
-            (* Word-granularity demand, opportunistic line fill
-               (Table II: ReqV "flexible"). *)
-            request t ~txn ~kind:Msg.ReqV ~line ~mask ~demand ()
-          | None ->
-            Stats.incr t.stats "mshr_stall";
-            Engine.schedule t.engine ~delay:4 (fun () -> load t addr ~k)))))
+          if promote then begin
+            Stats.incr t.ch.Chassis.stats "load_promoted_own";
+            let m =
+              {
+                r_line = line;
+                r_collector = Tu.create ~demand:mask;
+                r_waiters = [ (word, k) ];
+                r_epoch = t.epoch;
+                r_retries = 0;
+                r_own_mask = mask;
+              }
+            in
+            match Mshr.alloc t.ch.Chassis.outstanding (Read m) with
+            | Some txn -> request t ~txn ~kind:Msg.ReqOdata ~line ~mask ()
+            | None ->
+              Stats.incr t.ch.Chassis.stats "mshr_stall";
+              Engine.schedule t.ch.Chassis.engine ~delay:4 (fun () ->
+                  load t addr ~k)
+          end
+          else
+            let demand = Mask.singleton word in
+            let m =
+              {
+                r_line = line;
+                r_collector = Tu.create ~demand;
+                r_waiters = [ (word, k) ];
+                r_epoch = t.epoch;
+                r_retries = 0;
+                r_own_mask = Mask.empty;
+              }
+            in
+            match Mshr.alloc t.ch.Chassis.outstanding (Read m) with
+            | Some txn ->
+              (* Word-granularity demand, opportunistic line fill
+                 (Table II: ReqV "flexible"). *)
+              request t ~txn ~kind:Msg.ReqV ~line ~mask ~demand ()
+            | None ->
+              Stats.incr t.ch.Chassis.stats "mshr_stall";
+              Engine.schedule t.ch.Chassis.engine ~delay:4 (fun () ->
+                  load t addr ~k)))))
 
 and complete_read t ~txn (m : read_miss) (r : Tu.result) =
   free_txn t ~txn;
@@ -468,12 +415,10 @@ and complete_read t ~txn (m : read_miss) (r : Tu.result) =
   drain t
 
 and handle_read_nacks t ~txn (m : read_miss) (r : Tu.result) =
-  if Trace.on t.trace then
-    Trace.instant t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id
-      ~name:t.n_nack ~txn ~arg:(Mask.count r.Tu.nacked);
+  Chassis.trace_nack t.ch ~txn ~count:(Mask.count r.Tu.nacked);
   free_txn t ~txn;
   if m.r_retries < t.cfg.max_reqv_retries then begin
-    Stats.incr t.stats "reqv_retry";
+    Stats.incr t.ch.Chassis.stats "reqv_retry";
     let m' =
       {
         m with
@@ -482,16 +427,16 @@ and handle_read_nacks t ~txn (m : read_miss) (r : Tu.result) =
       }
     in
     seed_collector m' r;
-    match Mshr.alloc t.outstanding (Read m') with
+    match Mshr.alloc t.ch.Chassis.outstanding (Read m') with
     | Some txn' ->
       request t ~txn:txn' ~kind:Msg.ReqV ~line:m.r_line ~mask:r.Tu.nacked
         ~demand:r.Tu.nacked ();
-      trace_chain t ~txn ~txn'
+      Chassis.trace_chain t.ch ~txn ~txn'
     | None -> assert false
   end
   else begin
     (* Convert to ReqO+data to enforce ordering (§III-C case 3). *)
-    Stats.incr t.stats "reqv_converted";
+    Stats.incr t.ch.Chassis.stats "reqv_converted";
     let m' =
       {
         m with
@@ -500,11 +445,11 @@ and handle_read_nacks t ~txn (m : read_miss) (r : Tu.result) =
       }
     in
     seed_collector m' r;
-    match Mshr.alloc t.outstanding (Read m') with
+    match Mshr.alloc t.ch.Chassis.outstanding (Read m') with
     | Some txn' ->
       request t ~txn:txn' ~kind:Msg.ReqOdata ~line:m.r_line ~mask:r.Tu.nacked
         ();
-      trace_chain t ~txn ~txn'
+      Chassis.trace_chain t.ch ~txn ~txn'
     | None -> assert false
   end
 
@@ -524,21 +469,18 @@ let rec store t (addr : Addr.t) ~value ~k =
   let { Addr.line; word } = addr in
   match Cache_frame.find t.frame ~line with
   | Some l when Mask.mem l.owned word ->
-    Stats.bump t.stats t.k_store_hit_owned;
-    if t.cfg.write_policy = Write_adaptive then bump_reuse t line;
+    Stats.bump t.ch.Chassis.stats t.k_store_hit_owned;
+    t.policy.Policy.on_store_hit_owned ~line;
     l.data.(word) <- value;
-    Engine.schedule t.engine ~delay:t.cfg.hit_latency k
+    Engine.schedule t.ch.Chassis.engine ~delay:t.cfg.hit_latency k
   | _ -> (
-    match Store_buffer.push t.sb ~addr ~value with
+    match Store_buffer.push t.ch.Chassis.sb ~addr ~value with
     | `Coalesced | `New ->
-      Stats.bump t.stats t.k_stores;
-      Hashtbl.replace t.sb_ages line (Engine.now t.engine);
-      arm_drain t ~delay:1;
-      Engine.schedule t.engine ~delay:t.cfg.hit_latency k
-    | `Full ->
-      Stats.incr t.stats "sb_full_stall";
-      t.stalled_stores <- (fun () -> store t addr ~value ~k) :: t.stalled_stores;
-      arm_drain t ~delay:1)
+      Stats.bump t.ch.Chassis.stats t.ch.Chassis.k_stores;
+      Hashtbl.replace t.ch.Chassis.sb_ages line (Engine.now t.ch.Chassis.engine);
+      Chassis.arm_drain t.ch ~delay:1;
+      Engine.schedule t.ch.Chassis.engine ~delay:t.cfg.hit_latency k
+    | `Full -> Chassis.stall_store t.ch (fun () -> store t addr ~value ~k))
 
 (* ----- RMWs ----------------------------------------------------------------- *)
 
@@ -552,7 +494,7 @@ let rec finish_rmw t ~txn (r : rmw_req) ~value =
     l.valid <- Mask.remove l.valid r.w_word
   end
   else begin
-    Stats.incr t.stats "rmw_intercepted";
+    Stats.incr t.ch.Chassis.stats "rmw_intercepted";
     (* The word was (or is being) taken: serve the delayed externals with
        the post-RMW value, keeping nothing locally. *)
     let l = get_or_alloc t r.w_line in
@@ -568,25 +510,25 @@ let rec finish_rmw t ~txn (r : rmw_req) ~value =
 and rmw t (addr : Addr.t) amo ~k =
   let { Addr.line; word } = addr in
   if t.cfg.atomics_at_llc then begin
-    Stats.incr t.stats "rmw_at_llc";
+    Stats.incr t.ch.Chassis.stats "rmw_at_llc";
     (match Cache_frame.find t.frame ~line with
     | Some l -> l.valid <- Mask.remove l.valid word
     | None -> ());
-    match Mshr.alloc t.outstanding (Atomic { at_k = k }) with
+    match Mshr.alloc t.ch.Chassis.outstanding (Atomic { at_k = k }) with
     | Some txn ->
       request t ~txn ~kind:Msg.ReqWTdata ~line ~mask:(Mask.singleton word)
         ~amo ()
     | None ->
-      Stats.incr t.stats "mshr_stall";
-      Engine.schedule t.engine ~delay:4 (fun () -> rmw t addr amo ~k)
+      Stats.incr t.ch.Chassis.stats "mshr_stall";
+      Engine.schedule t.ch.Chassis.engine ~delay:4 (fun () -> rmw t addr amo ~k)
   end
   else
     match Cache_frame.find t.frame ~line with
     | Some l when Mask.mem l.owned word ->
-      Stats.incr t.stats "rmw_hit_owned";
+      Stats.incr t.ch.Chassis.stats "rmw_hit_owned";
       let next, old = Amo.apply amo l.data.(word) in
       l.data.(word) <- next;
-      Engine.apply_later t.engine ~delay:t.cfg.hit_latency k old
+      Engine.apply_later t.ch.Chassis.engine ~delay:t.cfg.hit_latency k old
     | _ when
         find_rmw_covering t ~line ~word <> None
         || find_own_covering t ~line ~word <> None
@@ -594,10 +536,10 @@ and rmw t (addr : Addr.t) amo ~k =
       (* Another context's write to this word is mid-grant, or the word is
          mid-write-back (the LLC would answer a ReqO+data with a data-less
          self-grant); wait and re-enter. *)
-      Stats.incr t.stats "rmw_serialized";
-      Engine.schedule t.engine ~delay:3 (fun () -> rmw t addr amo ~k)
+      Stats.incr t.ch.Chassis.stats "rmw_serialized";
+      Engine.schedule t.ch.Chassis.engine ~delay:3 (fun () -> rmw t addr amo ~k)
     | _ -> (
-      Stats.incr t.stats "rmw_miss";
+      Stats.incr t.ch.Chassis.stats "rmw_miss";
       let r =
         {
           w_line = line;
@@ -609,12 +551,12 @@ and rmw t (addr : Addr.t) amo ~k =
           w_k = k;
         }
       in
-      match Mshr.alloc t.outstanding (Rmw r) with
+      match Mshr.alloc t.ch.Chassis.outstanding (Rmw r) with
       | Some txn ->
         request t ~txn ~kind:Msg.ReqOdata ~line ~mask:(Mask.singleton word) ()
       | None ->
-        Stats.incr t.stats "mshr_stall";
-        Engine.schedule t.engine ~delay:4 (fun () -> rmw t addr amo ~k))
+        Stats.incr t.ch.Chassis.stats "mshr_stall";
+        Engine.schedule t.ch.Chassis.engine ~delay:4 (fun () -> rmw t addr amo ~k))
 
 (* ----- external requests (the device-side of Table IV) ---------------------- *)
 
@@ -651,18 +593,14 @@ and external_req t (msg : Msg.t) =
         find_own_covering ~include_through:false t ~line ~word:w <> None)
   in
   let in_rmw = take (fun w -> find_rmw_covering t ~line ~word:w <> None) in
+  let in_read = take (fun w -> read_own_pending t ~line ~word:w) in
   let absent = !remaining in
-  let kind_needs_data =
-    match msg.Msg.kind with
-    | Msg.Req (Msg.ReqV | Msg.ReqOdata | Msg.ReqS) | Msg.Probe Msg.RvkO -> true
-    | Msg.Req Msg.ReqO -> false
-    | _ -> false
-  in
+  let kind_needs_data = Msg.kind_needs_data msg.Msg.kind in
   (* Words mid-RMW: data-needing requests wait for the fill; data-less
      downgrades steal immediately. *)
   if not (Mask.is_empty in_rmw) then begin
     if kind_needs_data then begin
-      Stats.incr t.stats "ext_delayed";
+      Stats.incr t.ch.Chassis.stats "ext_delayed";
       Mask.iter in_rmw ~f:(fun w ->
           match find_rmw_covering t ~line ~word:w with
           | Some r -> r.w_queued <- r.w_queued @ [ { msg with Msg.mask = Mask.singleton w } ]
@@ -705,7 +643,7 @@ and external_req t (msg : Msg.t) =
   (match frame_line with
   | Some l ->
     serve ~words:owned_here ~values:l.data ~downgrade:(fun words ->
-        if t.cfg.write_policy = Write_adaptive then decay_reuse t line;
+        t.policy.Policy.on_downgrade ~line;
         l.owned <- Mask.diff l.owned words)
   | None -> assert (Mask.is_empty owned_here));
   (* Granted-but-uncommitted stores: answer from the pending values. *)
@@ -746,6 +684,19 @@ and external_req t (msg : Msg.t) =
       reply t msg ~kind:Msg.RspRvkO ~dst:msg.Msg.src ~mask:in_wb ()
     | _ -> assert false)
   | false, _ -> assert false);
+  (* Words mid-grant to a converted or promoted read: the fill is in
+     flight from the LLC (the response cannot be Nacked), so re-dispatch
+     once it lands and the words are Owned in the frame. *)
+  if not (Mask.is_empty in_read) then begin
+    Stats.incr t.ch.Chassis.stats "ext_deferred_read";
+    Engine.schedule t.ch.Chassis.engine ~delay:3 (fun () ->
+        external_req t
+          {
+            msg with
+            Msg.mask = in_read;
+            Msg.demand = Mask.inter msg.Msg.demand in_read;
+          })
+  end;
   (* Words we hold in no form. *)
   if not (Mask.is_empty absent) then begin
     match msg.Msg.kind with
@@ -755,7 +706,7 @@ and external_req t (msg : Msg.t) =
          opportunistic words are silently dropped. *)
       let demanded = Mask.inter absent msg.Msg.demand in
       if not (Mask.is_empty demanded) then begin
-        Stats.incr t.stats "nack_sent";
+        Stats.incr t.ch.Chassis.stats "nack_sent";
         reply t msg ~kind:Msg.Nack ~dst:msg.Msg.requestor ~mask:demanded ()
       end
     | Msg.Req Msg.ReqO ->
@@ -773,7 +724,7 @@ and external_req t (msg : Msg.t) =
    stale data based on information from software").  Owned words always
    survive. *)
 let acquire_matching t ~matches ~k =
-  Stats.incr t.stats "acquire_flash";
+  Stats.incr t.ch.Chassis.stats "acquire_flash";
   let empties =
     Cache_frame.fold t.frame ~init:[] ~f:(fun acc ~line l ->
         if matches line then begin
@@ -784,20 +735,15 @@ let acquire_matching t ~matches ~k =
   in
   List.iter (fun line -> Cache_frame.remove t.frame ~line) empties;
   t.epoch <- t.epoch + 1;
-  Engine.schedule t.engine ~delay:1 k
+  Engine.schedule t.ch.Chassis.engine ~delay:1 k
 
 let acquire t ~k = acquire_matching t ~matches:(fun _ -> true) ~k
 
 let acquire_region t ~region ~k =
-  Stats.incr t.stats "acquire_region";
+  Stats.incr t.ch.Chassis.stats "acquire_region";
   acquire_matching t ~matches:(fun line -> t.cfg.region_of line = region) ~k
 
-let release t ~k =
-  Stats.incr t.stats "release";
-  t.flushing <- true;
-  t.release_waiters <- k :: t.release_waiters;
-  arm_drain t ~delay:0;
-  Engine.schedule t.engine ~delay:1 (fun () -> check_release t)
+let release t ~k = Chassis.release t.ch ~k
 
 (* ----- responses ------------------------------------------------------------ *)
 
@@ -815,14 +761,11 @@ let handle t (msg : Msg.t) =
     | Msg.Rsp Msg.RspWB -> ()
     | _ -> failwith "Denovo_l1: unexpected write-back response");
     Hashtbl.remove t.wb_records msg.Msg.txn;
-    Option.iter (fun r -> Retry.complete r ~txn:msg.Msg.txn) t.retry;
-    if Trace.on t.trace then
-      Trace.span_end t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id
-        ~txn:msg.Msg.txn;
+    Chassis.retire t.ch ~txn:msg.Msg.txn;
     drain t
   | Msg.Rsp _ -> (
-    match Mshr.find t.outstanding ~txn:msg.Msg.txn with
-    | None -> Stats.incr t.stats "orphan_rsp"
+    match Mshr.find t.ch.Chassis.outstanding ~txn:msg.Msg.txn with
+    | None -> Stats.incr t.ch.Chassis.stats "orphan_rsp"
     | Some (Read m) -> (
       match Tu.absorb m.r_collector msg with
       | None -> ()
@@ -835,7 +778,7 @@ let handle t (msg : Msg.t) =
       | Some _ ->
         free_txn t ~txn:msg.Msg.txn;
         commit_own t o;
-        check_release t;
+        Chassis.check_release t.ch;
         drain t)
     | Some (Rmw r) -> (
       match Tu.absorb r.w_collector msg with
@@ -852,11 +795,11 @@ let handle t (msg : Msg.t) =
           | Some l when Mask.mem (Mask.union l.valid l.owned) r.w_word ->
             finish_rmw t ~txn:msg.Msg.txn r ~value:l.data.(r.w_word)
           | _ ->
-            Stats.incr t.stats "rmw_regranted";
+            Stats.incr t.ch.Chassis.stats "rmw_regranted";
             if r.w_queued <> [] then
               failwith "Denovo_l1: data-less RMW grant with queued externals";
             free_txn t ~txn:msg.Msg.txn;
-            Engine.schedule t.engine ~delay:2 (fun () ->
+            Engine.schedule t.ch.Chassis.engine ~delay:2 (fun () ->
                 rmw t { Addr.line = r.w_line; word = r.w_word } r.w_amo
                   ~k:r.w_k)
         end)
@@ -865,98 +808,59 @@ let handle t (msg : Msg.t) =
       | Msg.Rsp Msg.RspWTdata, Msg.Data values ->
         free_txn t ~txn:msg.Msg.txn;
         a.at_k values.(0);
-        check_release t;
+        Chassis.check_release t.ch;
         drain t
       | _ -> failwith "Denovo_l1: unexpected atomic response")
   )
 
 (* ----- construction --------------------------------------------------------- *)
 
-let quiescent t =
-  Store_buffer.is_empty t.sb && Mshr.count t.outstanding = 0
-  && Hashtbl.length t.wb_records = 0
-  && t.stalled_stores = []
+let quiescent t = Chassis.quiescent t.ch && Hashtbl.length t.wb_records = 0
 
 let describe_pending t =
-  let pend = ref [] in
-  Mshr.iter t.outstanding ~f:(fun ~txn o ->
-      let d =
-        match o with
-        | Read m -> Printf.sprintf "Read line %d" m.r_line
-        | Own o -> Printf.sprintf "Own line %d" o.o_line
-        | Rmw r -> Printf.sprintf "Rmw line %d.%d" r.w_line r.w_word
-        | Atomic _ -> "Atomic"
-      in
-      pend := (txn, d) :: !pend);
-  Hashtbl.iter
-    (fun txn (b : wb_req) ->
-      pend := (txn, Printf.sprintf "Wb line %d" b.b_line) :: !pend)
-    t.wb_records;
-  let shown =
-    List.filteri (fun i _ -> i < 4) (List.sort compare !pend)
-    |> List.map (fun (txn, d) -> Printf.sprintf "txn %d %s" txn d)
+  let extra =
+    Hashtbl.fold
+      (fun txn (b : wb_req) acc ->
+        (txn, Printf.sprintf "Wb line %d" b.b_line) :: acc)
+      t.wb_records []
   in
-  Printf.sprintf "denovo_l1 %d: sb=%d outstanding=%d stalled=%d%s" t.cfg.id
-    (Store_buffer.count t.sb)
-    (Mshr.count t.outstanding)
-    (List.length t.stalled_stores)
-    (if shown = [] then "" else " [" ^ String.concat "; " shown ^ "]")
+  Chassis.describe_pending t.ch ~name:"denovo_l1"
+    ~describe:(function
+      | Read m -> Printf.sprintf "Read line %d" m.r_line
+      | Own o -> Printf.sprintf "Own line %d" o.o_line
+      | Rmw r -> Printf.sprintf "Rmw line %d.%d" r.w_line r.w_word
+      | Atomic _ -> "Atomic")
+    ~extra
 
-let trace_sample t ~time =
-  Trace.counter t.trace ~time ~dev:t.cfg.id ~name:t.n_mshr
-    ~value:(Mshr.count t.outstanding);
-  Trace.counter t.trace ~time ~dev:t.cfg.id ~name:t.n_sb
-    ~value:(Store_buffer.count t.sb)
+let trace_sample t ~time = Chassis.trace_sample t.ch ~time ()
 
 let create engine net cfg =
-  let stats = Stats.create () in
-  let trace = Engine.trace engine in
-  let retry =
-    Option.map
-      (fun f ->
-        Retry.create
-          (Spandex_net.Fault.retry_config f)
-          ~seed:(0x5EED + cfg.id)
-          ~schedule:(fun ~delay k -> Engine.schedule engine ~delay k)
-          ~stats)
-      (Network.fault net)
+  let ch =
+    Chassis.create engine net ~id:cfg.id ~home_id:cfg.llc_id
+      ~home_banks:cfg.llc_banks ~hit_latency:cfg.hit_latency
+      ~coalesce_window:cfg.coalesce_window ~mshrs:cfg.mshrs
+      ~sb_capacity:cfg.sb_capacity ~level:"l1" ~aux:"sb"
   in
   let t =
     {
-      engine;
-      net;
+      ch;
       cfg;
       frame = Cache_frame.create ~sets:cfg.sets ~ways:cfg.ways;
-      sb = Store_buffer.create ~capacity:cfg.sb_capacity;
-      outstanding = Mshr.create ~capacity:cfg.mshrs;
-      sb_ages = Hashtbl.create 64;
       wb_records = Hashtbl.create 16;
-      reuse = Hashtbl.create 64;
-      last_wt = Hashtbl.create 64;
-      stats;
-      k_load_hit = Stats.key stats "load_hit";
-      k_load_miss = Stats.key stats "load_miss";
-      k_load_sb_fwd = Stats.key stats "load_sb_fwd";
-      k_stores = Stats.key stats "stores";
-      k_store_hit_owned = Stats.key stats "store_hit_owned";
-      k_wt_chosen = Stats.key stats "wt_chosen";
-      k_reqo_issued = Stats.key stats "reqo_issued";
-      k_reqo_words = Stats.key stats "reqo_words";
-      k_wb_issued = Stats.key stats "wb_issued";
-      retry;
-      trace;
-      n_retry = Trace.name trace "retry.resend";
-      n_nack = Trace.name trace "tu.nack";
-      n_chain = Trace.name trace "txn.chain";
-      n_mshr = Trace.name trace (Printf.sprintf "l1.%d.mshr" cfg.id);
-      n_sb = Trace.name trace (Printf.sprintf "l1.%d.sb" cfg.id);
+      policy =
+        Spandex_policy.make cfg.policy
+          ~now:(fun () -> Engine.now engine)
+          ~coalesce_window:cfg.coalesce_window;
+      k_store_hit_owned = Stats.key ch.Chassis.stats "store_hit_owned";
+      k_wt_chosen = Stats.key ch.Chassis.stats "wt_chosen";
+      k_reqo_issued = Stats.key ch.Chassis.stats "reqo_issued";
+      k_reqo_words = Stats.key ch.Chassis.stats "reqo_words";
+      k_wb_issued = Stats.key ch.Chassis.stats "wb_issued";
       epoch = 0;
-      flushing = false;
-      drain_armed = false;
-      release_waiters = [];
-      stalled_stores = [];
     }
   in
+  ch.Chassis.drain <- (fun () -> drain t);
+  ch.Chassis.writes_pending <- (fun () -> writes_pending t);
   Network.register net ~id:cfg.id (fun msg -> handle t msg);
   t
 
@@ -972,7 +876,7 @@ let port t =
     describe_pending = (fun () -> describe_pending t);
   }
 
-let stats t = t.stats
+let stats t = t.ch.Chassis.stats
 
 let word_state t (addr : Addr.t) =
   match Cache_frame.find t.frame ~line:addr.Addr.line with

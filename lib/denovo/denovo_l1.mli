@@ -16,15 +16,6 @@
     mid-ReqO are answered immediately, forwarded ReqV for words no longer
     owned are Nacked, and a Nacked ReqV is retried then converted. *)
 
-type write_policy =
-  | Write_own
-      (** classic DeNovo: every store obtains ownership (Table II). *)
-  | Write_adaptive
-      (** extension (paper V: "future caches that may dynamically adapt
-          their coherence strategy"): a per-line reuse predictor chooses
-          between ownership (ReqO) for lines with observed write reuse and
-          write-through (ReqWT) for streaming lines. *)
-
 type config = {
   id : Spandex_proto.Msg.device_id;
   llc_id : Spandex_proto.Msg.device_id;  (** first backing-cache bank endpoint. *)
@@ -40,7 +31,15 @@ type config = {
   region_of : int -> int;
       (** software region classification by line, used by region-selective
           acquires (paper II-C); pass [fun _ -> 0] when unused. *)
-  write_policy : write_policy;
+  policy : Spandex_l1.Spandex_policy.spec;
+      (** per-request coherence policy.  [Static_own] is classic DeNovo:
+          every store obtains ownership (Table II).  [Adaptive _] is the
+          extension (paper V: "future caches that may dynamically adapt
+          their coherence strategy"): per-line saturating reuse counters
+          choose between ownership (ReqO) for lines with observed write
+          reuse and write-through (ReqWT) for streaming lines, and — when
+          the read threshold is enabled — promote repeatedly missed reads
+          from ReqV to ReqO+data so the fill survives later acquires. *)
 }
 
 type t

@@ -1,8 +1,6 @@
 module Mask = Spandex_util.Mask
 module Stats = Spandex_util.Stats
-module Retry = Spandex_util.Retry
 module Engine = Spandex_sim.Engine
-module Trace = Spandex_sim.Trace
 module Msg = Spandex_proto.Msg
 module Addr = Spandex_proto.Addr
 module Amo = Spandex_proto.Amo
@@ -13,6 +11,8 @@ module Mshr = Spandex_mem.Mshr
 module Store_buffer = Spandex_mem.Store_buffer
 module Port = Spandex_device.Port
 module Tu = Spandex.Tu
+module Chassis = Spandex_l1.Chassis
+module Policy = Spandex_l1.Policy
 
 type config = {
   id : Msg.device_id;
@@ -44,137 +44,63 @@ type atomic = { a_word : int; a_k : int -> unit }
 type outstanding = Miss of miss | Wt of wt | Atomic of atomic
 
 type t = {
-  engine : Engine.t;
-  net : Network.t;
+  ch : outstanding Chassis.t;
   cfg : config;
   frame : line Cache_frame.t;
-  sb : Store_buffer.t;
-  outstanding : outstanding Mshr.t;
-  sb_ages : (int, int) Hashtbl.t;  (* line -> last store cycle *)
-  stats : Stats.t;
-  (* Interned counters for the per-op fast paths. *)
-  k_load_hit : Stats.key;
-  k_load_miss : Stats.key;
-  k_load_sb_fwd : Stats.key;
-  k_stores : Stats.key;
+  (* GPU coherence never owns: reads are self-invalidated ReqV, writes go
+     through.  The policy layer still picks the request kinds so a GPU L1
+     is classified exactly like every other Spandex device (Table II). *)
+  policy : Policy.t;
   k_rmw : Stats.key;
   k_wt_issued : Stats.key;
   k_wt_words : Stats.key;
-  (* End-to-end request retries; armed only when the network injects
-     faults, so fault-free runs are bit-identical to the reliable model. *)
-  retry : Retry.t option;
-  trace : Trace.t;
-  n_retry : int;  (** interned trace names (0 on a disabled sink). *)
-  n_nack : int;
-  n_chain : int;
-  n_mshr : int;
-  n_sb : int;
   mutable epoch : int;
-  mutable flushing : bool;
-  mutable drain_armed : bool;
-  mutable release_waiters : (unit -> unit) list;
-  mutable stalled_stores : (unit -> unit) list;
 }
 
-let count_outstanding t p =
+let wts_outstanding t =
   let n = ref 0 in
-  Mshr.iter t.outstanding ~f:(fun ~txn:_ o -> if p o then incr n);
+  Mshr.iter t.ch.Chassis.outstanding ~f:(fun ~txn:_ -> function
+    | Wt _ -> incr n
+    | _ -> ());
   !n
 
-let wts_outstanding t = count_outstanding t (function Wt _ -> true | _ -> false)
-
-let send t msg = Engine.send_later t.engine ~delay:t.cfg.hit_latency msg
+let send t msg = Chassis.send t.ch msg
 
 let request t ~txn ~kind ~line ~mask ?demand ?payload ?amo () =
-  let msg =
-    Msg.make ~txn ~kind:(Msg.Req kind) ~line ~mask ?demand ?payload
-      ~src:t.cfg.id ~dst:(t.cfg.llc_id + (line mod t.cfg.llc_banks)) ?amo ()
-  in
-  if Trace.on t.trace then
-    Trace.span_begin t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id ~txn
-      ~cls:(Msg.req_kind_index kind) ~line;
-  Option.iter
-    (fun r ->
-      let resend =
-        if Trace.on t.trace then (fun () ->
-            Trace.instant t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id
-              ~name:t.n_retry ~txn ~arg:(Msg.req_kind_index kind);
-            Network.send t.net msg)
-        else fun () -> Network.send t.net msg
-      in
-      Retry.arm r ~txn
-        ~describe:(Format.asprintf "%a line %d" Msg.pp_kind (Msg.Req kind) line)
-        ~resend)
-    t.retry;
-  send t msg
+  Chassis.request t.ch ~txn ~kind ~line ~mask ?demand ?payload ?amo ()
 
-(* Retire [txn]: free the MSHR entry and cancel any retry timer. *)
-let free_txn t ~txn =
-  Mshr.free t.outstanding ~txn;
-  Option.iter (fun r -> Retry.complete r ~txn) t.retry;
-  if Trace.on t.trace then
-    Trace.span_end t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id ~txn
-
-(* Link a protocol-level follow-up transaction for `explain`. *)
-let trace_chain t ~txn ~txn' =
-  if Trace.on t.trace then
-    Trace.instant t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id
-      ~name:t.n_chain ~txn ~arg:txn'
+let free_txn t ~txn = Chassis.free_txn t.ch ~txn
 
 (* ----- write-through drain -------------------------------------------------- *)
 
-(* An entry issues once it has aged past the coalesce window, immediately
-   when a release is flushing or the buffer is half full. *)
-let entry_ready t line =
-  if t.flushing || Store_buffer.count t.sb * 2 >= t.cfg.sb_capacity then true
-  else
-    let age =
-      Engine.now t.engine
-      - Option.value ~default:0 (Hashtbl.find_opt t.sb_ages line)
-    in
-    age >= t.cfg.coalesce_window
-
-let check_release t =
-  if t.flushing && Store_buffer.is_empty t.sb && wts_outstanding t = 0 then begin
-    t.flushing <- false;
-    let ws = t.release_waiters in
-    t.release_waiters <- [];
-    List.iter (fun k -> k ()) ws
-  end
-
-let rec arm_drain t ~delay =
-  if not t.drain_armed then begin
-    t.drain_armed <- true;
-    Engine.schedule t.engine ~delay (fun () ->
-        t.drain_armed <- false;
-        drain t)
-  end
-
-and drain t =
-  match Store_buffer.peek_oldest t.sb with
-  | None -> check_release t
+let rec drain t =
+  match Store_buffer.peek_oldest t.ch.Chassis.sb with
+  | None -> Chassis.check_release t.ch
   | Some e ->
-    if not (entry_ready t e.Store_buffer.line) then
-      arm_drain t ~delay:(max 1 t.cfg.coalesce_window)
-    else if Mshr.is_full t.outstanding then () (* retried on a response *)
+    if not (Chassis.entry_ready t.ch e.Store_buffer.line) then
+      Chassis.arm_drain t.ch ~delay:(max 1 t.cfg.coalesce_window)
+    else if Mshr.is_full t.ch.Chassis.outstanding then
+      () (* retried on a response *)
     else begin
-      match Mshr.alloc t.outstanding (Wt { wt_line = e.Store_buffer.line }) with
+      match
+        Mshr.alloc t.ch.Chassis.outstanding (Wt { wt_line = e.Store_buffer.line })
+      with
       | None -> ()
       | Some txn ->
-        let e = Option.get (Store_buffer.take_oldest t.sb) in
-        Hashtbl.remove t.sb_ages e.Store_buffer.line;
+        let e = Option.get (Store_buffer.take_oldest t.ch.Chassis.sb) in
+        Hashtbl.remove t.ch.Chassis.sb_ages e.Store_buffer.line;
         let mask = e.Store_buffer.mask in
         let payload =
           Msg.Data (Linedata.pack ~mask ~full:e.Store_buffer.values)
         in
-        Stats.bump t.stats t.k_wt_issued;
-        Stats.bump_by t.stats t.k_wt_words (Mask.count mask);
-        request t ~txn ~kind:Msg.ReqWT ~line:e.Store_buffer.line ~mask ~payload
-          ();
+        Stats.bump t.ch.Chassis.stats t.k_wt_issued;
+        Stats.bump_by t.ch.Chassis.stats t.k_wt_words (Mask.count mask);
+        let kind =
+          Policy.req_of_write (t.policy.Policy.classify_write ~line:e.Store_buffer.line)
+        in
+        request t ~txn ~kind ~line:e.Store_buffer.line ~mask ~payload ();
         (* A freed entry may unblock a stalled store. *)
-        let stalled = t.stalled_stores in
-        t.stalled_stores <- [];
-        List.iter (fun retry -> retry ()) stalled;
+        Chassis.wake_stalled t.ch;
         drain t
     end
 
@@ -190,10 +116,11 @@ let install_line t ~line values =
         ~can_evict:(fun ~line:_ _ -> true)
     with
     | Cache_frame.Inserted -> ()
-    | Cache_frame.Evicted _ -> Stats.incr t.stats "evictions"
+    | Cache_frame.Evicted _ -> Stats.incr t.ch.Chassis.stats "evictions"
     | Cache_frame.No_room -> assert false));
   (* Stores buffered for this line must stay visible to local loads. *)
-  match (Store_buffer.find t.sb ~line, Cache_frame.find t.frame ~line) with
+  match (Store_buffer.find t.ch.Chassis.sb ~line, Cache_frame.find t.frame ~line)
+  with
   | Some e, Some l ->
     Mask.iter e.Store_buffer.mask ~f:(fun w ->
         l.data.(w) <- e.Store_buffer.values.(w))
@@ -202,19 +129,17 @@ let install_line t ~line values =
 let complete_miss t ~txn (m : miss) (r : Tu.result) =
   free_txn t ~txn;
   if m.epoch = t.epoch then install_line t ~line:m.m_line r.Tu.values
-  else Stats.incr t.stats "stale_fill_dropped";
+  else Stats.incr t.ch.Chassis.stats "stale_fill_dropped";
   List.iter (fun (w, k) -> k r.Tu.values.(w)) (List.rev m.waiters);
   drain t
 
 (* A Nacked ReqV raced past an ownership change: retry, then convert to a
    ReqWT+data (performed at the LLC) to enforce ordering (§III-C case 3). *)
 let handle_nacks t ~txn (m : miss) (r : Tu.result) =
-  if Trace.on t.trace then
-    Trace.instant t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id
-      ~name:t.n_nack ~txn ~arg:(Mask.count r.Tu.nacked);
+  Chassis.trace_nack t.ch ~txn ~count:(Mask.count r.Tu.nacked);
   if m.retries < t.cfg.max_reqv_retries then begin
     m.retries <- m.retries + 1;
-    Stats.incr t.stats "reqv_retry";
+    Stats.incr t.ch.Chassis.stats "reqv_retry";
     let fresh = Tu.create ~demand:r.Tu.nacked in
     (* Carry over what already arrived. *)
     ignore
@@ -231,15 +156,15 @@ let handle_nacks t ~txn (m : miss) (r : Tu.result) =
       { m with collector = fresh; retries = m.retries }
     in
     free_txn t ~txn;
-    (match Mshr.alloc t.outstanding (Miss m') with
+    (match Mshr.alloc t.ch.Chassis.outstanding (Miss m') with
     | Some txn' ->
       request t ~txn:txn' ~kind:Msg.ReqV ~line:m.m_line ~mask:r.Tu.nacked
         ~demand:r.Tu.nacked ();
-      trace_chain t ~txn ~txn'
+      Chassis.trace_chain t.ch ~txn ~txn'
     | None -> assert false (* we just freed a slot *))
   end
   else begin
-    Stats.incr t.stats "reqv_converted";
+    Stats.incr t.ch.Chassis.stats "reqv_converted";
     (* One ReqWT+data (atomic read) per still-missing word. *)
     let base = Tu.create ~demand:r.Tu.nacked in
     ignore
@@ -254,37 +179,39 @@ let handle_nacks t ~txn (m : miss) (r : Tu.result) =
             ~line:m.m_line ~src:t.cfg.id ~dst:t.cfg.id ()));
     let m' = { m with collector = base } in
     free_txn t ~txn;
-    match Mshr.alloc t.outstanding (Miss m') with
+    match Mshr.alloc t.ch.Chassis.outstanding (Miss m') with
     | Some txn' ->
       Mask.iter r.Tu.nacked ~f:(fun w ->
           request t ~txn:txn' ~kind:Msg.ReqWTdata ~line:m.m_line
             ~mask:(Mask.singleton w) ~amo:Amo.Read ());
-      trace_chain t ~txn ~txn'
+      Chassis.trace_chain t.ch ~txn ~txn'
     | None -> assert false
   end
 
 let rec load t (addr : Addr.t) ~k =
-  let done_ v = Engine.apply_later t.engine ~delay:t.cfg.hit_latency k v in
-  match Store_buffer.forward t.sb ~addr with
+  let done_ v =
+    Engine.apply_later t.ch.Chassis.engine ~delay:t.cfg.hit_latency k v
+  in
+  match Store_buffer.forward t.ch.Chassis.sb ~addr with
   | Some v ->
-    Stats.bump t.stats t.k_load_sb_fwd;
+    Stats.bump t.ch.Chassis.stats t.ch.Chassis.k_load_sb_fwd;
     done_ v
   | None -> (
     match Cache_frame.find t.frame ~line:addr.Addr.line with
     | Some l ->
-      Stats.bump t.stats t.k_load_hit;
+      Stats.bump t.ch.Chassis.stats t.ch.Chassis.k_load_hit;
       Cache_frame.touch t.frame ~line:addr.Addr.line;
       done_ l.data.(addr.Addr.word)
     | None -> (
-      Stats.bump t.stats t.k_load_miss;
+      Stats.bump t.ch.Chassis.stats t.ch.Chassis.k_load_miss;
       (* Coalesce with an outstanding miss of the current epoch. *)
       match
-        Mshr.find_first t.outstanding ~f:(function
+        Mshr.find_first t.ch.Chassis.outstanding ~f:(function
           | Miss m -> m.m_line = addr.Addr.line && m.epoch = t.epoch
           | _ -> false)
       with
       | Some (_, Miss m) ->
-        Stats.incr t.stats "load_miss_coalesced";
+        Stats.incr t.ch.Chassis.stats "load_miss_coalesced";
         m.waiters <- (addr.Addr.word, k) :: m.waiters
       | Some _ -> assert false
       | None -> (
@@ -297,38 +224,41 @@ let rec load t (addr : Addr.t) ~k =
             retries = 0;
           }
         in
-        match Mshr.alloc t.outstanding (Miss m) with
+        match Mshr.alloc t.ch.Chassis.outstanding (Miss m) with
         | Some txn ->
           (* Line-granularity read (Table II). *)
-          request t ~txn ~kind:Msg.ReqV ~line:addr.Addr.line
-            ~mask:Addr.full_mask ()
+          let kind =
+            Policy.req_of_read
+              (t.policy.Policy.classify_read ~line:addr.Addr.line Policy.absent)
+          in
+          request t ~txn ~kind ~line:addr.Addr.line ~mask:Addr.full_mask ()
         | None ->
           (* MSHRs exhausted: retry shortly. *)
-          Stats.incr t.stats "mshr_stall";
-          Engine.schedule t.engine ~delay:4 (fun () -> load t addr ~k))))
+          Stats.incr t.ch.Chassis.stats "mshr_stall";
+          Engine.schedule t.ch.Chassis.engine ~delay:4 (fun () -> load t addr ~k))))
 
 (* ----- stores and atomics --------------------------------------------------- *)
 
 let rec store t (addr : Addr.t) ~value ~k =
-  match Store_buffer.push t.sb ~addr ~value with
+  match Store_buffer.push t.ch.Chassis.sb ~addr ~value with
   | `Coalesced | `New ->
-    Hashtbl.replace t.sb_ages addr.Addr.line (Engine.now t.engine);
+    Hashtbl.replace t.ch.Chassis.sb_ages addr.Addr.line
+      (Engine.now t.ch.Chassis.engine);
     (* Keep a valid cached copy coherent with the local write. *)
     (match Cache_frame.find t.frame ~line:addr.Addr.line with
     | Some l -> l.data.(addr.Addr.word) <- value
     | None -> ());
-    Stats.bump t.stats t.k_stores;
-    arm_drain t ~delay:1;
-    Engine.schedule t.engine ~delay:t.cfg.hit_latency k
-  | `Full ->
-    Stats.incr t.stats "sb_full_stall";
-    t.stalled_stores <- (fun () -> store t addr ~value ~k) :: t.stalled_stores;
-    arm_drain t ~delay:1
+    Stats.bump t.ch.Chassis.stats t.ch.Chassis.k_stores;
+    Chassis.arm_drain t.ch ~delay:1;
+    Engine.schedule t.ch.Chassis.engine ~delay:t.cfg.hit_latency k
+  | `Full -> Chassis.stall_store t.ch (fun () -> store t addr ~value ~k)
 
 let rmw t (addr : Addr.t) amo ~k =
   (* Atomics bypass the L1 and execute at the backing cache (§II-B). *)
-  Stats.bump t.stats t.k_rmw;
-  match Mshr.alloc t.outstanding (Atomic { a_word = addr.Addr.word; a_k = k })
+  Stats.bump t.ch.Chassis.stats t.k_rmw;
+  match
+    Mshr.alloc t.ch.Chassis.outstanding
+      (Atomic { a_word = addr.Addr.word; a_k = k })
   with
   | Some txn ->
     (* The returned data makes any cached copy of the line stale. *)
@@ -336,17 +266,18 @@ let rmw t (addr : Addr.t) amo ~k =
     request t ~txn ~kind:Msg.ReqWTdata ~line:addr.Addr.line
       ~mask:(Mask.singleton addr.Addr.word) ~amo ()
   | None ->
-    Stats.incr t.stats "mshr_stall";
-    Engine.schedule t.engine ~delay:4 (fun () ->
+    Stats.incr t.ch.Chassis.stats "mshr_stall";
+    Engine.schedule t.ch.Chassis.engine ~delay:4 (fun () ->
         let rec retry () =
           match
-            Mshr.alloc t.outstanding (Atomic { a_word = addr.Addr.word; a_k = k })
+            Mshr.alloc t.ch.Chassis.outstanding
+              (Atomic { a_word = addr.Addr.word; a_k = k })
           with
           | Some txn ->
             Cache_frame.remove t.frame ~line:addr.Addr.line;
             request t ~txn ~kind:Msg.ReqWTdata ~line:addr.Addr.line
               ~mask:(Mask.singleton addr.Addr.word) ~amo ()
-          | None -> Engine.schedule t.engine ~delay:4 retry
+          | None -> Engine.schedule t.ch.Chassis.engine ~delay:4 retry
         in
         retry ())
 
@@ -354,37 +285,31 @@ let rmw t (addr : Addr.t) amo ~k =
 
 let acquire t ~k =
   (* Flash self-invalidation of all Valid data: single cycle (§IV-A). *)
-  Stats.incr t.stats "acquire_flash";
-  Stats.add t.stats "flash_invalidated" (Cache_frame.count t.frame)
+  Stats.incr t.ch.Chassis.stats "acquire_flash";
+  Stats.add t.ch.Chassis.stats "flash_invalidated" (Cache_frame.count t.frame)
   |> ignore;
   let lines =
     Cache_frame.fold t.frame ~init:[] ~f:(fun acc ~line _ -> line :: acc)
   in
   List.iter (fun line -> Cache_frame.remove t.frame ~line) lines;
   t.epoch <- t.epoch + 1;
-  Engine.schedule t.engine ~delay:1 k
+  Engine.schedule t.ch.Chassis.engine ~delay:1 k
 
-let release t ~k =
-  Stats.incr t.stats "release";
-  t.flushing <- true;
-  t.release_waiters <- k :: t.release_waiters;
-  arm_drain t ~delay:0;
-  (* Already drained? *)
-  Engine.schedule t.engine ~delay:1 (fun () -> check_release t)
+let release t ~k = Chassis.release t.ch ~k
 
 (* ----- responses ------------------------------------------------------------ *)
 
 let handle t (msg : Msg.t) =
   match msg.Msg.kind with
   | Msg.Rsp _ -> (
-    match Mshr.find t.outstanding ~txn:msg.Msg.txn with
-    | None -> Stats.incr t.stats "orphan_rsp"
+    match Mshr.find t.ch.Chassis.outstanding ~txn:msg.Msg.txn with
+    | None -> Stats.incr t.ch.Chassis.stats "orphan_rsp"
     | Some (Wt _) ->
       (match msg.Msg.kind with
       | Msg.Rsp Msg.RspWT | Msg.Rsp Msg.RspO -> ()
       | _ -> failwith "Gpu_l1: unexpected write-through response");
       free_txn t ~txn:msg.Msg.txn;
-      check_release t;
+      Chassis.check_release t.ch;
       drain t
     | Some (Atomic a) -> (
       match (msg.Msg.kind, msg.Msg.payload) with
@@ -410,80 +335,41 @@ let handle t (msg : Msg.t) =
 
 (* ----- construction --------------------------------------------------------- *)
 
-let quiescent t =
-  Store_buffer.is_empty t.sb && Mshr.count t.outstanding = 0
-  && t.stalled_stores = []
+let quiescent t = Chassis.quiescent t.ch
 
 let describe_pending t =
-  let pend = ref [] in
-  Mshr.iter t.outstanding ~f:(fun ~txn o ->
-      let d =
-        match o with
-        | Miss m -> Printf.sprintf "Miss line %d" m.m_line
-        | Wt w -> Printf.sprintf "Wt line %d" w.wt_line
-        | Atomic a -> Printf.sprintf "Atomic word %d" a.a_word
-      in
-      pend := (txn, d) :: !pend);
-  let shown =
-    List.filteri (fun i _ -> i < 4) (List.sort compare !pend)
-    |> List.map (fun (txn, d) -> Printf.sprintf "txn %d %s" txn d)
-  in
-  Printf.sprintf "gpu_l1 %d: sb=%d outstanding=%d stalled=%d%s" t.cfg.id
-    (Store_buffer.count t.sb)
-    (Mshr.count t.outstanding)
-    (List.length t.stalled_stores)
-    (if shown = [] then "" else " [" ^ String.concat "; " shown ^ "]")
+  Chassis.describe_pending t.ch ~name:"gpu_l1"
+    ~describe:(function
+      | Miss m -> Printf.sprintf "Miss line %d" m.m_line
+      | Wt w -> Printf.sprintf "Wt line %d" w.wt_line
+      | Atomic a -> Printf.sprintf "Atomic word %d" a.a_word)
+    ~extra:[]
 
-let trace_sample t ~time =
-  Trace.counter t.trace ~time ~dev:t.cfg.id ~name:t.n_mshr
-    ~value:(Mshr.count t.outstanding);
-  Trace.counter t.trace ~time ~dev:t.cfg.id ~name:t.n_sb
-    ~value:(Store_buffer.count t.sb)
+let trace_sample t ~time = Chassis.trace_sample t.ch ~time ()
 
 let create engine net cfg =
-  let stats = Stats.create () in
-  let trace = Engine.trace engine in
-  let retry =
-    Option.map
-      (fun f ->
-        Retry.create
-          (Spandex_net.Fault.retry_config f)
-          ~seed:(0x5EED + cfg.id)
-          ~schedule:(fun ~delay k -> Engine.schedule engine ~delay k)
-          ~stats)
-      (Network.fault net)
+  let ch =
+    Chassis.create engine net ~id:cfg.id ~home_id:cfg.llc_id
+      ~home_banks:cfg.llc_banks ~hit_latency:cfg.hit_latency
+      ~coalesce_window:cfg.coalesce_window ~mshrs:cfg.mshrs
+      ~sb_capacity:cfg.sb_capacity ~level:"l1" ~aux:"sb"
   in
   let t =
     {
-      engine;
-      net;
+      ch;
       cfg;
       frame = Cache_frame.create ~sets:cfg.sets ~ways:cfg.ways;
-      sb = Store_buffer.create ~capacity:cfg.sb_capacity;
-      outstanding = Mshr.create ~capacity:cfg.mshrs;
-      sb_ages = Hashtbl.create 64;
-      stats;
-      k_load_hit = Stats.key stats "load_hit";
-      k_load_miss = Stats.key stats "load_miss";
-      k_load_sb_fwd = Stats.key stats "load_sb_fwd";
-      k_stores = Stats.key stats "stores";
-      k_rmw = Stats.key stats "rmw";
-      k_wt_issued = Stats.key stats "wt_issued";
-      k_wt_words = Stats.key stats "wt_words";
-      retry;
-      trace;
-      n_retry = Trace.name trace "retry.resend";
-      n_nack = Trace.name trace "tu.nack";
-      n_chain = Trace.name trace "txn.chain";
-      n_mshr = Trace.name trace (Printf.sprintf "l1.%d.mshr" cfg.id);
-      n_sb = Trace.name trace (Printf.sprintf "l1.%d.sb" cfg.id);
+      policy =
+        Policy.static ~name:"gpu-through" ~read:Policy.Read_valid
+          ~write:Policy.Write_through;
+      k_rmw = Stats.key ch.Chassis.stats "rmw";
+      k_wt_issued = Stats.key ch.Chassis.stats "wt_issued";
+      k_wt_words = Stats.key ch.Chassis.stats "wt_words";
       epoch = 0;
-      flushing = false;
-      drain_armed = false;
-      release_waiters = [];
-      stalled_stores = [];
     }
   in
+  ch.Chassis.drain <- (fun () -> drain t);
+  ch.Chassis.writes_pending <- (fun () -> wts_outstanding t);
   Network.register net ~id:cfg.id (fun msg -> handle t msg);
   t
 
@@ -501,7 +387,7 @@ let port t =
     describe_pending = (fun () -> describe_pending t);
   }
 
-let stats t = t.stats
+let stats t = t.ch.Chassis.stats
 let holds_line t ~line = Cache_frame.find t.frame ~line <> None
 
 let peek_word t (addr : Addr.t) =

@@ -1,0 +1,223 @@
+module Mask = Spandex_util.Mask
+module Stats = Spandex_util.Stats
+module Retry = Spandex_util.Retry
+module Engine = Spandex_sim.Engine
+module Trace = Spandex_sim.Trace
+module Msg = Spandex_proto.Msg
+module Linedata = Spandex_proto.Linedata
+module Network = Spandex_net.Network
+module Fault = Spandex_net.Fault
+module Mshr = Spandex_mem.Mshr
+module Store_buffer = Spandex_mem.Store_buffer
+
+type 'o t = {
+  engine : Engine.t;
+  net : Network.t;
+  id : Msg.device_id;
+  home_id : Msg.device_id;
+  home_banks : int;
+  hit_latency : int;
+  coalesce_window : int;
+  sb_capacity : int;
+  outstanding : 'o Mshr.t;
+  sb : Store_buffer.t;
+  sb_ages : (int, int) Hashtbl.t;
+  stats : Stats.t;
+  k_load_hit : Stats.key;
+  k_load_miss : Stats.key;
+  k_load_sb_fwd : Stats.key;
+  k_stores : Stats.key;
+  retry : Retry.t option;
+  trace : Trace.t;
+  n_retry : int;
+  n_nack : int;
+  n_chain : int;
+  n_occ_mshr : int;
+  n_occ_aux : int;
+  mutable flushing : bool;
+  mutable drain_armed : bool;
+  mutable release_waiters : (unit -> unit) list;
+  mutable stalled_stores : (unit -> unit) list;
+  mutable drain : unit -> unit;
+  mutable writes_pending : unit -> int;
+  mutable drain_tick : unit -> unit;
+}
+
+let create engine net ~id ~home_id ~home_banks ~hit_latency ~coalesce_window
+    ~mshrs ~sb_capacity ~level ~aux =
+  let stats = Stats.create () in
+  let trace = Engine.trace engine in
+  let retry =
+    Option.map
+      (fun f ->
+        Retry.create (Fault.retry_config f) ~seed:(0x5EED + id)
+          ~schedule:(fun ~delay k -> Engine.schedule engine ~delay k)
+          ~stats)
+      (Network.fault net)
+  in
+  let t =
+    {
+      engine;
+      net;
+      id;
+      home_id;
+      home_banks;
+      hit_latency;
+      coalesce_window;
+      sb_capacity;
+      outstanding = Mshr.create ~capacity:mshrs;
+      sb = Store_buffer.create ~capacity:sb_capacity;
+      sb_ages = Hashtbl.create 64;
+      stats;
+      k_load_hit = Stats.key stats "load_hit";
+      k_load_miss = Stats.key stats "load_miss";
+      k_load_sb_fwd = Stats.key stats "load_sb_fwd";
+      k_stores = Stats.key stats "stores";
+      retry;
+      trace;
+      n_retry = Trace.name trace "retry.resend";
+      n_nack = Trace.name trace "tu.nack";
+      n_chain = Trace.name trace "txn.chain";
+      n_occ_mshr = Trace.name trace (Printf.sprintf "%s.%d.mshr" level id);
+      n_occ_aux = Trace.name trace (Printf.sprintf "%s.%d.%s" level id aux);
+      flushing = false;
+      drain_armed = false;
+      release_waiters = [];
+      stalled_stores = [];
+      drain = (fun () -> ());
+      writes_pending = (fun () -> 0);
+      drain_tick = (fun () -> ());
+    }
+  in
+  t.drain_tick <-
+    (fun () ->
+      t.drain_armed <- false;
+      t.drain ());
+  t
+
+let send t msg = Engine.send_later t.engine ~delay:t.hit_latency msg
+
+let request t ~txn ~kind ~line ~mask ?demand ?payload ?amo () =
+  let msg =
+    Msg.make ~txn ~kind:(Msg.Req kind) ~line ~mask ?demand ?payload ~src:t.id
+      ~dst:(t.home_id + (line mod t.home_banks)) ?amo ()
+  in
+  if Trace.on t.trace then
+    Trace.span_begin t.trace ~time:(Engine.now t.engine) ~dev:t.id ~txn
+      ~cls:(Msg.req_kind_index kind) ~line;
+  Option.iter
+    (fun r ->
+      let resend =
+        if Trace.on t.trace then (fun () ->
+            Trace.instant t.trace ~time:(Engine.now t.engine) ~dev:t.id
+              ~name:t.n_retry ~txn ~arg:(Msg.req_kind_index kind);
+            Network.send t.net msg)
+        else fun () -> Network.send t.net msg
+      in
+      Retry.arm r ~txn
+        ~describe:(Format.asprintf "%a line %d" Msg.pp_kind (Msg.Req kind) line)
+        ~resend)
+    t.retry;
+  send t msg
+
+let retire t ~txn =
+  Option.iter (fun r -> Retry.complete r ~txn) t.retry;
+  if Trace.on t.trace then
+    Trace.span_end t.trace ~time:(Engine.now t.engine) ~dev:t.id ~txn
+
+let free_txn t ~txn =
+  Mshr.free t.outstanding ~txn;
+  retire t ~txn
+
+let trace_chain t ~txn ~txn' =
+  if Trace.on t.trace then
+    Trace.instant t.trace ~time:(Engine.now t.engine) ~dev:t.id ~name:t.n_chain
+      ~txn ~arg:txn'
+
+let trace_nack t ~txn ~count =
+  if Trace.on t.trace then
+    Trace.instant t.trace ~time:(Engine.now t.engine) ~dev:t.id ~name:t.n_nack
+      ~txn ~arg:count
+
+let reply t (msg : Msg.t) ~kind ~dst ~mask ?payload () =
+  if not (Mask.is_empty mask) then
+    send t
+      (Msg.make ~txn:msg.Msg.txn ~kind:(Msg.Rsp kind) ~line:msg.Msg.line ~mask
+         ?payload ~src:t.id ~dst ())
+
+let reply_data t msg ~kind ~dst ~mask ~values =
+  if not (Mask.is_empty mask) then
+    reply t msg ~kind ~dst ~mask
+      ~payload:(Msg.Data (Linedata.pack ~mask ~full:values))
+      ()
+
+let entry_ready ?(forced = false) t line =
+  if t.flushing || forced || Store_buffer.count t.sb * 2 >= t.sb_capacity then
+    true
+  else
+    let age =
+      Engine.now t.engine
+      - Option.value ~default:0 (Hashtbl.find_opt t.sb_ages line)
+    in
+    age >= t.coalesce_window
+
+let check_release t =
+  if t.flushing && Store_buffer.is_empty t.sb && t.writes_pending () = 0
+  then begin
+    t.flushing <- false;
+    let ws = t.release_waiters in
+    t.release_waiters <- [];
+    List.iter (fun k -> k ()) ws
+  end
+
+let arm_drain t ~delay =
+  if not t.drain_armed then begin
+    t.drain_armed <- true;
+    Engine.schedule t.engine ~delay t.drain_tick
+  end
+
+let release t ~k =
+  Stats.incr t.stats "release";
+  t.flushing <- true;
+  t.release_waiters <- k :: t.release_waiters;
+  arm_drain t ~delay:0;
+  (* Already drained? *)
+  Engine.schedule t.engine ~delay:1 (fun () -> check_release t)
+
+let wake_stalled t =
+  let stalled = t.stalled_stores in
+  t.stalled_stores <- [];
+  List.iter (fun retry -> retry ()) stalled
+
+let stall_store t retry =
+  Stats.incr t.stats "sb_full_stall";
+  t.stalled_stores <- retry :: t.stalled_stores;
+  arm_drain t ~delay:1
+
+let trace_sample t ~time ?aux () =
+  Trace.counter t.trace ~time ~dev:t.id ~name:t.n_occ_mshr
+    ~value:(Mshr.count t.outstanding);
+  Trace.counter t.trace ~time ~dev:t.id ~name:t.n_occ_aux
+    ~value:(Option.value ~default:(Store_buffer.count t.sb) aux)
+
+let pending_summary t ~describe ~extra =
+  let pend = ref [] in
+  Mshr.iter t.outstanding ~f:(fun ~txn o -> pend := (txn, describe o) :: !pend);
+  List.iter (fun p -> pend := p :: !pend) extra;
+  let shown =
+    List.filteri (fun i _ -> i < 4) (List.sort compare !pend)
+    |> List.map (fun (txn, d) -> Printf.sprintf "txn %d %s" txn d)
+  in
+  if shown = [] then "" else " [" ^ String.concat "; " shown ^ "]"
+
+let describe_pending t ~name ~describe ~extra =
+  Printf.sprintf "%s %d: sb=%d outstanding=%d stalled=%d%s" name t.id
+    (Store_buffer.count t.sb)
+    (Mshr.count t.outstanding)
+    (List.length t.stalled_stores)
+    (pending_summary t ~describe ~extra)
+
+let quiescent t =
+  Store_buffer.is_empty t.sb
+  && Mshr.count t.outstanding = 0
+  && t.stalled_stores = []

@@ -1,13 +1,11 @@
-module Mask = Spandex_util.Mask
 module Stats = Spandex_util.Stats
-module Retry = Spandex_util.Retry
 module Engine = Spandex_sim.Engine
-module Trace = Spandex_sim.Trace
 module Msg = Spandex_proto.Msg
 module Addr = Spandex_proto.Addr
 module Network = Spandex_net.Network
 module Mshr = Spandex_mem.Mshr
 module Backing = Spandex.Backing
+module Chassis = Spandex_l1.Chassis
 
 type config = {
   id : Msg.device_id;
@@ -27,23 +25,13 @@ type wb = { w_line : int; w_values : int array; w_k : unit -> unit }
 type outstanding = Acq of acq | Wb of wb
 
 type t = {
-  engine : Engine.t;
-  net : Network.t;
+  ch : outstanding Chassis.t;
   cfg : config;
   states : (int, pstate) Hashtbl.t;
-  outstanding : outstanding Mshr.t;
-  stats : Stats.t;
   (* Interned counters for the per-request fast paths. *)
   k_gets : Stats.key;
   k_getm : Stats.key;
   k_putm : Stats.key;
-  (* End-to-end request retries; armed only when the network injects
-     faults, so fault-free runs are bit-identical to the reliable model. *)
-  retry : Retry.t option;
-  trace : Trace.t;
-  n_retry : int;  (** interned trace names (0 on a disabled sink). *)
-  n_mshr : int;
-  n_parked : int;
   mutable parked : int;  (* requests waiting for an MSHR slot. *)
   mutable recall_handler : Backing.recall_handler;
 }
@@ -54,51 +42,22 @@ let set_state t line = function
   | P_I -> Hashtbl.remove t.states line
   | s -> Hashtbl.replace t.states line s
 
-let send t msg = Engine.send_later t.engine ~delay:t.cfg.hit_latency msg
-
 let request t ~txn ~kind ~line ?payload () =
-  let msg =
-    Msg.make ~txn ~kind:(Msg.Req kind) ~line ~mask:Addr.full_mask ?payload
-      ~src:t.cfg.id ~dst:(t.cfg.dir_id + (line mod t.cfg.dir_banks)) ()
-  in
-  if Trace.on t.trace then
-    Trace.span_begin t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id ~txn
-      ~cls:(Msg.req_kind_index kind) ~line;
-  Option.iter
-    (fun r ->
-      let resend =
-        if Trace.on t.trace then (fun () ->
-            Trace.instant t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id
-              ~name:t.n_retry ~txn ~arg:(Msg.req_kind_index kind);
-            Network.send t.net msg)
-        else fun () -> Network.send t.net msg
-      in
-      Retry.arm r ~txn
-        ~describe:(Format.asprintf "%a line %d" Msg.pp_kind (Msg.Req kind) line)
-        ~resend)
-    t.retry;
-  send t msg
+  Chassis.request t.ch ~txn ~kind ~line ~mask:Addr.full_mask ?payload ()
 
-(* Retire [txn]: free the MSHR entry and cancel any retry timer. *)
-let free_txn t ~txn =
-  Mshr.free t.outstanding ~txn;
-  Option.iter (fun r -> Retry.complete r ~txn) t.retry;
-  if Trace.on t.trace then
-    Trace.span_end t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id ~txn
+let free_txn t ~txn = Chassis.free_txn t.ch ~txn
 
 let reply t (msg : Msg.t) ~kind ~dst ?payload () =
-  send t
-    (Msg.make ~txn:msg.Msg.txn ~kind:(Msg.Rsp kind) ~line:msg.Msg.line
-       ~mask:msg.Msg.mask ?payload ~src:t.cfg.id ~dst ())
+  Chassis.reply t.ch msg ~kind ~dst ~mask:msg.Msg.mask ?payload ()
 
 let pending_acq_for t line =
-  Mshr.find_first t.outstanding ~f:(function
+  Mshr.find_first t.ch.Chassis.outstanding ~f:(function
     | Acq a -> a.a_line = line
     | _ -> false)
 
 let wb_for t line =
   match
-    Mshr.find_first t.outstanding ~f:(function
+    Mshr.find_first t.ch.Chassis.outstanding ~f:(function
       | Wb b -> b.w_line = line
       | _ -> false)
   with
@@ -113,16 +72,18 @@ let acquire t ~line ~excl ~k =
   | P_S when not excl -> k None ~excl:false
   | P_S | P_I ->
     let kind = if excl then Msg.ReqOdata else Msg.ReqS in
-    Stats.bump t.stats (if excl then t.k_getm else t.k_gets);
+    Stats.bump t.ch.Chassis.stats (if excl then t.k_getm else t.k_gets);
     let rec fire () =
-      match Mshr.alloc t.outstanding (Acq { a_line = line; a_k = k }) with
+      match
+        Mshr.alloc t.ch.Chassis.outstanding (Acq { a_line = line; a_k = k })
+      with
       | Some txn ->
         t.parked <- t.parked - 1;
         request t ~txn ~kind ~line ()
       | None ->
         (* All request slots busy: wait for responses to free one. *)
-        Stats.incr t.stats "mshr_stall";
-        Engine.schedule t.engine ~delay:4 fire
+        Stats.incr t.ch.Chassis.stats "mshr_stall";
+        Engine.schedule t.ch.Chassis.engine ~delay:4 fire
     in
     t.parked <- t.parked + 1;
     fire ()
@@ -134,26 +95,26 @@ let writeback t ~line ~data ~dirty ~k =
        believes we might have dirtied it). *)
     ignore dirty;
     set_state t line P_I;
-    Stats.bump t.stats t.k_putm;
+    Stats.bump t.ch.Chassis.stats t.k_putm;
     let record = Wb { w_line = line; w_values = Array.copy data; w_k = k } in
     let rec fire () =
-      match Mshr.alloc t.outstanding record with
+      match Mshr.alloc t.ch.Chassis.outstanding record with
       | Some txn ->
         t.parked <- t.parked - 1;
         request t ~txn ~kind:Msg.ReqWB ~line
           ~payload:(Msg.Data (Array.copy data)) ()
       | None ->
-        Stats.incr t.stats "mshr_stall";
-        Engine.schedule t.engine ~delay:4 fire
+        Stats.incr t.ch.Chassis.stats "mshr_stall";
+        Engine.schedule t.ch.Chassis.engine ~delay:4 fire
     in
     t.parked <- t.parked + 1;
     fire ())
   | P_S ->
     (* Shared lines drop silently; a later Inv finds nothing and is Acked. *)
     set_state t line P_I;
-    Stats.incr t.stats "silent_drop";
-    Engine.schedule t.engine ~delay:0 k
-  | P_I -> Engine.schedule t.engine ~delay:0 k
+    Stats.incr t.ch.Chassis.stats "silent_drop";
+    Engine.schedule t.ch.Chassis.engine ~delay:0 k
+  | P_I -> Engine.schedule t.ch.Chassis.engine ~delay:0 k
 
 (* ----- directory-initiated messages ------------------------------------------- *)
 
@@ -164,7 +125,7 @@ let handle t (msg : Msg.t) =
     if pending_acq_for t msg.Msg.line <> None then begin
       (* §III-C: an Inv racing a pending upgrade is acknowledged at once;
          the upgrade's response will carry fresh data. *)
-      Stats.incr t.stats "inv_mid_upgrade";
+      Stats.incr t.ch.Chassis.stats "inv_mid_upgrade";
       set_state t msg.Msg.line P_I;
       reply t msg ~kind:Msg.Ack ~dst:msg.Msg.src ()
     end
@@ -237,8 +198,8 @@ let handle t (msg : Msg.t) =
             (* If a purge-eviction raced us, its PutM carries the data. *)
             reply t msg ~kind:Msg.RspRvkO ~dst:msg.Msg.src ()))
   | Msg.Rsp _ -> (
-    match Mshr.find t.outstanding ~txn:msg.Msg.txn with
-    | None -> Stats.incr t.stats "orphan_rsp"
+    match Mshr.find t.ch.Chassis.outstanding ~txn:msg.Msg.txn with
+    | None -> Stats.incr t.ch.Chassis.stats "orphan_rsp"
     | Some (Acq a) -> (
       free_txn t ~txn:msg.Msg.txn;
       match (msg.Msg.kind, msg.Msg.payload) with
@@ -258,40 +219,24 @@ let handle t (msg : Msg.t) =
   | Msg.Req _ ->
     failwith (Format.asprintf "Mesi_client: unexpected message %a" Msg.pp msg)
 
-let trace_sample t ~time =
-  Trace.counter t.trace ~time ~dev:t.cfg.id ~name:t.n_mshr
-    ~value:(Mshr.count t.outstanding);
-  Trace.counter t.trace ~time ~dev:t.cfg.id ~name:t.n_parked ~value:t.parked
+let trace_sample t ~time = Chassis.trace_sample t.ch ~time ~aux:t.parked ()
 
 let create engine net cfg =
-  let stats = Stats.create () in
-  let trace = Engine.trace engine in
-  let retry =
-    Option.map
-      (fun f ->
-        Retry.create
-          (Spandex_net.Fault.retry_config f)
-          ~seed:(0x5EED + cfg.id)
-          ~schedule:(fun ~delay k -> Engine.schedule engine ~delay k)
-          ~stats)
-      (Network.fault net)
+  let ch =
+    (* No store buffer at this level: the chassis's is a 1-entry stub that
+       stays empty; the parent caches do the buffering. *)
+    Chassis.create engine net ~id:cfg.id ~home_id:cfg.dir_id
+      ~home_banks:cfg.dir_banks ~hit_latency:cfg.hit_latency ~coalesce_window:0
+      ~mshrs:256 ~sb_capacity:1 ~level:"l2" ~aux:"parked"
   in
   let t =
     {
-      engine;
-      net;
+      ch;
       cfg;
       states = Hashtbl.create 1024;
-      outstanding = Mshr.create ~capacity:256;
-      stats;
-      k_gets = Stats.key stats "gets";
-      k_getm = Stats.key stats "getm";
-      k_putm = Stats.key stats "putm";
-      retry;
-      trace;
-      n_retry = Trace.name trace "retry.resend";
-      n_mshr = Trace.name trace (Printf.sprintf "l2.%d.mshr" cfg.id);
-      n_parked = Trace.name trace (Printf.sprintf "l2.%d.parked" cfg.id);
+      k_gets = Stats.key ch.Chassis.stats "gets";
+      k_getm = Stats.key ch.Chassis.stats "getm";
+      k_putm = Stats.key ch.Chassis.stats "putm";
       parked = 0;
       recall_handler = (fun ~line:_ ~kind:_ ~k -> k None);
     }
@@ -299,24 +244,16 @@ let create engine net cfg =
   Network.register net ~id:cfg.id (fun msg -> handle t msg);
   t
 
-let quiescent t = Mshr.count t.outstanding = 0 && t.parked = 0
+let quiescent t = Mshr.count t.ch.Chassis.outstanding = 0 && t.parked = 0
 
 let describe_pending t =
-  let pend = ref [] in
-  Mshr.iter t.outstanding ~f:(fun ~txn o ->
-      let d =
-        match o with
-        | Acq a -> Printf.sprintf "Acq line %d" a.a_line
-        | Wb b -> Printf.sprintf "Wb line %d" b.w_line
-      in
-      pend := (txn, d) :: !pend);
-  let shown =
-    List.filteri (fun i _ -> i < 4) (List.sort compare !pend)
-    |> List.map (fun (txn, d) -> Printf.sprintf "txn %d %s" txn d)
-  in
   Printf.sprintf "mesi_client %d: outstanding=%d%s" t.cfg.id
-    (Mshr.count t.outstanding)
-    (if shown = [] then "" else " [" ^ String.concat "; " shown ^ "]")
+    (Mshr.count t.ch.Chassis.outstanding)
+    (Chassis.pending_summary t.ch
+       ~describe:(function
+         | Acq a -> Printf.sprintf "Acq line %d" a.a_line
+         | Wb b -> Printf.sprintf "Wb line %d" b.w_line)
+       ~extra:[])
 
 let backing t =
   {
@@ -328,4 +265,4 @@ let backing t =
     describe_pending = (fun () -> describe_pending t);
   }
 
-let stats t = t.stats
+let stats t = t.ch.Chassis.stats

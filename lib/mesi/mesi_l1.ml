@@ -1,8 +1,6 @@
 module Mask = Spandex_util.Mask
 module Stats = Spandex_util.Stats
-module Retry = Spandex_util.Retry
 module Engine = Spandex_sim.Engine
-module Trace = Spandex_sim.Trace
 module Msg = Spandex_proto.Msg
 module Addr = Spandex_proto.Addr
 module Amo = Spandex_proto.Amo
@@ -14,6 +12,8 @@ module Mshr = Spandex_mem.Mshr
 module Store_buffer = Spandex_mem.Store_buffer
 module Port = Spandex_device.Port
 module Tu = Spandex.Tu
+module Chassis = Spandex_l1.Chassis
+module Policy = Spandex_l1.Policy
 
 type config = {
   id : Msg.device_id;
@@ -68,92 +68,44 @@ type wb_req = { b_line : int; b_values : int array }
 type outstanding = Read of read_miss | Write of write_miss
 
 type t = {
-  engine : Engine.t;
-  net : Network.t;
+  ch : outstanding Chassis.t;
   cfg : config;
   frame : line Cache_frame.t;
-  sb : Store_buffer.t;
-  outstanding : outstanding Mshr.t;
-  sb_ages : (int, int) Hashtbl.t;
   (* Write-backs in flight, keyed by transaction id.  Kept outside the MSHR
      file: the record is protocol state (the data must be servable while
      the LLC still lists this cache as owner) and must exist from the
      instant the line is downgraded, regardless of miss-resource pressure. *)
   wb_records : (int, wb_req) Hashtbl.t;
   forced_lines : (int, unit) Hashtbl.t;  (* drain immediately (RMW order). *)
-  stats : Stats.t;
-  (* Interned counters for the per-op fast paths. *)
-  k_load_hit : Stats.key;
-  k_load_miss : Stats.key;
-  k_load_sb_fwd : Stats.key;
-  k_stores : Stats.key;
+  (* MESI is writer-invalidated: reads want Shared data, writes fetch the
+     whole line with ownership.  Constant classification, but routed
+     through the policy layer like every other protocol. *)
+  policy : Policy.t;
   k_store_commit_owned : Stats.key;
   k_rmw_hit : Stats.key;
   k_rmw_miss : Stats.key;
   k_wb_issued : Stats.key;
-  (* End-to-end request retries; armed only when the network injects
-     faults, so fault-free runs are bit-identical to the reliable model. *)
-  retry : Retry.t option;
-  trace : Trace.t;
-  n_retry : int;  (** interned trace names (0 on a disabled sink). *)
-  n_mshr : int;
-  n_sb : int;
-  mutable flushing : bool;
-  mutable drain_armed : bool;
-  mutable release_waiters : (unit -> unit) list;
-  mutable stalled_stores : (unit -> unit) list;
 }
 
-let send t msg = Engine.send_later t.engine ~delay:t.cfg.hit_latency msg
+let send t msg = Chassis.send t.ch msg
 
 let request t ~txn ~kind ~line ~mask ?payload () =
-  let msg =
-    Msg.make ~txn ~kind:(Msg.Req kind) ~line ~mask ?payload ~src:t.cfg.id
-      ~dst:(t.cfg.llc_id + (line mod t.cfg.llc_banks)) ()
-  in
-  if Trace.on t.trace then
-    Trace.span_begin t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id ~txn
-      ~cls:(Msg.req_kind_index kind) ~line;
-  Option.iter
-    (fun r ->
-      let resend =
-        if Trace.on t.trace then (fun () ->
-            Trace.instant t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id
-              ~name:t.n_retry ~txn ~arg:(Msg.req_kind_index kind);
-            Network.send t.net msg)
-        else fun () -> Network.send t.net msg
-      in
-      Retry.arm r ~txn
-        ~describe:(Format.asprintf "%a line %d" Msg.pp_kind (Msg.Req kind) line)
-        ~resend)
-    t.retry;
-  send t msg
+  Chassis.request t.ch ~txn ~kind ~line ~mask ?payload ()
 
-(* Retire [txn]: free the MSHR entry and cancel any retry timer. *)
-let free_txn t ~txn =
-  Mshr.free t.outstanding ~txn;
-  Option.iter (fun r -> Retry.complete r ~txn) t.retry;
-  if Trace.on t.trace then
-    Trace.span_end t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id ~txn
+let free_txn t ~txn = Chassis.free_txn t.ch ~txn
 
 let reply t (msg : Msg.t) ~kind ~dst ~mask ?payload () =
-  if not (Mask.is_empty mask) then
-    send t
-      (Msg.make ~txn:msg.Msg.txn ~kind:(Msg.Rsp kind) ~line:msg.Msg.line ~mask
-         ?payload ~src:t.cfg.id ~dst ())
+  Chassis.reply t.ch msg ~kind ~dst ~mask ?payload ()
 
 let reply_data t msg ~kind ~dst ~mask ~values =
-  if not (Mask.is_empty mask) then
-    reply t msg ~kind ~dst ~mask
-      ~payload:(Msg.Data (Linedata.pack ~mask ~full:values))
-      ()
+  Chassis.reply_data t.ch msg ~kind ~dst ~mask ~values
 
 (* ----- frame management ----------------------------------------------------- *)
 
 let send_wb t ~line ~values =
   let txn = Spandex_proto.Txn.fresh () in
   Hashtbl.replace t.wb_records txn { b_line = line; b_values = values };
-  Stats.bump t.stats t.k_wb_issued;
+  Stats.bump t.ch.Chassis.stats t.k_wb_issued;
   request t ~txn ~kind:Msg.ReqWB ~line ~mask:Addr.full_mask
     ~payload:(Msg.Data (Array.copy values))
     ()
@@ -172,7 +124,7 @@ let install t ~line_id ~values ~mstate =
     with
     | Cache_frame.Inserted -> fresh
     | Cache_frame.Evicted (vline, vmeta) ->
-      Stats.incr t.stats "evictions";
+      Stats.incr t.ch.Chassis.stats "evictions";
       (match vmeta.mstate with
       | State.M_M | State.M_E -> send_wb t ~line:vline ~values:vmeta.data
       | State.M_S | State.M_I -> ());
@@ -182,20 +134,11 @@ let install t ~line_id ~values ~mstate =
 (* ----- store-buffer drain ---------------------------------------------------- *)
 
 let entry_ready t line =
-  if
-    t.flushing || Hashtbl.mem t.forced_lines line
-    || Store_buffer.count t.sb * 2 >= t.cfg.sb_capacity
-  then true
-  else
-    let age =
-      Engine.now t.engine
-      - Option.value ~default:0 (Hashtbl.find_opt t.sb_ages line)
-    in
-    age >= t.cfg.coalesce_window
+  Chassis.entry_ready ~forced:(Hashtbl.mem t.forced_lines line) t.ch line
 
 let write_pending_for t line =
   match
-    Mshr.find_first t.outstanding ~f:(function
+    Mshr.find_first t.ch.Chassis.outstanding ~f:(function
       | Write w -> w.m_line = line
       | Read _ -> false)
   with
@@ -207,41 +150,25 @@ let write_pending_for t line =
    in flight would be answered with a data-less self-grant.  Writes and
    RMWs therefore wait for reads to the same line. *)
 let read_pending t line =
-  Mshr.find_first t.outstanding ~f:(function
+  Mshr.find_first t.ch.Chassis.outstanding ~f:(function
     | Read m -> m.r_line = line
     | Write _ -> false)
   <> None
 
 let writes_pending t =
   let n = ref 0 in
-  Mshr.iter t.outstanding ~f:(fun ~txn:_ -> function
+  Mshr.iter t.ch.Chassis.outstanding ~f:(fun ~txn:_ -> function
     | Write _ -> incr n
     | Read _ -> ());
   !n
 
-let check_release t =
-  if t.flushing && Store_buffer.is_empty t.sb && writes_pending t = 0 then begin
-    t.flushing <- false;
-    let ws = t.release_waiters in
-    t.release_waiters <- [];
-    List.iter (fun k -> k ()) ws
-  end
-
-let rec arm_drain t ~delay =
-  if not t.drain_armed then begin
-    t.drain_armed <- true;
-    Engine.schedule t.engine ~delay (fun () ->
-        t.drain_armed <- false;
-        drain t)
-  end
-
-and drain t =
-  match Store_buffer.peek_oldest t.sb with
-  | None -> check_release t
+let rec drain t =
+  match Store_buffer.peek_oldest t.ch.Chassis.sb with
+  | None -> Chassis.check_release t.ch
   | Some e ->
     let line_id = e.Store_buffer.line in
     if not (entry_ready t line_id) then
-      arm_drain t ~delay:(max 1 t.cfg.coalesce_window)
+      Chassis.arm_drain t.ch ~delay:(max 1 t.cfg.coalesce_window)
     else if write_pending_for t line_id <> None || read_pending t line_id then
       (* Same-line request already in flight; strict FIFO, re-checked when
          a response arrives. *)
@@ -249,23 +176,21 @@ and drain t =
     else begin
       match Cache_frame.find t.frame ~line:line_id with
       | Some l when l.mstate = State.M_M || l.mstate = State.M_E ->
-        let e = Option.get (Store_buffer.take_oldest t.sb) in
-        Hashtbl.remove t.sb_ages line_id;
+        let e = Option.get (Store_buffer.take_oldest t.ch.Chassis.sb) in
+        Hashtbl.remove t.ch.Chassis.sb_ages line_id;
         Hashtbl.remove t.forced_lines line_id;
         l.mstate <- State.M_M;
         Mask.iter e.Store_buffer.mask ~f:(fun w ->
             l.data.(w) <- e.Store_buffer.values.(w));
-        Stats.bump t.stats t.k_store_commit_owned;
+        Stats.bump t.ch.Chassis.stats t.k_store_commit_owned;
         (* A freed entry may unblock a stalled store on either drain path. *)
-        let stalled = t.stalled_stores in
-        t.stalled_stores <- [];
-        List.iter (fun retry -> retry ()) stalled;
+        Chassis.wake_stalled t.ch;
         drain t
       | _ ->
-        if Mshr.is_full t.outstanding then ()
+        if Mshr.is_full t.ch.Chassis.outstanding then ()
         else begin
-          let e = Option.get (Store_buffer.take_oldest t.sb) in
-          Hashtbl.remove t.sb_ages line_id;
+          let e = Option.get (Store_buffer.take_oldest t.ch.Chassis.sb) in
+          Hashtbl.remove t.ch.Chassis.sb_ages line_id;
           Hashtbl.remove t.forced_lines line_id;
           let w =
             {
@@ -278,16 +203,16 @@ and drain t =
               m_loads = [];
             }
           in
-          (match Mshr.alloc t.outstanding (Write w) with
+          (match Mshr.alloc t.ch.Chassis.outstanding (Write w) with
           | Some txn ->
-            Stats.incr t.stats "write_miss";
+            Stats.incr t.ch.Chassis.stats "write_miss";
             (* Read-for-ownership: fetch the whole line with ownership. *)
-            request t ~txn ~kind:Msg.ReqOdata ~line:line_id ~mask:Addr.full_mask
-              ()
+            let kind =
+              Policy.req_of_write (t.policy.Policy.classify_write ~line:line_id)
+            in
+            request t ~txn ~kind ~line:line_id ~mask:Addr.full_mask ()
           | None -> assert false);
-          let stalled = t.stalled_stores in
-          t.stalled_stores <- [];
-          List.iter (fun retry -> retry ()) stalled;
+          Chassis.wake_stalled t.ch;
           drain t
         end
     end
@@ -295,37 +220,39 @@ and drain t =
 (* ----- loads ---------------------------------------------------------------- *)
 
 let rec load t (addr : Addr.t) ~k =
-  let done_ v = Engine.apply_later t.engine ~delay:t.cfg.hit_latency k v in
+  let done_ v =
+    Engine.apply_later t.ch.Chassis.engine ~delay:t.cfg.hit_latency k v
+  in
   let { Addr.line; word } = addr in
-  match Store_buffer.forward t.sb ~addr with
+  match Store_buffer.forward t.ch.Chassis.sb ~addr with
   | Some v ->
-    Stats.bump t.stats t.k_load_sb_fwd;
+    Stats.bump t.ch.Chassis.stats t.ch.Chassis.k_load_sb_fwd;
     done_ v
   | None -> (
     (* A drained but un-granted store also forwards; any other load beside
        a pending write to the same line waits for the write's grant. *)
     match write_pending_for t line with
     | Some { m_store = Some (mask, values); _ } when Mask.mem mask word ->
-      Stats.bump t.stats t.k_load_sb_fwd;
+      Stats.bump t.ch.Chassis.stats t.ch.Chassis.k_load_sb_fwd;
       done_ values.(word)
     | Some w ->
-      Stats.incr t.stats "load_waits_write";
+      Stats.incr t.ch.Chassis.stats "load_waits_write";
       w.m_loads <- (word, k) :: w.m_loads
     | None -> (
       match Cache_frame.find t.frame ~line with
       | Some l when l.mstate <> State.M_I ->
-        Stats.bump t.stats t.k_load_hit;
+        Stats.bump t.ch.Chassis.stats t.ch.Chassis.k_load_hit;
         Cache_frame.touch t.frame ~line;
         done_ l.data.(word)
       | _ -> (
-        Stats.bump t.stats t.k_load_miss;
+        Stats.bump t.ch.Chassis.stats t.ch.Chassis.k_load_miss;
         match
-          Mshr.find_first t.outstanding ~f:(function
+          Mshr.find_first t.ch.Chassis.outstanding ~f:(function
             | Read m -> m.r_line = line
             | _ -> false)
         with
         | Some (_, Read m) ->
-          Stats.incr t.stats "load_miss_coalesced";
+          Stats.incr t.ch.Chassis.stats "load_miss_coalesced";
           m.r_waiters <- (word, k) :: m.r_waiters
         | Some _ -> assert false
         | None -> (
@@ -341,49 +268,52 @@ let rec load t (addr : Addr.t) ~k =
               r_queued = [];
             }
           in
-          match Mshr.alloc t.outstanding (Read m) with
+          match Mshr.alloc t.ch.Chassis.outstanding (Read m) with
           | Some txn ->
-            request t ~txn ~kind:Msg.ReqS ~line ~mask:Addr.full_mask ()
+            let kind =
+              Policy.req_of_read
+                (t.policy.Policy.classify_read ~line Policy.absent)
+            in
+            request t ~txn ~kind ~line ~mask:Addr.full_mask ()
           | None ->
-            Stats.incr t.stats "mshr_stall";
-            Engine.schedule t.engine ~delay:4 (fun () -> load t addr ~k)))))
+            Stats.incr t.ch.Chassis.stats "mshr_stall";
+            Engine.schedule t.ch.Chassis.engine ~delay:4 (fun () ->
+                load t addr ~k)))))
 
 (* ----- stores and RMWs ------------------------------------------------------- *)
 
 let rec store t (addr : Addr.t) ~value ~k =
-  match Store_buffer.push t.sb ~addr ~value with
+  match Store_buffer.push t.ch.Chassis.sb ~addr ~value with
   | `Coalesced | `New ->
-    Stats.bump t.stats t.k_stores;
-    Hashtbl.replace t.sb_ages addr.Addr.line (Engine.now t.engine);
-    arm_drain t ~delay:1;
-    Engine.schedule t.engine ~delay:t.cfg.hit_latency k
-  | `Full ->
-    Stats.incr t.stats "sb_full_stall";
-    t.stalled_stores <- (fun () -> store t addr ~value ~k) :: t.stalled_stores;
-    arm_drain t ~delay:1
+    Stats.bump t.ch.Chassis.stats t.ch.Chassis.k_stores;
+    Hashtbl.replace t.ch.Chassis.sb_ages addr.Addr.line
+      (Engine.now t.ch.Chassis.engine);
+    Chassis.arm_drain t.ch ~delay:1;
+    Engine.schedule t.ch.Chassis.engine ~delay:t.cfg.hit_latency k
+  | `Full -> Chassis.stall_store t.ch (fun () -> store t addr ~value ~k)
 
 let rec rmw t (addr : Addr.t) amo ~k =
   let { Addr.line; word } = addr in
   (* Program order: buffered stores to this line must commit first. *)
   if
-    Store_buffer.find t.sb ~line <> None
+    Store_buffer.find t.ch.Chassis.sb ~line <> None
     || write_pending_for t line <> None
     || read_pending t line
   then begin
     Hashtbl.replace t.forced_lines line ();
-    arm_drain t ~delay:0;
-    Engine.schedule t.engine ~delay:2 (fun () -> rmw t addr amo ~k)
+    Chassis.arm_drain t.ch ~delay:0;
+    Engine.schedule t.ch.Chassis.engine ~delay:2 (fun () -> rmw t addr amo ~k)
   end
   else
     match Cache_frame.find t.frame ~line with
     | Some l when l.mstate = State.M_M || l.mstate = State.M_E ->
-      Stats.bump t.stats t.k_rmw_hit;
+      Stats.bump t.ch.Chassis.stats t.k_rmw_hit;
       l.mstate <- State.M_M;
       let next, old = Amo.apply amo l.data.(word) in
       l.data.(word) <- next;
-      Engine.apply_later t.engine ~delay:t.cfg.hit_latency k old
+      Engine.apply_later t.ch.Chassis.engine ~delay:t.cfg.hit_latency k old
     | _ -> (
-      Stats.bump t.stats t.k_rmw_miss;
+      Stats.bump t.ch.Chassis.stats t.k_rmw_miss;
       let w =
         {
           m_line = line;
@@ -395,11 +325,15 @@ let rec rmw t (addr : Addr.t) amo ~k =
           m_loads = [];
         }
       in
-      match Mshr.alloc t.outstanding (Write w) with
-      | Some txn -> request t ~txn ~kind:Msg.ReqOdata ~line ~mask:Addr.full_mask ()
+      match Mshr.alloc t.ch.Chassis.outstanding (Write w) with
+      | Some txn ->
+        let kind =
+          Policy.req_of_write (t.policy.Policy.classify_write ~line)
+        in
+        request t ~txn ~kind ~line ~mask:Addr.full_mask ()
       | None ->
-        Stats.incr t.stats "mshr_stall";
-        Engine.schedule t.engine ~delay:4 (fun () -> rmw t addr amo ~k))
+        Stats.incr t.ch.Chassis.stats "mshr_stall";
+        Engine.schedule t.ch.Chassis.engine ~delay:4 (fun () -> rmw t addr amo ~k))
 
 (* ----- external requests (TU behaviours, §III-D) ------------------------------ *)
 
@@ -411,7 +345,7 @@ let wb_record_for t line =
 
 let read_pending_for t line =
   match
-    Mshr.find_first t.outstanding ~f:(function
+    Mshr.find_first t.ch.Chassis.outstanding ~f:(function
       | Read m -> m.r_line = line
       | Write _ -> false)
   with
@@ -443,7 +377,7 @@ let rec external_req t (msg : Msg.t) =
       match msg.Msg.kind with
       | Msg.Req Msg.ReqV ->
         if not (Mask.is_empty msg.Msg.demand) then begin
-          Stats.incr t.stats "nack_sent";
+          Stats.incr t.ch.Chassis.stats "nack_sent";
           reply t msg ~kind:Msg.Nack ~dst:msg.Msg.requestor ~mask:msg.Msg.demand
             ()
         end
@@ -471,7 +405,7 @@ and serve_owned t (msg : Msg.t) l =
   | Msg.Req Msg.ReqO ->
     reply t msg ~kind:Msg.RspO ~dst:msg.Msg.requestor ~mask ();
     if not (Mask.is_empty rest) then begin
-      Stats.incr t.stats "partial_downgrade_wb";
+      Stats.incr t.ch.Chassis.stats "partial_downgrade_wb";
       send_wb_words t ~line:line_id ~mask:rest ~values:l.data
     end;
     Cache_frame.remove t.frame ~line:line_id
@@ -483,7 +417,7 @@ and serve_owned t (msg : Msg.t) l =
          the transfer. *)
       reply t msg ~kind:Msg.RspRvkO ~dst:msg.Msg.src ~mask ();
     if not (Mask.is_empty rest) then begin
-      Stats.incr t.stats "partial_downgrade_wb";
+      Stats.incr t.ch.Chassis.stats "partial_downgrade_wb";
       send_wb_words t ~line:line_id ~mask:rest ~values:l.data
     end;
     Cache_frame.remove t.frame ~line:line_id
@@ -500,7 +434,7 @@ and serve_owned t (msg : Msg.t) l =
 and send_wb_words t ~line ~mask ~values =
   let txn = Spandex_proto.Txn.fresh () in
   Hashtbl.replace t.wb_records txn { b_line = line; b_values = Array.copy values };
-  Stats.bump t.stats t.k_wb_issued;
+  Stats.bump t.ch.Chassis.stats t.k_wb_issued;
   request t ~txn ~kind:Msg.ReqWB ~line ~mask
     ~payload:(Msg.Data (Linedata.pack ~mask ~full:values))
     ()
@@ -511,11 +445,11 @@ and send_wb_words t ~line ~mask ~values =
 and serve_mid_write t (msg : Msg.t) (w : write_miss) =
   match msg.Msg.kind with
   | Msg.Req Msg.ReqO ->
-    Stats.incr t.stats "ext_stolen_mid_write";
+    Stats.incr t.ch.Chassis.stats "ext_stolen_mid_write";
     w.m_downgraded <- Mask.union w.m_downgraded msg.Msg.mask;
     reply t msg ~kind:Msg.RspO ~dst:msg.Msg.requestor ~mask:msg.Msg.mask ()
   | Msg.Req (Msg.ReqV | Msg.ReqS | Msg.ReqOdata) | Msg.Probe Msg.RvkO ->
-    Stats.incr t.stats "ext_delayed";
+    Stats.incr t.ch.Chassis.stats "ext_delayed";
     w.m_queued <- w.m_queued @ [ msg ]
   | _ -> assert false
 
@@ -524,11 +458,11 @@ and serve_mid_write t (msg : Msg.t) (w : write_miss) =
 and serve_mid_read t (msg : Msg.t) (m : read_miss) =
   match msg.Msg.kind with
   | Msg.Req Msg.ReqO ->
-    Stats.incr t.stats "ext_stolen_mid_read";
+    Stats.incr t.ch.Chassis.stats "ext_stolen_mid_read";
     m.r_downgraded <- Mask.union m.r_downgraded msg.Msg.mask;
     reply t msg ~kind:Msg.RspO ~dst:msg.Msg.requestor ~mask:msg.Msg.mask ()
   | Msg.Req (Msg.ReqV | Msg.ReqS | Msg.ReqOdata) | Msg.Probe Msg.RvkO ->
-    Stats.incr t.stats "ext_delayed";
+    Stats.incr t.ch.Chassis.stats "ext_delayed";
     m.r_queued <- m.r_queued @ [ msg ]
   | _ -> assert false
 
@@ -560,7 +494,7 @@ let complete_read t ~txn (m : read_miss) (r : Tu.result) =
   free_txn t ~txn;
   if (m.r_valid_only || m.r_inv) && not m.r_excl then begin
     (* Option (2): the read is satisfied but nothing may be cached. *)
-    Stats.incr t.stats "read_uncached_opt2";
+    Stats.incr t.ch.Chassis.stats "read_uncached_opt2";
     List.iter (fun (w, k) -> k r.Tu.values.(w)) (List.rev m.r_waiters);
     drain t
   end
@@ -611,22 +545,17 @@ let complete_write t ~txn (w : write_miss) (r : Tu.result) =
   let queued = w.m_queued in
   w.m_queued <- [];
   List.iter (fun m -> external_req t m) queued;
-  check_release t;
+  Chassis.check_release t.ch;
   drain t
 
 (* ----- synchronization --------------------------------------------------------- *)
 
 let acquire t ~k =
   (* Writer-initiated invalidation: nothing to self-invalidate (§II-A). *)
-  Stats.incr t.stats "acquire";
-  Engine.schedule t.engine ~delay:1 k
+  Stats.incr t.ch.Chassis.stats "acquire";
+  Engine.schedule t.ch.Chassis.engine ~delay:1 k
 
-let release t ~k =
-  Stats.incr t.stats "release";
-  t.flushing <- true;
-  t.release_waiters <- k :: t.release_waiters;
-  arm_drain t ~delay:0;
-  Engine.schedule t.engine ~delay:1 (fun () -> check_release t)
+let release t ~k = Chassis.release t.ch ~k
 
 (* ----- message handler ----------------------------------------------------------- *)
 
@@ -635,9 +564,9 @@ let handle t (msg : Msg.t) =
   | Msg.Probe Msg.Inv ->
     (match Cache_frame.find t.frame ~line:msg.Msg.line with
     | Some l when l.mstate = State.M_S ->
-      Stats.incr t.stats "invalidated";
+      Stats.incr t.ch.Chassis.stats "invalidated";
       Cache_frame.remove t.frame ~line:msg.Msg.line
-    | _ -> Stats.incr t.stats "inv_stale");
+    | _ -> Stats.incr t.ch.Chassis.stats "inv_stale");
     (* The Inv may overtake a remote owner's direct RspS to our pending
        read: the Shared copy being assembled is already stale. *)
     (match read_pending_for t msg.Msg.line with
@@ -652,14 +581,11 @@ let handle t (msg : Msg.t) =
     | Msg.Rsp Msg.RspWB -> ()
     | _ -> failwith "Mesi_l1: unexpected write-back response");
     Hashtbl.remove t.wb_records msg.Msg.txn;
-    Option.iter (fun r -> Retry.complete r ~txn:msg.Msg.txn) t.retry;
-    if Trace.on t.trace then
-      Trace.span_end t.trace ~time:(Engine.now t.engine) ~dev:t.cfg.id
-        ~txn:msg.Msg.txn;
+    Chassis.retire t.ch ~txn:msg.Msg.txn;
     drain t
   | Msg.Rsp _ -> (
-    match Mshr.find t.outstanding ~txn:msg.Msg.txn with
-    | None -> Stats.incr t.stats "orphan_rsp"
+    match Mshr.find t.ch.Chassis.outstanding ~txn:msg.Msg.txn with
+    | None -> Stats.incr t.ch.Chassis.stats "orphan_rsp"
     | Some (Read m) -> (
       (match msg.Msg.kind with
       | Msg.Rsp (Msg.RspOdata | Msg.RspO) -> m.r_excl <- true
@@ -679,84 +605,48 @@ let handle t (msg : Msg.t) =
 
 (* ----- construction ---------------------------------------------------------------- *)
 
-let quiescent t =
-  Store_buffer.is_empty t.sb && Mshr.count t.outstanding = 0
-  && Hashtbl.length t.wb_records = 0
-  && t.stalled_stores = []
+let quiescent t = Chassis.quiescent t.ch && Hashtbl.length t.wb_records = 0
 
 let describe_pending t =
-  let pend = ref [] in
-  Mshr.iter t.outstanding ~f:(fun ~txn o ->
-      let d =
-        match o with
-        | Read m -> Printf.sprintf "Read line %d" m.r_line
-        | Write w -> Printf.sprintf "Write line %d" w.m_line
-      in
-      pend := (txn, d) :: !pend);
-  Hashtbl.iter
-    (fun txn (b : wb_req) ->
-      pend := (txn, Printf.sprintf "Wb line %d" b.b_line) :: !pend)
-    t.wb_records;
-  let shown =
-    List.filteri (fun i _ -> i < 4) (List.sort compare !pend)
-    |> List.map (fun (txn, d) -> Printf.sprintf "txn %d %s" txn d)
+  let extra =
+    Hashtbl.fold
+      (fun txn (b : wb_req) acc ->
+        (txn, Printf.sprintf "Wb line %d" b.b_line) :: acc)
+      t.wb_records []
   in
-  Printf.sprintf "mesi_l1 %d: sb=%d outstanding=%d stalled=%d%s" t.cfg.id
-    (Store_buffer.count t.sb)
-    (Mshr.count t.outstanding)
-    (List.length t.stalled_stores)
-    (if shown = [] then "" else " [" ^ String.concat "; " shown ^ "]")
+  Chassis.describe_pending t.ch ~name:"mesi_l1"
+    ~describe:(function
+      | Read m -> Printf.sprintf "Read line %d" m.r_line
+      | Write w -> Printf.sprintf "Write line %d" w.m_line)
+    ~extra
 
-let trace_sample t ~time =
-  Trace.counter t.trace ~time ~dev:t.cfg.id ~name:t.n_mshr
-    ~value:(Mshr.count t.outstanding);
-  Trace.counter t.trace ~time ~dev:t.cfg.id ~name:t.n_sb
-    ~value:(Store_buffer.count t.sb)
+let trace_sample t ~time = Chassis.trace_sample t.ch ~time ()
 
 let create engine net cfg =
-  let stats = Stats.create () in
-  let trace = Engine.trace engine in
-  let retry =
-    Option.map
-      (fun f ->
-        Retry.create
-          (Spandex_net.Fault.retry_config f)
-          ~seed:(0x5EED + cfg.id)
-          ~schedule:(fun ~delay k -> Engine.schedule engine ~delay k)
-          ~stats)
-      (Network.fault net)
+  let ch =
+    Chassis.create engine net ~id:cfg.id ~home_id:cfg.llc_id
+      ~home_banks:cfg.llc_banks ~hit_latency:cfg.hit_latency
+      ~coalesce_window:cfg.coalesce_window ~mshrs:cfg.mshrs
+      ~sb_capacity:cfg.sb_capacity ~level:"l1" ~aux:"sb"
   in
   let t =
     {
-      engine;
-      net;
+      ch;
       cfg;
       frame = Cache_frame.create ~sets:cfg.sets ~ways:cfg.ways;
-      sb = Store_buffer.create ~capacity:cfg.sb_capacity;
-      outstanding = Mshr.create ~capacity:cfg.mshrs;
-      sb_ages = Hashtbl.create 64;
       wb_records = Hashtbl.create 16;
       forced_lines = Hashtbl.create 8;
-      stats;
-      k_load_hit = Stats.key stats "load_hit";
-      k_load_miss = Stats.key stats "load_miss";
-      k_load_sb_fwd = Stats.key stats "load_sb_fwd";
-      k_stores = Stats.key stats "stores";
-      k_store_commit_owned = Stats.key stats "store_commit_owned";
-      k_rmw_hit = Stats.key stats "rmw_hit";
-      k_rmw_miss = Stats.key stats "rmw_miss";
-      k_wb_issued = Stats.key stats "wb_issued";
-      retry;
-      trace;
-      n_retry = Trace.name trace "retry.resend";
-      n_mshr = Trace.name trace (Printf.sprintf "l1.%d.mshr" cfg.id);
-      n_sb = Trace.name trace (Printf.sprintf "l1.%d.sb" cfg.id);
-      flushing = false;
-      drain_armed = false;
-      release_waiters = [];
-      stalled_stores = [];
+      policy =
+        Policy.static ~name:"mesi" ~read:Policy.Read_shared
+          ~write:Policy.Write_own_data;
+      k_store_commit_owned = Stats.key ch.Chassis.stats "store_commit_owned";
+      k_rmw_hit = Stats.key ch.Chassis.stats "rmw_hit";
+      k_rmw_miss = Stats.key ch.Chassis.stats "rmw_miss";
+      k_wb_issued = Stats.key ch.Chassis.stats "wb_issued";
     }
   in
+  ch.Chassis.drain <- (fun () -> drain t);
+  ch.Chassis.writes_pending <- (fun () -> writes_pending t);
   Network.register net ~id:cfg.id (fun msg -> handle t msg);
   t
 
@@ -773,7 +663,7 @@ let port t =
     describe_pending = (fun () -> describe_pending t);
   }
 
-let stats t = t.stats
+let stats t = t.ch.Chassis.stats
 
 let line_state t ~line =
   match Cache_frame.find t.frame ~line with

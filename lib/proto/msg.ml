@@ -77,6 +77,10 @@ let rsp_of_req = function
 
 let carries_data t = match t.payload with No_data -> false | Data _ -> true
 
+let kind_needs_data = function
+  | Req (ReqV | ReqOdata | ReqS) | Probe RvkO -> true
+  | Req (ReqO | ReqWT | ReqWTdata | ReqWB) | Probe Inv | Rsp _ -> false
+
 type category = Cat_ReqV | Cat_ReqS | Cat_ReqWT | Cat_ReqO | Cat_WB | Cat_Probe
 
 let category = function

@@ -98,6 +98,11 @@ val rsp_of_req : req_kind -> rsp_kind
 
 val carries_data : t -> bool
 
+val kind_needs_data : kind -> bool
+(** True when serving this request (or probe) at a remote owner requires
+    the word's current data — a forwarded ReqV/ReqS/ReqO+data or a RvkO.
+    Data-less ownership transfers (ReqO) and everything else are false. *)
+
 type category = Cat_ReqV | Cat_ReqS | Cat_ReqWT | Cat_ReqO | Cat_WB | Cat_Probe
 (** Traffic categories used by Figures 2 and 3.  Responses count toward
     their request's category; Inv/RvkO and their Ack/RspRvkO count as

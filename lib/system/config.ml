@@ -1,6 +1,6 @@
 type llc_kind = H_mesi | Spandex_flat
 type cpu_proto = Cpu_mesi | Cpu_denovo
-type gpu_proto = Gpu_coh | Gpu_denovo | Gpu_adaptive
+type gpu_proto = Gpu_coh | Gpu_denovo | Gpu_adaptive | Gpu_adaptive_rw
 
 type t = {
   name : string;
@@ -37,11 +37,21 @@ let sda =
     cpu_atomics_at_llc = false;
   }
 
+let saa =
+  {
+    name = "SAA";
+    llc = Spandex_flat;
+    cpu = Cpu_denovo;
+    gpu = Gpu_adaptive_rw;
+    cpu_atomics_at_llc = false;
+  }
+
 let all = [ hmg; hmd; smg; smd; sdg; sdd ]
+let extended = all @ [ sda; saa ]
 
 let by_name name =
   let up = String.uppercase_ascii name in
-  List.find (fun c -> c.name = up) (all @ [ sda ])
+  List.find (fun c -> c.name = up) extended
 
 let describe c =
   Printf.sprintf "%s: LLC=%s CPU=%s GPU=%s%s" c.name
@@ -50,5 +60,6 @@ let describe c =
     (match c.gpu with
     | Gpu_coh -> "GPUcoh"
     | Gpu_denovo -> "DeNovo"
-    | Gpu_adaptive -> "DeNovo+adaptive-writes")
+    | Gpu_adaptive -> "DeNovo+adaptive-writes"
+    | Gpu_adaptive_rw -> "DeNovo+adaptive-rw")
     (if c.cpu_atomics_at_llc then " (CPU atomics at LLC)" else "")

@@ -12,6 +12,10 @@ type gpu_proto =
       (** extension: DeNovo with a per-line reuse predictor choosing
           between ownership and write-through per store (paper V's
           dynamically-adapting future caches). *)
+  | Gpu_adaptive_rw
+      (** extension: [Gpu_adaptive] plus read-side adaptation — repeated
+          ReqV misses to a line promote the next read to ReqO+data so the
+          fill survives later acquires. *)
 
 type t = {
   name : string;
@@ -35,8 +39,16 @@ val sda : t
 (** Extension configuration: flat Spandex, DeNovo CPUs, adaptive-write
     DeNovo GPUs.  Not part of [all] (the paper's Table V). *)
 
+val saa : t
+(** Extension configuration: SDA plus read-side adaptation (ReqV misses
+    promoted to ReqO+data after repeated misses to the same line). *)
+
 val all : t list
 (** In the paper's order: HMG, HMD, SMG, SMD, SDG, SDD. *)
+
+val extended : t list
+(** [all] plus the adaptive extension configurations (SDA, SAA) — the set
+    swept by the benchmark harness and CLI. *)
 
 val by_name : string -> t
 (** Case-insensitive lookup; raises [Not_found]. *)

@@ -46,7 +46,7 @@ let cache_geometry ~bytes ~ways =
   Spandex_mem.Cache_frame.size_lines ~bytes ~ways
 
 let build_denovo engine net (p : Params.t) ~id ~llc_id ~atomics_at_llc ~region_of
-    ~write_policy =
+    ~policy =
   let sets, ways = cache_geometry ~bytes:p.Params.l1_bytes ~ways:p.Params.l1_ways in
   let l1 =
     Denovo_l1.create engine net
@@ -63,7 +63,7 @@ let build_denovo engine net (p : Params.t) ~id ~llc_id ~atomics_at_llc ~region_o
         max_reqv_retries = p.Params.max_reqv_retries;
         atomics_at_llc;
         region_of;
-        write_policy;
+        policy;
       }
   in
   ( Denovo_l1.port l1,
@@ -160,7 +160,7 @@ let simulate ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
           let j = id - p.Params.cpu_cores in
           match config.Config.gpu with
           | Config.Gpu_coh -> Printf.sprintf "gpu_l1.%d" j
-          | Config.Gpu_denovo | Config.Gpu_adaptive ->
+          | Config.Gpu_denovo | Config.Gpu_adaptive | Config.Gpu_adaptive_rw ->
             Printf.sprintf "gpu_denovo_l1.%d" j)
         else if id < l2_front_id then (
           let b = id - home_id in
@@ -200,7 +200,8 @@ let simulate ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
     else
       match config.Config.gpu with
       | Config.Gpu_coh -> Llc.Kind_gpu
-      | Config.Gpu_denovo | Config.Gpu_adaptive -> Llc.Kind_denovo
+      | Config.Gpu_denovo | Config.Gpu_adaptive | Config.Gpu_adaptive_rw ->
+        Llc.Kind_denovo
   in
   (* --- home level(s) ------------------------------------------------------ *)
   let cpu_home, gpu_home =
@@ -294,18 +295,21 @@ let simulate ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
     | Config.Cpu_denovo ->
       build_denovo engine net p ~id:(cpu_id i) ~llc_id:cpu_home
         ~atomics_at_llc:config.Config.cpu_atomics_at_llc
-        ~region_of:w.Workload.region_of ~write_policy:Denovo_l1.Write_own
+        ~region_of:w.Workload.region_of
+        ~policy:Spandex_l1.Spandex_policy.Static_own
   in
   let gpu_port j =
     match config.Config.gpu with
     | Config.Gpu_coh -> build_gpucoh engine net p ~id:(gpu_id j) ~llc_id:gpu_home
-    | Config.Gpu_denovo | Config.Gpu_adaptive ->
+    | Config.Gpu_denovo | Config.Gpu_adaptive | Config.Gpu_adaptive_rw ->
       build_denovo engine net p ~id:(gpu_id j) ~llc_id:gpu_home
         ~atomics_at_llc:false ~region_of:w.Workload.region_of
-        ~write_policy:
+        ~policy:
           (match config.Config.gpu with
-          | Config.Gpu_adaptive -> Denovo_l1.Write_adaptive
-          | Config.Gpu_coh | Config.Gpu_denovo -> Denovo_l1.Write_own)
+          | Config.Gpu_adaptive -> Spandex_l1.Spandex_policy.adaptive_writes
+          | Config.Gpu_adaptive_rw -> Spandex_l1.Spandex_policy.adaptive_full
+          | Config.Gpu_coh | Config.Gpu_denovo ->
+            Spandex_l1.Spandex_policy.Static_own)
   in
   (* --- cores ----------------------------------------------------------------- *)
   let check_log = Check_log.create () in

@@ -76,7 +76,7 @@ let mk_denovo ?(atomics_at_llc = false) h =
     { Denovo_l1.id = dev_id; llc_id; llc_banks = 1; sets = 4; ways = 2;
       mshrs = 8; sb_capacity = 8; hit_latency = 1; coalesce_window = 2;
       max_reqv_retries = 1; atomics_at_llc; region_of = (fun _ -> 0);
-      write_policy = Denovo_l1.Write_own }
+      policy = Spandex_l1.Spandex_policy.Static_own }
 
 let mk_mesi ?(notify = false) h =
   Mesi_l1.create h.engine h.net

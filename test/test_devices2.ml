@@ -74,7 +74,7 @@ let mk_denovo h =
     { Denovo_l1.id = dev_id; llc_id; llc_banks = 1; sets = 4; ways = 2;
       mshrs = 8; sb_capacity = 4; hit_latency = 1; coalesce_window = 2;
       max_reqv_retries = 1; atomics_at_llc = false; region_of = (fun _ -> 0);
-      write_policy = Denovo_l1.Write_own }
+      policy = Spandex_l1.Spandex_policy.Static_own }
 
 (* --- GPU store-buffer pressure -------------------------------------------------- *)
 

@@ -27,7 +27,7 @@ let params =
 (* ----- DeNovo regions --------------------------------------------------------- *)
 
 (* Build a standalone DeNovo L1 with a scripted LLC, like test_devices. *)
-let denovo_with_regions region_of =
+let denovo_standalone ~policy region_of =
   let engine = Engine.create () in
   let net = Spandex_net.Network.create engine (Spandex_net.Network.flat_topology ~latency:2) in
   let llc_inbox = ref [] in
@@ -47,10 +47,13 @@ let denovo_with_regions region_of =
         max_reqv_retries = 1;
         atomics_at_llc = false;
         region_of;
-        write_policy = Denovo_l1.Write_own;
+        policy;
       }
   in
   (engine, net, llc_inbox, l1)
+
+let denovo_with_regions region_of =
+  denovo_standalone ~policy:Spandex_l1.Spandex_policy.Static_own region_of
 
 let fill_valid engine net llc_inbox l1 ~line =
   let port = Denovo_l1.port l1 in
@@ -98,7 +101,7 @@ let region_workload_correct_everywhere () =
       List.iter
         (fun config ->
           Run.assert_clean (Run.simulate ~params ~config wl))
-        (Config.all @ [ Config.sda ]))
+        Config.extended)
     [ true; false ]
 
 let region_reduces_invalidation_traffic () =
@@ -184,7 +187,7 @@ let adaptive_streams_write_through () =
         max_reqv_retries = 1;
         atomics_at_llc = false;
         region_of = (fun _ -> 0);
-        write_policy = Denovo_l1.Write_adaptive;
+        policy = Spandex_l1.Spandex_policy.adaptive_writes;
       }
   in
   let port = Denovo_l1.port l1 in
@@ -235,10 +238,77 @@ let adaptive_streams_write_through () =
 
 let adaptive_config_correct () =
   List.iter
-    (fun wname ->
-      let wl = (Registry.find wname).Registry.build ~scale:0.25 geom in
-      Run.assert_clean (Run.simulate ~params ~config:Config.sda wl))
-    [ "reuseo"; "indirection"; "bc"; "stress" ]
+    (fun config ->
+      List.iter
+        (fun wname ->
+          let wl = (Registry.find wname).Registry.build ~scale:0.25 geom in
+          Run.assert_clean (Run.simulate ~params ~config wl))
+        [ "reuseo"; "indirection"; "bc"; "stress" ])
+    [ Config.sda; Config.saa ]
+
+let adaptive_promotes_repeated_read_misses () =
+  (* SAA's read-side adaptation: with [adaptive_full] (read threshold 2),
+     the first two misses to a line go out as ReqV, the third is promoted
+     to ReqO+data and its fill installs as Owned, surviving acquires. *)
+  let engine, net, llc_inbox, l1 =
+    denovo_standalone ~policy:Spandex_l1.Spandex_policy.adaptive_full
+      (fun _ -> 0)
+  in
+  let port = Denovo_l1.port l1 in
+  let respond (m : Msg.t) ~kind =
+    Spandex_net.Network.send net
+      (Msg.make ~txn:m.Msg.txn ~kind:(Msg.Rsp kind) ~line:2 ~mask:m.Msg.demand
+         ~payload:(Msg.Data (Array.make (Mask.count m.Msg.demand) 7))
+         ~src:10 ~dst:0 ())
+  in
+  for i = 1 to 2 do
+    port.Port.load (Addr.make ~line:2 ~word:0) ~k:(fun _ -> ());
+    ignore (Engine.run_all engine);
+    let m =
+      Proto_harness.expect_kind
+        ~what:(Printf.sprintf "cold miss %d" i)
+        (List.rev !llc_inbox) (Msg.Req Msg.ReqV)
+    in
+    llc_inbox := [];
+    respond m ~kind:Msg.RspV;
+    ignore (Engine.run_all engine);
+    port.Port.acquire ~k:(fun () -> ());
+    ignore (Engine.run_all engine)
+  done;
+  port.Port.load (Addr.make ~line:2 ~word:0) ~k:(fun _ -> ());
+  ignore (Engine.run_all engine);
+  let m =
+    Proto_harness.expect_kind ~what:"promoted miss" (List.rev !llc_inbox)
+      (Msg.Req Msg.ReqOdata)
+  in
+  llc_inbox := [];
+  respond m ~kind:Msg.RspOdata;
+  ignore (Engine.run_all engine);
+  check_bool "promoted fill installs Owned" true
+    (Denovo_l1.word_state l1 (Addr.make ~line:2 ~word:0) = State.O);
+  port.Port.acquire ~k:(fun () -> ());
+  ignore (Engine.run_all engine);
+  check_bool "owned fill survives the acquire" true
+    (Denovo_l1.word_state l1 (Addr.make ~line:2 ~word:0) = State.O)
+
+let adaptive_read_promotion_reduces_traffic () =
+  (* On the read-reuse workload with repeated acquires, SAA's promoted
+     reads retain data across synchronization that SDA keeps re-fetching. *)
+  let wl = (Registry.find "reuseo").Registry.build ~scale:0.5 geom in
+  let run config =
+    let r = Run.simulate ~params ~config wl in
+    Run.assert_clean r;
+    r
+  in
+  let saa = run Config.saa in
+  let promoted =
+    List.fold_left
+      (fun acc (n, v) ->
+        if String.ends_with ~suffix:"load_promoted_own" n then acc + v else acc)
+      0
+      (Spandex_util.Stats.to_assoc saa.Run.stats)
+  in
+  check_bool "promotions happened" true (promoted > 0)
 
 let adaptive_tracks_best_static () =
   (* On the ownership-friendly workload the adaptive policy must land close
@@ -265,4 +335,8 @@ let tests =
     test "adaptive_streams_write_through" adaptive_streams_write_through;
     test "adaptive_config_correct" adaptive_config_correct;
     test "adaptive_tracks_best_static" adaptive_tracks_best_static;
+    test "adaptive_promotes_repeated_read_misses"
+      adaptive_promotes_repeated_read_misses;
+    test "adaptive_read_promotion_reduces_traffic"
+      adaptive_read_promotion_reduces_traffic;
   ]

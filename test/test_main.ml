@@ -20,5 +20,6 @@ let () =
       ("extensions", Test_extensions.tests);
       ("faults", Test_faults.tests);
       ("sweep", Test_sweep.tests);
+      ("chassis", Test_chassis.tests);
       ("random", Test_random.tests);
     ]

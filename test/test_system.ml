@@ -35,7 +35,12 @@ let configs_cover_table_v () =
   check_bool "only SDG does CPU atomics at LLC" true
     (List.for_all
        (fun c -> c.Config.cpu_atomics_at_llc = (c.Config.name = "SDG"))
-       Config.all)
+       Config.all);
+  Alcotest.(check (list string))
+    "extended set appends the adaptive configurations"
+    [ "HMG"; "HMD"; "SMG"; "SMD"; "SDG"; "SDD"; "SDA"; "SAA" ]
+    (List.map (fun c -> c.Config.name) Config.extended);
+  check_bool "extended lookup" true (Config.by_name "saa" == Config.saa)
 
 let simulation_deterministic () =
   let a = run_micro "reuseo" Config.smd in
