@@ -1,0 +1,70 @@
+#!/bin/sh
+# Run the exhaustive model checker over every litmus case on every cache
+# configuration — with and without fault choice points — and compare the
+# explored-state counts against the committed baseline.
+#
+#   bench/check_states.sh [baseline.txt]
+#
+# Fails when:
+#   - any exploration reports a violation (the checker writes the
+#     counterexample JSONL next to the working directory; CI uploads it),
+#   - any exploration is truncated (the budget no longer covers the space),
+#   - the explored-state count of any (case, config, mode) cell differs
+#     from the baseline at all.  The search is deterministic, so drift
+#     means the reachable state space itself changed: either a protocol
+#     change (regenerate the baseline deliberately) or a reduction bug.
+#
+# Refresh the baseline with:
+#   bench/check_states.sh --regen
+set -eu
+
+cli="dune exec bin/spandex_cli.exe --"
+baseline=$(dirname "$0")/check_states_baseline.txt
+regen=0
+if [ "${1:-}" = "--regen" ]; then
+  regen=1
+elif [ -n "${1:-}" ]; then
+  baseline=$1
+fi
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+status=0
+for cfg in HMG HMD SMG SMD SDG SDD; do
+  for mode in plain faults; do
+    flags=""
+    [ "$mode" = "faults" ] && flags="--faults"
+    if ! $cli check -c "$cfg" --cpus 2 $flags --budget-secs 120 >"$out.run" 2>&1
+    then
+      echo "FAIL: violation or error on $cfg ($mode):" >&2
+      cat "$out.run" >&2
+      status=1
+    fi
+    if grep -q TRUNCATED "$out.run"; then
+      echo "FAIL: truncated exploration on $cfg ($mode):" >&2
+      cat "$out.run" >&2
+      status=1
+    fi
+    # "<case> <config> <mode> <states>" per cell, for the drift diff.
+    awk -v mode="$mode" '$3 ~ /^states=/ {
+      split($3, a, "="); print $1, $2, mode, a[2]
+    }' "$out.run" >>"$out"
+  done
+done
+rm -f "$out.run"
+[ $status -eq 0 ] || exit $status
+
+if [ "$regen" = 1 ]; then
+  cp "$out" "$(dirname "$0")/check_states_baseline.txt"
+  echo "wrote $(wc -l <"$out") cells to $(dirname "$0")/check_states_baseline.txt"
+  exit 0
+fi
+
+if ! diff -u "$baseline" "$out"; then
+  echo "FAIL: explored-state counts drifted from $baseline — the reachable" >&2
+  echo "state space changed; regenerate with bench/check_states.sh --regen" >&2
+  echo "if the change is intended" >&2
+  exit 1
+fi
+echo "model-check states: $(wc -l <"$out") cells match the baseline"

@@ -454,10 +454,13 @@ let explain_cmd =
           Printf.printf "%10d  %-14s txn=%-6d %s -> %s line=0x%x\n" time
             (dev src) t (Trace.kind_name kind) (dev dst) line
         | _ -> ());
-    if !shown = 0 then
-      Printf.printf
-        "  no events (txn id out of range, or evicted from the ring — retry \
-         with a larger --capacity)\n"
+    if !shown = 0 then begin
+      Printf.eprintf
+        "txn %d not found in trace (ring may have wrapped; rerun with a \
+         larger --capacity)\n"
+        txn;
+      exit 1
+    end
     else if Trace.dropped tr > 0 then
       Printf.printf
         "  note: ring dropped %d events; early history may be missing (use \
@@ -485,6 +488,222 @@ let explain_cmd =
       const run $ workload_pos_arg $ config_arg $ scale_arg $ txn_arg
       $ capacity_arg $ fault_drop_arg $ fault_dup_arg $ fault_delay_arg
       $ fault_reorder_arg $ fault_seed_arg)
+
+(* --- check: exhaustive-interleaving model checker ---------------------------- *)
+
+module Litmus = Spandex_check.Litmus
+module Checker = Spandex_check.Checker
+module Schedule = Spandex_check.Schedule
+
+let check_replay ~path ~out =
+  let header, violation, steps, sys =
+    try Checker.replay ~trace:Trace.default_spec ~path ()
+    with Failure m | Sys_error m ->
+      Printf.eprintf "cannot replay %s: %s\n" path m;
+      exit 1
+  in
+  Printf.printf "replaying %s: case=%s config=%s cpus=%d gpus=%d%s%s\n" path
+    header.Schedule.h_case header.Schedule.h_config header.Schedule.h_cpus
+    header.Schedule.h_gpus
+    (if header.Schedule.h_faults then " faults" else "")
+    (match header.Schedule.h_seed_bug with
+    | Some b -> Printf.sprintf " seed-bug=%s" b
+    | None -> "");
+  Printf.printf "recorded violation: %s\n" header.Schedule.h_violation;
+  List.iteri
+    (fun i (a, descr) ->
+      Printf.printf "  %3d %-10s %s\n" i (Schedule.action_name a) descr)
+    steps;
+  (match sys with
+  | None -> ()
+  | Some sys ->
+    let tr = Spandex_sim.Engine.trace sys.Run.sys_engine in
+    let names = sys.Run.sys_device_names in
+    let dev id =
+      if id >= 0 && id < Array.length names then names.(id)
+      else Printf.sprintf "dev%d" id
+    in
+    let buf = Buffer.create (1 lsl 16) in
+    Trace.export_chrome tr ~device_name:dev buf;
+    let oc = open_out out in
+    Buffer.output_buffer oc buf;
+    close_out oc;
+    Printf.printf "wrote %s (load it at https://ui.perfetto.dev)\n" out);
+  match violation with
+  | Some v ->
+    Printf.printf "reproduced: %s\n" (Checker.violation_descr v);
+    0
+  | None ->
+    Printf.eprintf
+      "counterexample did NOT reproduce a violation (stale file, or the \
+       bug was fixed)\n";
+    1
+
+let check_cmd =
+  let run case config cpus gpus faults fault_budget max_states budget_secs
+      no_reduce seed_bug out replay =
+    match replay with
+    | Some path ->
+      let out = Option.value ~default:"CHECK_replay.trace.json" out in
+      exit (check_replay ~path ~out)
+    | None ->
+      let config = find_config config in
+      let cases =
+        match case with
+        | None -> Litmus.all
+        | Some name -> (
+          try [ Litmus.by_name name ]
+          with Not_found ->
+            Printf.eprintf "unknown case %s (try: %s)\n" name
+              (String.concat ", "
+                 (List.map (fun c -> c.Litmus.case_name) Litmus.all));
+            exit 1)
+      in
+      let seed_bug =
+        Option.map
+          (fun name ->
+            try Checker.bug_of_name name
+            with Not_found | Failure _ ->
+              Printf.eprintf "unknown seed bug %s (try: %s)\n" name
+                (String.concat ", "
+                   (List.map Checker.bug_name Checker.all_bugs));
+              exit 1)
+          seed_bug
+      in
+      let violated = ref false in
+      List.iter
+        (fun (c : Litmus.case) ->
+          if cpus + gpus < c.Litmus.min_devices then
+            Printf.printf
+              "%-8s %-4s skipped (needs >= %d devices, have %d)\n"
+              c.Litmus.case_name config.Config.name c.Litmus.min_devices
+              (cpus + gpus)
+          else begin
+            let out =
+              match out with
+              | Some o -> o
+              | None ->
+                Printf.sprintf "CHECK_%s_%s.jsonl" c.Litmus.case_name
+                  config.Config.name
+            in
+            let t0 = Unix.gettimeofday () in
+            let o =
+              Checker.check_and_report ~max_states ~budget_secs ~fault_budget
+                ~reduce:(not no_reduce) ?seed_bug ~case:c ~config ~cpus ~gpus
+                ~faults ~out ()
+            in
+            Printf.printf
+              "%-8s %-4s states=%-7d executions=%-6d transitions=%-8d \
+               wall=%.2fs%s\n"
+              c.Litmus.case_name config.Config.name o.Checker.o_states
+              o.Checker.o_executions o.Checker.o_transitions
+              (Unix.gettimeofday () -. t0)
+              (if o.Checker.o_truncated then
+                 " TRUNCATED (raise --max-states / --budget-secs)"
+               else "");
+            match o.Checker.o_violation with
+            | None -> ()
+            | Some (v, steps) ->
+              violated := true;
+              Printf.printf "  VIOLATION: %s\n" (Checker.violation_descr v);
+              Printf.printf "  counterexample: %d steps -> %s (replay with \
+                             'spandex_cli check --replay %s')\n"
+                (List.length steps) out out
+          end)
+        cases;
+      if !violated then exit 1
+  in
+  let case_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "case" ]
+          ~doc:
+            (Printf.sprintf
+               "Litmus case to explore; one of: %s (default: all)."
+               (String.concat ", "
+                  (List.map (fun c -> c.Litmus.case_name) Litmus.all))))
+  in
+  let check_cpus_arg =
+    Arg.(value & opt int 2 & info [ "cpus" ] ~doc:"CPU device count.")
+  in
+  let check_gpus_arg =
+    Arg.(value & opt int 0 & info [ "gpus" ] ~doc:"GPU device count.")
+  in
+  let faults_arg =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:
+            "Add message drop/duplicate choice points (bounded by \
+             --fault-budget per execution) on top of delivery order.")
+  in
+  let fault_budget_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "fault-budget" ]
+          ~doc:"Maximum fault actions per explored execution.")
+  in
+  let max_states_arg =
+    Arg.(
+      value & opt int 200_000
+      & info [ "max-states" ]
+          ~doc:"Stop after this many distinct explored states.")
+  in
+  let budget_secs_arg =
+    Arg.(
+      value & opt float 120.0
+      & info [ "budget-secs" ] ~doc:"Wall-clock budget for the search.")
+  in
+  let no_reduce_arg =
+    Arg.(
+      value & flag
+      & info [ "no-reduce" ]
+          ~doc:"Skip counterexample minimization (keep the raw schedule).")
+  in
+  let seed_bug_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "seed-bug" ]
+          ~doc:
+            (Printf.sprintf
+               "Wire a deliberate protocol bug into every L1 endpoint to \
+                validate the oracle; one of: %s."
+               (String.concat ", "
+                  (List.map Checker.bug_name Checker.all_bugs))))
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ]
+          ~doc:
+            "Counterexample path (default CHECK_<case>_<config>.jsonl); in \
+             --replay mode, the Perfetto trace path (default \
+             CHECK_replay.trace.json).")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Re-execute a counterexample JSONL deterministically, print its \
+             schedule, and export a Perfetto timeline of the violating run.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Exhaustively explore every message-delivery interleaving of small \
+          DRF litmus programs under one cache configuration, checking SWMR, \
+          LLC ownership registration, data values, and deadlock-freedom at \
+          every choice point.  Violations are written as replayable JSONL \
+          counterexamples.")
+    Term.(
+      const run $ case_arg $ config_arg $ check_cpus_arg $ check_gpus_arg
+      $ faults_arg $ fault_budget_arg $ max_states_arg $ budget_secs_arg
+      $ no_reduce_arg $ seed_bug_arg $ out_arg $ replay_arg)
 
 (* --- bench: machine-readable perf harness ----------------------------------- *)
 
@@ -812,6 +1031,7 @@ let () =
             sweep_cmd;
             trace_cmd;
             explain_cmd;
+            check_cmd;
             bench_cmd;
             soak_cmd;
           ]))

@@ -127,10 +127,20 @@ let respond_data t (req : Msg.t) meta ~kind ~mask =
     respond t req ~kind ~mask ~payload ()
 
 let forward t (req : Msg.t) ~kind ~dst ~mask ?demand ?amo () =
-  send t
-    (Msg.make ~txn:req.Msg.txn ~kind:(Msg.Req kind) ~line:req.Msg.line ~mask
-       ?demand ~src:(bank_of t.cfg req.Msg.line) ~dst
-       ~requestor:req.Msg.requestor ~fwd:true ?amo ())
+  let msg =
+    Msg.make ~txn:req.Msg.txn ~kind:(Msg.Req kind) ~line:req.Msg.line ~mask
+      ?demand ~src:(bank_of t.cfg req.Msg.line) ~dst
+      ~requestor:req.Msg.requestor ~fwd:true ?amo ()
+  in
+  (* Forwards are never recorded for replay.  The response they solicit
+     (a data transfer or a data-less RspO grant) rides the lossless
+     channel, so it cannot need recovery — and a model-checker
+     counterexample shows that re-sending a forward is unsound: a
+     duplicate of the original request can arrive while the registration
+     still matches, and the re-sent revocation then races into a later
+     registration epoch at the old owner, which relinquishes words the
+     directory still registers to it. *)
+  send t msg
 
 let probe t ~kind ~dst ~line ~mask =
   send t
@@ -334,7 +344,17 @@ and do_reqs t meta (msg : Msg.t) =
     end
     else begin
       (* Blocking: the owners must write back before Shared state is
-         granted (Table III: ReqS (1) on O data). *)
+         granted (Table III: ReqS (1) on O data).  Words still registered
+         to the requestor itself are special: the request crossed the
+         requestor's own write-back (it discarded the line after a partial
+         downgrade), so forwarding to it would wedge behind its pending
+         read.  Await the crossing ReqWB instead — it is the data carrier
+         — and serve those words from the merged LLC data at resume. *)
+      let self = words_owned_by meta ~mask:owned_in ~owner:msg.Msg.requestor in
+      if not (Mask.is_empty self) then Stats.incr t.stats "reqs_self_wb";
+      let fwd_groups =
+        List.filter (fun (o, _) -> o <> msg.Msg.requestor) groups
+      in
       let awaited =
         List.map
           (fun (o, sub) -> { aw_owner = o; aw_remaining = sub })
@@ -343,7 +363,7 @@ and do_reqs t meta (msg : Msg.t) =
       let mesi_owners =
         List.filter_map
           (fun (o, _) -> if t.cfg.kind_of o = Kind_mesi then Some o else None)
-          groups
+          fwd_groups
       in
       meta.pending <-
         Some
@@ -358,13 +378,14 @@ and do_reqs t meta (msg : Msg.t) =
                        if not (List.mem d meta.sharers) then
                          meta.sharers <- d :: meta.sharers)
                      (msg.Msg.requestor :: mesi_owners);
+                   respond_data t msg meta ~kind:Msg.RspS ~mask:self;
                    after_pending t msg.Msg.line);
              });
       List.iter
         (fun (o, sub) ->
           Stats.incr t.stats "fwd_reqs";
           forward t msg ~kind:Msg.ReqS ~dst:o ~mask:sub ())
-        groups
+        fwd_groups
     end
   end
   else begin
@@ -755,10 +776,24 @@ and handle_recall t ~line ~kind ~k =
 
 (* ----- construction and introspection -------------------------------------- *)
 
-(* Requests whose processing must be exactly-once (see [replay] above). *)
+(* Requests whose processing must be exactly-once (see [replay] above).
+   Everything that mutates ownership registration or LLC data is guarded:
+   reprocessing a stale duplicate of a completed ReqO would re-register
+   the old requestor (rolling back a later transfer and routing future
+   forwards to an L1 that already relinquished the words), and a
+   duplicate racing its own forward would take the retry-recovery
+   "requestor already registered" path and grant ownership while the
+   forwarded revocation is still in flight to the old owner.  ReqWB is
+   ownership-checked in [apply_wb], but that check is epoch-blind: if the
+   writer re-acquires the same words after the write-back completed, a
+   stale retry of that ReqWB (sent because the RspWB ack was lost) passes
+   the check and deregisters words the L1 still holds dirty.  Only ReqV
+   reads without mutating and stays naturally idempotent. *)
 let replay_guarded = function
-  | Msg.ReqOdata | Msg.ReqWTdata | Msg.ReqS -> true
-  | Msg.ReqV | Msg.ReqWT | Msg.ReqO | Msg.ReqWB -> false
+  | Msg.ReqOdata | Msg.ReqWTdata | Msg.ReqS | Msg.ReqWT | Msg.ReqO
+  | Msg.ReqWB ->
+    true
+  | Msg.ReqV -> false
 
 (* Network-facing entry: the at-most-once filter sits here so internal
    re-dispatches (unblocking, allocation retries) bypass it. *)
@@ -814,6 +849,32 @@ let create engine net backing cfg =
   done;
   backing.Backing.set_recall_handler (fun ~line ~kind ~k ->
       handle_recall t ~line ~kind ~k);
+  Engine.register_pending_source engine (fun () ->
+      Cache_frame.fold t.frame ~init:[] ~f:(fun acc ~line m ->
+          let item what =
+            {
+              Engine.pw_device = Printf.sprintf "llc.%d" (bank_of t.cfg line);
+              pw_txn = -1;
+              pw_line = line;
+              pw_what = what;
+            }
+          in
+          let acc =
+            match m.pending with
+            | None -> acc
+            | Some (Fetching _) -> item "fetching from backing" :: acc
+            | Some Upgrading -> item "upgrading at backing" :: acc
+            | Some (Collecting_acks c) ->
+              item (Printf.sprintf "collecting %d inv ack(s)" c.acks_left)
+              :: acc
+            | Some (Awaiting_wb _) -> item "awaiting write-back" :: acc
+            | Some (Purging _) -> item "purging" :: acc
+          in
+          if m.blocked = [] then acc
+          else
+            item (Printf.sprintf "%d blocked request(s)"
+                    (List.length m.blocked))
+            :: acc));
   t
 
 let trace_sample t ~time =
@@ -877,3 +938,74 @@ let peek_word t { Addr.line; word } =
   Option.map (fun m -> m.data.(word)) (Cache_frame.find t.frame ~line)
 
 let resident_lines t = Cache_frame.count t.frame
+
+(* ----- model-checker introspection ----------------------------------------- *)
+
+module Fp = Spandex_util.Fingerprint
+
+let fp_awaited fp awaited =
+  let aws =
+    List.map (fun a -> (a.aw_owner, (a.aw_remaining :> int))) awaited
+    |> List.sort compare
+  in
+  Fp.list fp
+    (fun fp (o, m) ->
+      Fp.int fp o;
+      Fp.int fp m)
+    aws
+
+let fp_pending fp = function
+  | None -> Fp.tag fp "-"
+  | Some (Fetching { excl }) ->
+    Fp.tag fp "F";
+    Fp.bool fp excl
+  | Some Upgrading -> Fp.tag fp "U"
+  | Some (Collecting_acks c) ->
+    Fp.tag fp "C";
+    Fp.int fp c.acks_left
+  | Some (Awaiting_wb { awaited; _ }) ->
+    Fp.tag fp "W";
+    fp_awaited fp awaited
+  | Some (Purging { acks_left; awaited; _ }) ->
+    Fp.tag fp "P";
+    Fp.int fp acks_left;
+    fp_awaited fp awaited
+
+let fingerprint t fp =
+  Fp.tag fp "llc";
+  let lines =
+    Cache_frame.fold t.frame ~init:[] ~f:(fun acc ~line m -> (line, m) :: acc)
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Fp.int fp (List.length lines);
+  List.iter
+    (fun (line, m) ->
+      Fp.int fp line;
+      Fp.int fp
+        (match m.lstate with State.L_I -> 0 | State.L_V -> 1 | State.L_S -> 2);
+      Fp.int fp (m.owned :> int);
+      Mask.iter m.owned ~f:(fun w -> Fp.int fp m.owner.(w));
+      (* Words owned remotely are stale here; exclude them so the
+         fingerprint tracks only authoritative data. *)
+      Fp.masked_array fp
+        ~mask:(Mask.diff Addr.full_mask m.owned)
+        m.data;
+      Fp.list fp Fp.int (List.sort compare m.sharers);
+      Fp.bool fp m.dirty;
+      Fp.bool fp m.backing_excl;
+      fp_pending fp m.pending;
+      Fp.list fp Msg.fingerprint m.blocked;
+      Fp.int fp (List.length m.recalls))
+    lines;
+  match t.replay with
+  | None -> ()
+  | Some table ->
+    let entries =
+      Hashtbl.fold (fun txn msgs acc -> (txn, !msgs) :: acc) table []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    Fp.list fp
+      (fun fp (txn, msgs) ->
+        Fp.txn fp txn;
+        Fp.list fp Msg.fingerprint msgs)
+      entries

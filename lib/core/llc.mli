@@ -83,3 +83,8 @@ val peek_word : t -> Spandex_proto.Addr.t -> int option
     owned remotely. *)
 
 val resident_lines : t -> int
+
+val fingerprint : t -> Spandex_util.Fingerprint.t -> unit
+(** Append a canonical encoding of the full architectural state (resident
+    lines, pending operations, blocked queues, replay cache) for the model
+    checker's visited-state cache. *)

@@ -416,9 +416,7 @@ and complete_read t ~txn (m : read_miss) (r : Tu.result) =
 
 and handle_read_nacks t ~txn (m : read_miss) (r : Tu.result) =
   Chassis.trace_nack t.ch ~txn ~count:(Mask.count r.Tu.nacked);
-  free_txn t ~txn;
   if m.r_retries < t.cfg.max_reqv_retries then begin
-    Stats.incr t.ch.Chassis.stats "reqv_retry";
     let m' =
       {
         m with
@@ -426,17 +424,23 @@ and handle_read_nacks t ~txn (m : read_miss) (r : Tu.result) =
         r_retries = m.r_retries + 1;
       }
     in
-    seed_collector m' r;
-    match Mshr.alloc t.ch.Chassis.outstanding (Read m') with
-    | Some txn' ->
-      request t ~txn:txn' ~kind:Msg.ReqV ~line:m.r_line ~mask:r.Tu.nacked
-        ~demand:r.Tu.nacked ();
-      Chassis.trace_chain t.ch ~txn ~txn'
-    | None -> assert false
+    match seed_collector m' r with
+    | Some r' ->
+      (* A retransmitted response already supplied data for every Nacked
+         word: the fresh collector is complete before any retry goes out. *)
+      complete_read t ~txn m' r'
+    | None -> (
+      Stats.incr t.ch.Chassis.stats "reqv_retry";
+      free_txn t ~txn;
+      match Mshr.alloc t.ch.Chassis.outstanding (Read m') with
+      | Some txn' ->
+        request t ~txn:txn' ~kind:Msg.ReqV ~line:m.r_line ~mask:r.Tu.nacked
+          ~demand:r.Tu.nacked ();
+        Chassis.trace_chain t.ch ~txn ~txn'
+      | None -> assert false)
   end
   else begin
     (* Convert to ReqO+data to enforce ordering (§III-C case 3). *)
-    Stats.incr t.ch.Chassis.stats "reqv_converted";
     let m' =
       {
         m with
@@ -444,24 +448,28 @@ and handle_read_nacks t ~txn (m : read_miss) (r : Tu.result) =
         r_own_mask = r.Tu.nacked;
       }
     in
-    seed_collector m' r;
-    match Mshr.alloc t.ch.Chassis.outstanding (Read m') with
-    | Some txn' ->
-      request t ~txn:txn' ~kind:Msg.ReqOdata ~line:m.r_line ~mask:r.Tu.nacked
-        ();
-      Chassis.trace_chain t.ch ~txn ~txn'
-    | None -> assert false
+    match seed_collector m' r with
+    | Some r' -> complete_read t ~txn m' r'
+    | None -> (
+      Stats.incr t.ch.Chassis.stats "reqv_converted";
+      free_txn t ~txn;
+      match Mshr.alloc t.ch.Chassis.outstanding (Read m') with
+      | Some txn' ->
+        request t ~txn:txn' ~kind:Msg.ReqOdata ~line:m.r_line ~mask:r.Tu.nacked
+          ();
+        Chassis.trace_chain t.ch ~txn ~txn'
+      | None -> assert false)
   end
 
 and seed_collector (m : read_miss) (r : Tu.result) =
-  if not (Mask.is_empty r.Tu.data_mask) then
-    ignore
-      (Tu.absorb m.r_collector
-         (Msg.make ~txn:0 ~kind:(Msg.Rsp Msg.RspV) ~line:m.r_line
-            ~mask:r.Tu.data_mask
-            ~payload:
-              (Msg.Data (Linedata.pack ~mask:r.Tu.data_mask ~full:r.Tu.values))
-            ~src:0 ~dst:0 ()))
+  if Mask.is_empty r.Tu.data_mask then None
+  else
+    Tu.absorb m.r_collector
+      (Msg.make ~txn:0 ~kind:(Msg.Rsp Msg.RspV) ~line:m.r_line
+         ~mask:r.Tu.data_mask
+         ~payload:
+           (Msg.Data (Linedata.pack ~mask:r.Tu.data_mask ~full:r.Tu.values))
+         ~src:0 ~dst:0 ())
 
 (* ----- stores --------------------------------------------------------------- *)
 
@@ -861,6 +869,29 @@ let create engine net cfg =
   in
   ch.Chassis.drain <- (fun () -> drain t);
   ch.Chassis.writes_pending <- (fun () -> writes_pending t);
+  ch.Chassis.source_line <-
+    (function
+    | Read m -> m.r_line
+    | Own o -> o.o_line
+    | Rmw r -> r.w_line
+    | Atomic _ -> -1);
+  ch.Chassis.source_what <-
+    (function
+    | Read _ -> "Read miss"
+    | Own _ -> "Own request"
+    | Rmw _ -> "Rmw request"
+    | Atomic _ -> "Atomic at LLC");
+  Engine.register_pending_source engine (fun () ->
+      Hashtbl.fold
+        (fun txn (b : wb_req) acc ->
+          {
+            Engine.pw_device = Printf.sprintf "denovo_l1.%d" cfg.id;
+            pw_txn = txn;
+            pw_line = b.b_line;
+            pw_what = "write-back awaiting RspWB";
+          }
+          :: acc)
+        t.wb_records []);
   Network.register net ~id:cfg.id (fun msg -> handle t msg);
   t
 
@@ -898,3 +929,104 @@ let count_words t f =
 
 let owned_words t = count_words t (fun l -> l.owned)
 let valid_words t = count_words t (fun l -> l.valid)
+
+(* ----- model-checker introspection ----------------------------------------- *)
+
+module Fp = Spandex_util.Fingerprint
+
+let fp_collector fp c =
+  let r = Tu.peek c in
+  Fp.int fp (r.Tu.data_mask :> int);
+  Fp.int fp (r.Tu.acked :> int);
+  Fp.int fp (r.Tu.nacked :> int);
+  Fp.masked_array fp ~mask:r.Tu.data_mask r.Tu.values
+
+let fp_waiters fp ws = Fp.list fp Fp.int (List.sort compare (List.map fst ws))
+
+let fp_amo fp = function
+  | Amo.Read -> Fp.int fp 0
+  | Amo.Exch v ->
+    Fp.int fp 1;
+    Fp.int fp v
+  | Amo.Add v ->
+    Fp.int fp 2;
+    Fp.int fp v
+  | Amo.Max v ->
+    Fp.int fp 3;
+    Fp.int fp v
+  | Amo.Cas { expected; desired } ->
+    Fp.int fp 4;
+    Fp.int fp expected;
+    Fp.int fp desired
+
+let fingerprint t fp =
+  Fp.tag fp "denovo";
+  Fp.int fp t.cfg.id;
+  Fp.int fp t.epoch;
+  let lines =
+    Cache_frame.fold t.frame ~init:[] ~f:(fun acc ~line l -> (line, l) :: acc)
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Fp.int fp (List.length lines);
+  List.iter
+    (fun (line, l) ->
+      Fp.int fp line;
+      Fp.int fp (l.valid :> int);
+      Fp.int fp (l.owned :> int);
+      Fp.masked_array fp ~mask:(Mask.union l.valid l.owned) l.data)
+    lines;
+  Chassis.fingerprint t.ch fp
+    ~key:(function
+      | Read m -> (m.r_line * 8) + 0
+      | Own o -> (o.o_line * 8) + 1
+      | Rmw r -> (r.w_line * 8) + 2
+      | Atomic _ -> 3)
+    ~payload:(fun fp -> function
+      | Read m ->
+        Fp.tag fp "R";
+        Fp.int fp m.r_line;
+        Fp.int fp (m.r_own_mask :> int);
+        Fp.int fp m.r_retries;
+        Fp.int fp (t.epoch - m.r_epoch);
+        fp_waiters fp m.r_waiters;
+        fp_collector fp m.r_collector
+      | Own o ->
+        Fp.tag fp "O";
+        Fp.int fp o.o_line;
+        Fp.int fp (o.o_mask :> int);
+        Fp.masked_array fp ~mask:o.o_mask o.o_values;
+        Fp.int fp (o.o_stolen :> int);
+        Fp.bool fp o.o_through;
+        fp_collector fp o.o_collector
+      | Rmw r ->
+        Fp.tag fp "W";
+        Fp.int fp r.w_line;
+        Fp.int fp r.w_word;
+        fp_amo fp r.w_amo;
+        Fp.bool fp r.w_stolen;
+        Fp.list fp Msg.fingerprint r.w_queued;
+        fp_collector fp r.w_collector
+      | Atomic _ -> Fp.tag fp "A");
+  let wbs =
+    Hashtbl.fold (fun txn b acc -> (txn, b) :: acc) t.wb_records []
+    |> List.sort (fun (t1, b1) (t2, b2) ->
+           match
+             compare (b1.b_line, (b1.b_mask :> int))
+               (b2.b_line, (b2.b_mask :> int))
+           with
+           | 0 -> compare t1 t2
+           | c -> c)
+  in
+  Fp.int fp (List.length wbs);
+  List.iter
+    (fun (txn, (b : wb_req)) ->
+      Fp.txn fp txn;
+      Fp.int fp b.b_line;
+      Fp.int fp (b.b_mask :> int);
+      Fp.masked_array fp ~mask:b.b_mask b.b_values)
+    wbs
+
+let owned_mask t ~line =
+  match Cache_frame.find t.frame ~line with
+  | Some l -> l.owned
+  | None -> Mask.empty

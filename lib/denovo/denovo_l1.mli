@@ -58,3 +58,12 @@ val word_state : t -> Spandex_proto.Addr.t -> Spandex_proto.State.device
 val peek_word : t -> Spandex_proto.Addr.t -> int option
 val owned_words : t -> int
 val valid_words : t -> int
+
+val owned_mask : t -> line:int -> Spandex_util.Mask.t
+(** Words of [line] held in Owned state — the cache's write-permission
+    claim, as consumed by the model checker's SWMR oracle. *)
+
+val fingerprint : t -> Spandex_util.Fingerprint.t -> unit
+(** Append a canonical encoding of the full architectural state (frame,
+    MSHR payloads, write-back records) for the model checker's
+    visited-state cache. *)

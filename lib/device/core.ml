@@ -184,7 +184,28 @@ let create engine ~port ~barriers ~check_log ~core_id ~clock ~programs =
       issue t);
   t
 
-let start t = arm t
+let start t =
+  Engine.register_pending_source t.engine (fun () ->
+      Array.to_list t.contexts
+      |> List.mapi (fun i c ->
+             if c.state <> Waiting then None
+             else
+               let op = c.ops.(c.pc - 1) in
+               Some
+                 {
+                   Engine.pw_device = Printf.sprintf "core.%d" t.core_id;
+                   pw_txn = -1;
+                   pw_line =
+                     (match op with
+                     | Ops.Load a | Ops.Check (a, _) | Ops.Store (a, _)
+                     | Ops.Rmw (a, _) ->
+                       a.Spandex_proto.Addr.line
+                     | _ -> -1);
+                   pw_what =
+                     Format.asprintf "ctx%d waiting on %a" i Ops.pp op;
+                 })
+      |> List.filter_map Fun.id);
+  arm t
 
 let finished t =
   t.done_count = Array.length t.contexts && t.port.Port.quiescent ()
@@ -208,3 +229,18 @@ let describe_pending t =
 
 let stats t = t.stats
 let core_id t = t.core_id
+
+module Fp = Spandex_util.Fingerprint
+
+let fingerprint t fp =
+  Fp.tag fp "core";
+  Fp.int fp t.core_id;
+  Fp.int fp t.rr;
+  Fp.int fp t.done_count;
+  Fp.bool fp t.issue_armed;
+  Array.iter
+    (fun c ->
+      Fp.int fp c.pc;
+      Fp.int fp
+        (match c.state with Ready -> 0 | Waiting -> 1 | Finished -> 2))
+    t.contexts

@@ -36,3 +36,7 @@ val finished : t -> bool
 val describe_pending : t -> string
 val stats : t -> Spandex_util.Stats.t
 val core_id : t -> int
+
+val fingerprint : t -> Spandex_util.Fingerprint.t -> unit
+(** Feed architectural core state (per-context pc and run state, issue
+    round-robin cursor) into a fingerprint accumulator. *)

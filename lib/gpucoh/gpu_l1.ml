@@ -137,55 +137,53 @@ let complete_miss t ~txn (m : miss) (r : Tu.result) =
    ReqWT+data (performed at the LLC) to enforce ordering (§III-C case 3). *)
 let handle_nacks t ~txn (m : miss) (r : Tu.result) =
   Chassis.trace_nack t.ch ~txn ~count:(Mask.count r.Tu.nacked);
+  (* Carry what already arrived into the fresh collector.  A retransmitted
+     response may have supplied data for words that were also Nacked; the
+     seed then covers the whole remaining demand and no retry is needed —
+     issuing one anyway would land its response on a completed collector. *)
+  let seed collector =
+    Tu.absorb collector
+      (Msg.make ~txn ~kind:(Msg.Rsp Msg.RspV)
+         ~mask:(Mask.union r.Tu.data_mask r.Tu.acked)
+         ~payload:
+           (Msg.Data
+              (Linedata.pack
+                 ~mask:(Mask.union r.Tu.data_mask r.Tu.acked)
+                 ~full:r.Tu.values))
+         ~line:m.m_line ~src:t.cfg.id ~dst:t.cfg.id ())
+  in
   if m.retries < t.cfg.max_reqv_retries then begin
-    m.retries <- m.retries + 1;
-    Stats.incr t.ch.Chassis.stats "reqv_retry";
     let fresh = Tu.create ~demand:r.Tu.nacked in
-    (* Carry over what already arrived. *)
-    ignore
-      (Tu.absorb fresh
-         (Msg.make ~txn ~kind:(Msg.Rsp Msg.RspV)
-            ~mask:(Mask.union r.Tu.data_mask r.Tu.acked)
-            ~payload:
-              (Msg.Data
-                 (Linedata.pack
-                    ~mask:(Mask.union r.Tu.data_mask r.Tu.acked)
-                    ~full:r.Tu.values))
-            ~line:m.m_line ~src:t.cfg.id ~dst:t.cfg.id ()));
-    let m' =
-      { m with collector = fresh; retries = m.retries }
-    in
-    free_txn t ~txn;
-    (match Mshr.alloc t.ch.Chassis.outstanding (Miss m') with
-    | Some txn' ->
-      request t ~txn:txn' ~kind:Msg.ReqV ~line:m.m_line ~mask:r.Tu.nacked
-        ~demand:r.Tu.nacked ();
-      Chassis.trace_chain t.ch ~txn ~txn'
-    | None -> assert false (* we just freed a slot *))
+    match seed fresh with
+    | Some r' -> complete_miss t ~txn m r'
+    | None ->
+      m.retries <- m.retries + 1;
+      Stats.incr t.ch.Chassis.stats "reqv_retry";
+      let m' = { m with collector = fresh; retries = m.retries } in
+      free_txn t ~txn;
+      (match Mshr.alloc t.ch.Chassis.outstanding (Miss m') with
+      | Some txn' ->
+        request t ~txn:txn' ~kind:Msg.ReqV ~line:m.m_line ~mask:r.Tu.nacked
+          ~demand:r.Tu.nacked ();
+        Chassis.trace_chain t.ch ~txn ~txn'
+      | None -> assert false (* we just freed a slot *))
   end
   else begin
-    Stats.incr t.ch.Chassis.stats "reqv_converted";
     (* One ReqWT+data (atomic read) per still-missing word. *)
     let base = Tu.create ~demand:r.Tu.nacked in
-    ignore
-      (Tu.absorb base
-         (Msg.make ~txn ~kind:(Msg.Rsp Msg.RspV)
-            ~mask:(Mask.union r.Tu.data_mask r.Tu.acked)
-            ~payload:
-              (Msg.Data
-                 (Linedata.pack
-                    ~mask:(Mask.union r.Tu.data_mask r.Tu.acked)
-                    ~full:r.Tu.values))
-            ~line:m.m_line ~src:t.cfg.id ~dst:t.cfg.id ()));
-    let m' = { m with collector = base } in
-    free_txn t ~txn;
-    match Mshr.alloc t.ch.Chassis.outstanding (Miss m') with
-    | Some txn' ->
-      Mask.iter r.Tu.nacked ~f:(fun w ->
-          request t ~txn:txn' ~kind:Msg.ReqWTdata ~line:m.m_line
-            ~mask:(Mask.singleton w) ~amo:Amo.Read ());
-      Chassis.trace_chain t.ch ~txn ~txn'
-    | None -> assert false
+    match seed base with
+    | Some r' -> complete_miss t ~txn m r'
+    | None ->
+      Stats.incr t.ch.Chassis.stats "reqv_converted";
+      let m' = { m with collector = base } in
+      free_txn t ~txn;
+      (match Mshr.alloc t.ch.Chassis.outstanding (Miss m') with
+      | Some txn' ->
+        Mask.iter r.Tu.nacked ~f:(fun w ->
+            request t ~txn:txn' ~kind:Msg.ReqWTdata ~line:m.m_line
+              ~mask:(Mask.singleton w) ~amo:Amo.Read ());
+        Chassis.trace_chain t.ch ~txn ~txn'
+      | None -> assert false)
   end
 
 let rec load t (addr : Addr.t) ~k =
@@ -370,6 +368,13 @@ let create engine net cfg =
   in
   ch.Chassis.drain <- (fun () -> drain t);
   ch.Chassis.writes_pending <- (fun () -> wts_outstanding t);
+  ch.Chassis.source_line <-
+    (function Miss m -> m.m_line | Wt w -> w.wt_line | Atomic _ -> -1);
+  ch.Chassis.source_what <-
+    (function
+    | Miss _ -> "Read miss"
+    | Wt _ -> "Write-through"
+    | Atomic _ -> "Atomic at LLC");
   Network.register net ~id:cfg.id (fun msg -> handle t msg);
   t
 
@@ -396,3 +401,48 @@ let peek_word t (addr : Addr.t) =
     (Cache_frame.find t.frame ~line:addr.Addr.line)
 
 let valid_lines t = Cache_frame.count t.frame
+
+(* ----- model-checker introspection ----------------------------------------- *)
+
+module Fp = Spandex_util.Fingerprint
+
+let fp_collector fp c =
+  let r = Tu.peek c in
+  Fp.int fp (r.Tu.data_mask :> int);
+  Fp.int fp (r.Tu.acked :> int);
+  Fp.int fp (r.Tu.nacked :> int);
+  Fp.masked_array fp ~mask:r.Tu.data_mask r.Tu.values
+
+let fingerprint t fp =
+  Fp.tag fp "gpu_l1";
+  Fp.int fp t.cfg.id;
+  Fp.int fp t.epoch;
+  let lines =
+    Cache_frame.fold t.frame ~init:[] ~f:(fun acc ~line l -> (line, l) :: acc)
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Fp.int fp (List.length lines);
+  List.iter
+    (fun (line, l) ->
+      Fp.int fp line;
+      Fp.array fp l.data)
+    lines;
+  Chassis.fingerprint t.ch fp
+    ~key:(function
+      | Miss m -> (m.m_line * 4) + 0
+      | Wt w -> (w.wt_line * 4) + 1
+      | Atomic a -> (a.a_word * 4) + 2)
+    ~payload:(fun fp -> function
+      | Miss m ->
+        Fp.tag fp "R";
+        Fp.int fp m.m_line;
+        Fp.int fp (t.epoch - m.epoch);
+        Fp.int fp m.retries;
+        Fp.list fp Fp.int (List.sort compare (List.map fst m.waiters));
+        fp_collector fp m.collector
+      | Wt w ->
+        Fp.tag fp "W";
+        Fp.int fp w.wt_line
+      | Atomic a ->
+        Fp.tag fp "A";
+        Fp.int fp a.a_word)

@@ -41,3 +41,8 @@ val trace_sample : t -> time:int -> unit
 val holds_line : t -> line:int -> bool
 val peek_word : t -> Spandex_proto.Addr.t -> int option
 val valid_lines : t -> int
+
+val fingerprint : t -> Spandex_util.Fingerprint.t -> unit
+(** Append a canonical encoding of the full architectural state for the
+    model checker's visited-state cache.  (GPU coherence never holds
+    ownership, so it contributes no SWMR claims.) *)

@@ -41,6 +41,8 @@ type 'o t = {
   mutable drain : unit -> unit;
   mutable writes_pending : unit -> int;
   mutable drain_tick : unit -> unit;
+  mutable source_line : 'o -> int;
+  mutable source_what : 'o -> string;
 }
 
 let create engine net ~id ~home_id ~home_banks ~hit_latency ~coalesce_window
@@ -87,12 +89,49 @@ let create engine net ~id ~home_id ~home_banks ~hit_latency ~coalesce_window
       drain = (fun () -> ());
       writes_pending = (fun () -> 0);
       drain_tick = (fun () -> ());
+      source_line = (fun _ -> -1);
+      source_what = (fun _ -> "mshr");
     }
   in
   t.drain_tick <-
     (fun () ->
       t.drain_armed <- false;
       t.drain ());
+  (* Anything still held here when the event queue drains is a silent
+     deadlock; let [Engine.run_all] report it as [Stuck]. *)
+  let name = Printf.sprintf "%s.%d" level id in
+  Engine.register_pending_source engine (fun () ->
+      let acc = ref [] in
+      Mshr.iter t.outstanding ~f:(fun ~txn o ->
+          acc :=
+            {
+              Engine.pw_device = name;
+              pw_txn = txn;
+              pw_line = t.source_line o;
+              pw_what = t.source_what o;
+            }
+            :: !acc);
+      Store_buffer.iter t.sb ~f:(fun e ->
+          acc :=
+            {
+              Engine.pw_device = name;
+              pw_txn = -1;
+              pw_line = e.Store_buffer.line;
+              pw_what = "buffered store";
+            }
+            :: !acc);
+      if t.stalled_stores <> [] then
+        acc :=
+          {
+            Engine.pw_device = name;
+            pw_txn = -1;
+            pw_line = -1;
+            pw_what =
+              Printf.sprintf "%d stalled store(s)"
+                (List.length t.stalled_stores);
+          }
+          :: !acc;
+      !acc);
   t
 
 let send t msg = Engine.send_later t.engine ~delay:t.hit_latency msg
@@ -221,3 +260,44 @@ let quiescent t =
   Store_buffer.is_empty t.sb
   && Mshr.count t.outstanding = 0
   && t.stalled_stores = []
+
+module Fp = Spandex_util.Fingerprint
+
+(* Canonical encoding of the shared transaction state.  MSHR entries are
+   sorted by the protocol's [key] (line + kind, unique for coexisting
+   entries) with the raw txn as a tiebreaker, so the fingerprint's txn
+   remap is assigned in a content-determined order; store-buffer entries
+   sort by line (one entry per line by construction). *)
+let fingerprint t fp ~key ~payload =
+  Fp.tag fp "ch";
+  Fp.bool fp t.flushing;
+  Fp.int fp (List.length t.release_waiters);
+  Fp.int fp (List.length t.stalled_stores);
+  let sbs = ref [] in
+  Store_buffer.iter t.sb ~f:(fun e -> sbs := e :: !sbs);
+  let sbs =
+    List.sort
+      (fun a b -> compare a.Store_buffer.line b.Store_buffer.line)
+      !sbs
+  in
+  Fp.int fp (List.length sbs);
+  List.iter
+    (fun e ->
+      Fp.int fp e.Store_buffer.line;
+      Fp.int fp (e.Store_buffer.mask :> int);
+      Fp.masked_array fp ~mask:e.Store_buffer.mask e.Store_buffer.values)
+    sbs;
+  let ms = ref [] in
+  Mshr.iter t.outstanding ~f:(fun ~txn o -> ms := (txn, o) :: !ms);
+  let ms =
+    List.sort
+      (fun (t1, o1) (t2, o2) ->
+        match compare (key o1) (key o2) with 0 -> compare t1 t2 | c -> c)
+      !ms
+  in
+  Fp.int fp (List.length ms);
+  List.iter
+    (fun (txn, o) ->
+      Fp.txn fp txn;
+      payload fp o)
+    ms

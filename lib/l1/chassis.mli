@@ -60,6 +60,11 @@ type 'o t = {
       (** installed by the protocol; gates release completion. *)
   mutable drain_tick : unit -> unit;
       (** preallocated tick closure so {!arm_drain} allocates nothing. *)
+  mutable source_line : 'o -> int;
+      (** installed by the protocol: line an outstanding entry targets,
+          for {!Engine.Stuck} reports ([-1] when unknown). *)
+  mutable source_what : 'o -> string;
+      (** installed by the protocol: short kind of an outstanding entry. *)
 }
 
 val create :
@@ -171,3 +176,14 @@ val describe_pending :
 val quiescent : 'o t -> bool
 (** Store buffer empty, MSHR file empty, no stalled stores.  Protocols
     conjoin their own records (write-backs, parked requests). *)
+
+val fingerprint :
+  'o t ->
+  Spandex_util.Fingerprint.t ->
+  key:('o -> int) ->
+  payload:(Spandex_util.Fingerprint.t -> 'o -> unit) ->
+  unit
+(** Append a canonical encoding of the shared transaction state (store
+    buffer sorted by line, MSHR entries sorted by [key] — the protocol
+    supplies a content key, typically [line * k + kind-tag] — then
+    encoded by [payload]).  Used by the model checker. *)

@@ -241,6 +241,10 @@ let create engine net cfg =
       recall_handler = (fun ~line:_ ~kind:_ ~k -> k None);
     }
   in
+  ch.Chassis.source_line <-
+    (function Acq a -> a.a_line | Wb w -> w.w_line);
+  ch.Chassis.source_what <-
+    (function Acq _ -> "acquire (GetS/GetM)" | Wb _ -> "write-back (PutM)");
   Network.register net ~id:cfg.id (fun msg -> handle t msg);
   t
 
@@ -266,3 +270,34 @@ let backing t =
   }
 
 let stats t = t.ch.Chassis.stats
+
+(* ----- model-checker introspection ----------------------------------------- *)
+
+module Fp = Spandex_util.Fingerprint
+
+let fingerprint t fp =
+  Fp.tag fp "mesi_client";
+  Fp.int fp t.cfg.id;
+  Fp.int fp t.parked;
+  let lines =
+    Hashtbl.fold
+      (fun line s acc ->
+        (line, (match s with P_I -> 0 | P_S -> 1 | P_M -> 2)) :: acc)
+      t.states []
+    |> List.sort compare
+  in
+  Fp.list fp
+    (fun fp (line, s) ->
+      Fp.int fp line;
+      Fp.int fp s)
+    lines;
+  Chassis.fingerprint t.ch fp
+    ~key:(function Acq a -> (a.a_line * 2) + 0 | Wb w -> (w.w_line * 2) + 1)
+    ~payload:(fun fp -> function
+      | Acq a ->
+        Fp.tag fp "A";
+        Fp.int fp a.a_line
+      | Wb w ->
+        Fp.tag fp "W";
+        Fp.int fp w.w_line;
+        Fp.array fp w.w_values)

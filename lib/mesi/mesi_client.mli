@@ -25,3 +25,8 @@ val stats : t -> Spandex_util.Stats.t
 val trace_sample : t -> time:int -> unit
 (** Record occupancy counters into the engine's trace sink; no-op when
     tracing is disabled. *)
+
+val fingerprint : t -> Spandex_util.Fingerprint.t -> unit
+(** Append a canonical encoding of the client shim's state (per-line
+    permissions, outstanding acquires/write-backs) for the model checker's
+    visited-state cache. *)

@@ -403,6 +403,31 @@ let create engine net dram cfg =
   for b = 0 to cfg.banks - 1 do
     Network.register net ~id:(cfg.dir_id + b) (fun msg -> arrival t msg)
   done;
+  Engine.register_pending_source engine (fun () ->
+      Cache_frame.fold t.frame ~init:[] ~f:(fun acc ~line m ->
+          let item what =
+            {
+              Engine.pw_device = Printf.sprintf "dir.%d" (bank_of t.cfg line);
+              pw_txn = -1;
+              pw_line = line;
+              pw_what = what;
+            }
+          in
+          let acc =
+            match m.pending with
+            | None -> acc
+            | Some Fetching -> item "fetching from DRAM" :: acc
+            | Some (Collecting_acks c) ->
+              item (Printf.sprintf "collecting %d inv ack(s)" c.acks_left)
+              :: acc
+            | Some (Awaiting { from; _ }) ->
+              item (Printf.sprintf "awaiting owner %d" from) :: acc
+          in
+          if m.blocked = [] then acc
+          else
+            item (Printf.sprintf "%d blocked request(s)"
+                    (List.length m.blocked))
+            :: acc));
   t
 
 let trace_sample t ~time =
@@ -439,3 +464,57 @@ let line_state t ~line =
 
 let peek_word t { Addr.line; word } =
   Option.map (fun m -> m.data.(word)) (Cache_frame.find t.frame ~line)
+
+(* ----- model-checker introspection ----------------------------------------- *)
+
+module Fp = Spandex_util.Fingerprint
+
+let fingerprint t fp =
+  Fp.tag fp "dir";
+  let lines =
+    Cache_frame.fold t.frame ~init:[] ~f:(fun acc ~line m -> (line, m) :: acc)
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Fp.int fp (List.length lines);
+  List.iter
+    (fun (line, m) ->
+      Fp.int fp line;
+      (match m.dstate with
+      | D_V -> Fp.int fp 0
+      | D_S sharers ->
+        Fp.int fp 1;
+        Fp.list fp Fp.int (List.sort compare sharers)
+      | D_M owner ->
+        Fp.int fp 2;
+        Fp.int fp owner);
+      (* Data is stale while a modified owner holds the line. *)
+      (match m.dstate with D_M _ -> () | D_V | D_S _ -> Fp.array fp m.data);
+      Fp.bool fp m.dirty;
+      (match m.pending with
+      | None -> Fp.tag fp "-"
+      | Some Fetching -> Fp.tag fp "F"
+      | Some (Collecting_acks c) ->
+        Fp.tag fp "C";
+        Fp.int fp c.acks_left
+      | Some (Awaiting { from; expect_data; satisfied; _ }) ->
+        Fp.tag fp "A";
+        Fp.int fp from;
+        Fp.bool fp expect_data;
+        Fp.bool fp satisfied);
+      Fp.list fp Msg.fingerprint m.blocked)
+    lines;
+  match t.replay with
+  | None -> ()
+  | Some table ->
+    let entries =
+      Hashtbl.fold (fun txn msgs acc -> (txn, !msgs) :: acc) table []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    Fp.list fp
+      (fun fp (txn, msgs) ->
+        Fp.txn fp txn;
+        Fp.list fp Msg.fingerprint msgs)
+      entries
+
+let owner_of t ~line =
+  match line_state t ~line with Some (D_M o) -> Some o | _ -> None

@@ -647,6 +647,21 @@ let create engine net cfg =
   in
   ch.Chassis.drain <- (fun () -> drain t);
   ch.Chassis.writes_pending <- (fun () -> writes_pending t);
+  ch.Chassis.source_line <-
+    (function Read m -> m.r_line | Write w -> w.m_line);
+  ch.Chassis.source_what <-
+    (function Read _ -> "Read miss" | Write _ -> "Write miss");
+  Engine.register_pending_source engine (fun () ->
+      Hashtbl.fold
+        (fun txn (b : wb_req) acc ->
+          {
+            Engine.pw_device = Printf.sprintf "mesi_l1.%d" cfg.id;
+            pw_txn = txn;
+            pw_line = b.b_line;
+            pw_what = "write-back awaiting RspWB";
+          }
+          :: acc)
+        t.wb_records []);
   Network.register net ~id:cfg.id (fun msg -> handle t msg);
   t
 
@@ -676,3 +691,110 @@ let peek_word t (addr : Addr.t) =
   | _ -> None
 
 let cached_lines t = Cache_frame.count t.frame
+
+(* ----- model-checker introspection ----------------------------------------- *)
+
+module Fp = Spandex_util.Fingerprint
+
+let fp_collector fp c =
+  let r = Tu.peek c in
+  Fp.int fp (r.Tu.data_mask :> int);
+  Fp.int fp (r.Tu.acked :> int);
+  Fp.int fp (r.Tu.nacked :> int);
+  Fp.masked_array fp ~mask:r.Tu.data_mask r.Tu.values
+
+let fp_waiters fp ws = Fp.list fp Fp.int (List.sort compare (List.map fst ws))
+
+let mesi_tag = function
+  | State.M_I -> 0
+  | State.M_S -> 1
+  | State.M_E -> 2
+  | State.M_M -> 3
+
+let fp_amo fp = function
+  | Amo.Read -> Fp.int fp 0
+  | Amo.Exch v ->
+    Fp.int fp 1;
+    Fp.int fp v
+  | Amo.Add v ->
+    Fp.int fp 2;
+    Fp.int fp v
+  | Amo.Max v ->
+    Fp.int fp 3;
+    Fp.int fp v
+  | Amo.Cas { expected; desired } ->
+    Fp.int fp 4;
+    Fp.int fp expected;
+    Fp.int fp desired
+
+let fingerprint t fp =
+  Fp.tag fp "mesi_l1";
+  Fp.int fp t.cfg.id;
+  let lines =
+    Cache_frame.fold t.frame ~init:[] ~f:(fun acc ~line l ->
+        if l.mstate = State.M_I then acc else (line, l) :: acc)
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Fp.int fp (List.length lines);
+  List.iter
+    (fun (line, l) ->
+      Fp.int fp line;
+      Fp.int fp (mesi_tag l.mstate);
+      Fp.array fp l.data)
+    lines;
+  let forced =
+    Hashtbl.fold (fun line () acc -> line :: acc) t.forced_lines []
+    |> List.sort compare
+  in
+  Fp.list fp Fp.int forced;
+  Chassis.fingerprint t.ch fp
+    ~key:(function
+      | Read m -> (m.r_line * 2) + 0
+      | Write w -> (w.m_line * 2) + 1)
+    ~payload:(fun fp -> function
+      | Read m ->
+        Fp.tag fp "R";
+        Fp.int fp m.r_line;
+        Fp.bool fp m.r_excl;
+        Fp.bool fp m.r_valid_only;
+        Fp.bool fp m.r_inv;
+        Fp.int fp (m.r_downgraded :> int);
+        fp_waiters fp m.r_waiters;
+        Fp.list fp Msg.fingerprint m.r_queued;
+        fp_collector fp m.r_collector
+      | Write w ->
+        Fp.tag fp "W";
+        Fp.int fp w.m_line;
+        (match w.m_store with
+        | None -> Fp.int fp (-1)
+        | Some (mask, values) ->
+          Fp.int fp (mask :> int);
+          Fp.masked_array fp ~mask values);
+        (match w.m_rmw with
+        | None -> Fp.int fp (-1)
+        | Some (word, amo, _) ->
+          Fp.int fp word;
+          fp_amo fp amo);
+        Fp.int fp (w.m_downgraded :> int);
+        Fp.list fp Msg.fingerprint w.m_queued;
+        fp_waiters fp w.m_loads;
+        fp_collector fp w.m_collector);
+  let wbs =
+    Hashtbl.fold (fun txn b acc -> (txn, b) :: acc) t.wb_records []
+    |> List.sort (fun (t1, b1) (t2, b2) ->
+           match compare b1.b_line b2.b_line with
+           | 0 -> compare t1 t2
+           | c -> c)
+  in
+  Fp.int fp (List.length wbs);
+  List.iter
+    (fun (txn, (b : wb_req)) ->
+      Fp.txn fp txn;
+      Fp.int fp b.b_line;
+      Fp.array fp b.b_values)
+    wbs
+
+let owned_mask t ~line =
+  match line_state t ~line with
+  | State.M_E | State.M_M -> Addr.full_mask
+  | State.M_S | State.M_I -> Mask.empty

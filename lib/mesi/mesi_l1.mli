@@ -46,3 +46,11 @@ val trace_sample : t -> time:int -> unit
 val line_state : t -> line:int -> Spandex_proto.State.mesi
 val peek_word : t -> Spandex_proto.Addr.t -> int option
 val cached_lines : t -> int
+
+val owned_mask : t -> line:int -> Spandex_util.Mask.t
+(** Full mask when the line is held E/M (MESI write permission is
+    line-granular), empty otherwise — the model checker's SWMR claim. *)
+
+val fingerprint : t -> Spandex_util.Fingerprint.t -> unit
+(** Append a canonical encoding of the full architectural state for the
+    model checker's visited-state cache. *)

@@ -8,16 +8,22 @@
    Fault eligibility follows the recovery story, not the other way round:
 
    - Plain requests (fwd = false) and the responses that complete them at
-     the requester (RspV, RspWT, RspWB, Nack, and data-less RspO grants)
-     are end-to-end recoverable — the requester holds an MSHR or
-     write-back record for the txn and re-issues the original message on
-     timeout — so these may be dropped or duplicated.
+     the requester (RspV, RspWT, RspWB, and Nack) are end-to-end
+     recoverable — the requester holds an MSHR or write-back record for
+     the txn and re-issues the original message on timeout — so these may
+     be dropped or duplicated.
    - Forwarded requests, probes (Inv / RvkO), probe responses (Ack /
-     RspRvkO), and data-carrying transfers (RspS, RspOdata, RspWTdata)
-     ride a lossless virtual channel, mirroring real fabrics (CXL
-     link-layer retry): dropping them would strand ownership or lose the
-     only copy of dirty data, which no end-to-end timer can recover.
-     They can still be delayed or reordered.
+     RspRvkO), data-carrying transfers (RspS, RspOdata, RspWTdata), and
+     data-less RspO ownership grants ride a lossless virtual channel,
+     mirroring real fabrics (CXL link-layer retry): dropping them would
+     strand ownership or lose the only copy of dirty data, which no
+     end-to-end timer can recover.  RspO in particular completes an
+     ownership transfer serialized at the LLC and may originate at a
+     third-party previous owner; re-soliciting it would mean re-sending
+     the forwarded revocation, which a model-checker counterexample shows
+     can race into a *later* registration epoch at the old owner (it
+     relinquishes words the directory still registers to it).  They can
+     still be delayed or reordered.
 
    Extra delay and reordering preserve per-(src, dst) FIFO order: the
    protocols rely on point-to-point ordering (e.g. a forwarded request
@@ -71,7 +77,7 @@ let faultable (msg : Msg.t) =
   &&
   match msg.kind with
   | Msg.Req _ -> true
-  | Msg.Rsp (Msg.RspV | Msg.RspWT | Msg.RspWB | Msg.Nack | Msg.RspO) -> true
+  | Msg.Rsp (Msg.RspV | Msg.RspWT | Msg.RspWB | Msg.Nack) -> true
   | Msg.Rsp _ | Msg.Probe _ -> false
 
 type t = {

@@ -31,6 +31,12 @@ type t = {
   stats : Stats.t;
   kind_keys : Stats.key array;  (** per-kind counters, by [Msg.kind_index]. *)
   fault : Fault.t option;  (** active fault-injection plan, if any. *)
+  (* Model-checker delivery hook: when installed, [send] hands every
+     accounted message here instead of enqueueing a [Deliver] event (or
+     routing through the fault plan), letting the checker hold it and
+     choose the delivery order; held messages re-enter via
+     [deliver_held]. *)
+  mutable delivery_hook : (Msg.t -> latency:int -> unit) option;
   in_flight : int ref;
   mutable messages : int;
   trace : Trace.t;  (** the engine's sink; [Trace.disabled] when off. *)
@@ -89,6 +95,9 @@ let send t (msg : Msg.t) =
      applies the one-message-per-cycle ingress drain and invokes
      [ep.handler] (decrementing [in_flight]) from the [Handle] event. *)
   let ep = endpoint t msg.dst in
+  match t.delivery_hook with
+  | Some hook -> hook msg ~latency
+  | None -> (
   match t.fault with
   | None ->
     incr t.in_flight;
@@ -117,7 +126,19 @@ let send t (msg : Msg.t) =
           end;
           incr t.in_flight;
           Engine.deliver t.engine ~delay msg ep)
-        delays)
+        delays))
+
+let set_delivery_hook t hook = t.delivery_hook <- Some hook
+let clear_delivery_hook t = t.delivery_hook <- None
+
+let deliver_held t (msg : Msg.t) =
+  let ep = endpoint t msg.dst in
+  incr t.in_flight;
+  Engine.deliver t.engine ~delay:0 msg ep
+
+let wrap_handler t ~id wrap =
+  let ep = endpoint t id in
+  ep.Engine.handler <- wrap ep.Engine.handler
 
 let create ?fault engine topo =
   let stats = Stats.create () in
@@ -138,6 +159,7 @@ let create ?fault engine topo =
       stats;
       kind_keys;
       fault = Option.map (fun spec -> Fault.create spec ~stats) fault;
+      delivery_hook = None;
       in_flight = ref 0;
       messages = 0;
       trace;

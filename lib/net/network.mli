@@ -47,6 +47,31 @@ val send : t -> Spandex_proto.Msg.t -> unit
     event.  Raises if the destination was never registered (checked at
     send time). *)
 
+val set_delivery_hook :
+  t -> (Spandex_proto.Msg.t -> latency:int -> unit) -> unit
+(** Install the model checker's delivery hook: [send] still performs all
+    trace/traffic/stats accounting, then hands the message (and its
+    topology latency) to the hook instead of enqueueing delivery.  The
+    hook holds messages in a pool; a scheduler re-injects them in any
+    order via {!deliver_held}, making message-delivery order a checker
+    choice point instead of wheel FIFO. *)
+
+val clear_delivery_hook : t -> unit
+
+val deliver_held : t -> Spandex_proto.Msg.t -> unit
+(** Deliver a message previously captured by the delivery hook: counts it
+    in flight and enqueues delivery with zero additional latency (the
+    checker abstracts wire time — ordering is the choice, not timing). *)
+
+val wrap_handler :
+  t ->
+  id:Spandex_proto.Msg.device_id ->
+  ((Spandex_proto.Msg.t -> unit) -> Spandex_proto.Msg.t -> unit) ->
+  unit
+(** Replace [id]'s handler with [wrap handler] — the checker's seeded-bug
+    harness uses this to intercept or corrupt a device's message handling
+    without touching protocol code. *)
+
 val in_flight : t -> int
 (** Messages sent but not yet delivered; used for quiescence checks. *)
 

@@ -196,3 +196,41 @@ let pp fmt t =
     pp_kind t.kind t.line
     (Mask.pp ~words:Addr.words_per_line)
     t.mask t.src t.dst t.requestor data
+
+module Fp = Spandex_util.Fingerprint
+
+(* Canonical message encoding for the model checker's state fingerprint:
+   everything that determines the receiver's behavior, with the txn id
+   remapped through the fingerprint's canonical table. *)
+let fingerprint fp t =
+  Fp.tag fp "m";
+  Fp.txn fp t.txn;
+  Fp.int fp (kind_index t.kind);
+  Fp.int fp t.line;
+  Fp.int fp (t.mask :> int);
+  Fp.int fp (t.demand :> int);
+  Fp.int fp t.src;
+  Fp.int fp t.dst;
+  Fp.int fp t.requestor;
+  Fp.bool fp t.fwd;
+  (match t.amo with
+  | None -> Fp.int fp (-1)
+  | Some Amo.Read -> Fp.int fp 0
+  | Some (Amo.Exch v) ->
+    Fp.int fp 1;
+    Fp.int fp v
+  | Some (Amo.Add v) ->
+    Fp.int fp 2;
+    Fp.int fp v
+  | Some (Amo.Max v) ->
+    Fp.int fp 3;
+    Fp.int fp v
+  | Some (Amo.Cas { expected; desired }) ->
+    Fp.int fp 4;
+    Fp.int fp expected;
+    Fp.int fp desired);
+  match t.payload with
+  | No_data -> Fp.int fp 0
+  | Data values ->
+    Fp.int fp (Array.length values);
+    Fp.array fp values

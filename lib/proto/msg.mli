@@ -134,3 +134,8 @@ val kind_index : kind -> int
 
 val num_kinds : int
 val all_kinds : kind list
+
+val fingerprint : Spandex_util.Fingerprint.t -> t -> unit
+(** Append a canonical encoding of the message (txn id remapped through
+    the fingerprint's table) — used by the model checker to fingerprint
+    held/queued messages. *)

@@ -46,9 +46,39 @@ type t = {
   mutable sampler : int -> unit;
   mutable next_sample : int;
   mutable sample_every : int;
+  (* Registered by components at build time; each closure reports the
+     component's still-live work (MSHR entries, store-buffer stores,
+     parked ops) so a drained queue can be diagnosed as [Stuck] instead
+     of silently returning as complete. *)
+  mutable pending_sources : (unit -> pending_work list) list;
+}
+
+and pending_work = {
+  pw_device : string;  (** component name, e.g. ["denovo_l1.2"]. *)
+  pw_txn : int;  (** transaction id, or [-1] when not transaction-bound. *)
+  pw_line : int;  (** line address, or [-1] when unknown. *)
+  pw_what : string;  (** short description of the stuck work. *)
 }
 
 exception Deadlock of string
+
+type stuck = {
+  stuck_cycle : int;  (** cycle at which the queue drained. *)
+  stuck_work : pending_work list;  (** live work left behind. *)
+}
+
+exception Stuck of stuck
+
+let pp_pending_work fmt p =
+  Format.fprintf fmt "%s: %s (txn %d, line %d)" p.pw_device p.pw_what p.pw_txn
+    p.pw_line
+
+let pp_stuck fmt s =
+  Format.fprintf fmt
+    "event queue drained at cycle %d with %d live work item(s):" s.stuck_cycle
+    (List.length s.stuck_work);
+  List.iter (fun p -> Format.fprintf fmt "@\n  %a" pp_pending_work p)
+    s.stuck_work
 
 type livelock = {
   cycle : int;  (** cycle at which the watchdog gave up. *)
@@ -79,7 +109,15 @@ let create ?(backend = Wheel_backend) ?(trace = Trace.disabled) () =
     sampler = (fun _ -> ());
     next_sample = max_int;
     sample_every = 0;
+    pending_sources = [];
   }
+
+let register_pending_source t f = t.pending_sources <- f :: t.pending_sources
+
+let live_work t =
+  (* Sources are prepended at registration; reverse so reports follow
+     build order. *)
+  List.concat_map (fun f -> f ()) (List.rev t.pending_sources)
 
 let now t = t.time
 let set_egress t f = t.egress <- f
@@ -170,11 +208,21 @@ let heap_dispatch t h ev =
   | Egress msg -> t.egress msg
   | Apply (f, v) -> f v
 
-let run_all t =
+(* A drained queue is only "done" if no component still holds live work:
+   an L1 waiting on a reply that will never arrive would otherwise look
+   like a completed simulation. *)
+let drained ~strict t =
+  if not strict then t.time
+  else
+    match live_work t with
+    | [] -> t.time
+    | work -> raise (Stuck { stuck_cycle = t.time; stuck_work = work })
+
+let run_all ?(strict = true) t =
   match t.queue with
   | Q_wheel w ->
     let rec loop () =
-      if Wheel.is_empty w then t.time
+      if Wheel.is_empty w then drained ~strict t
       else begin
         let ev = Wheel.pop_min w in
         t.time <- Wheel.current_time w;
@@ -187,7 +235,7 @@ let run_all t =
     loop ()
   | Q_heap h ->
     let rec loop () =
-      if Pqueue.is_empty h then t.time
+      if Pqueue.is_empty h then drained ~strict t
       else begin
         t.time <- Pqueue.min_time h;
         let ev = Pqueue.pop_min h in
@@ -198,6 +246,34 @@ let run_all t =
       end
     in
     loop ()
+
+let next_event_time t =
+  match t.queue with
+  | Q_wheel w -> Wheel.peek_time w
+  | Q_heap h -> Pqueue.peek_time h
+
+let step t =
+  match t.queue with
+  | Q_wheel w ->
+    if Wheel.is_empty w then false
+    else begin
+      let ev = Wheel.pop_min w in
+      t.time <- Wheel.current_time w;
+      t.steps <- t.steps + 1;
+      if t.steps > t.step_limit then step_limit_hit t;
+      wheel_dispatch t w ev;
+      true
+    end
+  | Q_heap h ->
+    if Pqueue.is_empty h then false
+    else begin
+      t.time <- Pqueue.min_time h;
+      let ev = Pqueue.pop_min h in
+      t.steps <- t.steps + 1;
+      if t.steps > t.step_limit then step_limit_hit t;
+      heap_dispatch t h ev;
+      true
+    end
 
 let set_step_limit t n = t.step_limit <- n
 let events_processed t = t.steps

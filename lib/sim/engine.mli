@@ -18,6 +18,36 @@ exception Deadlock of string
 (** Raised by [run] when the queue drains while some registered completion
     condition is still unmet — a lost message or a protocol deadlock. *)
 
+type pending_work = {
+  pw_device : string;  (** component name, e.g. ["denovo_l1.2"]. *)
+  pw_txn : int;  (** transaction id, or [-1] when not transaction-bound. *)
+  pw_line : int;  (** line address, or [-1] when unknown. *)
+  pw_what : string;  (** short description of the stuck work. *)
+}
+(** One item of live component work reported by a pending source — an
+    MSHR entry, a buffered store, a parked op, a busy LLC line. *)
+
+type stuck = {
+  stuck_cycle : int;  (** cycle at which the queue drained. *)
+  stuck_work : pending_work list;  (** live work left behind. *)
+}
+
+exception Stuck of stuck
+(** Raised by [run_all] when the event queue drains while a registered
+    pending source still reports live work — a silent deadlock that would
+    otherwise return as if the simulation completed. *)
+
+val pp_pending_work : Format.formatter -> pending_work -> unit
+val pp_stuck : Format.formatter -> stuck -> unit
+
+val register_pending_source : t -> (unit -> pending_work list) -> unit
+(** Register a closure reporting a component's still-live work.
+    Components call this once at build time; the engine polls every
+    source when the queue drains (and from {!live_work}). *)
+
+val live_work : t -> pending_work list
+(** Poll every registered pending source, in registration order. *)
+
 type livelock = {
   cycle : int;  (** cycle at which the watchdog gave up. *)
   stalled_for : int;  (** cycles since the last observed progress. *)
@@ -112,10 +142,24 @@ val run : t -> until_done:(unit -> bool) -> pending_desc:(unit -> string) -> int
     Raises {!Deadlock} (with [pending_desc ()] in the message) if the queue
     empties first.  A step limit guards against livelock. *)
 
-val run_all : t -> int
+val run_all : ?strict:bool -> t -> int
 (** Drain every queued event and return the final cycle.  For unit tests
     that drive components directly and then inspect the settled state.
-    Honors the step limit like [run], raising {!Deadlock} when exceeded. *)
+    Honors the step limit like [run], raising {!Deadlock} when exceeded.
+    Raises {!Stuck} if the queue drains while any registered pending
+    source still reports live work (silent deadlock).  Pass
+    [~strict:false] to skip the liveness audit — for harnesses that
+    deliberately pause a protocol mid-transaction to inspect
+    intermediate state. *)
+
+val next_event_time : t -> int option
+(** Cycle of the earliest queued event, or [None] when the queue is
+    empty.  Does not advance time. *)
+
+val step : t -> bool
+(** Dispatch exactly one event (advancing time to it); [false] when the
+    queue is empty.  The model checker's execution driver — interleave
+    with delivery choices between steps. *)
 
 val install_watchdog :
   t ->

@@ -40,6 +40,33 @@ type component = {
   c_pending : unit -> string;
   c_stats : Stats.t;
   c_sample : time:int -> unit;
+  c_fingerprint : Spandex_util.Fingerprint.t -> unit;
+}
+
+type view = {
+  view_id : int;
+  view_name : string;
+  view_owned : line:int -> Spandex_util.Mask.t;
+  view_peek : Spandex_proto.Addr.t -> int option;
+}
+
+type llc_view = {
+  lv_owner_of : Spandex_proto.Addr.t -> Msg.device_id option;
+  lv_owned_mask : line:int -> Spandex_util.Mask.t;
+  lv_peek : Spandex_proto.Addr.t -> int option;
+}
+
+type system = {
+  sys_engine : Engine.t;
+  sys_net : Network.t;
+  sys_check_log : Check_log.t;
+  sys_device_names : string array;
+  sys_finished : unit -> bool;
+  sys_pending : unit -> string;
+  sys_fingerprint : unit -> string;
+  sys_views : view list;
+  sys_llc : llc_view option;
+  sys_run : unit -> result;
 }
 
 let cache_geometry ~bytes ~ways =
@@ -73,6 +100,13 @@ let build_denovo engine net (p : Params.t) ~id ~llc_id ~atomics_at_llc ~region_o
       c_pending = (fun () -> (Denovo_l1.port l1).Port.describe_pending ());
       c_stats = Denovo_l1.stats l1;
       c_sample = (fun ~time -> Denovo_l1.trace_sample l1 ~time);
+      c_fingerprint = Denovo_l1.fingerprint l1;
+    },
+    {
+      view_id = id;
+      view_name = Printf.sprintf "denovo_l1.%d" id;
+      view_owned = (fun ~line -> Denovo_l1.owned_mask l1 ~line);
+      view_peek = Denovo_l1.peek_word l1;
     } )
 
 let build_mesi engine net (p : Params.t) ~id ~llc_id ~notify =
@@ -99,6 +133,13 @@ let build_mesi engine net (p : Params.t) ~id ~llc_id ~notify =
       c_pending = (fun () -> (Mesi_l1.port l1).Port.describe_pending ());
       c_stats = Mesi_l1.stats l1;
       c_sample = (fun ~time -> Mesi_l1.trace_sample l1 ~time);
+      c_fingerprint = Mesi_l1.fingerprint l1;
+    },
+    {
+      view_id = id;
+      view_name = Printf.sprintf "mesi_l1.%d" id;
+      view_owned = (fun ~line -> Mesi_l1.owned_mask l1 ~line);
+      view_peek = Mesi_l1.peek_word l1;
     } )
 
 let build_gpucoh engine net (p : Params.t) ~id ~llc_id =
@@ -125,9 +166,17 @@ let build_gpucoh engine net (p : Params.t) ~id ~llc_id =
       c_pending = (fun () -> (Gpu_l1.port l1).Port.describe_pending ());
       c_stats = Gpu_l1.stats l1;
       c_sample = (fun ~time -> Gpu_l1.trace_sample l1 ~time);
+      c_fingerprint = Gpu_l1.fingerprint l1;
+    },
+    {
+      view_id = id;
+      view_name = Printf.sprintf "gpu_l1.%d" id;
+      (* A GPU-coherence L1 never takes ownership of words. *)
+      view_owned = (fun ~line:_ -> Spandex_util.Mask.empty);
+      view_peek = Gpu_l1.peek_word l1;
     } )
 
-let simulate ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
+let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
   Workload.validate w;
   Txn.reset ();
   let p = params in
@@ -204,7 +253,7 @@ let simulate ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
         Llc.Kind_denovo
   in
   (* --- home level(s) ------------------------------------------------------ *)
-  let cpu_home, gpu_home =
+  let cpu_home, gpu_home, llc_view =
     match config.Config.llc with
     | Config.Spandex_flat ->
       let sets, ways = cache_geometry ~bytes:p.Params.llc_bytes ~ways:p.Params.llc_ways in
@@ -230,8 +279,16 @@ let simulate ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
           c_pending = (fun () -> Llc.describe_pending llc);
           c_stats = Llc.stats llc;
           c_sample = (fun ~time -> Llc.trace_sample llc ~time);
+          c_fingerprint = Llc.fingerprint llc;
         };
-      (home_id, home_id)
+      ( home_id,
+        home_id,
+        Some
+          {
+            lv_owner_of = Llc.owner_of llc;
+            lv_owned_mask = (fun ~line -> Llc.owned_mask llc ~line);
+            lv_peek = Llc.peek_word llc;
+          } )
     | Config.H_mesi ->
       let dsets, dways = cache_geometry ~bytes:p.Params.llc_bytes ~ways:p.Params.llc_ways in
       let dir =
@@ -246,6 +303,7 @@ let simulate ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
           c_pending = (fun () -> Mesi_dir.describe_pending dir);
           c_stats = Mesi_dir.stats dir;
           c_sample = (fun ~time -> Mesi_dir.trace_sample dir ~time);
+          c_fingerprint = Mesi_dir.fingerprint dir;
         };
       let client =
         Mesi_client.create engine net
@@ -275,6 +333,7 @@ let simulate ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
           c_pending = (fun () -> Llc.describe_pending l2);
           c_stats = Llc.stats l2;
           c_sample = (fun ~time -> Llc.trace_sample l2 ~time);
+          c_fingerprint = Llc.fingerprint l2;
         };
       add
         {
@@ -283,8 +342,9 @@ let simulate ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
           c_pending = (fun () -> (Mesi_client.backing client).Backing.describe_pending ());
           c_stats = Mesi_client.stats client;
           c_sample = (fun ~time -> Mesi_client.trace_sample client ~time);
+          c_fingerprint = Mesi_client.fingerprint client;
         };
-      (home_id, l2_front_id)
+      (home_id, l2_front_id, None)
   in
   (* --- L1s ------------------------------------------------------------------ *)
   let cpu_port i =
@@ -317,12 +377,14 @@ let simulate ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
     Array.map (fun parties -> Barrier.create engine ~parties) w.Workload.barrier_parties
   in
   let cores = ref [] in
+  let views = ref [] in
   Array.iteri
     (fun i program ->
       if i >= p.Params.cpu_cores then
         invalid_arg "workload uses more CPU cores than configured";
-      let port, comp = cpu_port i in
+      let port, comp, view = cpu_port i in
       add comp;
+      views := view :: !views;
       let core =
         Core.create engine ~port ~barriers ~check_log ~core_id:(cpu_id i)
           ~clock:p.Params.cpu_clock ~programs:[| program |]
@@ -333,8 +395,9 @@ let simulate ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
     (fun j warps ->
       if j >= p.Params.gpu_cus then
         invalid_arg "workload uses more GPU CUs than configured";
-      let port, comp = gpu_port j in
+      let port, comp, view = gpu_port j in
       add comp;
+      views := view :: !views;
       let core =
         Core.create engine ~port ~barriers ~check_log ~core_id:(gpu_id j)
           ~clock:p.Params.gpu_clock ~programs:warps
@@ -342,6 +405,7 @@ let simulate ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
       cores := core :: !cores)
     w.Workload.gpu_programs;
   let cores = List.rev !cores in
+  let views = List.rev !views in
   List.iter Core.start cores;
   (* Periodic occupancy sampling runs inline in the engine's dispatch loop —
      it never enqueues events, so event counts and scheduling are identical
@@ -372,39 +436,80 @@ let simulate ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
       (core_desc @ comp_desc
       @ [ Printf.sprintf "net in-flight=%d" (Network.in_flight net) ])
   in
-  if p.Params.watchdog_cycles > 0 then
-    Engine.install_watchdog engine ~interval:p.Params.watchdog_cycles
-      ~progress:(fun () ->
-        List.fold_left (fun acc c -> acc + Stats.get (Core.stats c) "ops") 0 cores)
-      ~active:(fun () -> not (finished ()))
-      ~describe:pending_desc;
-  let cycles = Engine.run engine ~until_done:finished ~pending_desc in
-  let stats = Stats.create () in
-  List.iter (fun c -> Stats.merge_into ~dst:stats ~prefix:c.c_name c.c_stats) !components;
-  List.iter
-    (fun c ->
-      Stats.merge_into ~dst:stats
-        ~prefix:(Printf.sprintf "core.%d" (Core.core_id c))
-        (Core.stats c))
-    cores;
-  Stats.merge_into ~dst:stats ~prefix:"net" (Network.stats net);
-  let gc1 = Gc.quick_stat () in
+  (* Canonical architectural-state fingerprint: components in build order,
+     then cores, barriers, and in-flight message count.  One fresh
+     accumulator per call so transaction-id remapping is first-encounter
+     canonical — two executions that reach the same architectural state
+     through different schedules digest identically. *)
+  let fingerprint () =
+    let fp = Spandex_util.Fingerprint.create () in
+    List.iter (fun c -> c.c_fingerprint fp) (List.rev !components);
+    List.iter (fun core -> Core.fingerprint core fp) cores;
+    Array.iter
+      (fun b ->
+        Spandex_util.Fingerprint.tag fp "bar";
+        Spandex_util.Fingerprint.int fp (Barrier.waiting b);
+        Spandex_util.Fingerprint.int fp (Barrier.generation b))
+      barriers;
+    Spandex_util.Fingerprint.tag fp "net";
+    Spandex_util.Fingerprint.int fp (Network.in_flight net);
+    Spandex_util.Fingerprint.digest fp
+  in
+  let sys_run () =
+    if p.Params.watchdog_cycles > 0 then
+      Engine.install_watchdog engine ~interval:p.Params.watchdog_cycles
+        ~progress:(fun () ->
+          List.fold_left
+            (fun acc c -> acc + Stats.get (Core.stats c) "ops")
+            0 cores)
+        ~active:(fun () -> not (finished ()))
+        ~describe:pending_desc;
+    let cycles = Engine.run engine ~until_done:finished ~pending_desc in
+    let stats = Stats.create () in
+    List.iter
+      (fun c -> Stats.merge_into ~dst:stats ~prefix:c.c_name c.c_stats)
+      !components;
+    List.iter
+      (fun c ->
+        Stats.merge_into ~dst:stats
+          ~prefix:(Printf.sprintf "core.%d" (Core.core_id c))
+          (Core.stats c))
+      cores;
+    Stats.merge_into ~dst:stats ~prefix:"net" (Network.stats net);
+    let gc1 = Gc.quick_stat () in
+    {
+      cycles;
+      total_flits = Network.total_flits net;
+      traffic =
+        List.map (fun c -> (c, Network.traffic_flits net c)) Msg.all_categories;
+      messages = Network.messages_sent net;
+      events = Engine.events_processed engine;
+      checks = Check_log.checks check_log;
+      failures = Check_log.failures check_log;
+      stats;
+      minor_words = gc1.Gc.minor_words -. gc0.Gc.minor_words;
+      major_collections = gc1.Gc.major_collections - gc0.Gc.major_collections;
+      latency = Trace.latency_summaries trace;
+      trace;
+      device_names;
+    }
+  in
   {
-    cycles;
-    total_flits = Network.total_flits net;
-    traffic =
-      List.map (fun c -> (c, Network.traffic_flits net c)) Msg.all_categories;
-    messages = Network.messages_sent net;
-    events = Engine.events_processed engine;
-    checks = Check_log.checks check_log;
-    failures = Check_log.failures check_log;
-    stats;
-    minor_words = gc1.Gc.minor_words -. gc0.Gc.minor_words;
-    major_collections = gc1.Gc.major_collections - gc0.Gc.major_collections;
-    latency = Trace.latency_summaries trace;
-    trace;
-    device_names;
+    sys_engine = engine;
+    sys_net = net;
+    sys_check_log = check_log;
+    sys_device_names = device_names;
+    sys_finished = finished;
+    sys_pending = pending_desc;
+    sys_fingerprint = fingerprint;
+    sys_views = views;
+    sys_llc = llc_view;
+    sys_run;
   }
+
+let simulate ?params ~config w =
+  let sys = build ?params ~config w in
+  sys.sys_run ()
 
 let assert_clean r =
   match r.failures with

@@ -30,6 +30,53 @@ type result = {
       (** endpoint display name by device id, for trace export tracks. *)
 }
 
+type view = {
+  view_id : int;  (** network device id of the L1. *)
+  view_name : string;  (** display name, matches [device_names]. *)
+  view_owned : line:int -> Spandex_util.Mask.t;
+      (** words of [line] this L1 currently claims ownership of (MESI E/M
+          counts as the full line; GPU-coh L1s never own). *)
+  view_peek : Spandex_proto.Addr.t -> int option;
+      (** locally cached value of a word, if the L1 holds a valid copy. *)
+}
+(** Read-only ownership/data view of one L1, for invariant oracles. *)
+
+type llc_view = {
+  lv_owner_of : Spandex_proto.Addr.t -> Spandex_proto.Msg.device_id option;
+  lv_owned_mask : line:int -> Spandex_util.Mask.t;
+  lv_peek : Spandex_proto.Addr.t -> int option;
+}
+(** Read-only registration view of the flat Spandex LLC. *)
+
+type system = {
+  sys_engine : Spandex_sim.Engine.t;
+  sys_net : Spandex_net.Network.t;
+  sys_check_log : Spandex_device.Check_log.t;
+  sys_device_names : string array;
+  sys_finished : unit -> bool;
+      (** all cores done, all components quiescent, nothing in flight. *)
+  sys_pending : unit -> string;  (** human description of live work. *)
+  sys_fingerprint : unit -> string;
+      (** canonical digest of all architectural state (cache lines, MSHRs,
+          store buffers, directory/LLC registration, core pcs, barriers,
+          in-flight count).  Transaction ids are remapped in first-encounter
+          order, so executions reaching the same state through different
+          schedules digest identically.  Simulation time is excluded. *)
+  sys_views : view list;  (** one per L1, in device-id order. *)
+  sys_llc : llc_view option;  (** flat-LLC configs only. *)
+  sys_run : unit -> result;
+      (** install the watchdog (if configured) and run to completion; call
+          at most once. *)
+}
+(** A fully built, not-yet-run system.  The model checker uses this to
+    drive the engine step-by-step under its own delivery schedule instead
+    of calling [sys_run]. *)
+
+val build : ?params:Params.t -> config:Config.t -> Workload.t -> system
+(** Construct the whole system — engine, network, caches, cores — and
+    start the cores, but process no events.  Resets the domain-local
+    transaction counter (same discipline as {!simulate}). *)
+
 val simulate :
   ?params:Params.t -> config:Config.t -> Workload.t -> result
 (** Raises {!Spandex_sim.Engine.Deadlock} if the system wedges, and

@@ -1,0 +1,57 @@
+(* Canonical-state accumulator for the model checker.
+
+   A fingerprint is built by walking every component's architectural state
+   in a fixed traversal order and appending a textual encoding of each
+   field.  Two system states that differ only in transaction-id values
+   should fingerprint identically: txn ids are allocated from a global
+   counter, so the same protocol state reached through two different
+   interleavings carries different ids.  [txn] therefore remaps each id to
+   a small integer assigned in first-encounter order — callers must
+   traverse state in a canonical order (components by device id, table
+   entries sorted by content) for the remap to be canonical too.
+
+   The digest is the exact encoding (not a hash), so fingerprint equality
+   never produces false state merges; the explorer uses digests as
+   visited-set keys directly. *)
+
+type t = {
+  buf : Buffer.t;
+  txns : (int, int) Hashtbl.t;
+  mutable next_txn : int;
+}
+
+let create () = { buf = Buffer.create 512; txns = Hashtbl.create 32; next_txn = 0 }
+
+let int t n =
+  Buffer.add_string t.buf (string_of_int n);
+  Buffer.add_char t.buf ','
+
+let bool t b = Buffer.add_char t.buf (if b then 'T' else 'F')
+
+let tag t s =
+  Buffer.add_char t.buf '|';
+  Buffer.add_string t.buf s;
+  Buffer.add_char t.buf ':'
+
+let txn t id =
+  let canon =
+    match Hashtbl.find_opt t.txns id with
+    | Some c -> c
+    | None ->
+      let c = t.next_txn in
+      t.next_txn <- c + 1;
+      Hashtbl.add t.txns id c;
+      c
+  in
+  int t canon
+
+let array t a = Array.iter (int t) a
+
+let masked_array t ~mask a =
+  Mask.iter mask ~f:(fun w -> int t a.(w))
+
+let list t f l =
+  int t (List.length l);
+  List.iter (f t) l
+
+let digest t = Buffer.contents t.buf

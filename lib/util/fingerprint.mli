@@ -1,0 +1,34 @@
+(** Canonical-state accumulator for the model checker.
+
+    Components append their architectural state in a fixed traversal
+    order; the resulting digest is an exact (collision-free) canonical
+    encoding usable as a visited-set key.  Transaction ids are remapped to
+    small integers in first-encounter order so two equivalent states
+    reached through different interleavings — and hence carrying different
+    global txn-counter values — fingerprint identically.  Callers must
+    traverse state canonically (components by device id, hash-table
+    entries sorted by content) for the remap to be deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val int : t -> int -> unit
+val bool : t -> bool -> unit
+
+val tag : t -> string -> unit
+(** Structural separator: marks the start of a component or record so
+    adjacent fields of different components cannot alias. *)
+
+val txn : t -> int -> unit
+(** Append a transaction id, remapped canonically. *)
+
+val array : t -> int array -> unit
+
+val masked_array : t -> mask:Mask.t -> int array -> unit
+(** Append only the words selected by [mask]. *)
+
+val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+(** Append the length, then each element in list order. *)
+
+val digest : t -> string

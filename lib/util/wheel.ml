@@ -132,7 +132,20 @@ let pop t =
     Some (time, pop_min t)
   end
 
-let peek_time t = if t.size = 0 then None else Some (min_time t)
+(* Non-destructive: [min_time]'s cursor advance would make pushes at times
+   between the (unchanged) dispatch clock and the peeked minimum illegal —
+   exactly what an event loop that peeks, declines to step, and then
+   injects a present-time event (the model checker's stabilize/deliver
+   cycle) needs to do.  [advance] only moves [cur], so restoring it
+   re-permits those pushes; the skipped slots are empty either way. *)
+let peek_time t =
+  if t.size = 0 then None
+  else begin
+    let saved = t.cur in
+    let time = min_time t in
+    t.cur <- saved;
+    Some time
+  end
 
 let clear t =
   Array.iter

@@ -46,7 +46,7 @@ let setup_with_policy ?(kind_of = fun _ -> Llc.Kind_denovo) ?(sets = 16)
 
 let setup ?kind_of ?sets ?ways () = setup_with_policy ?kind_of ?sets ?ways ()
 
-let run t = ignore (Engine.run_all t.engine)
+let run t = ignore (Engine.run_all ~strict:false t.engine)
 
 let inbox t i = List.rev !((t.devices.(i)).inbox)
 let clear_inboxes t = Array.iter (fun d -> d.inbox := []) t.devices

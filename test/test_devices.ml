@@ -39,7 +39,7 @@ let harness () =
   Network.register net ~id:peer_id (fun m -> peer_inbox := m :: !peer_inbox);
   { engine; net; llc_inbox; peer_inbox }
 
-let run h = ignore (Engine.run_all h.engine)
+let run h = ignore (Engine.run_all ~strict:false h.engine)
 let llc_msgs h = List.rev !(h.llc_inbox)
 let peer_msgs h = List.rev !(h.peer_inbox)
 

@@ -43,7 +43,7 @@ let harness () =
   Network.register net ~id:peer_id (fun m -> peer_inbox := m :: !peer_inbox);
   { engine; net; llc_inbox; peer_inbox }
 
-let run h = ignore (Engine.run_all h.engine)
+let run h = ignore (Engine.run_all ~strict:false h.engine)
 
 (* Bounded run for scenarios whose deferred-retry polling only quiesces
    after the test injects a response. *)

@@ -58,7 +58,7 @@ let denovo_with_regions region_of =
 let fill_valid engine net llc_inbox l1 ~line =
   let port = Denovo_l1.port l1 in
   port.Port.load (Addr.make ~line ~word:0) ~k:(fun _ -> ());
-  ignore (Engine.run_all engine);
+  ignore (Engine.run_all ~strict:false engine);
   let m =
     Proto_harness.expect_kind ~what:"fill" (List.rev !llc_inbox)
       (Msg.Req Msg.ReqV)
@@ -68,7 +68,7 @@ let fill_valid engine net llc_inbox l1 ~line =
     (Msg.make ~txn:m.Msg.txn ~kind:(Msg.Rsp Msg.RspV) ~line ~mask:m.Msg.mask
        ~payload:(Msg.Data (Array.make (Mask.count m.Msg.mask) 5))
        ~src:10 ~dst:0 ());
-  ignore (Engine.run_all engine)
+  ignore (Engine.run_all ~strict:false engine)
 
 let region_acquire_selective () =
   (* Lines < 100 are region 0, >= 100 are region 1. *)
@@ -82,13 +82,13 @@ let region_acquire_selective () =
     && Denovo_l1.word_state l1 (Addr.make ~line:103 ~word:0) = State.V);
   let port = Denovo_l1.port l1 in
   port.Port.acquire_region ~region:1 ~k:(fun () -> ());
-  ignore (Engine.run_all engine);
+  ignore (Engine.run_all ~strict:false engine);
   check_bool "region 1 invalidated" true
     (Denovo_l1.word_state l1 (Addr.make ~line:103 ~word:0) = State.I);
   check_bool "region 0 preserved" true
     (Denovo_l1.word_state l1 (Addr.make ~line:3 ~word:0) = State.V);
   port.Port.acquire ~k:(fun () -> ());
-  ignore (Engine.run_all engine);
+  ignore (Engine.run_all ~strict:false engine);
   check_bool "full acquire clears the rest" true
     (Denovo_l1.word_state l1 (Addr.make ~line:3 ~word:0) = State.I)
 
@@ -194,7 +194,7 @@ let adaptive_streams_write_through () =
   (* A cold store streams: the predictor has no reuse evidence. *)
   port.Port.store (Addr.make ~line:2 ~word:0) ~value:1 ~k:(fun () -> ());
   port.Port.release ~k:(fun () -> ());
-  ignore (Engine.run_all engine);
+  ignore (Engine.run_all ~strict:false engine);
   let m =
     Proto_harness.expect_kind ~what:"streaming store" (List.rev !llc_inbox)
       (Msg.Req Msg.ReqWT)
@@ -203,7 +203,7 @@ let adaptive_streams_write_through () =
   Spandex_net.Network.send net
     (Msg.make ~txn:m.Msg.txn ~kind:(Msg.Rsp Msg.RspWT) ~line:2 ~mask:m.Msg.mask
        ~src:10 ~dst:0 ());
-  ignore (Engine.run_all engine);
+  ignore (Engine.run_all ~strict:false engine);
   check_bool "completed as Valid, not Owned" true
     (Denovo_l1.word_state l1 (Addr.make ~line:2 ~word:0) = State.V);
   (* Rapid re-writes to the same line are reuse evidence: the predictor
@@ -228,10 +228,10 @@ let adaptive_streams_write_through () =
               rewrite (n - 1) k))
   in
   rewrite 3 (fun () -> ());
-  ignore (Engine.run_all engine);
+  ignore (Engine.run_all ~strict:false engine);
   port.Port.store (Addr.make ~line:2 ~word:1) ~value:9 ~k:(fun () -> ());
   port.Port.release ~k:(fun () -> ());
-  ignore (Engine.run_all engine);
+  ignore (Engine.run_all ~strict:false engine);
   ignore
     (Proto_harness.expect_kind ~what:"switched to ownership"
        (List.rev !llc_inbox) (Msg.Req Msg.ReqO))
@@ -263,7 +263,7 @@ let adaptive_promotes_repeated_read_misses () =
   in
   for i = 1 to 2 do
     port.Port.load (Addr.make ~line:2 ~word:0) ~k:(fun _ -> ());
-    ignore (Engine.run_all engine);
+    ignore (Engine.run_all ~strict:false engine);
     let m =
       Proto_harness.expect_kind
         ~what:(Printf.sprintf "cold miss %d" i)
@@ -271,23 +271,23 @@ let adaptive_promotes_repeated_read_misses () =
     in
     llc_inbox := [];
     respond m ~kind:Msg.RspV;
-    ignore (Engine.run_all engine);
+    ignore (Engine.run_all ~strict:false engine);
     port.Port.acquire ~k:(fun () -> ());
-    ignore (Engine.run_all engine)
+    ignore (Engine.run_all ~strict:false engine)
   done;
   port.Port.load (Addr.make ~line:2 ~word:0) ~k:(fun _ -> ());
-  ignore (Engine.run_all engine);
+  ignore (Engine.run_all ~strict:false engine);
   let m =
     Proto_harness.expect_kind ~what:"promoted miss" (List.rev !llc_inbox)
       (Msg.Req Msg.ReqOdata)
   in
   llc_inbox := [];
   respond m ~kind:Msg.RspOdata;
-  ignore (Engine.run_all engine);
+  ignore (Engine.run_all ~strict:false engine);
   check_bool "promoted fill installs Owned" true
     (Denovo_l1.word_state l1 (Addr.make ~line:2 ~word:0) = State.O);
   port.Port.acquire ~k:(fun () -> ());
-  ignore (Engine.run_all engine);
+  ignore (Engine.run_all ~strict:false engine);
   check_bool "owned fill survives the acquire" true
     (Denovo_l1.word_state l1 (Addr.make ~line:2 ~word:0) = State.O)
 

@@ -73,9 +73,12 @@ let faultable_classification () =
   ok (msg ~kind:(Msg.Rsp Msg.RspV) ());
   ok (msg ~kind:(Msg.Rsp Msg.RspWB) ());
   ok (msg ~kind:(Msg.Rsp Msg.Nack) ());
-  ok (msg ~kind:(Msg.Rsp Msg.RspO) ());
-  (* Forwarded requests, probes, acks and data-carrying responses ride the
-     lossless channel: no end-to-end timer can recover their loss. *)
+  (* Forwarded requests, probes, acks, data-carrying responses, and RspO
+     ownership grants ride the lossless channel: no end-to-end timer can
+     recover their loss (re-soliciting an RspO would mean re-sending the
+     forwarded revocation, which can race into a later registration
+     epoch at the old owner). *)
+  no (msg ~kind:(Msg.Rsp Msg.RspO) ());
   no (msg ~fwd:true ());
   no (msg ~kind:(Msg.Req Msg.ReqS) ~fwd:true ());
   no (msg ~kind:(Msg.Probe Msg.Inv) ());

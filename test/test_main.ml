@@ -22,4 +22,5 @@ let () =
       ("sweep", Test_sweep.tests);
       ("chassis", Test_chassis.tests);
       ("random", Test_random.tests);
+      ("check", Test_check.tests);
     ]

@@ -49,6 +49,52 @@ let mask_props =
         Mask.fold m ~init:0 ~f:(fun acc _ -> acc + 1) = Mask.count m);
   ]
 
+(* Reference model: a plain int set must agree with every set-algebra
+   operation on masks. *)
+module ISet = Set.Make (Int)
+
+let model m = ISet.of_list (Mask.to_list m)
+let mask_of_model s = Mask.of_list (ISet.elements s)
+let full16 = Mask.full ~words:16
+let word_gen = QCheck2.Gen.int_bound 15
+
+let mask_model_props =
+  [
+    QCheck2.Test.make ~name:"union_vs_model"
+      QCheck2.Gen.(pair mask_gen mask_gen)
+      (fun (a, b) ->
+        Mask.equal (Mask.union a b) (mask_of_model (ISet.union (model a) (model b))));
+    QCheck2.Test.make ~name:"inter_vs_model"
+      QCheck2.Gen.(pair mask_gen mask_gen)
+      (fun (a, b) ->
+        Mask.equal (Mask.inter a b) (mask_of_model (ISet.inter (model a) (model b))));
+    QCheck2.Test.make ~name:"diff_vs_model"
+      QCheck2.Gen.(pair mask_gen mask_gen)
+      (fun (a, b) ->
+        Mask.equal (Mask.diff a b) (mask_of_model (ISet.diff (model a) (model b))));
+    QCheck2.Test.make ~name:"complement_roundtrip" mask_gen (fun m ->
+        Mask.equal m (Mask.diff full16 (Mask.diff full16 m)));
+    QCheck2.Test.make ~name:"complement_partitions" mask_gen (fun m ->
+        let co = Mask.diff full16 m in
+        Mask.is_empty (Mask.inter m co)
+        && Mask.equal (Mask.union m co) full16);
+    QCheck2.Test.make ~name:"set_get_agreement"
+      QCheck2.Gen.(pair mask_gen word_gen)
+      (fun (m, w) ->
+        Mask.mem (Mask.add m w) w
+        && (not (Mask.mem (Mask.remove m w) w))
+        && Mask.mem m w = ISet.mem w (model m)
+        && Mask.equal (Mask.add m w) (mask_of_model (ISet.add w (model m)))
+        && Mask.equal (Mask.remove m w)
+             (mask_of_model (ISet.remove w (model m))));
+    QCheck2.Test.make ~name:"per_word_union_inter"
+      QCheck2.Gen.(pair (pair mask_gen mask_gen) word_gen)
+      (fun ((a, b), w) ->
+        Mask.mem (Mask.union a b) w = (Mask.mem a w || Mask.mem b w)
+        && Mask.mem (Mask.inter a b) w = (Mask.mem a w && Mask.mem b w)
+        && Mask.mem (Mask.diff a b) w = (Mask.mem a w && not (Mask.mem b w)));
+  ]
+
 (* ----- Pqueue ------------------------------------------------------------ *)
 
 let pqueue_ordering () =
@@ -331,4 +377,5 @@ let tests =
   ]
   @ List.map
       (QCheck_alcotest.to_alcotest ~long:false)
-      (mask_props @ [ pqueue_prop ] @ pqueue_props @ [ stats_interned_agrees ])
+      (mask_props @ mask_model_props @ [ pqueue_prop ] @ pqueue_props
+      @ [ stats_interned_agrees ])
