@@ -13,11 +13,18 @@
 #   - the report's sequential/parallel results were not bit-identical, or
 #   - the report's traced verification run diverged from the untraced one
 #     (schema spandex-bench-sweep/3 runs one cell with the transaction
-#     trace enabled and asserts bit-identical results).
+#     trace enabled and asserts bit-identical results), or
+#   - the report's minor_words_per_event exceeds the baseline's by more
+#     than 10% (guards the allocation diet on the message/event path; the
+#     counters are deterministic, the slack only absorbs GC-version noise), or
+#   - the parallel sweep was slower than the sequential one (speedup < 1.0)
+#     on a machine that actually has cores to parallelize over
+#     (recommended_domains > 1 and more than one worker used; single-core
+#     runners skip this gate because domains just time-slice there).
 #
 # Refresh the baseline with:
 #   dune exec bin/spandex_cli.exe -- bench --jobs 2 --scale 0.25 \
-#     --workloads rsct,tqh,bc -o bench/ci_baseline.json
+#     --workloads rsct,tqh,bc --repeat 3 -o bench/ci_baseline.json
 set -eu
 
 report=${1:?usage: check_perf.sh <report.json> [baseline.json]}
@@ -70,6 +77,40 @@ if got < floor:
     failures.append(
         "events/sec regressed >25%%: %d < %d (baseline %d)" % (got, floor, base)
     )
+
+# Allocation-rate gate (schema v4): minor words per event is deterministic
+# for a given sweep, so a >10% rise over the baseline means the allocation
+# diet on the message/event path regressed.
+if "minor_words_per_event" in report and "minor_words_per_event" in baseline:
+    base_mw = baseline["minor_words_per_event"]
+    got_mw = report["minor_words_per_event"]
+    ceil_mw = 1.10 * base_mw
+    print(
+        "alloc: %.2f minor words/event (baseline %.2f, ceiling %.2f)"
+        % (got_mw, base_mw, ceil_mw)
+    )
+    if got_mw > ceil_mw:
+        failures.append(
+            "minor_words_per_event regressed >10%%: %.2f > %.2f "
+            "(baseline %.2f)" % (got_mw, ceil_mw, base_mw)
+        )
+
+# Parallel-speedup gate: on a multi-core runner, a parallel sweep slower
+# than the sequential one means domain coordination or GC interference is
+# eating the win.  Skipped on single-core machines (and --jobs 1 reports),
+# where extra domains can only time-slice.
+if (
+    report.get("recommended_domains", 1) > 1
+    and report.get("jobs_used", 1) > 1
+    and "speedup" in report
+):
+    print("speedup: %.3fx with %d jobs" % (report["speedup"], report["jobs_used"]))
+    if report["speedup"] < 1.0:
+        failures.append(
+            "parallel sweep slower than sequential: speedup %.3f < 1.0 "
+            "with %d jobs on %d recommended domains"
+            % (report["speedup"], report["jobs_used"], report["recommended_domains"])
+        )
 
 if failures:
     for f in failures:

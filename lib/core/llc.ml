@@ -123,7 +123,7 @@ let respond t (req : Msg.t) ~kind ~mask ?payload () =
 
 let respond_data t (req : Msg.t) meta ~kind ~mask =
   if not (Mask.is_empty mask) then
-    let payload = Msg.Data (Linedata.pack ~mask ~full:meta.data) in
+    let payload = Msg.pooled_pack ~mask ~full:meta.data in
     respond t req ~kind ~mask ~payload ()
 
 let forward t (req : Msg.t) ~kind ~dst ~mask ?demand ?amo () =
@@ -181,7 +181,7 @@ let needs_excl = function
 
 let payload_values (msg : Msg.t) =
   match msg.Msg.payload with
-  | Msg.Data v -> v
+  | Msg.Data v | Msg.Data_pooled v -> v
   | Msg.No_data -> invalid_arg "Llc: request missing data payload"
 
 (* ----- main handler -------------------------------------------------------- *)
@@ -194,8 +194,8 @@ let rec handle t (msg : Msg.t) =
 
 and handle_req t (msg : Msg.t) kind =
   Stats.bump t.stats t.req_keys.(Msg.req_kind_index kind);
-  match Cache_frame.find t.frame ~line:msg.Msg.line with
-  | None ->
+  match Cache_frame.find_exn t.frame ~line:msg.Msg.line with
+  | exception Not_found ->
     if kind = Msg.ReqWB then begin
       (* A write-back racing with a completed purge: the sender is no longer
          the owner (Table III: "ReqWB from non-owner"). Acknowledge, drop. *)
@@ -206,7 +206,7 @@ and handle_req t (msg : Msg.t) kind =
       Stats.incr t.stats "miss";
       allocate_and_fetch t msg kind
     end
-  | Some meta -> (
+  | meta -> (
     Cache_frame.touch t.frame ~line:msg.Msg.line;
     match meta.pending with
     | Some pending -> (
@@ -218,11 +218,13 @@ and handle_req t (msg : Msg.t) kind =
           ~mask:msg.Msg.mask
       | _ ->
         Stats.incr t.stats "blocked";
+        Msg.keep msg;
         meta.blocked <- meta.blocked @ [ msg ])
     | None ->
       if needs_excl kind && not meta.backing_excl then begin
         Stats.incr t.stats "backing_upgrade";
         meta.pending <- Some Upgrading;
+        Msg.keep msg;
         meta.blocked <- meta.blocked @ [ msg ];
         t.backing.Backing.acquire ~line:msg.Msg.line ~excl:true
           ~k:(fun data ~excl ->
@@ -270,6 +272,8 @@ and with_no_sharers t meta (msg : Msg.t) next =
     if targets = [] then next ()
     else begin
       Stats.incr t.stats "inv_bursts";
+      (* [next] captures [msg] and runs after the ack collection. *)
+      Msg.keep msg;
       meta.pending <-
         Some
           (Collecting_acks
@@ -365,6 +369,7 @@ and do_reqs t meta (msg : Msg.t) =
           (fun (o, _) -> if t.cfg.kind_of o = Kind_mesi then Some o else None)
           fwd_groups
       in
+      Msg.keep msg;
       meta.pending <-
         Some
           (Awaiting_wb
@@ -469,6 +474,7 @@ and do_reqwtdata t meta (msg : Msg.t) =
   let groups = owner_groups meta msg.Msg.mask in
   if groups = [] then apply_wtdata t meta msg
   else begin
+    Msg.keep msg;
     let awaited =
       List.map
         (fun (o, _) ->
@@ -500,19 +506,18 @@ and apply_wtdata t meta (msg : Msg.t) =
     match msg.Msg.amo with
     | Some amo ->
       assert (Mask.count msg.Msg.mask = 1);
-      let w = List.hd (Mask.to_list msg.Msg.mask) in
+      let w = Mask.lowest msg.Msg.mask in
       let next, ret = Amo.apply amo meta.data.(w) in
       meta.data.(w) <- next;
-      [| ret |]
+      Msg.pooled_single ret
     | None ->
       let values = payload_values msg in
-      let old = Linedata.pack ~mask:msg.Msg.mask ~full:meta.data in
+      let old = Msg.pooled_pack ~mask:msg.Msg.mask ~full:meta.data in
       Linedata.unpack_into ~mask:msg.Msg.mask ~values ~full:meta.data;
       old
   in
   meta.dirty <- true;
-  respond t msg ~kind:Msg.RspWTdata ~mask:msg.Msg.mask
-    ~payload:(Msg.Data returned) ()
+  respond t msg ~kind:Msg.RspWTdata ~mask:msg.Msg.mask ~payload:returned ()
 
 (* ReqWB: accept data for words still owned by the sender, drop the rest. *)
 and apply_wb t meta (msg : Msg.t) =
@@ -563,9 +568,9 @@ and mark_satisfied _t line meta pending src ~mask =
     assert false
 
 and handle_rsp t (msg : Msg.t) kind =
-  match Cache_frame.find t.frame ~line:msg.Msg.line with
-  | None -> Stats.incr t.stats "rsp_orphan"
-  | Some meta -> (
+  match Cache_frame.find_exn t.frame ~line:msg.Msg.line with
+  | exception Not_found -> Stats.incr t.stats "rsp_orphan"
+  | meta -> (
     match (kind, meta.pending) with
     | Msg.Ack, Some (Collecting_acks c) ->
       c.acks_left <- c.acks_left - 1;
@@ -590,7 +595,7 @@ and handle_rsp t (msg : Msg.t) kind =
       | None -> Stats.incr t.stats "rvko_dup"
       | Some a ->
         (match msg.Msg.payload with
-        | Msg.Data values ->
+        | Msg.Data values | Msg.Data_pooled values ->
           Linedata.iter ~mask:msg.Msg.mask ~values ~f:(fun ~word ~value ->
               if Mask.mem meta.owned word && meta.owner.(word) = msg.Msg.src
               then meta.data.(word) <- value);
@@ -610,9 +615,9 @@ and handle_rsp t (msg : Msg.t) kind =
 (* After a pending state clears: serve queued recalls first, then replay
    blocked requests in arrival order. *)
 and after_pending t line =
-  match Cache_frame.find t.frame ~line with
-  | None -> ()
-  | Some meta ->
+  match Cache_frame.find_exn t.frame ~line with
+  | exception Not_found -> ()
+  | meta ->
     if meta.pending = None then begin
       match meta.recalls with
       | r :: rest ->
@@ -638,6 +643,7 @@ and allocate_and_fetch t (msg : Msg.t) kind =
   let insert () = Cache_frame.insert t.frame ~line meta ~can_evict in
   let start_fetch () =
     meta.pending <- Some (Fetching { excl = needs_excl kind });
+    Msg.keep msg;
     meta.blocked <- [ msg ];
     t.backing.Backing.acquire ~line ~excl:(needs_excl kind)
       ~k:(fun data ~excl ->
@@ -666,12 +672,14 @@ and allocate_and_fetch t (msg : Msg.t) kind =
     match find_purge_victim t line with
     | Some (vline, vmeta) ->
       Stats.incr t.stats "evict_purge";
+      Msg.keep msg;
       purge t vline vmeta ~keep_line:false ~inv_sharers:true
         ~k:(fun (data, dirty) ->
           t.backing.Backing.writeback ~line:vline ~data ~dirty ~k:(fun () -> ());
           handle t msg)
     | None ->
       Stats.incr t.stats "alloc_stall";
+      Msg.keep msg;
       Engine.schedule t.engine ~delay:8 (fun () -> handle t msg)
   end
 
@@ -749,14 +757,14 @@ and start_recall t line meta (r : recall_req) =
       ~k:(fun (data, dirty) -> r.rk (Some (data, dirty)))
 
 and handle_recall t ~line ~kind ~k =
-  match Cache_frame.find t.frame ~line with
-  | None ->
+  match Cache_frame.find_exn t.frame ~line with
+  | exception Not_found ->
     (* arg -1: the line is absent (answered from a write-back record). *)
     if Trace.on t.trace then
       Trace.instant t.trace ~time:(Engine.now t.engine)
         ~dev:(bank_of t.cfg line) ~name:t.n_recall ~txn:(-1) ~arg:(-1);
     k None
-  | Some meta ->
+  | meta ->
     let r = { rkind = kind; rk = k } in
     (* arg encodes the pending state the recall found: 0 idle, then the
        1-based constructor index of [pending]. *)

@@ -4,10 +4,10 @@ module Addr = Spandex_proto.Addr
 module Linedata = Spandex_proto.Linedata
 
 type result = {
-  data_mask : Mask.t;
+  mutable data_mask : Mask.t;
   values : int array;
-  acked : Mask.t;
-  nacked : Mask.t;
+  mutable acked : Mask.t;
+  mutable nacked : Mask.t;
 }
 
 type t = { demand : Mask.t; mutable acc : result; mutable done_ : bool }
@@ -31,15 +31,13 @@ let absorb t (msg : Msg.t) =
   assert (not t.done_);
   let acc = t.acc in
   (match msg.Msg.kind with
-  | Msg.Rsp Msg.Nack ->
-    t.acc <- { acc with nacked = Mask.union acc.nacked msg.Msg.mask }
+  | Msg.Rsp Msg.Nack -> acc.nacked <- Mask.union acc.nacked msg.Msg.mask
   | Msg.Rsp _ -> (
     match msg.Msg.payload with
-    | Msg.Data values ->
+    | Msg.Data values | Msg.Data_pooled values ->
       Linedata.unpack_into ~mask:msg.Msg.mask ~values ~full:acc.values;
-      t.acc <- { acc with data_mask = Mask.union acc.data_mask msg.Msg.mask }
-    | Msg.No_data ->
-      t.acc <- { acc with acked = Mask.union acc.acked msg.Msg.mask })
+      acc.data_mask <- Mask.union acc.data_mask msg.Msg.mask
+    | Msg.No_data -> acc.acked <- Mask.union acc.acked msg.Msg.mask)
   | Msg.Req _ | Msg.Probe _ -> invalid_arg "Tu.absorb: not a response");
   if Mask.subset t.demand (covered t.acc) then begin
     t.done_ <- true;

@@ -12,10 +12,15 @@
 type t
 
 type result = {
-  data_mask : Spandex_util.Mask.t;  (** words that arrived with data. *)
+  mutable data_mask : Spandex_util.Mask.t;
+      (** words that arrived with data. *)
   values : int array;  (** full-line array, live where [data_mask]. *)
-  acked : Spandex_util.Mask.t;  (** words acknowledged without data. *)
-  nacked : Spandex_util.Mask.t;  (** demanded words that were Nacked. *)
+  mutable acked : Spandex_util.Mask.t;
+      (** words acknowledged without data. *)
+  mutable nacked : Spandex_util.Mask.t;
+      (** demanded words that were Nacked.  Fields are mutable because
+          {!absorb} accumulates in place; callers treat a completed result
+          as settled. *)
 }
 
 val create : demand:Spandex_util.Mask.t -> t

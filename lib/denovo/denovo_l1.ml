@@ -126,13 +126,13 @@ let send_wb t ~line ~mask ~values =
   Hashtbl.replace t.wb_records txn { b_line = line; b_mask = mask; b_values = values };
   Stats.bump t.ch.Chassis.stats t.k_wb_issued;
   request t ~txn ~kind:Msg.ReqWB ~line ~mask
-    ~payload:(Msg.Data (Linedata.pack ~mask ~full:values))
+    ~payload:(Msg.pooled_pack ~mask ~full:values)
     ()
 
 let get_or_alloc t line_id =
-  match Cache_frame.find t.frame ~line:line_id with
-  | Some l -> l
-  | None -> (
+  match Cache_frame.find_exn t.frame ~line:line_id with
+  | l -> l
+  | exception Not_found -> (
     let fresh =
       {
         data = Array.make Addr.words_per_line 0;
@@ -163,15 +163,14 @@ let writes_pending t =
   !n
 
 let rec drain t =
-  match Store_buffer.peek_oldest t.ch.Chassis.sb with
-  | None -> Chassis.check_release t.ch
-  | Some e ->
+  match Store_buffer.peek_oldest_exn t.ch.Chassis.sb with
+  | exception Not_found -> Chassis.check_release t.ch
+  | e ->
     if not (Chassis.entry_ready t.ch e.Store_buffer.line) then
       Chassis.arm_drain t.ch ~delay:(max 1 t.cfg.coalesce_window)
     else if Mshr.is_full t.ch.Chassis.outstanding then ()
     else begin
-      let e = Option.get (Store_buffer.take_oldest t.ch.Chassis.sb) in
-      Hashtbl.remove t.ch.Chassis.sb_ages e.Store_buffer.line;
+      let e = Store_buffer.take_oldest_exn t.ch.Chassis.sb in
       let through =
         t.policy.Policy.classify_write ~line:e.Store_buffer.line
         = Policy.Write_through
@@ -194,9 +193,8 @@ let rec drain t =
           request t ~txn ~kind:Msg.ReqWT ~line:e.Store_buffer.line
             ~mask:e.Store_buffer.mask
             ~payload:
-              (Msg.Data
-                 (Linedata.pack ~mask:e.Store_buffer.mask
-                    ~full:e.Store_buffer.values))
+              (Msg.pooled_pack ~mask:e.Store_buffer.mask
+                 ~full:e.Store_buffer.values)
             ()
         end
         else begin
@@ -208,6 +206,7 @@ let rec drain t =
             ~mask:e.Store_buffer.mask ()
         end
       | None -> assert false);
+      Store_buffer.release t.ch.Chassis.sb e;
       Chassis.wake_stalled t.ch;
       drain t
     end
@@ -230,27 +229,35 @@ let commit_own t (o : own_req) =
 (* ----- pending-write lookup (for local loads and external requests) --------- *)
 
 let find_own_covering ?(include_through = true) t ~line ~word =
+  if Mshr.count t.ch.Chassis.outstanding = 0 then None
+  else
   match
-    Mshr.find_first t.ch.Chassis.outstanding ~f:(function
+    Mshr.find_first_exn t.ch.Chassis.outstanding ~f:(function
       | Own o ->
         o.o_line = line
         && (include_through || not o.o_through)
         && Mask.mem (Mask.diff o.o_mask o.o_stolen) word
       | _ -> false)
   with
-  | Some (_, Own o) -> Some o
+  | Own o -> Some o
   | _ -> None
+  | exception Not_found -> None
 
 let find_rmw_covering t ~line ~word =
+  if Mshr.count t.ch.Chassis.outstanding = 0 then None
+  else
   match
-    Mshr.find_first t.ch.Chassis.outstanding ~f:(function
+    Mshr.find_first_exn t.ch.Chassis.outstanding ~f:(function
       | Rmw r -> r.w_line = line && r.w_word = word && not r.w_stolen
       | _ -> false)
   with
-  | Some (_, Rmw r) -> Some r
+  | Rmw r -> Some r
   | _ -> None
+  | exception Not_found -> None
 
 let find_wb_covering t ~line ~word =
+  if Hashtbl.length t.wb_records = 0 then None
+  else
   Hashtbl.fold
     (fun _ (b : wb_req) acc ->
       if b.b_line = line && Mask.mem b.b_mask word then Some b else acc)
@@ -260,22 +267,23 @@ let find_wb_covering t ~line ~word =
    already lists this cache as their owner, but the data is still on the
    wire. *)
 let read_own_pending t ~line ~word =
-  Mshr.find_first t.ch.Chassis.outstanding ~f:(function
-    | Read m -> m.r_line = line && Mask.mem m.r_own_mask word
-    | _ -> false)
-  <> None
+  Mshr.count t.ch.Chassis.outstanding > 0
+  && Mshr.exists t.ch.Chassis.outstanding ~f:(function
+       | Read m -> m.r_line = line && Mask.mem m.r_own_mask word
+       | _ -> false)
 
 (* Any write-side transaction alive for [line]: a promoted (ReqO+data) read
    issued beside one could be answered with a data-less self-grant. *)
 let line_write_pending t ~line =
-  Mshr.find_first t.ch.Chassis.outstanding ~f:(function
-    | Own o -> o.o_line = line
-    | Rmw r -> r.w_line = line
-    | Read _ | Atomic _ -> false)
-  <> None
-  || Hashtbl.fold
-       (fun _ (b : wb_req) acc -> acc || b.b_line = line)
-       t.wb_records false
+  (Mshr.count t.ch.Chassis.outstanding > 0
+  && Mshr.exists t.ch.Chassis.outstanding ~f:(function
+       | Own o -> o.o_line = line
+       | Rmw r -> r.w_line = line
+       | Read _ | Atomic _ -> false))
+  || Hashtbl.length t.wb_records > 0
+     && Hashtbl.fold
+          (fun _ (b : wb_req) acc -> acc || b.b_line = line)
+          t.wb_records false
 
 (* ----- loads ---------------------------------------------------------------- *)
 
@@ -303,51 +311,56 @@ let install_fill t (m : read_miss) (r : Tu.result) =
   else Stats.incr t.ch.Chassis.stats "stale_fill_dropped"
 
 let rec load t (addr : Addr.t) ~k =
-  let done_ v =
-    Engine.apply_later t.ch.Chassis.engine ~delay:t.cfg.hit_latency k v
-  in
+  (* The hit paths apply [k] through the engine's closure-free Apply event;
+     [done_] is deliberately not a local closure so a load hit allocates
+     nothing. *)
   let { Addr.line; word } = addr in
   match Store_buffer.forward t.ch.Chassis.sb ~addr with
   | Some v ->
     Stats.bump t.ch.Chassis.stats t.ch.Chassis.k_load_sb_fwd;
-    done_ v
+    Engine.apply_later t.ch.Chassis.engine ~delay:t.cfg.hit_latency k v
   | None -> (
-    match (find_own_covering t ~line ~word, find_wb_covering t ~line ~word) with
-    | Some o, _ ->
+    match find_own_covering t ~line ~word with
+    | Some o ->
       Stats.bump t.ch.Chassis.stats t.ch.Chassis.k_load_sb_fwd;
-      done_ o.o_values.(word)
-    | None, Some b ->
+      Engine.apply_later t.ch.Chassis.engine ~delay:t.cfg.hit_latency k
+        o.o_values.(word)
+    | None -> (
+    match find_wb_covering t ~line ~word with
+    | Some b ->
       (* The word is mid-write-back: the LLC still lists us as owner, so a
          ReqV would be forwarded right back; serve the retained data. *)
       Stats.incr t.ch.Chassis.stats "load_wb_fwd";
-      done_ b.b_values.(word)
-    | None, None when find_rmw_covering t ~line ~word <> None ->
+      Engine.apply_later t.ch.Chassis.engine ~delay:t.cfg.hit_latency k
+        b.b_values.(word)
+    | None when find_rmw_covering t ~line ~word <> None ->
       (* Another context's RMW to this word is mid-grant; once it commits
          the load hits the owned word locally. *)
       Stats.incr t.ch.Chassis.stats "load_rmw_defer";
       Engine.schedule t.ch.Chassis.engine ~delay:3 (fun () -> load t addr ~k)
-    | None, None -> (
-      match Cache_frame.find t.frame ~line with
-      | Some l when Mask.mem (Mask.union l.valid l.owned) word ->
+    | None -> (
+      match Cache_frame.find_exn t.frame ~line with
+      | l when Mask.mem (Mask.union l.valid l.owned) word ->
         Stats.bump t.ch.Chassis.stats t.ch.Chassis.k_load_hit;
         Cache_frame.touch t.frame ~line;
-        done_ l.data.(word)
-      | _ -> (
+        Engine.apply_later t.ch.Chassis.engine ~delay:t.cfg.hit_latency k
+          l.data.(word)
+      | _ | (exception Not_found) -> (
         Stats.bump t.ch.Chassis.stats t.ch.Chassis.k_load_miss;
         match
-          Mshr.find_first t.ch.Chassis.outstanding ~f:(function
+          Mshr.find_first_exn t.ch.Chassis.outstanding ~f:(function
             | Read m -> m.r_line = line && m.r_epoch = t.epoch
             | _ -> false)
         with
-        | Some (_, Read m) ->
+        | Read m ->
           Stats.incr t.ch.Chassis.stats "load_miss_coalesced";
           m.r_waiters <- (word, k) :: m.r_waiters
-        | Some _ -> assert false
-        | None -> (
+        | _ -> assert false
+        | exception Not_found -> (
           let have =
-            match Cache_frame.find t.frame ~line with
-            | Some l -> Mask.union l.valid l.owned
-            | None -> Mask.empty
+            match Cache_frame.find_exn t.frame ~line with
+            | l -> Mask.union l.valid l.owned
+            | exception Not_found -> Mask.empty
           in
           let mask = Mask.diff Addr.full_mask have in
           (* Per-request read classification: repeated misses to a line may
@@ -399,7 +412,7 @@ let rec load t (addr : Addr.t) ~k =
             | None ->
               Stats.incr t.ch.Chassis.stats "mshr_stall";
               Engine.schedule t.ch.Chassis.engine ~delay:4 (fun () ->
-                  load t addr ~k)))))
+                  load t addr ~k))))))
 
 and complete_read t ~txn (m : read_miss) (r : Tu.result) =
   free_txn t ~txn;
@@ -468,24 +481,26 @@ and seed_collector (m : read_miss) (r : Tu.result) =
       (Msg.make ~txn:0 ~kind:(Msg.Rsp Msg.RspV) ~line:m.r_line
          ~mask:r.Tu.data_mask
          ~payload:
-           (Msg.Data (Linedata.pack ~mask:r.Tu.data_mask ~full:r.Tu.values))
+           (Msg.pooled_pack ~mask:r.Tu.data_mask ~full:r.Tu.values)
          ~src:0 ~dst:0 ())
 
 (* ----- stores --------------------------------------------------------------- *)
 
 let rec store t (addr : Addr.t) ~value ~k =
   let { Addr.line; word } = addr in
-  match Cache_frame.find t.frame ~line with
-  | Some l when Mask.mem l.owned word ->
+  match Cache_frame.find_exn t.frame ~line with
+  | l when Mask.mem l.owned word ->
     Stats.bump t.ch.Chassis.stats t.k_store_hit_owned;
     t.policy.Policy.on_store_hit_owned ~line;
     l.data.(word) <- value;
     Engine.schedule t.ch.Chassis.engine ~delay:t.cfg.hit_latency k
-  | _ -> (
-    match Store_buffer.push t.ch.Chassis.sb ~addr ~value with
+  | _ | (exception Not_found) -> (
+    match
+      Store_buffer.push t.ch.Chassis.sb ~addr ~value
+        ~now:(Engine.now t.ch.Chassis.engine)
+    with
     | `Coalesced | `New ->
       Stats.bump t.ch.Chassis.stats t.ch.Chassis.k_stores;
-      Hashtbl.replace t.ch.Chassis.sb_ages line (Engine.now t.ch.Chassis.engine);
       Chassis.arm_drain t.ch ~delay:1;
       Engine.schedule t.ch.Chassis.engine ~delay:t.cfg.hit_latency k
     | `Full -> Chassis.stall_store t.ch (fun () -> store t addr ~value ~k))
@@ -519,9 +534,9 @@ and rmw t (addr : Addr.t) amo ~k =
   let { Addr.line; word } = addr in
   if t.cfg.atomics_at_llc then begin
     Stats.incr t.ch.Chassis.stats "rmw_at_llc";
-    (match Cache_frame.find t.frame ~line with
-    | Some l -> l.valid <- Mask.remove l.valid word
-    | None -> ());
+    (match Cache_frame.find_exn t.frame ~line with
+    | l -> l.valid <- Mask.remove l.valid word
+    | exception Not_found -> ());
     match Mshr.alloc t.ch.Chassis.outstanding (Atomic { at_k = k }) with
     | Some txn ->
       request t ~txn ~kind:Msg.ReqWTdata ~line ~mask:(Mask.singleton word)
@@ -531,40 +546,47 @@ and rmw t (addr : Addr.t) amo ~k =
       Engine.schedule t.ch.Chassis.engine ~delay:4 (fun () -> rmw t addr amo ~k)
   end
   else
-    match Cache_frame.find t.frame ~line with
-    | Some l when Mask.mem l.owned word ->
+    match Cache_frame.find_exn t.frame ~line with
+    | l when Mask.mem l.owned word ->
       Stats.incr t.ch.Chassis.stats "rmw_hit_owned";
       let next, old = Amo.apply amo l.data.(word) in
       l.data.(word) <- next;
       Engine.apply_later t.ch.Chassis.engine ~delay:t.cfg.hit_latency k old
-    | _ when
+    | _ | (exception Not_found) ->
+      if
         find_rmw_covering t ~line ~word <> None
         || find_own_covering t ~line ~word <> None
-        || find_wb_covering t ~line ~word <> None ->
-      (* Another context's write to this word is mid-grant, or the word is
-         mid-write-back (the LLC would answer a ReqO+data with a data-less
-         self-grant); wait and re-enter. *)
-      Stats.incr t.ch.Chassis.stats "rmw_serialized";
-      Engine.schedule t.ch.Chassis.engine ~delay:3 (fun () -> rmw t addr amo ~k)
-    | _ -> (
-      Stats.incr t.ch.Chassis.stats "rmw_miss";
-      let r =
-        {
-          w_line = line;
-          w_word = word;
-          w_amo = amo;
-          w_collector = Tu.create ~demand:(Mask.singleton word);
-          w_stolen = false;
-          w_queued = [];
-          w_k = k;
-        }
-      in
-      match Mshr.alloc t.ch.Chassis.outstanding (Rmw r) with
-      | Some txn ->
-        request t ~txn ~kind:Msg.ReqOdata ~line ~mask:(Mask.singleton word) ()
-      | None ->
-        Stats.incr t.ch.Chassis.stats "mshr_stall";
-        Engine.schedule t.ch.Chassis.engine ~delay:4 (fun () -> rmw t addr amo ~k))
+        || find_wb_covering t ~line ~word <> None
+      then begin
+        (* Another context's write to this word is mid-grant, or the word is
+           mid-write-back (the LLC would answer a ReqO+data with a data-less
+           self-grant); wait and re-enter. *)
+        Stats.incr t.ch.Chassis.stats "rmw_serialized";
+        Engine.schedule t.ch.Chassis.engine ~delay:3 (fun () ->
+            rmw t addr amo ~k)
+      end
+      else begin
+        Stats.incr t.ch.Chassis.stats "rmw_miss";
+        let r =
+          {
+            w_line = line;
+            w_word = word;
+            w_amo = amo;
+            w_collector = Tu.create ~demand:(Mask.singleton word);
+            w_stolen = false;
+            w_queued = [];
+            w_k = k;
+          }
+        in
+        match Mshr.alloc t.ch.Chassis.outstanding (Rmw r) with
+        | Some txn ->
+          request t ~txn ~kind:Msg.ReqOdata ~line ~mask:(Mask.singleton word)
+            ()
+        | None ->
+          Stats.incr t.ch.Chassis.stats "mshr_stall";
+          Engine.schedule t.ch.Chassis.engine ~delay:4 (fun () ->
+              rmw t addr amo ~k)
+      end
 
 (* ----- external requests (the device-side of Table IV) ---------------------- *)
 
@@ -573,7 +595,7 @@ and external_req t (msg : Msg.t) =
   let respond_words ~kind ~dst ~words ~values =
     if not (Mask.is_empty words) then
       reply t msg ~kind ~dst ~mask:words
-        ~payload:(Msg.Data (Linedata.pack ~mask:words ~full:values))
+        ~payload:(Msg.pooled_pack ~mask:words ~full:values)
         ()
   in
   (* Partition the requested words by where their truth currently lives. *)
@@ -611,7 +633,12 @@ and external_req t (msg : Msg.t) =
       Stats.incr t.ch.Chassis.stats "ext_delayed";
       Mask.iter in_rmw ~f:(fun w ->
           match find_rmw_covering t ~line ~word:w with
-          | Some r -> r.w_queued <- r.w_queued @ [ { msg with Msg.mask = Mask.singleton w } ]
+          | Some r ->
+            (* The narrowed copy aliases [msg]'s payload; pin the original
+               so recycling cannot hand its array to another message. *)
+            Msg.keep msg;
+            r.w_queued <-
+              r.w_queued @ [ { msg with Msg.mask = Mask.singleton w } ]
           | None -> assert false)
     end
     else
@@ -697,13 +724,20 @@ and external_req t (msg : Msg.t) =
      once it lands and the words are Owned in the frame. *)
   if not (Mask.is_empty in_read) then begin
     Stats.incr t.ch.Chassis.stats "ext_deferred_read";
+    (* Snapshot now: by the time the closure fires the original may have
+       been recycled and reused for an unrelated message.  The copy still
+       aliases the payload, so pin both records. *)
+    let deferred =
+      {
+        msg with
+        Msg.mask = in_read;
+        Msg.demand = Mask.inter msg.Msg.demand in_read;
+      }
+    in
+    Msg.keep msg;
+    Msg.keep deferred;
     Engine.schedule t.ch.Chassis.engine ~delay:3 (fun () ->
-        external_req t
-          {
-            msg with
-            Msg.mask = in_read;
-            Msg.demand = Mask.inter msg.Msg.demand in_read;
-          })
+        external_req t deferred)
   end;
   (* Words we hold in no form. *)
   if not (Mask.is_empty absent) then begin
@@ -772,15 +806,15 @@ let handle t (msg : Msg.t) =
     Chassis.retire t.ch ~txn:msg.Msg.txn;
     drain t
   | Msg.Rsp _ -> (
-    match Mshr.find t.ch.Chassis.outstanding ~txn:msg.Msg.txn with
-    | None -> Stats.incr t.ch.Chassis.stats "orphan_rsp"
-    | Some (Read m) -> (
+    match Mshr.find_exn t.ch.Chassis.outstanding ~txn:msg.Msg.txn with
+    | exception Not_found -> Stats.incr t.ch.Chassis.stats "orphan_rsp"
+    | Read m -> (
       match Tu.absorb m.r_collector msg with
       | None -> ()
       | Some r ->
         if Mask.is_empty r.Tu.nacked then complete_read t ~txn:msg.Msg.txn m r
         else handle_read_nacks t ~txn:msg.Msg.txn m r)
-    | Some (Own o) -> (
+    | Own o -> (
       match Tu.absorb o.o_collector msg with
       | None -> ()
       | Some _ ->
@@ -788,7 +822,7 @@ let handle t (msg : Msg.t) =
         commit_own t o;
         Chassis.check_release t.ch;
         drain t)
-    | Some (Rmw r) -> (
+    | Rmw r -> (
       match Tu.absorb r.w_collector msg with
       | None -> ()
       | Some res ->
@@ -799,10 +833,10 @@ let handle t (msg : Msg.t) =
           (* Granted without data: the LLC believed we already owned the
              word. If we do, apply locally; if a racing local transaction
              holds the truth, retry from the top. *)
-          match Cache_frame.find t.frame ~line:r.w_line with
-          | Some l when Mask.mem (Mask.union l.valid l.owned) r.w_word ->
+          match Cache_frame.find_exn t.frame ~line:r.w_line with
+          | l when Mask.mem (Mask.union l.valid l.owned) r.w_word ->
             finish_rmw t ~txn:msg.Msg.txn r ~value:l.data.(r.w_word)
-          | _ ->
+          | _ | (exception Not_found) ->
             Stats.incr t.ch.Chassis.stats "rmw_regranted";
             if r.w_queued <> [] then
               failwith "Denovo_l1: data-less RMW grant with queued externals";
@@ -811,9 +845,9 @@ let handle t (msg : Msg.t) =
                 rmw t { Addr.line = r.w_line; word = r.w_word } r.w_amo
                   ~k:r.w_k)
         end)
-    | Some (Atomic a) -> (
+    | Atomic a -> (
       match (msg.Msg.kind, msg.Msg.payload) with
-      | Msg.Rsp Msg.RspWTdata, Msg.Data values ->
+      | Msg.Rsp Msg.RspWTdata, (Msg.Data values | Msg.Data_pooled values) ->
         free_txn t ~txn:msg.Msg.txn;
         a.at_k values.(0);
         Chassis.check_release t.ch;

@@ -74,9 +74,9 @@ let free_txn t ~txn = Chassis.free_txn t.ch ~txn
 (* ----- write-through drain -------------------------------------------------- *)
 
 let rec drain t =
-  match Store_buffer.peek_oldest t.ch.Chassis.sb with
-  | None -> Chassis.check_release t.ch
-  | Some e ->
+  match Store_buffer.peek_oldest_exn t.ch.Chassis.sb with
+  | exception Not_found -> Chassis.check_release t.ch
+  | e ->
     if not (Chassis.entry_ready t.ch e.Store_buffer.line) then
       Chassis.arm_drain t.ch ~delay:(max 1 t.cfg.coalesce_window)
     else if Mshr.is_full t.ch.Chassis.outstanding then
@@ -87,11 +87,10 @@ let rec drain t =
       with
       | None -> ()
       | Some txn ->
-        let e = Option.get (Store_buffer.take_oldest t.ch.Chassis.sb) in
-        Hashtbl.remove t.ch.Chassis.sb_ages e.Store_buffer.line;
+        let e = Store_buffer.take_oldest_exn t.ch.Chassis.sb in
         let mask = e.Store_buffer.mask in
         let payload =
-          Msg.Data (Linedata.pack ~mask ~full:e.Store_buffer.values)
+          Msg.pooled_pack ~mask ~full:e.Store_buffer.values
         in
         Stats.bump t.ch.Chassis.stats t.k_wt_issued;
         Stats.bump_by t.ch.Chassis.stats t.k_wt_words (Mask.count mask);
@@ -99,6 +98,7 @@ let rec drain t =
           Policy.req_of_write (t.policy.Policy.classify_write ~line:e.Store_buffer.line)
         in
         request t ~txn ~kind ~line:e.Store_buffer.line ~mask ~payload ();
+        Store_buffer.release t.ch.Chassis.sb e;
         (* A freed entry may unblock a stalled store. *)
         Chassis.wake_stalled t.ch;
         drain t
@@ -107,9 +107,9 @@ let rec drain t =
 (* ----- loads ---------------------------------------------------------------- *)
 
 let install_line t ~line values =
-  (match Cache_frame.find t.frame ~line with
-  | Some l -> Array.blit values 0 l.data 0 Addr.words_per_line
-  | None -> (
+  (match Cache_frame.find_exn t.frame ~line with
+  | l -> Array.blit values 0 l.data 0 Addr.words_per_line
+  | exception Not_found -> (
     match
       Cache_frame.insert t.frame ~line
         { data = Array.copy values }
@@ -119,12 +119,14 @@ let install_line t ~line values =
     | Cache_frame.Evicted _ -> Stats.incr t.ch.Chassis.stats "evictions"
     | Cache_frame.No_room -> assert false));
   (* Stores buffered for this line must stay visible to local loads. *)
-  match (Store_buffer.find t.ch.Chassis.sb ~line, Cache_frame.find t.frame ~line)
-  with
-  | Some e, Some l ->
-    Mask.iter e.Store_buffer.mask ~f:(fun w ->
-        l.data.(w) <- e.Store_buffer.values.(w))
-  | _ -> ()
+  match Store_buffer.find t.ch.Chassis.sb ~line with
+  | None -> ()
+  | Some e -> (
+    match Cache_frame.find_exn t.frame ~line with
+    | l ->
+      Mask.iter e.Store_buffer.mask ~f:(fun w ->
+          l.data.(w) <- e.Store_buffer.values.(w))
+    | exception Not_found -> ())
 
 let complete_miss t ~txn (m : miss) (r : Tu.result) =
   free_txn t ~txn;
@@ -146,10 +148,9 @@ let handle_nacks t ~txn (m : miss) (r : Tu.result) =
       (Msg.make ~txn ~kind:(Msg.Rsp Msg.RspV)
          ~mask:(Mask.union r.Tu.data_mask r.Tu.acked)
          ~payload:
-           (Msg.Data
-              (Linedata.pack
-                 ~mask:(Mask.union r.Tu.data_mask r.Tu.acked)
-                 ~full:r.Tu.values))
+           (Msg.pooled_pack
+              ~mask:(Mask.union r.Tu.data_mask r.Tu.acked)
+              ~full:r.Tu.values)
          ~line:m.m_line ~src:t.cfg.id ~dst:t.cfg.id ())
   in
   if m.retries < t.cfg.max_reqv_retries then begin
@@ -187,32 +188,31 @@ let handle_nacks t ~txn (m : miss) (r : Tu.result) =
   end
 
 let rec load t (addr : Addr.t) ~k =
-  let done_ v =
-    Engine.apply_later t.ch.Chassis.engine ~delay:t.cfg.hit_latency k v
-  in
+  (* Hit paths go straight to the engine's closure-free Apply event. *)
   match Store_buffer.forward t.ch.Chassis.sb ~addr with
   | Some v ->
     Stats.bump t.ch.Chassis.stats t.ch.Chassis.k_load_sb_fwd;
-    done_ v
+    Engine.apply_later t.ch.Chassis.engine ~delay:t.cfg.hit_latency k v
   | None -> (
-    match Cache_frame.find t.frame ~line:addr.Addr.line with
-    | Some l ->
+    match Cache_frame.find_exn t.frame ~line:addr.Addr.line with
+    | l ->
       Stats.bump t.ch.Chassis.stats t.ch.Chassis.k_load_hit;
       Cache_frame.touch t.frame ~line:addr.Addr.line;
-      done_ l.data.(addr.Addr.word)
-    | None -> (
+      Engine.apply_later t.ch.Chassis.engine ~delay:t.cfg.hit_latency k
+        l.data.(addr.Addr.word)
+    | exception Not_found -> (
       Stats.bump t.ch.Chassis.stats t.ch.Chassis.k_load_miss;
       (* Coalesce with an outstanding miss of the current epoch. *)
       match
-        Mshr.find_first t.ch.Chassis.outstanding ~f:(function
+        Mshr.find_first_exn t.ch.Chassis.outstanding ~f:(function
           | Miss m -> m.m_line = addr.Addr.line && m.epoch = t.epoch
           | _ -> false)
       with
-      | Some (_, Miss m) ->
+      | Miss m ->
         Stats.incr t.ch.Chassis.stats "load_miss_coalesced";
         m.waiters <- (addr.Addr.word, k) :: m.waiters
-      | Some _ -> assert false
-      | None -> (
+      | _ -> assert false
+      | exception Not_found -> (
         let m =
           {
             m_line = addr.Addr.line;
@@ -238,14 +238,15 @@ let rec load t (addr : Addr.t) ~k =
 (* ----- stores and atomics --------------------------------------------------- *)
 
 let rec store t (addr : Addr.t) ~value ~k =
-  match Store_buffer.push t.ch.Chassis.sb ~addr ~value with
+  match
+    Store_buffer.push t.ch.Chassis.sb ~addr ~value
+      ~now:(Engine.now t.ch.Chassis.engine)
+  with
   | `Coalesced | `New ->
-    Hashtbl.replace t.ch.Chassis.sb_ages addr.Addr.line
-      (Engine.now t.ch.Chassis.engine);
     (* Keep a valid cached copy coherent with the local write. *)
-    (match Cache_frame.find t.frame ~line:addr.Addr.line with
-    | Some l -> l.data.(addr.Addr.word) <- value
-    | None -> ());
+    (match Cache_frame.find_exn t.frame ~line:addr.Addr.line with
+    | l -> l.data.(addr.Addr.word) <- value
+    | exception Not_found -> ());
     Stats.bump t.ch.Chassis.stats t.ch.Chassis.k_stores;
     Chassis.arm_drain t.ch ~delay:1;
     Engine.schedule t.ch.Chassis.engine ~delay:t.cfg.hit_latency k
@@ -300,23 +301,23 @@ let release t ~k = Chassis.release t.ch ~k
 let handle t (msg : Msg.t) =
   match msg.Msg.kind with
   | Msg.Rsp _ -> (
-    match Mshr.find t.ch.Chassis.outstanding ~txn:msg.Msg.txn with
-    | None -> Stats.incr t.ch.Chassis.stats "orphan_rsp"
-    | Some (Wt _) ->
+    match Mshr.find_exn t.ch.Chassis.outstanding ~txn:msg.Msg.txn with
+    | exception Not_found -> Stats.incr t.ch.Chassis.stats "orphan_rsp"
+    | Wt _ ->
       (match msg.Msg.kind with
       | Msg.Rsp Msg.RspWT | Msg.Rsp Msg.RspO -> ()
       | _ -> failwith "Gpu_l1: unexpected write-through response");
       free_txn t ~txn:msg.Msg.txn;
       Chassis.check_release t.ch;
       drain t
-    | Some (Atomic a) -> (
+    | Atomic a -> (
       match (msg.Msg.kind, msg.Msg.payload) with
-      | Msg.Rsp Msg.RspWTdata, Msg.Data values ->
+      | Msg.Rsp Msg.RspWTdata, (Msg.Data values | Msg.Data_pooled values) ->
         free_txn t ~txn:msg.Msg.txn;
         a.a_k values.(0);
         drain t
       | _ -> failwith "Gpu_l1: unexpected atomic response")
-    | Some (Miss m) -> (
+    | Miss m -> (
       match Tu.absorb m.collector msg with
       | None -> ()
       | Some r ->

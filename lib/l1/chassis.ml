@@ -21,7 +21,6 @@ type 'o t = {
   sb_capacity : int;
   outstanding : 'o Mshr.t;
   sb : Store_buffer.t;
-  sb_ages : (int, int) Hashtbl.t;
   stats : Stats.t;
   k_load_hit : Stats.key;
   k_load_miss : Stats.key;
@@ -69,7 +68,6 @@ let create engine net ~id ~home_id ~home_banks ~hit_latency ~coalesce_window
       sb_capacity;
       outstanding = Mshr.create ~capacity:mshrs;
       sb = Store_buffer.create ~capacity:sb_capacity;
-      sb_ages = Hashtbl.create 64;
       stats;
       k_load_hit = Stats.key stats "load_hit";
       k_load_miss = Stats.key stats "load_miss";
@@ -187,17 +185,14 @@ let reply t (msg : Msg.t) ~kind ~dst ~mask ?payload () =
 let reply_data t msg ~kind ~dst ~mask ~values =
   if not (Mask.is_empty mask) then
     reply t msg ~kind ~dst ~mask
-      ~payload:(Msg.Data (Linedata.pack ~mask ~full:values))
+      ~payload:(Msg.pooled_pack ~mask ~full:values)
       ()
 
 let entry_ready ?(forced = false) t line =
   if t.flushing || forced || Store_buffer.count t.sb * 2 >= t.sb_capacity then
     true
   else
-    let age =
-      Engine.now t.engine
-      - Option.value ~default:0 (Hashtbl.find_opt t.sb_ages line)
-    in
+    let age = Engine.now t.engine - Store_buffer.age t.sb ~line in
     age >= t.coalesce_window
 
 let check_release t =

@@ -34,7 +34,6 @@ type 'o t = {
   sb_capacity : int;
   outstanding : 'o Mshr.t;
   sb : Store_buffer.t;
-  sb_ages : (int, int) Hashtbl.t;  (** line -> last store cycle. *)
   stats : Stats.t;
   (* Interned counters for the per-op fast paths common to all L1s. *)
   k_load_hit : Stats.key;

@@ -27,16 +27,19 @@ let set_of t line = line mod t.sets
 let members t set = Option.value ~default:[] (Hashtbl.find_opt t.set_members set)
 
 let find t ~line =
-  match Hashtbl.find_opt t.table line with
-  | Some e -> Some e.meta
-  | None -> None
+  match Hashtbl.find t.table line with
+  | e -> Some e.meta
+  | exception Not_found -> None
+
+let find_exn t ~line = (Hashtbl.find t.table line).meta
+let mem t ~line = Hashtbl.mem t.table line
 
 let touch t ~line =
-  match Hashtbl.find_opt t.table line with
-  | Some e ->
+  match Hashtbl.find t.table line with
+  | e ->
     t.tick <- t.tick + 1;
     e.last_use <- t.tick
-  | None -> ()
+  | exception Not_found -> ()
 
 let remove t ~line =
   match Hashtbl.find_opt t.table line with

@@ -15,6 +15,12 @@ val size_lines : bytes:int -> ways:int -> int * int
 val find : 'a t -> line:int -> 'a option
 (** Lookup without touching LRU state. *)
 
+val find_exn : 'a t -> line:int -> 'a
+(** Allocation-free {!find}; raises [Not_found] when absent.  For hot
+    paths — pair with a [match ... with exception Not_found] handler. *)
+
+val mem : 'a t -> line:int -> bool
+
 val touch : 'a t -> line:int -> unit
 (** Mark [line] most recently used. *)
 

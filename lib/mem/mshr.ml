@@ -1,32 +1,90 @@
-type 'a t = { capacity : int; entries : (int, 'a) Hashtbl.t }
+(* Flat slot arrays instead of a Hashtbl: MSHRs are small (tens of
+   entries), so linear scans beat hashing, and alloc/free touch no heap —
+   no bucket cells, no resize.  [txns.(i) = -1] marks a free slot; [vals]
+   is created lazily on the first alloc because ['a] has no default. *)
+type 'a t = {
+  capacity : int;
+  txns : int array;
+  mutable vals : 'a array;
+  mutable len : int;
+  mutable hi : int;  (* scan bound: every slot at index >= hi is free *)
+}
 
 let create ~capacity =
   assert (capacity > 0);
-  { capacity; entries = Hashtbl.create capacity }
+  { capacity; txns = Array.make capacity (-1); vals = [||]; len = 0; hi = 0 }
 
-let is_full t = Hashtbl.length t.entries >= t.capacity
-let count t = Hashtbl.length t.entries
+let is_full t = t.len >= t.capacity
+let count t = t.len
 let capacity t = t.capacity
 
 let alloc t v =
   if is_full t then None
   else begin
+    if Array.length t.vals = 0 then t.vals <- Array.make t.capacity v;
+    let i = ref 0 in
+    while t.txns.(!i) >= 0 do
+      incr i
+    done;
     let txn = Spandex_proto.Txn.fresh () in
-    Hashtbl.add t.entries txn v;
+    t.txns.(!i) <- txn;
+    t.vals.(!i) <- v;
+    if !i >= t.hi then t.hi <- !i + 1;
+    t.len <- t.len + 1;
     Some txn
   end
 
-let find t ~txn = Hashtbl.find_opt t.entries txn
-let free t ~txn = Hashtbl.remove t.entries txn
+let find_exn t ~txn =
+  let n = t.hi in
+  let rec go i =
+    if i >= n then raise Not_found
+    else if t.txns.(i) = txn then t.vals.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let find t ~txn =
+  match find_exn t ~txn with v -> Some v | exception Not_found -> None
+
+let free t ~txn =
+  for i = 0 to t.hi - 1 do
+    if t.txns.(i) = txn then begin
+      t.txns.(i) <- -1;
+      (* [vals.(i)] keeps its last record alive until the slot is reused;
+         the table is bounded so this pins at most [capacity] records. *)
+      t.len <- t.len - 1
+    end
+  done;
+  while t.hi > 0 && t.txns.(t.hi - 1) < 0 do
+    t.hi <- t.hi - 1
+  done
 
 let find_first t ~f =
-  Hashtbl.fold
-    (fun txn v best ->
-      if not (f v) then best
-      else
-        match best with
-        | Some (btxn, _) when btxn <= txn -> best
-        | _ -> Some (txn, v))
-    t.entries None
+  let besti = ref (-1) in
+  for i = 0 to t.hi - 1 do
+    let txn = t.txns.(i) in
+    if txn >= 0 && (!besti < 0 || txn < t.txns.(!besti)) && f t.vals.(i) then
+      besti := i
+  done;
+  if !besti < 0 then None else Some (t.txns.(!besti), t.vals.(!besti))
 
-let iter t ~f = Hashtbl.iter (fun txn v -> f ~txn v) t.entries
+let find_first_exn t ~f =
+  let besti = ref (-1) in
+  for i = 0 to t.hi - 1 do
+    let txn = t.txns.(i) in
+    if txn >= 0 && (!besti < 0 || txn < t.txns.(!besti)) && f t.vals.(i) then
+      besti := i
+  done;
+  if !besti < 0 then raise Not_found else t.vals.(!besti)
+
+let exists t ~f =
+  let n = t.hi in
+  let rec go i =
+    i < n && ((t.txns.(i) >= 0 && f t.vals.(i)) || go (i + 1))
+  in
+  go 0
+
+let iter t ~f =
+  for i = 0 to t.hi - 1 do
+    if t.txns.(i) >= 0 then f ~txn:t.txns.(i) t.vals.(i)
+  done

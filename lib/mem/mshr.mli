@@ -12,6 +12,11 @@ val alloc : 'a t -> 'a -> int option
 (** Allocate an entry under a fresh transaction id, or [None] if full. *)
 
 val find : 'a t -> txn:int -> 'a option
+
+val find_exn : 'a t -> txn:int -> 'a
+(** Allocation-free {!find}; raises [Not_found] when absent.  For hot
+    paths — pair with a [match ... with exception Not_found] handler. *)
+
 val free : 'a t -> txn:int -> unit
 val is_full : 'a t -> bool
 val count : 'a t -> int
@@ -20,5 +25,13 @@ val capacity : 'a t -> int
 val find_first : 'a t -> f:('a -> bool) -> (int * 'a) option
 (** Entry with the smallest transaction id satisfying [f] — i.e. the oldest
     matching miss. *)
+
+val find_first_exn : 'a t -> f:('a -> bool) -> 'a
+(** Allocation-free {!find_first} when the txn id is not needed; raises
+    [Not_found] when no entry matches. *)
+
+val exists : 'a t -> f:('a -> bool) -> bool
+(** Allocation-free [find_first ... <> None].  Unlike {!find_first} the
+    scan may stop at the first match in slot order, so [f] must be pure. *)
 
 val iter : 'a t -> f:(txn:int -> 'a -> unit) -> unit

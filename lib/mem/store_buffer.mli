@@ -7,9 +7,12 @@
     (write-through vs. ownership). *)
 
 type entry = {
-  line : int;
+  mutable line : int;
   mutable mask : Spandex_util.Mask.t;
   values : int array;  (** full line array; only masked words are live. *)
+  mutable age : int;
+      (** cycle of the most recent store to the line (the coalescing-window
+          clock the drain logic compares against). *)
 }
 
 type t
@@ -17,9 +20,15 @@ type t
 val create : capacity:int -> t
 (** [capacity] is the maximum number of line entries. *)
 
-val push : t -> addr:Spandex_proto.Addr.t -> value:int -> [ `Coalesced | `New | `Full ]
-(** Add a store.  [`Full] means no entry exists for the line and the buffer
-    is at capacity; the core must stall and retry after a drain. *)
+val push :
+  t ->
+  addr:Spandex_proto.Addr.t ->
+  value:int ->
+  now:int ->
+  [ `Coalesced | `New | `Full ]
+(** Add a store at cycle [now] (recorded as the entry's [age]).  [`Full]
+    means no entry exists for the line and the buffer is at capacity; the
+    core must stall and retry after a drain. *)
 
 val is_empty : t -> bool
 val count : t -> int
@@ -27,11 +36,29 @@ val count : t -> int
 val take_oldest : t -> entry option
 (** Remove and return the oldest entry (FIFO order of line allocation). *)
 
+val take_oldest_exn : t -> entry
+(** Allocation-free {!take_oldest}; raises [Not_found] when empty. *)
+
 val peek_oldest : t -> entry option
 (** The oldest entry without removing it. *)
 
+val peek_oldest_exn : t -> entry
+(** Allocation-free {!peek_oldest}; raises [Not_found] when empty. *)
+
+val release : t -> entry -> unit
+(** Return an entry obtained from {!take_oldest} to the internal free list
+    once the caller is completely done with it; a later push may reuse the
+    record and its values array. *)
+
 val find : t -> line:int -> entry option
 (** Entry for [line] if buffered; used for store-to-load forwarding. *)
+
+val mem : t -> line:int -> bool
+(** Allocation-free presence test. *)
+
+val age : t -> line:int -> int
+(** Cycle of the last store to [line]; 0 when the line is not buffered.
+    Allocation-free. *)
 
 val forward : t -> addr:Spandex_proto.Addr.t -> int option
 (** Value a load of [addr] must observe from the buffer, if any. *)

@@ -75,7 +75,7 @@ let respond t (req : Msg.t) ~kind ?payload () =
   send t msg
 
 let respond_data t req meta ~kind =
-  respond t req ~kind ~payload:(Msg.Data (Array.copy meta.data)) ()
+  respond t req ~kind ~payload:(Msg.pooled_copy meta.data) ()
 
 let forward t (req : Msg.t) ~kind ~dst =
   send t
@@ -90,7 +90,7 @@ let probe t ~kind ~dst ~line =
 
 let payload_values (msg : Msg.t) =
   match msg.Msg.payload with
-  | Msg.Data v -> v
+  | Msg.Data v | Msg.Data_pooled v -> v
   | Msg.No_data -> invalid_arg "Mesi_dir: request missing data payload"
 
 let rec handle t (msg : Msg.t) =
@@ -101,8 +101,8 @@ let rec handle t (msg : Msg.t) =
 
 and handle_req t (msg : Msg.t) kind =
   Stats.bump t.stats t.req_keys.(Msg.req_kind_index kind);
-  match Cache_frame.find t.frame ~line:msg.Msg.line with
-  | None ->
+  match Cache_frame.find_exn t.frame ~line:msg.Msg.line with
+  | exception Not_found ->
     if kind = Msg.ReqWB then begin
       Stats.incr t.stats "wb_stale";
       respond t msg ~kind:Msg.RspWB ()
@@ -111,7 +111,7 @@ and handle_req t (msg : Msg.t) kind =
       Stats.incr t.stats "miss";
       allocate_and_fetch t msg
     end
-  | Some meta -> (
+  | meta -> (
     Cache_frame.touch t.frame ~line:msg.Msg.line;
     match meta.pending with
     | Some (Awaiting a) when kind = Msg.ReqWB && a.from = msg.Msg.src && not a.satisfied
@@ -125,6 +125,7 @@ and handle_req t (msg : Msg.t) kind =
       a.resume ()
     | Some _ ->
       Stats.incr t.stats "blocked";
+      Msg.keep msg;
       meta.blocked <- meta.blocked @ [ msg ]
     | None -> dispatch t meta msg kind)
 
@@ -138,12 +139,21 @@ and dispatch t meta (msg : Msg.t) kind =
     meta.dstate <- D_M msg.Msg.requestor;
     respond_data t msg meta ~kind:Msg.RspOdata
   | Msg.ReqS, D_S sharers ->
-    meta.dstate <- D_S (msg.Msg.requestor :: List.filter (fun d -> d <> msg.Msg.requestor) sharers);
+    (* A requesting sharer is rare (it would have hit locally); skip the
+       filter copy unless it is actually present. *)
+    let others =
+      if List.memq msg.Msg.requestor sharers then
+        List.filter (fun d -> d <> msg.Msg.requestor) sharers
+      else sharers
+    in
+    meta.dstate <- D_S (msg.Msg.requestor :: others);
     respond_data t msg meta ~kind:Msg.RspS
   | Msg.ReqS, D_M owner ->
     (* Blocking: downgrade the owner, who sends data to the requestor and a
        write-back copy here. *)
     Stats.incr t.stats "fwd_gets";
+    (* The resume closure captures [msg]. *)
+    Msg.keep msg;
     meta.pending <-
       Some
         (Awaiting
@@ -162,7 +172,11 @@ and dispatch t meta (msg : Msg.t) kind =
     meta.dstate <- D_M msg.Msg.requestor;
     respond_data t msg meta ~kind:Msg.RspOdata
   | Msg.ReqOdata, D_S sharers ->
-    let targets = List.filter (fun d -> d <> msg.Msg.requestor) sharers in
+    let targets =
+      if List.memq msg.Msg.requestor sharers then
+        List.filter (fun d -> d <> msg.Msg.requestor) sharers
+      else sharers
+    in
     let grant () =
       meta.dstate <- D_M msg.Msg.requestor;
       respond_data t msg meta ~kind:Msg.RspOdata
@@ -170,6 +184,7 @@ and dispatch t meta (msg : Msg.t) kind =
     if targets = [] then grant ()
     else begin
       Stats.incr t.stats "inv_bursts";
+      Msg.keep msg;
       meta.pending <-
         Some
           (Collecting_acks
@@ -193,6 +208,7 @@ and dispatch t meta (msg : Msg.t) kind =
     (* Blocking transfer: the old owner supplies data to the requestor and
        confirms to the directory. *)
     Stats.incr t.stats "fwd_getm";
+    Msg.keep msg;
     meta.pending <-
       Some
         (Awaiting
@@ -226,9 +242,9 @@ and apply_wb t meta (msg : Msg.t) =
   | D_M _ | D_V | D_S _ -> Stats.incr t.stats "wb_stale"
 
 and handle_rsp t (msg : Msg.t) kind =
-  match Cache_frame.find t.frame ~line:msg.Msg.line with
-  | None -> Stats.incr t.stats "rsp_orphan"
-  | Some meta -> (
+  match Cache_frame.find_exn t.frame ~line:msg.Msg.line with
+  | exception Not_found -> Stats.incr t.stats "rsp_orphan"
+  | meta -> (
     match (kind, meta.pending) with
     | Msg.Ack, Some (Collecting_acks c) ->
       c.acks_left <- c.acks_left - 1;
@@ -241,7 +257,7 @@ and handle_rsp t (msg : Msg.t) kind =
       else begin
         (if a.expect_data then
            match msg.Msg.payload with
-           | Msg.Data values ->
+           | Msg.Data values | Msg.Data_pooled values ->
              Linedata.unpack_into ~mask:msg.Msg.mask ~values ~full:meta.data;
              meta.dirty <- true
            | Msg.No_data ->
@@ -255,9 +271,9 @@ and handle_rsp t (msg : Msg.t) kind =
     | _ -> failwith "Mesi_dir: unexpected response kind")
 
 and after_pending t line =
-  match Cache_frame.find t.frame ~line with
-  | None -> ()
-  | Some meta ->
+  match Cache_frame.find_exn t.frame ~line with
+  | exception Not_found -> ()
+  | meta ->
     if meta.pending = None then begin
       match meta.blocked with
       | [] -> ()
@@ -283,6 +299,7 @@ and allocate_and_fetch t (msg : Msg.t) =
   in
   let start_fetch () =
     meta.pending <- Some Fetching;
+    Msg.keep msg;
     meta.blocked <- [ msg ];
     Dram.read_line t.dram ~line ~k:(fun values ->
         Array.blit values 0 meta.data 0 Addr.words_per_line;
@@ -301,9 +318,11 @@ and allocate_and_fetch t (msg : Msg.t) =
     match find_recall_victim t line with
     | Some (vline, vmeta) ->
       Stats.incr t.stats "evict_recall";
+      Msg.keep msg;
       recall t vline vmeta ~k:(fun () -> handle t msg)
     | None ->
       Stats.incr t.stats "alloc_stall";
+      Msg.keep msg;
       Engine.schedule t.engine ~delay:8 (fun () -> handle t msg)
   end
 

@@ -107,16 +107,16 @@ let send_wb t ~line ~values =
   Hashtbl.replace t.wb_records txn { b_line = line; b_values = values };
   Stats.bump t.ch.Chassis.stats t.k_wb_issued;
   request t ~txn ~kind:Msg.ReqWB ~line ~mask:Addr.full_mask
-    ~payload:(Msg.Data (Array.copy values))
+    ~payload:(Msg.pooled_copy values)
     ()
 
 let install t ~line_id ~values ~mstate =
-  match Cache_frame.find t.frame ~line:line_id with
-  | Some l ->
+  match Cache_frame.find_exn t.frame ~line:line_id with
+  | l ->
     Array.blit values 0 l.data 0 Addr.words_per_line;
     l.mstate <- mstate;
     l
-  | None -> (
+  | exception Not_found -> (
     let fresh = { data = Array.copy values; mstate } in
     match
       Cache_frame.insert t.frame ~line:line_id fresh ~can_evict:(fun ~line:_ _ ->
@@ -137,23 +137,26 @@ let entry_ready t line =
   Chassis.entry_ready ~forced:(Hashtbl.mem t.forced_lines line) t.ch line
 
 let write_pending_for t line =
+  if Mshr.count t.ch.Chassis.outstanding = 0 then None
+  else
   match
-    Mshr.find_first t.ch.Chassis.outstanding ~f:(function
+    Mshr.find_first_exn t.ch.Chassis.outstanding ~f:(function
       | Write w -> w.m_line = line
       | Read _ -> false)
   with
-  | Some (_, Write w) -> Some w
+  | Write w -> Some w
   | _ -> None
+  | exception Not_found -> None
 
 (* A pending ReqS may be granted Exclusive (option 3), making this cache
    the registered owner; issuing a ReqO+data for the same line while it is
    in flight would be answered with a data-less self-grant.  Writes and
    RMWs therefore wait for reads to the same line. *)
 let read_pending t line =
-  Mshr.find_first t.ch.Chassis.outstanding ~f:(function
-    | Read m -> m.r_line = line
-    | Write _ -> false)
-  <> None
+  Mshr.count t.ch.Chassis.outstanding > 0
+  && Mshr.exists t.ch.Chassis.outstanding ~f:(function
+       | Read m -> m.r_line = line
+       | Write _ -> false)
 
 let writes_pending t =
   let n = ref 0 in
@@ -163,9 +166,9 @@ let writes_pending t =
   !n
 
 let rec drain t =
-  match Store_buffer.peek_oldest t.ch.Chassis.sb with
-  | None -> Chassis.check_release t.ch
-  | Some e ->
+  match Store_buffer.peek_oldest_exn t.ch.Chassis.sb with
+  | exception Not_found -> Chassis.check_release t.ch
+  | e ->
     let line_id = e.Store_buffer.line in
     if not (entry_ready t line_id) then
       Chassis.arm_drain t.ch ~delay:(max 1 t.cfg.coalesce_window)
@@ -174,23 +177,24 @@ let rec drain t =
          a response arrives. *)
       ()
     else begin
-      match Cache_frame.find t.frame ~line:line_id with
-      | Some l when l.mstate = State.M_M || l.mstate = State.M_E ->
-        let e = Option.get (Store_buffer.take_oldest t.ch.Chassis.sb) in
-        Hashtbl.remove t.ch.Chassis.sb_ages line_id;
+      match Cache_frame.find_exn t.frame ~line:line_id with
+      | l when l.mstate = State.M_M || l.mstate = State.M_E ->
+        let e = Store_buffer.take_oldest_exn t.ch.Chassis.sb in
         Hashtbl.remove t.forced_lines line_id;
         l.mstate <- State.M_M;
-        Mask.iter e.Store_buffer.mask ~f:(fun w ->
-            l.data.(w) <- e.Store_buffer.values.(w));
+        for w = 0 to Addr.words_per_line - 1 do
+          if Mask.mem e.Store_buffer.mask w then
+            l.data.(w) <- e.Store_buffer.values.(w)
+        done;
         Stats.bump t.ch.Chassis.stats t.k_store_commit_owned;
+        Store_buffer.release t.ch.Chassis.sb e;
         (* A freed entry may unblock a stalled store on either drain path. *)
         Chassis.wake_stalled t.ch;
         drain t
-      | _ ->
+      | _ | (exception Not_found) ->
         if Mshr.is_full t.ch.Chassis.outstanding then ()
         else begin
-          let e = Option.get (Store_buffer.take_oldest t.ch.Chassis.sb) in
-          Hashtbl.remove t.ch.Chassis.sb_ages line_id;
+          let e = Store_buffer.take_oldest_exn t.ch.Chassis.sb in
           Hashtbl.remove t.forced_lines line_id;
           let w =
             {
@@ -212,6 +216,7 @@ let rec drain t =
             in
             request t ~txn ~kind ~line:line_id ~mask:Addr.full_mask ()
           | None -> assert false);
+          Store_buffer.release t.ch.Chassis.sb e;
           Chassis.wake_stalled t.ch;
           drain t
         end
@@ -220,42 +225,42 @@ let rec drain t =
 (* ----- loads ---------------------------------------------------------------- *)
 
 let rec load t (addr : Addr.t) ~k =
-  let done_ v =
-    Engine.apply_later t.ch.Chassis.engine ~delay:t.cfg.hit_latency k v
-  in
+  (* Hit paths go straight to the engine's closure-free Apply event. *)
   let { Addr.line; word } = addr in
   match Store_buffer.forward t.ch.Chassis.sb ~addr with
   | Some v ->
     Stats.bump t.ch.Chassis.stats t.ch.Chassis.k_load_sb_fwd;
-    done_ v
+    Engine.apply_later t.ch.Chassis.engine ~delay:t.cfg.hit_latency k v
   | None -> (
     (* A drained but un-granted store also forwards; any other load beside
        a pending write to the same line waits for the write's grant. *)
     match write_pending_for t line with
     | Some { m_store = Some (mask, values); _ } when Mask.mem mask word ->
       Stats.bump t.ch.Chassis.stats t.ch.Chassis.k_load_sb_fwd;
-      done_ values.(word)
+      Engine.apply_later t.ch.Chassis.engine ~delay:t.cfg.hit_latency k
+        values.(word)
     | Some w ->
       Stats.incr t.ch.Chassis.stats "load_waits_write";
       w.m_loads <- (word, k) :: w.m_loads
     | None -> (
-      match Cache_frame.find t.frame ~line with
-      | Some l when l.mstate <> State.M_I ->
+      match Cache_frame.find_exn t.frame ~line with
+      | l when l.mstate <> State.M_I ->
         Stats.bump t.ch.Chassis.stats t.ch.Chassis.k_load_hit;
         Cache_frame.touch t.frame ~line;
-        done_ l.data.(word)
-      | _ -> (
+        Engine.apply_later t.ch.Chassis.engine ~delay:t.cfg.hit_latency k
+          l.data.(word)
+      | _ | (exception Not_found) -> (
         Stats.bump t.ch.Chassis.stats t.ch.Chassis.k_load_miss;
         match
-          Mshr.find_first t.ch.Chassis.outstanding ~f:(function
+          Mshr.find_first_exn t.ch.Chassis.outstanding ~f:(function
             | Read m -> m.r_line = line
             | _ -> false)
         with
-        | Some (_, Read m) ->
+        | Read m ->
           Stats.incr t.ch.Chassis.stats "load_miss_coalesced";
           m.r_waiters <- (word, k) :: m.r_waiters
-        | Some _ -> assert false
-        | None -> (
+        | _ -> assert false
+        | exception Not_found -> (
           let m =
             {
               r_line = line;
@@ -283,11 +288,12 @@ let rec load t (addr : Addr.t) ~k =
 (* ----- stores and RMWs ------------------------------------------------------- *)
 
 let rec store t (addr : Addr.t) ~value ~k =
-  match Store_buffer.push t.ch.Chassis.sb ~addr ~value with
+  match
+    Store_buffer.push t.ch.Chassis.sb ~addr ~value
+      ~now:(Engine.now t.ch.Chassis.engine)
+  with
   | `Coalesced | `New ->
     Stats.bump t.ch.Chassis.stats t.ch.Chassis.k_stores;
-    Hashtbl.replace t.ch.Chassis.sb_ages addr.Addr.line
-      (Engine.now t.ch.Chassis.engine);
     Chassis.arm_drain t.ch ~delay:1;
     Engine.schedule t.ch.Chassis.engine ~delay:t.cfg.hit_latency k
   | `Full -> Chassis.stall_store t.ch (fun () -> store t addr ~value ~k)
@@ -296,7 +302,7 @@ let rec rmw t (addr : Addr.t) amo ~k =
   let { Addr.line; word } = addr in
   (* Program order: buffered stores to this line must commit first. *)
   if
-    Store_buffer.find t.ch.Chassis.sb ~line <> None
+    Store_buffer.mem t.ch.Chassis.sb ~line
     || write_pending_for t line <> None
     || read_pending t line
   then begin
@@ -305,14 +311,14 @@ let rec rmw t (addr : Addr.t) amo ~k =
     Engine.schedule t.ch.Chassis.engine ~delay:2 (fun () -> rmw t addr amo ~k)
   end
   else
-    match Cache_frame.find t.frame ~line with
-    | Some l when l.mstate = State.M_M || l.mstate = State.M_E ->
+    match Cache_frame.find_exn t.frame ~line with
+    | l when l.mstate = State.M_M || l.mstate = State.M_E ->
       Stats.bump t.ch.Chassis.stats t.k_rmw_hit;
       l.mstate <- State.M_M;
       let next, old = Amo.apply amo l.data.(word) in
       l.data.(word) <- next;
       Engine.apply_later t.ch.Chassis.engine ~delay:t.cfg.hit_latency k old
-    | _ -> (
+    | _ | (exception Not_found) -> (
       Stats.bump t.ch.Chassis.stats t.k_rmw_miss;
       let w =
         {
@@ -338,55 +344,60 @@ let rec rmw t (addr : Addr.t) amo ~k =
 (* ----- external requests (TU behaviours, §III-D) ------------------------------ *)
 
 let wb_record_for t line =
+  if Hashtbl.length t.wb_records = 0 then None
+  else
   Hashtbl.fold
     (fun _ (b : wb_req) acc ->
       if b.b_line = line then Some b else acc)
     t.wb_records None
 
 let read_pending_for t line =
+  if Mshr.count t.ch.Chassis.outstanding = 0 then None
+  else
   match
-    Mshr.find_first t.ch.Chassis.outstanding ~f:(function
+    Mshr.find_first_exn t.ch.Chassis.outstanding ~f:(function
       | Read m -> m.r_line = line
       | Write _ -> false)
   with
-  | Some (_, Read m) -> Some m
+  | Read m -> Some m
   | _ -> None
+  | exception Not_found -> None
 
 (* Downgrade the owned line for an external request covering [msg.mask];
    words of the line outside the request are written back (Fig. 1d). *)
 let rec external_req t (msg : Msg.t) =
   let line_id = msg.Msg.line in
-  let owned_line =
-    match Cache_frame.find t.frame ~line:line_id with
-    | Some l when l.mstate = State.M_M || l.mstate = State.M_E -> Some l
-    | _ -> None
-  in
   (* Order matters: while a write-back record is alive, any forwarded
      request for its words was serialized before the write-back at the LLC
      (point-to-point FIFO), i.e. it targets the OLD ownership epoch and
      must be served from the retained data — never queued behind a newer
      pending write for the same line (that would deadlock the chain). *)
-  match (owned_line, wb_record_for t line_id, write_pending_for t line_id) with
-  | Some l, _, _ -> serve_owned t msg l
-  | None, Some b, _ -> serve_from_wb t msg b
-  | None, None, Some w -> serve_mid_write t msg w
-  | None, None, None -> (
-    match read_pending_for t line_id with
-    | Some m -> serve_mid_read t msg m
+  match Cache_frame.find_exn t.frame ~line:line_id with
+  | l when l.mstate = State.M_M || l.mstate = State.M_E -> serve_owned t msg l
+  | _ | (exception Not_found) -> (
+    match wb_record_for t line_id with
+    | Some b -> serve_from_wb t msg b
     | None -> (
-      match msg.Msg.kind with
-      | Msg.Req Msg.ReqV ->
-        if not (Mask.is_empty msg.Msg.demand) then begin
-          Stats.incr t.ch.Chassis.stats "nack_sent";
-          reply t msg ~kind:Msg.Nack ~dst:msg.Msg.requestor ~mask:msg.Msg.demand
-            ()
-        end
-      | Msg.Req Msg.ReqO ->
-        reply t msg ~kind:Msg.RspO ~dst:msg.Msg.requestor ~mask:msg.Msg.mask ()
-      | _ ->
-        failwith
-          (Format.asprintf "Mesi_l1 %d: external for line not held: %a"
-             t.cfg.id Msg.pp msg)))
+      match write_pending_for t line_id with
+      | Some w -> serve_mid_write t msg w
+      | None -> (
+        match read_pending_for t line_id with
+        | Some m -> serve_mid_read t msg m
+        | None -> (
+          match msg.Msg.kind with
+          | Msg.Req Msg.ReqV ->
+            if not (Mask.is_empty msg.Msg.demand) then begin
+              Stats.incr t.ch.Chassis.stats "nack_sent";
+              reply t msg ~kind:Msg.Nack ~dst:msg.Msg.requestor
+                ~mask:msg.Msg.demand ()
+            end
+          | Msg.Req Msg.ReqO ->
+            reply t msg ~kind:Msg.RspO ~dst:msg.Msg.requestor
+              ~mask:msg.Msg.mask ()
+          | _ ->
+            failwith
+              (Format.asprintf "Mesi_l1 %d: external for line not held: %a"
+                 t.cfg.id Msg.pp msg)))))
 
 and serve_owned t (msg : Msg.t) l =
   let line_id = msg.Msg.line in
@@ -436,7 +447,7 @@ and send_wb_words t ~line ~mask ~values =
   Hashtbl.replace t.wb_records txn { b_line = line; b_values = Array.copy values };
   Stats.bump t.ch.Chassis.stats t.k_wb_issued;
   request t ~txn ~kind:Msg.ReqWB ~line ~mask
-    ~payload:(Msg.Data (Linedata.pack ~mask ~full:values))
+    ~payload:(Msg.pooled_pack ~mask ~full:values)
     ()
 
 (* §III-C case 1: a pending ReqO+data is a transition *to* the expected
@@ -450,6 +461,7 @@ and serve_mid_write t (msg : Msg.t) (w : write_miss) =
     reply t msg ~kind:Msg.RspO ~dst:msg.Msg.requestor ~mask:msg.Msg.mask ()
   | Msg.Req (Msg.ReqV | Msg.ReqS | Msg.ReqOdata) | Msg.Probe Msg.RvkO ->
     Stats.incr t.ch.Chassis.stats "ext_delayed";
+    Msg.keep msg;
     w.m_queued <- w.m_queued @ [ msg ]
   | _ -> assert false
 
@@ -463,6 +475,7 @@ and serve_mid_read t (msg : Msg.t) (m : read_miss) =
     reply t msg ~kind:Msg.RspO ~dst:msg.Msg.requestor ~mask:msg.Msg.mask ()
   | Msg.Req (Msg.ReqV | Msg.ReqS | Msg.ReqOdata) | Msg.Probe Msg.RvkO ->
     Stats.incr t.ch.Chassis.stats "ext_delayed";
+    Msg.keep msg;
     m.r_queued <- m.r_queued @ [ msg ]
   | _ -> assert false
 
@@ -562,11 +575,11 @@ let release t ~k = Chassis.release t.ch ~k
 let handle t (msg : Msg.t) =
   match msg.Msg.kind with
   | Msg.Probe Msg.Inv ->
-    (match Cache_frame.find t.frame ~line:msg.Msg.line with
-    | Some l when l.mstate = State.M_S ->
+    (match Cache_frame.find_exn t.frame ~line:msg.Msg.line with
+    | l when l.mstate = State.M_S ->
       Stats.incr t.ch.Chassis.stats "invalidated";
       Cache_frame.remove t.frame ~line:msg.Msg.line
-    | _ -> Stats.incr t.ch.Chassis.stats "inv_stale");
+    | _ | (exception Not_found) -> Stats.incr t.ch.Chassis.stats "inv_stale");
     (* The Inv may overtake a remote owner's direct RspS to our pending
        read: the Shared copy being assembled is already stale. *)
     (match read_pending_for t msg.Msg.line with
@@ -584,9 +597,9 @@ let handle t (msg : Msg.t) =
     Chassis.retire t.ch ~txn:msg.Msg.txn;
     drain t
   | Msg.Rsp _ -> (
-    match Mshr.find t.ch.Chassis.outstanding ~txn:msg.Msg.txn with
-    | None -> Stats.incr t.ch.Chassis.stats "orphan_rsp"
-    | Some (Read m) -> (
+    match Mshr.find_exn t.ch.Chassis.outstanding ~txn:msg.Msg.txn with
+    | exception Not_found -> Stats.incr t.ch.Chassis.stats "orphan_rsp"
+    | Read m -> (
       (match msg.Msg.kind with
       | Msg.Rsp (Msg.RspOdata | Msg.RspO) -> m.r_excl <- true
       | Msg.Rsp Msg.RspV -> m.r_valid_only <- true
@@ -596,7 +609,7 @@ let handle t (msg : Msg.t) =
       | Some r ->
         assert (Mask.is_empty r.Tu.nacked);
         complete_read t ~txn:msg.Msg.txn m r)
-    | Some (Write w) -> (
+    | Write w -> (
       match Tu.absorb w.m_collector msg with
       | None -> ()
       | Some r ->

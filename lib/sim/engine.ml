@@ -9,19 +9,40 @@ type endpoint = {
 }
 
 (* The dominant event kinds are represented as data instead of nested
-   closures: [Deliver] models the message reaching the destination's
-   ingress after the wire latency, [Handle] the ingress granting it (one
-   message per cycle) and invoking the handler, [Egress] a component
-   handing a message to the network after its internal access latency
-   (dispatched through the callback {!set_egress} installs), and [Apply]
-   a completion continuation fired with its result value (load/RMW hits).
-   [Thunk] is the fallback for every other component callback. *)
-type event =
-  | Thunk of (unit -> unit)
-  | Deliver of Msg.t * endpoint
-  | Handle of Msg.t * endpoint
-  | Egress of Msg.t
-  | Apply of (int -> unit) * int
+   closures: [Deliver] (tag 1) models the message reaching the
+   destination's ingress after the wire latency, [Handle] (tag 2) the
+   ingress granting it (one message per cycle) and invoking the handler,
+   [Egress] (tag 3) a component handing a message to the network after its
+   internal access latency (dispatched through the callback {!set_egress}
+   installs), and [Apply] (tag 4) a completion continuation fired with its
+   result value (load/RMW hits).  [Thunk] (tag 0) is the fallback for
+   every other component callback.
+
+   Events are mutable records drawn from a per-engine free-list instead of
+   variant cells: dispatch copies the payload fields into locals, returns
+   the record to the free-list, then acts, so a steady-state simulation
+   allocates no event cells at all.  A [Deliver] dispatch retags its own
+   record as the [Handle] it schedules.  The tag encoding replaces the
+   constructor word; unused fields hold settled dummies so a parked record
+   pins no component state. *)
+type ev = {
+  mutable tag : int;
+  mutable fn : unit -> unit;  (* Thunk *)
+  mutable af : int -> unit;  (* Apply continuation *)
+  mutable iarg : int;  (* Apply value *)
+  mutable msg : Msg.t;  (* Deliver / Handle / Egress *)
+  mutable ep : endpoint;  (* Deliver / Handle *)
+}
+
+let nop () = ()
+let nop1 (_ : int) = ()
+
+(* Settled fillers for unused event fields.  [dummy_ep] is shared across
+   engines (and domains) but never written through. *)
+let dummy_ep = { handler = (fun _ -> ()); ingress_free = 0; in_flight = ref 0 }
+
+let fresh_ev () =
+  { tag = 0; fn = nop; af = nop1; iarg = 0; msg = Msg.dummy; ep = dummy_ep }
 
 type backend = Wheel_backend | Heap_backend
 
@@ -29,7 +50,7 @@ type backend = Wheel_backend | Heap_backend
    implementation: pushes go through a single (time, seq) binary heap, so
    sweeps run on it reproduce the original scheduler bit-for-bit and the
    test suite can assert the wheel engine matches it. *)
-type queue = Q_wheel of event Wheel.t | Q_heap of event Pqueue.t
+type queue = Q_wheel of ev Wheel.t | Q_heap of ev Pqueue.t
 
 type t = {
   queue : queue;
@@ -51,6 +72,10 @@ type t = {
      parked ops) so a drained queue can be diagnosed as [Stuck] instead
      of silently returning as complete. *)
   mutable pending_sources : (unit -> pending_work list) list;
+  (* Event free-list: records recycled at dispatch, popped by the push
+     helpers.  Engine-local, so no synchronization. *)
+  mutable free_evs : ev array;
+  mutable free_len : int;
 }
 
 and pending_work = {
@@ -96,7 +121,7 @@ let create ?(backend = Wheel_backend) ?(trace = Trace.disabled) () =
   let queue =
     match backend with
     | Wheel_backend ->
-      Q_wheel (Wheel.create ~horizon:512 ~dummy:(Thunk ignore) ())
+      Q_wheel (Wheel.create ~horizon:512 ~dummy:(fresh_ev ()) ())
     | Heap_backend -> Q_heap (Pqueue.create ~capacity:1024 ())
   in
   {
@@ -110,6 +135,8 @@ let create ?(backend = Wheel_backend) ?(trace = Trace.disabled) () =
     next_sample = max_int;
     sample_every = 0;
     pending_sources = [];
+    free_evs = Array.init 64 (fun _ -> fresh_ev ());
+    free_len = 64;
   }
 
 let register_pending_source t f = t.pending_sources <- f :: t.pending_sources
@@ -138,29 +165,67 @@ let q_push q ~time ev =
   | Q_wheel w -> Wheel.push w ~time ev
   | Q_heap h -> Pqueue.push h ~time ev
 
-let at_event t ~time ev =
+let ev_alloc t =
+  if t.free_len > 0 then begin
+    t.free_len <- t.free_len - 1;
+    t.free_evs.(t.free_len)
+  end
+  else fresh_ev ()
+
+(* Clear the payload fields before parking so a free record pins neither a
+   closure environment nor a message. *)
+let ev_recycle t e =
+  e.fn <- nop;
+  e.af <- nop1;
+  e.msg <- Msg.dummy;
+  e.ep <- dummy_ep;
+  if t.free_len = Array.length t.free_evs then begin
+    let cap = 2 * t.free_len in
+    let free = Array.make cap e in
+    Array.blit t.free_evs 0 free 0 t.free_len;
+    t.free_evs <- free
+  end;
+  t.free_evs.(t.free_len) <- e;
+  t.free_len <- t.free_len + 1
+
+let at t ~time f =
   if time < t.time then
     invalid_arg
       (Printf.sprintf "Engine.at: time %d is in the past (now %d)" time t.time);
-  q_push t.queue ~time ev
-
-let at t ~time f = at_event t ~time (Thunk f)
+  let e = ev_alloc t in
+  e.tag <- 0;
+  e.fn <- f;
+  q_push t.queue ~time e
 
 let schedule t ~delay f =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
-  at_event t ~time:(t.time + delay) (Thunk f)
+  let e = ev_alloc t in
+  e.tag <- 0;
+  e.fn <- f;
+  q_push t.queue ~time:(t.time + delay) e
 
 let deliver t ~delay msg ep =
   if delay < 0 then invalid_arg "Engine.deliver: negative delay";
-  q_push t.queue ~time:(t.time + delay) (Deliver (msg, ep))
+  let e = ev_alloc t in
+  e.tag <- 1;
+  e.msg <- msg;
+  e.ep <- ep;
+  q_push t.queue ~time:(t.time + delay) e
 
 let send_later t ~delay msg =
   if delay < 0 then invalid_arg "Engine.send_later: negative delay";
-  q_push t.queue ~time:(t.time + delay) (Egress msg)
+  let e = ev_alloc t in
+  e.tag <- 3;
+  e.msg <- msg;
+  q_push t.queue ~time:(t.time + delay) e
 
 let apply_later t ~delay f v =
   if delay < 0 then invalid_arg "Engine.apply_later: negative delay";
-  q_push t.queue ~time:(t.time + delay) (Apply (f, v))
+  let e = ev_alloc t in
+  e.tag <- 4;
+  e.af <- f;
+  e.iarg <- v;
+  q_push t.queue ~time:(t.time + delay) e
 
 let step_limit_hit t =
   raise
@@ -173,40 +238,78 @@ let step_limit_hit t =
    additionally reads the event time from the cursor after the pop,
    avoiding a second cursor advance. *)
 
-let wheel_dispatch t w ev =
-  if t.time >= t.next_sample then sample_now t;
-  match ev with
-  | Thunk f -> f ()
-  | Deliver (msg, ep) ->
-    (* One message per cycle drains the ingress port; the grant is a
-       separate event so step counts and intra-cycle FIFO order match the
-       closure engine this replaced exactly. *)
-    let deliver_at =
-      if ep.ingress_free > t.time then ep.ingress_free else t.time
-    in
-    ep.ingress_free <- deliver_at + 1;
-    Wheel.push w ~time:deliver_at (Handle (msg, ep))
-  | Handle (msg, ep) ->
-    decr ep.in_flight;
-    ep.handler msg
-  | Egress msg -> t.egress msg
-  | Apply (f, v) -> f v
+(* Dispatch copies an event's fields into locals and recycles the record
+   *before* acting, so the action's own pushes can reuse it immediately.
+   A [Deliver] instead retags its record in place as the [Handle] grant it
+   schedules — the grant is still a separate event, so step counts and
+   intra-cycle FIFO order match the closure engine this replaced exactly.
+   After a [Handle]'s component handler returns, the message itself goes
+   back to its pool unless the handler kept it (see {!Msg.recycle}). *)
 
-let heap_dispatch t h ev =
+let wheel_dispatch t w (e : ev) =
   if t.time >= t.next_sample then sample_now t;
-  match ev with
-  | Thunk f -> f ()
-  | Deliver (msg, ep) ->
+  match e.tag with
+  | 0 ->
+    let f = e.fn in
+    ev_recycle t e;
+    f ()
+  | 1 ->
+    (* One message per cycle drains the ingress port. *)
+    let ep = e.ep in
     let deliver_at =
       if ep.ingress_free > t.time then ep.ingress_free else t.time
     in
     ep.ingress_free <- deliver_at + 1;
-    Pqueue.push h ~time:deliver_at (Handle (msg, ep))
-  | Handle (msg, ep) ->
+    e.tag <- 2;
+    Wheel.push w ~time:deliver_at e
+  | 2 ->
+    let ep = e.ep in
+    let msg = e.msg in
+    ev_recycle t e;
     decr ep.in_flight;
-    ep.handler msg
-  | Egress msg -> t.egress msg
-  | Apply (f, v) -> f v
+    ep.handler msg;
+    Msg.recycle msg
+  | 3 ->
+    let msg = e.msg in
+    ev_recycle t e;
+    t.egress msg
+  | _ ->
+    let f = e.af in
+    let v = e.iarg in
+    ev_recycle t e;
+    f v
+
+let heap_dispatch t h (e : ev) =
+  if t.time >= t.next_sample then sample_now t;
+  match e.tag with
+  | 0 ->
+    let f = e.fn in
+    ev_recycle t e;
+    f ()
+  | 1 ->
+    let ep = e.ep in
+    let deliver_at =
+      if ep.ingress_free > t.time then ep.ingress_free else t.time
+    in
+    ep.ingress_free <- deliver_at + 1;
+    e.tag <- 2;
+    Pqueue.push h ~time:deliver_at e
+  | 2 ->
+    let ep = e.ep in
+    let msg = e.msg in
+    ev_recycle t e;
+    decr ep.in_flight;
+    ep.handler msg;
+    Msg.recycle msg
+  | 3 ->
+    let msg = e.msg in
+    ev_recycle t e;
+    t.egress msg
+  | _ ->
+    let f = e.af in
+    let v = e.iarg in
+    ev_recycle t e;
+    f v
 
 (* A drained queue is only "done" if no component still holds live work:
    an L1 waiting on a reply that will never arrive would otherwise look

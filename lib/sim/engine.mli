@@ -69,21 +69,14 @@ type endpoint = {
 }
 (** A network delivery target.  Owned by {!Spandex_net.Network}, which
     keeps them in a dense array indexed by device id; the engine needs the
-    representation to process {!event-Deliver} events without closures. *)
+    representation to process delivery events without closures.
 
-type event =
-  | Thunk of (unit -> unit)  (** generic component callback. *)
-  | Deliver of Spandex_proto.Msg.t * endpoint
-      (** message reaches [endpoint]'s ingress after the wire latency. *)
-  | Handle of Spandex_proto.Msg.t * endpoint
-      (** ingress grant: decrement in-flight and invoke the handler. *)
-  | Egress of Spandex_proto.Msg.t
-      (** component hands a message to the network after its internal
-          access latency; dispatched via the {!set_egress} callback. *)
-  | Apply of (int -> unit) * int
-      (** completion continuation applied to its result value — load and
-          RMW hits, where the callback already exists and only the value
-          varies. *)
+    Events themselves are an implementation detail: mutable tagged records
+    (Thunk / Deliver / Handle / Egress / Apply) drawn from a per-engine
+    free-list and recycled at dispatch, so the steady-state hot path
+    allocates no event cells.  After a Handle dispatch returns, the
+    delivered message is returned to its pool unless the handler kept it
+    ({!Spandex_proto.Msg.keep}). *)
 
 type backend =
   | Wheel_backend  (** timing wheel + overflow heap (default). *)

@@ -16,6 +16,11 @@ let inter a b = a land b
 let diff a b = a land lnot b
 let subset a b = a land lnot b = 0
 
+let lowest m =
+  if m = 0 then raise Not_found;
+  let rec go i m = if m land 1 <> 0 then i else go (i + 1) (m lsr 1) in
+  go 0 m
+
 let count m =
   let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
   go m 0

@@ -26,6 +26,10 @@ val diff : t -> t -> t
 val subset : t -> t -> bool
 (** [subset a b] is true when every word of [a] is in [b]. *)
 
+val lowest : t -> int
+(** Index of the lowest set word; raises [Not_found] on the empty mask.
+    Allocation-free. *)
+
 val count : t -> int
 (** Population count. *)
 

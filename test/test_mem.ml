@@ -118,9 +118,9 @@ let mshr_find_first_oldest () =
 let sb_coalesce () =
   let sb = Store_buffer.create ~capacity:4 in
   let a w = Addr.make ~line:3 ~word:w in
-  check_bool "new" true (Store_buffer.push sb ~addr:(a 0) ~value:1 = `New);
-  check_bool "coalesced" true (Store_buffer.push sb ~addr:(a 5) ~value:2 = `Coalesced);
-  check_bool "overwrite coalesces" true (Store_buffer.push sb ~addr:(a 0) ~value:9 = `Coalesced);
+  check_bool "new" true (Store_buffer.push sb ~addr:(a 0) ~value:1 ~now:0 = `New);
+  check_bool "coalesced" true (Store_buffer.push sb ~addr:(a 5) ~value:2 ~now:0 = `Coalesced);
+  check_bool "overwrite coalesces" true (Store_buffer.push sb ~addr:(a 0) ~value:9 ~now:0 = `Coalesced);
   check_int "one entry" 1 (Store_buffer.count sb);
   Alcotest.(check (option int)) "forward latest" (Some 9)
     (Store_buffer.forward sb ~addr:(a 0));
@@ -130,11 +130,11 @@ let sb_coalesce () =
 let sb_capacity_and_fifo () =
   let sb = Store_buffer.create ~capacity:2 in
   let a line = Addr.make ~line ~word:0 in
-  ignore (Store_buffer.push sb ~addr:(a 0) ~value:1);
-  ignore (Store_buffer.push sb ~addr:(a 1) ~value:2);
-  check_bool "full" true (Store_buffer.push sb ~addr:(a 2) ~value:3 = `Full);
+  ignore (Store_buffer.push sb ~addr:(a 0) ~value:1 ~now:0);
+  ignore (Store_buffer.push sb ~addr:(a 1) ~value:2 ~now:0);
+  check_bool "full" true (Store_buffer.push sb ~addr:(a 2) ~value:3 ~now:0 = `Full);
   check_bool "coalescing still allowed when full" true
-    (Store_buffer.push sb ~addr:(Addr.make ~line:0 ~word:3) ~value:4 = `Coalesced);
+    (Store_buffer.push sb ~addr:(Addr.make ~line:0 ~word:3) ~value:4 ~now:0 = `Coalesced);
   let e = Option.get (Store_buffer.take_oldest sb) in
   check_int "fifo order" 0 e.Store_buffer.line;
   check_int "coalesced mask" 2 (Mask.count e.Store_buffer.mask);
@@ -144,7 +144,7 @@ let sb_capacity_and_fifo () =
 
 let sb_peek_and_remove () =
   let sb = Store_buffer.create ~capacity:4 in
-  ignore (Store_buffer.push sb ~addr:(Addr.make ~line:7 ~word:1) ~value:5);
+  ignore (Store_buffer.push sb ~addr:(Addr.make ~line:7 ~word:1) ~value:5 ~now:0);
   (match Store_buffer.peek_oldest sb with
   | Some e -> check_int "peek line" 7 e.Store_buffer.line
   | None -> Alcotest.fail "expected entry");

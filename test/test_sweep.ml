@@ -101,6 +101,18 @@ let wheel_matches_heap_under_faults () =
   in
   check_identical cells wheel heap
 
+let sweep_matches_sequential_all_cells () =
+  (* The full 60-cell bench matrix (every non-stress workload x every
+     baseline config) with message/event pooling active inside each
+     [Run.simulate]: per-domain pools must not let one cell's recycled
+     records bleed into another's results. *)
+  let cells = matrix ~params:Params.bench non_stress_names in
+  Alcotest.(check int) "matrix size" 60 (List.length cells);
+  let seq = Sweep.simulate_all ~jobs:1 cells in
+  let par = Sweep.simulate_all ~jobs:4 cells in
+  List.iter Run.assert_clean par;
+  check_identical cells seq par
+
 let sweep_repeated_run_is_stable () =
   (* Two parallel runs of the same jobs agree with each other, not just
      with the sequential reference: no hidden cross-run state survives. *)
@@ -143,6 +155,7 @@ let tests =
     test "sweep_matches_sequential_under_faults"
       sweep_matches_sequential_under_faults;
     test "sweep_repeated_run_is_stable" sweep_repeated_run_is_stable;
+    test "sweep_matches_sequential_all_cells" sweep_matches_sequential_all_cells;
     test "wheel_matches_heap_engine" wheel_matches_heap_engine;
     test "wheel_matches_heap_under_faults" wheel_matches_heap_under_faults;
   ]
