@@ -20,7 +20,12 @@
 #   - the parallel sweep was slower than the sequential one (speedup < 1.0)
 #     on a machine that actually has cores to parallelize over
 #     (recommended_domains > 1 and more than one worker used; single-core
-#     runners skip this gate because domains just time-slice there).
+#     runners skip this gate because domains just time-slice there), or
+#   - a --engine pdes report (schema spandex-bench-sweep/5) was not
+#     bit-identical to its sequential wheel reference pass
+#     (pdes_identical), or its PDES pass was slower than the wheel
+#     (pdes_speedup < 1.0) on a multi-core machine — single-core runners
+#     skip the speedup gate, never the identity gate.
 #
 # Refresh the baseline with:
 #   dune exec bin/spandex_cli.exe -- bench --jobs 2 --scale 0.25 \
@@ -66,22 +71,40 @@ if "total_events_extended" in report and "total_events_extended" in baseline:
             )
         )
 
-base = baseline["events_per_sec_sequential"]
-got = report["events_per_sec_sequential"]
-floor = 0.75 * base
-print(
-    "perf: %d events/sec sequential (baseline %d, floor %d)"
-    % (got, base, floor)
-)
-if got < floor:
-    failures.append(
-        "events/sec regressed >25%%: %d < %d (baseline %d)" % (got, floor, base)
+# The throughput and allocation gates compare like with like: a report
+# benched on a different backend than the baseline (e.g. --engine pdes
+# against the committed wheel baseline) skips them — its own gates are
+# the bit-identity and pdes_speedup checks below.
+engines_match = report.get("engine", "wheel") == baseline.get("engine", "wheel")
+if not engines_match:
+    print(
+        "note: report engine %r != baseline engine %r; skipping "
+        "events/sec and allocation gates"
+        % (report.get("engine", "wheel"), baseline.get("engine", "wheel"))
     )
+
+if engines_match:
+    base = baseline["events_per_sec_sequential"]
+    got = report["events_per_sec_sequential"]
+    floor = 0.75 * base
+    print(
+        "perf: %d events/sec sequential (baseline %d, floor %d)"
+        % (got, base, floor)
+    )
+    if got < floor:
+        failures.append(
+            "events/sec regressed >25%%: %d < %d (baseline %d)"
+            % (got, floor, base)
+        )
 
 # Allocation-rate gate (schema v4): minor words per event is deterministic
 # for a given sweep, so a >10% rise over the baseline means the allocation
 # diet on the message/event path regressed.
-if "minor_words_per_event" in report and "minor_words_per_event" in baseline:
+if (
+    engines_match
+    and "minor_words_per_event" in report
+    and "minor_words_per_event" in baseline
+):
     base_mw = baseline["minor_words_per_event"]
     got_mw = report["minor_words_per_event"]
     ceil_mw = 1.10 * base_mw
@@ -111,6 +134,35 @@ if (
             "with %d jobs on %d recommended domains"
             % (report["speedup"], report["jobs_used"], report["recommended_domains"])
         )
+
+# PDES gates (schema v5, --engine pdes reports only).  Bit-identity to the
+# wheel reference is unconditional; the speedup gate needs real cores.
+if "pdes_identical" in report:
+    if not report["pdes_identical"]:
+        failures.append("pdes backend was not bit-identical to the wheel")
+    if "pdes_speedup" in report:
+        print(
+            "pdes: %.3fx vs wheel with %d effective shard(s) (%d requested)"
+            % (
+                report["pdes_speedup"],
+                report.get("shards_effective", 1),
+                report.get("shards_requested", 1),
+            )
+        )
+        if (
+            report.get("recommended_domains", 1) > 1
+            and report.get("shards_effective", 1) > 1
+            and report["pdes_speedup"] < 1.0
+        ):
+            failures.append(
+                "pdes slower than the wheel: pdes_speedup %.3f < 1.0 with "
+                "%d effective shards on %d recommended domains"
+                % (
+                    report["pdes_speedup"],
+                    report.get("shards_effective", 1),
+                    report["recommended_domains"],
+                )
+            )
 
 if failures:
     for f in failures:

@@ -20,7 +20,8 @@ module Registry = Spandex_workloads.Registry
 module Trace = Spandex_sim.Trace
 module Hist = Spandex_util.Hist
 
-let params_of ~cpus ~cus ~warps ~fault ~watchdog ~trace =
+let params_of ?(backend = Spandex_sim.Engine.Wheel_backend) ~cpus ~cus ~warps
+    ~fault ~watchdog ~trace () =
   let base = Params.bench in
   {
     base with
@@ -31,13 +32,20 @@ let params_of ~cpus ~cus ~warps ~fault ~watchdog ~trace =
     watchdog_cycles =
       Option.value ~default:base.Params.watchdog_cycles watchdog;
     trace;
+    engine_backend = backend;
   }
 
-let backend_of = function
+let backend_of ~shards = function
   | "wheel" -> Spandex_sim.Engine.Wheel_backend
   | "heap" -> Spandex_sim.Engine.Heap_backend
+  | "pdes" ->
+    let shards =
+      if shards > 0 then shards
+      else max 2 (Domain.recommended_domain_count ())
+    in
+    Spandex_sim.Engine.Pdes_backend { shards }
   | s ->
-    Printf.eprintf "unknown engine %s (wheel or heap)\n" s;
+    Printf.eprintf "unknown engine %s (wheel, heap or pdes)\n" s;
     exit 1
 
 let fault_spec_of ~drop ~dup ~delay ~reorder ~seed =
@@ -172,9 +180,23 @@ let engine_arg =
     value & opt string "wheel"
     & info [ "engine" ]
         ~doc:
-          "Event-queue implementation: 'wheel' (timing wheel, default) or \
-           'heap' (the pre-wheel binary heap reference scheduler). \
-           Results are bit-identical either way; only speed differs.")
+          "Simulation backend: 'wheel' (timing wheel, default), 'heap' \
+           (the pre-wheel binary heap reference scheduler) or 'pdes' \
+           (conservative parallel discrete-event simulation — the machine \
+           is sharded across domains synchronized on the topology's \
+           minimum latency; see --shards).  Results are bit-identical for \
+           every backend; only speed differs.")
+
+let shards_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "shards" ]
+        ~doc:
+          "Shard count for --engine pdes (0 = recommended domain count, \
+           min 2).  The effective count is capped by the partition — one \
+           shard for the home complex (LLC banks, directory, memory) plus \
+           one per core — and by fault injection or barriers; a capped \
+           request is reported, not an error.")
 
 let resolve_jobs jobs = if jobs <= 0 then Sweep.default_jobs () else jobs
 
@@ -201,7 +223,7 @@ let list_cmd =
 
 let run_cmd =
   let run workload config all_configs scale stats cpus cus warps drop dup delay
-      reorder fault_seed watchdog trace =
+      reorder fault_seed watchdog trace engine shards =
     let entry =
       try Registry.find workload
       with Not_found ->
@@ -211,7 +233,8 @@ let run_cmd =
     in
     let fault = fault_spec_of ~drop ~dup ~delay ~reorder ~seed:fault_seed in
     let trace = if trace then Some Trace.default_spec else None in
-    let params = params_of ~cpus ~cus ~warps ~fault ~watchdog ~trace in
+    let backend = backend_of ~shards engine in
+    let params = params_of ~backend ~cpus ~cus ~warps ~fault ~watchdog ~trace () in
     let configs =
       if all_configs then Config.all
       else
@@ -231,7 +254,7 @@ let run_cmd =
       const run $ workload_arg $ config_arg $ all_configs_arg $ scale_arg
       $ stats_arg $ cpus_arg $ cus_arg $ warps_arg $ fault_drop_arg
       $ fault_dup_arg $ fault_delay_arg $ fault_reorder_arg $ fault_seed_arg
-      $ watchdog_arg $ trace_flag_arg)
+      $ watchdog_arg $ trace_flag_arg $ engine_arg $ shards_arg)
 
 (* The (workload x config) job matrix: every non-stress registry entry on
    every swept cache configuration (the paper's six plus the adaptive
@@ -502,9 +525,12 @@ let check_replay ~path ~out =
       Printf.eprintf "cannot replay %s: %s\n" path m;
       exit 1
   in
-  Printf.printf "replaying %s: case=%s config=%s cpus=%d gpus=%d%s%s\n" path
+  Printf.printf "replaying %s: case=%s config=%s cpus=%d gpus=%d%s%s%s\n" path
     header.Schedule.h_case header.Schedule.h_config header.Schedule.h_cpus
     header.Schedule.h_gpus
+    (if header.Schedule.h_banks > 1 then
+       Printf.sprintf " banks=%d" header.Schedule.h_banks
+     else "")
     (if header.Schedule.h_faults then " faults" else "")
     (match header.Schedule.h_seed_bug with
     | Some b -> Printf.sprintf " seed-bug=%s" b
@@ -540,8 +566,8 @@ let check_replay ~path ~out =
     1
 
 let check_cmd =
-  let run case config cpus gpus faults fault_budget max_states budget_secs
-      no_reduce seed_bug out replay =
+  let run case config cpus gpus llc_banks faults fault_budget max_states
+      budget_secs no_reduce seed_bug out replay =
     match replay with
     | Some path ->
       let out = Option.value ~default:"CHECK_replay.trace.json" out in
@@ -589,8 +615,8 @@ let check_cmd =
             let t0 = Unix.gettimeofday () in
             let o =
               Checker.check_and_report ~max_states ~budget_secs ~fault_budget
-                ~reduce:(not no_reduce) ?seed_bug ~case:c ~config ~cpus ~gpus
-                ~faults ~out ()
+                ~reduce:(not no_reduce) ?seed_bug ~llc_banks ~case:c ~config
+                ~cpus ~gpus ~faults ~out ()
             in
             Printf.printf
               "%-8s %-4s states=%-7d executions=%-6d transitions=%-8d \
@@ -629,6 +655,15 @@ let check_cmd =
   in
   let check_gpus_arg =
     Arg.(value & opt int 0 & info [ "gpus" ] ~doc:"GPU device count.")
+  in
+  let llc_banks_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "llc-banks" ]
+          ~doc:
+            "Explore with this many address-interleaved LLC banks.  \
+             Banking must be invisible to the protocol: every case must \
+             reach the same verdict for any bank count.")
   in
   let faults_arg =
     Arg.(
@@ -702,8 +737,8 @@ let check_cmd =
           counterexamples.")
     Term.(
       const run $ case_arg $ config_arg $ check_cpus_arg $ check_gpus_arg
-      $ faults_arg $ fault_budget_arg $ max_states_arg $ budget_secs_arg
-      $ no_reduce_arg $ seed_bug_arg $ out_arg $ replay_arg)
+      $ llc_banks_arg $ faults_arg $ fault_budget_arg $ max_states_arg
+      $ budget_secs_arg $ no_reduce_arg $ seed_bug_arg $ out_arg $ replay_arg)
 
 (* --- bench: machine-readable perf harness ----------------------------------- *)
 
@@ -725,7 +760,7 @@ let json_string s =
   Buffer.contents buf
 
 let bench_cmd =
-  let run scale jobs workloads out engine repeat =
+  let run scale jobs workloads out engine shards repeat =
     let jobs = resolve_jobs jobs in
     let repeat = max 1 repeat in
     let recommended = Domain.recommended_domain_count () in
@@ -739,9 +774,18 @@ let bench_cmd =
        any worker domain spawns. *)
     if Sys.getenv_opt "SPANDEX_CHECKS" = None then
       Spandex_proto.Msg.set_checks false;
-    let params =
-      { Params.bench with Params.engine_backend = backend_of engine }
+    let backend = backend_of ~shards engine in
+    let is_pdes =
+      match backend with
+      | Spandex_sim.Engine.Pdes_backend _ -> true
+      | _ -> false
     in
+    let requested_shards =
+      match backend with
+      | Spandex_sim.Engine.Pdes_backend { shards } -> shards
+      | _ -> 1
+    in
+    let params = { Params.bench with Params.engine_backend = backend } in
     let entries =
       match workloads with
       | None -> sweep_entries ()
@@ -796,6 +840,59 @@ let bench_cmd =
     let (par, par_gc), par_wall =
       median_of (List.init repeat (fun _ -> par_pass ()))
     in
+    (* With --engine pdes the timed passes above already ran the parallel
+       backend; a wheel reference pass supplies the speedup denominator
+       and the backend bit-identity gate (every cell must match the
+       sequential wheel exactly). *)
+    let pdes_ref =
+      if not is_pdes then None
+      else begin
+        let wheel_params =
+          { params with Params.engine_backend = Spandex_sim.Engine.Wheel_backend }
+        in
+        let pass () =
+          let t0 = Unix.gettimeofday () in
+          let rs =
+            List.map
+              (fun (j : Sweep.job) ->
+                Run.simulate ~params:wheel_params ~config:j.Sweep.config
+                  j.Sweep.workload)
+              cells
+          in
+          (rs, Unix.gettimeofday () -. t0)
+        in
+        let wheel_rs, wheel_wall =
+          median_of (List.init repeat (fun _ -> pass ()))
+        in
+        let divergences =
+          List.concat
+            (List.map2
+               (fun ((j : Sweep.job), r, _) w ->
+                 match Report.diff_result w r with
+                 | None -> []
+                 | Some d ->
+                   [
+                     Printf.sprintf "%s %s: %s" j.Sweep.label
+                       j.Sweep.config.Config.name d;
+                   ])
+               seq wheel_rs)
+        in
+        Some (wheel_wall, divergences)
+      end
+    in
+    let effective_shards =
+      List.fold_left
+        (fun acc (_, (r : Run.result), _) -> max acc r.Run.shards)
+        1 seq
+    in
+    let shards_capped = is_pdes && effective_shards < requested_shards in
+    if shards_capped then
+      Printf.eprintf
+        "warning: --shards %d exceeds what the machine partition supports; \
+         capped at %d (one shard for the home complex — LLC banks, \
+         directory, memory — plus one per core; fault plans and barriers \
+         cap further)\n%!"
+        requested_shards effective_shards;
     let divergences =
       List.concat
         (List.map2
@@ -847,12 +944,23 @@ let bench_cmd =
     in
     let buf = Buffer.create 4096 in
     Printf.bprintf buf "{\n";
-    Printf.bprintf buf "  \"schema\": \"spandex-bench-sweep/4\",\n";
+    Printf.bprintf buf "  \"schema\": \"spandex-bench-sweep/5\",\n";
     Printf.bprintf buf "  \"scale\": %g,\n" scale;
     Printf.bprintf buf "  \"jobs\": %d,\n" jobs;
     Printf.bprintf buf "  \"jobs_used\": %d,\n" jobs;
     Printf.bprintf buf "  \"repeat\": %d,\n" repeat;
     Printf.bprintf buf "  \"engine\": %s,\n" (json_string engine);
+    Printf.bprintf buf "  \"shards_requested\": %d,\n" requested_shards;
+    Printf.bprintf buf "  \"shards_effective\": %d,\n" effective_shards;
+    Printf.bprintf buf "  \"pdes_shards_capped\": %b,\n" shards_capped;
+    (match pdes_ref with
+    | None -> ()
+    | Some (wheel_wall, divs) ->
+      Printf.bprintf buf "  \"wheel_wall_s\": %.6f,\n" wheel_wall;
+      Printf.bprintf buf "  \"pdes_wall_s\": %.6f,\n" seq_wall;
+      Printf.bprintf buf "  \"pdes_speedup\": %.3f,\n"
+        (wheel_wall /. max 1e-9 seq_wall);
+      Printf.bprintf buf "  \"pdes_identical\": %b,\n" (divs = []));
     Printf.bprintf buf "  \"msg_checks\": %b,\n"
       (Spandex_proto.Msg.checks_enabled ());
     Printf.bprintf buf "  \"recommended_domains\": %d,\n" recommended;
@@ -917,13 +1025,16 @@ let bench_cmd =
           "    { \"workload\": %s, \"config\": %s, \"cycles\": %d, \
            \"events\": %d, \"flits\": %d, \"messages\": %d, \
            \"wall_s\": %.6f, \"events_per_sec\": %.0f, \
-           \"minor_words_per_event\": %.2f, \"major_collections\": %d }%s\n"
+           \"minor_words_per_event\": %.2f, \"major_collections\": %d, \
+           \"shards\": %d, \"shard_events\": [%s] }%s\n"
           (json_string j.Sweep.label)
           (json_string j.Sweep.config.Config.name)
           r.Run.cycles r.Run.events r.Run.total_flits r.Run.messages wall
           (float_of_int r.Run.events /. max 1e-9 wall)
           (r.Run.minor_words /. float_of_int (max 1 r.Run.events))
-          r.Run.major_collections
+          r.Run.major_collections r.Run.shards
+          (String.concat ", "
+             (Array.to_list (Array.map string_of_int r.Run.shard_events)))
           (if i = n - 1 then "" else ","))
       seq;
     Printf.bprintf buf "  ]\n}\n";
@@ -938,6 +1049,14 @@ let bench_cmd =
     Printf.printf "  alloc: %.1f minor words/event | %d major collections\n"
       (total_minor_words /. float_of_int (max 1 total_events_extended))
       total_major_collections;
+    (match pdes_ref with
+    | None -> ()
+    | Some (wheel_wall, _) ->
+      Printf.printf
+        "  pdes: %d shard(s) effective (%d requested) | wheel ref: %.2fs | \
+         pdes speedup: %.2fx\n"
+        effective_shards requested_shards wheel_wall
+        (wheel_wall /. max 1e-9 seq_wall));
     Printf.printf "  wrote %s\n" out;
     if divergences <> [] then begin
       Printf.eprintf
@@ -946,6 +1065,14 @@ let bench_cmd =
       List.iter (fun d -> Printf.eprintf "  %s\n" d) divergences;
       exit 1
     end;
+    (match pdes_ref with
+    | Some (_, (_ :: _ as divs)) ->
+      Printf.eprintf
+        "FAIL: pdes backend diverged from the wheel on %d simulation(s):\n"
+        (List.length divs);
+      List.iter (fun d -> Printf.eprintf "  %s\n" d) divs;
+      exit 1
+    | _ -> ());
     match traced with
     | Some (j, tr, false) ->
       Printf.eprintf "FAIL: traced run of %s %s diverged from untraced: %s\n"
@@ -996,7 +1123,7 @@ let bench_cmd =
           SPANDEX_CHECKS is set in the environment.")
     Term.(
       const run $ scale_arg $ jobs_arg $ workloads_arg $ out_arg $ engine_arg
-      $ repeat_arg)
+      $ shards_arg $ repeat_arg)
 
 let soak_cmd =
   let run seeds jobs_geometry =

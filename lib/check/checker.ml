@@ -49,6 +49,7 @@ type spec = {
   sp_config : Config.t;
   sp_cpus : int;
   sp_gpus : int;
+  sp_banks : int;
   sp_faults : bool;
   sp_fault_budget : int;
   sp_seed_bug : bug option;
@@ -60,6 +61,7 @@ let header_of_spec spec ~violation =
     h_config = spec.sp_config.Config.name;
     h_cpus = spec.sp_cpus;
     h_gpus = spec.sp_gpus;
+    h_banks = spec.sp_banks;
     h_faults = spec.sp_faults;
     h_seed_bug = Option.map bug_name spec.sp_seed_bug;
     h_violation = violation;
@@ -71,6 +73,7 @@ let spec_of_header (h : Schedule.header) =
     sp_config = Config.by_name h.Schedule.h_config;
     sp_cpus = h.Schedule.h_cpus;
     sp_gpus = h.Schedule.h_gpus;
+    sp_banks = h.Schedule.h_banks;
     sp_faults = h.Schedule.h_faults;
     sp_fault_budget = max_int;
     sp_seed_bug = Option.map bug_of_name h.Schedule.h_seed_bug;
@@ -113,6 +116,7 @@ let build_exec ?trace spec =
       Litmus.params ~cpus:spec.sp_cpus ~gpus:spec.sp_gpus
         ~faults:spec.sp_faults
     in
+    let p = { p with Spandex_system.Params.llc_banks = spec.sp_banks } in
     match trace with
     | None -> p
     | Some t -> { p with Spandex_system.Params.trace = Some t }
@@ -233,7 +237,7 @@ let check_llc_registration ex lines =
    never observe a wrong value (litmus programs are DRF, so expected
    finals are schedule-independent). *)
 let check_data ex =
-  match Check_log.failures ex.sys.R.sys_check_log with
+  match List.concat_map Check_log.failures ex.sys.R.sys_check_logs with
   | [] -> None
   | f :: _ ->
     Some (Data_mismatch (Format.asprintf "%a" Check_log.pp_failure f))
@@ -397,13 +401,15 @@ let minimize spec schedule =
   try_k 0
 
 let check ?(max_states = 200_000) ?(budget_secs = 120.) ?(fault_budget = 1)
-    ?(reduce = true) ?seed_bug ~case ~config ~cpus ~gpus ~faults () =
+    ?(reduce = true) ?seed_bug ?(llc_banks = 1) ~case ~config ~cpus ~gpus
+    ~faults () =
   let spec =
     {
       sp_case = case;
       sp_config = config;
       sp_cpus = cpus;
       sp_gpus = gpus;
+      sp_banks = llc_banks;
       sp_faults = faults;
       sp_fault_budget = fault_budget;
       sp_seed_bug = seed_bug;
@@ -496,10 +502,10 @@ let write_counterexample ~path spec (v, steps) =
   Schedule.write ~path (header_of_spec spec ~violation:(violation_descr v)) steps
 
 let check_and_report ?max_states ?budget_secs ?fault_budget ?reduce ?seed_bug
-    ~case ~config ~cpus ~gpus ~faults ~out () =
+    ?(llc_banks = 1) ~case ~config ~cpus ~gpus ~faults ~out () =
   let outcome =
-    check ?max_states ?budget_secs ?fault_budget ?reduce ?seed_bug ~case
-      ~config ~cpus ~gpus ~faults ()
+    check ?max_states ?budget_secs ?fault_budget ?reduce ?seed_bug ~llc_banks
+      ~case ~config ~cpus ~gpus ~faults ()
   in
   (match outcome.o_violation with
   | Some cex ->
@@ -509,6 +515,7 @@ let check_and_report ?max_states ?budget_secs ?fault_budget ?reduce ?seed_bug
         sp_config = config;
         sp_cpus = cpus;
         sp_gpus = gpus;
+        sp_banks = llc_banks;
         sp_faults = faults;
         sp_fault_budget = Option.value fault_budget ~default:1;
         sp_seed_bug = seed_bug;

@@ -52,6 +52,7 @@ val check :
   ?fault_budget:int ->
   ?reduce:bool ->
   ?seed_bug:bug ->
+  ?llc_banks:int ->
   case:Litmus.case ->
   config:Spandex_system.Config.t ->
   cpus:int ->
@@ -64,7 +65,10 @@ val check :
     per execution, default 1).  [reduce] (default true) minimizes any
     counterexample to the shortest violating prefix plus a deterministic
     oldest-first completion.  [seed_bug] wires a deliberate protocol bug
-    into every L1 endpoint, for validating the oracle end to end. *)
+    into every L1 endpoint, for validating the oracle end to end.
+    [llc_banks] (default 1) explores with an address-interleaved banked
+    LLC — banking must be invisible to the protocol, so every case must
+    reach the same verdict for any bank count. *)
 
 val check_and_report :
   ?max_states:int ->
@@ -72,6 +76,7 @@ val check_and_report :
   ?fault_budget:int ->
   ?reduce:bool ->
   ?seed_bug:bug ->
+  ?llc_banks:int ->
   case:Litmus.case ->
   config:Spandex_system.Config.t ->
   cpus:int ->

@@ -21,6 +21,7 @@ type header = {
   h_config : string;
   h_cpus : int;
   h_gpus : int;
+  h_banks : int;  (** LLC bank count the case was explored with. *)
   h_faults : bool;
   h_seed_bug : string option;
   h_violation : string;
@@ -100,8 +101,9 @@ let require what = function
 
 let header_line h =
   Printf.sprintf
-    "{\"spandex_check\":1,\"case\":\"%s\",\"config\":\"%s\",\"cpus\":%d,\"gpus\":%d,\"faults\":%b,\"seed_bug\":%s,\"violation\":\"%s\"}"
-    (escape h.h_case) (escape h.h_config) h.h_cpus h.h_gpus h.h_faults
+    "{\"spandex_check\":1,\"case\":\"%s\",\"config\":\"%s\",\"cpus\":%d,\"gpus\":%d,\"banks\":%d,\"faults\":%b,\"seed_bug\":%s,\"violation\":\"%s\"}"
+    (escape h.h_case) (escape h.h_config) h.h_cpus h.h_gpus h.h_banks
+    h.h_faults
     (match h.h_seed_bug with
     | None -> "null"
     | Some b -> Printf.sprintf "\"%s\"" (escape b))
@@ -149,6 +151,9 @@ let read ~path =
             h_config = require "config" (field_string hd "config");
             h_cpus = require "cpus" (field_int hd "cpus");
             h_gpus = require "gpus" (field_int hd "gpus");
+            (* Absent in pre-banking counterexample files: they explored a
+               single-bank LLC. *)
+            h_banks = Option.value ~default:1 (field_int hd "banks");
             h_faults = require "faults" (field_bool hd "faults");
             h_seed_bug = field_string hd "seed_bug";
             h_violation =

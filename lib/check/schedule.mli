@@ -26,6 +26,9 @@ type header = {
   h_config : string;
   h_cpus : int;
   h_gpus : int;
+  h_banks : int;
+      (** LLC bank count the case was explored with (1 in counterexample
+          files written before banking existed). *)
   h_faults : bool;
   h_seed_bug : string option;
   h_violation : string;

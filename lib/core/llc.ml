@@ -64,12 +64,73 @@ type meta = {
   mutable recalls : recall_req list;
 }
 
+(* Address-interleaved banked tag array: bank [b] holds the lines ≡ b
+   (mod banks), keyed inside the bank by [line / banks].  Because [banks]
+   divides [sets], global set [s] corresponds exactly to (bank [s mod
+   banks], bank-local set [s / banks]) — the conflict sets and per-set LRU
+   order are unchanged, so banking is behaviour-neutral.  What it buys is
+   structural: each bank owns a disjoint slice of the tag/state arrays, so
+   a bank is a self-contained unit the PDES backend can treat as a
+   partition boundary. *)
+module Frames = struct
+  type 'a t = { frames : 'a Cache_frame.t array; banks : int }
+
+  let create ~banks ~sets ~ways =
+    if banks < 1 then invalid_arg "Llc: banks must be positive";
+    if sets mod banks <> 0 then
+      invalid_arg "Llc: sets must be divisible by banks";
+    {
+      frames =
+        Array.init banks (fun _ ->
+            Cache_frame.create ~sets:(sets / banks) ~ways);
+      banks;
+    }
+
+  let bank t line = t.frames.(line mod t.banks)
+  let local t line = line / t.banks
+  let global t b local = (local * t.banks) + b
+  let find t ~line = Cache_frame.find (bank t line) ~line:(local t line)
+  let find_exn t ~line = Cache_frame.find_exn (bank t line) ~line:(local t line)
+  let touch t ~line = Cache_frame.touch (bank t line) ~line:(local t line)
+  let remove t ~line = Cache_frame.remove (bank t line) ~line:(local t line)
+
+  let insert t ~line m ~can_evict =
+    let b = line mod t.banks in
+    match
+      Cache_frame.insert t.frames.(b) ~line:(local t line) m
+        ~can_evict:(fun ~line m -> can_evict ~line:(global t b line) m)
+    with
+    | Cache_frame.Evicted (vline, vm) ->
+      Cache_frame.Evicted (global t b vline, vm)
+    | (Cache_frame.Inserted | Cache_frame.No_room) as r -> r
+
+  let lru_matching t ~set_line ~f =
+    let b = set_line mod t.banks in
+    Cache_frame.lru_matching t.frames.(b) ~set_line:(local t set_line)
+      ~f:(fun ~line m -> f ~line:(global t b line) m)
+    |> Option.map (fun (vline, vm) -> (global t b vline, vm))
+
+  let fold t ~init ~f =
+    let acc = ref init in
+    Array.iteri
+      (fun b fr ->
+        acc :=
+          Cache_frame.fold fr ~init:!acc ~f:(fun acc ~line m ->
+              f acc ~line:(global t b line) m))
+      t.frames;
+    !acc
+
+  let count t =
+    Array.fold_left (fun a fr -> a + Cache_frame.count fr) 0 t.frames
+end
+
 type t = {
   engine : Engine.t;
   net : Network.t;
   backing : Backing.t;
   cfg : config;
-  frame : meta Cache_frame.t;
+  txns : Txn.allocator;  (* probe ids: drawn in LLC arrival order only. *)
+  frame : meta Frames.t;
   stats : Stats.t;
   req_keys : Stats.key array;  (* "req.<kind>" by [Msg.req_kind_index]. *)
   (* At-most-once reply cache, armed only under fault injection.  For
@@ -77,8 +138,11 @@ type t = {
      grants, LLC-performed atomics), the responses sent for a txn are
      recorded; a duplicate or retried arrival of the same txn replays them
      instead of reprocessing — so a retried ReqWTdata cannot apply its AMO
-     twice and a retried ReqOdata gets the original data grant back. *)
-  replay : (int, Msg.t list ref) Hashtbl.t option;
+     twice and a retried ReqOdata gets the original data grant back.  One
+     table per bank (a line maps to exactly one bank, so a txn's entries
+     live in one table): the reply cache partitions along the same
+     boundary as the tag array. *)
+  replay : (int, Msg.t list ref) Hashtbl.t array option;
   trace : Trace.t;
   n_replay : int;  (** interned trace names (0 on a disabled sink). *)
   n_recall : int;
@@ -113,8 +177,10 @@ let respond t (req : Msg.t) ~kind ~mask ?payload () =
         ?payload ~src:(bank_of t.cfg req.Msg.line) ~dst:req.Msg.requestor ()
     in
     (match t.replay with
-    | Some table -> (
-      match Hashtbl.find_opt table req.Msg.txn with
+    | Some tables -> (
+      match
+        Hashtbl.find_opt tables.(req.Msg.line mod t.cfg.banks) req.Msg.txn
+      with
       | Some sent -> sent := msg :: !sent
       | None -> ())
     | None -> ());
@@ -144,7 +210,7 @@ let forward t (req : Msg.t) ~kind ~dst ~mask ?demand ?amo () =
 
 let probe t ~kind ~dst ~line ~mask =
   send t
-    (Msg.make ~txn:(Txn.fresh ()) ~kind:(Msg.Probe kind) ~line ~mask
+    (Msg.make ~txn:(Txn.next t.txns) ~kind:(Msg.Probe kind) ~line ~mask
        ~src:(bank_of t.cfg line) ~dst ())
 
 (* ----- per-word owner bookkeeping ----------------------------------------- *)
@@ -194,7 +260,7 @@ let rec handle t (msg : Msg.t) =
 
 and handle_req t (msg : Msg.t) kind =
   Stats.bump t.stats t.req_keys.(Msg.req_kind_index kind);
-  match Cache_frame.find_exn t.frame ~line:msg.Msg.line with
+  match Frames.find_exn t.frame ~line:msg.Msg.line with
   | exception Not_found ->
     if kind = Msg.ReqWB then begin
       (* A write-back racing with a completed purge: the sender is no longer
@@ -207,7 +273,7 @@ and handle_req t (msg : Msg.t) kind =
       allocate_and_fetch t msg kind
     end
   | meta -> (
-    Cache_frame.touch t.frame ~line:msg.Msg.line;
+    Frames.touch t.frame ~line:msg.Msg.line;
     match meta.pending with
     | Some pending -> (
       match kind with
@@ -568,7 +634,7 @@ and mark_satisfied _t line meta pending src ~mask =
     assert false
 
 and handle_rsp t (msg : Msg.t) kind =
-  match Cache_frame.find_exn t.frame ~line:msg.Msg.line with
+  match Frames.find_exn t.frame ~line:msg.Msg.line with
   | exception Not_found -> Stats.incr t.stats "rsp_orphan"
   | meta -> (
     match (kind, meta.pending) with
@@ -615,7 +681,7 @@ and handle_rsp t (msg : Msg.t) kind =
 (* After a pending state clears: serve queued recalls first, then replay
    blocked requests in arrival order. *)
 and after_pending t line =
-  match Cache_frame.find_exn t.frame ~line with
+  match Frames.find_exn t.frame ~line with
   | exception Not_found -> ()
   | meta ->
     if meta.pending = None then begin
@@ -640,7 +706,7 @@ and can_evict ~line:_ meta =
 and allocate_and_fetch t (msg : Msg.t) kind =
   let line = msg.Msg.line in
   let meta = fresh_meta () in
-  let insert () = Cache_frame.insert t.frame ~line meta ~can_evict in
+  let insert () = Frames.insert t.frame ~line meta ~can_evict in
   let start_fetch () =
     meta.pending <- Some (Fetching { excl = needs_excl kind });
     Msg.keep msg;
@@ -684,7 +750,7 @@ and allocate_and_fetch t (msg : Msg.t) kind =
   end
 
 and find_purge_victim t line =
-  Cache_frame.lru_matching t.frame ~set_line:line ~f:(fun ~line:_ m ->
+  Frames.lru_matching t.frame ~set_line:line ~f:(fun ~line:_ m ->
       m.pending = None && m.recalls = [])
 
 (* Bring [line] to an unowned (and, when [inv_sharers], unshared) state; [k]
@@ -714,7 +780,7 @@ and purge t line meta ~keep_line ~inv_sharers ~k =
       meta.blocked <- [];
       let recalls = meta.recalls in
       meta.recalls <- [];
-      Cache_frame.remove t.frame ~line;
+      Frames.remove t.frame ~line;
       k (data, dirty);
       (* A parent recall queued behind this purge finds the line gone; the
          backing answers it from the write-back record the purge's own
@@ -757,7 +823,7 @@ and start_recall t line meta (r : recall_req) =
       ~k:(fun (data, dirty) -> r.rk (Some (data, dirty)))
 
 and handle_recall t ~line ~kind ~k =
-  match Cache_frame.find_exn t.frame ~line with
+  match Frames.find_exn t.frame ~line with
   | exception Not_found ->
     (* arg -1: the line is absent (answered from a write-back record). *)
     if Trace.on t.trace then
@@ -807,7 +873,8 @@ let replay_guarded = function
    re-dispatches (unblocking, allocation retries) bypass it. *)
 let arrival t (msg : Msg.t) =
   match (t.replay, msg.Msg.kind) with
-  | Some table, Msg.Req k when replay_guarded k -> (
+  | Some tables, Msg.Req k when replay_guarded k -> (
+    let table = tables.(msg.Msg.line mod t.cfg.banks) in
     match Hashtbl.find_opt table msg.Msg.txn with
     | Some sent ->
       (* Duplicate or retried request: replay what we already answered
@@ -832,7 +899,8 @@ let create engine net backing cfg =
       net;
       backing;
       cfg;
-      frame = Cache_frame.create ~sets:cfg.sets ~ways:cfg.ways;
+      txns = Txn.allocator ~id:cfg.llc_id;
+      frame = Frames.create ~banks:cfg.banks ~sets:cfg.sets ~ways:cfg.ways;
       stats;
       req_keys =
         (let keys = Array.make 7 (Stats.key stats "req.ReqV") in
@@ -843,7 +911,8 @@ let create engine net backing cfg =
            Msg.all_req_kinds;
          keys);
       replay =
-        (if Network.faults_enabled net then Some (Hashtbl.create 256)
+        (if Network.faults_enabled net then
+           Some (Array.init cfg.banks (fun _ -> Hashtbl.create 256))
          else None);
       trace;
       n_replay = Trace.name trace "llc.replay";
@@ -858,7 +927,7 @@ let create engine net backing cfg =
   backing.Backing.set_recall_handler (fun ~line ~kind ~k ->
       handle_recall t ~line ~kind ~k);
   Engine.register_pending_source engine (fun () ->
-      Cache_frame.fold t.frame ~init:[] ~f:(fun acc ~line m ->
+      Frames.fold t.frame ~init:[] ~f:(fun acc ~line m ->
           let item what =
             {
               Engine.pw_device = Printf.sprintf "llc.%d" (bank_of t.cfg line);
@@ -887,7 +956,7 @@ let create engine net backing cfg =
 
 let trace_sample t ~time =
   let pending, blocked =
-    Cache_frame.fold t.frame ~init:(0, 0) ~f:(fun (p, b) ~line:_ m ->
+    Frames.fold t.frame ~init:(0, 0) ~f:(fun (p, b) ~line:_ m ->
         ( (if m.pending = None then p else p + 1),
           b + List.length m.blocked ))
   in
@@ -897,13 +966,13 @@ let trace_sample t ~time =
     ~value:blocked
 
 let quiescent t =
-  Cache_frame.fold t.frame ~init:true ~f:(fun acc ~line:_ m ->
+  Frames.fold t.frame ~init:true ~f:(fun acc ~line:_ m ->
       acc && m.pending = None && m.blocked = [] && m.recalls = [])
   && t.backing.Backing.quiescent ()
 
 let describe_pending t =
   let busy =
-    Cache_frame.fold t.frame ~init:[] ~f:(fun acc ~line m ->
+    Frames.fold t.frame ~init:[] ~f:(fun acc ~line m ->
         match m.pending with
         | None -> acc
         | Some p ->
@@ -927,25 +996,25 @@ let describe_pending t =
 let stats t = t.stats
 
 let line_state t ~line =
-  Option.map (fun m -> m.lstate) (Cache_frame.find t.frame ~line)
+  Option.map (fun m -> m.lstate) (Frames.find t.frame ~line)
 
 let owner_of t { Addr.line; word } =
-  match Cache_frame.find t.frame ~line with
+  match Frames.find t.frame ~line with
   | Some m when Mask.mem m.owned word -> Some m.owner.(word)
   | Some _ | None -> None
 
 let owned_mask t ~line =
-  match Cache_frame.find t.frame ~line with
+  match Frames.find t.frame ~line with
   | Some m -> m.owned
   | None -> Mask.empty
 
 let sharers t ~line =
-  match Cache_frame.find t.frame ~line with Some m -> m.sharers | None -> []
+  match Frames.find t.frame ~line with Some m -> m.sharers | None -> []
 
 let peek_word t { Addr.line; word } =
-  Option.map (fun m -> m.data.(word)) (Cache_frame.find t.frame ~line)
+  Option.map (fun m -> m.data.(word)) (Frames.find t.frame ~line)
 
-let resident_lines t = Cache_frame.count t.frame
+let resident_lines t = Frames.count t.frame
 
 (* ----- model-checker introspection ----------------------------------------- *)
 
@@ -982,7 +1051,7 @@ let fp_pending fp = function
 let fingerprint t fp =
   Fp.tag fp "llc";
   let lines =
-    Cache_frame.fold t.frame ~init:[] ~f:(fun acc ~line m -> (line, m) :: acc)
+    Frames.fold t.frame ~init:[] ~f:(fun acc ~line m -> (line, m) :: acc)
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
   Fp.int fp (List.length lines);
@@ -1007,9 +1076,12 @@ let fingerprint t fp =
     lines;
   match t.replay with
   | None -> ()
-  | Some table ->
+  | Some tables ->
     let entries =
-      Hashtbl.fold (fun txn msgs acc -> (txn, !msgs) :: acc) table []
+      Array.fold_left
+        (fun acc table ->
+          Hashtbl.fold (fun txn msgs acc -> (txn, !msgs) :: acc) table acc)
+        [] tables
       |> List.sort (fun (a, _) (b, _) -> compare a b)
     in
     Fp.list fp

@@ -122,7 +122,7 @@ let reply t (msg : Msg.t) ~kind ~dst ~mask ?payload () =
 (* ----- frame management ----------------------------------------------------- *)
 
 let send_wb t ~line ~mask ~values =
-  let txn = Spandex_proto.Txn.fresh () in
+  let txn = Chassis.fresh_txn t.ch in
   Hashtbl.replace t.wb_records txn { b_line = line; b_mask = mask; b_values = values };
   Stats.bump t.ch.Chassis.stats t.k_wb_issued;
   request t ~txn ~kind:Msg.ReqWB ~line ~mask

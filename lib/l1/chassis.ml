@@ -4,6 +4,7 @@ module Retry = Spandex_util.Retry
 module Engine = Spandex_sim.Engine
 module Trace = Spandex_sim.Trace
 module Msg = Spandex_proto.Msg
+module Txn = Spandex_proto.Txn
 module Linedata = Spandex_proto.Linedata
 module Network = Spandex_net.Network
 module Fault = Spandex_net.Fault
@@ -19,6 +20,7 @@ type 'o t = {
   hit_latency : int;
   coalesce_window : int;
   sb_capacity : int;
+  txns : Txn.allocator;  (* per-device ids: interleave-independent. *)
   outstanding : 'o Mshr.t;
   sb : Store_buffer.t;
   stats : Stats.t;
@@ -56,6 +58,7 @@ let create engine net ~id ~home_id ~home_banks ~hit_latency ~coalesce_window
           ~stats)
       (Network.fault net)
   in
+  let txns = Txn.allocator ~id in
   let t =
     {
       engine;
@@ -66,7 +69,9 @@ let create engine net ~id ~home_id ~home_banks ~hit_latency ~coalesce_window
       hit_latency;
       coalesce_window;
       sb_capacity;
-      outstanding = Mshr.create ~capacity:mshrs;
+      txns;
+      outstanding =
+        Mshr.create ~fresh_txn:(fun () -> Txn.next txns) ~capacity:mshrs ();
       sb = Store_buffer.create ~capacity:sb_capacity;
       stats;
       k_load_hit = Stats.key stats "load_hit";
@@ -132,6 +137,7 @@ let create engine net ~id ~home_id ~home_banks ~hit_latency ~coalesce_window
       !acc);
   t
 
+let fresh_txn t = Txn.next t.txns
 let send t msg = Engine.send_later t.engine ~delay:t.hit_latency msg
 
 let request t ~txn ~kind ~line ~mask ?demand ?payload ?amo () =

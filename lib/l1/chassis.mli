@@ -32,6 +32,9 @@ type 'o t = {
   hit_latency : int;
   coalesce_window : int;
   sb_capacity : int;
+  txns : Spandex_proto.Txn.allocator;
+      (** per-device txn-id source, shared with [outstanding]; ids depend
+          only on this device's allocation order (PDES-safe). *)
   outstanding : 'o Mshr.t;
   sb : Store_buffer.t;
   stats : Stats.t;
@@ -82,6 +85,10 @@ val create :
 (** [level]/[aux] name the occupancy trace counters
     (["<level>.<id>.mshr"], ["<level>.<id>.<aux>"]).  Does not register a
     network handler: the protocol owns message dispatch. *)
+
+val fresh_txn : 'o t -> int
+(** Draw a transaction id from the device's allocator — for transactions
+    tracked outside the MSHR file (write-back records). *)
 
 val send : 'o t -> Msg.t -> unit
 (** Inject after the L1's hit latency. *)

@@ -8,11 +8,19 @@ type 'a t = {
   mutable vals : 'a array;
   mutable len : int;
   mutable hi : int;  (* scan bound: every slot at index >= hi is free *)
+  fresh : unit -> int;  (* txn-id source; per-device under PDES *)
 }
 
-let create ~capacity =
+let create ?(fresh_txn = Spandex_proto.Txn.fresh) ~capacity () =
   assert (capacity > 0);
-  { capacity; txns = Array.make capacity (-1); vals = [||]; len = 0; hi = 0 }
+  {
+    capacity;
+    txns = Array.make capacity (-1);
+    vals = [||];
+    len = 0;
+    hi = 0;
+    fresh = fresh_txn;
+  }
 
 let is_full t = t.len >= t.capacity
 let count t = t.len
@@ -26,7 +34,7 @@ let alloc t v =
     while t.txns.(!i) >= 0 do
       incr i
     done;
-    let txn = Spandex_proto.Txn.fresh () in
+    let txn = t.fresh () in
     t.txns.(!i) <- txn;
     t.vals.(!i) <- v;
     if !i >= t.hi then t.hi <- !i + 1;

@@ -45,6 +45,7 @@ type t = {
   net : Network.t;
   dram : Dram.t;
   cfg : config;
+  txns : Txn.allocator;  (* probe ids: drawn in directory arrival order. *)
   frame : meta Cache_frame.t;
   stats : Stats.t;
   req_keys : Stats.key array;  (* "req.<kind>" by [Msg.req_kind_index]. *)
@@ -85,7 +86,7 @@ let forward t (req : Msg.t) ~kind ~dst =
 
 let probe t ~kind ~dst ~line =
   send t
-    (Msg.make ~txn:(Txn.fresh ()) ~kind:(Msg.Probe kind) ~line
+    (Msg.make ~txn:(Txn.next t.txns) ~kind:(Msg.Probe kind) ~line
        ~mask:Addr.full_mask ~src:(bank_of t.cfg line) ~dst ())
 
 let payload_values (msg : Msg.t) =
@@ -401,6 +402,7 @@ let create engine net dram cfg =
       net;
       dram;
       cfg;
+      txns = Txn.allocator ~id:cfg.dir_id;
       frame = Cache_frame.create ~sets:cfg.sets ~ways:cfg.ways;
       stats;
       req_keys =

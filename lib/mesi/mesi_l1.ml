@@ -103,7 +103,7 @@ let reply_data t msg ~kind ~dst ~mask ~values =
 (* ----- frame management ----------------------------------------------------- *)
 
 let send_wb t ~line ~values =
-  let txn = Spandex_proto.Txn.fresh () in
+  let txn = Chassis.fresh_txn t.ch in
   Hashtbl.replace t.wb_records txn { b_line = line; b_values = values };
   Stats.bump t.ch.Chassis.stats t.k_wb_issued;
   request t ~txn ~kind:Msg.ReqWB ~line ~mask:Addr.full_mask
@@ -443,7 +443,7 @@ and serve_owned t (msg : Msg.t) l =
   | _ -> assert false
 
 and send_wb_words t ~line ~mask ~values =
-  let txn = Spandex_proto.Txn.fresh () in
+  let txn = Chassis.fresh_txn t.ch in
   Hashtbl.replace t.wb_records txn { b_line = line; b_values = Array.copy values };
   Stats.bump t.ch.Chassis.stats t.k_wb_issued;
   request t ~txn ~kind:Msg.ReqWB ~line ~mask

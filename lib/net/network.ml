@@ -5,43 +5,82 @@ module Stats = Spandex_util.Stats
 type topology = {
   latency : src:int -> dst:int -> int;
   hops : src:int -> dst:int -> int;
+  min_latency : int;
 }
 
 let flat_topology ~latency =
-  { latency = (fun ~src:_ ~dst:_ -> latency); hops = (fun ~src:_ ~dst:_ -> 1) }
+  {
+    latency = (fun ~src:_ ~dst:_ -> latency);
+    hops = (fun ~src:_ ~dst:_ -> 1);
+    min_latency = latency;
+  }
 
+(* Both the latency and the hop count of a link derive from the same
+   classification (same group or not): a cross-group message crosses as
+   many links as its latency is multiples of the local link latency, so a
+   topology with cross_latency = 3 * local_latency accounts 3 flit-hops
+   per flit, not a hardcoded 2. *)
 let grouped_topology ~group_of ~local_latency ~cross_latency =
+  let link ~src ~dst = group_of src = group_of dst in
+  let cross_hops =
+    max 1 ((cross_latency + (local_latency / 2)) / max 1 local_latency)
+  in
   {
     latency =
-      (fun ~src ~dst ->
-        if group_of src = group_of dst then local_latency else cross_latency);
-    hops = (fun ~src ~dst -> if group_of src = group_of dst then 1 else 2);
+      (fun ~src ~dst -> if link ~src ~dst then local_latency else cross_latency);
+    hops = (fun ~src ~dst -> if link ~src ~dst then 1 else cross_hops);
+    min_latency = min local_latency cross_latency;
   }
 
 module Trace = Spandex_sim.Trace
 
+(* Per-shard slice of the network: its engine, and all the mutable
+   accounting that slice touches — so a sharded run never has two domains
+   writing one counter.  A device's sends are accounted on its own shard
+   (a send happens on the sending device's domain); a delivery decrements
+   the in-flight counter of the destination's shard.  At settled points
+   (round horizons) the per-shard counters sum to exactly the sequential
+   totals, because every message is counted once on each side. *)
+type shard = {
+  sh_engine : Engine.t;
+  sh_traffic : int array;  (** flit-hops per category. *)
+  sh_stats : Stats.t;
+  sh_kind_keys : Stats.key array;  (** per-kind counters, by [Msg.kind_index]. *)
+  sh_in_flight : int ref;
+  mutable sh_messages : int;
+  sh_trace : Trace.t;  (** that engine's sink; [Trace.disabled] when off. *)
+  sh_n_in_flight : int;  (** interned trace counter name. *)
+}
+
+type cross_send =
+  src_shard:int ->
+  dst_shard:int ->
+  time:int ->
+  t0:int ->
+  tie:int ->
+  Msg.t ->
+  Engine.endpoint ->
+  unit
+
 type t = {
-  engine : Engine.t;
   topo : topology;
+  shards : shard array;
+  shard_of : int -> int;  (** device id -> owning shard. *)
+  (* Stamped cross-shard deliveries leave through here (the PDES link
+     mesh); unused in a single-shard network. *)
+  cross : cross_send;
   (* Device ids are small dense ints assigned by [Run], so the endpoint
      table is a plain array indexed by id (grown on register) instead of a
      Hashtbl — no hashing on the delivery hot path. *)
   mutable endpoints : Engine.endpoint option array;
-  traffic : int array;  (** flit-hops per category. *)
-  stats : Stats.t;
-  kind_keys : Stats.key array;  (** per-kind counters, by [Msg.kind_index]. *)
   fault : Fault.t option;  (** active fault-injection plan, if any. *)
   (* Model-checker delivery hook: when installed, [send] hands every
      accounted message here instead of enqueueing a [Deliver] event (or
      routing through the fault plan), letting the checker hold it and
      choose the delivery order; held messages re-enter via
-     [deliver_held]. *)
+     [deliver_held].  Single-shard only, like fault injection. *)
   mutable delivery_hook : (Msg.t -> latency:int -> unit) option;
-  in_flight : int ref;
-  mutable messages : int;
-  trace : Trace.t;  (** the engine's sink; [Trace.disabled] when off. *)
-  n_in_flight : int;  (** interned trace counter/instant names. *)
-  n_fault_drop : int;
+  n_fault_drop : int;  (** interned on shard 0's trace. *)
   n_fault_dup : int;
   n_fault_delay : int;
 }
@@ -56,6 +95,8 @@ let category_index = function
 
 let fault t = t.fault
 let faults_enabled t = Option.is_some t.fault
+let shard_count t = Array.length t.shards
+let shard_of t id = t.shard_of id
 
 let register t ~id handler =
   if id < 0 then invalid_arg "Network.register: negative id";
@@ -69,8 +110,13 @@ let register t ~id handler =
   match t.endpoints.(id) with
   | Some ep -> ep.Engine.handler <- handler
   | None ->
+    (* The destination shard owns the in-flight count: it is decremented
+       on delivery (the destination's domain), and incremented either on
+       a same-shard send or when the destination injects a cross-shard
+       arrival — never from another domain. *)
+    let sh = t.shards.(t.shard_of id) in
     t.endpoints.(id) <-
-      Some { Engine.handler; ingress_free = 0; in_flight = t.in_flight }
+      Some { Engine.handler; ingress_free = 0; in_flight = sh.sh_in_flight }
 
 let endpoint t id =
   if id < 0 || id >= Array.length t.endpoints then
@@ -81,15 +127,20 @@ let endpoint t id =
     | None -> failwith (Printf.sprintf "Network: unregistered endpoint %d" id)
 
 let send t (msg : Msg.t) =
-  if Trace.on t.trace then
-    Trace.msg_send t.trace ~time:(Engine.now t.engine) ~src:msg.src
-      ~dst:msg.dst ~txn:msg.txn ~kind:(Msg.kind_index msg.kind) ~line:msg.line;
+  (* All accounting lands on the sending device's shard — [send] executes
+     on that shard's domain. *)
+  let ss = t.shard_of msg.Msg.src in
+  let sh = t.shards.(ss) in
+  let now = Engine.now sh.sh_engine in
+  if Trace.on sh.sh_trace then
+    Trace.msg_send sh.sh_trace ~time:now ~src:msg.src ~dst:msg.dst
+      ~txn:msg.txn ~kind:(Msg.kind_index msg.kind) ~line:msg.line;
   let flits = Msg.flits msg in
   let hops = t.topo.hops ~src:msg.src ~dst:msg.dst in
   let cat = category_index (Msg.category msg.kind) in
-  t.traffic.(cat) <- t.traffic.(cat) + (flits * hops);
-  t.messages <- t.messages + 1;
-  Stats.bump t.stats t.kind_keys.(Msg.kind_index msg.kind);
+  sh.sh_traffic.(cat) <- sh.sh_traffic.(cat) + (flits * hops);
+  sh.sh_messages <- sh.sh_messages + 1;
+  Stats.bump sh.sh_stats sh.sh_kind_keys.(Msg.kind_index msg.kind);
   let latency = t.topo.latency ~src:msg.src ~dst:msg.dst in
   (* Closure-free hot path: enqueue a typed [Deliver] event; the engine
      applies the one-message-per-cycle ingress drain and invokes
@@ -104,38 +155,48 @@ let send t (msg : Msg.t) =
   | None -> (
   match t.fault with
   | None ->
-    incr t.in_flight;
-    Engine.deliver t.engine ~delay:latency msg ep
+    let ds = t.shard_of msg.Msg.dst in
+    if ds = ss then begin
+      incr ep.Engine.in_flight;
+      Engine.deliver sh.sh_engine ~delay:latency msg ep
+    end
+    else
+      (* Stamp the canonical delivery key — the same draw a same-shard
+         [Engine.deliver] would perform — and hand the message to the
+         cross-shard link; the destination shard injects it (and counts
+         it in flight) when it drains the link. *)
+      t.cross ~src_shard:ss ~dst_shard:ds ~time:(now + latency) ~t0:now
+        ~tie:(Engine.cross_tie sh.sh_engine msg)
+        msg ep
   | Some f -> (
     (* Under fault injection a message can be dropped (retry closures
        re-read it), duplicated (two Deliver events share one record) or
        replayed from a reply cache — blanket-detach instead of tracking
        which path each message takes.  Fault runs are off the measured
-       hot path. *)
+       hot path, and are single-shard by construction. *)
     Msg.keep msg;
-    let now = Engine.now t.engine in
     match Fault.route f ~now ~latency msg with
     | Fault.Drop ->
-      if Trace.on t.trace then
-        Trace.instant t.trace ~time:now ~dev:msg.src ~name:t.n_fault_drop
+      if Trace.on sh.sh_trace then
+        Trace.instant sh.sh_trace ~time:now ~dev:msg.src ~name:t.n_fault_drop
           ~txn:msg.txn ~arg:(Msg.kind_index msg.kind)
     | Fault.Deliver delays ->
       (match delays with
-      | [ delay ] when delay <> latency && Trace.on t.trace ->
-        Trace.instant t.trace ~time:now ~dev:msg.src ~name:t.n_fault_delay
+      | [ delay ] when delay <> latency && Trace.on sh.sh_trace ->
+        Trace.instant sh.sh_trace ~time:now ~dev:msg.src ~name:t.n_fault_delay
           ~txn:msg.txn ~arg:(delay - latency)
       | _ -> ());
       List.iteri
         (fun i delay ->
           (* Duplicate copies occupy the fabric too. *)
           if i > 0 then begin
-            t.traffic.(cat) <- t.traffic.(cat) + (flits * hops);
-            if Trace.on t.trace then
-              Trace.instant t.trace ~time:now ~dev:msg.src ~name:t.n_fault_dup
-                ~txn:msg.txn ~arg:delay
+            sh.sh_traffic.(cat) <- sh.sh_traffic.(cat) + (flits * hops);
+            if Trace.on sh.sh_trace then
+              Trace.instant sh.sh_trace ~time:now ~dev:msg.src
+                ~name:t.n_fault_dup ~txn:msg.txn ~arg:delay
           end;
-          incr t.in_flight;
-          Engine.deliver t.engine ~delay msg ep)
+          incr ep.Engine.in_flight;
+          Engine.deliver sh.sh_engine ~delay msg ep)
         delays))
 
 let set_delivery_hook t hook = t.delivery_hook <- Some hook
@@ -143,14 +204,14 @@ let clear_delivery_hook t = t.delivery_hook <- None
 
 let deliver_held t (msg : Msg.t) =
   let ep = endpoint t msg.dst in
-  incr t.in_flight;
-  Engine.deliver t.engine ~delay:0 msg ep
+  incr ep.Engine.in_flight;
+  Engine.deliver t.shards.(0).sh_engine ~delay:0 msg ep
 
 let wrap_handler t ~id wrap =
   let ep = endpoint t id in
   ep.Engine.handler <- wrap ep.Engine.handler
 
-let create ?fault engine topo =
+let make_shard engine =
   let stats = Stats.create () in
   let kind_keys =
     let keys = Array.make Msg.num_kinds (Stats.key stats "ReqV") in
@@ -160,37 +221,79 @@ let create ?fault engine topo =
     keys
   in
   let trace = Engine.trace engine in
+  {
+    sh_engine = engine;
+    sh_traffic = Array.make 6 0;
+    sh_stats = stats;
+    sh_kind_keys = kind_keys;
+    sh_in_flight = ref 0;
+    sh_messages = 0;
+    sh_trace = trace;
+    sh_n_in_flight = Trace.name trace "net.in_flight";
+  }
+
+let no_cross ~src_shard:_ ~dst_shard:_ ~time:_ ~t0:_ ~tie:_ _msg _ep =
+  failwith "Network: cross-shard send on a single-shard network"
+
+let create_sharded ?fault engines topo ~shard_of ~cross =
+  if Array.length engines < 1 then
+    invalid_arg "Network.create_sharded: need at least one shard";
+  if Option.is_some fault && Array.length engines > 1 then
+    invalid_arg "Network.create_sharded: fault injection is single-shard";
+  let shards = Array.map make_shard engines in
+  let trace0 = shards.(0).sh_trace in
   let t =
     {
-      engine;
       topo;
+      shards;
+      shard_of;
+      cross;
       endpoints = Array.make 64 None;
-      traffic = Array.make 6 0;
-      stats;
-      kind_keys;
-      fault = Option.map (fun spec -> Fault.create spec ~stats) fault;
+      fault =
+        Option.map
+          (fun spec -> Fault.create spec ~stats:shards.(0).sh_stats)
+          fault;
       delivery_hook = None;
-      in_flight = ref 0;
-      messages = 0;
-      trace;
-      n_in_flight = Trace.name trace "net.in_flight";
-      n_fault_drop = Trace.name trace "fault.drop";
-      n_fault_dup = Trace.name trace "fault.dup";
-      n_fault_delay = Trace.name trace "fault.delay";
+      n_fault_drop = Trace.name trace0 "fault.drop";
+      n_fault_dup = Trace.name trace0 "fault.dup";
+      n_fault_delay = Trace.name trace0 "fault.delay";
     }
   in
   (* Components enqueue outbound messages as typed [Egress] events
      ({!Engine.send_later}) instead of per-message closures; install the
-     dispatch target once. *)
-  Engine.set_egress engine (send t);
+     dispatch target once per shard engine ([send] re-derives the shard
+     from the sender id). *)
+  Array.iter (fun e -> Engine.set_egress e (send t)) engines;
   t
 
-let in_flight t = !(t.in_flight)
+let create ?fault engine topo =
+  create_sharded ?fault [| engine |] topo ~shard_of:(fun _ -> 0)
+    ~cross:no_cross
+
+let in_flight t =
+  Array.fold_left (fun acc sh -> acc + !(sh.sh_in_flight)) 0 t.shards
 
 let trace_sample t ~time =
-  Trace.counter t.trace ~time ~dev:0 ~name:t.n_in_flight
-    ~value:!(t.in_flight)
-let traffic_flits t cat = t.traffic.(category_index cat)
-let total_flits t = Array.fold_left ( + ) 0 t.traffic
-let messages_sent t = t.messages
-let stats t = t.stats
+  let sh = t.shards.(0) in
+  Trace.counter sh.sh_trace ~time ~dev:0 ~name:sh.sh_n_in_flight
+    ~value:!(sh.sh_in_flight)
+
+let trace_sample_shard t ~shard ~time =
+  let sh = t.shards.(shard) in
+  Trace.counter sh.sh_trace ~time ~dev:0 ~name:sh.sh_n_in_flight
+    ~value:!(sh.sh_in_flight)
+
+let traffic_flits t cat =
+  let i = category_index cat in
+  Array.fold_left (fun acc sh -> acc + sh.sh_traffic.(i)) 0 t.shards
+
+let total_flits t =
+  Array.fold_left
+    (fun acc sh -> acc + Array.fold_left ( + ) 0 sh.sh_traffic)
+    0 t.shards
+
+let messages_sent t =
+  Array.fold_left (fun acc sh -> acc + sh.sh_messages) 0 t.shards
+
+let stats t = t.shards.(0).sh_stats
+let shard_stats t = Array.map (fun sh -> sh.sh_stats) t.shards

@@ -8,6 +8,9 @@
 type topology = {
   latency : src:int -> dst:int -> int;  (** delivery latency in cycles. *)
   hops : src:int -> dst:int -> int;  (** link crossings, for flit-hops. *)
+  min_latency : int;
+      (** smallest latency over all (src, dst) pairs — the conservative
+          lookahead bound the PDES backend synchronizes on. *)
 }
 
 val flat_topology : latency:int -> topology
@@ -19,15 +22,48 @@ val grouped_topology :
   cross_latency:int ->
   topology
 (** Two-level: endpoints in the same group are [local_latency]/1-hop apart;
-    different groups cost [cross_latency]/2 hops.  Used for the
-    hierarchical baseline's intra-GPU vs. cross-device distances. *)
+    different groups cost [cross_latency] cycles and a hop count derived
+    from the same link structure (cross_latency / local_latency link
+    crossings, rounded, at least 1).  Used for the hierarchical baseline's
+    intra-GPU vs. cross-device distances. *)
 
 type t
+
+type cross_send =
+  src_shard:int ->
+  dst_shard:int ->
+  time:int ->
+  t0:int ->
+  tie:int ->
+  Spandex_proto.Msg.t ->
+  Spandex_sim.Engine.endpoint ->
+  unit
+(** How a sharded network hands a stamped cross-shard delivery to the
+    PDES link mesh ([Pdes.push]): absolute arrival [time], send cycle
+    [t0] and [tie] from [Engine.cross_tie] form the canonical delivery
+    key, so the destination shard merges it exactly where a sequential
+    run would. *)
 
 val create : ?fault:Fault.spec -> Spandex_sim.Engine.t -> topology -> t
 (** [?fault] arms a fault-injection plan (see {!Fault}); when absent the
     network is reliable and delivery behavior is bit-identical to before
-    fault injection existed. *)
+    fault injection existed.  Equivalent to a one-shard
+    {!create_sharded}. *)
+
+val create_sharded :
+  ?fault:Fault.spec ->
+  Spandex_sim.Engine.t array ->
+  topology ->
+  shard_of:(int -> int) ->
+  cross:cross_send ->
+  t
+(** One network spanning several per-shard engines: device [id] lives on
+    shard [shard_of id], a send is accounted on the sender's shard, a
+    same-shard message is delivered directly, and a cross-shard message
+    leaves through [cross].  All per-shard accounting (traffic, stats,
+    message and in-flight counts, trace sends) is owned by one domain;
+    the aggregate accessors below sum across shards and are exact at
+    settled points.  [?fault] requires a single shard. *)
 
 val fault : t -> Fault.t option
 (** The live fault-injection state, when a plan was armed at [create]. *)
@@ -73,14 +109,29 @@ val wrap_handler :
     without touching protocol code. *)
 
 val in_flight : t -> int
-(** Messages sent but not yet delivered; used for quiescence checks. *)
+(** Messages sent but not yet delivered, summed over shards; used for
+    quiescence checks (exact at settled points — messages parked on a
+    cross-shard link are counted by neither side, but links are empty at
+    round horizons). *)
+
+val shard_count : t -> int
+val shard_of : t -> int -> int
+(** The shard owning device [id] (as passed to {!create_sharded}). *)
 
 val trace_sample : t -> time:int -> unit
-(** Record the in-flight message count into the engine's trace sink as a
+(** Record shard 0's in-flight count into its trace sink as a
     ["net.in_flight"] counter sample; no-op when tracing is disabled. *)
+
+val trace_sample_shard : t -> shard:int -> time:int -> unit
+(** Per-shard variant, called from that shard's sampler. *)
 
 val traffic_flits : t -> Spandex_proto.Msg.category -> int
 val total_flits : t -> int
 val messages_sent : t -> int
 val stats : t -> Spandex_util.Stats.t
-(** Per-kind message counters, keyed by message-kind name. *)
+(** Shard 0's per-kind message counters, keyed by message-kind name (the
+    whole network's counters on a single-shard network). *)
+
+val shard_stats : t -> Spandex_util.Stats.t array
+(** Every shard's counters, in shard order; merging them sums to the
+    sequential totals. *)

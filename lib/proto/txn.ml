@@ -11,3 +11,21 @@ let fresh () =
   !counter
 
 let reset () = Domain.DLS.get counter_key := 0
+
+(* Per-device allocators make an id depend only on the issuing device and
+   how many ids that device has drawn — never on the global interleave of
+   events across devices.  That is what lets the PDES backend, which runs
+   devices on different domains, hand out the same ids as the sequential
+   wheel.  Ids are [id + k * 4096]: disjoint per device as long as device
+   ids stay below 4096 (they are small dense ints), and [k] starts at 1 so
+   no allocator ever returns its bare device id twice. *)
+type allocator = { id : int; mutable next : int }
+
+let allocator ~id =
+  if id < 0 || id >= 4096 then invalid_arg "Txn.allocator: id out of range";
+  { id; next = 1 }
+
+let next a =
+  let k = a.next in
+  a.next <- k + 1;
+  a.id + (k lsl 12)

@@ -12,3 +12,15 @@ val fresh : unit -> int
 val reset : unit -> unit
 (** Reset the calling domain's counter (between independent simulations,
     for reproducibility of logged ids; correctness never depends on it). *)
+
+type allocator
+(** A per-device id source: ids are [device_id + k * 4096], unique across
+    devices (ids are small dense ints < 4096) and — unlike {!fresh} —
+    independent of the global event interleave, so a device hands out the
+    same ids whether the simulation runs on one domain or is sharded
+    across several (PDES backend). *)
+
+val allocator : id:int -> allocator
+(** Raises [Invalid_argument] when [id] is outside [0, 4096). *)
+
+val next : allocator -> int

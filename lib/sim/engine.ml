@@ -9,20 +9,19 @@ type endpoint = {
 }
 
 (* The dominant event kinds are represented as data instead of nested
-   closures: [Deliver] (tag 1) models the message reaching the
-   destination's ingress after the wire latency, [Handle] (tag 2) the
-   ingress granting it (one message per cycle) and invoking the handler,
-   [Egress] (tag 3) a component handing a message to the network after its
-   internal access latency (dispatched through the callback {!set_egress}
-   installs), and [Apply] (tag 4) a completion continuation fired with its
-   result value (load/RMW hits).  [Thunk] (tag 0) is the fallback for
-   every other component callback.
+   closures: [Handle] (tag 2) models the ingress granting a delivered
+   message (one per cycle) and invoking the handler, [Egress] (tag 3) a
+   component handing a message to the network after its internal access
+   latency (dispatched through the callback {!set_egress} installs), and
+   [Apply] (tag 4) a completion continuation fired with its result value
+   (load/RMW hits).  [Thunk] (tag 0) is the fallback for every other
+   component callback.  Network deliveries do not live in this queue at
+   all — see [Netq] below.
 
    Events are mutable records drawn from a per-engine free-list instead of
    variant cells: dispatch copies the payload fields into locals, returns
    the record to the free-list, then acts, so a steady-state simulation
-   allocates no event cells at all.  A [Deliver] dispatch retags its own
-   record as the [Handle] it schedules.  The tag encoding replaces the
+   allocates no event cells at all.  The tag encoding replaces the
    constructor word; unused fields hold settled dummies so a parked record
    pins no component state. *)
 type ev = {
@@ -30,8 +29,8 @@ type ev = {
   mutable fn : unit -> unit;  (* Thunk *)
   mutable af : int -> unit;  (* Apply continuation *)
   mutable iarg : int;  (* Apply value *)
-  mutable msg : Msg.t;  (* Deliver / Handle / Egress *)
-  mutable ep : endpoint;  (* Deliver / Handle *)
+  mutable msg : Msg.t;  (* Handle / Egress *)
+  mutable ep : endpoint;  (* Handle *)
 }
 
 let nop () = ()
@@ -44,16 +43,146 @@ let dummy_ep = { handler = (fun _ -> ()); ingress_free = 0; in_flight = ref 0 }
 let fresh_ev () =
   { tag = 0; fn = nop; af = nop1; iarg = 0; msg = Msg.dummy; ep = dummy_ep }
 
-type backend = Wheel_backend | Heap_backend
+(* Network deliveries are ordered by a key that no scheduler implementation
+   detail can perturb: (arrival time, send time, src << 40 | per-src seq).
+   The engine drains same-cycle component events before granting the
+   cycle's deliveries, so the interleave of deliveries with component work
+   is canonical — a function of the simulated machine, not of the order
+   the queue happened to be pushed.  That is what lets a sharded (PDES)
+   run, where pushes from different shards have no global order at all,
+   reproduce the sequential engine bit for bit: every shard computes the
+   same delivery keys, and the per-shard component order is the sequential
+   order restricted to that shard.
+
+   Represented as a binary min-heap over parallel int arrays (no per-entry
+   boxing; [msgs]/[eps] carry the payload).  Keys are unique — [tie]
+   embeds a per-source sequence number — so ordering is total. *)
+module Netq = struct
+  type t = {
+    mutable times : int array;
+    mutable t0s : int array;
+    mutable ties : int array;
+    mutable msgs : Msg.t array;
+    mutable eps : endpoint array;
+    mutable len : int;
+  }
+
+  let create () =
+    {
+      times = Array.make 64 0;
+      t0s = Array.make 64 0;
+      ties = Array.make 64 0;
+      msgs = Array.make 64 Msg.dummy;
+      eps = Array.make 64 dummy_ep;
+      len = 0;
+    }
+
+  let is_empty q = q.len = 0
+  let min_time q = q.times.(0)
+
+  let less q i j =
+    let ti = q.times.(i) and tj = q.times.(j) in
+    ti < tj
+    || ti = tj
+       &&
+       let ai = q.t0s.(i) and aj = q.t0s.(j) in
+       ai < aj || (ai = aj && q.ties.(i) < q.ties.(j))
+
+  let swap q i j =
+    let t = q.times.(i) in
+    q.times.(i) <- q.times.(j);
+    q.times.(j) <- t;
+    let t = q.t0s.(i) in
+    q.t0s.(i) <- q.t0s.(j);
+    q.t0s.(j) <- t;
+    let t = q.ties.(i) in
+    q.ties.(i) <- q.ties.(j);
+    q.ties.(j) <- t;
+    let m = q.msgs.(i) in
+    q.msgs.(i) <- q.msgs.(j);
+    q.msgs.(j) <- m;
+    let e = q.eps.(i) in
+    q.eps.(i) <- q.eps.(j);
+    q.eps.(j) <- e
+
+  let grow q =
+    let cap = 2 * Array.length q.times in
+    let times = Array.make cap 0
+    and t0s = Array.make cap 0
+    and ties = Array.make cap 0
+    and msgs = Array.make cap Msg.dummy
+    and eps = Array.make cap dummy_ep in
+    Array.blit q.times 0 times 0 q.len;
+    Array.blit q.t0s 0 t0s 0 q.len;
+    Array.blit q.ties 0 ties 0 q.len;
+    Array.blit q.msgs 0 msgs 0 q.len;
+    Array.blit q.eps 0 eps 0 q.len;
+    q.times <- times;
+    q.t0s <- t0s;
+    q.ties <- ties;
+    q.msgs <- msgs;
+    q.eps <- eps
+
+  let push q ~time ~t0 ~tie msg ep =
+    if q.len = Array.length q.times then grow q;
+    let i = ref q.len in
+    q.times.(!i) <- time;
+    q.t0s.(!i) <- t0;
+    q.ties.(!i) <- tie;
+    q.msgs.(!i) <- msg;
+    q.eps.(!i) <- ep;
+    q.len <- q.len + 1;
+    while !i > 0 && less q !i ((!i - 1) / 2) do
+      swap q !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  (* Remove the root; callers read [msgs.(0)]/[eps.(0)] first. *)
+  let drop_min q =
+    q.len <- q.len - 1;
+    let n = q.len in
+    if n > 0 then swap q 0 n;
+    (* Clear the vacated slot so it pins neither message nor endpoint. *)
+    q.msgs.(n) <- Msg.dummy;
+    q.eps.(n) <- dummy_ep;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 in
+      let r = l + 1 in
+      let s = ref !i in
+      if l < n && less q l !s then s := l;
+      if r < n && less q r !s then s := r;
+      if !s <> !i then begin
+        swap q !i !s;
+        i := !s
+      end
+      else continue := false
+    done
+end
+
+type backend = Wheel_backend | Heap_backend | Pdes_backend of { shards : int }
 
 (* The heap backend is the pre-wheel engine, kept as a reference
-   implementation: pushes go through a single (time, seq) binary heap, so
-   sweeps run on it reproduce the original scheduler bit-for-bit and the
-   test suite can assert the wheel engine matches it. *)
+   implementation: component events go through a single (time, seq) binary
+   heap, so sweeps run on it reproduce the original scheduler bit-for-bit
+   and the test suite can assert the wheel engine matches it.  A
+   [Pdes_backend] engine is one shard's scheduler — a wheel; the sharding
+   itself lives in [Pdes]/[Run], not here. *)
 type queue = Q_wheel of ev Wheel.t | Q_heap of ev Pqueue.t
 
 type t = {
   queue : queue;
+  netq : Netq.t;
+  (* Per-source delivery sequence numbers (index = src device id).  Under
+     PDES each device sends from exactly one shard, so the per-shard
+     arrays partition the sequential engine's single array — every source
+     draws the same sequence either way. *)
+  mutable dseq : int array;
+  mutable lookahead : int;
+      (* the until_done / watchdog check grid; [Run] sets it to the
+         topology's min latency so every backend — sharded or not —
+         evaluates completion at the same boundaries. *)
   mutable time : int;
   mutable steps : int;
   mutable step_limit : int;
@@ -72,6 +201,16 @@ type t = {
      parked ops) so a drained queue can be diagnosed as [Stuck] instead
      of silently returning as complete. *)
   mutable pending_sources : (unit -> pending_work list) list;
+  (* Watchdog state, polled at lookahead-grid boundaries by [run] (and by
+     the PDES coordinator via [watchdog_check]) — never via heartbeat
+     events, which would perturb event counts and differ across shards. *)
+  mutable wd_interval : int;  (* 0 = no watchdog *)
+  mutable wd_beat : int;
+  mutable wd_next : int;
+  mutable wd_last : int;
+  mutable wd_last_change : int;
+  mutable wd_progress : unit -> int;
+  mutable wd_describe : unit -> string;
   (* Event free-list: records recycled at dispatch, popped by the push
      helpers.  Engine-local, so no synchronization. *)
   mutable free_evs : ev array;
@@ -120,12 +259,15 @@ let pp_livelock fmt l =
 let create ?(backend = Wheel_backend) ?(trace = Trace.disabled) () =
   let queue =
     match backend with
-    | Wheel_backend ->
+    | Wheel_backend | Pdes_backend _ ->
       Q_wheel (Wheel.create ~horizon:512 ~dummy:(fresh_ev ()) ())
     | Heap_backend -> Q_heap (Pqueue.create ~capacity:1024 ())
   in
   {
     queue;
+    netq = Netq.create ();
+    dseq = Array.make 64 0;
+    lookahead = 1;
     time = 0;
     steps = 0;
     step_limit = 500_000_000;
@@ -135,6 +277,13 @@ let create ?(backend = Wheel_backend) ?(trace = Trace.disabled) () =
     next_sample = max_int;
     sample_every = 0;
     pending_sources = [];
+    wd_interval = 0;
+    wd_beat = 0;
+    wd_next = 0;
+    wd_last = 0;
+    wd_last_change = 0;
+    wd_progress = (fun () -> 0);
+    wd_describe = (fun () -> "");
     free_evs = Array.init 64 (fun _ -> fresh_ev ());
     free_len = 64;
   }
@@ -149,6 +298,12 @@ let live_work t =
 let now t = t.time
 let set_egress t f = t.egress <- f
 let trace t = t.trace
+
+let set_lookahead t l =
+  if l <= 0 then invalid_arg "Engine.set_lookahead";
+  t.lookahead <- l
+
+let lookahead t = t.lookahead
 
 let set_sampler t ~every f =
   if every <= 0 then invalid_arg "Engine.set_sampler: every";
@@ -204,13 +359,38 @@ let schedule t ~delay f =
   e.fn <- f;
   q_push t.queue ~time:(t.time + delay) e
 
-let deliver t ~delay msg ep =
+(* Delivery ties pack (src, per-src seq) into one int: src in the high
+   bits, sequence below.  Device ids are small dense ints (< 2^22 with
+   room to spare); sequences fit 40 bits for any plausible run. *)
+let draw_tie t src =
+  if src < 0 || src >= 1 lsl 22 then
+    invalid_arg "Engine: src device id out of range";
+  if src >= Array.length t.dseq then begin
+    let grown = Array.make (max (src + 1) (2 * Array.length t.dseq)) 0 in
+    Array.blit t.dseq 0 grown 0 (Array.length t.dseq);
+    t.dseq <- grown
+  end;
+  let s = t.dseq.(src) in
+  t.dseq.(src) <- s + 1;
+  (src lsl 40) lor s
+
+let deliver t ~delay (msg : Msg.t) ep =
   if delay < 0 then invalid_arg "Engine.deliver: negative delay";
-  let e = ev_alloc t in
-  e.tag <- 1;
-  e.msg <- msg;
-  e.ep <- ep;
-  q_push t.queue ~time:(t.time + delay) e
+  Netq.push t.netq ~time:(t.time + delay) ~t0:t.time
+    ~tie:(draw_tie t msg.Msg.src) msg ep
+
+let cross_tie t (msg : Msg.t) = draw_tie t msg.Msg.src
+
+let inject t ~time ~t0 ~tie msg ep =
+  if time < t.time then
+    invalid_arg
+      (Printf.sprintf "Engine.inject: time %d is in the past (now %d)" time
+         t.time);
+  (* The destination shard owns the in-flight count for messages bound to
+     its endpoints; a cross-shard message is counted when it crosses into
+     the shard (the sender's network context never saw it). *)
+  incr ep.in_flight;
+  Netq.push t.netq ~time ~t0 ~tie msg ep
 
 let send_later t ~delay msg =
   if delay < 0 then invalid_arg "Engine.send_later: negative delay";
@@ -240,28 +420,16 @@ let step_limit_hit t =
 
 (* Dispatch copies an event's fields into locals and recycles the record
    *before* acting, so the action's own pushes can reuse it immediately.
-   A [Deliver] instead retags its record in place as the [Handle] grant it
-   schedules — the grant is still a separate event, so step counts and
-   intra-cycle FIFO order match the closure engine this replaced exactly.
    After a [Handle]'s component handler returns, the message itself goes
    back to its pool unless the handler kept it (see {!Msg.recycle}). *)
 
-let wheel_dispatch t w (e : ev) =
+let wheel_dispatch t (e : ev) =
   if t.time >= t.next_sample then sample_now t;
   match e.tag with
   | 0 ->
     let f = e.fn in
     ev_recycle t e;
     f ()
-  | 1 ->
-    (* One message per cycle drains the ingress port. *)
-    let ep = e.ep in
-    let deliver_at =
-      if ep.ingress_free > t.time then ep.ingress_free else t.time
-    in
-    ep.ingress_free <- deliver_at + 1;
-    e.tag <- 2;
-    Wheel.push w ~time:deliver_at e
   | 2 ->
     let ep = e.ep in
     let msg = e.msg in
@@ -279,37 +447,28 @@ let wheel_dispatch t w (e : ev) =
     ev_recycle t e;
     f v
 
-let heap_dispatch t h (e : ev) =
+let heap_dispatch = wheel_dispatch
+
+(* Grant the best pending delivery: the one-message-per-cycle ingress
+   drain assigns the port slot, and the handler invocation is scheduled as
+   a [Handle] component event — which the run loops drain before granting
+   the next delivery, so a burst of same-cycle arrivals at one endpoint
+   is granted in key order with the port back-pressure applied exactly as
+   the sequential engine always has. *)
+let netq_dispatch t =
   if t.time >= t.next_sample then sample_now t;
-  match e.tag with
-  | 0 ->
-    let f = e.fn in
-    ev_recycle t e;
-    f ()
-  | 1 ->
-    let ep = e.ep in
-    let deliver_at =
-      if ep.ingress_free > t.time then ep.ingress_free else t.time
-    in
-    ep.ingress_free <- deliver_at + 1;
-    e.tag <- 2;
-    Pqueue.push h ~time:deliver_at e
-  | 2 ->
-    let ep = e.ep in
-    let msg = e.msg in
-    ev_recycle t e;
-    decr ep.in_flight;
-    ep.handler msg;
-    Msg.recycle msg
-  | 3 ->
-    let msg = e.msg in
-    ev_recycle t e;
-    t.egress msg
-  | _ ->
-    let f = e.af in
-    let v = e.iarg in
-    ev_recycle t e;
-    f v
+  let q = t.netq in
+  let msg = q.Netq.msgs.(0) and ep = q.Netq.eps.(0) in
+  Netq.drop_min q;
+  let deliver_at =
+    if ep.ingress_free > t.time then ep.ingress_free else t.time
+  in
+  ep.ingress_free <- deliver_at + 1;
+  let e = ev_alloc t in
+  e.tag <- 2;
+  e.msg <- msg;
+  e.ep <- ep;
+  q_push t.queue ~time:deliver_at e
 
 (* A drained queue is only "done" if no component still holds live work:
    an L1 waiting on a reply that will never arrive would otherwise look
@@ -321,129 +480,242 @@ let drained ~strict t =
     | [] -> t.time
     | work -> raise (Stuck { stuck_cycle = t.time; stuck_work = work })
 
+(* Canonical pop rule, shared by every loop below: component events first
+   at equal times ([tq <= tn]), deliveries only when strictly earliest or
+   the component queue is idle at that cycle.  Combined with [Handle]
+   being a component event, this makes the merged order a pure function
+   of the simulated machine. *)
+
 let run_all ?(strict = true) t =
+  let nq = t.netq in
   match t.queue with
   | Q_wheel w ->
     let rec loop () =
-      if Wheel.is_empty w then drained ~strict t
+      let wempty = Wheel.is_empty w in
+      if wempty && Netq.is_empty nq then drained ~strict t
       else begin
-        let ev = Wheel.pop_min w in
-        t.time <- Wheel.current_time w;
+        let from_net =
+          (not (Netq.is_empty nq))
+          && (wempty
+             ||
+             match Wheel.peek_time w with
+             | Some tw -> tw > Netq.min_time nq
+             | None -> true)
+        in
         t.steps <- t.steps + 1;
         if t.steps > t.step_limit then step_limit_hit t;
-        wheel_dispatch t w ev;
+        if from_net then begin
+          t.time <- Netq.min_time nq;
+          netq_dispatch t
+        end
+        else begin
+          let ev = Wheel.pop_min w in
+          t.time <- Wheel.current_time w;
+          wheel_dispatch t ev
+        end;
         loop ()
       end
     in
     loop ()
   | Q_heap h ->
     let rec loop () =
-      if Pqueue.is_empty h then drained ~strict t
+      let hempty = Pqueue.is_empty h in
+      if hempty && Netq.is_empty nq then drained ~strict t
       else begin
-        t.time <- Pqueue.min_time h;
-        let ev = Pqueue.pop_min h in
+        let from_net =
+          (not (Netq.is_empty nq))
+          && (hempty || Pqueue.min_time h > Netq.min_time nq)
+        in
         t.steps <- t.steps + 1;
         if t.steps > t.step_limit then step_limit_hit t;
-        heap_dispatch t h ev;
+        if from_net then begin
+          t.time <- Netq.min_time nq;
+          netq_dispatch t
+        end
+        else begin
+          t.time <- Pqueue.min_time h;
+          let ev = Pqueue.pop_min h in
+          heap_dispatch t ev
+        end;
         loop ()
       end
     in
     loop ()
 
 let next_event_time t =
-  match t.queue with
-  | Q_wheel w -> Wheel.peek_time w
-  | Q_heap h -> Pqueue.peek_time h
+  let tn = if Netq.is_empty t.netq then None else Some (Netq.min_time t.netq) in
+  let tq =
+    match t.queue with
+    | Q_wheel w -> Wheel.peek_time w
+    | Q_heap h -> Pqueue.peek_time h
+  in
+  match (tq, tn) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (if a <= b then a else b)
 
-let step t =
-  match t.queue with
-  | Q_wheel w ->
-    if Wheel.is_empty w then false
-    else begin
+(* Dispatch the single next event under the canonical pop rule. *)
+let dispatch_one t =
+  let nq = t.netq in
+  let from_net =
+    (not (Netq.is_empty nq))
+    &&
+    let tq =
+      match t.queue with
+      | Q_wheel w -> Wheel.peek_time w
+      | Q_heap h -> Pqueue.peek_time h
+    in
+    match tq with Some tq -> tq > Netq.min_time nq | None -> true
+  in
+  t.steps <- t.steps + 1;
+  if t.steps > t.step_limit then step_limit_hit t;
+  if from_net then begin
+    t.time <- Netq.min_time nq;
+    netq_dispatch t
+  end
+  else
+    match t.queue with
+    | Q_wheel w ->
       let ev = Wheel.pop_min w in
       t.time <- Wheel.current_time w;
-      t.steps <- t.steps + 1;
-      if t.steps > t.step_limit then step_limit_hit t;
-      wheel_dispatch t w ev;
-      true
-    end
-  | Q_heap h ->
-    if Pqueue.is_empty h then false
-    else begin
+      wheel_dispatch t ev
+    | Q_heap h ->
       t.time <- Pqueue.min_time h;
       let ev = Pqueue.pop_min h in
-      t.steps <- t.steps + 1;
-      if t.steps > t.step_limit then step_limit_hit t;
-      heap_dispatch t h ev;
-      true
-    end
+      heap_dispatch t ev
+
+let step t =
+  let have =
+    (not (Netq.is_empty t.netq))
+    ||
+    match t.queue with
+    | Q_wheel w -> not (Wheel.is_empty w)
+    | Q_heap h -> not (Pqueue.is_empty h)
+  in
+  if have then begin
+    dispatch_one t;
+    true
+  end
+  else false
 
 let set_step_limit t n = t.step_limit <- n
 let events_processed t = t.steps
 
-(* Periodic heartbeat that raises [Livelock] when [progress] has not moved
-   for [interval] cycles while [active] still holds.  [progress] is any
-   monotone counter of forward progress (e.g. retired ops); [describe] is
-   only evaluated to build the diagnostic. *)
-let install_watchdog t ~interval ~progress ~active ~describe =
-  if interval <= 0 then invalid_arg "Engine.install_watchdog: interval";
-  let beat = max 1 (interval / 4) in
-  let last = ref (progress ()) in
-  let last_change = ref t.time in
-  let rec check () =
-    if active () then begin
-      let cur = progress () in
-      if cur <> !last then begin
-        last := cur;
-        last_change := t.time
-      end
-      else if t.time - !last_change >= interval then
-        raise
-          (Livelock
-             {
-               cycle = t.time;
-               stalled_for = t.time - !last_change;
-               detail = describe ();
-             });
-      schedule t ~delay:beat check
-    end
-  in
-  schedule t ~delay:beat check
+(* Watchdog: polled at lookahead-grid boundaries instead of via heartbeat
+   events.  [boundary] values form a deterministic sequence (derived from
+   event times), so sequential and sharded runs make identical stall
+   decisions; the beat throttle keeps the progress census off the
+   per-window path. *)
+let set_watchdog t ~interval ~progress ~describe =
+  if interval <= 0 then invalid_arg "Engine.set_watchdog: interval";
+  t.wd_interval <- interval;
+  t.wd_beat <- max 1 (interval / 4);
+  t.wd_next <- 0;
+  t.wd_progress <- progress;
+  t.wd_describe <- describe;
+  t.wd_last <- progress ();
+  t.wd_last_change <- t.time
 
+let watchdog_check t ~boundary =
+  if t.wd_interval > 0 && boundary >= t.wd_next then begin
+    t.wd_next <- boundary + t.wd_beat;
+    let cur = t.wd_progress () in
+    if cur <> t.wd_last then begin
+      t.wd_last <- cur;
+      t.wd_last_change <- boundary
+    end
+    else if boundary - t.wd_last_change >= t.wd_interval then
+      raise
+        (Livelock
+           {
+             cycle = boundary;
+             stalled_for = boundary - t.wd_last_change;
+             detail = t.wd_describe ();
+           })
+  end
+
+(* [run] checks [until_done] at lookahead-grid boundaries, not per event:
+   when the next event's window [b, b + L) differs from the last checked
+   one, completion (and the watchdog) are evaluated on the settled state
+   of everything before [b].  This is exactly the schedule on which the
+   PDES coordinator can evaluate the same predicates — every shard has
+   completed the same prefix at a window barrier — so both finish at the
+   same cycle with the same event count. *)
 let run t ~until_done ~pending_desc =
+  let l = t.lookahead in
+  let check_at = ref min_int in
+  let rec loop () =
+    match next_event_time t with
+    | None ->
+      if until_done () then t.time else raise (Deadlock (pending_desc ()))
+    | Some te ->
+      if te >= !check_at then
+        if until_done () then t.time
+        else begin
+          let b = l * (te / l) in
+          watchdog_check t ~boundary:b;
+          check_at := b + l;
+          dispatch_run t;
+          loop ()
+        end
+      else begin
+        dispatch_run t;
+        loop ()
+      end
+  and dispatch_run t =
+    match dispatch_one t with
+    | () -> ()
+    | exception Deadlock msg ->
+      (* Step-limit overruns get the caller's pending description. *)
+      raise (Deadlock (Printf.sprintf "%s: %s" msg (pending_desc ())))
+  in
+  loop ()
+
+(* PDES window execution: drain every event strictly before [stop].  The
+   caller (the round coordinator) guarantees no event before [stop] can
+   still arrive from another shard. *)
+let run_window t ~stop =
+  let nq = t.netq in
   match t.queue with
   | Q_wheel w ->
     let rec loop () =
-      if until_done () then t.time
-      else if Wheel.is_empty w then raise (Deadlock (pending_desc ()))
-      else begin
-        let ev = Wheel.pop_min w in
-        t.time <- Wheel.current_time w;
+      let tq =
+        match Wheel.peek_time w with Some v -> v | None -> max_int
+      in
+      let tn = if Netq.is_empty nq then max_int else Netq.min_time nq in
+      let te = if tq <= tn then tq else tn in
+      if te < stop then begin
         t.steps <- t.steps + 1;
-        if t.steps > t.step_limit then
-          raise
-            (Deadlock
-               (Printf.sprintf "step limit %d exceeded at cycle %d: %s"
-                  t.step_limit t.time (pending_desc ())));
-        wheel_dispatch t w ev;
+        if t.steps > t.step_limit then step_limit_hit t;
+        if tq <= tn then begin
+          let ev = Wheel.pop_min w in
+          t.time <- Wheel.current_time w;
+          wheel_dispatch t ev
+        end
+        else begin
+          t.time <- tn;
+          netq_dispatch t
+        end;
         loop ()
       end
     in
     loop ()
   | Q_heap h ->
     let rec loop () =
-      if until_done () then t.time
-      else if Pqueue.is_empty h then raise (Deadlock (pending_desc ()))
-      else begin
-        t.time <- Pqueue.min_time h;
-        let ev = Pqueue.pop_min h in
+      let tq = if Pqueue.is_empty h then max_int else Pqueue.min_time h in
+      let tn = if Netq.is_empty nq then max_int else Netq.min_time nq in
+      let te = if tq <= tn then tq else tn in
+      if te < stop then begin
         t.steps <- t.steps + 1;
-        if t.steps > t.step_limit then
-          raise
-            (Deadlock
-               (Printf.sprintf "step limit %d exceeded at cycle %d: %s"
-                  t.step_limit t.time (pending_desc ())));
-        heap_dispatch t h ev;
+        if t.steps > t.step_limit then step_limit_hit t;
+        if tq <= tn then begin
+          t.time <- tq;
+          let ev = Pqueue.pop_min h in
+          heap_dispatch t ev
+        end
+        else begin
+          t.time <- tn;
+          netq_dispatch t
+        end;
         loop ()
       end
     in

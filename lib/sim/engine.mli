@@ -1,16 +1,24 @@
 (** Discrete-event simulation engine.
 
-    A single global event queue ordered by (cycle, insertion order).  All
-    simulated components schedule events; the engine advances time to the
-    next event.  Determinism: for a fixed seed and workload the event order
-    is identical across runs.
+    Component events (callbacks, ingress grants, egress hand-offs,
+    completion continuations) live in a scheduler queue ordered by
+    (cycle, insertion order); network deliveries live in a separate
+    delivery queue ordered by a canonical key — (arrival time, send time,
+    source id, per-source sequence).  At every cycle the engine drains
+    same-cycle component events before granting deliveries, so the merged
+    order is a pure function of the simulated machine rather than of
+    queue push interleave.  That canonical order is what makes the
+    sharded PDES backend bit-identical to a sequential run: shards compute
+    the same delivery keys, and per-shard component order is the
+    sequential order restricted to the shard.
 
-    The queue is a hierarchical timing wheel ({!Spandex_util.Wheel}):
-    almost every event lands 1–100 cycles ahead, so push/pop are O(1) with
-    FIFO order per cycle preserved by construction; far-future events
-    (watchdog beats, retry backoff) spill to an overflow heap.  The
-    pre-wheel binary-heap scheduler is retained as {!Heap_backend} so
-    tests can assert the two produce bit-identical simulations. *)
+    The component queue is a hierarchical timing wheel
+    ({!Spandex_util.Wheel}): almost every event lands 1–100 cycles ahead,
+    so push/pop are O(1) with FIFO order per cycle preserved by
+    construction; far-future events (retry backoff) spill to an overflow
+    heap.  The pre-wheel binary-heap scheduler is retained as
+    {!Heap_backend} so tests can assert the two produce bit-identical
+    simulations. *)
 
 type t
 
@@ -55,8 +63,8 @@ type livelock = {
 }
 
 exception Livelock of livelock
-(** Raised by the watchdog installed with {!install_watchdog} when the
-    event queue keeps churning but no forward progress is observed — e.g. a
+(** Raised by the watchdog configured with {!set_watchdog} when the event
+    queue keeps churning but no forward progress is observed — e.g. a
     retry storm that never completes.  Complements {!Deadlock}, which only
     fires on an empty queue. *)
 
@@ -71,11 +79,11 @@ type endpoint = {
     keeps them in a dense array indexed by device id; the engine needs the
     representation to process delivery events without closures.
 
-    Events themselves are an implementation detail: mutable tagged records
-    (Thunk / Deliver / Handle / Egress / Apply) drawn from a per-engine
-    free-list and recycled at dispatch, so the steady-state hot path
-    allocates no event cells.  After a Handle dispatch returns, the
-    delivered message is returned to its pool unless the handler kept it
+    Component events are an implementation detail: mutable tagged records
+    (Thunk / Handle / Egress / Apply) drawn from a per-engine free-list
+    and recycled at dispatch, so the steady-state hot path allocates no
+    event cells.  After a Handle dispatch returns, the delivered message
+    is returned to its pool unless the handler kept it
     ({!Spandex_proto.Msg.keep}). *)
 
 type backend =
@@ -83,6 +91,12 @@ type backend =
   | Heap_backend
       (** the pre-wheel (time, seq) binary heap, kept as a reference
           scheduler for bit-identity tests. *)
+  | Pdes_backend of { shards : int }
+      (** conservative parallel DES: the machine is partitioned into
+          [shards] shards, each with its own engine (a timing wheel) on a
+          dedicated domain, synchronized on the topology's min-latency
+          lookahead (see {!Pdes} and [Run]).  An engine created with this
+          backend is one shard's scheduler. *)
 
 val create : ?backend:backend -> ?trace:Trace.t -> unit -> t
 (** [trace] (default {!Trace.disabled}) is the simulation's trace sink;
@@ -94,6 +108,15 @@ val now : t -> int
 
 val trace : t -> Trace.t
 (** The trace sink passed to {!create}. *)
+
+val set_lookahead : t -> int -> unit
+(** Set the completion-check grid (default 1): {!run} evaluates
+    [until_done] and the watchdog once per [l]-aligned window of event
+    times instead of per event.  [Run] sets the topology's minimum
+    latency, which is also the PDES synchronization horizon — so every
+    backend evaluates completion at identical boundaries. *)
+
+val lookahead : t -> int
 
 val set_sampler : t -> every:int -> (int -> unit) -> unit
 (** Install an occupancy sampler: [f time] is invoked from the event
@@ -111,15 +134,31 @@ val at : t -> time:int -> (unit -> unit) -> unit
 (** Schedule at an absolute cycle, which must not be in the past. *)
 
 val deliver : t -> delay:int -> Spandex_proto.Msg.t -> endpoint -> unit
-(** Enqueue a closure-free network-delivery event [delay] cycles ahead:
-    on dispatch the engine applies the one-message-per-cycle ingress
-    drain and re-queues the handler invocation, exactly as the closure
-    pair it replaced (two events per delivered message). *)
+(** Enqueue a network delivery [delay] cycles ahead, keyed for the
+    canonical merge by (arrival, send time, src, per-src seq); on dispatch
+    the engine applies the one-message-per-cycle ingress drain and
+    re-queues the handler invocation as a component event (two events per
+    delivered message, as always). *)
+
+val cross_tie : t -> Spandex_proto.Msg.t -> int
+(** Draw the delivery tiebreak (src, per-src seq) for [msg] from this
+    (sending) engine's counters — the same draw {!deliver} performs —
+    without enqueueing anything.  The sharded network uses it to stamp a
+    cross-shard message before pushing it onto the link channel; the
+    destination shard completes the delivery with {!inject}. *)
+
+val inject :
+  t -> time:int -> t0:int -> tie:int -> Spandex_proto.Msg.t -> endpoint -> unit
+(** Enqueue a delivery stamped elsewhere ([time] = absolute arrival,
+    [t0] = send cycle, [tie] from {!cross_tie}).  Counts the message into
+    the endpoint's in-flight counter — for cross-shard messages the
+    destination shard owns the count.  [time] must not be in the shard's
+    past; the PDES lookahead guarantees that. *)
 
 val set_egress : t -> (Spandex_proto.Msg.t -> unit) -> unit
-(** Install the callback {!event-Egress} events dispatch to —
-    [Network.create] registers its [send] here so components can enqueue
-    outbound messages without allocating a closure per message. *)
+(** Install the callback Egress events dispatch to — [Network.create]
+    registers its [send] here so components can enqueue outbound messages
+    without allocating a closure per message. *)
 
 val send_later : t -> delay:int -> Spandex_proto.Msg.t -> unit
 (** Closure-free form of [schedule t ~delay (fun () -> Network.send net
@@ -132,8 +171,11 @@ val apply_later : t -> delay:int -> (int -> unit) -> int -> unit
 
 val run : t -> until_done:(unit -> bool) -> pending_desc:(unit -> string) -> int
 (** Drain events until [until_done ()] is true; returns the finish cycle.
-    Raises {!Deadlock} (with [pending_desc ()] in the message) if the queue
-    empties first.  A step limit guards against livelock. *)
+    Completion (and the watchdog) are evaluated at lookahead-grid window
+    boundaries — the settled points a sharded run can also evaluate them
+    at — not between every event.  Raises {!Deadlock} (with
+    [pending_desc ()] in the message) if the queue empties first.  A step
+    limit guards against livelock. *)
 
 val run_all : ?strict:bool -> t -> int
 (** Drain every queued event and return the final cycle.  For unit tests
@@ -145,6 +187,12 @@ val run_all : ?strict:bool -> t -> int
     deliberately pause a protocol mid-transaction to inspect
     intermediate state. *)
 
+val run_window : t -> stop:int -> unit
+(** Dispatch every event with time strictly before [stop]; the shard
+    executor for one PDES round.  The caller must guarantee no event
+    before [stop] can still arrive from another shard.  Honors the step
+    limit, raising {!Deadlock} when exceeded. *)
+
 val next_event_time : t -> int option
 (** Cycle of the earliest queued event, or [None] when the queue is
     empty.  Does not advance time. *)
@@ -154,18 +202,25 @@ val step : t -> bool
     queue is empty.  The model checker's execution driver — interleave
     with delivery choices between steps. *)
 
-val install_watchdog :
+val set_watchdog :
   t ->
   interval:int ->
   progress:(unit -> int) ->
-  active:(unit -> bool) ->
   describe:(unit -> string) ->
   unit
-(** Install a periodic heartbeat (every [interval / 4] cycles) that raises
-    {!Livelock} when [progress ()] — any monotone counter of forward
-    progress, e.g. retired ops — has not changed for [interval] cycles
-    while [active ()] still holds.  The heartbeat stops rescheduling once
-    [active ()] is false; it never affects simulated timing otherwise. *)
+(** Configure the livelock watchdog: {!run} (and the PDES coordinator via
+    {!watchdog_check}) polls [progress ()] — any monotone counter of
+    forward progress, e.g. retired ops — at lookahead-grid boundaries,
+    throttled to every [interval / 4] cycles, and raises {!Livelock} when
+    it has not changed for [interval] cycles.  Polling happens from the
+    run loop, never via heartbeat events, so the watchdog perturbs
+    neither event counts nor simulated timing. *)
+
+val watchdog_check : t -> boundary:int -> unit
+(** Poll the watchdog at window boundary [boundary] (a settled point: all
+    events before it have been dispatched).  No-op when no watchdog is
+    configured or the boundary precedes the next scheduled beat.  Exposed
+    for the PDES round coordinator; {!run} calls it internally. *)
 
 val set_step_limit : t -> int -> unit
 (** Override the default step limit (events processed) of [run]. *)

@@ -1,0 +1,207 @@
+module Msg = Spandex_proto.Msg
+module Spsc = Spandex_util.Spsc
+
+type delivery = {
+  d_time : int;
+  d_t0 : int;
+  d_tie : int;
+  d_msg : Msg.t;
+  d_ep : Engine.endpoint;
+}
+
+(* Coordinator decisions, broadcast through [decision]: a non-negative
+   value is the next horizon; the two negatives end the run. *)
+let d_done = -1
+let d_raise = -2
+
+type t = {
+  engines : Engine.t array;
+  lookahead : int;
+  links : delivery Spsc.t array array;  (* [links.(src).(dst)]. *)
+  (* Central blocking barrier (generation-counted, Mutex + Condition).
+     A spin barrier would be faster on a dedicated core per shard, but
+     shards routinely outnumber cores (CI containers have one), and a
+     spinner never yields to the OS scheduler — every round would then
+     cost scheduler quanta instead of microseconds.  Blocking waiters
+     also re-run [on_wait] on every wakeup, so a producer blocked on a
+     full link can [kick] the barrier to get its consumer to drain. *)
+  bar_mutex : Mutex.t;
+  bar_cond : Condition.t;
+  mutable bar_arrived : int;
+  mutable bar_gen : int;
+  next_times : int Atomic.t array;  (* earliest pending event, or max_int. *)
+  decision : int Atomic.t;
+  aborted : bool Atomic.t;
+  mutable failure : exn option;
+  fail_lock : Mutex.t;
+}
+
+let create ?(link_capacity = 1024) ~lookahead engines =
+  let n = Array.length engines in
+  if n < 1 then invalid_arg "Pdes.create: need at least one shard";
+  if lookahead < 1 then invalid_arg "Pdes.create: lookahead must be >= 1";
+  Array.iter (fun e -> Engine.set_lookahead e lookahead) engines;
+  let dummy_ep =
+    { Engine.handler = (fun _ -> ()); ingress_free = 0; in_flight = ref 0 }
+  in
+  let dummy =
+    { d_time = 0; d_t0 = 0; d_tie = 0; d_msg = Msg.dummy; d_ep = dummy_ep }
+  in
+  {
+    engines;
+    lookahead;
+    links =
+      Array.init n (fun _ ->
+          Array.init n (fun _ -> Spsc.create ~capacity:link_capacity ~dummy));
+    bar_mutex = Mutex.create ();
+    bar_cond = Condition.create ();
+    bar_arrived = 0;
+    bar_gen = 0;
+    next_times = Array.init n (fun _ -> Atomic.make max_int);
+    decision = Atomic.make 0;
+    aborted = Atomic.make false;
+    failure = None;
+    fail_lock = Mutex.create ();
+  }
+
+let record_failure t exn =
+  Mutex.lock t.fail_lock;
+  if t.failure = None then t.failure <- Some exn;
+  Mutex.unlock t.fail_lock;
+  Atomic.set t.aborted true
+
+(* Inject every delivery queued on shard [s]'s inbound links.  Arrivals
+   are at or beyond the current horizon, so injecting them is safe at any
+   point of [s]'s round — mid-window (while blocked on a full outbound
+   link), while waiting at a barrier, or in the drain phase. *)
+let drain t s =
+  let n = Array.length t.engines in
+  let eng = t.engines.(s) in
+  for src = 0 to n - 1 do
+    if src <> s then begin
+      let ch = t.links.(src).(s) in
+      let rec go () =
+        match Spsc.pop ch with
+        | Some d ->
+          Engine.inject eng ~time:d.d_time ~t0:d.d_t0 ~tie:d.d_tie d.d_msg
+            d.d_ep;
+          go ()
+        | None -> ()
+      in
+      go ()
+    end
+  done
+
+(* Wake every shard parked at the barrier without arriving at it.  A
+   producer blocked on a full link uses this: its consumer is either
+   mid-window (draining happens when it blocks on a full link of its
+   own, or at window end) or parked at the post-window barrier — a kick
+   makes parked shards run their [on_wait] (drain) and re-check. *)
+let kick t =
+  Mutex.lock t.bar_mutex;
+  Condition.broadcast t.bar_cond;
+  Mutex.unlock t.bar_mutex
+
+let push t ~src_shard ~dst_shard ~time ~t0 ~tie msg ep =
+  let d = { d_time = time; d_t0 = t0; d_tie = tie; d_msg = msg; d_ep = ep } in
+  let ch = t.links.(src_shard).(dst_shard) in
+  while not (Spsc.try_push ch d) do
+    (* Free our own inbound links so two shards saturating each other
+       cannot deadlock, and kick barrier waiters so the consumer drains
+       even if it already finished its window. *)
+    drain t src_shard;
+    kick t;
+    Domain.cpu_relax ()
+  done
+
+(* One barrier arrival for the calling shard.  Generation-counted: the
+   last arriver bumps the generation and releases everyone.  Waiters run
+   [on_wait] (outside the lock) on every wakeup, so the post-window
+   barrier keeps draining inbound links while parked — producers blocked
+   on a full link always find their consumer making progress. *)
+let barrier t ~on_wait =
+  Mutex.lock t.bar_mutex;
+  let gen = t.bar_gen in
+  t.bar_arrived <- t.bar_arrived + 1;
+  if t.bar_arrived = Array.length t.engines then begin
+    t.bar_arrived <- 0;
+    t.bar_gen <- gen + 1;
+    Condition.broadcast t.bar_cond;
+    Mutex.unlock t.bar_mutex
+  end
+  else begin
+    while t.bar_gen = gen do
+      Condition.wait t.bar_cond t.bar_mutex;
+      if t.bar_gen = gen then begin
+        Mutex.unlock t.bar_mutex;
+        on_wait ();
+        Mutex.lock t.bar_mutex
+      end
+    done;
+    Mutex.unlock t.bar_mutex
+  end
+
+let decide t ~until_done ~pending_desc =
+  if Atomic.get t.aborted then d_raise
+  else begin
+    let n = Array.length t.engines in
+    let gnext = ref max_int in
+    for i = 0 to n - 1 do
+      gnext := min !gnext (Atomic.get t.next_times.(i))
+    done;
+    let gnext = !gnext in
+    (* Mirror the sequential [Engine.run] loop exactly: completion is
+       evaluated once per occupied lookahead window, before dispatching
+       it; the watchdog beats on the same boundary. *)
+    if until_done () then d_done
+    else if gnext = max_int then begin
+      record_failure t (Engine.Deadlock (pending_desc ()));
+      d_raise
+    end
+    else begin
+      let b = t.lookahead * (gnext / t.lookahead) in
+      match Engine.watchdog_check t.engines.(0) ~boundary:b with
+      | () -> b + t.lookahead
+      | exception exn ->
+        record_failure t exn;
+        d_raise
+    end
+  end
+
+let worker t ~until_done ~pending_desc s =
+  let eng = t.engines.(s) in
+  let continue = ref true in
+  while !continue do
+    Atomic.set t.next_times.(s)
+      (match Engine.next_event_time eng with
+      | Some u -> u
+      | None -> max_int);
+    (* A: every shard has published its earliest event time. *)
+    barrier t ~on_wait:(fun () -> ());
+    if s = 0 then Atomic.set t.decision (decide t ~until_done ~pending_desc);
+    (* B: the decision is visible. *)
+    barrier t ~on_wait:(fun () -> ());
+    let d = Atomic.get t.decision in
+    if d < 0 then continue := false
+    else begin
+      (try Engine.run_window eng ~stop:d
+       with exn -> record_failure t exn);
+      (* C: every shard has finished the window, so the inbound links are
+         stable; drain them before publishing next times. *)
+      barrier t ~on_wait:(fun () -> drain t s);
+      try drain t s with exn -> record_failure t exn
+    end
+  done
+
+let run t ~until_done ~pending_desc =
+  let n = Array.length t.engines in
+  let domains =
+    Array.init (n - 1) (fun i ->
+        Domain.spawn (fun () -> worker t ~until_done ~pending_desc (i + 1)))
+  in
+  worker t ~until_done ~pending_desc 0;
+  Array.iter Domain.join domains;
+  (match t.failure with Some exn -> raise exn | None -> ());
+  Array.fold_left (fun acc e -> max acc (Engine.now e)) 0 t.engines
+
+let shard_events t = Array.map Engine.events_processed t.engines

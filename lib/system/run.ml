@@ -10,6 +10,7 @@ module Core = Spandex_device.Core
 module Port = Spandex_device.Port
 module Barrier = Spandex_device.Barrier
 module Check_log = Spandex_device.Check_log
+module Pdes = Spandex_sim.Pdes
 module Llc = Spandex.Llc
 module Backing = Spandex.Backing
 module Mesi_l1 = Spandex_mesi.Mesi_l1
@@ -32,6 +33,8 @@ type result = {
   latency : (string * Hist.summary) list;
   trace : Trace.t;
   device_names : string array;
+  shards : int;
+  shard_events : int array;
 }
 
 type component = {
@@ -59,7 +62,7 @@ type llc_view = {
 type system = {
   sys_engine : Engine.t;
   sys_net : Network.t;
-  sys_check_log : Check_log.t;
+  sys_check_logs : Check_log.t list;
   sys_device_names : string array;
   sys_finished : unit -> bool;
   sys_pending : unit -> string;
@@ -185,12 +188,6 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
      wall-clock.  Not part of bit-identity (GC counters are per-domain and
      scheduling-dependent). *)
   let gc0 = Gc.quick_stat () in
-  let trace =
-    match p.Params.trace with
-    | None -> Trace.disabled
-    | Some spec -> Trace.create spec
-  in
-  let engine = Engine.create ~backend:p.Params.engine_backend ~trace () in
   (* Device ids: CPUs, then GPU CUs, then LLC/dir, L2 front, L2 back. *)
   let cpu_id i = i in
   let gpu_id j = p.Params.cpu_cores + j in
@@ -198,6 +195,58 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
   let home_id = p.Params.cpu_cores + p.Params.gpu_cus in
   let l2_front_id = home_id + banks in
   let l2_back_id = l2_front_id + banks in
+  (* --- sharding plan ------------------------------------------------------ *)
+  (* The partition: shard 0 owns the home complex (LLC/dir banks, gpu L2
+     front/back and DRAM — DRAM's shared service queue forces the banks to
+     co-reside), the remaining shards split the cores (each core and its
+     L1 are one unit).  Structural caps keep the partition sound:
+     - fault plans draw from one RNG stream in global send order, so fault
+       runs stay sequential;
+     - barrier wakes are 1-cycle events on the barrier's engine, far below
+       the network lookahead, so barrier workloads co-locate every core on
+       one shard (home + cores = 2 shards);
+     - more shards than 1 + cores would leave empty shards. *)
+  let requested_shards =
+    match p.Params.engine_backend with
+    | Engine.Pdes_backend { shards } -> shards
+    | Engine.Wheel_backend | Engine.Heap_backend -> 1
+  in
+  let n_cores =
+    Array.length w.Workload.cpu_programs + Array.length w.Workload.gpu_programs
+  in
+  let has_barriers = Array.length w.Workload.barrier_parties > 0 in
+  let shard_cap =
+    if Option.is_some p.Params.fault then 1
+    else if has_barriers then min 2 (1 + n_cores)
+    else 1 + n_cores
+  in
+  let shards = max 1 (min requested_shards shard_cap) in
+  let core_shard id =
+    if shards = 1 then 0
+    else if has_barriers then 1
+    else 1 + (id mod (shards - 1))
+  in
+  let shard_of id = if id >= home_id then 0 else core_shard id in
+  let trace =
+    match p.Params.trace with
+    | None -> Trace.disabled
+    | Some spec -> Trace.create spec
+  in
+  (* One trace sink per shard — a sink is single-domain; they merge
+     deterministically on export. *)
+  let traces =
+    Array.init shards (fun s ->
+        if s = 0 then trace
+        else
+          match p.Params.trace with
+          | None -> Trace.disabled
+          | Some spec -> Trace.create spec)
+  in
+  let engines =
+    Array.init shards (fun s ->
+        Engine.create ~backend:p.Params.engine_backend ~trace:traces.(s) ())
+  in
+  let engine = engines.(0) in
   (* Human-readable endpoint names for trace export ("who is track 12?"). *)
   let device_names =
     Array.init (l2_back_id + 1) (fun id ->
@@ -235,12 +284,33 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
         ~local_latency:p.Params.local_net_latency
         ~cross_latency:p.Params.cross_net_latency
   in
-  let net = Network.create ?fault:p.Params.fault engine topo in
+  let pdes =
+    if shards > 1 then
+      Some (Pdes.create ~lookahead:topo.Network.min_latency engines)
+    else None
+  in
+  let net =
+    match pdes with
+    | None -> Network.create ?fault:p.Params.fault engine topo
+    | Some pd ->
+      Network.create_sharded engines topo ~shard_of
+        ~cross:(fun ~src_shard ~dst_shard ~time ~t0 ~tie msg ep ->
+          Pdes.push pd ~src_shard ~dst_shard ~time ~t0 ~tie msg ep)
+  in
+  (* Completion checks and the watchdog run on the topology's min-latency
+     grid in every backend, so a sharded PDES run — which can only evaluate
+     them at lookahead-aligned horizons — sees the identical boundary
+     sequence and finishes at the identical cycle. *)
+  Array.iter
+    (fun e -> Engine.set_lookahead e topo.Network.min_latency)
+    engines;
   let dram = Dram.create engine ~latency:p.Params.mem_latency
       ~service_interval:p.Params.mem_interval
   in
+  (* Components tagged with their owning shard, for per-shard samplers. *)
   let components = ref [] in
-  let add c = components := c :: !components in
+  let add ?(shard = 0) c = components := (shard, c) :: !components in
+  let all_components () = List.map snd !components in
   let kind_of id =
     if id < p.Params.cpu_cores then
       match config.Config.cpu with
@@ -347,22 +417,25 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
       (home_id, l2_front_id, None)
   in
   (* --- L1s ------------------------------------------------------------------ *)
-  let cpu_port i =
+  (* Each L1 is created on its core's shard engine: the core drives its
+     port directly and the L1 schedules its own latency/retry events, all
+     of which must run on the owning shard's clock. *)
+  let cpu_port eng i =
     match config.Config.cpu with
     | Config.Cpu_mesi ->
-      build_mesi engine net p ~id:(cpu_id i) ~llc_id:cpu_home
+      build_mesi eng net p ~id:(cpu_id i) ~llc_id:cpu_home
         ~notify:(config.Config.llc = Config.H_mesi)
     | Config.Cpu_denovo ->
-      build_denovo engine net p ~id:(cpu_id i) ~llc_id:cpu_home
+      build_denovo eng net p ~id:(cpu_id i) ~llc_id:cpu_home
         ~atomics_at_llc:config.Config.cpu_atomics_at_llc
         ~region_of:w.Workload.region_of
         ~policy:Spandex_l1.Spandex_policy.Static_own
   in
-  let gpu_port j =
+  let gpu_port eng j =
     match config.Config.gpu with
-    | Config.Gpu_coh -> build_gpucoh engine net p ~id:(gpu_id j) ~llc_id:gpu_home
+    | Config.Gpu_coh -> build_gpucoh eng net p ~id:(gpu_id j) ~llc_id:gpu_home
     | Config.Gpu_denovo | Config.Gpu_adaptive | Config.Gpu_adaptive_rw ->
-      build_denovo engine net p ~id:(gpu_id j) ~llc_id:gpu_home
+      build_denovo eng net p ~id:(gpu_id j) ~llc_id:gpu_home
         ~atomics_at_llc:false ~region_of:w.Workload.region_of
         ~policy:
           (match config.Config.gpu with
@@ -372,9 +445,23 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
             Spandex_l1.Spandex_policy.Static_own)
   in
   (* --- cores ----------------------------------------------------------------- *)
-  let check_log = Check_log.create () in
+  (* One check log per core: the per-core logs partition the global check
+     stream, so a sharded run (cores on different domains) records exactly
+     what a sequential run records — totals sum and failure lists
+     concatenate in core order, independent of event interleave. *)
+  let check_logs = ref [] in
+  let new_check_log () =
+    let log = Check_log.create () in
+    check_logs := log :: !check_logs;
+    log
+  in
+  (* Barrier workloads co-locate every core on one shard (see the shard
+     plan above), so the barrier's wake events run on that shard. *)
+  let barrier_engine = if shards = 1 then engine else engines.(1) in
   let barriers =
-    Array.map (fun parties -> Barrier.create engine ~parties) w.Workload.barrier_parties
+    Array.map
+      (fun parties -> Barrier.create barrier_engine ~parties)
+      w.Workload.barrier_parties
   in
   let cores = ref [] in
   let views = ref [] in
@@ -382,11 +469,13 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
     (fun i program ->
       if i >= p.Params.cpu_cores then
         invalid_arg "workload uses more CPU cores than configured";
-      let port, comp, view = cpu_port i in
-      add comp;
+      let s = core_shard (cpu_id i) in
+      let port, comp, view = cpu_port engines.(s) i in
+      add ~shard:s comp;
       views := view :: !views;
       let core =
-        Core.create engine ~port ~barriers ~check_log ~core_id:(cpu_id i)
+        Core.create engines.(s) ~port ~barriers ~check_log:(new_check_log ())
+          ~core_id:(cpu_id i)
           ~clock:p.Params.cpu_clock ~programs:[| program |]
       in
       cores := core :: !cores)
@@ -395,30 +484,40 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
     (fun j warps ->
       if j >= p.Params.gpu_cus then
         invalid_arg "workload uses more GPU CUs than configured";
-      let port, comp, view = gpu_port j in
-      add comp;
+      let s = core_shard (gpu_id j) in
+      let port, comp, view = gpu_port engines.(s) j in
+      add ~shard:s comp;
       views := view :: !views;
       let core =
-        Core.create engine ~port ~barriers ~check_log ~core_id:(gpu_id j)
+        Core.create engines.(s) ~port ~barriers ~check_log:(new_check_log ())
+          ~core_id:(gpu_id j)
           ~clock:p.Params.gpu_clock ~programs:warps
       in
       cores := core :: !cores)
     w.Workload.gpu_programs;
   let cores = List.rev !cores in
   let views = List.rev !views in
+  let check_logs = List.rev !check_logs in
   List.iter Core.start cores;
   (* Periodic occupancy sampling runs inline in the engine's dispatch loop —
      it never enqueues events, so event counts and scheduling are identical
      with tracing on or off. *)
-  if Trace.on trace then (
-    let sampled = !components in
-    Engine.set_sampler engine ~every:(Trace.sample_every trace) (fun time ->
-        List.iter (fun c -> c.c_sample ~time) sampled;
-        Network.trace_sample net ~time));
+  if Trace.on trace then
+    for s = 0 to shards - 1 do
+      let sampled =
+        List.filter_map
+          (fun (cs, c) -> if cs = s then Some c else None)
+          !components
+      in
+      Engine.set_sampler engines.(s) ~every:(Trace.sample_every trace)
+        (fun time ->
+          List.iter (fun c -> c.c_sample ~time) sampled;
+          Network.trace_sample_shard net ~shard:s ~time)
+    done;
   (* --- run ----------------------------------------------------------------- *)
   let finished () =
     List.for_all Core.finished cores
-    && List.for_all (fun c -> c.c_quiescent ()) !components
+    && List.for_all (fun c -> c.c_quiescent ()) (all_components ())
     && Network.in_flight net = 0
   in
   let pending_desc () =
@@ -430,7 +529,7 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
     let comp_desc =
       List.filter_map
         (fun c -> if c.c_quiescent () then None else Some (c.c_pending ()))
-        !components
+        (all_components ())
     in
     String.concat " | "
       (core_desc @ comp_desc
@@ -443,7 +542,7 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
      through different schedules digest identically. *)
   let fingerprint () =
     let fp = Spandex_util.Fingerprint.create () in
-    List.iter (fun c -> c.c_fingerprint fp) (List.rev !components);
+    List.iter (fun c -> c.c_fingerprint fp) (List.rev (all_components ()));
     List.iter (fun core -> Core.fingerprint core fp) cores;
     Array.iter
       (fun b ->
@@ -463,25 +562,33 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
     Msg.set_pooling true;
     Fun.protect ~finally:(fun () -> Msg.set_pooling was_pooling) @@ fun () ->
     if p.Params.watchdog_cycles > 0 then
-      Engine.install_watchdog engine ~interval:p.Params.watchdog_cycles
+      Engine.set_watchdog engine ~interval:p.Params.watchdog_cycles
         ~progress:(fun () ->
           List.fold_left
             (fun acc c -> acc + Stats.get (Core.stats c) "ops")
             0 cores)
-        ~active:(fun () -> not (finished ()))
         ~describe:pending_desc;
-    let cycles = Engine.run engine ~until_done:finished ~pending_desc in
+    let cycles =
+      match pdes with
+      | None -> Engine.run engine ~until_done:finished ~pending_desc
+      | Some pd -> Pdes.run pd ~until_done:finished ~pending_desc
+    in
     let stats = Stats.create () in
     List.iter
       (fun c -> Stats.merge_into ~dst:stats ~prefix:c.c_name c.c_stats)
-      !components;
+      (all_components ());
     List.iter
       (fun c ->
         Stats.merge_into ~dst:stats
           ~prefix:(Printf.sprintf "core.%d" (Core.core_id c))
           (Core.stats c))
       cores;
-    Stats.merge_into ~dst:stats ~prefix:"net" (Network.stats net);
+    Array.iter
+      (fun s -> Stats.merge_into ~dst:stats ~prefix:"net" s)
+      (Network.shard_stats net);
+    let out_trace =
+      if shards = 1 then trace else Trace.merge (Array.to_list traces)
+    in
     let gc1 = Gc.quick_stat () in
     {
       cycles;
@@ -489,21 +596,25 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
       traffic =
         List.map (fun c -> (c, Network.traffic_flits net c)) Msg.all_categories;
       messages = Network.messages_sent net;
-      events = Engine.events_processed engine;
-      checks = Check_log.checks check_log;
-      failures = Check_log.failures check_log;
+      events =
+        Array.fold_left (fun acc e -> acc + Engine.events_processed e) 0 engines;
+      checks =
+        List.fold_left (fun acc l -> acc + Check_log.checks l) 0 check_logs;
+      failures = List.concat_map Check_log.failures check_logs;
       stats;
       minor_words = gc1.Gc.minor_words -. gc0.Gc.minor_words;
       major_collections = gc1.Gc.major_collections - gc0.Gc.major_collections;
-      latency = Trace.latency_summaries trace;
-      trace;
+      latency = Trace.latency_summaries out_trace;
+      trace = out_trace;
       device_names;
+      shards;
+      shard_events = Array.map Engine.events_processed engines;
     }
   in
   {
     sys_engine = engine;
     sys_net = net;
-    sys_check_log = check_log;
+    sys_check_logs = check_logs;
     sys_device_names = device_names;
     sys_finished = finished;
     sys_pending = pending_desc;

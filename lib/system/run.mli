@@ -28,6 +28,13 @@ type result = {
           {!Spandex_sim.Trace.disabled} when [params.trace] was [None]. *)
   device_names : string array;
       (** endpoint display name by device id, for trace export tracks. *)
+  shards : int;
+      (** effective PDES shard count actually used (1 for the sequential
+          backends; a requested count is capped by the partition — see
+          [Pdes] — so this can be lower than [--shards]). *)
+  shard_events : int array;
+      (** engine events processed per shard, in shard order; sums to
+          [events].  [[| events |]] for sequential backends. *)
 }
 
 type view = {
@@ -51,7 +58,9 @@ type llc_view = {
 type system = {
   sys_engine : Spandex_sim.Engine.t;
   sys_net : Spandex_net.Network.t;
-  sys_check_log : Spandex_device.Check_log.t;
+  sys_check_logs : Spandex_device.Check_log.t list;
+      (** one log per core, in core order; totals sum and failures
+          concatenate. *)
   sys_device_names : string array;
   sys_finished : unit -> bool;
       (** all cores done, all components quiescent, nothing in flight. *)

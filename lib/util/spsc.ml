@@ -1,0 +1,46 @@
+type 'a t = {
+  buf : 'a array;
+  dummy : 'a;
+  mask : int;
+  head : int Atomic.t;  (* consumer position; producer reads to test full. *)
+  tail : int Atomic.t;  (* producer position; consumer reads to test empty. *)
+}
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create ~capacity ~dummy =
+  if capacity < 1 then invalid_arg "Spsc.create: capacity must be positive";
+  let cap = pow2 capacity 1 in
+  {
+    buf = Array.make cap dummy;
+    dummy;
+    mask = cap - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let capacity t = Array.length t.buf
+let length t = Atomic.get t.tail - Atomic.get t.head
+
+let try_push t x =
+  let tail = Atomic.get t.tail in
+  if tail - Atomic.get t.head >= Array.length t.buf then false
+  else begin
+    t.buf.(tail land t.mask) <- x;
+    (* Publish after the slot write: consumers that observe the new tail
+       observe the element. *)
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let pop t =
+  let head = Atomic.get t.head in
+  if head = Atomic.get t.tail then None
+  else begin
+    let x = t.buf.(head land t.mask) in
+    t.buf.(head land t.mask) <- t.dummy;
+    (* Publish after clearing: producers that observe the new head may
+       re-use the slot. *)
+    Atomic.set t.head (head + 1);
+    Some x
+  end

@@ -1,0 +1,34 @@
+(** Bounded single-producer single-consumer channel.
+
+    One fixed-capacity ring per directed shard pair carries cross-shard
+    message deliveries in the PDES backend.  Exactly one domain may push
+    and exactly one domain may pop; under that discipline the channel is
+    lock-free and every element is delivered exactly once, in FIFO order.
+
+    The implementation is the classic two-counter ring: the producer owns
+    [tail], the consumer owns [head], and each reads the other's counter
+    through an [Atomic].  A slot write happens-before the [tail]
+    publication that makes it visible, and the consumer's [head]
+    publication happens-before the producer's re-use of the slot, so the
+    plain (non-atomic) slot accesses are data-race free under the OCaml
+    memory model. *)
+
+type 'a t
+
+val create : capacity:int -> dummy:'a -> 'a t
+(** Ring of at least [capacity] slots (rounded up to a power of two).
+    [dummy] fills empty slots so popped elements don't linger for the
+    GC; it is never returned. *)
+
+val capacity : 'a t -> int
+
+val try_push : 'a t -> 'a -> bool
+(** Producer only.  [false] when the ring is full — the caller must
+    retry (draining its own inbound channels first, so two shards
+    blocking on each other's full rings cannot deadlock). *)
+
+val pop : 'a t -> 'a option
+(** Consumer only.  [None] when the ring is empty. *)
+
+val length : 'a t -> int
+(** Snapshot of the occupancy; exact only when quiescent. *)

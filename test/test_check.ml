@@ -78,6 +78,20 @@ let state_count_stable () =
   let a = run () and b = run () in
   check_int "same explored-state count" a b
 
+(* LLC banking is a pure layout change (bank = set index mod banks): the
+   protocol cannot observe it, so exploring with a banked LLC must visit
+   exactly the same state space as the single-bank search. *)
+let banked_llc_same_state_space () =
+  let run banks =
+    let o =
+      Checker.check ~llc_banks:banks ~case:Litmus.ww ~config:Config.sdd
+        ~cpus:2 ~gpus:0 ~faults:false ()
+    in
+    check_bool "no violation" true (o.Checker.o_violation = None);
+    o.Checker.o_states
+  in
+  check_int "banked state count matches single-bank" (run 1) (run 2)
+
 (* ----- seeded bugs --------------------------------------------------------------- *)
 
 let tmp_cex name = Filename.concat (Filename.get_temp_dir_name ()) name
@@ -123,6 +137,7 @@ let schedule_roundtrip () =
       h_config = "SDD";
       h_cpus = 2;
       h_gpus = 0;
+      h_banks = 2;
       h_faults = true;
       h_seed_bug = Some "skip-inv-ack";
       h_violation = "deadlock: llc.0 collecting acks";
@@ -154,6 +169,8 @@ let tests =
     Alcotest.test_case "gpu_mp_clean" `Quick
       (explore_clean Config.sdg ~cpus:1 ~gpus:1 ~faults:false Litmus.mp);
     Alcotest.test_case "state_count_stable" `Quick state_count_stable;
+    Alcotest.test_case "banked_llc_same_state_space" `Quick
+      banked_llc_same_state_space;
     Alcotest.test_case "faults_mp_clean" `Quick faults_explore_clean;
     Alcotest.test_case "seeded_skip_inv_ack_deadlocks" `Quick
       (seeded_bug_caught Checker.Skip_inv_ack deadlock_kind);

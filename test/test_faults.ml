@@ -231,9 +231,8 @@ let watchdog_raises_livelock () =
   let engine = Engine.create () in
   let rec churn () = Engine.schedule engine ~delay:10 churn in
   churn ();
-  Engine.install_watchdog engine ~interval:1_000
+  Engine.set_watchdog engine ~interval:1_000
     ~progress:(fun () -> 0)
-    ~active:(fun () -> true)
     ~describe:(fun () -> "stuck component txn 42");
   match Engine.run engine ~until_done:(fun () -> false) ~pending_desc:(fun () -> "") with
   | _ -> Alcotest.fail "expected Livelock"
@@ -247,9 +246,8 @@ let watchdog_quiet_when_progressing () =
   let ops = ref 0 in
   let rec work n = if n > 0 then Engine.schedule engine ~delay:100 (fun () -> incr ops; work (n - 1)) in
   work 200;
-  Engine.install_watchdog engine ~interval:1_000
+  Engine.set_watchdog engine ~interval:1_000
     ~progress:(fun () -> !ops)
-    ~active:(fun () -> !ops < 200)
     ~describe:(fun () -> "unused");
   let cycles = Engine.run engine ~until_done:(fun () -> !ops = 200) ~pending_desc:(fun () -> "") in
   Alcotest.(check int) "ran to completion" 20_000 cycles

@@ -20,6 +20,8 @@ let () =
       ("extensions", Test_extensions.tests);
       ("faults", Test_faults.tests);
       ("sweep", Test_sweep.tests);
+      ("spsc", Test_spsc.tests);
+      ("pdes", Test_pdes.tests);
       ("chassis", Test_chassis.tests);
       ("random", Test_random.tests);
       ("check", Test_check.tests);

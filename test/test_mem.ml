@@ -92,7 +92,7 @@ let frame_size_lines () =
 (* ----- Mshr --------------------------------------------------------------------- *)
 
 let mshr_alloc_free () =
-  let m = Mshr.create ~capacity:2 in
+  let m = Mshr.create ~capacity:2 () in
   let t1 = Option.get (Mshr.alloc m "a") in
   let t2 = Option.get (Mshr.alloc m "b") in
   check_bool "full" true (Mshr.is_full m);
@@ -105,7 +105,7 @@ let mshr_alloc_free () =
   check_int "empty" 0 (Mshr.count m)
 
 let mshr_find_first_oldest () =
-  let m = Mshr.create ~capacity:8 in
+  let m = Mshr.create ~capacity:8 () in
   let _t1 = Option.get (Mshr.alloc m 10) in
   let t2 = Option.get (Mshr.alloc m 20) in
   let _t3 = Option.get (Mshr.alloc m 21) in

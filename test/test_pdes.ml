@@ -1,0 +1,173 @@
+(* PDES backend equivalence: [--engine pdes] must be bit-identical to the
+   sequential wheel backend — cycles, flits, traffic breakdown, messages,
+   events, checks and full merged stats — on every cell of the bench
+   matrix, including fault-armed cells (which the partition caps to one
+   shard) and traced cells (span/instant/send streams merge back to the
+   sequential stream; counter samples are per-shard and excluded).  This
+   is the acceptance gate for the conservative parallel backend. *)
+
+module Config = Spandex_system.Config
+module Params = Spandex_system.Params
+module Run = Spandex_system.Run
+module Sweep = Spandex_system.Sweep
+module Report = Spandex_system.Report
+module Registry = Spandex_workloads.Registry
+module Engine = Spandex_sim.Engine
+module Trace = Spandex_sim.Trace
+
+let test = Helpers.test
+
+let pdes_params ?(shards = 2) (p : Params.t) =
+  { p with Params.engine_backend = Engine.Pdes_backend { shards } }
+
+let matrix ~params names =
+  let geom = Registry.geometry_of_params params in
+  List.concat_map
+    (fun n ->
+      let wl = (Registry.find n).Registry.build ~scale:0.25 geom in
+      List.map
+        (fun config -> { Sweep.label = n; params; config; workload = wl })
+        Config.all)
+    names
+
+let non_stress_names =
+  List.filter_map
+    (fun e ->
+      if e.Registry.kind = `Stress then None else Some e.Registry.name)
+    Registry.entries
+
+let check_identical cells seq par =
+  List.iteri
+    (fun i ((j : Sweep.job), (s, p)) ->
+      match Report.diff_result s p with
+      | None -> ()
+      | Some d ->
+        Alcotest.failf "job %d (%s %s) diverged: %s" i j.Sweep.label
+          j.Sweep.config.Config.name d)
+    (List.combine cells (List.combine seq par))
+
+(* ----- smoke: one cell, two shards ----------------------------------------- *)
+
+let smoke_two_shards () =
+  let params = Params.bench in
+  let geom = Registry.geometry_of_params params in
+  let wl = (Registry.find "rsct").Registry.build ~scale:0.25 geom in
+  let config = List.hd Config.all in
+  let seq = Run.simulate ~params ~config wl in
+  let par = Run.simulate ~params:(pdes_params params) ~config wl in
+  Run.assert_clean par;
+  Alcotest.(check bool) "used >1 shard" true (par.Run.shards > 1);
+  Alcotest.(check int)
+    "shard events sum"
+    par.Run.events
+    (Array.fold_left ( + ) 0 par.Run.shard_events);
+  match Report.diff_result seq par with
+  | None -> ()
+  | Some d -> Alcotest.failf "pdes diverged from wheel: %s" d
+
+(* ----- the full matrix ------------------------------------------------------ *)
+
+let pdes_matches_wheel_all_cells () =
+  let cells = matrix ~params:Params.bench non_stress_names in
+  Alcotest.(check int) "matrix size" 60 (List.length cells);
+  let wheel = Sweep.simulate_all ~jobs:1 cells in
+  let pdes =
+    Sweep.simulate_all ~jobs:1
+      (List.map
+         (fun j -> { j with Sweep.params = pdes_params j.Sweep.params })
+         cells)
+  in
+  List.iter Run.assert_clean pdes;
+  check_identical cells wheel pdes
+
+let pdes_matches_wheel_many_shards () =
+  (* Request more shards than the partition can use; the effective count
+     is capped (devices + banks) and results must still be identical. *)
+  let cells = matrix ~params:Params.bench [ "rsct"; "bc" ] in
+  let wheel = Sweep.simulate_all ~jobs:1 cells in
+  let pdes =
+    Sweep.simulate_all ~jobs:1
+      (List.map
+         (fun j -> { j with Sweep.params = pdes_params ~shards:64 j.Sweep.params })
+         cells)
+  in
+  check_identical cells wheel pdes
+
+let pdes_matches_wheel_under_faults () =
+  (* Fault plans force a single shard (the RNG draw order is global), but
+     [--engine pdes] must still accept the request and reproduce the
+     wheel bit-for-bit. *)
+  let fault =
+    Spandex_net.Fault.uniform ~drop:0.02 ~dup:0.01 ~delay:0.03 ~reorder:0.03
+      ~seed:7 ()
+  in
+  let params = { Params.bench with Params.fault = Some fault } in
+  let cells = matrix ~params [ "tqh" ] in
+  let wheel = Sweep.simulate_all ~jobs:1 cells in
+  let pdes =
+    Sweep.simulate_all ~jobs:1
+      (List.map
+         (fun j -> { j with Sweep.params = pdes_params j.Sweep.params })
+         cells)
+  in
+  List.iter
+    (fun (r : Run.result) ->
+      Alcotest.(check int) "fault runs are single-shard" 1 r.Run.shards)
+    pdes;
+  check_identical cells wheel pdes
+
+(* ----- traced runs ---------------------------------------------------------- *)
+
+(* Counter samples are taken by per-shard samplers (per-shard occupancy is
+   a per-shard quantity), so the comparable part of a trace is the
+   span/instant/send stream.  Spans and sends carry txn ids, which are
+   per-device allocations — identical across backends. *)
+let comparable_events tr =
+  let evs = ref [] in
+  Trace.iter tr ~f:(fun ev ->
+      match ev with
+      | Trace.Counter _ -> ()
+      | ev -> evs := ev :: !evs);
+  List.rev !evs
+
+let pdes_trace_matches_wheel () =
+  let params =
+    { Params.bench with Params.trace = Some Trace.default_spec }
+  in
+  let geom = Registry.geometry_of_params params in
+  let wl = (Registry.find "rsct").Registry.build ~scale:0.25 geom in
+  let config = List.hd Config.all in
+  let seq = Run.simulate ~params ~config wl in
+  let par = Run.simulate ~params:(pdes_params params) ~config wl in
+  Alcotest.(check bool) "used >1 shard" true (par.Run.shards > 1);
+  (match Report.diff_result seq par with
+  | None -> ()
+  | Some d -> Alcotest.failf "traced pdes diverged from wheel: %s" d);
+  let es = comparable_events seq.Run.trace in
+  let ep = comparable_events par.Run.trace in
+  Alcotest.(check int) "trace event count" (List.length es) (List.length ep);
+  List.iteri
+    (fun i (a, b) ->
+      if a <> b then Alcotest.failf "trace event %d differs" i)
+    (List.combine es ep);
+  let project =
+    List.map (fun (n, s) ->
+        ( n,
+          ( s.Spandex_util.Hist.count,
+            (s.Spandex_util.Hist.p50, s.Spandex_util.Hist.p99),
+            s.Spandex_util.Hist.max ) ))
+  in
+  Alcotest.(check (list (pair string (triple int (pair int int) int))))
+    "latency summaries" (project seq.Run.latency) (project par.Run.latency)
+
+let tests =
+  [
+    test "pdes: smoke, two shards == wheel" smoke_two_shards;
+    test "pdes: all 60 cells == wheel" pdes_matches_wheel_all_cells;
+    test "pdes: over-requested shards capped, == wheel"
+      pdes_matches_wheel_many_shards;
+    test "pdes: fault-armed cells == wheel (single shard)"
+      pdes_matches_wheel_under_faults;
+    test "pdes: traced run == wheel (spans/instants/sends)"
+      pdes_trace_matches_wheel;
+  ]

@@ -123,7 +123,10 @@ let network_grouped_topology () =
   check_int "local" 2 (topo.Network.latency ~src:1 ~dst:2);
   check_int "cross" 9 (topo.Network.latency ~src:1 ~dst:12);
   check_int "local hops" 1 (topo.Network.hops ~src:1 ~dst:2);
-  check_int "cross hops" 2 (topo.Network.hops ~src:1 ~dst:12)
+  (* Hops derive from the latency structure: 9 cycles over 2-cycle links
+     rounds to 5 link crossings, not a hardcoded 2. *)
+  check_int "cross hops" 5 (topo.Network.hops ~src:1 ~dst:12);
+  check_int "min latency" 2 topo.Network.min_latency
 
 (* ----- Barrier --------------------------------------------------------------------- *)
 
