@@ -25,7 +25,14 @@
 #     bit-identical to its sequential wheel reference pass
 #     (pdes_identical), or its PDES pass was slower than the wheel
 #     (pdes_speedup < 1.0) on a multi-core machine — single-core runners
-#     skip the speedup gate, never the identity gate.
+#     skip the speedup gate, never the identity gate, or
+#   - the report's metrics-enabled verification run diverged from the
+#     metrics-off one (schema spandex-bench-sweep/6 runs one cell with the
+#     time-series registry sampling and asserts bit-identical results), or
+#   - a --engine pdes /6 report is missing its per-cell shard_profile on a
+#     multi-shard cell, or reports a barrier_wait_fraction outside [0, 1],
+#     or a cell's shard_profile event counts do not sum to the cell's
+#     event count.
 #
 # Refresh the baseline with:
 #   dune exec bin/spandex_cli.exe -- bench --jobs 2 --scale 0.25 \
@@ -50,6 +57,11 @@ if not report.get("identical", False):
 # not, so only the report is checked.
 if "trace_identical" in report and not report["trace_identical"]:
     failures.append("traced run diverged from the untraced run")
+
+# Schema v6 reports carry a metrics-enabled verification run: the inline
+# sampler must not perturb simulated results.
+if "metrics_identical" in report and not report["metrics_identical"]:
+    failures.append("metrics-enabled run diverged from the metrics-off run")
 
 if report["total_events"] != baseline["total_events"]:
     failures.append(
@@ -163,6 +175,42 @@ if "pdes_identical" in report:
                     report["recommended_domains"],
                 )
             )
+
+# Shard-profile gates (schema v6, --engine pdes reports only): every
+# multi-shard cell must carry a shard_profile whose event counts sum to
+# the cell's event total and whose barrier-wait fraction is a sane
+# fraction of wall time.
+if report.get("engine") == "pdes" and report.get("schema", "").endswith("/6"):
+    checked = 0
+    for cell in report.get("simulations", []):
+        label = "%s %s" % (cell.get("workload"), cell.get("config"))
+        if cell.get("shards", 1) <= 1:
+            continue
+        prof = cell.get("shard_profile")
+        if prof is None:
+            failures.append(
+                "pdes cell %s (shards=%d) has no shard_profile"
+                % (label, cell.get("shards", 1))
+            )
+            continue
+        checked += 1
+        bwf = prof.get("barrier_wait_fraction")
+        if bwf is None or not (0.0 <= bwf <= 1.0):
+            failures.append(
+                "pdes cell %s barrier_wait_fraction %r outside [0, 1]"
+                % (label, bwf)
+            )
+        pe = sum(s["events"] for s in prof.get("shards", []))
+        if pe != cell["events"]:
+            failures.append(
+                "pdes cell %s shard_profile events sum %d != cell events %d"
+                % (label, pe, cell["events"])
+            )
+    if checked:
+        print(
+            "pdes profile: %d multi-shard cell(s) carry a sane shard_profile"
+            % checked
+        )
 
 if failures:
     for f in failures:

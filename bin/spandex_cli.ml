@@ -19,6 +19,9 @@ module Report = Spandex_system.Report
 module Registry = Spandex_workloads.Registry
 module Trace = Spandex_sim.Trace
 module Hist = Spandex_util.Hist
+module Metrics = Spandex_obs.Metrics
+module Pdes_prof = Spandex_obs.Pdes_prof
+module Pdes = Spandex_sim.Pdes
 
 let params_of ?(backend = Spandex_sim.Engine.Wheel_backend) ~cpus ~cus ~warps
     ~fault ~watchdog ~trace () =
@@ -512,6 +515,176 @@ let explain_cmd =
       $ capacity_arg $ fault_drop_arg $ fault_dup_arg $ fault_delay_arg
       $ fault_reorder_arg $ fault_seed_arg)
 
+(* --- metrics / profile: time-series and PDES-shard observability ------------- *)
+
+let metrics_cmd =
+  let run workload config scale format out sample_every engine shards =
+    let entry = find_entry workload in
+    let config = find_config config in
+    if sample_every < 1 then begin
+      Printf.eprintf "--sample-every must be >= 1\n";
+      exit 1
+    end;
+    let backend = backend_of ~shards engine in
+    let params =
+      {
+        Params.bench with
+        Params.metrics = Some { Metrics.sample_every };
+        engine_backend = backend;
+        (* The chrome export merges metric counter tracks into the
+           transaction timeline, so it needs the trace sink too. *)
+        trace = (if format = "chrome" then Some Trace.default_spec else None);
+      }
+    in
+    let r = simulate_traced ~params ~config entry ~scale in
+    let m = r.Run.metrics in
+    let out =
+      match out with
+      | Some o -> o
+      | None ->
+        Printf.sprintf "METRICS_%s_%s.%s" entry.Registry.name
+          config.Config.name
+          (match format with "csv" -> "csv" | "chrome" -> "json" | _ -> "om")
+    in
+    let buf = Buffer.create (1 lsl 16) in
+    (match format with
+    | "openmetrics" -> Metrics.export_openmetrics m buf
+    | "csv" -> Metrics.export_csv m buf
+    | "chrome" ->
+      Trace.export_chrome
+        ~extra:(Metrics.chrome_counter_events m)
+        r.Run.trace
+        ~device_name:(device_name_of r)
+        buf
+    | f ->
+      Printf.eprintf "unknown metrics format %s (openmetrics, csv or chrome)\n"
+        f;
+      exit 1);
+    let oc = open_out out in
+    Buffer.output_buffer oc buf;
+    close_out oc;
+    Printf.printf "%s %s: %d series, %d samples (every %d cycles)\n"
+      entry.Registry.name config.Config.name (Metrics.num_series m)
+      (Metrics.num_samples m) sample_every;
+    Printf.printf "wrote %s%s\n" out
+      (if format = "chrome" then " (load it at https://ui.perfetto.dev)"
+       else "")
+  in
+  let format_arg =
+    Arg.(
+      value & opt string "openmetrics"
+      & info [ "format" ]
+          ~doc:
+            "Export format: 'openmetrics' (Prometheus-compatible text, \
+             sample timestamps carry the simulated cycle), 'csv' \
+             (long-format cycle,metric,labels,kind,value,delta) or 'chrome' \
+             (Chrome trace-event JSON with the metric series merged into \
+             the transaction timeline as counter tracks).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ]
+          ~doc:"Output path (default METRICS_<workload>_<config>.<ext>).")
+  in
+  let sample_every_arg =
+    Arg.(
+      value & opt int Metrics.default_spec.Metrics.sample_every
+      & info [ "sample-every" ]
+          ~doc:"Cycles between metric samples.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run one workload with time-series metrics enabled — cache \
+          occupancy, MSHR/store-buffer pressure, network in-flight and \
+          per-virtual-channel depth, retry and fault counters, DRAM queue \
+          depth — and export them.  Sampling runs inline in the engine \
+          dispatch loop and never enqueues events, so the simulated \
+          results are bit-identical to a metrics-off run.")
+    Term.(
+      const run $ workload_pos_arg $ config_arg $ scale_arg $ format_arg
+      $ out_arg $ sample_every_arg $ engine_arg $ shards_arg)
+
+let profile_cmd =
+  let run workloads config scale engine shards =
+    let backend = backend_of ~shards engine in
+    (match backend with
+    | Spandex_sim.Engine.Pdes_backend _ -> ()
+    | _ ->
+      Printf.eprintf "profile requires --engine pdes\n";
+      exit 1);
+    let config = find_config config in
+    let params = { Params.bench with Params.engine_backend = backend } in
+    let entries =
+      match workloads with
+      | None -> sweep_entries ()
+      | Some names ->
+        String.split_on_char ',' names
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+        |> List.map find_entry
+    in
+    let geom = Registry.geometry_of_params params in
+    let agg = ref [||] in
+    let profiled = ref 0 and capped = ref [] in
+    List.iter
+      (fun (e : Registry.entry) ->
+        let wl = e.Registry.build ~scale geom in
+        let r = Run.simulate ~params ~config wl in
+        Run.assert_clean r;
+        match r.Run.shard_profile with
+        | Some prof ->
+          incr profiled;
+          Printf.printf
+            "%-12s %-4s shards=%d events=%-9d rounds=%-7d barrier-wait=%.1f%%\n"
+            e.Registry.name config.Config.name r.Run.shards r.Run.events
+            (Array.fold_left (fun acc s -> max acc s.Pdes.sp_rounds) 0 prof)
+            (100.0 *. Pdes_prof.barrier_wait_fraction prof);
+          agg := (if Array.length !agg = 0 then prof else Pdes_prof.add !agg prof)
+        | None -> capped := e.Registry.name :: !capped)
+      entries;
+    if !capped <> [] then
+      Printf.printf
+        "  note: %s ran sequentially (shard count capped to 1 by the \
+         partition), not profiled\n"
+        (String.concat ", " (List.rev !capped));
+    if !profiled = 0 then begin
+      Printf.eprintf
+        "no multi-shard runs to profile (every cell was capped to one \
+         shard)\n";
+      exit 1
+    end;
+    Printf.printf "\n";
+    Format.printf "%a@." Pdes_prof.pp (Pdes_prof.analyze !agg)
+  in
+  let workloads_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "w"; "workloads" ]
+          ~doc:
+            "Comma-separated workload subset to profile (default: every \
+             non-stress workload).")
+  in
+  let profile_engine_arg =
+    Arg.(
+      value & opt string "pdes"
+      & info [ "engine" ]
+          ~doc:"Simulation backend; must be 'pdes' (the default here).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run workloads on the PDES backend and print the per-shard \
+          profile: events executed, execute vs. barrier-wait vs. \
+          inbox-drain wall split, SPSC channel stalls and depth, GC \
+          pressure, and the load-imbalance / barrier-wait summary naming \
+          the dominant shard.  Profiling reads a wall clock only — \
+          simulated results stay bit-identical.")
+    Term.(
+      const run $ workloads_arg $ config_arg $ scale_arg $ profile_engine_arg
+      $ shards_arg)
+
 (* --- check: exhaustive-interleaving model checker ---------------------------- *)
 
 module Litmus = Spandex_check.Litmus
@@ -830,16 +1003,22 @@ let bench_cmd =
       in
       (rs, Unix.gettimeofday () -. t0)
     in
-    let seq, seq_wall = median_of (List.init repeat (fun _ -> seq_pass ())) in
+    let wall_min ps = List.fold_left (fun acc (_, w) -> min acc w) infinity ps
+    and wall_max ps = List.fold_left (fun acc (_, w) -> max acc w) 0.0 ps in
+    let seq_passes = List.init repeat (fun _ -> seq_pass ()) in
+    let seq, seq_wall = median_of seq_passes in
+    let seq_wall_min = wall_min seq_passes
+    and seq_wall_max = wall_max seq_passes in
     (* Parallel pass over the same jobs, timed as one sweep. *)
     let par_pass () =
       let t0 = Unix.gettimeofday () in
       let rs = Sweep.simulate_all_gc ~jobs cells in
       (rs, Unix.gettimeofday () -. t0)
     in
-    let (par, par_gc), par_wall =
-      median_of (List.init repeat (fun _ -> par_pass ()))
-    in
+    let par_passes = List.init repeat (fun _ -> par_pass ()) in
+    let (par, par_gc), par_wall = median_of par_passes in
+    let par_wall_min = wall_min par_passes
+    and par_wall_max = wall_max par_passes in
     (* With --engine pdes the timed passes above already ran the parallel
        backend; a wheel reference pass supplies the speedup denominator
        and the backend bit-identity gate (every cell must match the
@@ -942,9 +1121,23 @@ let bench_cmd =
         Some (j, tr, Report.same_result base tr)
       | _ -> None
     in
+    (* One metrics-enabled re-run of the same cell: asserts the inline
+       metric sampler does not change simulated results either. *)
+    let metriced =
+      match (cells, seq) with
+      | (j : Sweep.job) :: _, (_, base, _) :: _ ->
+        let mparams =
+          { j.Sweep.params with Params.metrics = Some Metrics.default_spec }
+        in
+        let mr =
+          Run.simulate ~params:mparams ~config:j.Sweep.config j.Sweep.workload
+        in
+        Some (j, mr, Report.same_result base mr)
+      | _ -> None
+    in
     let buf = Buffer.create 4096 in
     Printf.bprintf buf "{\n";
-    Printf.bprintf buf "  \"schema\": \"spandex-bench-sweep/5\",\n";
+    Printf.bprintf buf "  \"schema\": \"spandex-bench-sweep/6\",\n";
     Printf.bprintf buf "  \"scale\": %g,\n" scale;
     Printf.bprintf buf "  \"jobs\": %d,\n" jobs;
     Printf.bprintf buf "  \"jobs_used\": %d,\n" jobs;
@@ -966,15 +1159,29 @@ let bench_cmd =
     Printf.bprintf buf "  \"recommended_domains\": %d,\n" recommended;
     Printf.bprintf buf "  \"simulations_total\": %d,\n" n;
     Printf.bprintf buf "  \"sequential_wall_s\": %.6f,\n" seq_wall;
+    Printf.bprintf buf "  \"sequential_wall_min_s\": %.6f,\n" seq_wall_min;
+    Printf.bprintf buf "  \"sequential_wall_max_s\": %.6f,\n" seq_wall_max;
     Printf.bprintf buf "  \"parallel_wall_s\": %.6f,\n" par_wall;
+    Printf.bprintf buf "  \"parallel_wall_min_s\": %.6f,\n" par_wall_min;
+    Printf.bprintf buf "  \"parallel_wall_max_s\": %.6f,\n" par_wall_max;
     Printf.bprintf buf "  \"speedup\": %.3f,\n" speedup;
     Printf.bprintf buf "  \"total_events\": %d,\n" total_events;
     Printf.bprintf buf "  \"total_events_extended\": %d,\n"
       total_events_extended;
+    let eps wall = float_of_int total_events_extended /. max 1e-9 wall in
     Printf.bprintf buf "  \"events_per_sec_sequential\": %.0f,\n"
-      (float_of_int total_events_extended /. max 1e-9 seq_wall);
-    Printf.bprintf buf "  \"events_per_sec_parallel\": %.0f,\n"
-      (float_of_int total_events_extended /. max 1e-9 par_wall);
+      (eps seq_wall);
+    (* min events/sec comes from the slowest pass (max wall), and vice
+       versa — the spread the --repeat satellite asks for. *)
+    Printf.bprintf buf "  \"events_per_sec_sequential_min\": %.0f,\n"
+      (eps seq_wall_max);
+    Printf.bprintf buf "  \"events_per_sec_sequential_max\": %.0f,\n"
+      (eps seq_wall_min);
+    Printf.bprintf buf "  \"events_per_sec_parallel\": %.0f,\n" (eps par_wall);
+    Printf.bprintf buf "  \"events_per_sec_parallel_min\": %.0f,\n"
+      (eps par_wall_max);
+    Printf.bprintf buf "  \"events_per_sec_parallel_max\": %.0f,\n"
+      (eps par_wall_min);
     (* Allocation metrics (sequential pass): catches allocation
        regressions that wall-clock noise can hide. *)
     Printf.bprintf buf "  \"minor_words_total\": %.0f,\n" total_minor_words;
@@ -1018,6 +1225,14 @@ let bench_cmd =
             (if i = nrows - 1 then "" else ","))
         rows;
       Printf.bprintf buf "  },\n");
+    (match metriced with
+    | None -> ()
+    | Some (_, mr, same) ->
+      Printf.bprintf buf "  \"metrics_identical\": %b,\n" same;
+      Printf.bprintf buf "  \"metrics_series\": %d,\n"
+        (Metrics.num_series mr.Run.metrics);
+      Printf.bprintf buf "  \"metrics_samples\": %d,\n"
+        (Metrics.num_samples mr.Run.metrics));
     Printf.bprintf buf "  \"simulations\": [\n";
     List.iteri
       (fun i ((j : Sweep.job), (r : Run.result), wall) ->
@@ -1026,7 +1241,7 @@ let bench_cmd =
            \"events\": %d, \"flits\": %d, \"messages\": %d, \
            \"wall_s\": %.6f, \"events_per_sec\": %.0f, \
            \"minor_words_per_event\": %.2f, \"major_collections\": %d, \
-           \"shards\": %d, \"shard_events\": [%s] }%s\n"
+           \"shards\": %d, \"shard_events\": [%s]"
           (json_string j.Sweep.label)
           (json_string j.Sweep.config.Config.name)
           r.Run.cycles r.Run.events r.Run.total_flits r.Run.messages wall
@@ -1034,8 +1249,36 @@ let bench_cmd =
           (r.Run.minor_words /. float_of_int (max 1 r.Run.events))
           r.Run.major_collections r.Run.shards
           (String.concat ", "
-             (Array.to_list (Array.map string_of_int r.Run.shard_events)))
-          (if i = n - 1 then "" else ","))
+             (Array.to_list (Array.map string_of_int r.Run.shard_events)));
+        (match r.Run.shard_profile with
+        | None -> ()
+        | Some prof ->
+          Printf.bprintf buf
+            ", \"shard_profile\": { \"rounds\": %d, \
+             \"barrier_wait_fraction\": %.6f, \"shards\": ["
+            (Array.fold_left (fun acc s -> max acc s.Pdes.sp_rounds) 0 prof)
+            (Pdes_prof.barrier_wait_fraction prof);
+          Array.iteri
+            (fun k (s : Pdes.shard_profile) ->
+              Printf.bprintf buf
+                "%s{ \"events\": %d, \"rounds\": %d, \"busy_rounds\": %d, \
+                 \"exec_s\": %.6f, \"barrier_s\": %.6f, \"drain_s\": %.6f, \
+                 \"full_stalls\": %d, \"max_link_depth\": %d, \
+                 \"minor_words\": %.0f, \"major_collections\": %d, \
+                 \"max_round_events\": %d, \"round_stride\": %d, \
+                 \"round_events\": [%s] }"
+                (if k = 0 then "" else ", ")
+                s.Pdes.sp_events s.Pdes.sp_rounds s.Pdes.sp_busy_rounds
+                s.Pdes.sp_exec_s s.Pdes.sp_barrier_s s.Pdes.sp_drain_s
+                s.Pdes.sp_full_stalls s.Pdes.sp_max_link_depth
+                s.Pdes.sp_minor_words s.Pdes.sp_major_collections
+                s.Pdes.sp_max_round_events s.Pdes.sp_round_stride
+                (String.concat ", "
+                   (Array.to_list
+                      (Array.map string_of_int s.Pdes.sp_round_events))))
+            prof;
+          Printf.bprintf buf "] }");
+        Printf.bprintf buf " }%s\n" (if i = n - 1 then "" else ","))
       seq;
     Printf.bprintf buf "  ]\n}\n";
     let oc = open_out out in
@@ -1044,8 +1287,18 @@ let bench_cmd =
     Printf.printf
       "  sequential: %.2fs | parallel (%d jobs): %.2fs | speedup: %.2fx\n"
       seq_wall jobs par_wall speedup;
-    Printf.printf "  events/sec (sequential): %.0f\n"
-      (float_of_int total_events_extended /. max 1e-9 seq_wall);
+    if repeat > 1 then
+      Printf.printf
+        "  spread over %d repeats: sequential %.2f-%.2fs | parallel \
+         %.2f-%.2fs\n"
+        repeat seq_wall_min seq_wall_max par_wall_min par_wall_max;
+    Printf.printf "  events/sec (sequential): %.0f%s\n"
+      (float_of_int total_events_extended /. max 1e-9 seq_wall)
+      (if repeat > 1 then
+         Printf.sprintf " (min %.0f, max %.0f)"
+           (float_of_int total_events_extended /. max 1e-9 seq_wall_max)
+           (float_of_int total_events_extended /. max 1e-9 seq_wall_min)
+       else "");
     Printf.printf "  alloc: %.1f minor words/event | %d major collections\n"
       (total_minor_words /. float_of_int (max 1 total_events_extended))
       total_major_collections;
@@ -1073,7 +1326,7 @@ let bench_cmd =
       List.iter (fun d -> Printf.eprintf "  %s\n" d) divs;
       exit 1
     | _ -> ());
-    match traced with
+    (match traced with
     | Some (j, tr, false) ->
       Printf.eprintf "FAIL: traced run of %s %s diverged from untraced: %s\n"
         j.Sweep.label j.Sweep.config.Config.name
@@ -1087,6 +1340,17 @@ let bench_cmd =
         | Some (_, base, _) ->
           Option.value ~default:"(no field diff)" (Report.diff_result base tr)
         | None -> "(baseline missing)");
+      exit 1
+    | _ -> ());
+    match metriced with
+    | Some (j, mr, false) ->
+      Printf.eprintf
+        "FAIL: metrics-enabled run of %s %s diverged from metrics-off: %s\n"
+        j.Sweep.label j.Sweep.config.Config.name
+        (match seq with
+        | (_, base, _) :: _ ->
+          Option.value ~default:"(no field diff)" (Report.diff_result base mr)
+        | [] -> "(baseline missing)");
       exit 1
     | _ -> ()
   in
@@ -1205,6 +1469,8 @@ let () =
             sweep_cmd;
             trace_cmd;
             explain_cmd;
+            metrics_cmd;
+            profile_cmd;
             check_cmd;
             bench_cmd;
             soak_cmd;

@@ -965,6 +965,32 @@ let trace_sample t ~time =
   Trace.counter t.trace ~time ~dev:t.cfg.llc_id ~name:t.n_blocked
     ~value:blocked
 
+(* Metrics probes: per-bank resident-line occupancy (the bank-sharding
+   lever the ROADMAP names), transaction pressure (lines with a pending
+   op / requests parked behind one), and the at-most-once reply cache's
+   replay counter.  [device] distinguishes the flat LLC from the
+   hierarchical GPU L2, which are both this module. *)
+let register_metrics t ~device reg =
+  let module Metrics = Spandex_obs.Metrics in
+  let labels = [ ("device", device) ] in
+  Array.iteri
+    (fun b fr ->
+      Metrics.gauge reg ~name:"spandex_llc_bank_lines"
+        ~labels:(("bank", string_of_int b) :: labels)
+        ~help:"resident lines per LLC bank" (fun () -> Cache_frame.count fr))
+    t.frame.Frames.frames;
+  Metrics.gauge reg ~name:"spandex_llc_pending" ~labels
+    ~help:"lines with an in-flight home transaction" (fun () ->
+      Frames.fold t.frame ~init:0 ~f:(fun p ~line:_ m ->
+          if m.pending = None then p else p + 1));
+  Metrics.gauge reg ~name:"spandex_llc_blocked" ~labels
+    ~help:"requests parked behind a pending line" (fun () ->
+      Frames.fold t.frame ~init:0 ~f:(fun b ~line:_ m ->
+          b + List.length m.blocked));
+  Metrics.counter reg ~name:"spandex_llc_replayed_total" ~labels
+    ~help:"duplicate requests answered from the reply cache (fault runs)"
+    (fun () -> Stats.get t.stats "replayed")
+
 let quiescent t =
   Frames.fold t.frame ~init:true ~f:(fun acc ~line:_ m ->
       acc && m.pending = None && m.blocked = [] && m.recalls = [])

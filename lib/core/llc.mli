@@ -70,6 +70,12 @@ val trace_sample : t -> time:int -> unit
     blocked-request queue depth into the engine's trace sink
     (["llc.pending"] / ["llc.blocked"] counters); no-op when disabled. *)
 
+val register_metrics : t -> device:string -> Spandex_obs.Metrics.t -> unit
+(** Register this cache's probes on a metrics registry: per-bank
+    resident-line gauges, pending/blocked transaction-pressure gauges,
+    and the reply-cache replay counter — all labelled [device] (the flat
+    LLC and the hierarchical GPU L2 are both this module). *)
+
 (** {2 Introspection for tests} *)
 
 val line_state : t -> line:int -> Spandex_proto.State.llc_line option

@@ -52,6 +52,10 @@ val trace_sample : t -> time:int -> unit
 (** Record MSHR and store-buffer occupancy into the engine's trace sink
     (["l1.<id>.mshr"] / ["l1.<id>.sb"] counters); no-op when disabled. *)
 
+val register_metrics : t -> device:string -> Spandex_obs.Metrics.t -> unit
+(** Register the chassis occupancy/stall/retry probes, labelled
+    [device]. *)
+
 (** {2 Test introspection} *)
 
 val word_state : t -> Spandex_proto.Addr.t -> Spandex_proto.State.device

@@ -346,6 +346,9 @@ let describe_pending t =
 
 let trace_sample t ~time = Chassis.trace_sample t.ch ~time ()
 
+let register_metrics t ~device reg =
+  Chassis.register_metrics t.ch ~device reg
+
 let create engine net cfg =
   let ch =
     Chassis.create engine net ~id:cfg.id ~home_id:cfg.llc_id

@@ -240,6 +240,29 @@ let trace_sample t ~time ?aux () =
   Trace.counter t.trace ~time ~dev:t.id ~name:t.n_occ_aux
     ~value:(Option.value ~default:(Store_buffer.count t.sb) aux)
 
+(* Metrics probes shared by every protocol built on the chassis: MSHR and
+   store-buffer (or protocol-specific [aux]) occupancy gauges plus the
+   retry/stall counters.  [device] labels the series — the same display
+   name trace tracks use. *)
+let register_metrics t ~device ?aux reg =
+  let module Metrics = Spandex_obs.Metrics in
+  let labels = [ ("device", device) ] in
+  Metrics.gauge reg ~name:"spandex_l1_mshr_occupancy" ~labels
+    ~help:"MSHR entries in use" (fun () -> Mshr.count t.outstanding);
+  (match aux with
+  | None ->
+    Metrics.gauge reg ~name:"spandex_l1_store_buffer_occupancy" ~labels
+      ~help:"store-buffer entries in use" (fun () -> Store_buffer.count t.sb)
+  | Some (name, probe) ->
+    Metrics.gauge reg ~name ~labels ~help:"protocol-specific occupancy"
+      probe);
+  Metrics.counter reg ~name:"spandex_l1_sb_full_stalls_total" ~labels
+    ~help:"stores stalled on a full store buffer" (fun () ->
+      Stats.get t.stats "sb_full_stall");
+  Metrics.counter reg ~name:"spandex_l1_retries_total" ~labels
+    ~help:"timeout-driven request resends (fault runs)" (fun () ->
+      Stats.get t.stats "retry.resend")
+
 let pending_summary t ~describe ~extra =
   let pend = ref [] in
   Mshr.iter t.outstanding ~f:(fun ~txn o -> pend := (txn, describe o) :: !pend);

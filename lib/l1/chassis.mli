@@ -168,6 +168,17 @@ val trace_sample : 'o t -> time:int -> ?aux:int -> unit -> unit
 (** Emit the occupancy counters; [aux] defaults to the store-buffer
     count. *)
 
+val register_metrics :
+  'o t ->
+  device:string ->
+  ?aux:string * (unit -> int) ->
+  Spandex_obs.Metrics.t ->
+  unit
+(** Register the chassis's standard probes on a metrics registry: MSHR
+    occupancy, store-buffer occupancy (or the [aux] (name, probe) gauge a
+    protocol substitutes, as {!trace_sample}'s [aux] does), store-buffer
+    full-stall and retry counters — all labelled [device]. *)
+
 val pending_summary :
   'o t -> describe:('o -> string) -> extra:(int * string) list -> string
 (** The sorted top-4 outstanding transactions as a [" [txn ...]"] suffix

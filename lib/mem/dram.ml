@@ -45,3 +45,25 @@ let write_words t ~line ~mask ~values =
 let peek_word t { Spandex_proto.Addr.line; word } = (backing t line).(word)
 let reads t = t.reads
 let writes t = t.writes
+
+(* Accesses queued behind the service-rate limiter right now: how far
+   [next_free] runs ahead of the clock, in service slots. *)
+let queue_depth t =
+  if t.service_interval <= 0 then 0
+  else begin
+    let now = Engine.now t.engine in
+    if t.next_free > now then
+      (t.next_free - now + t.service_interval - 1) / t.service_interval
+    else 0
+  end
+
+let register_metrics t reg =
+  let module Metrics = Spandex_obs.Metrics in
+  Metrics.gauge reg ~name:"spandex_dram_queue_depth"
+    ~help:"DRAM accesses waiting behind the service-rate limiter"
+    (fun () -> queue_depth t);
+  Metrics.counter reg ~name:"spandex_dram_reads_total"
+    ~help:"line reads issued to backing memory" (fun () -> t.reads);
+  Metrics.counter reg ~name:"spandex_dram_writes_total"
+    ~help:"masked line writes committed to backing memory" (fun () ->
+      t.writes)

@@ -24,3 +24,12 @@ val peek_word : t -> Spandex_proto.Addr.t -> int
 
 val reads : t -> int
 val writes : t -> int
+
+val queue_depth : t -> int
+(** Accesses currently queued behind the service-rate limiter (how far
+    the next-free slot runs ahead of the clock, in service slots); 0 when
+    bandwidth is unlimited. *)
+
+val register_metrics : t -> Spandex_obs.Metrics.t -> unit
+(** Register queue-depth gauge and read/write counters on a metrics
+    registry (probes only; sampling is driven by the engine). *)

@@ -228,6 +228,11 @@ let handle t (msg : Msg.t) =
 
 let trace_sample t ~time = Chassis.trace_sample t.ch ~time ~aux:t.parked ()
 
+let register_metrics t ~device reg =
+  Chassis.register_metrics t.ch ~device
+    ~aux:("spandex_l2_parked", fun () -> t.parked)
+    reg
+
 let create engine net cfg =
   let ch =
     (* No store buffer at this level: the chassis's is a 1-entry stub that

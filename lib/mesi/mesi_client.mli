@@ -26,6 +26,10 @@ val trace_sample : t -> time:int -> unit
 (** Record occupancy counters into the engine's trace sink; no-op when
     tracing is disabled. *)
 
+val register_metrics : t -> device:string -> Spandex_obs.Metrics.t -> unit
+(** Register the chassis probes (the aux gauge is the parked-request
+    depth, as in {!trace_sample}), labelled [device]. *)
+
 val fingerprint : t -> Spandex_util.Fingerprint.t -> unit
 (** Append a canonical encoding of the client shim's state (per-line
     permissions, outstanding acquires/write-backs) for the model checker's

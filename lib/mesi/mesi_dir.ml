@@ -462,6 +462,23 @@ let trace_sample t ~time =
   Trace.counter t.trace ~time ~dev:t.cfg.dir_id ~name:t.n_blocked
     ~value:blocked
 
+let register_metrics t ~device reg =
+  let module Metrics = Spandex_obs.Metrics in
+  let labels = [ ("device", device) ] in
+  Metrics.gauge reg ~name:"spandex_dir_lines" ~labels
+    ~help:"resident directory lines" (fun () -> Cache_frame.count t.frame);
+  Metrics.gauge reg ~name:"spandex_dir_pending" ~labels
+    ~help:"lines with an in-flight directory transaction" (fun () ->
+      Cache_frame.fold t.frame ~init:0 ~f:(fun p ~line:_ m ->
+          if m.pending = None then p else p + 1));
+  Metrics.gauge reg ~name:"spandex_dir_blocked" ~labels
+    ~help:"requests parked behind a pending line" (fun () ->
+      Cache_frame.fold t.frame ~init:0 ~f:(fun b ~line:_ m ->
+          b + List.length m.blocked));
+  Metrics.counter reg ~name:"spandex_dir_replayed_total" ~labels
+    ~help:"duplicate requests answered from the reply cache (fault runs)"
+    (fun () -> Stats.get t.stats "replayed")
+
 let quiescent t =
   Cache_frame.fold t.frame ~init:true ~f:(fun acc ~line:_ m ->
       acc && m.pending = None && m.blocked = [])

@@ -35,6 +35,10 @@ val trace_sample : t -> time:int -> unit
     trace sink (["dir.pending"] / ["dir.blocked"] counters); no-op when
     tracing is disabled. *)
 
+val register_metrics : t -> device:string -> Spandex_obs.Metrics.t -> unit
+(** Register directory probes: resident-line, pending and blocked gauges
+    plus the reply-cache replay counter, labelled [device]. *)
+
 (** {2 Test introspection} *)
 
 type dir_state = D_V | D_S of Spandex_proto.Msg.device_id list | D_M of Spandex_proto.Msg.device_id

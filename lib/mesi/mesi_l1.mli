@@ -41,6 +41,10 @@ val trace_sample : t -> time:int -> unit
 (** Record occupancy counters into the engine's trace sink; no-op when
     tracing is disabled. *)
 
+val register_metrics : t -> device:string -> Spandex_obs.Metrics.t -> unit
+(** Register the chassis occupancy/stall/retry probes, labelled
+    [device]. *)
+
 (** {2 Test introspection} *)
 
 val line_state : t -> line:int -> Spandex_proto.State.mesi

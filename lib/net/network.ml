@@ -83,6 +83,13 @@ type t = {
   n_fault_drop : int;  (** interned on shard 0's trace. *)
   n_fault_dup : int;
   n_fault_delay : int;
+  (* Per-virtual-channel (request-category) in-flight depth, armed only
+     by [enable_vc_depth_metrics] on a single-shard network: the send
+     path increments, a wrapper around every endpoint handler decrements.
+     Cross-shard would mean two domains racing one array, so sharded runs
+     leave it [None] (per-VC *send* counters remain available per
+     shard). *)
+  mutable vc_depth : int array option;
 }
 
 let category_index = function
@@ -157,6 +164,7 @@ let send t (msg : Msg.t) =
   | None ->
     let ds = t.shard_of msg.Msg.dst in
     if ds = ss then begin
+      (match t.vc_depth with Some a -> a.(cat) <- a.(cat) + 1 | None -> ());
       incr ep.Engine.in_flight;
       Engine.deliver sh.sh_engine ~delay:latency msg ep
     end
@@ -195,6 +203,9 @@ let send t (msg : Msg.t) =
               Trace.instant sh.sh_trace ~time:now ~dev:msg.src
                 ~name:t.n_fault_dup ~txn:msg.txn ~arg:delay
           end;
+          (match t.vc_depth with
+          | Some a -> a.(cat) <- a.(cat) + 1
+          | None -> ());
           incr ep.Engine.in_flight;
           Engine.deliver sh.sh_engine ~delay msg ep)
         delays))
@@ -257,6 +268,7 @@ let create_sharded ?fault engines topo ~shard_of ~cross =
       n_fault_drop = Trace.name trace0 "fault.drop";
       n_fault_dup = Trace.name trace0 "fault.dup";
       n_fault_delay = Trace.name trace0 "fault.delay";
+      vc_depth = None;
     }
   in
   (* Components enqueue outbound messages as typed [Egress] events
@@ -297,3 +309,64 @@ let messages_sent t =
 
 let stats t = t.shards.(0).sh_stats
 let shard_stats t = Array.map (fun sh -> sh.sh_stats) t.shards
+
+(* ----- metrics ------------------------------------------------------------- *)
+
+(* Shard-local probes only: every value read here is owned by [shard]'s
+   domain, and the registry itself is sampled from that domain. *)
+let register_metrics t ~shard reg =
+  let module Metrics = Spandex_obs.Metrics in
+  let sh = t.shards.(shard) in
+  let labels = [ ("shard", string_of_int shard) ] in
+  Metrics.counter reg ~name:"spandex_net_messages_total" ~labels
+    ~help:"messages sent from this shard's devices" (fun () ->
+      sh.sh_messages);
+  Metrics.gauge reg ~name:"spandex_net_in_flight" ~labels
+    ~help:"messages sent but not yet delivered (destination-side count)"
+    (fun () -> !(sh.sh_in_flight));
+  List.iter
+    (fun cat ->
+      let i = category_index cat in
+      Metrics.counter reg ~name:"spandex_net_flits_total"
+        ~labels:(("vc", Msg.category_name cat) :: labels)
+        ~help:"flit-hops sent per virtual channel (request category)"
+        (fun () -> sh.sh_traffic.(i)))
+    Msg.all_categories;
+  if shard = 0 && Option.is_some t.fault then
+    List.iter
+      (fun what ->
+        Metrics.counter reg
+          ~name:(Printf.sprintf "spandex_net_fault_%s_total" what)
+          ~labels
+          ~help:"fault-injection outcomes on the interconnect" (fun () ->
+            Stats.get sh.sh_stats ("fault." ^ what)))
+      [ "injected"; "drop"; "dup"; "delay"; "reorder"; "exempt" ]
+
+(* Arm the per-VC in-flight depth gauges.  Single-shard networks only
+   (cross-shard would race one array from two domains); call after every
+   endpoint has registered — later [register] calls on fresh ids would
+   bypass the decrement wrapper. *)
+let enable_vc_depth_metrics t reg =
+  let module Metrics = Spandex_obs.Metrics in
+  if Array.length t.shards = 1 && t.vc_depth = None && Metrics.on reg then begin
+    let a = Array.make 6 0 in
+    t.vc_depth <- Some a;
+    Array.iter
+      (function
+        | None -> ()
+        | Some ep ->
+          let prev = ep.Engine.handler in
+          ep.Engine.handler <-
+            (fun msg ->
+              let i = category_index (Msg.category msg.Msg.kind) in
+              a.(i) <- a.(i) - 1;
+              prev msg))
+      t.endpoints;
+    List.iter
+      (fun cat ->
+        let i = category_index cat in
+        Metrics.gauge reg ~name:"spandex_net_vc_depth"
+          ~labels:[ ("vc", Msg.category_name cat) ]
+          ~help:"in-flight messages per virtual channel" (fun () -> a.(i)))
+      Msg.all_categories
+  end

@@ -135,3 +135,17 @@ val stats : t -> Spandex_util.Stats.t
 val shard_stats : t -> Spandex_util.Stats.t array
 (** Every shard's counters, in shard order; merging them sums to the
     sequential totals. *)
+
+val register_metrics : t -> shard:int -> Spandex_obs.Metrics.t -> unit
+(** Register shard-local probes on that shard's metrics registry:
+    message and per-virtual-channel flit counters, the in-flight gauge,
+    and (shard 0, fault runs) the fault-injection outcome counters.
+    Every probed value is owned by [shard]'s domain. *)
+
+val enable_vc_depth_metrics : t -> Spandex_obs.Metrics.t -> unit
+(** Arm per-virtual-channel in-flight depth gauges: the send path counts
+    each enqueued delivery up, a wrapper installed around every
+    registered endpoint handler counts it back down on delivery.  No-op
+    on sharded networks (the depth array would be written by several
+    domains) and on a disabled registry; call only after all endpoints
+    have registered. *)

@@ -1,0 +1,372 @@
+(* Time-series metrics registry.
+
+   Probes are registered once at system-build time and read by the
+   engine's inline sampler on the lookahead/cycle grid — the same
+   zero-event trick as the trace sink's occupancy sampler, so sampling
+   never enqueues events and a metrics-on run is bit-identical to a
+   metrics-off run.  Every sample is (cycle, value) appended to a
+   growable column per series; export renders the columns as OpenMetrics
+   text, CSV, or Chrome trace-event counter tracks.
+
+   A registry is single-domain: each PDES shard owns one and samples it
+   from its own dispatch loop; [merge] combines them after the run. *)
+
+type spec = { sample_every : int }
+
+let default_spec = { sample_every = 64 }
+
+type kind = Counter | Gauge | Ratio
+
+let kind_name = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Ratio -> "ratio"
+
+type series = {
+  sr_name : string;
+  sr_labels : (string * string) list;
+  sr_help : string;
+  sr_kind : kind;
+  sr_probe : unit -> int * int;  (* (value, 1) or (num, den) for Ratio. *)
+  mutable sr_times : int array;
+  mutable sr_num : int array;
+  mutable sr_den : int array;
+  mutable sr_len : int;
+}
+
+type t = {
+  enabled : bool;
+  spec : spec;
+  mutable series : series array;
+  mutable n_series : int;
+}
+
+let no_series : series array = [||]
+
+let disabled =
+  { enabled = false; spec = default_spec; series = no_series; n_series = 0 }
+
+let create spec =
+  if spec.sample_every < 1 then
+    invalid_arg "Metrics.create: sample_every must be >= 1";
+  { enabled = true; spec; series = no_series; n_series = 0 }
+
+let on t = t.enabled
+let sample_every t = t.spec.sample_every
+
+let dummy_series =
+  {
+    sr_name = "";
+    sr_labels = [];
+    sr_help = "";
+    sr_kind = Gauge;
+    sr_probe = (fun () -> (0, 1));
+    sr_times = [||];
+    sr_num = [||];
+    sr_den = [||];
+    sr_len = 0;
+  }
+
+let add_series t s =
+  if t.n_series = Array.length t.series then begin
+    let grown =
+      Array.make (max 8 (2 * Array.length t.series)) dummy_series
+    in
+    Array.blit t.series 0 grown 0 t.n_series;
+    t.series <- grown
+  end;
+  t.series.(t.n_series) <- s;
+  t.n_series <- t.n_series + 1
+
+let fresh_series ~name ~labels ~help ~kind probe =
+  {
+    sr_name = name;
+    sr_labels = labels;
+    sr_help = help;
+    sr_kind = kind;
+    sr_probe = probe;
+    sr_times = Array.make 64 0;
+    sr_num = Array.make 64 0;
+    sr_den = Array.make 64 0;
+    sr_len = 0;
+  }
+
+let register t ~name ~labels ~help ~kind probe =
+  if t.enabled then add_series t (fresh_series ~name ~labels ~help ~kind probe)
+
+let counter t ~name ?(labels = []) ?(help = "") probe =
+  register t ~name ~labels ~help ~kind:Counter (fun () -> (probe (), 1))
+
+let gauge t ~name ?(labels = []) ?(help = "") probe =
+  register t ~name ~labels ~help ~kind:Gauge (fun () -> (probe (), 1))
+
+let ratio t ~name ?(labels = []) ?(help = "") probe =
+  register t ~name ~labels ~help ~kind:Ratio probe
+
+(* ----- sampling ------------------------------------------------------------ *)
+
+let ensure_capacity s =
+  if s.sr_len = Array.length s.sr_times then begin
+    let n = 2 * Array.length s.sr_times in
+    let grow a =
+      let g = Array.make n 0 in
+      Array.blit a 0 g 0 s.sr_len;
+      g
+    in
+    s.sr_times <- grow s.sr_times;
+    s.sr_num <- grow s.sr_num;
+    s.sr_den <- grow s.sr_den
+  end
+
+let sample t ~time =
+  if t.enabled then
+    for i = 0 to t.n_series - 1 do
+      let s = t.series.(i) in
+      ensure_capacity s;
+      let num, den = s.sr_probe () in
+      let l = s.sr_len in
+      s.sr_times.(l) <- time;
+      s.sr_num.(l) <- num;
+      s.sr_den.(l) <- den;
+      s.sr_len <- l + 1
+    done
+
+(* ----- merge --------------------------------------------------------------- *)
+
+let same_identity a b =
+  a.sr_name = b.sr_name && a.sr_labels = b.sr_labels && a.sr_kind = b.sr_kind
+
+(* Merge [b]'s samples into a fresh copy of [a], ordered by time (each
+   input is already time-sorted; ties keep [a] first).  Used only when
+   two registries carry the same (name, labels) identity — our wiring
+   labels per-shard series distinctly, so this is the uncommon path. *)
+let merge_series a b =
+  let n = a.sr_len + b.sr_len in
+  let times = Array.make (max 1 n) 0 in
+  let num = Array.make (max 1 n) 0 in
+  let den = Array.make (max 1 n) 0 in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  while !i < a.sr_len || !j < b.sr_len do
+    let take_a =
+      !j >= b.sr_len
+      || (!i < a.sr_len && a.sr_times.(!i) <= b.sr_times.(!j))
+    in
+    let src, idx = if take_a then (a, !i) else (b, !j) in
+    times.(!k) <- src.sr_times.(idx);
+    num.(!k) <- src.sr_num.(idx);
+    den.(!k) <- src.sr_den.(idx);
+    incr k;
+    if take_a then incr i else incr j
+  done;
+  { a with sr_times = times; sr_num = num; sr_den = den; sr_len = n }
+
+let copy_series s =
+  {
+    s with
+    sr_times = Array.sub s.sr_times 0 s.sr_len;
+    sr_num = Array.sub s.sr_num 0 s.sr_len;
+    sr_den = Array.sub s.sr_den 0 s.sr_len;
+  }
+
+let merge ts =
+  let live = List.filter (fun t -> t.enabled) ts in
+  match live with
+  | [] -> disabled
+  | first :: _ ->
+    let out = create first.spec in
+    List.iter
+      (fun t ->
+        for i = 0 to t.n_series - 1 do
+          let s = t.series.(i) in
+          let merged = ref false in
+          for j = 0 to out.n_series - 1 do
+            if (not !merged) && same_identity out.series.(j) s then begin
+              out.series.(j) <- merge_series out.series.(j) s;
+              merged := true
+            end
+          done;
+          if not !merged then add_series out (copy_series s)
+        done)
+      live;
+    out
+
+(* ----- introspection ------------------------------------------------------- *)
+
+let iter_series t ~f =
+  for i = 0 to t.n_series - 1 do
+    f t.series.(i)
+  done
+
+let dump t =
+  let acc = ref [] in
+  iter_series t ~f:(fun s ->
+      let samples =
+        Array.init s.sr_len (fun i ->
+            (s.sr_times.(i), s.sr_num.(i), s.sr_den.(i)))
+      in
+      acc := (s.sr_name, s.sr_labels, s.sr_kind, samples) :: !acc);
+  List.rev !acc
+
+let num_series t = t.n_series
+
+let num_samples t =
+  let n = ref 0 in
+  iter_series t ~f:(fun s -> n := !n + s.sr_len);
+  !n
+
+(* ----- export -------------------------------------------------------------- *)
+
+(* OpenMetrics metric names must match [a-zA-Z_:][a-zA-Z0-9_:]* — device
+   identities go in labels, and anything else is mapped to '_'. *)
+let sanitize_name n =
+  let ok i c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || c = '_' || c = ':'
+    || (i > 0 && c >= '0' && c <= '9')
+  in
+  let b = Bytes.of_string n in
+  Bytes.iteri (fun i c -> if not (ok i c) then Bytes.set b i '_') b;
+  if Bytes.length b = 0 then "_" else Bytes.to_string b
+
+let escape_label_value v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let labels_openmetrics labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf "%s=\"%s\"" (sanitize_name k)
+               (escape_label_value v))
+           labels)
+    ^ "}"
+
+let value_str s i =
+  match s.sr_kind with
+  | Counter | Gauge -> string_of_int s.sr_num.(i)
+  | Ratio ->
+    if s.sr_den.(i) = 0 then "0"
+    else
+      Printf.sprintf "%g"
+        (float_of_int s.sr_num.(i) /. float_of_int s.sr_den.(i))
+
+(* OpenMetrics text: one family per distinct metric name (TYPE/HELP once,
+   in first-registration order), every sample with the simulated cycle in
+   the timestamp field, '# EOF' terminator.  Ratio series export as
+   gauges (OpenMetrics has no ratio type). *)
+let export_openmetrics t buf =
+  let emitted = Hashtbl.create 16 in
+  let families = ref [] in
+  iter_series t ~f:(fun s ->
+      let fam = sanitize_name s.sr_name in
+      if not (Hashtbl.mem emitted fam) then begin
+        Hashtbl.add emitted fam ();
+        families := fam :: !families
+      end);
+  List.iter
+    (fun fam ->
+      let om_type = ref "gauge" in
+      let help = ref "" in
+      iter_series t ~f:(fun s ->
+          if sanitize_name s.sr_name = fam then begin
+            if s.sr_kind = Counter then om_type := "counter";
+            if !help = "" then help := s.sr_help
+          end);
+      (* An OpenMetrics counter family is named without the mandatory
+         _total sample suffix. *)
+      let base =
+        if !om_type = "counter" && Filename.check_suffix fam "_total" then
+          String.sub fam 0 (String.length fam - String.length "_total")
+        else fam
+      in
+      Printf.bprintf buf "# TYPE %s %s\n" base !om_type;
+      if !help <> "" then
+        Printf.bprintf buf "# HELP %s %s\n" base (escape_label_value !help);
+      iter_series t ~f:(fun s ->
+          if sanitize_name s.sr_name = fam then
+            let ls = labels_openmetrics s.sr_labels in
+            for i = 0 to s.sr_len - 1 do
+              Printf.bprintf buf "%s%s %s %d\n" fam ls (value_str s i)
+                s.sr_times.(i)
+            done))
+    (List.rev !families);
+  Buffer.add_string buf "# EOF\n"
+
+(* CSV, long format: one row per sample.  Counters also carry the delta
+   since their previous sample (the "counter-delta" view). *)
+let export_csv t buf =
+  Buffer.add_string buf "cycle,metric,labels,kind,value,delta\n";
+  iter_series t ~f:(fun s ->
+      let labels =
+        String.concat ";"
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) s.sr_labels)
+      in
+      for i = 0 to s.sr_len - 1 do
+        let delta =
+          match s.sr_kind with
+          | Counter ->
+            string_of_int
+              (s.sr_num.(i) - if i = 0 then 0 else s.sr_num.(i - 1))
+          | Gauge | Ratio -> ""
+        in
+        Printf.bprintf buf "%d,%s,%s,%s,%s,%s\n" s.sr_times.(i) s.sr_name
+          labels (kind_name s.sr_kind) (value_str s i) delta
+      done)
+
+(* Chrome trace-event counter tracks ("ph":"C"), for merging into the
+   Perfetto export via [Trace.export_chrome ~extra].  Counters emit the
+   per-interval delta — a rate track; gauges and ratios emit the sampled
+   value. *)
+let chrome_counter_events t ~emit =
+  let b = Buffer.create 64 in
+  iter_series t ~f:(fun s ->
+      let name =
+        match s.sr_labels with
+        | [] -> s.sr_name
+        | ls ->
+          s.sr_name ^ "{"
+          ^ String.concat ","
+              (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) ls)
+          ^ "}"
+      in
+      let jname =
+        Buffer.clear b;
+        Buffer.add_char b '"';
+        String.iter
+          (fun c ->
+            match c with
+            | '"' -> Buffer.add_string b "\\\""
+            | '\\' -> Buffer.add_string b "\\\\"
+            | c when Char.code c < 0x20 ->
+              Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+            | c -> Buffer.add_char b c)
+          name;
+        Buffer.add_char b '"';
+        Buffer.contents b
+      in
+      for i = 0 to s.sr_len - 1 do
+        let v =
+          match s.sr_kind with
+          | Counter ->
+            string_of_int
+              (s.sr_num.(i) - if i = 0 then 0 else s.sr_num.(i - 1))
+          | Gauge | Ratio -> value_str s i
+        in
+        emit
+          (Printf.sprintf
+             "{\"ph\":\"C\",\"name\":%s,\"pid\":0,\"ts\":%d,\"args\":{\"value\":%s}}"
+             jname s.sr_times.(i) v)
+      done)

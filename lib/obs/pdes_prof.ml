@@ -1,0 +1,143 @@
+module Pdes = Spandex_sim.Pdes
+
+type report = {
+  r_shards : Pdes.shard_profile array;
+  r_total_events : int;
+  r_rounds : int;
+  r_barrier_wait_fraction : float;
+  r_load_max_min : float;
+  r_load_max_mean : float;
+  r_dominant_shard : int;
+  r_timed : bool;
+}
+
+let shard_desc s =
+  if s = 0 then "home complex: LLC/dir banks, directory, DRAM"
+  else Printf.sprintf "cores (round-robin slot %d)" s
+
+let zero_profile =
+  {
+    Pdes.sp_events = 0;
+    sp_rounds = 0;
+    sp_busy_rounds = 0;
+    sp_exec_s = 0.;
+    sp_barrier_s = 0.;
+    sp_drain_s = 0.;
+    sp_full_stalls = 0;
+    sp_max_link_depth = 0;
+    sp_minor_words = 0.;
+    sp_major_collections = 0;
+    sp_max_round_events = 0;
+    sp_round_events = [||];
+    sp_round_stride = 1;
+  }
+
+(* Elementwise sum of two per-shard profile arrays (cells with different
+   effective shard counts pad with zeros).  The per-round curves of
+   different runs are not commensurable bucket-by-bucket, so the
+   aggregate drops them and keeps only the scalar load statistics. *)
+let add a b =
+  let n = max (Array.length a) (Array.length b) in
+  Array.init n (fun i ->
+      let g arr = if i < Array.length arr then arr.(i) else zero_profile in
+      let x = g a and y = g b in
+      {
+        Pdes.sp_events = x.Pdes.sp_events + y.Pdes.sp_events;
+        sp_rounds = x.Pdes.sp_rounds + y.Pdes.sp_rounds;
+        sp_busy_rounds = x.Pdes.sp_busy_rounds + y.Pdes.sp_busy_rounds;
+        sp_exec_s = x.Pdes.sp_exec_s +. y.Pdes.sp_exec_s;
+        sp_barrier_s = x.Pdes.sp_barrier_s +. y.Pdes.sp_barrier_s;
+        sp_drain_s = x.Pdes.sp_drain_s +. y.Pdes.sp_drain_s;
+        sp_full_stalls = x.Pdes.sp_full_stalls + y.Pdes.sp_full_stalls;
+        sp_max_link_depth =
+          max x.Pdes.sp_max_link_depth y.Pdes.sp_max_link_depth;
+        sp_minor_words = x.Pdes.sp_minor_words +. y.Pdes.sp_minor_words;
+        sp_major_collections =
+          x.Pdes.sp_major_collections + y.Pdes.sp_major_collections;
+        sp_max_round_events =
+          max x.Pdes.sp_max_round_events y.Pdes.sp_max_round_events;
+        sp_round_events = [||];
+        sp_round_stride = 1;
+      })
+
+let shard_wall (p : Pdes.shard_profile) =
+  p.Pdes.sp_exec_s +. p.Pdes.sp_barrier_s +. p.Pdes.sp_drain_s
+
+let barrier_wait_fraction shards =
+  let barrier =
+    Array.fold_left (fun a p -> a +. p.Pdes.sp_barrier_s) 0. shards
+  in
+  let total = Array.fold_left (fun a p -> a +. shard_wall p) 0. shards in
+  if total <= 0. then 0. else barrier /. total
+
+let analyze shards =
+  let n = Array.length shards in
+  if n = 0 then invalid_arg "Pdes_prof.analyze: empty profile";
+  let total_events =
+    Array.fold_left (fun a p -> a + p.Pdes.sp_events) 0 shards
+  in
+  let rounds = Array.fold_left (fun a p -> max a p.Pdes.sp_rounds) 0 shards in
+  let ev_max = ref min_int and ev_min = ref max_int and dom = ref 0 in
+  Array.iteri
+    (fun i p ->
+      let e = p.Pdes.sp_events in
+      if e > !ev_max then begin
+        ev_max := e;
+        dom := i
+      end;
+      if e < !ev_min then ev_min := e)
+    shards;
+  let mean = float_of_int total_events /. float_of_int n in
+  {
+    r_shards = shards;
+    r_total_events = total_events;
+    r_rounds = rounds;
+    r_barrier_wait_fraction = barrier_wait_fraction shards;
+    r_load_max_min =
+      (if !ev_min > 0 then float_of_int !ev_max /. float_of_int !ev_min
+       else Float.infinity);
+    r_load_max_mean =
+      (if mean > 0. then float_of_int !ev_max /. mean else 0.);
+    r_dominant_shard = !dom;
+    r_timed =
+      Array.exists (fun p -> shard_wall p > 0.) shards;
+  }
+
+let pp fmt r =
+  let n = Array.length r.r_shards in
+  Format.fprintf fmt
+    "PDES shard profile: %d shard%s, %d rounds, %d events@." n
+    (if n = 1 then "" else "s")
+    r.r_rounds r.r_total_events;
+  Format.fprintf fmt
+    "  shard      events  ev/round  busy%%   exec(s)  barrier(s)  drain(s)  \
+     stalls  max-depth  minor(Mw)@.";
+  Array.iteri
+    (fun i p ->
+      let rounds = max 1 p.Pdes.sp_rounds in
+      Format.fprintf fmt
+        "  %4d%s %11d  %8.1f  %5.1f  %8.3f  %10.3f  %8.3f  %6d  %9d  %9.2f@."
+        i
+        (if i = r.r_dominant_shard then "*" else " ")
+        p.Pdes.sp_events
+        (float_of_int p.Pdes.sp_events /. float_of_int rounds)
+        (100. *. float_of_int p.Pdes.sp_busy_rounds /. float_of_int rounds)
+        p.Pdes.sp_exec_s p.Pdes.sp_barrier_s p.Pdes.sp_drain_s
+        p.Pdes.sp_full_stalls p.Pdes.sp_max_link_depth
+        (p.Pdes.sp_minor_words /. 1e6))
+    r.r_shards;
+  let max_min =
+    if Float.is_finite r.r_load_max_min then
+      Printf.sprintf "%.2fx" r.r_load_max_min
+    else "inf"
+  in
+  Format.fprintf fmt
+    "  imbalance: max/min %s, max/mean %.2fx — dominant shard %d (%s)@."
+    max_min r.r_load_max_mean r.r_dominant_shard
+    (shard_desc r.r_dominant_shard);
+  if r.r_timed then
+    Format.fprintf fmt "  barrier-wait: %.1f%% of summed shard wall time@."
+      (100. *. r.r_barrier_wait_fraction)
+  else
+    Format.fprintf fmt
+      "  barrier-wait: n/a (no wall clock injected into this run)@."

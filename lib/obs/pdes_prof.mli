@@ -1,0 +1,44 @@
+(** PDES shard-profile analysis: turn the backend's raw per-shard
+    counters ({!Spandex_sim.Pdes.shard_profile}) into the imbalance
+    report the ROADMAP's scaling work reads — per-shard load, the
+    execute / barrier-wait / inbox-drain wall split, SPSC back-pressure,
+    and which shard dominates. *)
+
+type report = {
+  r_shards : Spandex_sim.Pdes.shard_profile array;
+  r_total_events : int;
+  r_rounds : int;  (** max over shards (they agree on completed runs). *)
+  r_barrier_wait_fraction : float;
+      (** summed barrier wall time / summed shard wall time, in [0, 1];
+          0 when no clock was injected (untimed profiles). *)
+  r_load_max_min : float;
+      (** busiest / idlest shard by events; [infinity] when a shard
+          dispatched nothing. *)
+  r_load_max_mean : float;  (** busiest shard / mean shard load. *)
+  r_dominant_shard : int;  (** argmax of per-shard events. *)
+  r_timed : bool;  (** true when any wall-time field is non-zero. *)
+}
+
+val shard_desc : int -> string
+(** Human name for a shard under the standard partition: shard 0 is the
+    home complex (LLC/dir banks, directory, DRAM), others hold the
+    round-robin core slots. *)
+
+val add :
+  Spandex_sim.Pdes.shard_profile array ->
+  Spandex_sim.Pdes.shard_profile array ->
+  Spandex_sim.Pdes.shard_profile array
+(** Elementwise sum, for aggregating profiles across sweep cells; arrays
+    of different shard counts pad with zeros.  Per-round curves are not
+    commensurable across runs, so the aggregate drops them (empty
+    [sp_round_events]). *)
+
+val analyze : Spandex_sim.Pdes.shard_profile array -> report
+(** Raises [Invalid_argument] on an empty array. *)
+
+val barrier_wait_fraction : Spandex_sim.Pdes.shard_profile array -> float
+
+val pp : Format.formatter -> report -> unit
+(** The [spandex_cli profile] table: one row per shard (events, events
+    per round, busy-round share, wall split, stalls, link depth, GC),
+    then the imbalance and barrier-wait summary lines. *)

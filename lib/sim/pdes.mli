@@ -48,11 +48,21 @@ type delivery = {
 }
 (** One cross-shard message in flight on a link. *)
 
-val create : ?link_capacity:int -> lookahead:int -> Engine.t array -> t
+val create :
+  ?link_capacity:int ->
+  ?clock:(unit -> float) ->
+  lookahead:int ->
+  Engine.t array ->
+  t
 (** [create ~lookahead engines] wires an all-pairs mesh of bounded SPSC
     links between the given per-shard engines and sets every engine's
     completion-check grid to [lookahead] (≥ 1).  [engines.(0)] is the
-    coordinator shard. *)
+    coordinator shard.  [?clock] (a monotonic-enough wall clock, e.g.
+    [Unix.gettimeofday] — this library deliberately has no Unix
+    dependency) enables the per-shard execute/barrier/drain wall-time
+    split in {!profile}; without it the split reads zero but the event
+    and stall counters are still collected.  Profiling never touches
+    simulated time, so a profiled run is bit-identical. *)
 
 val push :
   t ->
@@ -79,3 +89,36 @@ val run : t -> until_done:(unit -> bool) -> pending_desc:(unit -> string) -> int
 
 val shard_events : t -> int array
 (** Events processed per shard; sums to the sequential event count. *)
+
+type shard_profile = {
+  sp_events : int;  (** events dispatched by this shard's windows. *)
+  sp_rounds : int;  (** lookahead rounds the shard participated in. *)
+  sp_busy_rounds : int;  (** rounds that dispatched at least one event. *)
+  sp_exec_s : float;  (** wall seconds inside [Engine.run_window]. *)
+  sp_barrier_s : float;  (** wall seconds parked at the three barriers. *)
+  sp_drain_s : float;  (** wall seconds injecting inbound link arrivals. *)
+  sp_full_stalls : int;
+      (** cross-shard pushes that found the SPSC link full (each stall
+          spins draining its own inbound links until space appears). *)
+  sp_max_link_depth : int;  (** deepest outbound link seen, post-push. *)
+  sp_minor_words : float;  (** minor-heap words allocated by this shard's
+                               domain over the run ([Gc.quick_stat]). *)
+  sp_major_collections : int;
+  sp_max_round_events : int;  (** largest single-round event count. *)
+  sp_round_events : int array;
+      (** time-resolved load curve: bucket [i] sums the events of
+          [sp_round_stride] consecutive rounds.  Bounded (≤ 512 buckets)
+          by pair-merging with stride doubling, so the curve's shape
+          survives arbitrarily long runs. *)
+  sp_round_stride : int;  (** rounds per bucket (a power of two). *)
+}
+(** Immutable post-run snapshot of one shard's profiling counters.  The
+    wall-time fields are zero unless [create] was given a [clock]. *)
+
+val profile : t -> shard_profile array
+(** Per-shard profiles, in shard order; call after {!run} returns.  The
+    barrier-wait time on a waiting shard includes the inbound-link drains
+    its [on_wait] callback performs while parked. *)
+
+val lookahead : t -> int
+(** The conservative lookahead (round width) this mesh synchronizes on. *)

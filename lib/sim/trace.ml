@@ -329,7 +329,7 @@ let devices_used t =
       | Counter _ -> ());
   Hashtbl.fold (fun d () acc -> d :: acc) seen [] |> List.sort compare
 
-let export_chrome t ~device_name buf =
+let export_chrome ?extra t ~device_name buf =
   Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
   let first = ref true in
   let emit line =
@@ -379,6 +379,9 @@ let export_chrome t ~device_name buf =
           (Printf.sprintf
              "{\"ph\":\"i\",\"name\":%s,\"pid\":0,\"tid\":%d,\"ts\":%d,\"s\":\"t\",\"args\":{\"txn\":%d,\"line\":%d,\"to\":%s}}"
              (js (kind_name kind)) src time txn line (js (device_name dst))));
+  (* Extra pre-rendered trace-event objects (e.g. the metrics registry's
+     counter tracks) join the same JSON array. *)
+  (match extra with Some f -> f ~emit | None -> ());
   Buffer.add_string buf "\n]}\n"
 
 let export_jsonl t ~device_name buf =

@@ -119,10 +119,18 @@ val merge : t list -> t
 
 (* ----- export -------------------------------------------------------------- *)
 
-val export_chrome : t -> device_name:(int -> string) -> Buffer.t -> unit
+val export_chrome :
+  ?extra:(emit:(string -> unit) -> unit) ->
+  t ->
+  device_name:(int -> string) ->
+  Buffer.t ->
+  unit
 (** Chrome trace-event JSON (Perfetto-loadable): one track per device
     (async "b"/"e" slices per transaction, instants, counters), plus
-    thread-name metadata. *)
+    thread-name metadata.  [?extra] is called after the trace's own
+    events with an [emit] that appends one pre-rendered trace-event JSON
+    object to the same array — the metrics registry uses it to merge its
+    time series in as counter tracks. *)
 
 val export_jsonl : t -> device_name:(int -> string) -> Buffer.t -> unit
 (** One JSON object per line, schema ["spandex-trace/1"]: a header line

@@ -36,6 +36,9 @@ type t = {
   (* Transaction-trace sink configuration; [None] (the default) runs with
      the shared disabled sink and is bit-identical to an untraced build. *)
   trace : Spandex_sim.Trace.spec option;
+  (* Time-series metrics registry configuration; [None] (the default)
+     registers no probes and is bit-identical to a metrics-off build. *)
+  metrics : Spandex_obs.Metrics.spec option;
 }
 
 (* Table VI: 8 CPU cores @2GHz, 16 CUs @700MHz, 32KB 8-way L1s, 4MB GPU L2,
@@ -73,6 +76,7 @@ let default =
     watchdog_cycles = 200_000;
     engine_backend = Spandex_sim.Engine.Wheel_backend;
     trace = None;
+    metrics = None;
   }
 
 let small =

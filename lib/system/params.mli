@@ -49,6 +49,11 @@ type t = {
       (** transaction-trace sink configuration; [None] (the default) uses
           the shared disabled sink — no events, no histograms, and results
           bit-identical to an untraced build. *)
+  metrics : Spandex_obs.Metrics.spec option;
+      (** time-series metrics registry configuration; [None] (the
+          default) registers no probes.  Sampling shares the engine's
+          inline sampler with the trace sink (no events enqueued), so
+          results are bit-identical either way. *)
 }
 
 val default : t

@@ -11,6 +11,7 @@ module Port = Spandex_device.Port
 module Barrier = Spandex_device.Barrier
 module Check_log = Spandex_device.Check_log
 module Pdes = Spandex_sim.Pdes
+module Metrics = Spandex_obs.Metrics
 module Llc = Spandex.Llc
 module Backing = Spandex.Backing
 module Mesi_l1 = Spandex_mesi.Mesi_l1
@@ -35,6 +36,8 @@ type result = {
   device_names : string array;
   shards : int;
   shard_events : int array;
+  metrics : Metrics.t;
+  shard_profile : Pdes.shard_profile array option;
 }
 
 type component = {
@@ -43,6 +46,7 @@ type component = {
   c_pending : unit -> string;
   c_stats : Stats.t;
   c_sample : time:int -> unit;
+  c_metrics : Metrics.t -> unit;
   c_fingerprint : Spandex_util.Fingerprint.t -> unit;
 }
 
@@ -103,6 +107,9 @@ let build_denovo engine net (p : Params.t) ~id ~llc_id ~atomics_at_llc ~region_o
       c_pending = (fun () -> (Denovo_l1.port l1).Port.describe_pending ());
       c_stats = Denovo_l1.stats l1;
       c_sample = (fun ~time -> Denovo_l1.trace_sample l1 ~time);
+      c_metrics =
+        Denovo_l1.register_metrics l1
+          ~device:(Printf.sprintf "denovo_l1.%d" id);
       c_fingerprint = Denovo_l1.fingerprint l1;
     },
     {
@@ -136,6 +143,8 @@ let build_mesi engine net (p : Params.t) ~id ~llc_id ~notify =
       c_pending = (fun () -> (Mesi_l1.port l1).Port.describe_pending ());
       c_stats = Mesi_l1.stats l1;
       c_sample = (fun ~time -> Mesi_l1.trace_sample l1 ~time);
+      c_metrics =
+        Mesi_l1.register_metrics l1 ~device:(Printf.sprintf "mesi_l1.%d" id);
       c_fingerprint = Mesi_l1.fingerprint l1;
     },
     {
@@ -169,6 +178,8 @@ let build_gpucoh engine net (p : Params.t) ~id ~llc_id =
       c_pending = (fun () -> (Gpu_l1.port l1).Port.describe_pending ());
       c_stats = Gpu_l1.stats l1;
       c_sample = (fun ~time -> Gpu_l1.trace_sample l1 ~time);
+      c_metrics =
+        Gpu_l1.register_metrics l1 ~device:(Printf.sprintf "gpu_l1.%d" id);
       c_fingerprint = Gpu_l1.fingerprint l1;
     },
     {
@@ -247,6 +258,15 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
         Engine.create ~backend:p.Params.engine_backend ~trace:traces.(s) ())
   in
   let engine = engines.(0) in
+  (* One metrics registry per shard, mirroring the trace sinks: every
+     probe registered on shard [s]'s registry reads only state owned by
+     shard [s]'s domain, and the registries merge after the run. *)
+  let mregs =
+    Array.init shards (fun _ ->
+        match p.Params.metrics with
+        | None -> Metrics.disabled
+        | Some spec -> Metrics.create spec)
+  in
   (* Human-readable endpoint names for trace export ("who is track 12?"). *)
   let device_names =
     Array.init (l2_back_id + 1) (fun id ->
@@ -286,7 +306,9 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
   in
   let pdes =
     if shards > 1 then
-      Some (Pdes.create ~lookahead:topo.Network.min_latency engines)
+      Some
+        (Pdes.create ~clock:Unix.gettimeofday
+           ~lookahead:topo.Network.min_latency engines)
     else None
   in
   let net =
@@ -349,6 +371,7 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
           c_pending = (fun () -> Llc.describe_pending llc);
           c_stats = Llc.stats llc;
           c_sample = (fun ~time -> Llc.trace_sample llc ~time);
+          c_metrics = Llc.register_metrics llc ~device:"spandex_llc";
           c_fingerprint = Llc.fingerprint llc;
         };
       ( home_id,
@@ -373,6 +396,7 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
           c_pending = (fun () -> Mesi_dir.describe_pending dir);
           c_stats = Mesi_dir.stats dir;
           c_sample = (fun ~time -> Mesi_dir.trace_sample dir ~time);
+          c_metrics = Mesi_dir.register_metrics dir ~device:"mesi_dir";
           c_fingerprint = Mesi_dir.fingerprint dir;
         };
       let client =
@@ -403,6 +427,7 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
           c_pending = (fun () -> Llc.describe_pending l2);
           c_stats = Llc.stats l2;
           c_sample = (fun ~time -> Llc.trace_sample l2 ~time);
+          c_metrics = Llc.register_metrics l2 ~device:"gpu_l2";
           c_fingerprint = Llc.fingerprint l2;
         };
       add
@@ -412,6 +437,8 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
           c_pending = (fun () -> (Mesi_client.backing client).Backing.describe_pending ());
           c_stats = Mesi_client.stats client;
           c_sample = (fun ~time -> Mesi_client.trace_sample client ~time);
+          c_metrics =
+            Mesi_client.register_metrics client ~device:"mesi_client";
           c_fingerprint = Mesi_client.fingerprint client;
         };
       (home_id, l2_front_id, None)
@@ -501,18 +528,53 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
   List.iter Core.start cores;
   (* Periodic occupancy sampling runs inline in the engine's dispatch loop —
      it never enqueues events, so event counts and scheduling are identical
-     with tracing on or off. *)
-  if Trace.on trace then
+     with tracing and metrics on or off.  One engine sampler serves both
+     sinks: it fires on the faster cadence and each sink keeps its own
+     next-due cursor (the engine samples at the first event past each
+     multiple, not on exact multiples, so modulo gating would misfire). *)
+  let metrics_on = Metrics.on mregs.(0) in
+  if metrics_on then begin
+    for s = 0 to shards - 1 do
+      List.iter
+        (fun (cs, c) -> if cs = s then c.c_metrics mregs.(s))
+        (List.rev !components);
+      Network.register_metrics net ~shard:s mregs.(s);
+      Metrics.counter mregs.(s) ~name:"spandex_engine_events_total"
+        ~labels:[ ("shard", string_of_int s) ]
+        ~help:"engine events dispatched"
+        (fun () -> Engine.events_processed engines.(s))
+    done;
+    Dram.register_metrics dram mregs.(0);
+    (* Depth gauges wrap every endpoint handler, so arm them only after
+       all devices have registered; no-op on sharded networks. *)
+    Network.enable_vc_depth_metrics net mregs.(0)
+  end;
+  if Trace.on trace || metrics_on then
     for s = 0 to shards - 1 do
       let sampled =
         List.filter_map
           (fun (cs, c) -> if cs = s then Some c else None)
           !components
       in
-      Engine.set_sampler engines.(s) ~every:(Trace.sample_every trace)
-        (fun time ->
-          List.iter (fun c -> c.c_sample ~time) sampled;
-          Network.trace_sample_shard net ~shard:s ~time)
+      let trace_every = if Trace.on trace then Trace.sample_every trace else 0
+      and metrics_every = if metrics_on then Metrics.sample_every mregs.(s) else 0 in
+      let every =
+        match (trace_every, metrics_every) with
+        | 0, m -> m
+        | t, 0 -> t
+        | t, m -> min t m
+      in
+      let next_trace = ref 0 and next_metrics = ref 0 in
+      Engine.set_sampler engines.(s) ~every (fun time ->
+          if trace_every > 0 && time >= !next_trace then begin
+            next_trace := time + trace_every;
+            List.iter (fun c -> c.c_sample ~time) sampled;
+            Network.trace_sample_shard net ~shard:s ~time
+          end;
+          if metrics_every > 0 && time >= !next_metrics then begin
+            next_metrics := time + metrics_every;
+            Metrics.sample mregs.(s) ~time
+          end)
     done;
   (* --- run ----------------------------------------------------------------- *)
   let finished () =
@@ -609,6 +671,8 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
       device_names;
       shards;
       shard_events = Array.map Engine.events_processed engines;
+      metrics = Metrics.merge (Array.to_list mregs);
+      shard_profile = Option.map Pdes.profile pdes;
     }
   in
   {

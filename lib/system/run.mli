@@ -35,6 +35,17 @@ type result = {
   shard_events : int array;
       (** engine events processed per shard, in shard order; sums to
           [events].  [[| events |]] for sequential backends. *)
+  metrics : Spandex_obs.Metrics.t;
+      (** the run's merged time-series registry (per-shard registries
+          combined deterministically); {!Spandex_obs.Metrics.disabled}
+          when [params.metrics] was [None].  Sampling shares the engine's
+          inline sampler with the trace sink, so results are bit-identical
+          with metrics on or off. *)
+  shard_profile : Spandex_sim.Pdes.shard_profile array option;
+      (** per-shard PDES profile (events, wall split, stalls, GC) in shard
+          order; [None] for sequential backends.  Wall times come from a
+          real clock and are excluded from bit-identity — simulated
+          results are unaffected by profiling. *)
 }
 
 type view = {

@@ -28,6 +28,102 @@ let check_all_configs ?params wl =
 
 let test name f = Alcotest.test_case name `Quick f
 
+(* A minimal JSON syntax checker: validates structure without building
+   values, enough to catch escaping and comma/bracket bugs in exporters
+   without a JSON dependency. *)
+let json_valid s =
+  let n = String.length s in
+  let i = ref 0 in
+  let peek () = if !i < n then Some s.[!i] else None in
+  let skip_ws () =
+    while !i < n && (s.[!i] = ' ' || s.[!i] = '\n' || s.[!i] = '\t' || s.[!i] = '\r') do
+      incr i
+    done
+  in
+  let fail = ref false in
+  let expect c = if !i < n && s.[!i] = c then incr i else fail := true in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_lit ()
+    | Some 't' -> lit "true"
+    | Some 'f' -> lit "false"
+    | Some 'n' -> lit "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail := true
+  and lit l =
+    if !i + String.length l <= n && String.sub s !i (String.length l) = l then
+      i := !i + String.length l
+    else fail := true
+  and number () =
+    if peek () = Some '-' then incr i;
+    let digits = ref 0 in
+    while (not !fail) && !i < n && (match s.[!i] with '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true | _ -> false) do
+      incr digits;
+      incr i
+    done;
+    if !digits = 0 then fail := true
+  and string_lit () =
+    expect '"';
+    let closed = ref false in
+    while (not !fail) && (not !closed) && !i < n do
+      (match s.[!i] with
+      | '\\' -> incr i (* skip the escaped char below *)
+      | '"' -> closed := true
+      | c when Char.code c < 0x20 -> fail := true
+      | _ -> ());
+      incr i
+    done;
+    if not !closed then fail := true
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then incr i
+    else begin
+      let continue = ref true in
+      while (not !fail) && !continue do
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> incr i
+        | Some ']' ->
+          incr i;
+          continue := false
+        | _ ->
+          fail := true;
+          continue := false
+      done
+    end
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then incr i
+    else begin
+      let continue = ref true in
+      while (not !fail) && !continue do
+        skip_ws ();
+        string_lit ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> incr i
+        | Some '}' ->
+          incr i;
+          continue := false
+        | _ ->
+          fail := true;
+          continue := false
+      done
+    end
+  in
+  value ();
+  skip_ws ();
+  (not !fail) && !i = n
+
 (* Small but not tiny: exercises the protocols without long runtimes. *)
 let quick_params =
   {

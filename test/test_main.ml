@@ -22,6 +22,7 @@ let () =
       ("sweep", Test_sweep.tests);
       ("spsc", Test_spsc.tests);
       ("pdes", Test_pdes.tests);
+      ("obs", Test_obs.tests);
       ("chassis", Test_chassis.tests);
       ("random", Test_random.tests);
       ("check", Test_check.tests);
