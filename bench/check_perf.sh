@@ -29,14 +29,21 @@
 #   - the report's metrics-enabled verification run diverged from the
 #     metrics-off one (schema spandex-bench-sweep/6 runs one cell with the
 #     time-series registry sampling and asserts bit-identical results), or
-#   - a --engine pdes /6 report is missing its per-cell shard_profile on a
+#   - a --engine pdes /6+ report is missing its per-cell shard_profile on a
 #     multi-shard cell, or reports a barrier_wait_fraction outside [0, 1],
 #     or a cell's shard_profile event counts do not sum to the cell's
-#     event count.
+#     event count, or
+#   - a --engine pdes /7 report shows shard 0 carrying more than 2x the
+#     mean event share on any multi-shard cell (the banked partition must
+#     not recreate the old shard-0 home-complex hotspot), or a cell whose
+#     partition spreads both the home banks and the cores over several
+#     shards exceeds 2x max/mean event imbalance (barrier workloads
+#     collapse the cores onto one shard — a structural serialization the
+#     max/mean gate therefore skips; the shard-0 gate still applies).
 #
 # Refresh the baseline with:
 #   dune exec bin/spandex_cli.exe -- bench --jobs 2 --scale 0.25 \
-#     --workloads rsct,tqh,bc --repeat 3 -o bench/ci_baseline.json
+#     --workloads rsct,tqh,bc,trns --repeat 3 -o bench/ci_baseline.json
 set -eu
 
 report=${1:?usage: check_perf.sh <report.json> [baseline.json]}
@@ -176,11 +183,12 @@ if "pdes_identical" in report:
                 )
             )
 
-# Shard-profile gates (schema v6, --engine pdes reports only): every
+# Shard-profile gates (schema v6+, --engine pdes reports only): every
 # multi-shard cell must carry a shard_profile whose event counts sum to
 # the cell's event total and whose barrier-wait fraction is a sane
 # fraction of wall time.
-if report.get("engine") == "pdes" and report.get("schema", "").endswith("/6"):
+schema_rev = report.get("schema", "").rsplit("/", 1)[-1]
+if report.get("engine") == "pdes" and schema_rev in ("6", "7"):
     checked = 0
     for cell in report.get("simulations", []):
         label = "%s %s" % (cell.get("workload"), cell.get("config"))
@@ -210,6 +218,52 @@ if report.get("engine") == "pdes" and report.get("schema", "").endswith("/6"):
         print(
             "pdes profile: %d multi-shard cell(s) carry a sane shard_profile"
             % checked
+        )
+
+# Imbalance gates (schema v7, --engine pdes reports only).  The banked
+# partition spreads home banks + DRAM channels across shards, so shard 0
+# must never again carry the whole home complex: on every multi-shard
+# cell its event share is capped at 2x the mean.  Cells whose partition
+# also spreads the cores (no barrier collapse) must balance overall:
+# max/mean event share below 2x.  Barrier workloads co-locate every core
+# on one shard (1-cycle barrier wakes sit below the network lookahead),
+# which that shard's event count reflects — the max/mean gate skips
+# those structurally serialized cells rather than gate on physics.
+if report.get("engine") == "pdes" and schema_rev == "7":
+    s0_checked = mm_checked = 0
+    for cell in report.get("simulations", []):
+        label = "%s %s" % (cell.get("workload"), cell.get("config"))
+        se = cell.get("shard_events", [])
+        if cell.get("shards", 1) <= 1 or not se:
+            continue
+        mean = sum(se) / float(len(se))
+        if mean <= 0:
+            continue
+        s0_checked += 1
+        if se[0] > 2.0 * mean:
+            failures.append(
+                "pdes cell %s: shard 0 carries %.2fx the mean event share "
+                "(> 2.0x) — the banked partition left a shard-0 hotspot"
+                % (label, se[0] / mean)
+            )
+        part = cell.get("partition", {})
+        bank_shards = {
+            s for n, s in part.items()
+            if n.startswith("llc.b") or n.startswith("dir.b")
+        }
+        core_shards = {s for n, s in part.items() if "l1." in n}
+        if len(bank_shards) > 1 and len(core_shards) > 1:
+            mm_checked += 1
+            if max(se) > 2.0 * mean:
+                failures.append(
+                    "pdes cell %s: max/mean event imbalance %.2fx > 2.0x "
+                    "with banks and cores both spread across shards"
+                    % (label, max(se) / mean)
+                )
+    if s0_checked:
+        print(
+            "pdes imbalance: shard-0 share gated on %d cell(s), max/mean "
+            "gated on %d core-spread cell(s)" % (s0_checked, mm_checked)
         )
 
 if failures:

@@ -196,10 +196,13 @@ let shards_arg =
     & info [ "shards" ]
         ~doc:
           "Shard count for --engine pdes (0 = recommended domain count, \
-           min 2).  The effective count is capped by the partition — one \
-           shard for the home complex (LLC banks, directory, memory) plus \
-           one per core — and by fault injection or barriers; a capped \
-           request is reported, not an error.")
+           min 2).  The effective count is capped by the number of \
+           placement units — one per core, one per home bank (each LLC or \
+           directory bank carries its own DRAM channel), plus one for the \
+           GPU-L2 complex on hierarchical configs; barrier workloads \
+           collapse the cores onto a single unit.  Fault plans do not cap \
+           (fault RNG streams are per-link).  A capped request is \
+           reported with the reason, not an error.")
 
 let resolve_jobs jobs = if jobs <= 0 then Sweep.default_jobs () else jobs
 
@@ -626,8 +629,31 @@ let profile_cmd =
         |> List.map find_entry
     in
     let geom = Registry.geometry_of_params params in
+    (* Bank -> shard placement table, grouped by shard: the banked
+       partition spreads the home complex, so the placement is the first
+       thing to look at when one shard dominates. *)
+    let placement_line (table : (string * int) array) =
+      let max_shard = Array.fold_left (fun a (_, s) -> max a s) 0 table in
+      List.init (max_shard + 1) (fun s ->
+          let names =
+            Array.to_list table
+            |> List.filter_map (fun (n, sh) ->
+                   if sh = s then Some n else None)
+          in
+          Printf.sprintf "s%d[%s]" s (String.concat " " names))
+      |> String.concat " "
+    in
+    let peaks_line peaks =
+      Array.to_list peaks
+      |> List.mapi (fun b d -> Printf.sprintf "b%d=%d" b d)
+      |> String.concat " "
+    in
     let agg = ref [||] in
     let profiled = ref 0 and capped = ref [] in
+    (* Pass a partition table to the final report only when every profiled
+       cell placed components the same way (barrier workloads collapse
+       cores onto one shard, so cells can disagree). *)
+    let common_partition = ref `Unset in
     List.iter
       (fun (e : Registry.entry) ->
         let wl = e.Registry.build ~scale geom in
@@ -641,14 +667,28 @@ let profile_cmd =
             e.Registry.name config.Config.name r.Run.shards r.Run.events
             (Array.fold_left (fun acc s -> max acc s.Pdes.sp_rounds) 0 prof)
             (100.0 *. Pdes_prof.barrier_wait_fraction prof);
+          Printf.printf "             placement: %s\n"
+            (placement_line r.Run.partition);
+          Printf.printf "             dram peak queue depth: %s\n"
+            (peaks_line r.Run.dram_channel_peaks);
+          (match r.Run.cap_reason with
+          | Some why when r.Run.shards < shards ->
+            Printf.printf "             note: capped to %d shard(s) — %s\n"
+              r.Run.shards why
+          | _ -> ());
+          (match !common_partition with
+          | `Unset -> common_partition := `Same r.Run.partition
+          | `Same p when p <> r.Run.partition -> common_partition := `Mixed
+          | _ -> ());
           agg := (if Array.length !agg = 0 then prof else Pdes_prof.add !agg prof)
-        | None -> capped := e.Registry.name :: !capped)
+        | None -> capped := (e.Registry.name, r.Run.cap_reason) :: !capped)
       entries;
-    if !capped <> [] then
-      Printf.printf
-        "  note: %s ran sequentially (shard count capped to 1 by the \
-         partition), not profiled\n"
-        (String.concat ", " (List.rev !capped));
+    List.iter
+      (fun (name, reason) ->
+        Printf.printf "  note: %s ran sequentially, not profiled — %s\n" name
+          (Option.value reason
+             ~default:"shard count capped to 1 by the partition"))
+      (List.rev !capped);
     if !profiled = 0 then begin
       Printf.eprintf
         "no multi-shard runs to profile (every cell was capped to one \
@@ -656,7 +696,10 @@ let profile_cmd =
       exit 1
     end;
     Printf.printf "\n";
-    Format.printf "%a@." Pdes_prof.pp (Pdes_prof.analyze !agg)
+    let partition =
+      match !common_partition with `Same p -> Some p | _ -> None
+    in
+    Format.printf "%a@." (Pdes_prof.pp ?partition) (Pdes_prof.analyze !agg)
   in
   let workloads_arg =
     Arg.(
@@ -1065,13 +1108,24 @@ let bench_cmd =
         1 seq
     in
     let shards_capped = is_pdes && effective_shards < requested_shards in
+    (* Why the partition capped: taken from the run that used the most
+       shards, so the reported reason matches [shards_effective]. *)
+    let cap_reason =
+      List.fold_left
+        (fun acc (_, (r : Run.result), _) ->
+          if r.Run.shards = effective_shards && r.Run.cap_reason <> None then
+            r.Run.cap_reason
+          else acc)
+        None seq
+    in
     if shards_capped then
       Printf.eprintf
         "warning: --shards %d exceeds what the machine partition supports; \
-         capped at %d (one shard for the home complex — LLC banks, \
-         directory, memory — plus one per core; fault plans and barriers \
-         cap further)\n%!"
-        requested_shards effective_shards;
+         capped at %d — %s\n%!"
+        requested_shards effective_shards
+        (match cap_reason with
+        | Some why -> why
+        | None -> "placement-unit count");
     let divergences =
       List.concat
         (List.map2
@@ -1137,7 +1191,7 @@ let bench_cmd =
     in
     let buf = Buffer.create 4096 in
     Printf.bprintf buf "{\n";
-    Printf.bprintf buf "  \"schema\": \"spandex-bench-sweep/6\",\n";
+    Printf.bprintf buf "  \"schema\": \"spandex-bench-sweep/7\",\n";
     Printf.bprintf buf "  \"scale\": %g,\n" scale;
     Printf.bprintf buf "  \"jobs\": %d,\n" jobs;
     Printf.bprintf buf "  \"jobs_used\": %d,\n" jobs;
@@ -1146,6 +1200,10 @@ let bench_cmd =
     Printf.bprintf buf "  \"shards_requested\": %d,\n" requested_shards;
     Printf.bprintf buf "  \"shards_effective\": %d,\n" effective_shards;
     Printf.bprintf buf "  \"pdes_shards_capped\": %b,\n" shards_capped;
+    Printf.bprintf buf "  \"pdes_cap_reason\": %s,\n"
+      (match cap_reason with
+      | Some why when shards_capped -> json_string why
+      | _ -> "null");
     (match pdes_ref with
     | None -> ()
     | Some (wheel_wall, divs) ->
@@ -1250,6 +1308,25 @@ let bench_cmd =
           r.Run.major_collections r.Run.shards
           (String.concat ", "
              (Array.to_list (Array.map string_of_int r.Run.shard_events)));
+        (* The banked placement only means something on multi-shard pdes
+           cells; sequential backends report all zeros, so skip them. *)
+        if is_pdes then begin
+          Printf.bprintf buf ", \"partition\": { %s }"
+            (String.concat ", "
+               (Array.to_list
+                  (Array.map
+                     (fun (name, s) ->
+                       Printf.sprintf "%s: %d" (json_string name) s)
+                     r.Run.partition)));
+          (match r.Run.cap_reason with
+          | Some why ->
+            Printf.bprintf buf ", \"cap_reason\": %s" (json_string why)
+          | None -> ());
+          Printf.bprintf buf ", \"dram_channel_peaks\": [%s]"
+            (String.concat ", "
+               (Array.to_list
+                  (Array.map string_of_int r.Run.dram_channel_peaks)))
+        end;
         (match r.Run.shard_profile with
         | None -> ()
         | Some prof ->

@@ -64,75 +64,36 @@ type meta = {
   mutable recalls : recall_req list;
 }
 
-(* Address-interleaved banked tag array: bank [b] holds the lines ≡ b
-   (mod banks), keyed inside the bank by [line / banks].  Because [banks]
-   divides [sets], global set [s] corresponds exactly to (bank [s mod
-   banks], bank-local set [s / banks]) — the conflict sets and per-set LRU
-   order are unchanged, so banking is behaviour-neutral.  What it buys is
-   structural: each bank owns a disjoint slice of the tag/state arrays, so
-   a bank is a self-contained unit the PDES backend can treat as a
-   partition boundary. *)
-module Frames = struct
-  type 'a t = { frames : 'a Cache_frame.t array; banks : int }
+(* The address-interleaved banked tag array lives in
+   {!Spandex_mem.Banked_frame} (shared with the MESI directory): bank [b]
+   holds the lines ≡ b (mod banks), conflict sets and LRU order are
+   unchanged, and each bank owns a disjoint slice of the tag/state
+   arrays — the PDES partition boundary. *)
+module Frames = Spandex_mem.Banked_frame
 
-  let create ~banks ~sets ~ways =
-    if banks < 1 then invalid_arg "Llc: banks must be positive";
-    if sets mod banks <> 0 then
-      invalid_arg "Llc: sets must be divisible by banks";
-    {
-      frames =
-        Array.init banks (fun _ ->
-            Cache_frame.create ~sets:(sets / banks) ~ways);
-      banks;
-    }
-
-  let bank t line = t.frames.(line mod t.banks)
-  let local t line = line / t.banks
-  let global t b local = (local * t.banks) + b
-  let find t ~line = Cache_frame.find (bank t line) ~line:(local t line)
-  let find_exn t ~line = Cache_frame.find_exn (bank t line) ~line:(local t line)
-  let touch t ~line = Cache_frame.touch (bank t line) ~line:(local t line)
-  let remove t ~line = Cache_frame.remove (bank t line) ~line:(local t line)
-
-  let insert t ~line m ~can_evict =
-    let b = line mod t.banks in
-    match
-      Cache_frame.insert t.frames.(b) ~line:(local t line) m
-        ~can_evict:(fun ~line m -> can_evict ~line:(global t b line) m)
-    with
-    | Cache_frame.Evicted (vline, vm) ->
-      Cache_frame.Evicted (global t b vline, vm)
-    | (Cache_frame.Inserted | Cache_frame.No_room) as r -> r
-
-  let lru_matching t ~set_line ~f =
-    let b = set_line mod t.banks in
-    Cache_frame.lru_matching t.frames.(b) ~set_line:(local t set_line)
-      ~f:(fun ~line m -> f ~line:(global t b line) m)
-    |> Option.map (fun (vline, vm) -> (global t b vline, vm))
-
-  let fold t ~init ~f =
-    let acc = ref init in
-    Array.iteri
-      (fun b fr ->
-        acc :=
-          Cache_frame.fold fr ~init:!acc ~f:(fun acc ~line m ->
-              f acc ~line:(global t b line) m))
-      t.frames;
-    !acc
-
-  let count t =
-    Array.fold_left (fun a fr -> a + Cache_frame.count fr) 0 t.frames
-end
+(* Everything mutable a bank touches while processing a request lives in
+   its own [bank] record: engine (the bank's shard engine under PDES),
+   backing, probe-txn allocator, stats, trace sink and interned names.
+   The handlers derive the bank from the line ([line mod banks]), so a
+   bank never reads or writes another bank's state — which is exactly
+   what lets the PDES partition place each bank on its own shard. *)
+type bank = {
+  bk_engine : Engine.t;
+  bk_backing : Backing.t;
+  bk_txns : Txn.allocator;  (* probe ids: drawn in bank arrival order. *)
+  bk_stats : Stats.t;
+  bk_req_keys : Stats.key array;  (* "req.<kind>" by [Msg.req_kind_index]. *)
+  bk_trace : Trace.t;
+  bk_n_replay : int;  (* interned trace names (0 on a disabled sink). *)
+  bk_n_recall : int;
+  bk_n_pending : int;
+  bk_n_blocked : int;
+}
 
 type t = {
-  engine : Engine.t;
-  net : Network.t;
-  backing : Backing.t;
   cfg : config;
-  txns : Txn.allocator;  (* probe ids: drawn in LLC arrival order only. *)
   frame : meta Frames.t;
-  stats : Stats.t;
-  req_keys : Stats.key array;  (* "req.<kind>" by [Msg.req_kind_index]. *)
+  banks : bank array;
   (* At-most-once reply cache, armed only under fault injection.  For
      request kinds whose processing is not idempotent (ownership+data
      grants, LLC-performed atomics), the responses sent for a txn are
@@ -143,12 +104,9 @@ type t = {
      live in one table): the reply cache partitions along the same
      boundary as the tag array. *)
   replay : (int, Msg.t list ref) Hashtbl.t array option;
-  trace : Trace.t;
-  n_replay : int;  (** interned trace names (0 on a disabled sink). *)
-  n_recall : int;
-  n_pending : int;
-  n_blocked : int;
 }
+
+let bank t line = t.banks.(line mod t.cfg.banks)
 
 let fresh_meta () =
   {
@@ -167,8 +125,12 @@ let fresh_meta () =
 (* ----- messaging helpers -------------------------------------------------- *)
 
 (* State transitions happen at arrival (the serialization point); outgoing
-   messages are charged the LLC access latency. *)
-let send t msg = Engine.send_later t.engine ~delay:t.cfg.access_latency msg
+   messages are charged the LLC access latency.  The sending bank is read
+   off the message source (all outgoing messages carry [bank_of cfg line]
+   as [src]), so the send lands on that bank's engine. *)
+let send t (msg : Msg.t) =
+  let bk = t.banks.(msg.Msg.src - t.cfg.llc_id) in
+  Engine.send_later bk.bk_engine ~delay:t.cfg.access_latency msg
 
 let respond t (req : Msg.t) ~kind ~mask ?payload () =
   if not (Mask.is_empty mask) then begin
@@ -210,8 +172,9 @@ let forward t (req : Msg.t) ~kind ~dst ~mask ?demand ?amo () =
 
 let probe t ~kind ~dst ~line ~mask =
   send t
-    (Msg.make ~txn:(Txn.next t.txns) ~kind:(Msg.Probe kind) ~line ~mask
-       ~src:(bank_of t.cfg line) ~dst ())
+    (Msg.make
+       ~txn:(Txn.next (bank t line).bk_txns)
+       ~kind:(Msg.Probe kind) ~line ~mask ~src:(bank_of t.cfg line) ~dst ())
 
 (* ----- per-word owner bookkeeping ----------------------------------------- *)
 
@@ -259,17 +222,18 @@ let rec handle t (msg : Msg.t) =
   | Msg.Probe _ -> failwith "Llc: received a probe"
 
 and handle_req t (msg : Msg.t) kind =
-  Stats.bump t.stats t.req_keys.(Msg.req_kind_index kind);
+  let bk = bank t msg.Msg.line in
+  Stats.bump bk.bk_stats bk.bk_req_keys.(Msg.req_kind_index kind);
   match Frames.find_exn t.frame ~line:msg.Msg.line with
   | exception Not_found ->
     if kind = Msg.ReqWB then begin
       (* A write-back racing with a completed purge: the sender is no longer
          the owner (Table III: "ReqWB from non-owner"). Acknowledge, drop. *)
-      Stats.incr t.stats "wb_stale";
+      Stats.incr bk.bk_stats "wb_stale";
       respond t msg ~kind:Msg.RspWB ~mask:msg.Msg.mask ()
     end
     else begin
-      Stats.incr t.stats "miss";
+      Stats.incr bk.bk_stats "miss";
       allocate_and_fetch t msg kind
     end
   | meta -> (
@@ -283,16 +247,16 @@ and handle_req t (msg : Msg.t) kind =
         mark_satisfied t msg.Msg.line meta pending msg.Msg.src
           ~mask:msg.Msg.mask
       | _ ->
-        Stats.incr t.stats "blocked";
+        Stats.incr bk.bk_stats "blocked";
         Msg.keep msg;
         meta.blocked <- meta.blocked @ [ msg ])
     | None ->
       if needs_excl kind && not meta.backing_excl then begin
-        Stats.incr t.stats "backing_upgrade";
+        Stats.incr bk.bk_stats "backing_upgrade";
         meta.pending <- Some Upgrading;
         Msg.keep msg;
         meta.blocked <- meta.blocked @ [ msg ];
-        t.backing.Backing.acquire ~line:msg.Msg.line ~excl:true
+        bk.bk_backing.Backing.acquire ~line:msg.Msg.line ~excl:true
           ~k:(fun data ~excl ->
             assert excl;
             (* A parent Inv may have raced past this upgrade (§III-C): our
@@ -308,7 +272,7 @@ and handle_req t (msg : Msg.t) kind =
             after_pending t msg.Msg.line)
       end
       else begin
-        Stats.incr t.stats "hit";
+        Stats.incr bk.bk_stats "hit";
         dispatch t meta msg kind
       end)
 
@@ -337,7 +301,7 @@ and with_no_sharers t meta (msg : Msg.t) next =
     meta.lstate <- State.L_V;
     if targets = [] then next ()
     else begin
-      Stats.incr t.stats "inv_bursts";
+      Stats.incr (bank t msg.Msg.line).bk_stats "inv_bursts";
       (* [next] captures [msg] and runs after the ack collection. *)
       Msg.keep msg;
       meta.pending <-
@@ -352,7 +316,7 @@ and with_no_sharers t meta (msg : Msg.t) next =
              });
       List.iter
         (fun d ->
-          Stats.incr t.stats "inv_sent";
+          Stats.incr (bank t msg.Msg.line).bk_stats "inv_sent";
           probe t ~kind:Msg.Inv ~dst:d ~line:msg.Msg.line ~mask:Addr.full_mask)
         targets
     end
@@ -374,12 +338,12 @@ and do_reqv t meta (msg : Msg.t) =
            contexts) after issuing this ReqV; the LLC has no data to give.
            Nack so its TU retries and hits locally. *)
         if not (Mask.is_empty demanded) then begin
-          Stats.incr t.stats "reqv_self_nack";
+          Stats.incr (bank t msg.Msg.line).bk_stats "reqv_self_nack";
           respond t msg ~kind:Msg.Nack ~mask:demanded ()
         end
       end
       else begin
-        Stats.incr t.stats "fwd_reqv";
+        Stats.incr (bank t msg.Msg.line).bk_stats "fwd_reqv";
         forward t msg ~kind:Msg.ReqV ~dst:o ~mask:sub ~demand:demanded ()
       end)
     (owner_groups meta fwd_words)
@@ -387,6 +351,7 @@ and do_reqv t meta (msg : Msg.t) =
 (* ReqS: option (1) when the line is Shared or a MESI device owns target
    words, option (3) otherwise (§III-B "Supporting Shared State"). *)
 and do_reqs t meta (msg : Msg.t) =
+  let bk = bank t msg.Msg.line in
   let owned_in = Mask.inter msg.Msg.mask meta.owned in
   let groups = owner_groups meta owned_in in
   let any_mesi_owner =
@@ -401,11 +366,11 @@ and do_reqs t meta (msg : Msg.t) =
   if t.cfg.reqs_policy = Reqs_valid then begin
     (* Option (2): serve like a ReqV; the requestor's TU downgrades the
        data to Invalid after the read, precluding any reuse (§III-B). *)
-    Stats.incr t.stats "reqs_opt2";
+    Stats.incr bk.bk_stats "reqs_opt2";
     do_reqv t meta msg
   end
   else if choose_opt1 then begin
-    Stats.incr t.stats "reqs_opt1";
+    Stats.incr bk.bk_stats "reqs_opt1";
     respond_data t msg meta ~kind:Msg.RspS ~mask:(Mask.diff msg.Msg.mask meta.owned);
     if Mask.is_empty owned_in then begin
       meta.lstate <- State.L_S;
@@ -421,7 +386,7 @@ and do_reqs t meta (msg : Msg.t) =
          read.  Await the crossing ReqWB instead — it is the data carrier
          — and serve those words from the merged LLC data at resume. *)
       let self = words_owned_by meta ~mask:owned_in ~owner:msg.Msg.requestor in
-      if not (Mask.is_empty self) then Stats.incr t.stats "reqs_self_wb";
+      if not (Mask.is_empty self) then Stats.incr bk.bk_stats "reqs_self_wb";
       let fwd_groups =
         List.filter (fun (o, _) -> o <> msg.Msg.requestor) groups
       in
@@ -454,13 +419,13 @@ and do_reqs t meta (msg : Msg.t) =
              });
       List.iter
         (fun (o, sub) ->
-          Stats.incr t.stats "fwd_reqs";
+          Stats.incr bk.bk_stats "fwd_reqs";
           forward t msg ~kind:Msg.ReqS ~dst:o ~mask:sub ())
         fwd_groups
     end
   end
   else begin
-    Stats.incr t.stats "reqs_opt3";
+    Stats.incr bk.bk_stats "reqs_opt3";
     with_no_sharers t meta msg (fun () ->
         do_grant_with_data t meta msg ~rsp:Msg.RspOdata)
   end
@@ -484,7 +449,7 @@ and do_reqwt t meta (msg : Msg.t) =
   in
   List.iter
     (fun (o, sub) ->
-      Stats.incr t.stats "fwd_wt_revoke";
+      Stats.incr (bank t msg.Msg.line).bk_stats "fwd_wt_revoke";
       forward t msg ~kind:Msg.ReqO ~dst:o ~mask:sub ())
     groups;
   respond t msg ~kind:Msg.RspWT
@@ -505,7 +470,7 @@ and do_reqo t meta (msg : Msg.t) =
   grant_ownership meta ~mask:msg.Msg.mask ~to_:msg.Msg.requestor;
   List.iter
     (fun (o, sub) ->
-      Stats.incr t.stats "fwd_reqo";
+      Stats.incr (bank t msg.Msg.line).bk_stats "fwd_reqo";
       forward t msg ~kind:Msg.ReqO ~dst:o ~mask:sub ())
     groups;
   respond t msg ~kind:Msg.RspO
@@ -529,7 +494,7 @@ and do_grant_with_data t meta (msg : Msg.t) ~rsp =
   respond_data t msg meta ~kind:rsp ~mask:local;
   List.iter
     (fun (o, sub) ->
-      Stats.incr t.stats "fwd_reqodata";
+      Stats.incr (bank t msg.Msg.line).bk_stats "fwd_reqodata";
       forward t msg ~kind:Msg.ReqOdata ~dst:o ~mask:sub ())
     groups;
   grant_ownership meta ~mask:msg.Msg.mask ~to_:msg.Msg.requestor
@@ -560,7 +525,7 @@ and do_reqwtdata t meta (msg : Msg.t) =
            });
     List.iter
       (fun aw ->
-        Stats.incr t.stats "rvko_sent";
+        Stats.incr (bank t msg.Msg.line).bk_stats "rvko_sent";
         probe t ~kind:Msg.RvkO ~dst:aw.aw_owner ~line:msg.Msg.line
           ~mask:aw.aw_remaining)
       awaited
@@ -588,9 +553,9 @@ and apply_wtdata t meta (msg : Msg.t) =
 (* ReqWB: accept data for words still owned by the sender, drop the rest. *)
 and apply_wb t meta (msg : Msg.t) =
   let live = words_owned_by meta ~mask:msg.Msg.mask ~owner:msg.Msg.src in
-  if Mask.is_empty live then Stats.incr t.stats "wb_stale"
+  if Mask.is_empty live then Stats.incr (bank t msg.Msg.line).bk_stats "wb_stale"
   else begin
-    Stats.incr t.stats "wb_live";
+    Stats.incr (bank t msg.Msg.line).bk_stats "wb_live";
     let values = payload_values msg in
     Linedata.iter ~mask:msg.Msg.mask ~values ~f:(fun ~word ~value ->
         if Mask.mem live word then meta.data.(word) <- value);
@@ -635,7 +600,8 @@ and mark_satisfied _t line meta pending src ~mask =
 
 and handle_rsp t (msg : Msg.t) kind =
   match Frames.find_exn t.frame ~line:msg.Msg.line with
-  | exception Not_found -> Stats.incr t.stats "rsp_orphan"
+  | exception Not_found ->
+    Stats.incr (bank t msg.Msg.line).bk_stats "rsp_orphan"
   | meta -> (
     match (kind, meta.pending) with
     | Msg.Ack, Some (Collecting_acks c) ->
@@ -658,7 +624,7 @@ and handle_rsp t (msg : Msg.t) kind =
           (fun a -> a.aw_owner = msg.Msg.src && not (aw_satisfied a))
           awaited
       with
-      | None -> Stats.incr t.stats "rvko_dup"
+      | None -> Stats.incr (bank t msg.Msg.line).bk_stats "rvko_dup"
       | Some a ->
         (match msg.Msg.payload with
         | Msg.Data values | Msg.Data_pooled values ->
@@ -675,7 +641,8 @@ and handle_rsp t (msg : Msg.t) kind =
                ~mask:(Mask.inter a.aw_remaining msg.Msg.mask)
                ~owner:a.aw_owner);
         mark_satisfied t msg.Msg.line meta p msg.Msg.src ~mask:msg.Msg.mask)
-    | (Msg.Ack | Msg.RspRvkO), _ -> Stats.incr t.stats "rsp_orphan"
+    | (Msg.Ack | Msg.RspRvkO), _ ->
+      Stats.incr (bank t msg.Msg.line).bk_stats "rsp_orphan"
     | _ -> failwith "Llc: unexpected response kind")
 
 (* After a pending state clears: serve queued recalls first, then replay
@@ -705,13 +672,14 @@ and can_evict ~line:_ meta =
 
 and allocate_and_fetch t (msg : Msg.t) kind =
   let line = msg.Msg.line in
+  let bk = bank t line in
   let meta = fresh_meta () in
   let insert () = Frames.insert t.frame ~line meta ~can_evict in
   let start_fetch () =
     meta.pending <- Some (Fetching { excl = needs_excl kind });
     Msg.keep msg;
     meta.blocked <- [ msg ];
-    t.backing.Backing.acquire ~line ~excl:(needs_excl kind)
+    bk.bk_backing.Backing.acquire ~line ~excl:(needs_excl kind)
       ~k:(fun data ~excl ->
         (match data with
         | Some d -> Array.blit d 0 meta.data 0 Addr.words_per_line
@@ -723,30 +691,32 @@ and allocate_and_fetch t (msg : Msg.t) kind =
   in
   match insert () with
   | Cache_frame.Inserted ->
-    Stats.incr t.stats "fill";
+    Stats.incr bk.bk_stats "fill";
     start_fetch ()
   | Cache_frame.Evicted (vline, vmeta) ->
-    Stats.incr t.stats "evict";
-    t.backing.Backing.writeback ~line:vline ~data:(Array.copy vmeta.data)
+    Stats.incr bk.bk_stats "evict";
+    (* [vline] shares the bank with [line]: evictions stay in-set. *)
+    bk.bk_backing.Backing.writeback ~line:vline ~data:(Array.copy vmeta.data)
       ~dirty:vmeta.dirty
       ~k:(fun () -> ());
-    Stats.incr t.stats "fill";
+    Stats.incr bk.bk_stats "fill";
     start_fetch ()
   | Cache_frame.No_room -> begin
     (* Every clean way is pinned: purge a busy-but-stable victim in the same
        set (revoking owners / invalidating sharers), then retry. *)
     match find_purge_victim t line with
     | Some (vline, vmeta) ->
-      Stats.incr t.stats "evict_purge";
+      Stats.incr bk.bk_stats "evict_purge";
       Msg.keep msg;
       purge t vline vmeta ~keep_line:false ~inv_sharers:true
         ~k:(fun (data, dirty) ->
-          t.backing.Backing.writeback ~line:vline ~data ~dirty ~k:(fun () -> ());
+          bk.bk_backing.Backing.writeback ~line:vline ~data ~dirty
+            ~k:(fun () -> ());
           handle t msg)
     | None ->
-      Stats.incr t.stats "alloc_stall";
+      Stats.incr bk.bk_stats "alloc_stall";
       Msg.keep msg;
-      Engine.schedule t.engine ~delay:8 (fun () -> handle t msg)
+      Engine.schedule bk.bk_engine ~delay:8 (fun () -> handle t msg)
   end
 
 and find_purge_victim t line =
@@ -796,19 +766,19 @@ and purge t line meta ~keep_line ~inv_sharers ~k =
         (Purging { acks_left = List.length sharers; awaited; resume = finish });
     List.iter
       (fun d ->
-        Stats.incr t.stats "inv_sent";
+        Stats.incr (bank t line).bk_stats "inv_sent";
         probe t ~kind:Msg.Inv ~dst:d ~line ~mask:Addr.full_mask)
       sharers;
     List.iter
       (fun a ->
-        Stats.incr t.stats "rvko_sent";
+        Stats.incr (bank t line).bk_stats "rvko_sent";
         probe t ~kind:Msg.RvkO ~dst:a.aw_owner ~line ~mask:a.aw_remaining)
       awaited
   end
 
 (* Parent recall (hierarchical GPU L2 use only). *)
 and start_recall t line meta (r : recall_req) =
-  Stats.incr t.stats "recall";
+  Stats.incr (bank t line).bk_stats "recall";
   match r.rkind with
   | Backing.Recall_shared ->
     (* Surrender internal ownership but keep a (now clean, shared) copy;
@@ -823,20 +793,21 @@ and start_recall t line meta (r : recall_req) =
       ~k:(fun (data, dirty) -> r.rk (Some (data, dirty)))
 
 and handle_recall t ~line ~kind ~k =
+  let bk = bank t line in
   match Frames.find_exn t.frame ~line with
   | exception Not_found ->
     (* arg -1: the line is absent (answered from a write-back record). *)
-    if Trace.on t.trace then
-      Trace.instant t.trace ~time:(Engine.now t.engine)
-        ~dev:(bank_of t.cfg line) ~name:t.n_recall ~txn:(-1) ~arg:(-1);
+    if Trace.on bk.bk_trace then
+      Trace.instant bk.bk_trace ~time:(Engine.now bk.bk_engine)
+        ~dev:(bank_of t.cfg line) ~name:bk.bk_n_recall ~txn:(-1) ~arg:(-1);
     k None
   | meta ->
     let r = { rkind = kind; rk = k } in
     (* arg encodes the pending state the recall found: 0 idle, then the
        1-based constructor index of [pending]. *)
-    if Trace.on t.trace then
-      Trace.instant t.trace ~time:(Engine.now t.engine)
-        ~dev:(bank_of t.cfg line) ~name:t.n_recall ~txn:(-1)
+    if Trace.on bk.bk_trace then
+      Trace.instant bk.bk_trace ~time:(Engine.now bk.bk_engine)
+        ~dev:(bank_of t.cfg line) ~name:bk.bk_n_recall ~txn:(-1)
         ~arg:
           (match meta.pending with
           | None -> 0
@@ -874,35 +845,51 @@ let replay_guarded = function
 let arrival t (msg : Msg.t) =
   match (t.replay, msg.Msg.kind) with
   | Some tables, Msg.Req k when replay_guarded k -> (
+    let bk = bank t msg.Msg.line in
     let table = tables.(msg.Msg.line mod t.cfg.banks) in
     match Hashtbl.find_opt table msg.Msg.txn with
     | Some sent ->
       (* Duplicate or retried request: replay what we already answered
          (possibly nothing yet, if the original is still blocked). *)
-      Stats.incr t.stats "replayed";
-      if Trace.on t.trace then
-        Trace.instant t.trace ~time:(Engine.now t.engine)
-          ~dev:(bank_of t.cfg msg.Msg.line) ~name:t.n_replay ~txn:msg.Msg.txn
-          ~arg:(List.length !sent);
+      Stats.incr bk.bk_stats "replayed";
+      if Trace.on bk.bk_trace then
+        Trace.instant bk.bk_trace ~time:(Engine.now bk.bk_engine)
+          ~dev:(bank_of t.cfg msg.Msg.line) ~name:bk.bk_n_replay
+          ~txn:msg.Msg.txn ~arg:(List.length !sent);
       List.iter (fun m -> send t m) (List.rev !sent)
     | None ->
       Hashtbl.add table msg.Msg.txn (ref []);
       handle t msg)
   | _ -> handle t msg
 
-let create engine net backing cfg =
-  let stats = Stats.create () in
-  let trace = Engine.trace engine in
-  let t =
+(* Fold over one bank's resident lines, with global line numbers. *)
+let fold_bank t b ~init ~f = Frames.fold_bank t.frame b ~init ~f
+
+let create ?bank_engines ?bank_backings engine net backing (cfg : config) =
+  let engine_of b =
+    match bank_engines with Some a -> a.(b) | None -> engine
+  in
+  let backing_of b =
+    match bank_backings with Some a -> a.(b) | None -> backing
+  in
+  (match bank_engines with
+  | Some a when Array.length a <> cfg.banks ->
+    invalid_arg "Llc.create: bank_engines length must equal banks"
+  | _ -> ());
+  (match bank_backings with
+  | Some a when Array.length a <> cfg.banks ->
+    invalid_arg "Llc.create: bank_backings length must equal banks"
+  | _ -> ());
+  let make_bank b =
+    let stats = Stats.create () in
+    let e = engine_of b in
+    let trace = Engine.trace e in
     {
-      engine;
-      net;
-      backing;
-      cfg;
-      txns = Txn.allocator ~id:cfg.llc_id;
-      frame = Frames.create ~banks:cfg.banks ~sets:cfg.sets ~ways:cfg.ways;
-      stats;
-      req_keys =
+      bk_engine = e;
+      bk_backing = backing_of b;
+      bk_txns = Txn.allocator ~id:(cfg.llc_id + b);
+      bk_stats = stats;
+      bk_req_keys =
         (let keys = Array.make 7 (Stats.key stats "req.ReqV") in
          List.iter
            (fun k ->
@@ -910,95 +897,133 @@ let create engine net backing cfg =
                Stats.key stats ("req." ^ Msg.req_kind_name k))
            Msg.all_req_kinds;
          keys);
+      bk_trace = trace;
+      bk_n_replay = Trace.name trace "llc.replay";
+      bk_n_recall = Trace.name trace "llc.recall";
+      bk_n_pending = Trace.name trace "llc.pending";
+      bk_n_blocked = Trace.name trace "llc.blocked";
+    }
+  in
+  let t =
+    {
+      cfg;
+      frame = Frames.create ~banks:cfg.banks ~sets:cfg.sets ~ways:cfg.ways;
+      banks = Array.init cfg.banks make_bank;
       replay =
         (if Network.faults_enabled net then
            Some (Array.init cfg.banks (fun _ -> Hashtbl.create 256))
          else None);
-      trace;
-      n_replay = Trace.name trace "llc.replay";
-      n_recall = Trace.name trace "llc.recall";
-      n_pending = Trace.name trace "llc.pending";
-      n_blocked = Trace.name trace "llc.blocked";
     }
   in
   for b = 0 to cfg.banks - 1 do
     Network.register net ~id:(cfg.llc_id + b) (fun msg -> arrival t msg)
   done;
-  backing.Backing.set_recall_handler (fun ~line ~kind ~k ->
-      handle_recall t ~line ~kind ~k);
-  Engine.register_pending_source engine (fun () ->
-      Frames.fold t.frame ~init:[] ~f:(fun acc ~line m ->
-          let item what =
-            {
-              Engine.pw_device = Printf.sprintf "llc.%d" (bank_of t.cfg line);
-              pw_txn = -1;
-              pw_line = line;
-              pw_what = what;
-            }
-          in
-          let acc =
-            match m.pending with
-            | None -> acc
-            | Some (Fetching _) -> item "fetching from backing" :: acc
-            | Some Upgrading -> item "upgrading at backing" :: acc
-            | Some (Collecting_acks c) ->
-              item (Printf.sprintf "collecting %d inv ack(s)" c.acks_left)
-              :: acc
-            | Some (Awaiting_wb _) -> item "awaiting write-back" :: acc
-            | Some (Purging _) -> item "purging" :: acc
-          in
-          if m.blocked = [] then acc
-          else
-            item (Printf.sprintf "%d blocked request(s)"
-                    (List.length m.blocked))
-            :: acc));
+  (* One recall dispatcher per distinct backing; it routes by line, so
+     installing the same closure on a backing shared between banks (the
+     hierarchical GPU L2 over one MESI client) is harmless. *)
+  Array.iter
+    (fun bk ->
+      bk.bk_backing.Backing.set_recall_handler (fun ~line ~kind ~k ->
+          handle_recall t ~line ~kind ~k))
+    t.banks;
+  Array.iteri
+    (fun b bk ->
+      Engine.register_pending_source bk.bk_engine (fun () ->
+          fold_bank t b ~init:[] ~f:(fun acc ~line m ->
+              let item what =
+                {
+                  Engine.pw_device =
+                    Printf.sprintf "llc.%d" (bank_of t.cfg line);
+                  pw_txn = -1;
+                  pw_line = line;
+                  pw_what = what;
+                }
+              in
+              let acc =
+                match m.pending with
+                | None -> acc
+                | Some (Fetching _) -> item "fetching from backing" :: acc
+                | Some Upgrading -> item "upgrading at backing" :: acc
+                | Some (Collecting_acks c) ->
+                  item (Printf.sprintf "collecting %d inv ack(s)" c.acks_left)
+                  :: acc
+                | Some (Awaiting_wb _) -> item "awaiting write-back" :: acc
+                | Some (Purging _) -> item "purging" :: acc
+              in
+              if m.blocked = [] then acc
+              else
+                item
+                  (Printf.sprintf "%d blocked request(s)"
+                     (List.length m.blocked))
+                :: acc)))
+    t.banks;
   t
 
-let trace_sample t ~time =
+let bank_count t = t.cfg.banks
+
+(* Per-bank occupancy counters, sampled from the bank's own shard: dev is
+   the bank's network endpoint, the sink is the bank's shard trace. *)
+let bank_trace_sample t b ~time =
+  let bk = t.banks.(b) in
   let pending, blocked =
-    Frames.fold t.frame ~init:(0, 0) ~f:(fun (p, b) ~line:_ m ->
-        ( (if m.pending = None then p else p + 1),
-          b + List.length m.blocked ))
+    fold_bank t b ~init:(0, 0) ~f:(fun (p, bl) ~line:_ m ->
+        ((if m.pending = None then p else p + 1), bl + List.length m.blocked))
   in
-  Trace.counter t.trace ~time ~dev:t.cfg.llc_id ~name:t.n_pending
+  Trace.counter bk.bk_trace ~time ~dev:(t.cfg.llc_id + b) ~name:bk.bk_n_pending
     ~value:pending;
-  Trace.counter t.trace ~time ~dev:t.cfg.llc_id ~name:t.n_blocked
+  Trace.counter bk.bk_trace ~time ~dev:(t.cfg.llc_id + b) ~name:bk.bk_n_blocked
     ~value:blocked
 
-(* Metrics probes: per-bank resident-line occupancy (the bank-sharding
-   lever the ROADMAP names), transaction pressure (lines with a pending
-   op / requests parked behind one), and the at-most-once reply cache's
-   replay counter.  [device] distinguishes the flat LLC from the
-   hierarchical GPU L2, which are both this module. *)
-let register_metrics t ~device reg =
+let trace_sample t ~time =
+  for b = 0 to t.cfg.banks - 1 do
+    bank_trace_sample t b ~time
+  done
+
+(* Metrics probes, registered per bank so each bank's series lives on its
+   own shard's registry: resident-line occupancy (the bank-sharding lever
+   the ROADMAP names), transaction pressure (lines with a pending op /
+   requests parked behind one), and the at-most-once reply cache's replay
+   counter.  [device] distinguishes the flat LLC from the hierarchical
+   GPU L2, which are both this module. *)
+let bank_register_metrics t ~device b reg =
   let module Metrics = Spandex_obs.Metrics in
-  let labels = [ ("device", device) ] in
-  Array.iteri
-    (fun b fr ->
-      Metrics.gauge reg ~name:"spandex_llc_bank_lines"
-        ~labels:(("bank", string_of_int b) :: labels)
-        ~help:"resident lines per LLC bank" (fun () -> Cache_frame.count fr))
-    t.frame.Frames.frames;
+  let bk = t.banks.(b) in
+  let labels = [ ("bank", string_of_int b); ("device", device) ] in
+  Metrics.gauge reg ~name:"spandex_llc_bank_lines" ~labels
+    ~help:"resident lines per LLC bank" (fun () ->
+      Frames.count_bank t.frame b);
   Metrics.gauge reg ~name:"spandex_llc_pending" ~labels
     ~help:"lines with an in-flight home transaction" (fun () ->
-      Frames.fold t.frame ~init:0 ~f:(fun p ~line:_ m ->
+      fold_bank t b ~init:0 ~f:(fun p ~line:_ m ->
           if m.pending = None then p else p + 1));
   Metrics.gauge reg ~name:"spandex_llc_blocked" ~labels
     ~help:"requests parked behind a pending line" (fun () ->
-      Frames.fold t.frame ~init:0 ~f:(fun b ~line:_ m ->
-          b + List.length m.blocked));
+      fold_bank t b ~init:0 ~f:(fun bl ~line:_ m ->
+          bl + List.length m.blocked));
   Metrics.counter reg ~name:"spandex_llc_replayed_total" ~labels
     ~help:"duplicate requests answered from the reply cache (fault runs)"
-    (fun () -> Stats.get t.stats "replayed")
+    (fun () -> Stats.get bk.bk_stats "replayed")
+
+let register_metrics t ~device reg =
+  for b = 0 to t.cfg.banks - 1 do
+    bank_register_metrics t ~device b reg
+  done
+
+let bank_quiescent t b =
+  fold_bank t b ~init:true ~f:(fun acc ~line:_ m ->
+      acc && m.pending = None && m.blocked = [] && m.recalls = [])
+  && t.banks.(b).bk_backing.Backing.quiescent ()
 
 let quiescent t =
-  Frames.fold t.frame ~init:true ~f:(fun acc ~line:_ m ->
-      acc && m.pending = None && m.blocked = [] && m.recalls = [])
-  && t.backing.Backing.quiescent ()
+  let ok = ref true in
+  for b = 0 to t.cfg.banks - 1 do
+    ok := !ok && bank_quiescent t b
+  done;
+  !ok
 
-let describe_pending t =
+let bank_describe_pending t b =
   let busy =
-    Frames.fold t.frame ~init:[] ~f:(fun acc ~line m ->
+    fold_bank t b ~init:[] ~f:(fun acc ~line m ->
         match m.pending with
         | None -> acc
         | Some p ->
@@ -1009,17 +1034,22 @@ let describe_pending t =
             | Collecting_acks c -> Printf.sprintf "acks(%d)" c.acks_left
             | Awaiting_wb { awaited; _ } ->
               Printf.sprintf "wb(%d)"
-                (List.length (List.filter (fun a -> not (aw_satisfied a)) awaited))
+                (List.length
+                   (List.filter (fun a -> not (aw_satisfied a)) awaited))
             | Purging _ -> "purging"
           in
           Printf.sprintf "line %d %s (+%d blocked)" line what
             (List.length m.blocked)
           :: acc)
   in
-  if busy = [] then "llc: idle"
-  else "llc: " ^ String.concat "; " busy
+  if busy = [] then Printf.sprintf "llc.%d: idle" (t.cfg.llc_id + b)
+  else Printf.sprintf "llc.%d: %s" (t.cfg.llc_id + b) (String.concat "; " busy)
 
-let stats t = t.stats
+let describe_pending t =
+  String.concat "; "
+    (List.init t.cfg.banks (fun b -> bank_describe_pending t b))
+
+let bank_stats t b = t.banks.(b).bk_stats
 
 let line_state t ~line =
   Option.map (fun m -> m.lstate) (Frames.find t.frame ~line)

@@ -57,24 +57,53 @@ type config = {
 type t
 
 val create :
-  Spandex_sim.Engine.t -> Spandex_net.Network.t -> Backing.t -> config -> t
-(** Registers the LLC on the network under [llc_id] and installs the
-    recall handler on the backing. *)
+  ?bank_engines:Spandex_sim.Engine.t array ->
+  ?bank_backings:Backing.t array ->
+  Spandex_sim.Engine.t ->
+  Spandex_net.Network.t ->
+  Backing.t ->
+  config ->
+  t
+(** Registers the LLC on the network under [llc_id .. llc_id + banks - 1]
+    and installs the recall handler on the backing(s).  Each bank is a
+    self-contained component: its own engine, backing, probe-txn
+    allocator, stats and trace names — [bank_engines] / [bank_backings]
+    (length [banks]) place bank [b] on [bank_engines.(b)] with backing
+    [bank_backings.(b)], which is how the PDES partition spreads banks
+    across shards.  When omitted, every bank uses the positional
+    [engine] / [Backing.t] (the classic single-shard wiring). *)
+
+val bank_count : t -> int
 
 val quiescent : t -> bool
+val bank_quiescent : t -> int -> bool
+(** Bank [b]'s lines are settled and its backing is quiescent. *)
+
 val describe_pending : t -> string
-val stats : t -> Spandex_util.Stats.t
+val bank_describe_pending : t -> int -> string
+
+val bank_stats : t -> int -> Spandex_util.Stats.t
+(** Bank [b]'s counters; merge all banks under one prefix to reproduce
+    the aggregate ({!Spandex_util.Stats.merge_into} sums). *)
 
 val trace_sample : t -> time:int -> unit
-(** Record the number of lines with a pending operation and the total
-    blocked-request queue depth into the engine's trace sink
-    (["llc.pending"] / ["llc.blocked"] counters); no-op when disabled. *)
+(** Record every bank's pending/blocked occupancy counters
+    (["llc.pending"] / ["llc.blocked"], dev = the bank endpoint); no-op
+    when disabled. *)
+
+val bank_trace_sample : t -> int -> time:int -> unit
+(** One bank's occupancy counters, on that bank's shard trace — the
+    sharded sampler entry point (sampling must stay shard-local). *)
 
 val register_metrics : t -> device:string -> Spandex_obs.Metrics.t -> unit
-(** Register this cache's probes on a metrics registry: per-bank
+(** Register every bank's probes on one registry (single-registry runs):
     resident-line gauges, pending/blocked transaction-pressure gauges,
-    and the reply-cache replay counter — all labelled [device] (the flat
-    LLC and the hierarchical GPU L2 are both this module). *)
+    and the reply-cache replay counter — labelled [device] and [bank]
+    (the flat LLC and the hierarchical GPU L2 are both this module). *)
+
+val bank_register_metrics :
+  t -> device:string -> int -> Spandex_obs.Metrics.t -> unit
+(** One bank's probes, for that bank's shard registry. *)
 
 (** {2 Introspection for tests} *)
 

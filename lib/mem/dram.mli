@@ -1,19 +1,62 @@
 (** Backing memory.
 
-    Holds the authoritative copy of every line not owned on chip.  Reads
-    cost [latency] cycles plus queuing at a fixed service rate; writes
-    update state immediately (write latency is off the critical path for
-    every protocol studied).  Never-written words read as
-    {!Spandex_proto.Linedata.init_word}. *)
+    Holds the authoritative copy of every line not owned on chip, split
+    into independent per-bank channels.  Reads cost [latency] cycles plus
+    queuing at a fixed per-channel service rate; writes update state
+    immediately (write latency is off the critical path for every
+    protocol studied).  Never-written words read as
+    {!Spandex_proto.Linedata.init_word}.
+
+    Lines interleave across channels the same way they interleave across
+    LLC banks ([line mod channels]), so with one channel per bank each
+    bank's memory traffic touches only its own channel — no cross-bank
+    shared mutable state, which is what lets the PDES backend place a
+    bank + its channel on any shard. *)
+
+(** One independent DRAM channel: its own queue, timing and line store. *)
+module Channel : sig
+  type t
+
+  val read_line : t -> line:int -> k:(int array -> unit) -> unit
+  val write_words :
+    t -> line:int -> mask:Spandex_util.Mask.t -> values:int array -> unit
+
+  val queue_depth : t -> int
+
+  val peak_queue_depth : t -> int
+  (** High-water mark of {!queue_depth} over the run so far (sampled at
+      each enqueue, where the queue is deepest); deterministic. *)
+
+  val reads : t -> int
+  val writes : t -> int
+
+  val register_metrics :
+    t -> ?labels:(string * string) list -> Spandex_obs.Metrics.t -> unit
+  (** Register this channel's queue-depth gauge and read/write counters
+      (probes only); [labels] distinguishes banked channels. *)
+end
 
 type t
 
 val create : Spandex_sim.Engine.t -> latency:int -> service_interval:int -> t
-(** [service_interval] cycles between successive accesses models DRAM
-    bandwidth; 0 means unlimited. *)
+(** A single shared channel (the classic model).  [service_interval]
+    cycles between successive accesses models DRAM bandwidth; 0 means
+    unlimited. *)
+
+val create_banked :
+  Spandex_sim.Engine.t array -> latency:int -> service_interval:int -> t
+(** One channel per element of [engines] — channel [b] schedules its
+    completions on [engines.(b)], which must be the engine of the shard
+    hosting bank [b]. *)
+
+val channels : t -> Channel.t array
+(** The per-bank channels, in bank order ([[| c |]] for {!create}). *)
+
+val channel_of_line : t -> line:int -> Channel.t
 
 val read_line : t -> line:int -> k:(int array -> unit) -> unit
-(** Fetch a full line; [k] receives a fresh copy after the access delay. *)
+(** Fetch a full line via its channel; [k] receives a fresh copy after
+    the access delay. *)
 
 val write_words :
   t -> line:int -> mask:Spandex_util.Mask.t -> values:int array -> unit
@@ -23,13 +66,16 @@ val peek_word : t -> Spandex_proto.Addr.t -> int
 (** Current contents, for oracles/tests; no timing effect. *)
 
 val reads : t -> int
+(** Total across channels. *)
+
 val writes : t -> int
+(** Total across channels. *)
 
 val queue_depth : t -> int
-(** Accesses currently queued behind the service-rate limiter (how far
-    the next-free slot runs ahead of the clock, in service slots); 0 when
-    bandwidth is unlimited. *)
+(** Summed across channels; 0 when bandwidth is unlimited. *)
 
 val register_metrics : t -> Spandex_obs.Metrics.t -> unit
-(** Register queue-depth gauge and read/write counters on a metrics
-    registry (probes only; sampling is driven by the engine). *)
+(** Register every channel's series on one registry (single-registry
+    runs); banked channels get a [bank] label.  Sharded runs should
+    instead register each channel on its own shard's registry via
+    {!Channel.register_metrics}. *)

@@ -7,7 +7,7 @@ module Addr = Spandex_proto.Addr
 module Linedata = Spandex_proto.Linedata
 module Txn = Spandex_proto.Txn
 module Network = Spandex_net.Network
-module Cache_frame = Spandex_mem.Cache_frame
+module Frames = Spandex_mem.Banked_frame
 module Dram = Spandex_mem.Dram
 
 type config = {
@@ -40,26 +40,41 @@ type meta = {
   mutable blocked : Msg.t list;
 }
 
-type t = {
-  engine : Engine.t;
-  net : Network.t;
-  dram : Dram.t;
-  cfg : config;
-  txns : Txn.allocator;  (* probe ids: drawn in directory arrival order. *)
-  frame : meta Cache_frame.t;
-  stats : Stats.t;
-  req_keys : Stats.key array;  (* "req.<kind>" by [Msg.req_kind_index]. *)
-  (* At-most-once reply cache, armed only under fault injection: recorded
-     responses per txn for non-idempotent request kinds, replayed when a
-     duplicate or retried request arrives (cf. Llc.replay). *)
-  replay : (int, Msg.t list ref) Hashtbl.t option;
-  trace : Trace.t;
-  n_replay : int;  (** interned trace names (0 on a disabled sink). *)
-  n_pending : int;
-  n_blocked : int;
+(* Per-bank mutable state (cf. Llc.bank): each directory bank runs on its
+   own engine with its own stats, probe-txn allocator and trace names, and
+   touches only lines ≡ bank (mod banks) — whose DRAM accesses route to
+   that bank's channel.  No cross-bank shared mutable state, so the PDES
+   partition can place each bank (plus its DRAM channel) on any shard. *)
+type bank = {
+  bk_engine : Engine.t;
+  bk_txns : Txn.allocator;  (* probe ids: drawn in bank arrival order. *)
+  bk_stats : Stats.t;
+  bk_req_keys : Stats.key array;  (* "req.<kind>" by [Msg.req_kind_index]. *)
+  bk_trace : Trace.t;
+  bk_n_replay : int;  (* interned trace names (0 on a disabled sink). *)
+  bk_n_pending : int;
+  bk_n_blocked : int;
 }
 
-let send t msg = Engine.send_later t.engine ~delay:t.cfg.access_latency msg
+type t = {
+  cfg : config;
+  dram : Dram.t;
+  frame : meta Frames.t;
+  banks : bank array;
+  (* At-most-once reply cache, armed only under fault injection: recorded
+     responses per txn for non-idempotent request kinds, replayed when a
+     duplicate or retried request arrives (cf. Llc.replay).  One table per
+     bank — a line maps to exactly one bank. *)
+  replay : (int, Msg.t list ref) Hashtbl.t array option;
+}
+
+let bank t line = t.banks.(line mod t.cfg.banks)
+
+(* All outgoing messages carry [bank_of cfg line] as [src]; the send lands
+   on that bank's engine. *)
+let send t (msg : Msg.t) =
+  let bk = t.banks.(msg.Msg.src - t.cfg.dir_id) in
+  Engine.send_later bk.bk_engine ~delay:t.cfg.access_latency msg
 
 let respond t (req : Msg.t) ~kind ?payload () =
   let msg =
@@ -68,8 +83,10 @@ let respond t (req : Msg.t) ~kind ?payload () =
       ~dst:req.Msg.requestor ()
   in
   (match t.replay with
-  | Some table -> (
-    match Hashtbl.find_opt table req.Msg.txn with
+  | Some tables -> (
+    match
+      Hashtbl.find_opt tables.(req.Msg.line mod t.cfg.banks) req.Msg.txn
+    with
     | Some sent -> sent := msg :: !sent
     | None -> ())
   | None -> ());
@@ -86,8 +103,10 @@ let forward t (req : Msg.t) ~kind ~dst =
 
 let probe t ~kind ~dst ~line =
   send t
-    (Msg.make ~txn:(Txn.next t.txns) ~kind:(Msg.Probe kind) ~line
-       ~mask:Addr.full_mask ~src:(bank_of t.cfg line) ~dst ())
+    (Msg.make
+       ~txn:(Txn.next (bank t line).bk_txns)
+       ~kind:(Msg.Probe kind) ~line ~mask:Addr.full_mask
+       ~src:(bank_of t.cfg line) ~dst ())
 
 let payload_values (msg : Msg.t) =
   match msg.Msg.payload with
@@ -101,19 +120,20 @@ let rec handle t (msg : Msg.t) =
   | Msg.Probe _ -> failwith "Mesi_dir: received a probe"
 
 and handle_req t (msg : Msg.t) kind =
-  Stats.bump t.stats t.req_keys.(Msg.req_kind_index kind);
-  match Cache_frame.find_exn t.frame ~line:msg.Msg.line with
+  let bk = bank t msg.Msg.line in
+  Stats.bump bk.bk_stats bk.bk_req_keys.(Msg.req_kind_index kind);
+  match Frames.find_exn t.frame ~line:msg.Msg.line with
   | exception Not_found ->
     if kind = Msg.ReqWB then begin
-      Stats.incr t.stats "wb_stale";
+      Stats.incr bk.bk_stats "wb_stale";
       respond t msg ~kind:Msg.RspWB ()
     end
     else begin
-      Stats.incr t.stats "miss";
+      Stats.incr bk.bk_stats "miss";
       allocate_and_fetch t msg
     end
   | meta -> (
-    Cache_frame.touch t.frame ~line:msg.Msg.line;
+    Frames.touch t.frame ~line:msg.Msg.line;
     match meta.pending with
     | Some (Awaiting a) when kind = Msg.ReqWB && a.from = msg.Msg.src && not a.satisfied
       ->
@@ -125,18 +145,19 @@ and handle_req t (msg : Msg.t) kind =
       meta.pending <- None;
       a.resume ()
     | Some _ ->
-      Stats.incr t.stats "blocked";
+      Stats.incr bk.bk_stats "blocked";
       Msg.keep msg;
       meta.blocked <- meta.blocked @ [ msg ]
     | None -> dispatch t meta msg kind)
 
 and dispatch t meta (msg : Msg.t) kind =
-  Stats.incr t.stats "hit";
+  let bk = bank t msg.Msg.line in
+  Stats.incr bk.bk_stats "hit";
   match (kind, meta.dstate) with
   (* --- GetS ------------------------------------------------------------ *)
   | Msg.ReqS, D_V ->
     (* Unshared: grant Exclusive (standard MESI E optimization). *)
-    Stats.incr t.stats "e_grant";
+    Stats.incr bk.bk_stats "e_grant";
     meta.dstate <- D_M msg.Msg.requestor;
     respond_data t msg meta ~kind:Msg.RspOdata
   | Msg.ReqS, D_S sharers ->
@@ -152,7 +173,7 @@ and dispatch t meta (msg : Msg.t) kind =
   | Msg.ReqS, D_M owner ->
     (* Blocking: downgrade the owner, who sends data to the requestor and a
        write-back copy here. *)
-    Stats.incr t.stats "fwd_gets";
+    Stats.incr bk.bk_stats "fwd_gets";
     (* The resume closure captures [msg]. *)
     Msg.keep msg;
     meta.pending <-
@@ -184,7 +205,7 @@ and dispatch t meta (msg : Msg.t) kind =
     in
     if targets = [] then grant ()
     else begin
-      Stats.incr t.stats "inv_bursts";
+      Stats.incr bk.bk_stats "inv_bursts";
       Msg.keep msg;
       meta.pending <-
         Some
@@ -198,7 +219,7 @@ and dispatch t meta (msg : Msg.t) kind =
              });
       List.iter
         (fun d ->
-          Stats.incr t.stats "inv_sent";
+          Stats.incr bk.bk_stats "inv_sent";
           probe t ~kind:Msg.Inv ~dst:d ~line:msg.Msg.line)
         targets
     end
@@ -208,7 +229,7 @@ and dispatch t meta (msg : Msg.t) kind =
   | Msg.ReqOdata, D_M owner ->
     (* Blocking transfer: the old owner supplies data to the requestor and
        confirms to the directory. *)
-    Stats.incr t.stats "fwd_getm";
+    Stats.incr bk.bk_stats "fwd_getm";
     Msg.keep msg;
     meta.pending <-
       Some
@@ -235,16 +256,17 @@ and dispatch t meta (msg : Msg.t) kind =
 and apply_wb t meta (msg : Msg.t) =
   match meta.dstate with
   | D_M owner when owner = msg.Msg.src ->
-    Stats.incr t.stats "wb_live";
+    Stats.incr (bank t msg.Msg.line).bk_stats "wb_live";
     let values = payload_values msg in
     Linedata.unpack_into ~mask:msg.Msg.mask ~values ~full:meta.data;
     meta.dirty <- true;
     meta.dstate <- D_V
-  | D_M _ | D_V | D_S _ -> Stats.incr t.stats "wb_stale"
+  | D_M _ | D_V | D_S _ -> Stats.incr (bank t msg.Msg.line).bk_stats "wb_stale"
 
 and handle_rsp t (msg : Msg.t) kind =
-  match Cache_frame.find_exn t.frame ~line:msg.Msg.line with
-  | exception Not_found -> Stats.incr t.stats "rsp_orphan"
+  match Frames.find_exn t.frame ~line:msg.Msg.line with
+  | exception Not_found ->
+    Stats.incr (bank t msg.Msg.line).bk_stats "rsp_orphan"
   | meta -> (
     match (kind, meta.pending) with
     | Msg.Ack, Some (Collecting_acks c) ->
@@ -254,7 +276,7 @@ and handle_rsp t (msg : Msg.t) kind =
         c.resume ()
       end
     | Msg.RspRvkO, Some (Awaiting a) when a.from = msg.Msg.src ->
-      if a.satisfied then Stats.incr t.stats "rvko_dup"
+      if a.satisfied then Stats.incr (bank t msg.Msg.line).bk_stats "rvko_dup"
       else begin
         (if a.expect_data then
            match msg.Msg.payload with
@@ -268,11 +290,12 @@ and handle_rsp t (msg : Msg.t) kind =
         meta.pending <- None;
         a.resume ()
       end
-    | (Msg.Ack | Msg.RspRvkO), _ -> Stats.incr t.stats "rsp_orphan"
+    | (Msg.Ack | Msg.RspRvkO), _ ->
+      Stats.incr (bank t msg.Msg.line).bk_stats "rsp_orphan"
     | _ -> failwith "Mesi_dir: unexpected response kind")
 
 and after_pending t line =
-  match Cache_frame.find_exn t.frame ~line with
+  match Frames.find_exn t.frame ~line with
   | exception Not_found -> ()
   | meta ->
     if meta.pending = None then begin
@@ -289,6 +312,7 @@ and can_evict ~line:_ meta =
 
 and allocate_and_fetch t (msg : Msg.t) =
   let line = msg.Msg.line in
+  let bk = bank t line in
   let meta =
     {
       dstate = D_V;
@@ -307,28 +331,28 @@ and allocate_and_fetch t (msg : Msg.t) =
         meta.pending <- None;
         after_pending t line)
   in
-  match Cache_frame.insert t.frame ~line meta ~can_evict with
-  | Cache_frame.Inserted -> start_fetch ()
-  | Cache_frame.Evicted (vline, vmeta) ->
-    Stats.incr t.stats "evict";
+  match Frames.insert t.frame ~line meta ~can_evict with
+  | Spandex_mem.Cache_frame.Inserted -> start_fetch ()
+  | Spandex_mem.Cache_frame.Evicted (vline, vmeta) ->
+    Stats.incr bk.bk_stats "evict";
     if vmeta.dirty then
       Dram.write_words t.dram ~line:vline ~mask:Addr.full_mask
         ~values:vmeta.data;
     start_fetch ()
-  | Cache_frame.No_room -> begin
+  | Spandex_mem.Cache_frame.No_room -> begin
     match find_recall_victim t line with
     | Some (vline, vmeta) ->
-      Stats.incr t.stats "evict_recall";
+      Stats.incr bk.bk_stats "evict_recall";
       Msg.keep msg;
       recall t vline vmeta ~k:(fun () -> handle t msg)
     | None ->
-      Stats.incr t.stats "alloc_stall";
+      Stats.incr bk.bk_stats "alloc_stall";
       Msg.keep msg;
-      Engine.schedule t.engine ~delay:8 (fun () -> handle t msg)
+      Engine.schedule bk.bk_engine ~delay:8 (fun () -> handle t msg)
   end
 
 and find_recall_victim t line =
-  Cache_frame.lru_matching t.frame ~set_line:line ~f:(fun ~line:_ m ->
+  Frames.lru_matching t.frame ~set_line:line ~f:(fun ~line:_ m ->
       m.pending = None)
 
 (* Forcibly reclaim a line for eviction: invalidate sharers or revoke the
@@ -339,7 +363,7 @@ and recall t line meta ~k =
     meta.blocked <- [];
     if meta.dirty then
       Dram.write_words t.dram ~line ~mask:Addr.full_mask ~values:meta.data;
-    Cache_frame.remove t.frame ~line;
+    Frames.remove t.frame ~line;
     k ();
     List.iter (fun m -> handle t m) queued
   in
@@ -351,7 +375,7 @@ and recall t line meta ~k =
       Some (Collecting_acks { acks_left = List.length sharers; resume = finish });
     List.iter
       (fun d ->
-        Stats.incr t.stats "inv_sent";
+        Stats.incr (bank t line).bk_stats "inv_sent";
         probe t ~kind:Msg.Inv ~dst:d ~line)
       sharers
   | D_M owner ->
@@ -359,7 +383,7 @@ and recall t line meta ~k =
     meta.pending <-
       Some
         (Awaiting { from = owner; expect_data = true; satisfied = false; resume = finish });
-    Stats.incr t.stats "rvko_sent";
+    Stats.incr (bank t line).bk_stats "rvko_sent";
     probe t ~kind:Msg.RvkO ~dst:owner ~line
 
 (* Request kinds whose reprocessing is NOT idempotent at the directory:
@@ -377,15 +401,17 @@ let replay_guarded = function
 let arrival t (msg : Msg.t) =
   match t.replay with
   | None -> handle t msg
-  | Some table -> (
+  | Some tables -> (
     match msg.Msg.kind with
     | Msg.Req kind when (not msg.Msg.fwd) && replay_guarded kind -> (
+      let bk = bank t msg.Msg.line in
+      let table = tables.(msg.Msg.line mod t.cfg.banks) in
       match Hashtbl.find_opt table msg.Msg.txn with
       | Some sent ->
-        Stats.incr t.stats "replayed";
-        if Trace.on t.trace then
-          Trace.instant t.trace ~time:(Engine.now t.engine)
-            ~dev:(bank_of t.cfg msg.Msg.line) ~name:t.n_replay
+        Stats.incr bk.bk_stats "replayed";
+        if Trace.on bk.bk_trace then
+          Trace.instant bk.bk_trace ~time:(Engine.now bk.bk_engine)
+            ~dev:(bank_of t.cfg msg.Msg.line) ~name:bk.bk_n_replay
             ~txn:msg.Msg.txn ~arg:(List.length !sent);
         List.iter (fun m -> send t m) (List.rev !sent)
       | None ->
@@ -393,19 +419,23 @@ let arrival t (msg : Msg.t) =
         handle t msg)
     | _ -> handle t msg)
 
-let create engine net dram cfg =
-  let stats = Stats.create () in
-  let trace = Engine.trace engine in
-  let t =
+let create ?bank_engines engine net dram (cfg : config) =
+  (match bank_engines with
+  | Some a when Array.length a <> cfg.banks ->
+    invalid_arg "Mesi_dir.create: bank_engines length must equal banks"
+  | _ -> ());
+  let engine_of b =
+    match bank_engines with Some a -> a.(b) | None -> engine
+  in
+  let make_bank b =
+    let stats = Stats.create () in
+    let e = engine_of b in
+    let trace = Engine.trace e in
     {
-      engine;
-      net;
-      dram;
-      cfg;
-      txns = Txn.allocator ~id:cfg.dir_id;
-      frame = Cache_frame.create ~sets:cfg.sets ~ways:cfg.ways;
-      stats;
-      req_keys =
+      bk_engine = e;
+      bk_txns = Txn.allocator ~id:(cfg.dir_id + b);
+      bk_stats = stats;
+      bk_req_keys =
         (let keys = Array.make 7 (Stats.key stats "req.ReqV") in
          List.iter
            (fun k ->
@@ -413,79 +443,114 @@ let create engine net dram cfg =
                Stats.key stats ("req." ^ Msg.req_kind_name k))
            Msg.all_req_kinds;
          keys);
+      bk_trace = trace;
+      bk_n_replay = Trace.name trace "dir.replay";
+      bk_n_pending = Trace.name trace "dir.pending";
+      bk_n_blocked = Trace.name trace "dir.blocked";
+    }
+  in
+  let t =
+    {
+      cfg;
+      dram;
+      frame = Frames.create ~banks:cfg.banks ~sets:cfg.sets ~ways:cfg.ways;
+      banks = Array.init cfg.banks make_bank;
       replay =
-        (if Network.faults_enabled net then Some (Hashtbl.create 256) else None);
-      trace;
-      n_replay = Trace.name trace "dir.replay";
-      n_pending = Trace.name trace "dir.pending";
-      n_blocked = Trace.name trace "dir.blocked";
+        (if Network.faults_enabled net then
+           Some (Array.init cfg.banks (fun _ -> Hashtbl.create 256))
+         else None);
     }
   in
   for b = 0 to cfg.banks - 1 do
     Network.register net ~id:(cfg.dir_id + b) (fun msg -> arrival t msg)
   done;
-  Engine.register_pending_source engine (fun () ->
-      Cache_frame.fold t.frame ~init:[] ~f:(fun acc ~line m ->
-          let item what =
-            {
-              Engine.pw_device = Printf.sprintf "dir.%d" (bank_of t.cfg line);
-              pw_txn = -1;
-              pw_line = line;
-              pw_what = what;
-            }
-          in
-          let acc =
-            match m.pending with
-            | None -> acc
-            | Some Fetching -> item "fetching from DRAM" :: acc
-            | Some (Collecting_acks c) ->
-              item (Printf.sprintf "collecting %d inv ack(s)" c.acks_left)
-              :: acc
-            | Some (Awaiting { from; _ }) ->
-              item (Printf.sprintf "awaiting owner %d" from) :: acc
-          in
-          if m.blocked = [] then acc
-          else
-            item (Printf.sprintf "%d blocked request(s)"
-                    (List.length m.blocked))
-            :: acc));
+  Array.iteri
+    (fun b bk ->
+      Engine.register_pending_source bk.bk_engine (fun () ->
+          Frames.fold_bank t.frame b ~init:[] ~f:(fun acc ~line m ->
+              let item what =
+                {
+                  Engine.pw_device =
+                    Printf.sprintf "dir.%d" (bank_of t.cfg line);
+                  pw_txn = -1;
+                  pw_line = line;
+                  pw_what = what;
+                }
+              in
+              let acc =
+                match m.pending with
+                | None -> acc
+                | Some Fetching -> item "fetching from DRAM" :: acc
+                | Some (Collecting_acks c) ->
+                  item (Printf.sprintf "collecting %d inv ack(s)" c.acks_left)
+                  :: acc
+                | Some (Awaiting { from; _ }) ->
+                  item (Printf.sprintf "awaiting owner %d" from) :: acc
+              in
+              if m.blocked = [] then acc
+              else
+                item
+                  (Printf.sprintf "%d blocked request(s)"
+                     (List.length m.blocked))
+                :: acc)))
+    t.banks;
   t
 
-let trace_sample t ~time =
+let bank_count t = t.cfg.banks
+
+let bank_trace_sample t b ~time =
+  let bk = t.banks.(b) in
   let pending, blocked =
-    Cache_frame.fold t.frame ~init:(0, 0) ~f:(fun (p, b) ~line:_ m ->
-        ( (if m.pending = None then p else p + 1),
-          b + List.length m.blocked ))
+    Frames.fold_bank t.frame b ~init:(0, 0) ~f:(fun (p, bl) ~line:_ m ->
+        ((if m.pending = None then p else p + 1), bl + List.length m.blocked))
   in
-  Trace.counter t.trace ~time ~dev:t.cfg.dir_id ~name:t.n_pending
+  Trace.counter bk.bk_trace ~time ~dev:(t.cfg.dir_id + b) ~name:bk.bk_n_pending
     ~value:pending;
-  Trace.counter t.trace ~time ~dev:t.cfg.dir_id ~name:t.n_blocked
+  Trace.counter bk.bk_trace ~time ~dev:(t.cfg.dir_id + b) ~name:bk.bk_n_blocked
     ~value:blocked
 
-let register_metrics t ~device reg =
+let trace_sample t ~time =
+  for b = 0 to t.cfg.banks - 1 do
+    bank_trace_sample t b ~time
+  done
+
+let bank_register_metrics t ~device b reg =
   let module Metrics = Spandex_obs.Metrics in
-  let labels = [ ("device", device) ] in
+  let bk = t.banks.(b) in
+  let labels = [ ("bank", string_of_int b); ("device", device) ] in
   Metrics.gauge reg ~name:"spandex_dir_lines" ~labels
-    ~help:"resident directory lines" (fun () -> Cache_frame.count t.frame);
+    ~help:"resident directory lines" (fun () -> Frames.count_bank t.frame b);
   Metrics.gauge reg ~name:"spandex_dir_pending" ~labels
     ~help:"lines with an in-flight directory transaction" (fun () ->
-      Cache_frame.fold t.frame ~init:0 ~f:(fun p ~line:_ m ->
+      Frames.fold_bank t.frame b ~init:0 ~f:(fun p ~line:_ m ->
           if m.pending = None then p else p + 1));
   Metrics.gauge reg ~name:"spandex_dir_blocked" ~labels
     ~help:"requests parked behind a pending line" (fun () ->
-      Cache_frame.fold t.frame ~init:0 ~f:(fun b ~line:_ m ->
-          b + List.length m.blocked));
+      Frames.fold_bank t.frame b ~init:0 ~f:(fun bl ~line:_ m ->
+          bl + List.length m.blocked));
   Metrics.counter reg ~name:"spandex_dir_replayed_total" ~labels
     ~help:"duplicate requests answered from the reply cache (fault runs)"
-    (fun () -> Stats.get t.stats "replayed")
+    (fun () -> Stats.get bk.bk_stats "replayed")
 
-let quiescent t =
-  Cache_frame.fold t.frame ~init:true ~f:(fun acc ~line:_ m ->
+let register_metrics t ~device reg =
+  for b = 0 to t.cfg.banks - 1 do
+    bank_register_metrics t ~device b reg
+  done
+
+let bank_quiescent t b =
+  Frames.fold_bank t.frame b ~init:true ~f:(fun acc ~line:_ m ->
       acc && m.pending = None && m.blocked = [])
 
-let describe_pending t =
+let quiescent t =
+  let ok = ref true in
+  for b = 0 to t.cfg.banks - 1 do
+    ok := !ok && bank_quiescent t b
+  done;
+  !ok
+
+let bank_describe_pending t b =
   let busy =
-    Cache_frame.fold t.frame ~init:[] ~f:(fun acc ~line m ->
+    Frames.fold_bank t.frame b ~init:[] ~f:(fun acc ~line m ->
         match m.pending with
         | None -> acc
         | Some _ ->
@@ -493,15 +558,20 @@ let describe_pending t =
             (List.length m.blocked)
           :: acc)
   in
-  if busy = [] then "dir: idle" else "dir: " ^ String.concat "; " busy
+  if busy = [] then Printf.sprintf "dir.%d: idle" (t.cfg.dir_id + b)
+  else Printf.sprintf "dir.%d: %s" (t.cfg.dir_id + b) (String.concat "; " busy)
 
-let stats t = t.stats
+let describe_pending t =
+  String.concat "; "
+    (List.init t.cfg.banks (fun b -> bank_describe_pending t b))
+
+let bank_stats t b = t.banks.(b).bk_stats
 
 let line_state t ~line =
-  Option.map (fun m -> m.dstate) (Cache_frame.find t.frame ~line)
+  Option.map (fun m -> m.dstate) (Frames.find t.frame ~line)
 
 let peek_word t { Addr.line; word } =
-  Option.map (fun m -> m.data.(word)) (Cache_frame.find t.frame ~line)
+  Option.map (fun m -> m.data.(word)) (Frames.find t.frame ~line)
 
 (* ----- model-checker introspection ----------------------------------------- *)
 
@@ -510,7 +580,7 @@ module Fp = Spandex_util.Fingerprint
 let fingerprint t fp =
   Fp.tag fp "dir";
   let lines =
-    Cache_frame.fold t.frame ~init:[] ~f:(fun acc ~line m -> (line, m) :: acc)
+    Frames.fold t.frame ~init:[] ~f:(fun acc ~line m -> (line, m) :: acc)
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
   Fp.int fp (List.length lines);
@@ -543,9 +613,12 @@ let fingerprint t fp =
     lines;
   match t.replay with
   | None -> ()
-  | Some table ->
+  | Some tables ->
     let entries =
-      Hashtbl.fold (fun txn msgs acc -> (txn, !msgs) :: acc) table []
+      Array.fold_left
+        (fun acc table ->
+          Hashtbl.fold (fun txn msgs acc -> (txn, !msgs) :: acc) table acc)
+        [] tables
       |> List.sort (fun (a, _) (b, _) -> compare a b)
     in
     Fp.list fp

@@ -20,24 +20,50 @@ type config = {
 type t
 
 val create :
+  ?bank_engines:Spandex_sim.Engine.t array ->
   Spandex_sim.Engine.t ->
   Spandex_net.Network.t ->
   Spandex_mem.Dram.t ->
   config ->
   t
+(** Registers the directory on the network under
+    [dir_id .. dir_id + banks - 1].  Each bank is a self-contained
+    component (its own engine, probe-txn allocator, stats and trace
+    names) touching only lines ≡ bank (mod banks) — whose DRAM accesses
+    route to the matching {!Spandex_mem.Dram} channel — so the PDES
+    partition can place bank [b] on [bank_engines.(b)].  When omitted,
+    every bank uses the positional [engine] (the classic single-shard
+    wiring).  Requires [banks] to divide [sets]. *)
+
+val bank_count : t -> int
 
 val quiescent : t -> bool
+val bank_quiescent : t -> int -> bool
+
 val describe_pending : t -> string
-val stats : t -> Spandex_util.Stats.t
+val bank_describe_pending : t -> int -> string
+
+val bank_stats : t -> int -> Spandex_util.Stats.t
+(** Bank [b]'s counters; merge all banks under one prefix to reproduce
+    the aggregate ({!Spandex_util.Stats.merge_into} sums). *)
 
 val trace_sample : t -> time:int -> unit
-(** Record pending-line and blocked-queue occupancy into the engine's
-    trace sink (["dir.pending"] / ["dir.blocked"] counters); no-op when
-    tracing is disabled. *)
+(** Record every bank's pending-line and blocked-queue occupancy into its
+    trace sink (["dir.pending"] / ["dir.blocked"] counters, dev = the
+    bank endpoint); no-op when tracing is disabled. *)
+
+val bank_trace_sample : t -> int -> time:int -> unit
+(** One bank's occupancy counters, on that bank's shard trace — the
+    sharded sampler entry point (sampling must stay shard-local). *)
 
 val register_metrics : t -> device:string -> Spandex_obs.Metrics.t -> unit
-(** Register directory probes: resident-line, pending and blocked gauges
-    plus the reply-cache replay counter, labelled [device]. *)
+(** Register every bank's probes on one registry: resident-line, pending
+    and blocked gauges plus the reply-cache replay counter, labelled
+    [device] and [bank]. *)
+
+val bank_register_metrics :
+  t -> device:string -> int -> Spandex_obs.Metrics.t -> unit
+(** One bank's probes, for that bank's shard registry. *)
 
 (** {2 Test introspection} *)
 

@@ -2,8 +2,15 @@
 
    A plan describes, per message category, the probability of dropping,
    duplicating, extra-delaying, or reordering each message.  Decisions are
-   drawn from a dedicated [Rng] stream so a given (plan, seed, workload)
-   triple is fully deterministic.
+   drawn from a dedicated per-(src, dst) link [Rng] stream derived from
+   the plan seed alone, so a given (plan, seed, workload) triple is fully
+   deterministic AND the decisions on one link are independent of the
+   traffic interleaving on every other link.  That independence is what
+   lets an armed plan run under the sharded PDES backend: each link is
+   only ever consulted from its source component's shard, and the stream
+   it produces does not depend on how many shards exist or in what order
+   other shards send — so pdes == wheel bit-identity holds at any shard
+   count.
 
    Fault eligibility follows the recovery story, not the other way round:
 
@@ -80,22 +87,42 @@ let faultable (msg : Msg.t) =
   | Msg.Rsp (Msg.RspV | Msg.RspWT | Msg.RspWB | Msg.Nack) -> true
   | Msg.Rsp _ | Msg.Probe _ -> false
 
+(* One (src, dst) link: its own decision stream plus the last scheduled
+   arrival for FIFO clamping.  A link is only ever touched by sends from
+   [src], i.e. from a single shard. *)
+type link = { rng : Rng.t; mutable last : int }
+
 type t = {
   spec : spec;
-  rng : Rng.t;
   stats : Stats.t;
-  pair_last : (int * int, int) Hashtbl.t;
-      (** last scheduled arrival per (src, dst), for FIFO clamping. *)
+  links : (int * int, link) Hashtbl.t;
 }
 
-let create spec ~stats =
-  {
-    spec;
-    rng = Rng.create ~seed:spec.seed;
-    stats;
-    pair_last = Hashtbl.create 64;
-  }
+(* splitmix64 finalizer folding the link identity into the plan seed, so
+   each link's stream is a pure function of (seed, src, dst). *)
+let link_seed seed src dst =
+  let mix h k =
+    let h = Int64.logxor h (Int64.mul (Int64.of_int k) 0x9E3779B97F4A7C15L) in
+    let h = Int64.logxor h (Int64.shift_right_logical h 30) in
+    let h = Int64.mul h 0xBF58476D1CE4E5B9L in
+    let h = Int64.logxor h (Int64.shift_right_logical h 27) in
+    let h = Int64.mul h 0x94D049BB133111EBL in
+    Int64.logxor h (Int64.shift_right_logical h 31)
+  in
+  Int64.to_int (mix (mix (Int64.of_int seed) (src + 1)) (dst + 1))
 
+let link t ~src ~dst =
+  let key = (src, dst) in
+  match Hashtbl.find_opt t.links key with
+  | Some l -> l
+  | None ->
+    let l =
+      { rng = Rng.create ~seed:(link_seed t.spec.seed src dst); last = min_int }
+    in
+    Hashtbl.add t.links key l;
+    l
+
+let create spec ~stats = { spec; stats; links = Hashtbl.create 64 }
 let retry_config t = t.spec.retry
 
 type verdict =
@@ -109,15 +136,11 @@ let count t what =
 
 let route t ~now ~latency (msg : Msg.t) =
   let p = t.spec.per_category.(category_index (Msg.category msg.kind)) in
-  let roll pr = pr > 0.0 && Rng.float t.rng 1.0 < pr in
+  let lk = link t ~src:msg.src ~dst:msg.dst in
+  let roll pr = pr > 0.0 && Rng.float lk.rng 1.0 < pr in
   let clamp arrival =
-    let key = (msg.src, msg.dst) in
-    let arrival =
-      match Hashtbl.find_opt t.pair_last key with
-      | Some last when last > arrival -> last
-      | _ -> arrival
-    in
-    Hashtbl.replace t.pair_last key arrival;
+    let arrival = if lk.last > arrival then lk.last else arrival in
+    lk.last <- arrival;
     arrival
   in
   let ok = faultable msg in
@@ -138,16 +161,16 @@ let route t ~now ~latency (msg : Msg.t) =
       count t "delay";
       extra :=
         !extra + t.spec.delay_min
-        + Rng.int t.rng (max 1 (t.spec.delay_max - t.spec.delay_min + 1))
+        + Rng.int lk.rng (max 1 (t.spec.delay_max - t.spec.delay_min + 1))
     end;
     if roll p.reorder then begin
       count t "reorder";
-      extra := !extra + Rng.int t.rng (t.spec.reorder_window + 1)
+      extra := !extra + Rng.int lk.rng (t.spec.reorder_window + 1)
     end;
     let first = clamp (now + latency + !extra) - now in
     if ok && roll p.dup then begin
       count t "dup";
-      let skew = 1 + Rng.int t.rng (max 1 t.spec.reorder_window) in
+      let skew = 1 + Rng.int lk.rng (max 1 t.spec.reorder_window) in
       let second = clamp (now + first + skew) - now in
       Deliver [ first; second ]
     end

@@ -2,8 +2,12 @@
 
     A plan describes, per message category, the probability of dropping,
     duplicating, extra-delaying, or reordering each message.  Decisions
-    are drawn from a dedicated [Rng] stream so a given (plan, seed,
-    workload) triple is fully deterministic.
+    are drawn from a dedicated per-(src, dst) link [Rng] stream derived
+    from the plan seed, so a given (plan, seed, workload) triple is fully
+    deterministic and each link's stream is independent of traffic on
+    every other link — which keeps an armed plan bit-identical across
+    PDES shard counts (each link is only consulted from its source
+    component's shard).
 
     Fault eligibility follows the recovery story: only messages whose
     loss the requester can recover with an end-to-end retry timer (see

@@ -50,6 +50,9 @@ type shard = {
   mutable sh_messages : int;
   sh_trace : Trace.t;  (** that engine's sink; [Trace.disabled] when off. *)
   sh_n_in_flight : int;  (** interned trace counter name. *)
+  sh_n_fault_drop : int;
+  sh_n_fault_dup : int;
+  sh_n_fault_delay : int;
 }
 
 type cross_send =
@@ -73,16 +76,18 @@ type t = {
      table is a plain array indexed by id (grown on register) instead of a
      Hashtbl — no hashing on the delivery hot path. *)
   mutable endpoints : Engine.endpoint option array;
-  fault : Fault.t option;  (** active fault-injection plan, if any. *)
+  (* Active fault-injection plan: one [Fault.t] per shard, each charging
+     its own shard's stats.  Decisions come from per-(src, dst) link RNG
+     streams derived from the plan seed, and a link is only consulted by
+     sends from [src] — i.e. from one shard — so the instances never
+     race and the decision streams are identical at any shard count. *)
+  faults : Fault.t array option;
   (* Model-checker delivery hook: when installed, [send] hands every
      accounted message here instead of enqueueing a [Deliver] event (or
      routing through the fault plan), letting the checker hold it and
      choose the delivery order; held messages re-enter via
-     [deliver_held].  Single-shard only, like fault injection. *)
+     [deliver_held].  Single-shard only. *)
   mutable delivery_hook : (Msg.t -> latency:int -> unit) option;
-  n_fault_drop : int;  (** interned on shard 0's trace. *)
-  n_fault_dup : int;
-  n_fault_delay : int;
   (* Per-virtual-channel (request-category) in-flight depth, armed only
      by [enable_vc_depth_metrics] on a single-shard network: the send
      path increments, a wrapper around every endpoint handler decrements.
@@ -100,8 +105,8 @@ let category_index = function
   | Msg.Cat_WB -> 4
   | Msg.Cat_Probe -> 5
 
-let fault t = t.fault
-let faults_enabled t = Option.is_some t.fault
+let fault t = Option.map (fun a -> a.(0)) t.faults
+let faults_enabled t = Option.is_some t.faults
 let shard_count t = Array.length t.shards
 let shard_of t id = t.shard_of id
 
@@ -160,7 +165,7 @@ let send t (msg : Msg.t) =
     Msg.keep msg;
     hook msg ~latency
   | None -> (
-  match t.fault with
+  match t.faults with
   | None ->
     let ds = t.shard_of msg.Msg.dst in
     if ds = ss then begin
@@ -176,24 +181,26 @@ let send t (msg : Msg.t) =
       t.cross ~src_shard:ss ~dst_shard:ds ~time:(now + latency) ~t0:now
         ~tie:(Engine.cross_tie sh.sh_engine msg)
         msg ep
-  | Some f -> (
+  | Some faults -> (
     (* Under fault injection a message can be dropped (retry closures
        re-read it), duplicated (two Deliver events share one record) or
        replayed from a reply cache — blanket-detach instead of tracking
        which path each message takes.  Fault runs are off the measured
-       hot path, and are single-shard by construction. *)
+       hot path. *)
     Msg.keep msg;
-    match Fault.route f ~now ~latency msg with
+    match Fault.route faults.(ss) ~now ~latency msg with
     | Fault.Drop ->
       if Trace.on sh.sh_trace then
-        Trace.instant sh.sh_trace ~time:now ~dev:msg.src ~name:t.n_fault_drop
-          ~txn:msg.txn ~arg:(Msg.kind_index msg.kind)
+        Trace.instant sh.sh_trace ~time:now ~dev:msg.src
+          ~name:sh.sh_n_fault_drop ~txn:msg.txn
+          ~arg:(Msg.kind_index msg.kind)
     | Fault.Deliver delays ->
       (match delays with
       | [ delay ] when delay <> latency && Trace.on sh.sh_trace ->
-        Trace.instant sh.sh_trace ~time:now ~dev:msg.src ~name:t.n_fault_delay
-          ~txn:msg.txn ~arg:(delay - latency)
+        Trace.instant sh.sh_trace ~time:now ~dev:msg.src
+          ~name:sh.sh_n_fault_delay ~txn:msg.txn ~arg:(delay - latency)
       | _ -> ());
+      let ds = t.shard_of msg.Msg.dst in
       List.iteri
         (fun i delay ->
           (* Duplicate copies occupy the fabric too. *)
@@ -201,13 +208,25 @@ let send t (msg : Msg.t) =
             sh.sh_traffic.(cat) <- sh.sh_traffic.(cat) + (flits * hops);
             if Trace.on sh.sh_trace then
               Trace.instant sh.sh_trace ~time:now ~dev:msg.src
-                ~name:t.n_fault_dup ~txn:msg.txn ~arg:delay
+                ~name:sh.sh_n_fault_dup ~txn:msg.txn ~arg:delay
           end;
-          (match t.vc_depth with
-          | Some a -> a.(cat) <- a.(cat) + 1
-          | None -> ());
-          incr ep.Engine.in_flight;
-          Engine.deliver sh.sh_engine ~delay msg ep)
+          if ds = ss then begin
+            (match t.vc_depth with
+            | Some a -> a.(cat) <- a.(cat) + 1
+            | None -> ());
+            incr ep.Engine.in_flight;
+            Engine.deliver sh.sh_engine ~delay msg ep
+          end
+          else
+            (* Faulted deliveries cross shards like any other: the total
+               delay never undercuts the nominal latency (extra delay and
+               FIFO clamping only add), so [now + delay] respects the
+               conservative lookahead.  Each copy draws its own tie —
+               exactly the per-copy draws a same-shard [Engine.deliver]
+               sequence would make. *)
+            t.cross ~src_shard:ss ~dst_shard:ds ~time:(now + delay) ~t0:now
+              ~tie:(Engine.cross_tie sh.sh_engine msg)
+              msg ep)
         delays))
 
 let set_delivery_hook t hook = t.delivery_hook <- Some hook
@@ -241,6 +260,9 @@ let make_shard engine =
     sh_messages = 0;
     sh_trace = trace;
     sh_n_in_flight = Trace.name trace "net.in_flight";
+    sh_n_fault_drop = Trace.name trace "fault.drop";
+    sh_n_fault_dup = Trace.name trace "fault.dup";
+    sh_n_fault_delay = Trace.name trace "fault.delay";
   }
 
 let no_cross ~src_shard:_ ~dst_shard:_ ~time:_ ~t0:_ ~tie:_ _msg _ep =
@@ -249,10 +271,7 @@ let no_cross ~src_shard:_ ~dst_shard:_ ~time:_ ~t0:_ ~tie:_ _msg _ep =
 let create_sharded ?fault engines topo ~shard_of ~cross =
   if Array.length engines < 1 then
     invalid_arg "Network.create_sharded: need at least one shard";
-  if Option.is_some fault && Array.length engines > 1 then
-    invalid_arg "Network.create_sharded: fault injection is single-shard";
   let shards = Array.map make_shard engines in
-  let trace0 = shards.(0).sh_trace in
   let t =
     {
       topo;
@@ -260,14 +279,12 @@ let create_sharded ?fault engines topo ~shard_of ~cross =
       shard_of;
       cross;
       endpoints = Array.make 64 None;
-      fault =
+      faults =
         Option.map
-          (fun spec -> Fault.create spec ~stats:shards.(0).sh_stats)
+          (fun spec ->
+            Array.map (fun sh -> Fault.create spec ~stats:sh.sh_stats) shards)
           fault;
       delivery_hook = None;
-      n_fault_drop = Trace.name trace0 "fault.drop";
-      n_fault_dup = Trace.name trace0 "fault.dup";
-      n_fault_delay = Trace.name trace0 "fault.delay";
       vc_depth = None;
     }
   in
@@ -332,7 +349,7 @@ let register_metrics t ~shard reg =
         ~help:"flit-hops sent per virtual channel (request category)"
         (fun () -> sh.sh_traffic.(i)))
     Msg.all_categories;
-  if shard = 0 && Option.is_some t.fault then
+  if Option.is_some t.faults then
     List.iter
       (fun what ->
         Metrics.counter reg

@@ -63,10 +63,15 @@ val create_sharded :
     leaves through [cross].  All per-shard accounting (traffic, stats,
     message and in-flight counts, trace sends) is owned by one domain;
     the aggregate accessors below sum across shards and are exact at
-    settled points.  [?fault] requires a single shard. *)
+    settled points.  [?fault] arms one {!Fault.t} per shard (all sharing
+    the plan); per-(src, dst) link RNG streams make the decisions
+    shard-count-invariant, and faulted deliveries cross shards like any
+    other (the total delay never undercuts the nominal latency, so the
+    conservative lookahead holds). *)
 
 val fault : t -> Fault.t option
-(** The live fault-injection state, when a plan was armed at [create]. *)
+(** Shard 0's live fault-injection state, when a plan was armed at
+    [create] (every shard's instance shares the plan spec). *)
 
 val faults_enabled : t -> bool
 (** True when a fault plan is active; requesters use this to decide whether
@@ -139,7 +144,7 @@ val shard_stats : t -> Spandex_util.Stats.t array
 val register_metrics : t -> shard:int -> Spandex_obs.Metrics.t -> unit
 (** Register shard-local probes on that shard's metrics registry:
     message and per-virtual-channel flit counters, the in-flight gauge,
-    and (shard 0, fault runs) the fault-injection outcome counters.
+    and (fault runs) that shard's fault-injection outcome counters.
     Every probed value is owned by [shard]'s domain. *)
 
 val enable_vc_depth_metrics : t -> Spandex_obs.Metrics.t -> unit

@@ -11,9 +11,20 @@ type report = {
   r_timed : bool;
 }
 
-let shard_desc s =
-  if s = 0 then "home complex: LLC/dir banks, directory, DRAM"
-  else Printf.sprintf "cores (round-robin slot %d)" s
+(* Under the banked partition no shard is a fixed "home complex": describe
+   a shard by the components actually placed on it (from
+   [Run.result.partition]) when a table is available. *)
+let shard_desc ?partition s =
+  match partition with
+  | None -> Printf.sprintf "partition slot %d" s
+  | Some table ->
+    let names =
+      Array.to_list table
+      |> List.filter_map (fun (n, sh) -> if sh = s then Some n else None)
+    in
+    (match names with
+    | [] -> "no components placed"
+    | names -> String.concat ", " names)
 
 let zero_profile =
   {
@@ -103,7 +114,7 @@ let analyze shards =
       Array.exists (fun p -> shard_wall p > 0.) shards;
   }
 
-let pp fmt r =
+let pp ?partition fmt r =
   let n = Array.length r.r_shards in
   Format.fprintf fmt
     "PDES shard profile: %d shard%s, %d rounds, %d events@." n
@@ -134,7 +145,7 @@ let pp fmt r =
   Format.fprintf fmt
     "  imbalance: max/min %s, max/mean %.2fx — dominant shard %d (%s)@."
     max_min r.r_load_max_mean r.r_dominant_shard
-    (shard_desc r.r_dominant_shard);
+    (shard_desc ?partition r.r_dominant_shard);
   if r.r_timed then
     Format.fprintf fmt "  barrier-wait: %.1f%% of summed shard wall time@."
       (100. *. r.r_barrier_wait_fraction)

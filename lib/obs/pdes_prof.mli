@@ -19,10 +19,11 @@ type report = {
   r_timed : bool;  (** true when any wall-time field is non-zero. *)
 }
 
-val shard_desc : int -> string
-(** Human name for a shard under the standard partition: shard 0 is the
-    home complex (LLC/dir banks, directory, DRAM), others hold the
-    round-robin core slots. *)
+val shard_desc : ?partition:(string * int) array -> int -> string
+(** Human name for a shard: the components placed on it, from a
+    [Run.result.partition] table.  Without a table (aggregates across
+    cells whose partitions differ) shards are just numbered slots — the
+    banked partition pins no fixed home complex to shard 0. *)
 
 val add :
   Spandex_sim.Pdes.shard_profile array ->
@@ -38,7 +39,8 @@ val analyze : Spandex_sim.Pdes.shard_profile array -> report
 
 val barrier_wait_fraction : Spandex_sim.Pdes.shard_profile array -> float
 
-val pp : Format.formatter -> report -> unit
+val pp : ?partition:(string * int) array -> Format.formatter -> report -> unit
 (** The [spandex_cli profile] table: one row per shard (events, events
     per round, busy-round share, wall split, stalls, link depth, GC),
-    then the imbalance and barrier-wait summary lines. *)
+    then the imbalance and barrier-wait summary lines; [?partition]
+    names the dominant shard's components. *)

@@ -38,6 +38,9 @@ type result = {
   shard_events : int array;
   metrics : Metrics.t;
   shard_profile : Pdes.shard_profile array option;
+  partition : (string * int) array;
+  cap_reason : string option;
+  dram_channel_peaks : int array;
 }
 
 type component = {
@@ -207,16 +210,20 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
   let l2_front_id = home_id + banks in
   let l2_back_id = l2_front_id + banks in
   (* --- sharding plan ------------------------------------------------------ *)
-  (* The partition: shard 0 owns the home complex (LLC/dir banks, gpu L2
-     front/back and DRAM — DRAM's shared service queue forces the banks to
-     co-reside), the remaining shards split the cores (each core and its
-     L1 are one unit).  Structural caps keep the partition sound:
-     - fault plans draw from one RNG stream in global send order, so fault
-       runs stay sequential;
-     - barrier wakes are 1-cycle events on the barrier's engine, far below
-       the network lookahead, so barrier workloads co-locate every core on
-       one shard (home + cores = 2 shards);
-     - more shards than 1 + cores would leave empty shards. *)
+  (* The partition (DESIGN.md §9): every self-contained component is a
+     placement unit — each core (with its L1), each home bank (an LLC or
+     directory bank plus its DRAM channel), and, hierarchical configs, the
+     GPU-L2 complex (L2 banks + MESI client backside, whose shared
+     MSHR/recall state forbids splitting).  [Params.pdes_partition] maps
+     each group to shards; the default round-robins everything, so no
+     shard is a component-pinned "home complex" any more.  Structural caps
+     keep the partition sound:
+     - barrier wakes are 1-cycle events on the barrier's engine, far
+       below the network lookahead, so barrier workloads co-locate every
+       core on one shard (the cores collapse to one unit);
+     - more shards than placement units would leave empty shards.
+     Fault plans no longer cap: per-(src, dst) link RNG streams make
+     injection decisions shard-count-invariant (see [Fault]). *)
   let requested_shards =
     match p.Params.engine_backend with
     | Engine.Pdes_backend { shards } -> shards
@@ -226,18 +233,58 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
     Array.length w.Workload.cpu_programs + Array.length w.Workload.gpu_programs
   in
   let has_barriers = Array.length w.Workload.barrier_parties > 0 in
-  let shard_cap =
-    if Option.is_some p.Params.fault then 1
-    else if has_barriers then min 2 (1 + n_cores)
-    else 1 + n_cores
-  in
+  let hierarchical = config.Config.llc = Config.H_mesi in
+  let core_units = if has_barriers then 1 else n_cores in
+  let unit_count = core_units + banks + if hierarchical then 1 else 0 in
+  let shard_cap = max 1 unit_count in
   let shards = max 1 (min requested_shards shard_cap) in
-  let core_shard id =
-    if shards = 1 then 0
-    else if has_barriers then 1
-    else 1 + (id mod (shards - 1))
+  let cap_reason =
+    if requested_shards <= shards then None
+    else
+      let units =
+        Printf.sprintf "%d core unit%s + %d home bank%s%s = %d placement units"
+          core_units
+          (if core_units = 1 then "" else "s")
+          banks
+          (if banks = 1 then "" else "s")
+          (if hierarchical then " + 1 GPU-L2 complex" else "")
+          unit_count
+      in
+      if has_barriers then
+        Some
+          (Printf.sprintf
+             "barrier workload: barrier wakes are 1-cycle events below the \
+              network lookahead, so all %d cores co-locate on one shard (%s)"
+             n_cores units)
+      else Some (Printf.sprintf "bank/component count: %s" units)
   in
-  let shard_of id = if id >= home_id then 0 else core_shard id in
+  let partition_spec = p.Params.pdes_partition in
+  let place (pl : Params.placement) ~unit_base u =
+    if shards = 1 then 0
+    else
+      match pl with
+      | Params.Pin s -> ((s mod shards) + shards) mod shards
+      | Params.Spread -> (unit_base + u) mod shards
+  in
+  let bank_shard b = place partition_spec.Params.home_banks ~unit_base:0 b in
+  let core_shard id =
+    match (has_barriers, partition_spec.Params.cores) with
+    (* The collapsed core unit is by far the heaviest (every core, L1 and
+       pipeline event lands on it); give it the last shard so shard 0
+       keeps only its round-robin share of home banks instead of
+       re-becoming the hotspot the banked partition exists to break up. *)
+    | true, Params.Spread -> shards - 1
+    | true, (Params.Pin _ as pl) -> place pl ~unit_base:0 0
+    | false, pl -> place pl ~unit_base:banks id
+  in
+  let gpu_shard =
+    place partition_spec.Params.gpu_complex ~unit_base:(banks + core_units) 0
+  in
+  let shard_of id =
+    if id < home_id then core_shard id
+    else if id < l2_front_id then bank_shard (id - home_id)
+    else gpu_shard
+  in
   let trace =
     match p.Params.trace with
     | None -> Trace.disabled
@@ -315,7 +362,7 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
     match pdes with
     | None -> Network.create ?fault:p.Params.fault engine topo
     | Some pd ->
-      Network.create_sharded engines topo ~shard_of
+      Network.create_sharded ?fault:p.Params.fault engines topo ~shard_of
         ~cross:(fun ~src_shard ~dst_shard ~time ~t0 ~tie msg ep ->
           Pdes.push pd ~src_shard ~dst_shard ~time ~t0 ~tie msg ep)
   in
@@ -326,7 +373,14 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
   Array.iter
     (fun e -> Engine.set_lookahead e topo.Network.min_latency)
     engines;
-  let dram = Dram.create engine ~latency:p.Params.mem_latency
+  (* One DRAM channel per home bank, each on its bank's shard engine: a
+     bank only touches lines ≡ bank (mod banks), which route to exactly
+     its channel, so memory timing state is bank-local.  The sequential
+     backends build the identical banked structure (all channels on the
+     one engine), keeping pdes == wheel bit-identity. *)
+  let home_bank_engines = Array.init banks (fun b -> engines.(bank_shard b)) in
+  let dram =
+    Dram.create_banked home_bank_engines ~latency:p.Params.mem_latency
       ~service_interval:p.Params.mem_interval
   in
   (* Components tagged with their owning shard, for per-shard samplers. *)
@@ -350,7 +404,10 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
     | Config.Spandex_flat ->
       let sets, ways = cache_geometry ~bytes:p.Params.llc_bytes ~ways:p.Params.llc_ways in
       let llc =
-        Llc.create engine net
+        Llc.create ~bank_engines:home_bank_engines
+          ~bank_backings:
+            (Array.map (fun e -> Backing.dram e dram) home_bank_engines)
+          engine net
           (Backing.dram engine dram)
           {
             Llc.llc_id = home_id;
@@ -364,16 +421,24 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
             reqs_policy = p.Params.reqs_policy;
           }
       in
-      add
-        {
-          c_name = "spandex_llc";
-          c_quiescent = (fun () -> Llc.quiescent llc);
-          c_pending = (fun () -> Llc.describe_pending llc);
-          c_stats = Llc.stats llc;
-          c_sample = (fun ~time -> Llc.trace_sample llc ~time);
-          c_metrics = Llc.register_metrics llc ~device:"spandex_llc";
-          c_fingerprint = Llc.fingerprint llc;
-        };
+      (* One component per bank, all named "spandex_llc": the merged stats
+         sum back to the aggregate, and each bank's sampler/metrics/
+         quiescence run on its own shard.  The fingerprint (settled
+         points only) is emitted once, from bank 0's slot. *)
+      for b = 0 to banks - 1 do
+        add ~shard:(bank_shard b)
+          {
+            c_name = "spandex_llc";
+            c_quiescent = (fun () -> Llc.bank_quiescent llc b);
+            c_pending = (fun () -> Llc.bank_describe_pending llc b);
+            c_stats = Llc.bank_stats llc b;
+            c_sample = (fun ~time -> Llc.bank_trace_sample llc b ~time);
+            c_metrics =
+              (fun reg -> Llc.bank_register_metrics llc ~device:"spandex_llc" b reg);
+            c_fingerprint =
+              (if b = 0 then Llc.fingerprint llc else fun _ -> ());
+          }
+      done;
       ( home_id,
         home_id,
         Some
@@ -385,22 +450,31 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
     | Config.H_mesi ->
       let dsets, dways = cache_geometry ~bytes:p.Params.llc_bytes ~ways:p.Params.llc_ways in
       let dir =
-        Mesi_dir.create engine net dram
+        Mesi_dir.create ~bank_engines:home_bank_engines engine net dram
           { Mesi_dir.dir_id = home_id; banks; sets = dsets; ways = dways;
             access_latency = p.Params.llc_access }
       in
-      add
-        {
-          c_name = "mesi_dir";
-          c_quiescent = (fun () -> Mesi_dir.quiescent dir);
-          c_pending = (fun () -> Mesi_dir.describe_pending dir);
-          c_stats = Mesi_dir.stats dir;
-          c_sample = (fun ~time -> Mesi_dir.trace_sample dir ~time);
-          c_metrics = Mesi_dir.register_metrics dir ~device:"mesi_dir";
-          c_fingerprint = Mesi_dir.fingerprint dir;
-        };
+      for b = 0 to banks - 1 do
+        add ~shard:(bank_shard b)
+          {
+            c_name = "mesi_dir";
+            c_quiescent = (fun () -> Mesi_dir.bank_quiescent dir b);
+            c_pending = (fun () -> Mesi_dir.bank_describe_pending dir b);
+            c_stats = Mesi_dir.bank_stats dir b;
+            c_sample = (fun ~time -> Mesi_dir.bank_trace_sample dir b ~time);
+            c_metrics =
+              (fun reg ->
+                Mesi_dir.bank_register_metrics dir ~device:"mesi_dir" b reg);
+            c_fingerprint =
+              (if b = 0 then Mesi_dir.fingerprint dir else fun _ -> ());
+          }
+      done;
+      (* The GPU-L2 complex — L2 banks plus the MESI client backside —
+         shares MSHR and recall state through direct closure calls, so it
+         is one placement unit on [gpu_shard]. *)
+      let gpu_engine = engines.(gpu_shard) in
       let client =
-        Mesi_client.create engine net
+        Mesi_client.create gpu_engine net
           { Mesi_client.id = l2_back_id; dir_id = home_id; dir_banks = banks;
             hit_latency = p.Params.hit_latency }
       in
@@ -408,7 +482,9 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
         cache_geometry ~bytes:p.Params.gpu_l2_bytes ~ways:p.Params.gpu_l2_ways
       in
       let l2 =
-        Llc.create engine net
+        Llc.create
+          ~bank_engines:(Array.make banks gpu_engine)
+          gpu_engine net
           (Mesi_client.backing client)
           {
             Llc.llc_id = l2_front_id;
@@ -420,17 +496,20 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
             reqs_policy = p.Params.reqs_policy;
           }
       in
-      add
-        {
-          c_name = "gpu_l2";
-          c_quiescent = (fun () -> Llc.quiescent l2);
-          c_pending = (fun () -> Llc.describe_pending l2);
-          c_stats = Llc.stats l2;
-          c_sample = (fun ~time -> Llc.trace_sample l2 ~time);
-          c_metrics = Llc.register_metrics l2 ~device:"gpu_l2";
-          c_fingerprint = Llc.fingerprint l2;
-        };
-      add
+      for b = 0 to banks - 1 do
+        add ~shard:gpu_shard
+          {
+            c_name = "gpu_l2";
+            c_quiescent = (fun () -> Llc.bank_quiescent l2 b);
+            c_pending = (fun () -> Llc.bank_describe_pending l2 b);
+            c_stats = Llc.bank_stats l2 b;
+            c_sample = (fun ~time -> Llc.bank_trace_sample l2 b ~time);
+            c_metrics =
+              (fun reg -> Llc.bank_register_metrics l2 ~device:"gpu_l2" b reg);
+            c_fingerprint = (if b = 0 then Llc.fingerprint l2 else fun _ -> ());
+          }
+      done;
+      add ~shard:gpu_shard
         {
           c_name = "mesi_client";
           c_quiescent = (fun () -> (Mesi_client.backing client).Backing.quiescent ());
@@ -484,7 +563,7 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
   in
   (* Barrier workloads co-locate every core on one shard (see the shard
      plan above), so the barrier's wake events run on that shard. *)
-  let barrier_engine = if shards = 1 then engine else engines.(1) in
+  let barrier_engine = engines.(core_shard 0) in
   let barriers =
     Array.map
       (fun parties -> Barrier.create barrier_engine ~parties)
@@ -544,7 +623,14 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
         ~help:"engine events dispatched"
         (fun () -> Engine.events_processed engines.(s))
     done;
-    Dram.register_metrics dram mregs.(0);
+    (* Each DRAM channel's probes go on its owning bank's shard registry
+       (probes must read only shard-local state). *)
+    Array.iteri
+      (fun b ch ->
+        Dram.Channel.register_metrics ch
+          ~labels:[ ("bank", string_of_int b) ]
+          mregs.(bank_shard b))
+      (Dram.channels dram);
     (* Depth gauges wrap every endpoint handler, so arm them only after
        all devices have registered; no-op on sharded networks. *)
     Network.enable_vc_depth_metrics net mregs.(0)
@@ -576,6 +662,20 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
             Metrics.sample mregs.(s) ~time
           end)
     done;
+  (* Component -> shard table, in device-id order, for profiling output
+     and the bench schema (only devices this workload instantiates). *)
+  let partition_table =
+    let used =
+      List.init (Array.length w.Workload.cpu_programs) cpu_id
+      @ List.init (Array.length w.Workload.gpu_programs) gpu_id
+      @ List.init banks (fun b -> home_id + b)
+      @
+      if hierarchical then
+        List.init banks (fun b -> l2_front_id + b) @ [ l2_back_id ]
+      else []
+    in
+    Array.of_list (List.map (fun id -> (device_names.(id), shard_of id)) used)
+  in
   (* --- run ----------------------------------------------------------------- *)
   let finished () =
     List.for_all Core.finished cores
@@ -673,6 +773,10 @@ let build ?(params = Params.default) ~(config : Config.t) (w : Workload.t) =
       shard_events = Array.map Engine.events_processed engines;
       metrics = Metrics.merge (Array.to_list mregs);
       shard_profile = Option.map Pdes.profile pdes;
+      partition = partition_table;
+      cap_reason;
+      dram_channel_peaks =
+        Array.map Dram.Channel.peak_queue_depth (Dram.channels dram);
     }
   in
   {

@@ -46,6 +46,18 @@ type result = {
           order; [None] for sequential backends.  Wall times come from a
           real clock and are excluded from bit-identity — simulated
           results are unaffected by profiling. *)
+  partition : (string * int) array;
+      (** component -> shard placement table (device display name, owning
+          shard), in device-id order, covering the devices this workload
+          instantiated; all zeros for sequential backends.  Excluded from
+          bit-identity comparisons. *)
+  cap_reason : string option;
+      (** why the effective shard count is below the requested one
+          (barrier workload, or bank/component count); [None] when the
+          request was honoured. *)
+  dram_channel_peaks : int array;
+      (** peak DRAM service-queue depth per channel (one channel per home
+          bank), in bank order. *)
 }
 
 type view = {

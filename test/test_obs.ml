@@ -395,7 +395,9 @@ let pdes_profile_sanity () =
       (rep.Pdes_prof.r_dominant_shard >= 0
       && rep.Pdes_prof.r_dominant_shard < r.Run.shards);
     check_bool "max/mean >= 1" true (rep.Pdes_prof.r_load_max_mean >= 1.0);
-    let s = Format.asprintf "%a" Pdes_prof.pp rep in
+    let s =
+      Format.asprintf "%a" (Pdes_prof.pp ~partition:r.Run.partition) rep
+    in
     check_bool "report names the dominant shard" true
       (contains s "dominant shard");
     check_bool "report prints the wall split header" true

@@ -1,10 +1,11 @@
 (* PDES backend equivalence: [--engine pdes] must be bit-identical to the
    sequential wheel backend — cycles, flits, traffic breakdown, messages,
    events, checks and full merged stats — on every cell of the bench
-   matrix, including fault-armed cells (which the partition caps to one
-   shard) and traced cells (span/instant/send streams merge back to the
-   sequential stream; counter samples are per-shard and excluded).  This
-   is the acceptance gate for the conservative parallel backend. *)
+   matrix, including fault-armed cells at shards > 1 (per-link fault RNG
+   streams are shard-count-invariant) and traced cells (span/instant/send
+   streams merge back to the sequential stream; counter samples are
+   per-shard and excluded).  This is the acceptance gate for the
+   conservative parallel backend and its banked home-complex partition. *)
 
 module Config = Spandex_system.Config
 module Params = Spandex_system.Params
@@ -14,6 +15,7 @@ module Report = Spandex_system.Report
 module Registry = Spandex_workloads.Registry
 module Engine = Spandex_sim.Engine
 module Trace = Spandex_sim.Trace
+module Stats = Spandex_util.Stats
 
 let test = Helpers.test
 
@@ -61,6 +63,18 @@ let smoke_two_shards () =
     "shard events sum"
     par.Run.events
     (Array.fold_left ( + ) 0 par.Run.shard_events);
+  (* The banked partition must actually distribute the home complex: with
+     banks > shards, no single shard may own every home bank. *)
+  let home_bank name =
+    String.length name > 5
+    && (String.sub name 0 5 = "llc.b" || String.sub name 0 5 = "dir.b")
+  in
+  let bank_shards =
+    Array.to_list par.Run.partition
+    |> List.filter_map (fun (name, s) -> if home_bank name then Some s else None)
+  in
+  Alcotest.(check bool) "home banks span shards" true
+    (List.length (List.sort_uniq compare bank_shards) > 1);
   match Report.diff_result seq par with
   | None -> ()
   | Some d -> Alcotest.failf "pdes diverged from wheel: %s" d
@@ -82,39 +96,83 @@ let pdes_matches_wheel_all_cells () =
 
 let pdes_matches_wheel_many_shards () =
   (* Request more shards than the partition can use; the effective count
-     is capped (devices + banks) and results must still be identical. *)
+     is capped (core + home-bank + GPU-complex placement units) and the
+     banked partition must still reproduce the wheel bit-for-bit. *)
   let cells = matrix ~params:Params.bench [ "rsct"; "bc" ] in
   let wheel = Sweep.simulate_all ~jobs:1 cells in
-  let pdes =
-    Sweep.simulate_all ~jobs:1
-      (List.map
-         (fun j -> { j with Sweep.params = pdes_params ~shards:64 j.Sweep.params })
-         cells)
-  in
-  check_identical cells wheel pdes
+  List.iter
+    (fun shards ->
+      let pdes =
+        Sweep.simulate_all ~jobs:1
+          (List.map
+             (fun j ->
+               { j with Sweep.params = pdes_params ~shards j.Sweep.params })
+             cells)
+      in
+      check_identical cells wheel pdes)
+    [ 3; 64 ]
+
+(* ----- fault-armed multi-shard runs ----------------------------------------- *)
+
+let fault_plan ~seed =
+  Spandex_net.Fault.uniform ~drop:0.02 ~dup:0.01 ~delay:0.03 ~reorder:0.03
+    ~seed ()
 
 let pdes_matches_wheel_under_faults () =
-  (* Fault plans force a single shard (the RNG draw order is global), but
-     [--engine pdes] must still accept the request and reproduce the
-     wheel bit-for-bit. *)
-  let fault =
-    Spandex_net.Fault.uniform ~drop:0.02 ~dup:0.01 ~delay:0.03 ~reorder:0.03
-      ~seed:7 ()
-  in
-  let params = { Params.bench with Params.fault = Some fault } in
+  (* Fault plans no longer cap the shard count: per-(src, dst) link RNG
+     streams derive from the plan seed alone, so the same drops, dups and
+     delays happen at any shard count and the wheel is reproduced
+     bit-for-bit on multi-shard partitions. *)
+  let params = { Params.bench with Params.fault = Some (fault_plan ~seed:7) } in
   let cells = matrix ~params [ "tqh" ] in
   let wheel = Sweep.simulate_all ~jobs:1 cells in
-  let pdes =
-    Sweep.simulate_all ~jobs:1
-      (List.map
-         (fun j -> { j with Sweep.params = pdes_params j.Sweep.params })
-         cells)
-  in
   List.iter
-    (fun (r : Run.result) ->
-      Alcotest.(check int) "fault runs are single-shard" 1 r.Run.shards)
-    pdes;
-  check_identical cells wheel pdes
+    (fun shards ->
+      let pdes =
+        Sweep.simulate_all ~jobs:1
+          (List.map
+             (fun j ->
+               { j with Sweep.params = pdes_params ~shards j.Sweep.params })
+             cells)
+      in
+      List.iter
+        (fun (r : Run.result) ->
+          Alcotest.(check bool) "fault run uses >1 shard" true
+            (r.Run.shards > 1))
+        pdes;
+      check_identical cells wheel pdes)
+    [ 2; 4 ]
+
+let fault_keys =
+  [ "fault.injected"; "fault.drop"; "fault.dup"; "fault.delay"; "fault.reorder" ]
+
+let fault_rng_per_link_deterministic () =
+  (* Same plan => same per-link decision streams, regardless of how many
+     shards the sends are spread over: the summed fault counters (and the
+     whole result) are invariant across shards in {1, 2, 4}. *)
+  let params =
+    { Params.bench with Params.fault = Some (fault_plan ~seed:11) }
+  in
+  let geom = Registry.geometry_of_params params in
+  let wl = (Registry.find "tqh").Registry.build ~scale:0.25 geom in
+  let config = List.hd Config.all in
+  let counts (r : Run.result) =
+    List.map (fun k -> (k, Stats.get r.Run.stats ("net." ^ k))) fault_keys
+  in
+  let base = Run.simulate ~params ~config wl in
+  Alcotest.(check bool) "plan injects faults" true
+    (Stats.get base.Run.stats "net.fault.injected" > 0);
+  List.iter
+    (fun shards ->
+      let r = Run.simulate ~params:(pdes_params ~shards params) ~config wl in
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "fault decisions at %d shard(s)" shards)
+        (counts base) (counts r);
+      match Report.diff_result base r with
+      | None -> ()
+      | Some d ->
+        Alcotest.failf "faulted pdes (%d shards) diverged: %s" shards d)
+    [ 1; 2; 4 ]
 
 (* ----- traced runs ---------------------------------------------------------- *)
 
@@ -130,6 +188,16 @@ let comparable_events tr =
       | ev -> evs := ev :: !evs);
   List.rev !evs
 
+(* The pre-partition placement (home complex pinned to shard 0, cores to
+   shard 1): with it, the k-way trace merge's (time, shard) order happens
+   to reproduce the wheel's same-cycle event order exactly. *)
+let legacy_partition =
+  {
+    Params.home_banks = Params.Pin 0;
+    gpu_complex = Params.Pin 0;
+    cores = Params.Pin 1;
+  }
+
 let pdes_trace_matches_wheel () =
   let params =
     { Params.bench with Params.trace = Some Trace.default_spec }
@@ -138,18 +206,41 @@ let pdes_trace_matches_wheel () =
   let wl = (Registry.find "rsct").Registry.build ~scale:0.25 geom in
   let config = List.hd Config.all in
   let seq = Run.simulate ~params ~config wl in
-  let par = Run.simulate ~params:(pdes_params params) ~config wl in
-  Alcotest.(check bool) "used >1 shard" true (par.Run.shards > 1);
-  (match Report.diff_result seq par with
+  (* Pinned legacy partition: the merged stream must equal the wheel's
+     event-for-event. *)
+  let pinned =
+    Run.simulate
+      ~params:
+        (pdes_params { params with Params.pdes_partition = legacy_partition })
+      ~config wl
+  in
+  Alcotest.(check bool) "used >1 shard" true (pinned.Run.shards > 1);
+  (match Report.diff_result seq pinned with
   | None -> ()
   | Some d -> Alcotest.failf "traced pdes diverged from wheel: %s" d);
   let es = comparable_events seq.Run.trace in
-  let ep = comparable_events par.Run.trace in
+  let ep = comparable_events pinned.Run.trace in
   Alcotest.(check int) "trace event count" (List.length es) (List.length ep);
   List.iteri
     (fun i (a, b) ->
       if a <> b then Alcotest.failf "trace event %d differs" i)
     (List.combine es ep);
+  (* Spread (default) partition: same-cycle events from different shards
+     merge by shard index, which need not match the wheel's same-cycle
+     interleave — but the multiset of timestamped events must be
+     identical. *)
+  let spread = Run.simulate ~params:(pdes_params params) ~config wl in
+  (match Report.diff_result seq spread with
+  | None -> ()
+  | Some d -> Alcotest.failf "traced spread pdes diverged from wheel: %s" d);
+  let sorted evs = List.sort compare evs in
+  let es' = sorted es and ep' = sorted (comparable_events spread.Run.trace) in
+  Alcotest.(check int)
+    "spread trace event count" (List.length es') (List.length ep');
+  List.iteri
+    (fun i (a, b) ->
+      if a <> b then Alcotest.failf "spread trace event %d differs (sorted)" i)
+    (List.combine es' ep');
   let project =
     List.map (fun (n, s) ->
         ( n,
@@ -158,7 +249,7 @@ let pdes_trace_matches_wheel () =
             s.Spandex_util.Hist.max ) ))
   in
   Alcotest.(check (list (pair string (triple int (pair int int) int))))
-    "latency summaries" (project seq.Run.latency) (project par.Run.latency)
+    "latency summaries" (project seq.Run.latency) (project pinned.Run.latency)
 
 let tests =
   [
@@ -166,8 +257,10 @@ let tests =
     test "pdes: all 60 cells == wheel" pdes_matches_wheel_all_cells;
     test "pdes: over-requested shards capped, == wheel"
       pdes_matches_wheel_many_shards;
-    test "pdes: fault-armed cells == wheel (single shard)"
+    test "pdes: fault-armed multi-shard cells == wheel"
       pdes_matches_wheel_under_faults;
+    test "pdes: fault RNG is per-link deterministic across shard counts"
+      fault_rng_per_link_deterministic;
     test "pdes: traced run == wheel (spans/instants/sends)"
       pdes_trace_matches_wheel;
   ]
